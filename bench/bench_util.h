@@ -1,0 +1,30 @@
+// Shared helpers for the reproduction benches.
+//
+// Campaign sizes default to a few hundred runs so the full harness finishes
+// in minutes; set CHASER_BENCH_RUNS to scale toward the paper's 3000-5000.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace chaser::bench {
+
+inline std::uint64_t RunsFromEnv(std::uint64_t def) {
+  const char* env = std::getenv("CHASER_BENCH_RUNS");
+  if (env == nullptr) return def;
+  std::uint64_t v = 0;
+  if (!ParseU64(env, &v) || v == 0) return def;
+  return v;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace chaser::bench

@@ -1,0 +1,98 @@
+// Guest application specifications.
+//
+// Each builder returns a complete AppSpec: the GISA-64 program (generated
+// with a seed-deterministic workload so golden runs are reproducible), the
+// rank count, and the instruction classes the paper's campaign targets for
+// that application (§IV-B: cmp for bfs, FP for kmeans, FP+cmp for lud, mov
+// for Matvec, FP for CLAMR).
+//
+// Every application writes its numeric result to guest fd 3; the campaign
+// layer compares that output bit-wise against the golden run to classify
+// benign vs silent-data-corruption outcomes, exactly as the paper does.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "guest/program.h"
+
+namespace chaser::apps {
+
+struct AppSpec {
+  std::string name;
+  guest::Program program;
+  int num_ranks = 1;  // 1 = single-process application
+  std::set<guest::InstrClass> fault_classes;
+};
+
+// ---- Rodinia-style single-machine kernels -----------------------------------
+
+struct BfsParams {
+  std::uint64_t nodes = 512;
+  std::uint64_t avg_degree = 8;
+  std::uint64_t seed = 42;
+};
+/// Breadth-first search over a random CSR graph (cmp-heavy frontier loop).
+AppSpec BuildBfs(const BfsParams& params = {});
+
+struct KmeansParams {
+  std::uint64_t points = 256;
+  std::uint64_t dims = 4;
+  std::uint64_t clusters = 4;
+  std::uint64_t iterations = 5;
+  std::uint64_t seed = 43;
+};
+/// K-means clustering (fadd/fmul distance kernel).
+AppSpec BuildKmeans(const KmeansParams& params = {});
+
+struct LudParams {
+  std::uint64_t n = 24;
+  std::uint64_t seed = 44;
+};
+/// In-place LU decomposition of a diagonally dominant matrix (FP + cmp).
+AppSpec BuildLud(const LudParams& params = {});
+
+// ---- MPI applications ---------------------------------------------------------
+
+struct MatvecParams {
+  std::uint64_t rows = 24;   // must be divisible by (ranks - 1)
+  std::uint64_t cols = 12;
+  int ranks = 4;
+  std::uint64_t seed = 45;
+};
+/// MPI matrix-vector product b = A*x: the master broadcasts x, distributes
+/// row blocks to the slaves, and collects partial results (mov-heavy master).
+AppSpec BuildMatvec(const MatvecParams& params = {});
+
+struct ClamrParams {
+  std::uint64_t global_rows = 24;  // must be divisible by ranks
+  std::uint64_t cols = 24;
+  std::uint64_t steps = 30;
+  int ranks = 4;
+  /// Cell-refinement threshold on the height gradient (drives the per-step
+  /// cell-based refinement statistics, the AMR element of CLAMR).
+  double refine_threshold = 0.02;
+  /// Conservation tolerances (relative + absolute floor). The Lax-Friedrichs
+  /// scheme conserves mass and both momentum components to FP rounding, so
+  /// these sit just above the deterministic rounding drift; violations abort
+  /// with a program-level assertion — CLAMR's domain-specific checker.
+  double mass_rtol = 1e-14;
+  double mass_atol = 1e-14;
+  /// Checkpoint frequency in steps (the real CLAMR's -i flag): every
+  /// `checkpoint_interval` steps each rank appends its interior height field
+  /// to the output stream. 0 disables checkpointing.
+  std::uint64_t checkpoint_interval = 0;
+  /// Per-cell sanity bounds (CLAMR-style cell state checks, verified by every
+  /// rank locally while accumulating the conserved sums).
+  double h_min = 0.5;
+  double h_max = 2.0;
+  double uv_max = 1.0;
+  std::uint64_t seed = 46;
+};
+/// CLAMR-lite: a shallow-water (linear wave system) mini-app on a
+/// row-decomposed periodic grid with halo exchange, a per-step cell
+/// refinement count, and a global conservation checker (mass + x/y momentum
+/// via MPI_Reduce to rank 0, which asserts on violation).
+AppSpec BuildClamr(const ClamrParams& params = {});
+
+}  // namespace chaser::apps

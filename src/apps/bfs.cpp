@@ -1,0 +1,120 @@
+// BFS (Rodinia-style): frontier-queue breadth-first search over a random CSR
+// graph. The visited test makes the inner loop cmp-heavy, which is why the
+// paper targets the cmp instruction class for this benchmark.
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "guest/builder.h"
+
+namespace chaser::apps {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+AppSpec BuildBfs(const BfsParams& params) {
+  Rng rng(params.seed);
+  const std::uint64_t n = params.nodes;
+
+  // Host-side workload generation: a random graph with a guaranteed
+  // 0 -> 1 -> ... -> n-1 chain (so every node is reachable from the source)
+  // plus `avg_degree - 1` random extra edges per node.
+  std::vector<std::uint64_t> row_ptr(n + 1, 0);
+  std::vector<std::uint64_t> col_idx;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    row_ptr[u] = col_idx.size();
+    if (u + 1 < n) col_idx.push_back(u + 1);
+    for (std::uint64_t e = 1; e < params.avg_degree; ++e) {
+      col_idx.push_back(rng.UniformU64(0, n - 1));
+    }
+  }
+  row_ptr[n] = col_idx.size();
+
+  ProgramBuilder b("bfs");
+  const GuestAddr row_ptr_addr = b.DataU64("row_ptr", row_ptr);
+  const GuestAddr col_idx_addr = b.DataU64("col_idx", col_idx);
+  const GuestAddr levels_addr = b.Bss("levels", n * 8);
+  const GuestAddr queue_addr = b.Bss("queue", n * 8);
+
+  // Register plan:
+  //   r1 head, r2 tail, r3 u, r4 level(u), r5 edge, r6 edge_end,
+  //   r8 v, r9 addr scratch, r10 value scratch,
+  //   r11 row_ptr, r12 col_idx, r13 levels, r14 queue.
+  b.MovI(R(11), static_cast<std::int64_t>(row_ptr_addr));
+  b.MovI(R(12), static_cast<std::int64_t>(col_idx_addr));
+  b.MovI(R(13), static_cast<std::int64_t>(levels_addr));
+  b.MovI(R(14), static_cast<std::int64_t>(queue_addr));
+
+  // levels[0] = 1 (0 means unvisited); queue[0] = 0.
+  b.MovI(R(10), 1);
+  b.St(R(13), 0, R(10));
+  b.MovI(R(10), 0);
+  b.St(R(14), 0, R(10));
+  b.MovI(R(1), 0);  // head
+  b.MovI(R(2), 1);  // tail
+
+  auto loop = b.NewLabel("loop");
+  auto edge_loop = b.NewLabel("edge_loop");
+  auto visit = b.NewLabel("visit");
+  auto done = b.NewLabel("done");
+
+  b.Bind(loop);
+  b.Cmp(R(1), R(2));
+  b.Br(Cond::kGe, done);
+  // u = queue[head++]
+  b.ShlI(R(9), R(1), 3);
+  b.Add(R(9), R(14), R(9));
+  b.Ld(R(3), R(9), 0);
+  b.AddI(R(1), R(1), 1);
+  // level(u)
+  b.ShlI(R(9), R(3), 3);
+  b.Add(R(9), R(13), R(9));
+  b.Ld(R(4), R(9), 0);
+  // edge range [row_ptr[u], row_ptr[u+1])
+  b.ShlI(R(9), R(3), 3);
+  b.Add(R(9), R(11), R(9));
+  b.Ld(R(5), R(9), 0);
+  b.Ld(R(6), R(9), 8);
+
+  b.Bind(edge_loop);
+  b.Cmp(R(5), R(6));
+  b.Br(Cond::kGe, loop);
+  // v = col_idx[e++]
+  b.ShlI(R(9), R(5), 3);
+  b.Add(R(9), R(12), R(9));
+  b.Ld(R(8), R(9), 0);
+  b.AddI(R(5), R(5), 1);
+  // visited test (the cmp the campaign targets)
+  b.ShlI(R(9), R(8), 3);
+  b.Add(R(9), R(13), R(9));
+  b.Ld(R(10), R(9), 0);
+  b.CmpI(R(10), 0);
+  b.Br(Cond::kEq, visit);
+  b.Jmp(edge_loop);
+
+  b.Bind(visit);
+  b.AddI(R(10), R(4), 1);
+  b.St(R(9), 0, R(10));  // levels[v] = level(u) + 1
+  b.ShlI(R(9), R(2), 3);
+  b.Add(R(9), R(14), R(9));
+  b.St(R(9), 0, R(8));   // queue[tail++] = v
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(edge_loop);
+
+  b.Bind(done);
+  b.MovI(R(4), static_cast<std::int64_t>(levels_addr));
+  b.MovI(R(5), static_cast<std::int64_t>(n * 8));
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+
+  AppSpec spec;
+  spec.name = "bfs";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kCmp};
+  return spec;
+}
+
+}  // namespace chaser::apps

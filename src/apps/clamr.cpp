@@ -1,0 +1,493 @@
+// CLAMR-lite (paper §IV-A3): a cell-based shallow-water mini-app.
+//
+// The real CLAMR is a cell-based adaptive-mesh-refinement hydrodynamics code
+// with a domain-specific mass-conservation correctness checker. This
+// substitute keeps the properties the paper's campaign depends on:
+//
+//  * a conservative shallow-water (linear wave system) update on a periodic,
+//    row-decomposed grid — Lax-Friedrichs, so total height ("mass") is
+//    conserved to rounding and the checker has a sound invariant to verify;
+//  * per-step cell refinement statistics: cells whose height gradient
+//    exceeds a threshold are counted as "refined" (the AMR criterion),
+//    feeding fcmp/fabs activity and the per-rank output;
+//  * halo exchange over MPI send/recv each step and a global MPI_Reduce of
+//    the local masses to rank 0, which asserts on conservation violation —
+//    this is the "result check by applying domain specific mass conservation
+//    criteria" that makes most injected faults *detected* (§IV-B);
+//  * per-rank fd-3 output (final local height field + refinement count, plus
+//    the global mass on rank 0) for bitwise SDC comparison.
+#include "apps/app.h"
+#include "common/error.h"
+#include "guest/builder.h"
+
+namespace chaser::apps {
+
+using guest::Cond;
+using guest::F;
+using guest::FReg;
+using guest::ProgramBuilder;
+using guest::R;
+using guest::Reg;
+using guest::Sys;
+
+AppSpec BuildClamr(const ClamrParams& params) {
+  const auto w = static_cast<std::uint64_t>(params.ranks);
+  if (w == 0 || params.global_rows % w != 0) {
+    throw ConfigError("clamr: global_rows must divide evenly among ranks");
+  }
+  const std::uint64_t rows = params.global_rows / w;  // interior rows per rank
+  const std::uint64_t cols = params.cols;
+  const std::uint64_t c8 = cols * 8;
+  const std::uint64_t field_bytes = (rows + 2) * c8;  // interior + 2 halo rows
+  const auto dt_double = static_cast<std::int64_t>(guest::MpiDatatype::kDouble);
+
+  // Initial-condition shape: a quadratic bump centred on the global grid.
+  const double cr = static_cast<double>(params.global_rows) / 2.0;
+  const double cc = static_cast<double>(cols) / 2.0;
+  const double r2max =
+      std::max(1.0, (static_cast<double>(params.global_rows) / 4.0) *
+                        (static_cast<double>(params.global_rows) / 4.0));
+  const double scale = 0.5 / r2max;
+
+  ProgramBuilder b("clamr");
+  const GuestAddr hb = b.Bss("H", field_bytes);
+  const GuestAddr ub = b.Bss("U", field_bytes);
+  const GuestAddr vb = b.Bss("V", field_bytes);
+  const GuestAddr hnb = b.Bss("Hn", field_bytes);
+  const GuestAddr unb = b.Bss("Un", field_bytes);
+  const GuestAddr vnb = b.Bss("Vn", field_bytes);
+  // Three conserved quantities: mass (sum H), x momentum (sum U),
+  // y momentum (sum V).
+  const GuestAddr mass_local = b.Bss("mass_local", 24);
+  const GuestAddr mass_res = b.Bss("mass_res", 24);
+  const GuestAddr mass0 = b.Bss("mass0", 24);
+  const GuestAddr refout = b.Bss("refine_count", 8);
+
+  // Register plan (stable across the whole program):
+  //   r10 rank, r11 up-neighbour, r12 down-neighbour,
+  //   r13 refined-cell counter, r14 step counter.
+  // Loop-local: r1 i/k, r2 j, r3 jm*8, r4 jp*8, r5 addr, r6 j*8, r8 i*C*8,
+  // r9 scratch. Syscall sequences use r1..r7 only.
+  // FP: f14 = 0.25 (average weight), f15 = 0.05 (0.5 * dt/dx * g).
+
+  b.Sys(Sys::kMpiInit);
+  b.Sys(Sys::kMpiCommRank);
+  b.Mov(R(10), R(0));
+  // up = (rank + W - 1) % W, down = (rank + 1) % W (periodic decomposition)
+  b.AddI(R(11), R(10), static_cast<std::int64_t>(w - 1));
+  b.MovI(R(9), static_cast<std::int64_t>(w));
+  b.RemU(R(11), R(11), R(9));
+  b.AddI(R(12), R(10), 1);
+  b.RemU(R(12), R(12), R(9));
+  b.MovI(R(13), 0);  // refined-cell count
+
+  // ---- Initial condition: H = 1 + max(0, r2max - dist^2) * scale ------------
+  {
+    b.MovI(R(1), 1);
+    auto init_i = b.NewLabel("init_i");
+    auto init_i_done = b.NewLabel("init_i_done");
+    b.Bind(init_i);
+    b.CmpI(R(1), static_cast<std::int64_t>(rows + 1));
+    b.Br(Cond::kGe, init_i_done);
+    // dx^2 from the global row index of local row i.
+    b.MulI(R(9), R(10), static_cast<std::int64_t>(rows));
+    b.Add(R(9), R(9), R(1));
+    b.SubI(R(9), R(9), 1);
+    b.CvtIF(F(0), R(9));
+    b.FmovI(F(1), cr);
+    b.Fsub(F(0), F(0), F(1));
+    b.Fmul(F(0), F(0), F(0));
+    b.MulI(R(8), R(1), static_cast<std::int64_t>(c8));
+    b.MovI(R(2), 0);
+    auto init_j = b.NewLabel("init_j");
+    auto init_j_done = b.NewLabel("init_j_done");
+    b.Bind(init_j);
+    b.CmpI(R(2), static_cast<std::int64_t>(cols));
+    b.Br(Cond::kGe, init_j_done);
+    b.CvtIF(F(1), R(2));
+    b.FmovI(F(2), cc);
+    b.Fsub(F(1), F(1), F(2));
+    b.Fmul(F(1), F(1), F(1));
+    b.Fadd(F(2), F(0), F(1));   // dist^2
+    b.FmovI(F(3), r2max);
+    b.Fsub(F(3), F(3), F(2));
+    b.FmovI(F(2), 0.0);
+    b.Fmax(F(3), F(3), F(2));
+    b.FmovI(F(2), scale);
+    b.Fmul(F(3), F(3), F(2));
+    b.FmovI(F(2), 1.0);
+    b.Fadd(F(3), F(3), F(2));
+    b.ShlI(R(6), R(2), 3);
+    b.MovI(R(5), static_cast<std::int64_t>(hb));
+    b.Add(R(5), R(5), R(8));
+    b.Add(R(5), R(5), R(6));
+    b.Fst(R(5), 0, F(3));
+    b.AddI(R(2), R(2), 1);
+    b.Jmp(init_j);
+    b.Bind(init_j_done);
+    b.AddI(R(1), R(1), 1);
+    b.Jmp(init_i);
+    b.Bind(init_i_done);
+  }
+
+  b.FmovI(F(14), 0.25);
+  b.FmovI(F(15), 0.05);
+
+  // ---- Emit helpers ----------------------------------------------------------
+  // Load field[base_bias + i*C8 + col_off] into `fd`.
+  const auto load_cell = [&](FReg fd, GuestAddr base, std::int64_t row_bias,
+                             Reg col_off) {
+    b.MovI(R(5), static_cast<std::int64_t>(base) + row_bias);
+    b.Add(R(5), R(5), R(8));
+    b.Add(R(5), R(5), col_off);
+    b.Fld(fd, R(5), 0);
+  };
+  const auto store_cell = [&](GuestAddr base, FReg fs) {
+    b.MovI(R(5), static_cast<std::int64_t>(base));
+    b.Add(R(5), R(5), R(8));
+    b.Add(R(5), R(5), R(6));
+    b.Fst(R(5), 0, fs);
+  };
+
+  // One halo exchange of a field: row 1 -> up neighbour, row `rows` -> down
+  // neighbour, halo rows filled from the opposite directions.
+  const auto halo_exchange = [&](GuestAddr base, std::int64_t tag_up,
+                                 std::int64_t tag_down) {
+    b.MovI(R(1), static_cast<std::int64_t>(base + c8));  // row 1
+    b.MovI(R(2), static_cast<std::int64_t>(cols));
+    b.MovI(R(3), dt_double);
+    b.Mov(R(4), R(11));
+    b.MovI(R(5), tag_up);
+    b.Sys(Sys::kMpiSend);
+    b.MovI(R(1), static_cast<std::int64_t>(base + rows * c8));  // row L
+    b.MovI(R(2), static_cast<std::int64_t>(cols));
+    b.MovI(R(3), dt_double);
+    b.Mov(R(4), R(12));
+    b.MovI(R(5), tag_down);
+    b.Sys(Sys::kMpiSend);
+    b.MovI(R(1), static_cast<std::int64_t>(base));  // halo row 0 <- up's row L
+    b.MovI(R(2), static_cast<std::int64_t>(cols));
+    b.MovI(R(3), dt_double);
+    b.Mov(R(4), R(11));
+    b.MovI(R(5), tag_down);
+    b.Sys(Sys::kMpiRecv);
+    b.MovI(R(1), static_cast<std::int64_t>(base + (rows + 1) * c8));
+    b.MovI(R(2), static_cast<std::int64_t>(cols));
+    b.MovI(R(3), dt_double);
+    b.Mov(R(4), R(12));
+    b.MovI(R(5), tag_up);
+    b.Sys(Sys::kMpiRecv);
+  };
+
+  // Local conserved sums (interior H, U, V) -> mass_local[0..2], then one
+  // MPI_Reduce of all three to rank 0.
+  const auto mass_reduce = [&]() {
+    b.FmovI(F(0), 0.0);  // sum H
+    b.FmovI(F(1), 0.0);  // sum U
+    b.FmovI(F(2), 0.0);  // sum V
+    b.MovI(R(1), 0);
+    auto mass_k = b.NewLabel();
+    auto mass_done = b.NewLabel();
+    b.Bind(mass_k);
+    b.CmpI(R(1), static_cast<std::int64_t>(rows * cols));
+    b.Br(Cond::kGe, mass_done);
+    b.ShlI(R(5), R(1), 3);
+    // H: accumulate and bounds-check (NaN fails every ordered compare, so a
+    // NaN cell trips the checker too).
+    b.MovI(R(9), static_cast<std::int64_t>(hb + c8));
+    b.Add(R(9), R(9), R(5));
+    b.Fld(F(3), R(9), 0);
+    b.Fadd(F(0), F(0), F(3));
+    {
+      auto h_lo_ok = b.NewLabel();
+      auto h_hi_ok = b.NewLabel();
+      b.FmovI(F(4), params.h_min);
+      b.Fcmp(F(3), F(4));
+      b.Br(Cond::kGe, h_lo_ok);
+      b.AssertFail(4);  // cell height below physical bounds
+      b.Bind(h_lo_ok);
+      b.FmovI(F(4), params.h_max);
+      b.Fcmp(F(3), F(4));
+      b.Br(Cond::kLe, h_hi_ok);
+      b.AssertFail(4);  // cell height above physical bounds
+      b.Bind(h_hi_ok);
+    }
+    // U: accumulate and |U| bound.
+    b.MovI(R(9), static_cast<std::int64_t>(ub + c8));
+    b.Add(R(9), R(9), R(5));
+    b.Fld(F(3), R(9), 0);
+    b.Fadd(F(1), F(1), F(3));
+    {
+      auto u_ok = b.NewLabel();
+      b.Fabs(F(4), F(3));
+      b.FmovI(F(5), params.uv_max);
+      b.Fcmp(F(4), F(5));
+      b.Br(Cond::kLe, u_ok);
+      b.AssertFail(5);  // x-momentum out of bounds
+      b.Bind(u_ok);
+    }
+    // V: accumulate and |V| bound.
+    b.MovI(R(9), static_cast<std::int64_t>(vb + c8));
+    b.Add(R(9), R(9), R(5));
+    b.Fld(F(3), R(9), 0);
+    b.Fadd(F(2), F(2), F(3));
+    {
+      auto v_ok = b.NewLabel();
+      b.Fabs(F(4), F(3));
+      b.FmovI(F(5), params.uv_max);
+      b.Fcmp(F(4), F(5));
+      b.Br(Cond::kLe, v_ok);
+      b.AssertFail(6);  // y-momentum out of bounds
+      b.Bind(v_ok);
+    }
+    b.AddI(R(1), R(1), 1);
+    b.Jmp(mass_k);
+    b.Bind(mass_done);
+    b.MovI(R(5), static_cast<std::int64_t>(mass_local));
+    b.Fst(R(5), 0, F(0));
+    b.Fst(R(5), 8, F(1));
+    b.Fst(R(5), 16, F(2));
+    b.MovI(R(1), static_cast<std::int64_t>(mass_local));
+    b.MovI(R(2), static_cast<std::int64_t>(mass_res));
+    b.MovI(R(3), 3);
+    b.MovI(R(4), dt_double);
+    b.MovI(R(5), static_cast<std::int64_t>(guest::MpiOp::kSum));
+    b.MovI(R(6), 0);
+    b.Sys(Sys::kMpiReduce);
+  };
+
+  // ---- Initial mass ----------------------------------------------------------
+  mass_reduce();
+  {
+    auto not_root = b.NewLabel("init_mass_not_root");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, not_root);
+    for (std::int64_t c = 0; c < 3; ++c) {
+      b.MovI(R(5), static_cast<std::int64_t>(mass_res));
+      b.Ld(R(9), R(5), 8 * c);
+      b.MovI(R(5), static_cast<std::int64_t>(mass0));
+      b.St(R(5), 8 * c, R(9));
+    }
+    b.Bind(not_root);
+  }
+
+  // ---- Time-step loop ----------------------------------------------------------
+  b.MovI(R(14), 0);
+  auto step_loop = b.Here("step_loop");
+  (void)step_loop;
+
+  halo_exchange(hb, 10, 11);
+  halo_exchange(ub, 12, 13);
+  halo_exchange(vb, 14, 15);
+
+  // Lax-Friedrichs update over the interior.
+  {
+    b.MovI(R(1), 1);
+    auto cell_i = b.NewLabel("cell_i");
+    auto cell_i_done = b.NewLabel("cell_i_done");
+    b.Bind(cell_i);
+    b.CmpI(R(1), static_cast<std::int64_t>(rows + 1));
+    b.Br(Cond::kGe, cell_i_done);
+    b.MulI(R(8), R(1), static_cast<std::int64_t>(c8));
+    b.MovI(R(2), 0);
+    auto cell_j = b.NewLabel("cell_j");
+    auto cell_j_done = b.NewLabel("cell_j_done");
+    b.Bind(cell_j);
+    b.CmpI(R(2), static_cast<std::int64_t>(cols));
+    b.Br(Cond::kGe, cell_j_done);
+    b.ShlI(R(6), R(2), 3);
+    // Periodic column neighbours as byte offsets.
+    {
+      auto jm_wrap = b.NewLabel();
+      auto jm_done = b.NewLabel();
+      b.CmpI(R(2), 0);
+      b.Br(Cond::kEq, jm_wrap);
+      b.SubI(R(3), R(6), 8);
+      b.Jmp(jm_done);
+      b.Bind(jm_wrap);
+      b.MovI(R(3), static_cast<std::int64_t>((cols - 1) * 8));
+      b.Bind(jm_done);
+      auto jp_wrap = b.NewLabel();
+      auto jp_done = b.NewLabel();
+      b.CmpI(R(2), static_cast<std::int64_t>(cols - 1));
+      b.Br(Cond::kEq, jp_wrap);
+      b.AddI(R(4), R(6), 8);
+      b.Jmp(jp_done);
+      b.Bind(jp_wrap);
+      b.MovI(R(4), 0);
+      b.Bind(jp_done);
+    }
+    const auto bias = static_cast<std::int64_t>(c8);
+    load_cell(F(0), hb, -bias, R(6));  // H[i-1][j]
+    load_cell(F(1), hb, +bias, R(6));  // H[i+1][j]
+    load_cell(F(2), hb, 0, R(3));      // H[i][jm]
+    load_cell(F(3), hb, 0, R(4));      // H[i][jp]
+    load_cell(F(4), ub, -bias, R(6));
+    load_cell(F(5), ub, +bias, R(6));
+    load_cell(F(6), ub, 0, R(3));
+    load_cell(F(7), ub, 0, R(4));
+    load_cell(F(8), vb, -bias, R(6));
+    load_cell(F(9), vb, +bias, R(6));
+    load_cell(F(10), vb, 0, R(3));
+    load_cell(F(11), vb, 0, R(4));
+    // Hn = avg4(H) - 0.05*(U[i+1]-U[i-1]) - 0.05*(V[jp]-V[jm])
+    b.Fadd(F(12), F(0), F(1));
+    b.Fadd(F(12), F(12), F(2));
+    b.Fadd(F(12), F(12), F(3));
+    b.Fmul(F(12), F(12), F(14));
+    b.Fsub(F(13), F(5), F(4));
+    b.Fmul(F(13), F(13), F(15));
+    b.Fsub(F(12), F(12), F(13));
+    b.Fsub(F(13), F(11), F(10));
+    b.Fmul(F(13), F(13), F(15));
+    b.Fsub(F(12), F(12), F(13));
+    store_cell(hnb, F(12));
+    // Un = avg4(U) - 0.05*(H[i+1]-H[i-1])
+    b.Fadd(F(12), F(4), F(5));
+    b.Fadd(F(12), F(12), F(6));
+    b.Fadd(F(12), F(12), F(7));
+    b.Fmul(F(12), F(12), F(14));
+    b.Fsub(F(13), F(1), F(0));
+    b.Fmul(F(13), F(13), F(15));
+    b.Fsub(F(12), F(12), F(13));
+    store_cell(unb, F(12));
+    // Vn = avg4(V) - 0.05*(H[jp]-H[jm])
+    b.Fadd(F(12), F(8), F(9));
+    b.Fadd(F(12), F(12), F(10));
+    b.Fadd(F(12), F(12), F(11));
+    b.Fmul(F(12), F(12), F(14));
+    b.Fsub(F(13), F(3), F(2));
+    b.Fmul(F(13), F(13), F(15));
+    b.Fsub(F(12), F(12), F(13));
+    store_cell(vnb, F(12));
+    // Cell-refinement criterion: |dH/di| + |dH/dj| > threshold, evaluated
+    // on every 4th step (refinement happens per coarse cycle, not per
+    // timestep, in the real code).
+    {
+      auto no_refine = b.NewLabel();
+      b.AndI(R(9), R(14), 3);
+      b.CmpI(R(9), 0);
+      b.Br(Cond::kNe, no_refine);
+      b.Fsub(F(12), F(1), F(0));
+      b.Fabs(F(12), F(12));
+      b.Fsub(F(13), F(3), F(2));
+      b.Fabs(F(13), F(13));
+      b.Fadd(F(12), F(12), F(13));
+      b.FmovI(F(13), params.refine_threshold);
+      b.Fcmp(F(12), F(13));
+      b.Br(Cond::kLe, no_refine);
+      b.AddI(R(13), R(13), 1);
+      b.Bind(no_refine);
+    }
+    b.AddI(R(2), R(2), 1);
+    b.Jmp(cell_j);
+    b.Bind(cell_j_done);
+    b.AddI(R(1), R(1), 1);
+    b.Jmp(cell_i);
+    b.Bind(cell_i_done);
+  }
+
+  // Copy the new interiors back (integer word moves — mov-class activity).
+  {
+    b.MovI(R(1), 0);
+    auto copy_k = b.NewLabel("copy_k");
+    auto copy_done = b.NewLabel("copy_done");
+    b.Bind(copy_k);
+    b.CmpI(R(1), static_cast<std::int64_t>(rows * cols));
+    b.Br(Cond::kGe, copy_done);
+    b.ShlI(R(5), R(1), 3);
+    const GuestAddr pairs[3][2] = {{hnb, hb}, {unb, ub}, {vnb, vb}};
+    for (const auto& pair : pairs) {
+      b.MovI(R(9), static_cast<std::int64_t>(pair[0] + c8));
+      b.Add(R(9), R(9), R(5));
+      b.Ld(R(6), R(9), 0);
+      b.MovI(R(9), static_cast<std::int64_t>(pair[1] + c8));
+      b.Add(R(9), R(9), R(5));
+      b.St(R(9), 0, R(6));
+    }
+    b.AddI(R(1), R(1), 1);
+    b.Jmp(copy_k);
+    b.Bind(copy_done);
+  }
+
+  // Conservation check: mass and both momentum components must match their
+  // initial values to within rtol*|m0| + atol (the CLAMR result checker).
+  mass_reduce();
+  {
+    auto check_done = b.NewLabel("check_done");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, check_done);
+    for (std::int64_t c = 0; c < 3; ++c) {
+      auto comp_ok = b.NewLabel();
+      b.MovI(R(5), static_cast<std::int64_t>(mass_res));
+      b.Fld(F(0), R(5), 8 * c);
+      b.MovI(R(5), static_cast<std::int64_t>(mass0));
+      b.Fld(F(1), R(5), 8 * c);
+      b.Fsub(F(2), F(0), F(1));
+      b.Fabs(F(2), F(2));
+      b.FmovI(F(3), params.mass_rtol);
+      b.Fabs(F(4), F(1));
+      b.Fmul(F(3), F(3), F(4));
+      b.FmovI(F(4), params.mass_atol);
+      b.Fadd(F(3), F(3), F(4));
+      b.Fcmp(F(2), F(3));
+      b.Br(Cond::kLe, comp_ok);
+      b.AssertFail(c + 1);  // conservation violated -> fault detected
+      b.Bind(comp_ok);
+    }
+    b.Bind(check_done);
+  }
+
+  // Checkpoint (the real CLAMR's -i flag): append the interior height field
+  // to the output stream every checkpoint_interval steps.
+  if (params.checkpoint_interval > 0) {
+    auto no_ckpt = b.NewLabel("no_ckpt");
+    b.AddI(R(9), R(14), 1);
+    b.MovI(R(5), static_cast<std::int64_t>(params.checkpoint_interval));
+    b.RemU(R(9), R(9), R(5));
+    b.CmpI(R(9), 0);
+    b.Br(Cond::kNe, no_ckpt);
+    b.MovI(R(4), static_cast<std::int64_t>(hb + c8));
+    b.MovI(R(5), static_cast<std::int64_t>(rows * cols * 8));
+    b.Write(3, R(4), R(5));
+    b.Bind(no_ckpt);
+  }
+
+  b.AddI(R(14), R(14), 1);
+  b.CmpI(R(14), static_cast<std::int64_t>(params.steps));
+  b.Br(Cond::kLt, step_loop);
+
+  // ---- Output and shutdown -----------------------------------------------------
+  b.MovI(R(5), static_cast<std::int64_t>(refout));
+  b.St(R(5), 0, R(13));
+  b.MovI(R(4), static_cast<std::int64_t>(hb + c8));
+  b.MovI(R(5), static_cast<std::int64_t>(rows * cols * 8));
+  b.Write(3, R(4), R(5));
+  b.MovI(R(4), static_cast<std::int64_t>(refout));
+  b.MovI(R(5), 8);
+  b.Write(3, R(4), R(5));
+  {
+    auto not_root = b.NewLabel("out_not_root");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, not_root);
+    b.MovI(R(4), static_cast<std::int64_t>(mass_res));
+    b.MovI(R(5), 24);
+    b.Write(3, R(4), R(5));
+    b.Bind(not_root);
+  }
+  b.Sys(Sys::kMpiFinalize);
+  b.Exit(0);
+
+  AppSpec spec;
+  spec.name = "clamr";
+  spec.program = b.Finalize();
+  spec.num_ranks = params.ranks;
+  // Pure-register FP classes (paper: "inject a single bit error into the
+  // floating point instructions"); fmov is excluded because its address-base
+  // operands are integer registers, not FP state.
+  spec.fault_classes = {guest::InstrClass::kFadd, guest::InstrClass::kFmul,
+                        guest::InstrClass::kFother};
+  return spec;
+}
+
+}  // namespace chaser::apps

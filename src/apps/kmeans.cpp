@@ -1,0 +1,213 @@
+// K-means (Rodinia-style): Lloyd iterations over random points. The distance
+// kernel is pure fadd/fmul/fsub work — the FP classes the paper injects into.
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "guest/builder.h"
+
+namespace chaser::apps {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+AppSpec BuildKmeans(const KmeansParams& params) {
+  Rng rng(params.seed);
+  const std::uint64_t n = params.points;
+  const std::uint64_t d = params.dims;
+  const std::uint64_t k = params.clusters;
+
+  std::vector<double> points(n * d);
+  for (double& p : points) p = rng.UniformDouble(0.0, 10.0);
+  // Centroids seeded from the first k points (deterministic).
+  std::vector<double> centroids(points.begin(), points.begin() + k * d);
+
+  ProgramBuilder b("kmeans");
+  const GuestAddr p_addr = b.DataF64("points", points);
+  const GuestAddr c_addr = b.DataF64("centroids", centroids);
+  const GuestAddr sums_addr = b.Bss("sums", k * d * 8);
+  const GuestAddr counts_addr = b.Bss("counts", k * 8);
+
+  // Register plan: r1 iter, r2 i, r3 kk, r4 j, r5 best, r6 addr, r8 scratch,
+  // r9 addr2, r10 scratch2, r11 points, r12 centroids, r13 sums, r14 counts.
+  // FP: f0 dist, f1 best_dist, f2 a, f3 c, f4 diff, f5 huge, f6 count.
+  b.MovI(R(11), static_cast<std::int64_t>(p_addr));
+  b.MovI(R(12), static_cast<std::int64_t>(c_addr));
+  b.MovI(R(13), static_cast<std::int64_t>(sums_addr));
+  b.MovI(R(14), static_cast<std::int64_t>(counts_addr));
+  b.MovI(R(1), 0);  // iteration counter
+
+  auto iter_loop = b.Here("iter_loop");
+  (void)iter_loop;
+
+  // -- zero sums and counts --------------------------------------------------
+  b.MovI(R(3), 0);
+  b.FmovI(F(2), 0.0);
+  auto zero_sums = b.NewLabel("zero_sums");
+  auto zero_done = b.NewLabel("zero_done");
+  b.Bind(zero_sums);
+  b.CmpI(R(3), static_cast<std::int64_t>(k * d));
+  b.Br(Cond::kGe, zero_done);
+  b.ShlI(R(6), R(3), 3);
+  b.Add(R(6), R(13), R(6));
+  b.Fst(R(6), 0, F(2));
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(zero_sums);
+  b.Bind(zero_done);
+  b.MovI(R(3), 0);
+  b.MovI(R(8), 0);
+  auto zero_counts = b.NewLabel("zero_counts");
+  auto zc_done = b.NewLabel("zc_done");
+  b.Bind(zero_counts);
+  b.CmpI(R(3), static_cast<std::int64_t>(k));
+  b.Br(Cond::kGe, zc_done);
+  b.ShlI(R(6), R(3), 3);
+  b.Add(R(6), R(14), R(6));
+  b.St(R(6), 0, R(8));
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(zero_counts);
+  b.Bind(zc_done);
+
+  // -- assignment: for each point find the nearest centroid --------------------
+  b.MovI(R(2), 0);  // i
+  auto point_loop = b.NewLabel("point_loop");
+  auto points_done = b.NewLabel("points_done");
+  b.Bind(point_loop);
+  b.CmpI(R(2), static_cast<std::int64_t>(n));
+  b.Br(Cond::kGe, points_done);
+
+  b.MovI(R(5), 0);           // best cluster
+  b.FmovI(F(1), 1e300);      // best distance
+  b.MovI(R(3), 0);           // kk
+  auto clus_loop = b.NewLabel("clus_loop");
+  auto clus_done = b.NewLabel("clus_done");
+  b.Bind(clus_loop);
+  b.CmpI(R(3), static_cast<std::int64_t>(k));
+  b.Br(Cond::kGe, clus_done);
+
+  b.FmovI(F(0), 0.0);  // dist
+  b.MovI(R(4), 0);     // j
+  auto dim_loop = b.NewLabel("dim_loop");
+  auto dim_done = b.NewLabel("dim_done");
+  b.Bind(dim_loop);
+  b.CmpI(R(4), static_cast<std::int64_t>(d));
+  b.Br(Cond::kGe, dim_done);
+  // a = points[i*d + j]
+  b.MulI(R(6), R(2), static_cast<std::int64_t>(d));
+  b.Add(R(6), R(6), R(4));
+  b.ShlI(R(6), R(6), 3);
+  b.Add(R(6), R(11), R(6));
+  b.Fld(F(2), R(6), 0);
+  // c = centroids[kk*d + j]
+  b.MulI(R(9), R(3), static_cast<std::int64_t>(d));
+  b.Add(R(9), R(9), R(4));
+  b.ShlI(R(9), R(9), 3);
+  b.Add(R(9), R(12), R(9));
+  b.Fld(F(3), R(9), 0);
+  // dist += (a - c)^2
+  b.Fsub(F(4), F(2), F(3));
+  b.Fmul(F(4), F(4), F(4));
+  b.Fadd(F(0), F(0), F(4));
+  b.AddI(R(4), R(4), 1);
+  b.Jmp(dim_loop);
+  b.Bind(dim_done);
+
+  auto not_better = b.NewLabel("not_better");
+  b.Fcmp(F(0), F(1));
+  b.Br(Cond::kGe, not_better);
+  b.Fmov(F(1), F(0));
+  b.Mov(R(5), R(3));
+  b.Bind(not_better);
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(clus_loop);
+  b.Bind(clus_done);
+
+  // counts[best]++ and sums[best][:] += point
+  b.ShlI(R(6), R(5), 3);
+  b.Add(R(6), R(14), R(6));
+  b.Ld(R(8), R(6), 0);
+  b.AddI(R(8), R(8), 1);
+  b.St(R(6), 0, R(8));
+  b.MovI(R(4), 0);
+  auto acc_loop = b.NewLabel("acc_loop");
+  auto acc_done = b.NewLabel("acc_done");
+  b.Bind(acc_loop);
+  b.CmpI(R(4), static_cast<std::int64_t>(d));
+  b.Br(Cond::kGe, acc_done);
+  b.MulI(R(6), R(2), static_cast<std::int64_t>(d));
+  b.Add(R(6), R(6), R(4));
+  b.ShlI(R(6), R(6), 3);
+  b.Add(R(6), R(11), R(6));
+  b.Fld(F(2), R(6), 0);
+  b.MulI(R(9), R(5), static_cast<std::int64_t>(d));
+  b.Add(R(9), R(9), R(4));
+  b.ShlI(R(9), R(9), 3);
+  b.Add(R(9), R(13), R(9));
+  b.Fld(F(3), R(9), 0);
+  b.Fadd(F(3), F(3), F(2));
+  b.Fst(R(9), 0, F(3));
+  b.AddI(R(4), R(4), 1);
+  b.Jmp(acc_loop);
+  b.Bind(acc_done);
+
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(point_loop);
+  b.Bind(points_done);
+
+  // -- update step: centroid = sums / counts (skip empty clusters) -------------
+  b.MovI(R(3), 0);
+  auto upd_loop = b.NewLabel("upd_loop");
+  auto upd_done = b.NewLabel("upd_done");
+  auto upd_next = b.NewLabel("upd_next");
+  b.Bind(upd_loop);
+  b.CmpI(R(3), static_cast<std::int64_t>(k));
+  b.Br(Cond::kGe, upd_done);
+  b.ShlI(R(6), R(3), 3);
+  b.Add(R(6), R(14), R(6));
+  b.Ld(R(8), R(6), 0);
+  b.CmpI(R(8), 0);
+  b.Br(Cond::kEq, upd_next);
+  b.CvtIF(F(6), R(8));
+  b.MovI(R(4), 0);
+  auto div_loop = b.NewLabel("div_loop");
+  auto div_done = b.NewLabel("div_done");
+  b.Bind(div_loop);
+  b.CmpI(R(4), static_cast<std::int64_t>(d));
+  b.Br(Cond::kGe, div_done);
+  b.MulI(R(9), R(3), static_cast<std::int64_t>(d));
+  b.Add(R(9), R(9), R(4));
+  b.ShlI(R(9), R(9), 3);
+  b.Add(R(6), R(13), R(9));   // &sums[kk][j]
+  b.Fld(F(2), R(6), 0);
+  b.Fdiv(F(2), F(2), F(6));
+  b.Add(R(6), R(12), R(9));   // &centroids[kk][j]
+  b.Fst(R(6), 0, F(2));
+  b.AddI(R(4), R(4), 1);
+  b.Jmp(div_loop);
+  b.Bind(div_done);
+  b.Bind(upd_next);
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(upd_loop);
+  b.Bind(upd_done);
+
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), static_cast<std::int64_t>(params.iterations));
+  b.Br(Cond::kLt, iter_loop);
+
+  // Output the final centroids.
+  b.MovI(R(4), static_cast<std::int64_t>(c_addr));
+  b.MovI(R(5), static_cast<std::int64_t>(k * d * 8));
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+
+  AppSpec spec;
+  spec.name = "kmeans";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd, guest::InstrClass::kFmul};
+  return spec;
+}
+
+}  // namespace chaser::apps

@@ -1,0 +1,108 @@
+// LUD (Rodinia-style): in-place LU decomposition (Doolittle, no pivoting) of
+// a diagonally dominant random matrix — a mix of FP arithmetic and the cmp
+// instructions of the triangular loop bounds, matching the paper's combined
+// FP + cmp fault targeting for lud.
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "guest/builder.h"
+
+namespace chaser::apps {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+AppSpec BuildLud(const LudParams& params) {
+  Rng rng(params.seed);
+  const std::uint64_t n = params.n;
+
+  std::vector<double> a(n * n);
+  for (double& v : a) v = rng.UniformDouble(-1.0, 1.0);
+  // Diagonal dominance keeps the factorization stable without pivoting.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a[i * n + i] = static_cast<double>(n) + rng.UniformDouble(0.0, 1.0);
+  }
+
+  ProgramBuilder b("lud");
+  const GuestAddr a_addr = b.DataF64("matrix", a);
+
+  // Register plan: r1 k, r2 i, r3 j, r6/r9 addr scratch, r11 matrix base.
+  // FP: f0 A[k][k], f1 A[i][k], f2 A[k][j], f3 A[i][j] / scratch.
+  b.MovI(R(11), static_cast<std::int64_t>(a_addr));
+  b.MovI(R(1), 0);  // k
+
+  auto k_loop = b.Here("k_loop");
+  (void)k_loop;
+
+  b.AddI(R(2), R(1), 1);  // i = k + 1
+  auto i_loop = b.NewLabel("i_loop");
+  auto i_done = b.NewLabel("i_done");
+  b.Bind(i_loop);
+  b.CmpI(R(2), static_cast<std::int64_t>(n));
+  b.Br(Cond::kGe, i_done);
+
+  // A[i][k] /= A[k][k]
+  b.MulI(R(6), R(1), static_cast<std::int64_t>(n));
+  b.Add(R(6), R(6), R(1));
+  b.ShlI(R(6), R(6), 3);
+  b.Add(R(6), R(11), R(6));
+  b.Fld(F(0), R(6), 0);       // A[k][k]
+  b.MulI(R(9), R(2), static_cast<std::int64_t>(n));
+  b.Add(R(9), R(9), R(1));
+  b.ShlI(R(9), R(9), 3);
+  b.Add(R(9), R(11), R(9));
+  b.Fld(F(1), R(9), 0);       // A[i][k]
+  b.Fdiv(F(1), F(1), F(0));
+  b.Fst(R(9), 0, F(1));
+
+  // for j in k+1..n-1: A[i][j] -= A[i][k] * A[k][j]
+  b.AddI(R(3), R(1), 1);
+  auto j_loop = b.NewLabel("j_loop");
+  auto j_done = b.NewLabel("j_done");
+  b.Bind(j_loop);
+  b.CmpI(R(3), static_cast<std::int64_t>(n));
+  b.Br(Cond::kGe, j_done);
+  b.MulI(R(6), R(1), static_cast<std::int64_t>(n));
+  b.Add(R(6), R(6), R(3));
+  b.ShlI(R(6), R(6), 3);
+  b.Add(R(6), R(11), R(6));
+  b.Fld(F(2), R(6), 0);       // A[k][j]
+  b.MulI(R(9), R(2), static_cast<std::int64_t>(n));
+  b.Add(R(9), R(9), R(3));
+  b.ShlI(R(9), R(9), 3);
+  b.Add(R(9), R(11), R(9));
+  b.Fld(F(3), R(9), 0);       // A[i][j]
+  b.Fmul(F(4), F(1), F(2));
+  b.Fsub(F(3), F(3), F(4));
+  b.Fst(R(9), 0, F(3));
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(j_loop);
+  b.Bind(j_done);
+
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(i_loop);
+  b.Bind(i_done);
+
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), static_cast<std::int64_t>(n - 1));
+  b.Br(Cond::kLt, k_loop);
+
+  // Output the packed LU factors.
+  b.MovI(R(4), static_cast<std::int64_t>(a_addr));
+  b.MovI(R(5), static_cast<std::int64_t>(n * n * 8));
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+
+  AppSpec spec;
+  spec.name = "lud";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd, guest::InstrClass::kFmul,
+                        guest::InstrClass::kCmp};
+  return spec;
+}
+
+}  // namespace chaser::apps

@@ -1,0 +1,302 @@
+// Matvec (paper §IV-A2): MPI matrix-vector product b = A*x.
+//
+// The master (rank 0) broadcasts x, distributes contiguous row blocks of A
+// to the slaves, and collects the partial products. The master's work is
+// almost entirely data movement — which is why the paper injects only mov
+// instructions, only on the master node, for this benchmark.
+#include <vector>
+
+#include "apps/app.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "guest/builder.h"
+
+namespace chaser::apps {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+using guest::Sys;
+
+AppSpec BuildMatvec(const MatvecParams& params) {
+  if (params.ranks < 2) throw ConfigError("matvec needs at least 2 ranks");
+  const std::uint64_t slaves = static_cast<std::uint64_t>(params.ranks) - 1;
+  if (params.rows % slaves != 0) {
+    throw ConfigError("matvec: rows must divide evenly among the slaves");
+  }
+  const std::uint64_t rows_per = params.rows / slaves;
+  const std::uint64_t cols = params.cols;
+
+  Rng rng(params.seed);
+  std::vector<double> a(params.rows * cols);
+  for (double& v : a) v = rng.UniformDouble(-1.0, 1.0);
+  std::vector<double> x(cols);
+  for (double& v : x) v = rng.UniformDouble(-1.0, 1.0);
+  // The matrix is stored column-permuted (identity here); slaves index x
+  // through this table, exactly like the column-index metadata of a sparse
+  // format. Slaves *trust* it — a corrupted entry that propagates over MPI
+  // becomes an out-of-bounds access on the slave node.
+  std::vector<std::uint64_t> perm(cols);
+  for (std::uint64_t j = 0; j < cols; ++j) perm[j] = j;
+
+  ProgramBuilder b("matvec");
+  const GuestAddr a_addr = b.DataF64("A", a);
+  const GuestAddr x_addr = b.DataF64("x", x);
+  const GuestAddr b_addr = b.Bss("b", params.rows * 8);
+  const GuestAddr xbuf_addr = b.Bss("xbuf", cols * 8);
+  const GuestAddr aloc_addr = b.Bss("A_local", rows_per * cols * 8);
+  const GuestAddr bloc_addr = b.Bss("b_local", rows_per * 8);
+  const GuestAddr stage_addr = b.Bss("send_stage", rows_per * cols * 8);
+  const GuestAddr bout_addr = b.Bss("b_out", params.rows * 8);
+  const GuestAddr hdr_stage_addr = b.Bss("hdr_stage", 8);
+  const GuestAddr hdr_buf_addr = b.Bss("hdr_buf", 8);
+  const GuestAddr perm_addr = b.DataU64("perm", perm);
+  const GuestAddr perm_stage_addr = b.Bss("perm_stage", cols * 8);
+  const GuestAddr perm_buf_addr = b.Bss("perm_buf", cols * 8);
+
+  const auto dt_double = static_cast<std::int64_t>(guest::MpiDatatype::kDouble);
+
+  b.Sys(Sys::kMpiInit);
+  b.Sys(Sys::kMpiCommRank);
+  b.Mov(R(10), R(0));  // rank
+  b.Sys(Sys::kMpiCommSize);
+  b.Mov(R(11), R(0));  // size
+
+  // Everyone participates in the broadcast of x; the root sends its data
+  // segment copy, slaves receive into xbuf.
+  auto root_buf = b.NewLabel("root_buf");
+  auto do_bcast = b.NewLabel("do_bcast");
+  b.CmpI(R(10), 0);
+  b.Br(Cond::kEq, root_buf);
+  b.MovI(R(1), static_cast<std::int64_t>(xbuf_addr));
+  b.Jmp(do_bcast);
+  b.Bind(root_buf);
+  b.MovI(R(1), static_cast<std::int64_t>(x_addr));
+  b.Bind(do_bcast);
+  b.MovI(R(2), static_cast<std::int64_t>(cols));
+  b.MovI(R(3), dt_double);
+  b.MovI(R(4), 0);
+  b.Sys(Sys::kMpiBcast);
+
+  // Broadcast the column-permutation table. The master stages it first
+  // (word-by-word data movement, like the row blocks).
+  {
+    auto perm_bss = b.NewLabel("perm_bss");
+    auto perm_go = b.NewLabel("perm_go");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, perm_bss);
+    b.MovI(R(9), static_cast<std::int64_t>(perm_addr));
+    b.MovI(R(14), static_cast<std::int64_t>(perm_stage_addr));
+    b.MovI(R(2), 0);
+    auto stage_loop = b.NewLabel("perm_stage_loop");
+    auto stage_done = b.NewLabel("perm_stage_done");
+    b.Bind(stage_loop);
+    b.CmpI(R(2), static_cast<std::int64_t>(cols));
+    b.Br(Cond::kGe, stage_done);
+    b.ShlI(R(6), R(2), 3);
+    b.Add(R(5), R(9), R(6));
+    b.Ld(R(1), R(5), 0);
+    b.Add(R(5), R(14), R(6));
+    b.St(R(5), 0, R(1));
+    b.AddI(R(2), R(2), 1);
+    b.Jmp(stage_loop);
+    b.Bind(stage_done);
+    b.MovI(R(1), static_cast<std::int64_t>(perm_stage_addr));
+    b.Jmp(perm_go);
+    b.Bind(perm_bss);
+    b.MovI(R(1), static_cast<std::int64_t>(perm_buf_addr));
+    b.Bind(perm_go);
+    b.MovI(R(2), static_cast<std::int64_t>(cols));
+    b.MovI(R(3), static_cast<std::int64_t>(guest::MpiDatatype::kInt64));
+    b.MovI(R(4), 0);
+    b.Sys(Sys::kMpiBcast);
+  }
+
+  auto slave = b.NewLabel("slave");
+  b.CmpI(R(10), 0);
+  b.Br(Cond::kNe, slave);
+
+  // ---- Master ---------------------------------------------------------------
+  // Distribute row blocks: slave w gets rows [(w-1)*rows_per, w*rows_per).
+  // Like the original matvec, the master reads the matrix and stages each
+  // block into a send buffer word by word — the bulk of its mov activity is
+  // this pointer-heavy data movement, so corrupted movs usually hit
+  // addresses (OS exceptions) rather than MPI arguments.
+  b.MovI(R(13), 1);  // w
+  auto m_send_loop = b.NewLabel("m_send_loop");
+  auto m_send_done = b.NewLabel("m_send_done");
+  b.Bind(m_send_loop);
+  b.Cmp(R(13), R(11));
+  b.Br(Cond::kGe, m_send_done);
+  b.SubI(R(8), R(13), 1);
+  b.MulI(R(8), R(8), static_cast<std::int64_t>(rows_per * cols * 8));
+  // Header first: the slave's row count travels as data (tag 0), and the
+  // slave *trusts* it for its loop bounds and receive size — a corrupted
+  // header is how faults propagate to, and kill, slave nodes (Table III).
+  b.MovI(R(1), static_cast<std::int64_t>(rows_per));
+  b.MovI(R(5), static_cast<std::int64_t>(hdr_stage_addr));
+  b.St(R(5), 0, R(1));
+  b.MovI(R(1), static_cast<std::int64_t>(hdr_stage_addr));
+  b.MovI(R(2), 1);
+  b.MovI(R(3), static_cast<std::int64_t>(guest::MpiDatatype::kInt64));
+  b.Mov(R(4), R(13));
+  b.MovI(R(5), 0);  // tag 0: header
+  b.Sys(Sys::kMpiSend);
+  // Stage the block: stage[k] = A[(w-1)*rows_per*cols + k] for k in block.
+  // Base pointers are hoisted into registers (as a compiler would), so the
+  // loop's movs handle data values and pointers — the operands the paper's
+  // mov-fault campaign corrupts.
+  b.MovI(R(9), static_cast<std::int64_t>(a_addr));
+  b.Add(R(9), R(9), R(8));  // r9 = &A[block]
+  b.MovI(R(14), static_cast<std::int64_t>(stage_addr));
+  b.MovI(R(2), 0);  // k
+  auto m_stage_loop = b.NewLabel("m_stage_loop");
+  auto m_stage_done = b.NewLabel("m_stage_done");
+  b.Bind(m_stage_loop);
+  b.CmpI(R(2), static_cast<std::int64_t>(rows_per * cols));
+  b.Br(Cond::kGe, m_stage_done);
+  b.ShlI(R(6), R(2), 3);
+  b.Add(R(5), R(9), R(6));
+  b.Ld(R(1), R(5), 0);
+  b.Add(R(5), R(14), R(6));
+  b.St(R(5), 0, R(1));
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(m_stage_loop);
+  b.Bind(m_stage_done);
+  b.Mov(R(1), R(14));  // send buffer = stage
+  b.MovI(R(2), static_cast<std::int64_t>(rows_per * cols));
+  b.MovI(R(3), dt_double);
+  b.Mov(R(4), R(13));       // dest = w
+  b.MovI(R(5), 1);          // tag 1: row block
+  b.Sys(Sys::kMpiSend);
+  b.AddI(R(13), R(13), 1);
+  b.Jmp(m_send_loop);
+  b.Bind(m_send_done);
+
+  // Collect the partial products into b.
+  b.MovI(R(13), 1);
+  auto m_recv_loop = b.NewLabel("m_recv_loop");
+  auto m_recv_done = b.NewLabel("m_recv_done");
+  b.Bind(m_recv_loop);
+  b.Cmp(R(13), R(11));
+  b.Br(Cond::kGe, m_recv_done);
+  b.SubI(R(8), R(13), 1);
+  b.MulI(R(8), R(8), static_cast<std::int64_t>(rows_per * 8));
+  b.MovI(R(1), static_cast<std::int64_t>(b_addr));
+  b.Add(R(1), R(1), R(8));
+  b.MovI(R(2), static_cast<std::int64_t>(rows_per));
+  b.MovI(R(3), dt_double);
+  b.Mov(R(4), R(13));       // source = w
+  b.MovI(R(5), 2);          // tag 2: partial result
+  b.Sys(Sys::kMpiRecv);
+  b.AddI(R(13), R(13), 1);
+  b.Jmp(m_recv_loop);
+  b.Bind(m_recv_done);
+
+  // Assemble the output vector (more master-side data movement).
+  b.MovI(R(9), static_cast<std::int64_t>(b_addr));
+  b.MovI(R(14), static_cast<std::int64_t>(bout_addr));
+  b.MovI(R(2), 0);
+  auto m_out_loop = b.NewLabel("m_out_loop");
+  auto m_out_done = b.NewLabel("m_out_done");
+  b.Bind(m_out_loop);
+  b.CmpI(R(2), static_cast<std::int64_t>(params.rows));
+  b.Br(Cond::kGe, m_out_done);
+  b.ShlI(R(6), R(2), 3);
+  b.Add(R(5), R(9), R(6));
+  b.Ld(R(1), R(5), 0);
+  b.Add(R(5), R(14), R(6));
+  b.St(R(5), 0, R(1));
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(m_out_loop);
+  b.Bind(m_out_done);
+
+  b.Sys(Sys::kMpiFinalize);
+  b.MovI(R(4), static_cast<std::int64_t>(bout_addr));
+  b.MovI(R(5), static_cast<std::int64_t>(params.rows * 8));
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+
+  // ---- Slave ----------------------------------------------------------------
+  b.Bind(slave);
+  // Header: how many rows this slave owns (trusted, as in the original code).
+  b.MovI(R(1), static_cast<std::int64_t>(hdr_buf_addr));
+  b.MovI(R(2), 1);
+  b.MovI(R(3), static_cast<std::int64_t>(guest::MpiDatatype::kInt64));
+  b.MovI(R(4), 0);
+  b.MovI(R(5), 0);
+  b.Sys(Sys::kMpiRecv);
+  b.MovI(R(5), static_cast<std::int64_t>(hdr_buf_addr));
+  b.Ld(R(13), R(5), 0);  // r13 = my row count (from the wire)
+
+  b.MovI(R(1), static_cast<std::int64_t>(aloc_addr));
+  b.MulI(R(2), R(13), static_cast<std::int64_t>(cols));
+  b.MovI(R(3), dt_double);
+  b.MovI(R(4), 0);
+  b.MovI(R(5), 1);
+  b.Sys(Sys::kMpiRecv);
+
+  // b_local[i] = dot(A_local[i][:], x) for i < header row count
+  b.MovI(R(2), 0);  // i
+  auto s_row_loop = b.NewLabel("s_row_loop");
+  auto s_rows_done = b.NewLabel("s_rows_done");
+  b.Bind(s_row_loop);
+  b.Cmp(R(2), R(13));
+  b.Br(Cond::kGe, s_rows_done);
+  b.FmovI(F(0), 0.0);
+  b.MovI(R(3), 0);  // j
+  auto s_col_loop = b.NewLabel("s_col_loop");
+  auto s_cols_done = b.NewLabel("s_cols_done");
+  b.Bind(s_col_loop);
+  b.CmpI(R(3), static_cast<std::int64_t>(cols));
+  b.Br(Cond::kGe, s_cols_done);
+  b.MulI(R(6), R(2), static_cast<std::int64_t>(cols));
+  b.Add(R(6), R(6), R(3));
+  b.ShlI(R(6), R(6), 3);
+  b.MovI(R(9), static_cast<std::int64_t>(aloc_addr));
+  b.Add(R(6), R(9), R(6));
+  b.Fld(F(1), R(6), 0);
+  // x element through the (trusted) permutation table.
+  b.ShlI(R(6), R(3), 3);
+  b.MovI(R(9), static_cast<std::int64_t>(perm_buf_addr));
+  b.Add(R(6), R(9), R(6));
+  b.Ld(R(8), R(6), 0);
+  b.ShlI(R(6), R(8), 3);
+  b.MovI(R(9), static_cast<std::int64_t>(xbuf_addr));
+  b.Add(R(6), R(9), R(6));
+  b.Fld(F(2), R(6), 0);
+  b.Fmul(F(1), F(1), F(2));
+  b.Fadd(F(0), F(0), F(1));
+  b.AddI(R(3), R(3), 1);
+  b.Jmp(s_col_loop);
+  b.Bind(s_cols_done);
+  b.ShlI(R(6), R(2), 3);
+  b.MovI(R(9), static_cast<std::int64_t>(bloc_addr));
+  b.Add(R(6), R(9), R(6));
+  b.Fst(R(6), 0, F(0));
+  b.AddI(R(2), R(2), 1);
+  b.Jmp(s_row_loop);
+  b.Bind(s_rows_done);
+
+  b.MovI(R(1), static_cast<std::int64_t>(bloc_addr));
+  b.Mov(R(2), R(13));  // send as many results as the header promised
+  b.MovI(R(3), dt_double);
+  b.MovI(R(4), 0);
+  b.MovI(R(5), 2);
+  b.Sys(Sys::kMpiSend);
+  b.Sys(Sys::kMpiFinalize);
+  b.MovI(R(4), static_cast<std::int64_t>(bloc_addr));
+  b.MovI(R(5), static_cast<std::int64_t>(rows_per * 8));
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+
+  AppSpec spec;
+  spec.name = "matvec";
+  spec.program = b.Finalize();
+  spec.num_ranks = params.ranks;
+  spec.fault_classes = {guest::InstrClass::kMov};
+  return spec;
+}
+
+}  // namespace chaser::apps

@@ -1,0 +1,238 @@
+#include "campaign/campaign.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/injectors/probabilistic_injector.h"
+#include "core/trigger.h"
+
+namespace chaser::campaign {
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kBenign: return "benign";
+    case Outcome::kTerminated: return "terminated";
+    case Outcome::kSdc: return "sdc";
+  }
+  return "?";
+}
+
+std::string CampaignResult::Render(const std::string& label) const {
+  std::string out = StrFormat(
+      "%s: %llu runs\n"
+      "  benign      %6llu (%5.2f%%)\n"
+      "  terminated  %6llu (%5.2f%%)\n"
+      "  sdc         %6llu (%5.2f%%)\n",
+      label.c_str(), static_cast<unsigned long long>(runs),
+      static_cast<unsigned long long>(benign), Pct(benign),
+      static_cast<unsigned long long>(terminated), Pct(terminated),
+      static_cast<unsigned long long>(sdc), Pct(sdc));
+  if (terminated > 0) {
+    const auto tp = [&](std::uint64_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(terminated);
+    };
+    out += StrFormat(
+        "  termination breakdown: os-exception %llu (%5.2f%%), "
+        "mpi-error %llu (%5.2f%%), checker-detected %llu (%5.2f%%), "
+        "other-rank-failed %llu (%5.2f%%)\n",
+        static_cast<unsigned long long>(os_exception), tp(os_exception),
+        static_cast<unsigned long long>(mpi_error), tp(mpi_error),
+        static_cast<unsigned long long>(assert_detected), tp(assert_detected),
+        static_cast<unsigned long long>(other_rank_failed), tp(other_rank_failed));
+  }
+  if (propagated_runs > 0) {
+    out += StrFormat(
+        "  cross-rank propagation: %llu runs (%llu terminated: "
+        "%llu os-exception, %llu mpi-error)\n",
+        static_cast<unsigned long long>(propagated_runs),
+        static_cast<unsigned long long>(propagated_terminated),
+        static_cast<unsigned long long>(propagated_os_exception),
+        static_cast<unsigned long long>(propagated_mpi_error));
+  }
+  return out;
+}
+
+Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
+    : spec_(std::move(spec)), config_(config), rng_(config.seed) {
+  inject_ranks_ = config_.inject_ranks.empty() ? std::set<Rank>{0}
+                                               : config_.inject_ranks;
+  for (const Rank r : inject_ranks_) {
+    if (r < 0 || r >= spec_.num_ranks) {
+      throw ConfigError(StrFormat("Campaign: inject rank %d outside 0..%d", r,
+                                  spec_.num_ranks - 1));
+    }
+  }
+  mpi::Cluster::Config cluster_config;
+  cluster_config.num_ranks = spec_.num_ranks;
+  cluster_config.quantum = config_.scheduler_quantum;
+  cluster_ = std::make_unique<mpi::Cluster>(cluster_config);
+  chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options);
+}
+
+void Campaign::RunGolden() {
+  // Profile with a never-firing trigger: instrumentation counts targeted
+  // executions without perturbing anything; tracing stays off for speed.
+  core::InjectionCommand cmd;
+  cmd.target_program = spec_.program.name;
+  cmd.target_classes = spec_.fault_classes;
+  cmd.trigger = std::make_shared<core::NeverTrigger>();
+  cmd.injector = core::ProbabilisticInjector::Create(1);
+  cmd.trace = false;
+  cmd.seed = config_.seed;
+  chaser_->Arm(cmd, inject_ranks_);
+
+  cluster_->Start(spec_.program);
+  const mpi::JobResult job = cluster_->Run();
+  if (!job.completed) {
+    throw ConfigError(StrFormat(
+        "Campaign: golden run of '%s' failed on rank %d: %s (%s)",
+        spec_.name.c_str(), job.first_failure_rank,
+        vm::TerminationKindName(job.first_failure_kind),
+        job.first_failure_message.c_str()));
+  }
+
+  golden_outputs_.clear();
+  golden_execs_.clear();
+  golden_instructions_ = job.total_instructions;
+  for (Rank r = 0; r < spec_.num_ranks; ++r) {
+    golden_outputs_[{r, 1}] = cluster_->rank_vm(r).output(1);
+    golden_outputs_[{r, 3}] = cluster_->rank_vm(r).output(3);
+  }
+  for (const Rank r : inject_ranks_) {
+    const std::uint64_t execs = chaser_->rank_chaser(r).targeted_executions();
+    if (execs == 0) {
+      throw ConfigError(StrFormat(
+          "Campaign: rank %d of '%s' never executes the targeted classes", r,
+          spec_.name.c_str()));
+    }
+    golden_execs_[r] = execs;
+  }
+
+  // Tighten the watchdog so corrupted loop bounds cannot hang a campaign.
+  const std::uint64_t per_rank =
+      config_.watchdog_multiplier * golden_instructions_ + config_.watchdog_slack;
+  cluster_->SetInstructionBudgets(per_rank,
+                                  per_rank * static_cast<std::uint64_t>(
+                                                 spec_.num_ranks));
+  golden_done_ = true;
+}
+
+const std::string& Campaign::golden_output(Rank r, int fd) const {
+  static const std::string kEmpty;
+  const auto it = golden_outputs_.find({r, fd});
+  return it == golden_outputs_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t Campaign::golden_targeted_execs(Rank r) const {
+  const auto it = golden_execs_.find(r);
+  return it == golden_execs_.end() ? 0 : it->second;
+}
+
+RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
+  if (!golden_done_) RunGolden();
+  Rng run_rng(run_seed);
+
+  RunRecord rec;
+  rec.run_seed = run_seed;
+  // Pick the injected rank, the injection point n, and the bit-flip width x.
+  const auto rank_it = std::next(inject_ranks_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     run_rng.Index(inject_ranks_.size())));
+  rec.inject_rank = *rank_it;
+  rec.trigger_nth = run_rng.UniformU64(1, golden_execs_.at(rec.inject_rank));
+  rec.flip_bits = static_cast<unsigned>(
+      run_rng.UniformU64(config_.flip_bits_min, config_.flip_bits_max));
+
+  core::InjectionCommand cmd;
+  cmd.target_program = spec_.program.name;
+  cmd.target_classes = spec_.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(rec.trigger_nth);
+  cmd.injector = core::ProbabilisticInjector::Create(rec.flip_bits);
+  cmd.trace = config_.trace;
+  cmd.seed = run_rng.Fork();
+  chaser_->Arm(cmd, {rec.inject_rank});
+
+  cluster_->Start(spec_.program);
+  const mpi::JobResult job = cluster_->Run();
+  Classify(job, &rec);
+  return rec;
+}
+
+void Campaign::Classify(const mpi::JobResult& job, RunRecord* rec) {
+  rec->instructions = job.total_instructions;
+  rec->injections = chaser_->total_injections();
+  rec->tainted_reads = chaser_->total_tainted_reads();
+  rec->tainted_writes = chaser_->total_tainted_writes();
+  for (Rank r = 0; r < spec_.num_ranks; ++r) {
+    rec->peak_tainted_bytes =
+        std::max(rec->peak_tainted_bytes,
+                 cluster_->rank_vm(r).taint().stats().peak_tainted_bytes);
+    rec->tainted_output_bytes += cluster_->rank_vm(r).tainted_output_bytes();
+  }
+  rec->propagated_cross_rank = chaser_->FaultPropagatedFrom(rec->inject_rank);
+  rec->propagated_cross_node = chaser_->FaultPropagatedAcrossNodes();
+  rec->deadlock = job.deadlock;
+
+  if (job.completed) {
+    bool same = true;
+    for (Rank r = 0; r < spec_.num_ranks && same; ++r) {
+      same = cluster_->rank_vm(r).output(1) == golden_output(r, 1) &&
+             cluster_->rank_vm(r).output(3) == golden_output(r, 3);
+    }
+    rec->outcome = same ? Outcome::kBenign : Outcome::kSdc;
+    rec->kind = vm::TerminationKind::kExited;
+    return;
+  }
+  rec->outcome = Outcome::kTerminated;
+  rec->kind = job.first_failure_kind;
+  rec->signal = job.first_failure_signal;
+  rec->failure_rank = job.first_failure_rank;
+}
+
+CampaignResult Campaign::Run() {
+  if (!golden_done_) RunGolden();
+  CampaignResult result;
+  result.runs = config_.runs;
+  for (std::uint64_t i = 0; i < config_.runs; ++i) {
+    const RunRecord rec = RunOnce(rng_.Fork());
+    switch (rec.outcome) {
+      case Outcome::kBenign: ++result.benign; break;
+      case Outcome::kSdc: ++result.sdc; break;
+      case Outcome::kTerminated: {
+        ++result.terminated;
+        // A fired program-level checker is a *detection* no matter which rank
+        // runs the check (CLAMR's conservation test runs on rank 0);
+        // otherwise a failure surfacing on a non-injected rank means the
+        // fault crossed the rank boundary before killing the job.
+        if (rec.kind == vm::TerminationKind::kAssertFailed) {
+          ++result.assert_detected;
+        } else if (rec.deadlock) {
+          // A deadlock is a job-wide MPI-runtime condition, not attributable
+          // to whichever blocked rank the scheduler terminated first.
+          ++result.mpi_error;
+        } else if (rec.failure_rank >= 0 && rec.failure_rank != rec.inject_rank) {
+          ++result.other_rank_failed;
+        } else if (rec.kind == vm::TerminationKind::kSignaled) {
+          ++result.os_exception;
+        } else if (rec.kind == vm::TerminationKind::kMpiError) {
+          ++result.mpi_error;
+        }
+        break;
+      }
+    }
+    if (rec.propagated_cross_rank) {
+      ++result.propagated_runs;
+      if (rec.outcome == Outcome::kTerminated) {
+        ++result.propagated_terminated;
+        if (rec.kind == vm::TerminationKind::kSignaled) {
+          ++result.propagated_os_exception;
+        } else if (rec.kind == vm::TerminationKind::kMpiError) {
+          ++result.propagated_mpi_error;
+        }
+      }
+    }
+    if (config_.keep_records) result.records.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace chaser::campaign

@@ -1,0 +1,141 @@
+// Fault-injection campaign driver.
+//
+// Reproduces the paper's methodology (§IV-B): run the application once
+// cleanly (the "golden" run) to capture reference output and profile how
+// often the targeted instruction classes execute; then run N injection
+// trials, each flipping x random bits in the operands of the targeted
+// instruction after it executed a random number of times, and classify each
+// trial as:
+//
+//   benign      output files bit-wise identical to the golden run
+//   terminated  OS exception (SIGSEGV, ...), program-level assertion
+//               (CLAMR's mass checker -> "detected"), or MPI-runtime error
+//   SDC         ran to completion but output differs bit-wise
+//
+// Every application (single-process or MPI) runs under a Cluster; a
+// 1-rank cluster is just a VM with the MPI syscalls available but unused.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rng.h"
+#include "core/chaser_mpi.h"
+#include "mpi/cluster.h"
+
+namespace chaser::campaign {
+
+enum class Outcome : std::uint8_t { kBenign, kTerminated, kSdc };
+
+const char* OutcomeName(Outcome o);
+
+/// One injection trial.
+struct RunRecord {
+  Outcome outcome = Outcome::kBenign;
+  vm::TerminationKind kind = vm::TerminationKind::kExited;
+  vm::GuestSignal signal = vm::GuestSignal::kNone;
+  Rank inject_rank = 0;
+  Rank failure_rank = -1;
+  bool deadlock = false;
+  bool propagated_cross_rank = false;
+  bool propagated_cross_node = false;
+  std::uint64_t injections = 0;
+  std::uint64_t tainted_reads = 0;
+  std::uint64_t tainted_writes = 0;
+  std::uint64_t peak_tainted_bytes = 0;
+  /// Tainted bytes that reached any rank's output stream — a trace-only
+  /// predictor of silent data corruption.
+  std::uint64_t tainted_output_bytes = 0;
+  std::uint64_t trigger_nth = 0;   // the chosen "after executed n times"
+  unsigned flip_bits = 0;          // the chosen x
+  std::uint64_t run_seed = 0;      // reproduce this exact trial
+  std::uint64_t instructions = 0;  // total guest instructions this trial
+};
+
+struct CampaignConfig {
+  std::uint64_t runs = 1000;
+  std::uint64_t seed = 12345;
+  unsigned flip_bits_min = 1;
+  unsigned flip_bits_max = 2;
+  bool trace = true;                 // fault-propagation tracing on/off
+  std::set<Rank> inject_ranks;       // empty = rank 0 only
+  core::Chaser::Options chaser_options;
+  std::uint64_t scheduler_quantum = 20'000;
+  /// Watchdog: per-rank budget = multiplier * golden instret + slack.
+  std::uint64_t watchdog_multiplier = 20;
+  std::uint64_t watchdog_slack = 1'000'000;
+  bool keep_records = true;          // retain per-run records (Fig. 8/9 need them)
+};
+
+struct CampaignResult {
+  std::uint64_t runs = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t sdc = 0;
+
+  // Termination sub-causes (Table III):
+  std::uint64_t os_exception = 0;     // guest signals on the injected rank
+  std::uint64_t mpi_error = 0;        // MPI-runtime-detected (incl. deadlock)
+  std::uint64_t assert_detected = 0;  // program-level checker fired
+  std::uint64_t other_rank_failed = 0;  // failure surfaced on a non-injected rank
+
+  // Cross-rank propagation subset:
+  std::uint64_t propagated_runs = 0;
+  std::uint64_t propagated_terminated = 0;
+  std::uint64_t propagated_os_exception = 0;
+  std::uint64_t propagated_mpi_error = 0;
+
+  std::vector<RunRecord> records;
+
+  double Pct(std::uint64_t n) const {
+    return runs == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(runs);
+  }
+  /// Multi-line human-readable summary.
+  std::string Render(const std::string& label) const;
+};
+
+class Campaign {
+ public:
+  Campaign(apps::AppSpec spec, CampaignConfig config);
+
+  /// Execute the golden run (throws ConfigError if the clean app fails) and
+  /// profile targeted-instruction execution counts per inject rank.
+  void RunGolden();
+
+  /// Execute one injection trial (RunGolden must have happened; Run() calls
+  /// it lazily). `run_seed` fully determines the trial.
+  RunRecord RunOnce(std::uint64_t run_seed);
+
+  /// Full campaign: golden + config.runs trials.
+  CampaignResult Run();
+
+  // ---- Introspection -------------------------------------------------------
+  bool golden_done() const { return golden_done_; }
+  const std::string& golden_output(Rank r, int fd) const;
+  std::uint64_t golden_targeted_execs(Rank r) const;
+  std::uint64_t golden_instructions() const { return golden_instructions_; }
+  const apps::AppSpec& spec() const { return spec_; }
+  mpi::Cluster& cluster() { return *cluster_; }
+  core::ChaserMpi& chaser() { return *chaser_; }
+
+ private:
+  void Classify(const mpi::JobResult& job, RunRecord* rec);
+
+  apps::AppSpec spec_;
+  CampaignConfig config_;
+  std::set<Rank> inject_ranks_;
+  std::unique_ptr<mpi::Cluster> cluster_;
+  std::unique_ptr<core::ChaserMpi> chaser_;
+  Rng rng_;
+
+  bool golden_done_ = false;
+  std::map<std::pair<Rank, int>, std::string> golden_outputs_;
+  std::map<Rank, std::uint64_t> golden_execs_;
+  std::uint64_t golden_instructions_ = 0;
+};
+
+}  // namespace chaser::campaign

@@ -1,0 +1,165 @@
+#include "campaign/report.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::campaign {
+
+namespace {
+constexpr const char* kRecordsHeader =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions";
+}  // namespace
+
+void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
+  out << kRecordsHeader << '\n';
+  for (const RunRecord& r : records) {
+    out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
+        << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
+        << ',' << r.inject_rank << ',' << r.failure_rank << ','
+        << (r.deadlock ? 1 : 0) << ',' << (r.propagated_cross_rank ? 1 : 0) << ','
+        << (r.propagated_cross_node ? 1 : 0) << ',' << r.injections << ','
+        << r.tainted_reads << ',' << r.tainted_writes << ','
+        << r.peak_tainted_bytes << ',' << r.tainted_output_bytes << ','
+        << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << '\n';
+  }
+}
+
+namespace {
+
+Outcome ParseOutcome(const std::string& s) {
+  if (s == "benign") return Outcome::kBenign;
+  if (s == "terminated") return Outcome::kTerminated;
+  if (s == "sdc") return Outcome::kSdc;
+  throw ConfigError("ReadRecordsCsv: unknown outcome '" + s + "'");
+}
+
+vm::TerminationKind ParseKind(const std::string& s) {
+  for (const auto k : {vm::TerminationKind::kRunning, vm::TerminationKind::kExited,
+                       vm::TerminationKind::kSignaled,
+                       vm::TerminationKind::kAssertFailed,
+                       vm::TerminationKind::kMpiError}) {
+    if (s == vm::TerminationKindName(k)) return k;
+  }
+  throw ConfigError("ReadRecordsCsv: unknown termination kind '" + s + "'");
+}
+
+vm::GuestSignal ParseSignal(const std::string& s) {
+  for (const auto sig : {vm::GuestSignal::kNone, vm::GuestSignal::kSegv,
+                         vm::GuestSignal::kFpe, vm::GuestSignal::kIll,
+                         vm::GuestSignal::kSys, vm::GuestSignal::kAbort,
+                         vm::GuestSignal::kKill}) {
+    if (s == vm::GuestSignalName(sig)) return sig;
+  }
+  throw ConfigError("ReadRecordsCsv: unknown signal '" + s + "'");
+}
+
+std::uint64_t ParseNum(const std::string& s) {
+  std::uint64_t v = 0;
+  if (!ParseU64(s, &v)) throw ConfigError("ReadRecordsCsv: bad number '" + s + "'");
+  return v;
+}
+
+std::int64_t ParseSigned(const std::string& s) {
+  if (!s.empty() && s[0] == '-') return -static_cast<std::int64_t>(ParseNum(s.substr(1)));
+  return static_cast<std::int64_t>(ParseNum(s));
+}
+
+}  // namespace
+
+std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kRecordsHeader) {
+    throw ConfigError("ReadRecordsCsv: missing or unexpected header");
+  }
+  std::vector<RunRecord> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = Split(line, ',');
+    if (f.size() != 17) {
+      throw ConfigError(StrFormat("ReadRecordsCsv: expected 17 fields, got %zu",
+                                  f.size()));
+    }
+    RunRecord r;
+    r.run_seed = ParseNum(f[0]);
+    r.outcome = ParseOutcome(f[1]);
+    r.kind = ParseKind(f[2]);
+    r.signal = ParseSignal(f[3]);
+    r.inject_rank = static_cast<Rank>(ParseSigned(f[4]));
+    r.failure_rank = static_cast<Rank>(ParseSigned(f[5]));
+    r.deadlock = ParseNum(f[6]) != 0;
+    r.propagated_cross_rank = ParseNum(f[7]) != 0;
+    r.propagated_cross_node = ParseNum(f[8]) != 0;
+    r.injections = ParseNum(f[9]);
+    r.tainted_reads = ParseNum(f[10]);
+    r.tainted_writes = ParseNum(f[11]);
+    r.peak_tainted_bytes = ParseNum(f[12]);
+    r.tainted_output_bytes = ParseNum(f[13]);
+    r.trigger_nth = ParseNum(f[14]);
+    r.flip_bits = static_cast<unsigned>(ParseNum(f[15]));
+    r.instructions = ParseNum(f[16]);
+    records.push_back(r);
+  }
+  return records;
+}
+
+void WriteTimelineCsv(const std::vector<core::TaintSample>& samples,
+                      std::ostream& out) {
+  out << "rank,instret,tainted_bytes\n";
+  for (const core::TaintSample& s : samples) {
+    out << s.rank << ',' << s.instret << ',' << s.tainted_bytes << '\n';
+  }
+}
+
+PropagationStats AnalyzePropagation(const std::vector<RunRecord>& records) {
+  PropagationStats stats;
+  stats.runs = records.size();
+  std::uint64_t more_reads = 0, only_reads = 0, only_writes = 0;
+  for (const RunRecord& r : records) {
+    stats.total_tainted_reads += r.tainted_reads;
+    stats.total_tainted_writes += r.tainted_writes;
+    stats.max_tainted_reads = std::max(stats.max_tainted_reads, r.tainted_reads);
+    stats.max_tainted_writes = std::max(stats.max_tainted_writes, r.tainted_writes);
+    if (r.tainted_reads > r.tainted_writes) ++more_reads;
+    if (r.tainted_reads > 0 && r.tainted_writes == 0) ++only_reads;
+    if (r.tainted_writes > 0 && r.tainted_reads == 0) ++only_writes;
+  }
+  if (stats.runs > 0) {
+    const double n = static_cast<double>(stats.runs);
+    stats.pct_more_reads_than_writes = 100.0 * static_cast<double>(more_reads) / n;
+    stats.pct_only_reads = 100.0 * static_cast<double>(only_reads) / n;
+    stats.pct_only_writes = 100.0 * static_cast<double>(only_writes) / n;
+  }
+  return stats;
+}
+
+SdcPredictionStats AnalyzeSdcPrediction(const std::vector<RunRecord>& records) {
+  SdcPredictionStats stats;
+  for (const RunRecord& r : records) {
+    if (r.kind != vm::TerminationKind::kExited) continue;  // only completed runs
+    ++stats.completed_runs;
+    const bool predicted = r.tainted_output_bytes > 0;
+    const bool actual = r.outcome == Outcome::kSdc;
+    if (predicted && actual) ++stats.true_positives;
+    if (predicted && !actual) ++stats.false_positives;
+    if (!predicted && actual) ++stats.false_negatives;
+    if (!predicted && !actual) ++stats.true_negatives;
+  }
+  const double tp = static_cast<double>(stats.true_positives);
+  if (stats.true_positives + stats.false_positives > 0) {
+    stats.precision =
+        tp / static_cast<double>(stats.true_positives + stats.false_positives);
+  }
+  if (stats.true_positives + stats.false_negatives > 0) {
+    stats.recall =
+        tp / static_cast<double>(stats.true_positives + stats.false_negatives);
+  }
+  return stats;
+}
+
+}  // namespace chaser::campaign

@@ -1,0 +1,61 @@
+// Campaign post-analysis: CSV export and offline statistics.
+//
+// The paper's workflow logs fault-propagation data during the runs and
+// analyses it afterwards (Figs. 7-9 are produced from those logs). This
+// module serialises campaign results to CSV, parses them back, and computes
+// the distribution statistics the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "core/trace.h"
+
+namespace chaser::campaign {
+
+/// Write one row per run: seed, outcome, termination detail, injection site,
+/// propagation counters.
+void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out);
+
+/// Parse a CSV produced by WriteRecordsCsv. Throws ConfigError on malformed
+/// input (wrong header, bad field counts, non-numeric cells).
+std::vector<RunRecord> ReadRecordsCsv(std::istream& in);
+
+/// Write a tainted-bytes timeline (Fig. 7 series) as CSV.
+void WriteTimelineCsv(const std::vector<core::TaintSample>& samples,
+                      std::ostream& out);
+
+/// Offline statistics over a set of run records (what the Fig. 8/9 analysis
+/// computes from the logs).
+struct PropagationStats {
+  std::uint64_t runs = 0;
+  std::uint64_t total_tainted_reads = 0;
+  std::uint64_t total_tainted_writes = 0;
+  std::uint64_t max_tainted_reads = 0;
+  std::uint64_t max_tainted_writes = 0;
+  double pct_more_reads_than_writes = 0.0;  // paper SIV-C: 47.1%
+  double pct_only_reads = 0.0;              // paper SIV-C: 3.97%
+  double pct_only_writes = 0.0;             // paper SIV-C: 14.93%
+};
+
+PropagationStats AnalyzePropagation(const std::vector<RunRecord>& records);
+
+/// Trace-only SDC prediction: a completed run whose trace shows tainted
+/// bytes reaching the output stream is predicted to be an SDC — no golden
+/// run needed. This quantifies how well the propagation trace alone
+/// anticipates the bit-wise output comparison.
+struct SdcPredictionStats {
+  std::uint64_t completed_runs = 0;
+  std::uint64_t true_positives = 0;   // predicted SDC, actually SDC
+  std::uint64_t false_positives = 0;  // predicted SDC, actually benign
+  std::uint64_t false_negatives = 0;  // unpredicted SDC
+  std::uint64_t true_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+SdcPredictionStats AnalyzeSdcPrediction(const std::vector<RunRecord>& records);
+
+}  // namespace chaser::campaign

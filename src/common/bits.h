@@ -1,0 +1,67 @@
+// Bit-manipulation helpers used by the fault injectors and the taint engine.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chaser {
+
+/// Flip bit `bit` (0 = LSB) of `value`.
+inline std::uint64_t FlipBit(std::uint64_t value, unsigned bit) {
+  return value ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+/// Build a mask with `nbits` distinct random bit positions set, chosen
+/// uniformly from [0, width). Used by multi-bit-flip fault models.
+inline std::uint64_t RandomBitMask(Rng& rng, unsigned nbits, unsigned width) {
+  if (width == 0 || width > 64) width = 64;
+  std::uint64_t mask = 0;
+  unsigned placed = 0;
+  while (placed < nbits && placed < width) {
+    const unsigned bit = static_cast<unsigned>(rng.UniformU64(0, width - 1));
+    const std::uint64_t b = std::uint64_t{1} << bit;
+    if ((mask & b) == 0) {
+      mask |= b;
+      ++placed;
+    }
+  }
+  return mask;
+}
+
+/// Number of set bits.
+inline unsigned PopCount(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Extract byte `i` (0 = least significant).
+inline std::uint8_t ByteOf(std::uint64_t v, unsigned i) {
+  return static_cast<std::uint8_t>(v >> (8 * (i & 7u)));
+}
+
+/// Replace byte `i` of `v` with `b`.
+inline std::uint64_t WithByte(std::uint64_t v, unsigned i, std::uint8_t b) {
+  const unsigned sh = 8 * (i & 7u);
+  return (v & ~(std::uint64_t{0xff} << sh)) | (std::uint64_t{b} << sh);
+}
+
+/// Mask covering the low `bytes` bytes (bytes in [1,8]); 8 → all ones.
+inline std::uint64_t LowBytesMask(unsigned bytes) {
+  return bytes >= 8 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << (8 * bytes)) - 1);
+}
+
+/// Positions (0-based) of set bits, LSB first.
+inline std::vector<unsigned> SetBitPositions(std::uint64_t v) {
+  std::vector<unsigned> out;
+  while (v != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(v));
+    out.push_back(b);
+    v &= v - 1;
+  }
+  return out;
+}
+
+}  // namespace chaser

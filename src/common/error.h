@@ -1,0 +1,37 @@
+// Error types for host-side failures (configuration, assembly, API misuse).
+//
+// Guest-visible faults (segfaults, FP exceptions, MPI errors) are *not*
+// exceptions: they are modelled as guest signals / exit reasons in src/vm and
+// src/mpi so that a fault-injection campaign can observe them as outcomes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chaser {
+
+/// Base class for all host-side Chaser errors.
+class ChaserError : public std::runtime_error {
+ public:
+  explicit ChaserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a guest program fails to assemble (bad label, bad operand...).
+class AssemblyError : public ChaserError {
+ public:
+  explicit AssemblyError(const std::string& what) : ChaserError(what) {}
+};
+
+/// Raised on invalid configuration of the VM, injector, or MPI world.
+class ConfigError : public ChaserError {
+ public:
+  explicit ConfigError(const std::string& what) : ChaserError(what) {}
+};
+
+/// Raised when the user-facing console command cannot be parsed.
+class CommandError : public ChaserError {
+ public:
+  explicit CommandError(const std::string& what) : ChaserError(what) {}
+};
+
+}  // namespace chaser

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace chaser {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t nbuckets)
+    : bucket_width_(bucket_width == 0 ? 1 : bucket_width),
+      counts_(nbuckets == 0 ? 1 : nbuckets, 0) {}
+
+void Histogram::Add(std::uint64_t sample) {
+  const std::size_t idx = static_cast<std::size_t>(sample / bucket_width_);
+  if (idx < counts_.size()) {
+    ++counts_[idx];
+  } else {
+    ++overflow_;
+  }
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::ApproxQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) return bucket_hi(i);
+    if (seen >= target && target > 0) return bucket_hi(i);
+  }
+  return max_;
+}
+
+std::string Histogram::Render(const std::string& label) const {
+  std::string out = StrFormat("%s  (n=%llu, min=%llu, mean=%.1f, max=%llu)\n",
+                              label.c_str(), static_cast<unsigned long long>(count_),
+                              static_cast<unsigned long long>(min_), mean(),
+                              static_cast<unsigned long long>(max_));
+  std::uint64_t peak = overflow_;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(50 * counts_[i] / peak);
+    out += StrFormat("  [%10llu, %10llu) %6llu %s\n",
+                     static_cast<unsigned long long>(bucket_lo(i)),
+                     static_cast<unsigned long long>(bucket_hi(i)),
+                     static_cast<unsigned long long>(counts_[i]),
+                     std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  if (overflow_ > 0) {
+    const int bar = static_cast<int>(50 * overflow_ / peak);
+    out += StrFormat("  [%10llu,        inf) %6llu %s\n",
+                     static_cast<unsigned long long>(bucket_width_ * counts_.size()),
+                     static_cast<unsigned long long>(overflow_),
+                     std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  return out;
+}
+
+}  // namespace chaser

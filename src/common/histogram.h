@@ -1,0 +1,47 @@
+// Fixed-bucket histogram used by the campaign statistics and the
+// Fig. 8 / Fig. 9 distribution benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chaser {
+
+class Histogram {
+ public:
+  /// Buckets of equal `bucket_width` covering [0, bucket_width * nbuckets);
+  /// samples beyond the last bucket land in an overflow bucket.
+  Histogram(std::uint64_t bucket_width, std::size_t nbuckets);
+
+  void Add(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Smallest sample value v such that at least `q` (0..1) of samples are <= v,
+  /// computed from bucket boundaries (upper bound of the selected bucket).
+  std::uint64_t ApproxQuantile(double q) const;
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t bucket_lo(std::size_t i) const { return bucket_width_ * i; }
+  std::uint64_t bucket_hi(std::size_t i) const { return bucket_width_ * (i + 1); }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket with a bar).
+  std::string Render(const std::string& label) const;
+
+ private:
+  std::uint64_t bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace chaser

@@ -1,0 +1,25 @@
+// Minimal leveled logger.
+//
+// Campaigns run thousands of guest executions; logging defaults to kWarn so
+// the hot path stays quiet. Tests and examples raise the level explicitly.
+#pragma once
+
+#include <string>
+
+namespace chaser {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit a log line (to stderr) if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& msg);
+
+inline void LogDebug(const std::string& msg) { LogMessage(LogLevel::kDebug, msg); }
+inline void LogInfo(const std::string& msg) { LogMessage(LogLevel::kInfo, msg); }
+inline void LogWarn(const std::string& msg) { LogMessage(LogLevel::kWarn, msg); }
+inline void LogError(const std::string& msg) { LogMessage(LogLevel::kError, msg); }
+
+}  // namespace chaser

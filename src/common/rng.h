@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (probabilistic triggers, campaign fault-site
+// randomisation, workload generators) draws from an explicitly seeded Rng so
+// that a campaign run can be reproduced bit-for-bit from its seed — this is
+// how the paper re-executes "the same two cases" for the Fig. 7 analysis.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace chaser {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t UniformU64(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t Index(std::size_t n) {
+    return static_cast<std::size_t>(UniformU64(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Pick a uniformly random element from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Index(v.size())];
+  }
+
+  /// Derive a child seed (for per-run or per-rank sub-generators).
+  std::uint64_t Fork() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace chaser

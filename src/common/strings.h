@@ -1,0 +1,36 @@
+// Small string formatting/parsing helpers (gcc 12 lacks std::format).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chaser {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on any of the whitespace characters, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// Split on a single delimiter, keeping empty tokens.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Hex rendering of a 64-bit value, e.g. "0x00000000004001a8".
+std::string Hex64(std::uint64_t v);
+
+/// Parse an unsigned integer (decimal, or 0x-prefixed hex).
+/// Returns false on malformed input.
+bool ParseU64(const std::string& s, std::uint64_t* out);
+
+/// Parse a double. Returns false on malformed input.
+bool ParseDouble(const std::string& s, double* out);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Lower-case copy (ASCII).
+std::string ToLower(std::string s);
+
+}  // namespace chaser

@@ -1,0 +1,25 @@
+// Fundamental type aliases shared across the Chaser codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace chaser {
+
+/// Guest virtual address (the emulated process's address space).
+using GuestAddr = std::uint64_t;
+
+/// Guest physical address (after soft-MMU translation).
+using PhysAddr = std::uint64_t;
+
+/// Identifier of a guest process inside the virtual machine.
+using Pid = std::uint32_t;
+
+/// MPI rank number.
+using Rank = int;
+
+/// Count of executed guest instructions.
+using InstrCount = std::uint64_t;
+
+inline constexpr Pid kInvalidPid = 0xffffffffu;
+
+}  // namespace chaser

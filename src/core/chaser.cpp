@@ -1,0 +1,148 @@
+#include "core/chaser.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace chaser::core {
+
+Chaser::Chaser(vm::Vm& vm) : Chaser(vm, Options{}) {}
+
+Chaser::Chaser(vm::Vm& vm, Options options)
+    : vm_(vm), options_(options), trace_log_(options.trace_capacity) {
+  // fi_creation_cb: screen newly created processes for the target.
+  vm_.set_on_process_create([this](vm::Vm&, Pid, const std::string& name) {
+    OnProcessCreate(name);
+  });
+}
+
+void Chaser::Arm(InjectionCommand cmd) {
+  cmd_ = std::move(cmd);
+  rng_ = std::make_unique<Rng>(cmd_->seed);
+  // If the target process is already running, attach right away.
+  if (vm_.program() != nullptr && vm_.run_state() != vm::RunState::kTerminated &&
+      vm_.process_name() == cmd_->target_program) {
+    Attach();
+  }
+}
+
+void Chaser::Disarm() {
+  Detach();
+  cmd_.reset();
+}
+
+void Chaser::OnProcessCreate(const std::string& name) {
+  if (!cmd_ || name != cmd_->target_program) return;
+  Attach();
+}
+
+void Chaser::Attach() {
+  // Fresh per-run state (campaigns re-Start the same VM repeatedly).
+  exec_count_ = 0;
+  records_.clear();
+  trace_log_.Clear();
+  taint_timeline_.clear();
+  attached_ = true;
+
+  if (!cmd_->TraceOnly()) {
+    trigger_ = cmd_->trigger->Clone();
+    injector_active_ = true;
+    const std::set<guest::InstrClass> classes = cmd_->target_classes;
+    vm_.SetInstrumentPredicate(
+        [classes](const guest::Instruction& in, std::uint64_t) {
+          return classes.count(guest::ClassOf(in.op)) != 0;
+        });
+    vm_.set_injector_hook(
+        [this](vm::Vm&, std::uint64_t pc) { OnInjectorHelper(pc); });
+  } else {
+    trigger_.reset();
+    injector_active_ = false;
+    vm_.SetInstrumentPredicate(nullptr);
+    vm_.set_injector_hook(nullptr);
+  }
+  vm_.FlushTbCache();
+
+  if (cmd_->trace) {
+    vm_.taint().set_enabled(true);
+    vm_.taint().set_on_tainted_read([this](const taint::TaintMemAccess& a) {
+      trace_log_.Add({.kind = TraceEventKind::kTaintedRead, .rank = rank_,
+                      .instret = vm_.instret(), .pc = a.pc, .vaddr = a.vaddr,
+                      .paddr = a.paddr, .size = a.size, .value = a.value,
+                      .taint = a.taint});
+    });
+    vm_.taint().set_on_tainted_write([this](const taint::TaintMemAccess& a) {
+      trace_log_.Add({.kind = TraceEventKind::kTaintedWrite, .rank = rank_,
+                      .instret = vm_.instret(), .pc = a.pc, .vaddr = a.vaddr,
+                      .paddr = a.paddr, .size = a.size, .value = a.value,
+                      .taint = a.taint});
+    });
+    if (options_.taint_sample_interval > 0) {
+      vm_.SetInstretSample(
+          options_.taint_sample_interval, [this](vm::Vm& v, std::uint64_t instret) {
+            taint_timeline_.push_back(
+                {rank_, instret, v.taint().CountTaintedBytes()});
+          });
+    }
+    if (options_.granularity == TraceGranularity::kInstruction) {
+      vm_.SetInsnTraceHook([this](vm::Vm& v, std::uint64_t pc) {
+        trace_log_.Add({.kind = TraceEventKind::kInstruction, .rank = rank_,
+                        .instret = v.instret(), .pc = pc});
+      });
+    } else {
+      vm_.SetInsnTraceHook(nullptr);
+    }
+  } else {
+    vm_.taint().set_enabled(false);
+    vm_.SetInstretSample(0, nullptr);
+    vm_.SetInsnTraceHook(nullptr);
+  }
+}
+
+void Chaser::Detach() {
+  attached_ = false;
+  injector_active_ = false;
+  trigger_.reset();
+  vm_.SetInstrumentPredicate(nullptr);
+  vm_.set_injector_hook(nullptr);
+  vm_.RequestTbFlush();
+}
+
+void Chaser::OnInjectorHelper(std::uint64_t pc) {
+  if (!injector_active_ || !cmd_) return;
+  ++exec_count_;
+  if (!trigger_->ShouldFire(exec_count_, *rng_)) {
+    if (trigger_->Expired()) {
+      // fi_clean_cb: stop screening and flush the instrumentation out of the
+      // translation cache; tracing (taint) stays on.
+      injector_active_ = false;
+      vm_.SetInstrumentPredicate(nullptr);
+      vm_.set_injector_hook(nullptr);
+      vm_.RequestTbFlush();
+    }
+    return;
+  }
+
+  const guest::Instruction& instr = vm_.program()->text[pc];
+  InjectionContext ctx{vm_, pc, instr, exec_count_, vm_.instret(), *rng_, records_};
+  const std::size_t before = records_.size();
+  cmd_->injector->Inject(ctx);
+  for (std::size_t i = before; i < records_.size(); ++i) {
+    InjectionRecord& rec = records_[i];
+    rec.pc = pc;
+    rec.exec_count = exec_count_;
+    rec.instr_class = guest::ClassOf(instr.op);
+    trace_log_.Add({.kind = TraceEventKind::kInjection, .rank = rank_,
+                    .instret = vm_.instret(), .pc = pc, .vaddr = rec.vaddr,
+                    .paddr = 0, .size = 8, .value = rec.new_value,
+                    .taint = rec.flip_mask});
+    LogDebug(rec.Describe());
+  }
+
+  if (trigger_->Expired()) {
+    injector_active_ = false;
+    vm_.SetInstrumentPredicate(nullptr);
+    vm_.set_injector_hook(nullptr);
+    vm_.RequestTbFlush();
+  }
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,54 @@
+// ChaserMpi: supervise a whole MPI job.
+//
+// Attaches one Chaser per rank VM, wires the cluster's MPI hooks to a
+// TaintHub, and injects faults only into the designated ranks (the paper's
+// Matvec campaign injects into the master node only). All ranks trace, so
+// faults that cross rank boundaries keep propagating on the receiving side.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/chaser.h"
+#include "hub/mpi_hooks.h"
+#include "hub/tainthub.h"
+#include "mpi/cluster.h"
+
+namespace chaser::core {
+
+class ChaserMpi {
+ public:
+  explicit ChaserMpi(mpi::Cluster& cluster);
+  ChaserMpi(mpi::Cluster& cluster, Chaser::Options options);
+
+  ChaserMpi(const ChaserMpi&) = delete;
+  ChaserMpi& operator=(const ChaserMpi&) = delete;
+
+  /// Arm injection on `inject_ranks` (empty set = all ranks); every other
+  /// rank is armed trace-only so propagation is observed end to end.
+  /// Each injecting rank derives its own seed from cmd.seed.
+  void Arm(const InjectionCommand& cmd, const std::set<Rank>& inject_ranks);
+
+  Chaser& rank_chaser(Rank r) { return *chasers_[static_cast<std::size_t>(r)]; }
+  const Chaser& rank_chaser(Rank r) const { return *chasers_[static_cast<std::size_t>(r)]; }
+  hub::TaintHub& hub() { return hub_; }
+  mpi::Cluster& cluster() { return cluster_; }
+
+  // ---- Aggregates across all ranks ------------------------------------------
+  std::uint64_t total_injections() const;
+  std::uint64_t total_tainted_reads() const;
+  std::uint64_t total_tainted_writes() const;
+  /// True if any tainted message crossed from `src` to a different rank.
+  bool FaultPropagatedFrom(Rank src) const;
+  /// True if any tainted message crossed between different *nodes*.
+  bool FaultPropagatedAcrossNodes() const;
+
+ private:
+  mpi::Cluster& cluster_;
+  hub::TaintHub hub_;
+  hub::ChaserMpiHooks hooks_;
+  std::vector<std::unique_ptr<Chaser>> chasers_;
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,169 @@
+#include "core/console.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/injectors/deterministic_injector.h"
+#include "core/injectors/group_injector.h"
+#include "core/injectors/probabilistic_injector.h"
+
+namespace chaser::core {
+
+void PluginRegistry::LoadPlugin(const std::string& plugin_name,
+                                const PluginInit& init) {
+  FiInterface iface = init();  // plugin_init()
+  if (iface.command.empty()) {
+    throw ConfigError("plugin '" + plugin_name + "' exported an empty command");
+  }
+  if (commands_.count(iface.command) != 0) {
+    throw ConfigError("plugin '" + plugin_name + "' re-registers command '" +
+                      iface.command + "'");
+  }
+  commands_[iface.command] = std::move(iface);
+}
+
+void PluginRegistry::Dispatch(const std::string& command_line) {
+  std::vector<std::string> tokens = SplitWhitespace(command_line);
+  if (tokens.empty()) throw CommandError("empty command line");
+  const auto it = commands_.find(tokens[0]);
+  if (it == commands_.end()) {
+    throw CommandError("unknown command '" + tokens[0] + "'");
+  }
+  tokens.erase(tokens.begin());
+  it->second.handler(tokens);
+}
+
+namespace {
+
+std::uint64_t ArgU64(const std::vector<std::string>& args, std::size_t i,
+                     const std::string& flag) {
+  if (i >= args.size()) throw CommandError("missing value for " + flag);
+  std::uint64_t v = 0;
+  if (!ParseU64(args[i], &v)) {
+    throw CommandError("bad integer '" + args[i] + "' for " + flag);
+  }
+  return v;
+}
+
+double ArgDouble(const std::vector<std::string>& args, std::size_t i,
+                 const std::string& flag) {
+  if (i >= args.size()) throw CommandError("missing value for " + flag);
+  double v = 0;
+  if (!ParseDouble(args[i], &v)) {
+    throw CommandError("bad number '" + args[i] + "' for " + flag);
+  }
+  return v;
+}
+
+std::string ArgString(const std::vector<std::string>& args, std::size_t i,
+                      const std::string& flag) {
+  if (i >= args.size()) throw CommandError("missing value for " + flag);
+  return args[i];
+}
+
+}  // namespace
+
+InjectionCommand ParseInjectFault(const std::vector<std::string>& args) {
+  InjectionCommand cmd;
+  std::string model = "det";
+  std::uint64_t nth = 1, first = 1, stride = 1, max_injections = 1;
+  double probability = 0.001;
+  unsigned nbits = 1;
+  unsigned operand_index = 0;
+  std::uint64_t exact_mask = 0;
+  bool have_mask = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t mem_size = 8;
+  bool have_addr = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-p") {
+      cmd.target_program = ArgString(args, ++i, a);
+    } else if (a == "-i") {
+      for (const std::string& cls : Split(ArgString(args, ++i, a), ',')) {
+        guest::InstrClass parsed;
+        if (!guest::ParseInstrClass(cls, &parsed)) {
+          throw CommandError("unknown instruction class '" + cls + "'");
+        }
+        cmd.target_classes.insert(parsed);
+      }
+    } else if (a == "-m") {
+      model = ToLower(ArgString(args, ++i, a));
+    } else if (a == "-c") {
+      nth = first = ArgU64(args, ++i, a);
+    } else if (a == "-P") {
+      probability = ArgDouble(args, ++i, a);
+    } else if (a == "-stride") {
+      stride = ArgU64(args, ++i, a);
+    } else if (a == "-max") {
+      max_injections = ArgU64(args, ++i, a);
+    } else if (a == "-b") {
+      nbits = static_cast<unsigned>(ArgU64(args, ++i, a));
+    } else if (a == "-o") {
+      operand_index = static_cast<unsigned>(ArgU64(args, ++i, a));
+    } else if (a == "-mask") {
+      exact_mask = ArgU64(args, ++i, a);
+      have_mask = true;
+    } else if (a == "-addr") {
+      mem_addr = ArgU64(args, ++i, a);
+      have_addr = true;
+    } else if (a == "-size") {
+      mem_size = ArgU64(args, ++i, a);
+    } else if (a == "-s") {
+      cmd.seed = ArgU64(args, ++i, a);
+    } else if (a == "-notrace") {
+      cmd.trace = false;
+    } else {
+      throw CommandError("unknown inject_fault flag '" + a + "'");
+    }
+  }
+
+  if (cmd.target_program.empty()) {
+    throw CommandError("inject_fault: -p <program> is required");
+  }
+  if (cmd.target_classes.empty()) {
+    throw CommandError("inject_fault: -i <instruction class> is required");
+  }
+
+  if (have_addr && !have_mask) {
+    throw CommandError("inject_fault: -addr requires -mask");
+  }
+
+  if (model == "det") {
+    cmd.trigger = std::make_shared<DeterministicTrigger>(nth);
+    if (have_addr) {
+      // Memory-targeted corruption (CORRUPT_MEMORY through the console).
+      cmd.injector = std::make_shared<DeterministicInjector>(
+          static_cast<GuestAddr>(mem_addr), static_cast<std::uint32_t>(mem_size),
+          exact_mask);
+    } else if (have_mask) {
+      cmd.injector = std::make_shared<DeterministicInjector>(operand_index, exact_mask);
+    } else {
+      cmd.injector = std::make_shared<ProbabilisticInjector>(nbits);
+    }
+  } else if (model == "prob") {
+    cmd.trigger = std::make_shared<ProbabilisticTrigger>(probability, max_injections);
+    cmd.injector = std::make_shared<ProbabilisticInjector>(nbits);
+  } else if (model == "group") {
+    cmd.trigger = std::make_shared<GroupTrigger>(first, stride, max_injections);
+    cmd.injector = std::make_shared<GroupInjector>(nbits);
+  } else {
+    throw CommandError("unknown fault model '" + model + "' (det|prob|group)");
+  }
+  return cmd;
+}
+
+FiInterface MakeFaultInjectionPlugin(std::function<void(InjectionCommand)> sink) {
+  FiInterface iface;
+  iface.command = "inject_fault";
+  iface.help =
+      "inject_fault -p <program> -i <classes> -m <det|prob|group> "
+      "[-c n] [-P p] [-stride s] [-max k] [-b bits] [-o operand] "
+      "[-mask hex] [-addr hex -size n] [-s seed] [-notrace]";
+  iface.handler = [sink = std::move(sink)](const std::vector<std::string>& args) {
+    sink(ParseInjectFault(args));  // do_fi_fault
+  };
+  return iface;
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,65 @@
+// The terminal / plugin layer (paper Fig. 4).
+//
+// DECAF plugins export a `plugin_init()` that returns an fi_interface_st
+// describing the terminal commands they add; Chaser's fault-injection plugin
+// registers `inject_fault`, whose handler (do_fi_fault) fills an fi_cmds_st.
+// This module reproduces that surface: a PluginRegistry dispatches command
+// lines to registered FiInterface handlers, and ParseInjectFault turns an
+// `inject_fault` argument vector into an InjectionCommand.
+//
+//   inject_fault -p <program> -i <class>[,<class>...] -m <model> [options]
+//
+//   models:  det   -c <nth>                  deterministic at n-th execution
+//            prob  -P <p> [-max <k>]         probability p per execution
+//            group -c <first> [-stride <s>] [-max <k>]
+//   common:  -b <nbits>      bits to flip per operand     (default 1)
+//            -o <idx>        operand index (det model)    (default 0)
+//            -mask <hex>     exact flip mask (det model)
+//            -s <seed>       RNG seed                     (default 1)
+//            -notrace        disable propagation tracing
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chaser.h"
+
+namespace chaser::core {
+
+/// fi_interface_st: a terminal command exported by a plugin.
+struct FiInterface {
+  std::string command;  // e.g. "inject_fault"
+  std::string help;
+  std::function<void(const std::vector<std::string>& args)> handler;
+};
+
+/// Loads plugins (each contributing commands) and dispatches command lines.
+class PluginRegistry {
+ public:
+  using PluginInit = std::function<FiInterface()>;
+
+  /// Call the plugin's plugin_init() and register its command.
+  /// Throws ConfigError on duplicate command names.
+  void LoadPlugin(const std::string& plugin_name, const PluginInit& init);
+
+  /// Parse "cmd arg arg ..." and invoke the matching handler.
+  /// Throws CommandError for unknown commands.
+  void Dispatch(const std::string& command_line);
+
+  const std::map<std::string, FiInterface>& commands() const { return commands_; }
+
+ private:
+  std::map<std::string, FiInterface> commands_;
+};
+
+/// do_fi_fault: parse `inject_fault` arguments (without the command word)
+/// into an InjectionCommand. Throws CommandError on malformed input.
+InjectionCommand ParseInjectFault(const std::vector<std::string>& args);
+
+/// The bundled fault-injection plugin: returns an fi_interface_st whose
+/// handler parses the arguments and hands the resulting command to `sink`.
+FiInterface MakeFaultInjectionPlugin(std::function<void(InjectionCommand)> sink);
+
+}  // namespace chaser::core

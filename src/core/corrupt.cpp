@@ -1,0 +1,88 @@
+#include "core/corrupt.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "tcg/ir.h"
+
+namespace chaser::core {
+
+std::string InjectionRecord::Describe() const {
+  const char* what = target == Target::kIntRegister  ? "int-reg"
+                     : target == Target::kFpRegister ? "fp-reg"
+                                                     : "memory";
+  std::string where = target == Target::kMemory
+                          ? Hex64(vaddr)
+                          : StrFormat("%s%u", target == Target::kFpRegister ? "f" : "r", reg);
+  return StrFormat(
+      "inject %s %s at pc=#%llu (exec %llu, instret %llu): %s -> %s (mask %s)",
+      what, where.c_str(), static_cast<unsigned long long>(pc),
+      static_cast<unsigned long long>(exec_count),
+      static_cast<unsigned long long>(instret), Hex64(old_value).c_str(),
+      Hex64(new_value).c_str(), Hex64(flip_mask).c_str());
+}
+
+InjectionRecord CorruptIntRegister(vm::Vm& vm, unsigned reg, std::uint64_t flip_mask) {
+  if (reg >= guest::kNumIntRegs) {
+    throw ConfigError(StrFormat("CorruptIntRegister: r%u out of range", reg));
+  }
+  InjectionRecord rec;
+  rec.target = InjectionRecord::Target::kIntRegister;
+  rec.reg = reg;
+  rec.instret = vm.instret();
+  rec.flip_mask = flip_mask;
+  rec.old_value = vm.cpu().IntReg(reg);
+  rec.new_value = rec.old_value ^ flip_mask;
+  vm.cpu().IntReg(reg) = rec.new_value;
+  vm.taint().TaintSourceRegister(tcg::EnvInt(reg), flip_mask);
+  return rec;
+}
+
+InjectionRecord CorruptFpRegister(vm::Vm& vm, unsigned reg, std::uint64_t flip_mask) {
+  if (reg >= guest::kNumFpRegs) {
+    throw ConfigError(StrFormat("CorruptFpRegister: f%u out of range", reg));
+  }
+  InjectionRecord rec;
+  rec.target = InjectionRecord::Target::kFpRegister;
+  rec.reg = reg;
+  rec.instret = vm.instret();
+  rec.flip_mask = flip_mask;
+  rec.old_value = vm.cpu().env[tcg::EnvFp(reg)];
+  rec.new_value = rec.old_value ^ flip_mask;
+  vm.cpu().env[tcg::EnvFp(reg)] = rec.new_value;
+  vm.taint().TaintSourceRegister(tcg::EnvFp(reg), flip_mask);
+  return rec;
+}
+
+InjectionRecord CorruptMemory(vm::Vm& vm, GuestAddr vaddr, std::uint32_t size,
+                              std::uint64_t flip_mask) {
+  if (size == 0 || size > 8) throw ConfigError("CorruptMemory: size must be 1..8");
+  PhysAddr paddr = 0;
+  const auto loaded = vm.memory().Load(vaddr, size, &paddr);
+  if (!loaded) {
+    throw ConfigError("CorruptMemory: address " + Hex64(vaddr) + " not mapped");
+  }
+  InjectionRecord rec;
+  rec.target = InjectionRecord::Target::kMemory;
+  rec.vaddr = vaddr;
+  rec.instret = vm.instret();
+  rec.flip_mask = flip_mask;
+  rec.old_value = *loaded;
+  rec.new_value = rec.old_value ^ flip_mask;
+  vm.memory().Store(vaddr, size, rec.new_value, &paddr);
+  vm.taint().TaintSourceMemory(paddr, size, flip_mask);
+  return rec;
+}
+
+InjectionRecord TouchIntRegister(vm::Vm& vm, unsigned reg) {
+  InjectionRecord rec = CorruptIntRegister(vm, reg, 0);
+  vm.taint().TaintSourceRegister(tcg::EnvInt(reg), ~std::uint64_t{0});
+  return rec;
+}
+
+InjectionRecord TouchFpRegister(vm::Vm& vm, unsigned reg) {
+  InjectionRecord rec = CorruptFpRegister(vm, reg, 0);
+  vm.taint().TaintSourceRegister(tcg::EnvFp(reg), ~std::uint64_t{0});
+  return rec;
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,54 @@
+// CORRUPT_REGISTER / CORRUPT_MEMORY — the exported corruption primitives
+// (paper §III-B(c)): write bit-flips into any user-specified register or
+// memory location, and mark the flipped bits as a taint source so the
+// propagation tracer can follow the fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "guest/isa.h"
+#include "vm/vm.h"
+
+namespace chaser::core {
+
+/// What a single corruption did (one entry per injected fault).
+struct InjectionRecord {
+  enum class Target : std::uint8_t { kIntRegister, kFpRegister, kMemory };
+  Target target = Target::kIntRegister;
+  unsigned reg = 0;             // register number (register targets)
+  GuestAddr vaddr = 0;          // virtual address (memory targets)
+  std::uint64_t pc = 0;         // guest instruction index at injection
+  std::uint64_t instret = 0;    // retired instructions at injection
+  std::uint64_t exec_count = 0; // targeted-instruction execution count
+  guest::InstrClass instr_class = guest::InstrClass::kSys;
+  std::uint64_t flip_mask = 0;
+  std::uint64_t old_value = 0;
+  std::uint64_t new_value = 0;
+
+  std::string Describe() const;
+};
+
+/// Flip `flip_mask` bits of integer register `reg`; taints the flipped bits.
+/// Returns the record (caller decides where to keep it).
+InjectionRecord CorruptIntRegister(vm::Vm& vm, unsigned reg, std::uint64_t flip_mask);
+
+/// Flip `flip_mask` bits of FP register `reg` (bit pattern of the double).
+InjectionRecord CorruptFpRegister(vm::Vm& vm, unsigned reg, std::uint64_t flip_mask);
+
+/// Flip bits of `size` (<= 8) bytes of guest memory at `vaddr`. The flip mask
+/// is interpreted little-endian over the loaded bytes. Throws ConfigError if
+/// the address is unmapped (the injector should target live data).
+InjectionRecord CorruptMemory(vm::Vm& vm, GuestAddr vaddr, std::uint32_t size,
+                              std::uint64_t flip_mask);
+
+/// Re-write a register/memory cell with its *current* value (no bit flips)
+/// but still mark it tainted. Used by the overhead benches (paper §IV-D
+/// injects "the original values" so behaviour is unchanged while the tracing
+/// machinery runs at full cost).
+InjectionRecord TouchIntRegister(vm::Vm& vm, unsigned reg);
+InjectionRecord TouchFpRegister(vm::Vm& vm, unsigned reg);
+
+}  // namespace chaser::core

@@ -1,0 +1,46 @@
+// The fault-injector interface exported to users (paper §III-B: "for every
+// X86 instruction, the user can define custom fault injectors"). Chaser
+// maintains the injector and invokes it when the trigger condition holds;
+// the injector decides *how* to corrupt state using the CORRUPT_* helpers.
+//
+// The three bundled injectors under src/core/injectors/ are each ~100 lines,
+// matching the development-effort claim of Table II.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/corrupt.h"
+#include "guest/isa.h"
+#include "vm/vm.h"
+
+namespace chaser::core {
+
+/// Everything an injector sees when it fires: the VM right before the
+/// targeted instruction executes, the instruction itself, counters, the
+/// campaign RNG, and the sink for injection records.
+struct InjectionContext {
+  vm::Vm& vm;
+  std::uint64_t pc;                   // guest instruction index
+  const guest::Instruction& instr;    // the targeted instruction
+  std::uint64_t exec_count;           // 1-based targeted-execution count
+  std::uint64_t instret;              // retired instructions so far
+  Rng& rng;
+  std::vector<InjectionRecord>& records;  // append what you corrupted
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Corrupt state. Called with the machine stopped immediately before the
+  /// targeted instruction executes (just-in-time injection).
+  virtual void Inject(InjectionContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace chaser::core

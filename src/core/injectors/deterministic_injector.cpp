@@ -1,0 +1,61 @@
+// Deterministic injector plugin: exact location, exact bits, every time.
+#include "core/injectors/deterministic_injector.h"
+
+#include "common/error.h"
+#include "guest/operands.h"
+
+namespace chaser::core {
+
+DeterministicInjector::DeterministicInjector(unsigned operand_index,
+                                             std::uint64_t flip_mask)
+    : operand_index_(operand_index), flip_mask_(flip_mask) {
+  if (flip_mask == 0) {
+    throw ConfigError("DeterministicInjector: flip_mask must be non-zero");
+  }
+}
+
+DeterministicInjector::DeterministicInjector(GuestAddr vaddr, std::uint32_t size,
+                                             std::uint64_t flip_mask)
+    : flip_mask_(flip_mask), mem_vaddr_(vaddr), mem_size_(size) {
+  if (flip_mask == 0) {
+    throw ConfigError("DeterministicInjector: flip_mask must be non-zero");
+  }
+  if (size == 0 || size > 8) {
+    throw ConfigError("DeterministicInjector: size must be 1..8");
+  }
+}
+
+std::shared_ptr<FaultInjector> DeterministicInjector::Create(
+    unsigned operand_index, std::uint64_t flip_mask) {
+  return std::make_shared<DeterministicInjector>(operand_index, flip_mask);
+}
+
+void DeterministicInjector::Inject(InjectionContext& ctx) {
+  if (mem_vaddr_) {
+    ctx.records.push_back(CorruptMemory(ctx.vm, *mem_vaddr_, mem_size_, flip_mask_));
+    return;
+  }
+
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+  const std::size_t total = ops.int_sources.size() + ops.fp_sources.size();
+  if (total == 0) {
+    // No source operands: deterministically corrupt the destination.
+    if (guest::IsFpOpcode(ctx.instr.op)) {
+      ctx.records.push_back(CorruptFpRegister(ctx.vm, ctx.instr.rd, flip_mask_));
+    } else {
+      ctx.records.push_back(CorruptIntRegister(ctx.vm, ctx.instr.rd, flip_mask_));
+    }
+    return;
+  }
+
+  const std::size_t pick = operand_index_ % total;
+  if (pick < ops.int_sources.size()) {
+    ctx.records.push_back(
+        CorruptIntRegister(ctx.vm, ops.int_sources[pick], flip_mask_));
+  } else {
+    ctx.records.push_back(CorruptFpRegister(
+        ctx.vm, ops.fp_sources[pick - ops.int_sources.size()], flip_mask_));
+  }
+}
+
+}  // namespace chaser::core

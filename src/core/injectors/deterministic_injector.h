@@ -1,0 +1,41 @@
+// Deterministic injector (bundled plugin #2, Table II).
+//
+// Fault model: corrupt an exactly specified location — the k-th source
+// operand of the targeted instruction (or a fixed memory address) — by
+// flipping exactly the specified bit positions. Paired with a
+// DeterministicTrigger this reproduces a fault bit-for-bit, which is how the
+// paper re-runs "the same two cases" for the Fig. 7 analysis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class DeterministicInjector final : public FaultInjector {
+ public:
+  /// Corrupt source operand number `operand_index` (clamped to the operand
+  /// count; integer sources order before FP sources) by XOR-ing `flip_mask`.
+  DeterministicInjector(unsigned operand_index, std::uint64_t flip_mask);
+
+  /// Corrupt `size` bytes of memory at a fixed virtual address instead.
+  DeterministicInjector(GuestAddr vaddr, std::uint32_t size, std::uint64_t flip_mask);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "deterministic"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned operand_index,
+                                               std::uint64_t flip_mask);
+
+ private:
+  unsigned operand_index_ = 0;
+  std::uint64_t flip_mask_;
+  std::optional<GuestAddr> mem_vaddr_;
+  std::uint32_t mem_size_ = 8;
+};
+
+}  // namespace chaser::core

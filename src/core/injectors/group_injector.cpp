@@ -1,0 +1,44 @@
+// Group injector plugin: corrupt all FP operands of the fired instruction.
+#include "core/injectors/group_injector.h"
+
+#include "common/bits.h"
+#include "guest/operands.h"
+
+namespace chaser::core {
+
+GroupInjector::GroupInjector(unsigned nbits) : nbits_(nbits == 0 ? 1 : nbits) {}
+
+std::shared_ptr<FaultInjector> GroupInjector::Create(unsigned nbits) {
+  return std::make_shared<GroupInjector>(nbits);
+}
+
+void GroupInjector::Inject(InjectionContext& ctx) {
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+
+  if (!ops.fp_sources.empty()) {
+    for (const std::uint8_t reg : ops.fp_sources) {
+      const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, 64);
+      ctx.records.push_back(CorruptFpRegister(ctx.vm, reg, mask));
+    }
+    return;
+  }
+
+  // Instruction has no FP sources (the user targeted a non-FP class):
+  // degrade gracefully to corrupting every integer source operand.
+  if (!ops.int_sources.empty()) {
+    for (const std::uint8_t reg : ops.int_sources) {
+      const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, 64);
+      ctx.records.push_back(CorruptIntRegister(ctx.vm, reg, mask));
+    }
+    return;
+  }
+
+  const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, 64);
+  if (guest::IsFpOpcode(ctx.instr.op)) {
+    ctx.records.push_back(CorruptFpRegister(ctx.vm, ctx.instr.rd, mask));
+  } else {
+    ctx.records.push_back(CorruptIntRegister(ctx.vm, ctx.instr.rd, mask));
+  }
+}
+
+}  // namespace chaser::core

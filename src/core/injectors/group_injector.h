@@ -1,0 +1,29 @@
+// Group injector (bundled plugin #3, Table II).
+//
+// Fault model: multiple faults — every time the trigger fires (typically a
+// GroupTrigger hitting every stride-th execution of *all* floating-point
+// instruction classes), corrupt every FP source operand of the instruction.
+// Models burst/multi-bit upsets affecting the whole FP pipeline.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class GroupInjector final : public FaultInjector {
+ public:
+  /// Flip `nbits` random bits in each affected operand.
+  explicit GroupInjector(unsigned nbits = 1);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "group"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned nbits = 1);
+
+ private:
+  unsigned nbits_;
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,46 @@
+// Probabilistic injector plugin. Built only from Chaser's exported
+// interfaces: InjectionContext, OperandsOf, RandomBitMask, CORRUPT_*.
+#include "core/injectors/probabilistic_injector.h"
+
+#include "common/bits.h"
+#include "guest/operands.h"
+
+namespace chaser::core {
+
+ProbabilisticInjector::ProbabilisticInjector(unsigned nbits, unsigned bit_width)
+    : nbits_(nbits == 0 ? 1 : nbits),
+      bit_width_(bit_width == 0 || bit_width > 64 ? 64 : bit_width) {}
+
+std::shared_ptr<FaultInjector> ProbabilisticInjector::Create(unsigned nbits,
+                                                             unsigned bit_width) {
+  return std::make_shared<ProbabilisticInjector>(nbits, bit_width);
+}
+
+void ProbabilisticInjector::Inject(InjectionContext& ctx) {
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+  const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, bit_width_);
+
+  // Choose uniformly among all source operands (int and FP together).
+  const std::size_t total = ops.int_sources.size() + ops.fp_sources.size();
+  if (total == 0) {
+    // Operand-free instruction (e.g. movi): corrupt its destination instead,
+    // emulating a fault landing in the write-back path.
+    if (guest::IsFpOpcode(ctx.instr.op)) {
+      ctx.records.push_back(CorruptFpRegister(ctx.vm, ctx.instr.rd, mask));
+    } else {
+      ctx.records.push_back(CorruptIntRegister(ctx.vm, ctx.instr.rd, mask));
+    }
+    return;
+  }
+
+  const std::size_t pick = ctx.rng.Index(total);
+  if (pick < ops.int_sources.size()) {
+    ctx.records.push_back(
+        CorruptIntRegister(ctx.vm, ops.int_sources[pick], mask));
+  } else {
+    ctx.records.push_back(CorruptFpRegister(
+        ctx.vm, ops.fp_sources[pick - ops.int_sources.size()], mask));
+  }
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,32 @@
+// Probabilistic injector (bundled plugin #1, Table II).
+//
+// Fault model: when the trigger fires (typically a ProbabilisticTrigger),
+// corrupt a uniformly random source operand of the targeted instruction by
+// flipping `nbits` uniformly random bits. This is F-SEFI's probabilistic
+// model rebuilt on Chaser's exported interfaces.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class ProbabilisticInjector final : public FaultInjector {
+ public:
+  /// Flip `nbits` random bits in a random operand. `bit_width` restricts the
+  /// flipped bit positions to the low `bit_width` bits (64 = anywhere).
+  explicit ProbabilisticInjector(unsigned nbits = 1, unsigned bit_width = 64);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "probabilistic"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned nbits = 1,
+                                               unsigned bit_width = 64);
+
+ private:
+  unsigned nbits_;
+  unsigned bit_width_;
+};
+
+}  // namespace chaser::core

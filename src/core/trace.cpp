@@ -1,0 +1,75 @@
+#include "core/trace.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+#include "guest/isa.h"
+
+namespace chaser::core {
+
+const char* TraceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kInjection: return "INJECT";
+    case TraceEventKind::kTaintedRead: return "T-READ";
+    case TraceEventKind::kTaintedWrite: return "T-WRITE";
+    case TraceEventKind::kInstruction: return "I-TRACE";
+  }
+  return "?";
+}
+
+std::string TraceEvent::Describe() const {
+  return StrFormat(
+      "%-7s rank=%d instret=%llu eip=%s vaddr=%s paddr=%s size=%u value=%s taint=%s",
+      TraceEventKindName(kind), rank, static_cast<unsigned long long>(instret),
+      Hex64(guest::PcToAddr(pc)).c_str(), Hex64(vaddr).c_str(),
+      Hex64(paddr).c_str(), size, Hex64(value).c_str(), Hex64(taint).c_str());
+}
+
+void TraceLog::Add(const TraceEvent& event) {
+  ++counts_[static_cast<std::size_t>(event.kind)];
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+  } else {
+    ++dropped_;
+  }
+}
+
+std::uint64_t TraceLog::count(TraceEventKind k) const {
+  return counts_[static_cast<std::size_t>(k)];
+}
+
+void TraceLog::Clear() {
+  events_.clear();
+  counts_[0] = counts_[1] = counts_[2] = counts_[3] = 0;
+  dropped_ = 0;
+}
+
+std::string TraceLog::ToString(std::size_t limit) const {
+  std::string out = StrFormat(
+      "trace: %llu injections, %llu tainted reads, %llu tainted writes"
+      " (%zu stored, %llu dropped)\n",
+      static_cast<unsigned long long>(injections()),
+      static_cast<unsigned long long>(tainted_reads()),
+      static_cast<unsigned long long>(tainted_writes()), events_.size(),
+      static_cast<unsigned long long>(dropped_));
+  const std::size_t n = std::min(limit, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out += "  " + events_[i].Describe() + "\n";
+  }
+  if (events_.size() > n) {
+    out += StrFormat("  ... %zu more stored events\n", events_.size() - n);
+  }
+  return out;
+}
+
+void TraceLog::WriteCsv(std::ostream& out) const {
+  out << "kind,rank,instret,eip,vaddr,paddr,size,value,taint\n";
+  for (const TraceEvent& e : events_) {
+    out << TraceEventKindName(e.kind) << ',' << e.rank << ',' << e.instret
+        << ',' << Hex64(guest::PcToAddr(e.pc)) << ',' << Hex64(e.vaddr) << ','
+        << Hex64(e.paddr) << ',' << e.size << ',' << Hex64(e.value) << ','
+        << Hex64(e.taint) << '\n';
+  }
+}
+
+}  // namespace chaser::core

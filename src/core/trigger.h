@@ -1,0 +1,94 @@
+// Injection triggers — the paper's fi_trigger_st.
+//
+// The DECAF_inject_fault helper runs before every *targeted* instruction and
+// bumps an execution counter; the trigger decides, from that counter (and
+// optionally randomness), whether the fault injector fires now. A trigger
+// also knows when it is exhausted so Chaser can detach the injector
+// (fi_clean_cb) and flush the instrumentation out of the translation cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+
+namespace chaser::core {
+
+class Trigger {
+ public:
+  virtual ~Trigger() = default;
+
+  /// Called once per execution of a targeted instruction with the 1-based
+  /// execution count. Returns true when the injector must fire now.
+  virtual bool ShouldFire(std::uint64_t exec_count, Rng& rng) = 0;
+
+  /// True once no further firing is possible; Chaser detaches the injector.
+  virtual bool Expired() const = 0;
+
+  /// Fresh stateful copy (campaigns re-arm the same command per run).
+  virtual std::unique_ptr<Trigger> Clone() const = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+/// Deterministic fault model (Table I): fire exactly at the n-th execution.
+class DeterministicTrigger final : public Trigger {
+ public:
+  explicit DeterministicTrigger(std::uint64_t nth);
+  bool ShouldFire(std::uint64_t exec_count, Rng& rng) override;
+  bool Expired() const override { return fired_; }
+  std::unique_ptr<Trigger> Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::uint64_t nth_;
+  bool fired_ = false;
+};
+
+/// Probabilistic fault model (Table I): fire with probability p at each
+/// execution, at most `max_injections` times.
+class ProbabilisticTrigger final : public Trigger {
+ public:
+  ProbabilisticTrigger(double probability, std::uint64_t max_injections = 1);
+  bool ShouldFire(std::uint64_t exec_count, Rng& rng) override;
+  bool Expired() const override { return fired_ >= max_injections_; }
+  std::unique_ptr<Trigger> Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  double probability_;
+  std::uint64_t max_injections_;
+  std::uint64_t fired_ = 0;
+};
+
+/// Group fault model (Table I): multiple faults — fire at every `stride`-th
+/// execution starting at `first`, up to `max_injections` times.
+class GroupTrigger final : public Trigger {
+ public:
+  GroupTrigger(std::uint64_t first, std::uint64_t stride,
+               std::uint64_t max_injections);
+  bool ShouldFire(std::uint64_t exec_count, Rng& rng) override;
+  bool Expired() const override { return fired_ >= max_injections_; }
+  std::unique_ptr<Trigger> Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::uint64_t first_;
+  std::uint64_t stride_;
+  std::uint64_t max_injections_;
+  std::uint64_t fired_ = 0;
+};
+
+/// Never fires — used for profiling runs that only count targeted executions.
+class NeverTrigger final : public Trigger {
+ public:
+  bool ShouldFire(std::uint64_t, Rng&) override { return false; }
+  bool Expired() const override { return false; }
+  std::unique_ptr<Trigger> Clone() const override {
+    return std::make_unique<NeverTrigger>();
+  }
+  std::string Describe() const override { return "never"; }
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,338 @@
+#include "guest/builder.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::guest {
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+ProgramBuilder::Label ProgramBuilder::NewLabel(const std::string& name) {
+  LabelInfo info;
+  info.name = name.empty() ? StrFormat("L%zu", labels_.size()) : name;
+  labels_.push_back(info);
+  return Label(static_cast<std::uint32_t>(labels_.size() - 1));
+}
+
+void ProgramBuilder::Bind(Label l) {
+  if (l.id_ >= labels_.size()) throw AssemblyError("Bind: invalid label");
+  LabelInfo& info = labels_[l.id_];
+  if (info.bound) throw AssemblyError("Bind: label '" + info.name + "' bound twice");
+  info.bound = true;
+  info.index = text_.size();
+  code_labels_[info.name] = info.index;
+}
+
+ProgramBuilder::Label ProgramBuilder::Here(const std::string& name) {
+  Label l = NewLabel(name);
+  Bind(l);
+  return l;
+}
+
+void ProgramBuilder::SetEntry(Label l) {
+  if (l.id_ >= labels_.size()) throw AssemblyError("SetEntry: invalid label");
+  has_entry_ = true;
+  entry_label_ = l.id_;
+}
+
+GuestAddr ProgramBuilder::PlaceData(const std::string& label, const std::uint8_t* p,
+                                    std::size_t n) {
+  // 8-byte align each object so FP loads are naturally aligned.
+  while (data_.size() % 8 != 0) data_.push_back(0);
+  const GuestAddr addr = kDataBase + data_.size();
+  data_.insert(data_.end(), p, p + n);
+  if (!label.empty()) {
+    if (data_labels_.count(label) != 0) {
+      throw AssemblyError("duplicate data label '" + label + "'");
+    }
+    data_labels_[label] = addr;
+  }
+  return addr;
+}
+
+GuestAddr ProgramBuilder::DataBytes(const std::string& label,
+                                    std::span<const std::uint8_t> bytes) {
+  return PlaceData(label, bytes.data(), bytes.size());
+}
+
+GuestAddr ProgramBuilder::DataU64(const std::string& label,
+                                  std::span<const std::uint64_t> words) {
+  return PlaceData(label, reinterpret_cast<const std::uint8_t*>(words.data()),
+                   words.size() * 8);
+}
+
+GuestAddr ProgramBuilder::DataF64(const std::string& label,
+                                  std::span<const double> values) {
+  return PlaceData(label, reinterpret_cast<const std::uint8_t*>(values.data()),
+                   values.size() * 8);
+}
+
+GuestAddr ProgramBuilder::DataString(const std::string& label, const std::string& text) {
+  return PlaceData(label, reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size());
+}
+
+GuestAddr ProgramBuilder::Bss(const std::string& label, std::uint64_t bytes) {
+  bss_cursor_ = (bss_cursor_ + 7) & ~std::uint64_t{7};
+  const GuestAddr addr = kBssBase + bss_cursor_;
+  bss_cursor_ += bytes;
+  if (!label.empty()) {
+    if (data_labels_.count(label) != 0) {
+      throw AssemblyError("duplicate data label '" + label + "'");
+    }
+    data_labels_[label] = addr;
+  }
+  return addr;
+}
+
+void ProgramBuilder::CheckReg(std::uint8_t n) const {
+  if (n >= kNumIntRegs) throw AssemblyError(StrFormat("register r%u out of range", n));
+}
+
+void ProgramBuilder::Emit(const Instruction& in) {
+  if (finalized_) throw AssemblyError("emit after Finalize()");
+  text_.push_back(in);
+}
+
+// ---- Plain emitters ---------------------------------------------------------
+
+void ProgramBuilder::Nop() { Emit({.op = Opcode::kNop}); }
+void ProgramBuilder::Halt() { Emit({.op = Opcode::kHalt}); }
+
+void ProgramBuilder::Mov(Reg rd, Reg rs) {
+  CheckReg(rd.n);
+  CheckReg(rs.n);
+  Emit({.op = Opcode::kMovRR, .rd = rd.n, .rs1 = rs.n});
+}
+
+void ProgramBuilder::MovI(Reg rd, std::int64_t imm) {
+  CheckReg(rd.n);
+  Emit({.op = Opcode::kMovRI, .rd = rd.n, .imm = imm});
+}
+
+void ProgramBuilder::MovILabel(Reg rd, Label l) {
+  CheckReg(rd.n);
+  fixups_.push_back({text_.size(), l.id_});
+  Emit({.op = Opcode::kMovRI, .rd = rd.n, .imm = 0});
+}
+
+void ProgramBuilder::Ld(Reg rd, Reg base, std::int64_t disp, MemSize sz) {
+  CheckReg(rd.n);
+  CheckReg(base.n);
+  Emit({.op = Opcode::kLd, .rd = rd.n, .rs1 = base.n, .size = sz, .imm = disp});
+}
+
+void ProgramBuilder::LdS(Reg rd, Reg base, std::int64_t disp, MemSize sz) {
+  CheckReg(rd.n);
+  CheckReg(base.n);
+  Emit({.op = Opcode::kLdS, .rd = rd.n, .rs1 = base.n, .size = sz, .imm = disp});
+}
+
+void ProgramBuilder::St(Reg base, std::int64_t disp, Reg rs, MemSize sz) {
+  CheckReg(base.n);
+  CheckReg(rs.n);
+  Emit({.op = Opcode::kSt, .rs1 = base.n, .rs2 = rs.n, .size = sz, .imm = disp});
+}
+
+void ProgramBuilder::Push(Reg rs) {
+  CheckReg(rs.n);
+  Emit({.op = Opcode::kPush, .rs1 = rs.n});
+}
+
+void ProgramBuilder::Pop(Reg rd) {
+  CheckReg(rd.n);
+  Emit({.op = Opcode::kPop, .rd = rd.n});
+}
+
+void ProgramBuilder::Alu(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+  CheckReg(rd.n);
+  CheckReg(rs1.n);
+  CheckReg(rs2.n);
+  Emit({.op = op, .rd = rd.n, .rs1 = rs1.n, .rs2 = rs2.n});
+}
+
+void ProgramBuilder::AluI(Opcode op, Reg rd, Reg rs1, std::int64_t imm) {
+  CheckReg(rd.n);
+  CheckReg(rs1.n);
+  Emit({.op = op, .rd = rd.n, .rs1 = rs1.n, .use_imm = true, .imm = imm});
+}
+
+void ProgramBuilder::Add(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kAdd, rd, rs1, rs2); }
+void ProgramBuilder::AddI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kAdd, rd, rs1, imm); }
+void ProgramBuilder::Sub(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kSub, rd, rs1, rs2); }
+void ProgramBuilder::SubI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kSub, rd, rs1, imm); }
+void ProgramBuilder::Mul(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kMul, rd, rs1, rs2); }
+void ProgramBuilder::MulI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kMul, rd, rs1, imm); }
+void ProgramBuilder::DivS(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kDivS, rd, rs1, rs2); }
+void ProgramBuilder::DivU(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kDivU, rd, rs1, rs2); }
+void ProgramBuilder::RemS(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kRemS, rd, rs1, rs2); }
+void ProgramBuilder::RemU(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kRemU, rd, rs1, rs2); }
+void ProgramBuilder::And(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kAnd, rd, rs1, rs2); }
+void ProgramBuilder::AndI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kAnd, rd, rs1, imm); }
+void ProgramBuilder::Or(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kOr, rd, rs1, rs2); }
+void ProgramBuilder::OrI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kOr, rd, rs1, imm); }
+void ProgramBuilder::Xor(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kXor, rd, rs1, rs2); }
+void ProgramBuilder::XorI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kXor, rd, rs1, imm); }
+void ProgramBuilder::Shl(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kShl, rd, rs1, rs2); }
+void ProgramBuilder::ShlI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kShl, rd, rs1, imm); }
+void ProgramBuilder::Shr(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kShr, rd, rs1, rs2); }
+void ProgramBuilder::ShrI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kShr, rd, rs1, imm); }
+void ProgramBuilder::Sar(Reg rd, Reg rs1, Reg rs2) { Alu(Opcode::kSar, rd, rs1, rs2); }
+void ProgramBuilder::SarI(Reg rd, Reg rs1, std::int64_t imm) { AluI(Opcode::kSar, rd, rs1, imm); }
+
+void ProgramBuilder::Not(Reg rd, Reg rs1) {
+  CheckReg(rd.n);
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kNot, .rd = rd.n, .rs1 = rs1.n});
+}
+
+void ProgramBuilder::Neg(Reg rd, Reg rs1) {
+  CheckReg(rd.n);
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kNeg, .rd = rd.n, .rs1 = rs1.n});
+}
+
+void ProgramBuilder::Cmp(Reg rs1, Reg rs2) {
+  CheckReg(rs1.n);
+  CheckReg(rs2.n);
+  Emit({.op = Opcode::kCmp, .rs1 = rs1.n, .rs2 = rs2.n});
+}
+
+void ProgramBuilder::CmpI(Reg rs1, std::int64_t imm) {
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kCmp, .rs1 = rs1.n, .use_imm = true, .imm = imm});
+}
+
+void ProgramBuilder::EmitBranchLike(Opcode op, Cond c, Label l, std::uint8_t rs1) {
+  if (l.id_ >= labels_.size()) throw AssemblyError("branch to invalid label");
+  fixups_.push_back({text_.size(), l.id_});
+  Emit({.op = op, .rs1 = rs1, .cond = c, .imm = 0});
+}
+
+void ProgramBuilder::Jmp(Label l) { EmitBranchLike(Opcode::kJmp, Cond::kEq, l); }
+void ProgramBuilder::Br(Cond c, Label l) { EmitBranchLike(Opcode::kBr, c, l); }
+void ProgramBuilder::Call(Label l) { EmitBranchLike(Opcode::kCall, Cond::kEq, l); }
+
+void ProgramBuilder::CallR(Reg rs1) {
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kCallR, .rs1 = rs1.n});
+}
+
+void ProgramBuilder::Ret() { Emit({.op = Opcode::kRet}); }
+
+void ProgramBuilder::Fmov(FReg fd, FReg fs) {
+  Emit({.op = Opcode::kFmovRR, .rd = fd.n, .rs1 = fs.n});
+}
+
+void ProgramBuilder::FmovI(FReg fd, double value) {
+  Emit({.op = Opcode::kFmovI, .rd = fd.n, .fimm = value});
+}
+
+void ProgramBuilder::Fld(FReg fd, Reg base, std::int64_t disp) {
+  CheckReg(base.n);
+  Emit({.op = Opcode::kFld, .rd = fd.n, .rs1 = base.n, .imm = disp});
+}
+
+void ProgramBuilder::Fst(Reg base, std::int64_t disp, FReg fs) {
+  CheckReg(base.n);
+  Emit({.op = Opcode::kFst, .rs1 = base.n, .rs2 = fs.n, .imm = disp});
+}
+
+void ProgramBuilder::Falu(Opcode op, FReg fd, FReg fs1, FReg fs2) {
+  Emit({.op = op, .rd = fd.n, .rs1 = fs1.n, .rs2 = fs2.n});
+}
+
+void ProgramBuilder::Fadd(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFadd, fd, fs1, fs2); }
+void ProgramBuilder::Fsub(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFsub, fd, fs1, fs2); }
+void ProgramBuilder::Fmul(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFmul, fd, fs1, fs2); }
+void ProgramBuilder::Fdiv(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFdiv, fd, fs1, fs2); }
+void ProgramBuilder::Fmin(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFmin, fd, fs1, fs2); }
+void ProgramBuilder::Fmax(FReg fd, FReg fs1, FReg fs2) { Falu(Opcode::kFmax, fd, fs1, fs2); }
+
+void ProgramBuilder::Fneg(FReg fd, FReg fs1) {
+  Emit({.op = Opcode::kFneg, .rd = fd.n, .rs1 = fs1.n});
+}
+
+void ProgramBuilder::Fabs(FReg fd, FReg fs1) {
+  Emit({.op = Opcode::kFabs, .rd = fd.n, .rs1 = fs1.n});
+}
+
+void ProgramBuilder::Fsqrt(FReg fd, FReg fs1) {
+  Emit({.op = Opcode::kFsqrt, .rd = fd.n, .rs1 = fs1.n});
+}
+
+void ProgramBuilder::Fcmp(FReg fs1, FReg fs2) {
+  Emit({.op = Opcode::kFcmp, .rs1 = fs1.n, .rs2 = fs2.n});
+}
+
+void ProgramBuilder::CvtIF(FReg fd, Reg rs1) {
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kCvtIF, .rd = fd.n, .rs1 = rs1.n});
+}
+
+void ProgramBuilder::CvtFI(Reg rd, FReg fs1) {
+  CheckReg(rd.n);
+  Emit({.op = Opcode::kCvtFI, .rd = rd.n, .rs1 = fs1.n});
+}
+
+void ProgramBuilder::Fbits(Reg rd, FReg fs1) {
+  CheckReg(rd.n);
+  Emit({.op = Opcode::kFbits, .rd = rd.n, .rs1 = fs1.n});
+}
+
+void ProgramBuilder::BitsF(FReg fd, Reg rs1) {
+  CheckReg(rs1.n);
+  Emit({.op = Opcode::kBitsF, .rd = fd.n, .rs1 = rs1.n});
+}
+
+void ProgramBuilder::Syscall() { Emit({.op = Opcode::kSyscall}); }
+
+void ProgramBuilder::Sys(guest::Sys service) {
+  MovI(R(7), static_cast<std::int64_t>(service));
+  Syscall();
+}
+
+void ProgramBuilder::Exit(std::int64_t code) {
+  MovI(R(1), code);
+  Sys(guest::Sys::kExit);
+}
+
+void ProgramBuilder::Write(std::int64_t fd, Reg buf, Reg len) {
+  MovI(R(1), fd);
+  Mov(R(2), buf);
+  Mov(R(3), len);
+  Sys(guest::Sys::kWrite);
+}
+
+void ProgramBuilder::AssertFail(std::int64_t check_id) {
+  MovI(R(1), check_id);
+  Sys(guest::Sys::kAssertFail);
+}
+
+Program ProgramBuilder::Finalize() {
+  if (finalized_) throw AssemblyError("Finalize() called twice");
+  for (const Fixup& f : fixups_) {
+    const LabelInfo& info = labels_[f.label_id];
+    if (!info.bound) {
+      throw AssemblyError("unbound label '" + info.name + "' in " + name_);
+    }
+    text_[f.instr_index].imm = static_cast<std::int64_t>(info.index);
+  }
+  Program p;
+  p.name = name_;
+  p.text = std::move(text_);
+  p.data = std::move(data_);
+  p.bss_bytes = bss_cursor_;
+  p.entry = has_entry_ ? labels_[entry_label_].index : 0;
+  if (has_entry_ && !labels_[entry_label_].bound) {
+    throw AssemblyError("entry label unbound in " + name_);
+  }
+  p.code_labels = std::move(code_labels_);
+  p.data_labels = std::move(data_labels_);
+  finalized_ = true;
+  return p;
+}
+
+}  // namespace chaser::guest

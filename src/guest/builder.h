@@ -1,0 +1,179 @@
+// ProgramBuilder: a typed, label-resolving assembler for GISA-64.
+//
+// Guest applications (src/apps) are authored against this API. It plays the
+// role of the compiler+linker that produced the x86 binaries the paper's
+// authors ran under QEMU: it emits Instruction records, places initialised
+// data and bss, and resolves forward label references at Finalize() time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "guest/program.h"
+
+namespace chaser::guest {
+
+/// Typed integer-register operand (prevents mixing int and FP registers).
+struct Reg {
+  std::uint8_t n;
+};
+/// Typed FP-register operand.
+struct FReg {
+  std::uint8_t n;
+};
+
+constexpr Reg R(unsigned n) { return Reg{static_cast<std::uint8_t>(n)}; }
+constexpr FReg F(unsigned n) { return FReg{static_cast<std::uint8_t>(n)}; }
+constexpr Reg SP = Reg{kSpReg};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ---- Labels -------------------------------------------------------------
+  class Label {
+   public:
+    Label() = default;
+
+   private:
+    friend class ProgramBuilder;
+    explicit Label(std::uint32_t id) : id_(id) {}
+    std::uint32_t id_ = 0xffffffffu;
+  };
+
+  Label NewLabel(const std::string& name = "");
+  void Bind(Label l);
+  /// Shorthand: create a label and bind it here.
+  Label Here(const std::string& name = "");
+  /// Mark the entry point (defaults to instruction 0).
+  void SetEntry(Label l);
+
+  // ---- Data placement -----------------------------------------------------
+  GuestAddr DataBytes(const std::string& label, std::span<const std::uint8_t> bytes);
+  GuestAddr DataU64(const std::string& label, std::span<const std::uint64_t> words);
+  GuestAddr DataF64(const std::string& label, std::span<const double> values);
+  GuestAddr DataString(const std::string& label, const std::string& text);
+  /// Reserve `bytes` of zero-initialised storage (8-byte aligned).
+  GuestAddr Bss(const std::string& label, std::uint64_t bytes);
+
+  // ---- Instructions -------------------------------------------------------
+  void Nop();
+  void Halt();
+
+  void Mov(Reg rd, Reg rs);
+  void MovI(Reg rd, std::int64_t imm);
+  /// rd <- instruction index of `l` (for indirect calls through CallR).
+  void MovILabel(Reg rd, Label l);
+  void Ld(Reg rd, Reg base, std::int64_t disp, MemSize sz = MemSize::k8);
+  void LdS(Reg rd, Reg base, std::int64_t disp, MemSize sz = MemSize::k8);
+  void St(Reg base, std::int64_t disp, Reg rs, MemSize sz = MemSize::k8);
+  void Push(Reg rs);
+  void Pop(Reg rd);
+
+  void Add(Reg rd, Reg rs1, Reg rs2);
+  void AddI(Reg rd, Reg rs1, std::int64_t imm);
+  void Sub(Reg rd, Reg rs1, Reg rs2);
+  void SubI(Reg rd, Reg rs1, std::int64_t imm);
+  void Mul(Reg rd, Reg rs1, Reg rs2);
+  void MulI(Reg rd, Reg rs1, std::int64_t imm);
+  void DivS(Reg rd, Reg rs1, Reg rs2);
+  void DivU(Reg rd, Reg rs1, Reg rs2);
+  void RemS(Reg rd, Reg rs1, Reg rs2);
+  void RemU(Reg rd, Reg rs1, Reg rs2);
+  void And(Reg rd, Reg rs1, Reg rs2);
+  void AndI(Reg rd, Reg rs1, std::int64_t imm);
+  void Or(Reg rd, Reg rs1, Reg rs2);
+  void OrI(Reg rd, Reg rs1, std::int64_t imm);
+  void Xor(Reg rd, Reg rs1, Reg rs2);
+  void XorI(Reg rd, Reg rs1, std::int64_t imm);
+  void Shl(Reg rd, Reg rs1, Reg rs2);
+  void ShlI(Reg rd, Reg rs1, std::int64_t imm);
+  void Shr(Reg rd, Reg rs1, Reg rs2);
+  void ShrI(Reg rd, Reg rs1, std::int64_t imm);
+  void Sar(Reg rd, Reg rs1, Reg rs2);
+  void SarI(Reg rd, Reg rs1, std::int64_t imm);
+  void Not(Reg rd, Reg rs1);
+  void Neg(Reg rd, Reg rs1);
+
+  void Cmp(Reg rs1, Reg rs2);
+  void CmpI(Reg rs1, std::int64_t imm);
+
+  void Jmp(Label l);
+  void Br(Cond c, Label l);
+  void Call(Label l);
+  void CallR(Reg rs1);
+  void Ret();
+
+  void Fmov(FReg fd, FReg fs);
+  void FmovI(FReg fd, double value);
+  void Fld(FReg fd, Reg base, std::int64_t disp);
+  void Fst(Reg base, std::int64_t disp, FReg fs);
+  void Fadd(FReg fd, FReg fs1, FReg fs2);
+  void Fsub(FReg fd, FReg fs1, FReg fs2);
+  void Fmul(FReg fd, FReg fs1, FReg fs2);
+  void Fdiv(FReg fd, FReg fs1, FReg fs2);
+  void Fneg(FReg fd, FReg fs1);
+  void Fabs(FReg fd, FReg fs1);
+  void Fsqrt(FReg fd, FReg fs1);
+  void Fmin(FReg fd, FReg fs1, FReg fs2);
+  void Fmax(FReg fd, FReg fs1, FReg fs2);
+  void Fcmp(FReg fs1, FReg fs2);
+  void CvtIF(FReg fd, Reg rs1);
+  void CvtFI(Reg rd, FReg fs1);
+  void Fbits(Reg rd, FReg fs1);
+  void BitsF(FReg fd, Reg rs1);
+
+  void Syscall();
+
+  // ---- Convenience sequences (clobber r7; args per Sys contract) ----------
+  /// exit(code): r7 <- kExit, r1 <- code, syscall.
+  void Exit(std::int64_t code);
+  /// write(fd, buf_reg, len_reg) — buf/len already in registers.
+  void Write(std::int64_t fd, Reg buf, Reg len);
+  /// Raise a program-level assertion failure with `check_id` (see Sys).
+  void AssertFail(std::int64_t check_id);
+  /// Set r7 and issue the syscall (args must already be in r1..r6).
+  void Sys(guest::Sys service);
+
+  /// Current instruction index (for size accounting / tests).
+  std::uint64_t TextSize() const { return text_.size(); }
+
+  /// Resolve all fixups and produce the Program. Throws AssemblyError on
+  /// unbound labels or out-of-range operands.
+  Program Finalize();
+
+ private:
+  struct LabelInfo {
+    std::string name;
+    bool bound = false;
+    std::uint64_t index = 0;
+  };
+  struct Fixup {
+    std::uint64_t instr_index;
+    std::uint32_t label_id;
+  };
+
+  void Emit(const Instruction& in);
+  void EmitBranchLike(Opcode op, Cond c, Label l, std::uint8_t rs1 = 0);
+  void Alu(Opcode op, Reg rd, Reg rs1, Reg rs2);
+  void AluI(Opcode op, Reg rd, Reg rs1, std::int64_t imm);
+  void Falu(Opcode op, FReg fd, FReg fs1, FReg fs2);
+  GuestAddr PlaceData(const std::string& label, const std::uint8_t* p, std::size_t n);
+  void CheckReg(std::uint8_t n) const;
+
+  std::string name_;
+  std::vector<Instruction> text_;
+  std::vector<std::uint8_t> data_;
+  std::uint64_t bss_cursor_ = 0;
+  std::vector<LabelInfo> labels_;
+  std::vector<Fixup> fixups_;
+  std::map<std::string, std::uint64_t> code_labels_;
+  std::map<std::string, GuestAddr> data_labels_;
+  bool has_entry_ = false;
+  std::uint32_t entry_label_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace chaser::guest

@@ -1,0 +1,133 @@
+#include "guest/disasm.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace chaser::guest {
+namespace {
+
+std::string IntReg(std::uint8_t n) { return StrFormat("r%u", n); }
+std::string FpReg(std::uint8_t n) { return StrFormat("f%u", n); }
+
+std::string Mem(std::uint8_t base, std::int64_t disp) {
+  if (disp == 0) return StrFormat("[r%u]", base);
+  return StrFormat("[r%u%+lld]", base, static_cast<long long>(disp));
+}
+
+}  // namespace
+
+std::string Disassemble(const Instruction& in) {
+  const char* name = OpcodeName(in.op);
+  switch (in.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+    case Opcode::kSyscall:
+      return name;
+    case Opcode::kMovRR:
+      return StrFormat("%s %s, %s", name, IntReg(in.rd).c_str(), IntReg(in.rs1).c_str());
+    case Opcode::kMovRI:
+      return StrFormat("%s %s, %lld", name, IntReg(in.rd).c_str(),
+                       static_cast<long long>(in.imm));
+    case Opcode::kLd:
+    case Opcode::kLdS:
+      return StrFormat("%s%u %s, %s", name, static_cast<unsigned>(in.size) * 8,
+                       IntReg(in.rd).c_str(), Mem(in.rs1, in.imm).c_str());
+    case Opcode::kSt:
+      return StrFormat("%s%u %s, %s", name, static_cast<unsigned>(in.size) * 8,
+                       Mem(in.rs1, in.imm).c_str(), IntReg(in.rs2).c_str());
+    case Opcode::kPush:
+      return StrFormat("%s %s", name, IntReg(in.rs1).c_str());
+    case Opcode::kPop:
+      return StrFormat("%s %s", name, IntReg(in.rd).c_str());
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDivS:
+    case Opcode::kDivU:
+    case Opcode::kRemS:
+    case Opcode::kRemU:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+      if (in.use_imm) {
+        return StrFormat("%s %s, %s, %lld", name, IntReg(in.rd).c_str(),
+                         IntReg(in.rs1).c_str(), static_cast<long long>(in.imm));
+      }
+      return StrFormat("%s %s, %s, %s", name, IntReg(in.rd).c_str(),
+                       IntReg(in.rs1).c_str(), IntReg(in.rs2).c_str());
+    case Opcode::kNot:
+    case Opcode::kNeg:
+      return StrFormat("%s %s, %s", name, IntReg(in.rd).c_str(), IntReg(in.rs1).c_str());
+    case Opcode::kCmp:
+      if (in.use_imm) {
+        return StrFormat("%s %s, %lld", name, IntReg(in.rs1).c_str(),
+                         static_cast<long long>(in.imm));
+      }
+      return StrFormat("%s %s, %s", name, IntReg(in.rs1).c_str(), IntReg(in.rs2).c_str());
+    case Opcode::kJmp:
+    case Opcode::kCall:
+      return StrFormat("%s #%lld", name, static_cast<long long>(in.imm));
+    case Opcode::kBr:
+      return StrFormat("b%s #%lld", CondName(in.cond), static_cast<long long>(in.imm));
+    case Opcode::kCallR:
+      return StrFormat("%s %s", name, IntReg(in.rs1).c_str());
+    case Opcode::kFmovRR:
+      return StrFormat("%s %s, %s", name, FpReg(in.rd).c_str(), FpReg(in.rs1).c_str());
+    case Opcode::kFmovI:
+      return StrFormat("%s %s, %g", name, FpReg(in.rd).c_str(), in.fimm);
+    case Opcode::kFld:
+      return StrFormat("%s %s, %s", name, FpReg(in.rd).c_str(), Mem(in.rs1, in.imm).c_str());
+    case Opcode::kFst:
+      return StrFormat("%s %s, %s", name, Mem(in.rs1, in.imm).c_str(), FpReg(in.rs2).c_str());
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+      return StrFormat("%s %s, %s, %s", name, FpReg(in.rd).c_str(),
+                       FpReg(in.rs1).c_str(), FpReg(in.rs2).c_str());
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFsqrt:
+      return StrFormat("%s %s, %s", name, FpReg(in.rd).c_str(), FpReg(in.rs1).c_str());
+    case Opcode::kFcmp:
+      return StrFormat("%s %s, %s", name, FpReg(in.rs1).c_str(), FpReg(in.rs2).c_str());
+    case Opcode::kCvtIF:
+      return StrFormat("%s %s, %s", name, FpReg(in.rd).c_str(), IntReg(in.rs1).c_str());
+    case Opcode::kCvtFI:
+      return StrFormat("%s %s, %s", name, IntReg(in.rd).c_str(), FpReg(in.rs1).c_str());
+    case Opcode::kFbits:
+      return StrFormat("%s %s, %s", name, IntReg(in.rd).c_str(), FpReg(in.rs1).c_str());
+    case Opcode::kBitsF:
+      return StrFormat("%s %s, %s", name, FpReg(in.rd).c_str(), IntReg(in.rs1).c_str());
+  }
+  return "?";
+}
+
+std::string DisassembleProgram(const Program& p) {
+  // Invert the label map for printing.
+  std::map<std::uint64_t, std::string> by_index;
+  for (const auto& [label, idx] : p.code_labels) by_index[idx] = label;
+
+  std::string out = StrFormat("; program '%s', %zu instructions, %zu data bytes, "
+                              "%llu bss bytes, entry #%llu\n",
+                              p.name.c_str(), p.text.size(), p.data.size(),
+                              static_cast<unsigned long long>(p.bss_bytes),
+                              static_cast<unsigned long long>(p.entry));
+  for (std::uint64_t i = 0; i < p.text.size(); ++i) {
+    const auto it = by_index.find(i);
+    if (it != by_index.end()) out += it->second + ":\n";
+    out += StrFormat("  %s  #%-5llu %s\n", Hex64(PcToAddr(i)).c_str(),
+                     static_cast<unsigned long long>(i),
+                     Disassemble(p.text[i]).c_str());
+  }
+  return out;
+}
+
+}  // namespace chaser::guest

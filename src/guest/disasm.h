@@ -1,0 +1,16 @@
+// Disassembler for GISA-64 instructions (used by trace logs and debugging).
+#pragma once
+
+#include <string>
+
+#include "guest/program.h"
+
+namespace chaser::guest {
+
+/// One-line rendering of a single instruction, e.g. "fadd f2, f0, f1".
+std::string Disassemble(const Instruction& in);
+
+/// Full program listing with labels and addresses.
+std::string DisassembleProgram(const Program& p);
+
+}  // namespace chaser::guest

@@ -1,0 +1,210 @@
+#include "guest/isa.h"
+
+#include "common/strings.h"
+
+namespace chaser::guest {
+
+InstrClass ClassOf(Opcode op) {
+  switch (op) {
+    case Opcode::kMovRR:
+    case Opcode::kMovRI:
+    case Opcode::kLd:
+    case Opcode::kLdS:
+    case Opcode::kSt:
+    case Opcode::kPush:
+    case Opcode::kPop:
+      return InstrClass::kMov;
+    case Opcode::kFmovRR:
+    case Opcode::kFmovI:
+    case Opcode::kFld:
+    case Opcode::kFst:
+    case Opcode::kCvtIF:
+    case Opcode::kCvtFI:
+    case Opcode::kFbits:
+    case Opcode::kBitsF:
+      return InstrClass::kFmov;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kNeg:
+      return InstrClass::kAdd;
+    case Opcode::kMul:
+    case Opcode::kDivS:
+    case Opcode::kDivU:
+    case Opcode::kRemS:
+    case Opcode::kRemU:
+      return InstrClass::kMul;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kNot:
+      return InstrClass::kLogic;
+    case Opcode::kCmp:
+    case Opcode::kFcmp:
+      return InstrClass::kCmp;
+    case Opcode::kJmp:
+    case Opcode::kBr:
+    case Opcode::kCall:
+    case Opcode::kCallR:
+    case Opcode::kRet:
+      return InstrClass::kBranch;
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+      return InstrClass::kFadd;
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+      return InstrClass::kFmul;
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFsqrt:
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+      return InstrClass::kFother;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kSyscall:
+      return InstrClass::kSys;
+  }
+  return InstrClass::kSys;
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kMovRR: return "mov";
+    case Opcode::kMovRI: return "movi";
+    case Opcode::kLd: return "ld";
+    case Opcode::kLdS: return "lds";
+    case Opcode::kSt: return "st";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDivS: return "divs";
+    case Opcode::kDivU: return "divu";
+    case Opcode::kRemS: return "rems";
+    case Opcode::kRemU: return "remu";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSar: return "sar";
+    case Opcode::kNot: return "not";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kBr: return "br";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallR: return "callr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kFmovRR: return "fmov";
+    case Opcode::kFmovI: return "fmovi";
+    case Opcode::kFld: return "fld";
+    case Opcode::kFst: return "fst";
+    case Opcode::kFadd: return "fadd";
+    case Opcode::kFsub: return "fsub";
+    case Opcode::kFmul: return "fmul";
+    case Opcode::kFdiv: return "fdiv";
+    case Opcode::kFneg: return "fneg";
+    case Opcode::kFabs: return "fabs";
+    case Opcode::kFsqrt: return "fsqrt";
+    case Opcode::kFmin: return "fmin";
+    case Opcode::kFmax: return "fmax";
+    case Opcode::kFcmp: return "fcmp";
+    case Opcode::kCvtIF: return "cvtif";
+    case Opcode::kCvtFI: return "cvtfi";
+    case Opcode::kFbits: return "fbits";
+    case Opcode::kBitsF: return "bitsf";
+    case Opcode::kSyscall: return "syscall";
+  }
+  return "?";
+}
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+    case Cond::kLtU: return "ltu";
+    case Cond::kGeU: return "geu";
+  }
+  return "?";
+}
+
+const char* ClassName(InstrClass c) {
+  switch (c) {
+    case InstrClass::kMov: return "mov";
+    case InstrClass::kFmov: return "fmov";
+    case InstrClass::kAdd: return "add";
+    case InstrClass::kMul: return "mul";
+    case InstrClass::kLogic: return "logic";
+    case InstrClass::kCmp: return "cmp";
+    case InstrClass::kBranch: return "branch";
+    case InstrClass::kFadd: return "fadd";
+    case InstrClass::kFmul: return "fmul";
+    case InstrClass::kFother: return "fother";
+    case InstrClass::kSys: return "sys";
+  }
+  return "?";
+}
+
+bool ParseInstrClass(const std::string& name, InstrClass* out) {
+  const std::string n = ToLower(name);
+  static constexpr InstrClass kAll[] = {
+      InstrClass::kMov,  InstrClass::kFmov,   InstrClass::kAdd,
+      InstrClass::kMul,  InstrClass::kLogic,  InstrClass::kCmp,
+      InstrClass::kBranch, InstrClass::kFadd, InstrClass::kFmul,
+      InstrClass::kFother, InstrClass::kSys};
+  for (InstrClass c : kAll) {
+    if (n == ClassName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFpOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kFmovRR:
+    case Opcode::kFmovI:
+    case Opcode::kFld:
+    case Opcode::kFst:
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFsqrt:
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+    case Opcode::kFcmp:
+    case Opcode::kCvtIF:
+    case Opcode::kCvtFI:
+    case Opcode::kFbits:
+    case Opcode::kBitsF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t MpiDatatypeSize(std::uint64_t datatype) {
+  switch (datatype) {
+    case static_cast<std::uint64_t>(MpiDatatype::kDouble): return 8;
+    case static_cast<std::uint64_t>(MpiDatatype::kInt64): return 8;
+    case static_cast<std::uint64_t>(MpiDatatype::kByte): return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace chaser::guest

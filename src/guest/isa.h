@@ -1,0 +1,168 @@
+// The guest instruction set architecture ("GISA-64").
+//
+// Chaser (the paper) injects faults into x86 guests run under QEMU.  We
+// substitute a compact 64-bit RISC-style ISA with x86-flavoured mnemonic
+// *classes* — mov / cmp / fadd / fmul / ... — because those classes are what
+// the paper's injection campaigns target.  Guest programs are sequences of
+// structured `Instruction` records; the program counter is an instruction
+// index, rendered as an x86-like virtual address (kTextBase + 4*index) in
+// trace logs.
+//
+// Register file: 16 integer registers r0..r15 (r15 = stack pointer) and
+// 16 double-precision FP registers f0..f15.  Compare instructions set a
+// flags record consumed by conditional branches (keeping `cmp` a distinct,
+// targetable instruction exactly as on x86).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace chaser::guest {
+
+inline constexpr unsigned kNumIntRegs = 16;
+inline constexpr unsigned kNumFpRegs = 16;
+inline constexpr unsigned kSpReg = 15;  // stack pointer register index
+
+/// Memory layout of a guest process.
+inline constexpr GuestAddr kTextBase = 0x0000000000400000ull;
+inline constexpr GuestAddr kDataBase = 0x0000000010000000ull;
+inline constexpr GuestAddr kBssBase = 0x0000000018000000ull;
+inline constexpr GuestAddr kHeapBase = 0x0000000020000000ull;
+inline constexpr GuestAddr kStackTop = 0x000000007fff0000ull;
+inline constexpr std::uint64_t kDefaultStackBytes = 1u << 20;  // 1 MiB
+
+/// Virtual address of the instruction at text index `idx` (for trace logs).
+inline constexpr GuestAddr PcToAddr(std::uint64_t idx) { return kTextBase + 4 * idx; }
+inline constexpr std::uint64_t AddrToPc(GuestAddr a) { return (a - kTextBase) / 4; }
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,     // abnormal stop (acts like executing an invalid instruction)
+
+  // Integer data movement.
+  kMovRR,    // rd <- rs1
+  kMovRI,    // rd <- imm
+  kLd,       // rd <- mem[rs1 + imm]   (size bytes, zero-extended)
+  kLdS,      // rd <- mem[rs1 + imm]   (size bytes, sign-extended)
+  kSt,       // mem[rs1 + imm] <- rs2  (size bytes)
+  kPush,     // sp -= 8; mem[sp] <- rs1
+  kPop,      // rd <- mem[sp]; sp += 8
+
+  // Integer ALU (rd <- rs1 op (use_imm ? imm : rs2)).
+  kAdd, kSub, kMul, kDivS, kDivU, kRemS, kRemU,
+  kAnd, kOr, kXor, kShl, kShr, kSar,
+  kNot,      // rd <- ~rs1
+  kNeg,      // rd <- -rs1
+
+  // Compare: sets flags from rs1 ? (use_imm ? imm : rs2).
+  kCmp,
+
+  // Control flow. Branch/call targets are absolute instruction indices (imm).
+  kJmp,
+  kBr,       // conditional branch on flags, condition in `cond`
+  kCall,     // push return index; jump to imm
+  kCallR,    // push return index; jump to rs1 (value is an instruction index)
+  kRet,
+
+  // Floating point (doubles).
+  kFmovRR,   // fd <- fs1
+  kFmovI,    // fd <- fimm
+  kFld,      // fd <- mem[rs1 + imm]   (8 bytes)
+  kFst,      // mem[rs1 + imm] <- fs2  (8 bytes)
+  kFadd, kFsub, kFmul, kFdiv,   // fd <- fs1 op fs2
+  kFneg, kFabs, kFsqrt,         // fd <- op fs1
+  kFmin, kFmax,                 // fd <- op(fs1, fs2)
+  kFcmp,     // sets flags from fs1 ? fs2 (unordered -> ne, not-lt)
+  kCvtIF,    // fd <- (double) rs1   (signed)
+  kCvtFI,    // rd <- (int64) trunc(fs1)
+  kFbits,    // rd <- bit pattern of fs1
+  kBitsF,    // fd <- bit pattern rs1
+
+  kSyscall,  // service in r7, args r1..r6, result r0
+};
+
+/// Branch conditions (consume the flags set by kCmp / kFcmp).
+enum class Cond : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kLtU, kGeU };
+
+/// Memory access width for kLd / kLdS / kSt.
+enum class MemSize : std::uint8_t { k1 = 1, k2 = 2, k4 = 4, k8 = 8 };
+
+/// Instruction classes used to *target* fault injection (the granularity the
+/// paper exposes: "inject into fadd after it executed 1000 times").
+enum class InstrClass : std::uint8_t {
+  kMov,    // integer moves, loads, stores, push/pop
+  kFmov,   // FP moves, FP loads/stores, conversions
+  kAdd,    // integer add/sub
+  kMul,    // integer mul/div/rem
+  kLogic,  // and/or/xor/shifts
+  kCmp,    // integer and FP compares
+  kBranch, // jumps, branches, call/ret
+  kFadd,   // FP add/sub
+  kFmul,   // FP mul/div
+  kFother, // FP neg/abs/sqrt/min/max
+  kSys,    // syscall / halt / nop
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  Cond cond = Cond::kEq;
+  bool use_imm = false;        // ALU/cmp second operand selector
+  MemSize size = MemSize::k8;  // ld/st width
+  std::int64_t imm = 0;        // immediate / displacement / branch target index
+  double fimm = 0.0;           // kFmovI payload
+};
+
+/// Instruction class of an opcode (for injection targeting).
+InstrClass ClassOf(Opcode op);
+
+/// Human-readable names.
+const char* OpcodeName(Opcode op);
+const char* CondName(Cond c);
+const char* ClassName(InstrClass c);
+
+/// Parse an instruction-class name ("mov", "fadd", "cmp", ...). Returns false
+/// if the name is unknown.
+bool ParseInstrClass(const std::string& name, InstrClass* out);
+
+/// True if the opcode reads/writes FP registers.
+bool IsFpOpcode(Opcode op);
+
+/// Guest system call numbers (placed in r7 before kSyscall).
+enum class Sys : std::uint16_t {
+  kExit = 1,        // r1 = exit code
+  kWrite = 2,       // r1 = fd (1 stdout, 3 output-file), r2 = buf, r3 = len
+  kAbort = 3,       // program-level abort
+  kAssertFail = 4,  // failed program-level assertion (r1 = check id)
+  kBrk = 5,         // r1 = bytes to extend heap; returns old break in r0
+  kInstret = 6,     // returns executed instruction count in r0
+
+  // Simulated MPI (see src/mpi). Results in r0: 0 = MPI_SUCCESS.
+  kMpiInit = 16,
+  kMpiCommRank = 17,  // r0 <- rank
+  kMpiCommSize = 18,  // r0 <- size
+  kMpiSend = 19,      // r1=buf r2=count r3=datatype r4=dest r5=tag
+  kMpiRecv = 20,      // r1=buf r2=count r3=datatype r4=source r5=tag
+  kMpiBcast = 21,     // r1=buf r2=count r3=datatype r4=root
+  kMpiReduce = 22,    // r1=sendbuf r2=recvbuf r3=count r4=datatype r5=op r6=root
+  kMpiBarrier = 23,
+  kMpiFinalize = 24,
+  kMpiAllreduce = 25,  // r1=sendbuf r2=recvbuf r3=count r4=datatype r5=op
+  kMpiGather = 26,     // r1=sendbuf r2=recvbuf r3=count r4=datatype r5=root
+  kMpiScatter = 27,    // r1=sendbuf r2=recvbuf r3=count r4=datatype r5=root
+};
+
+/// MPI datatypes understood by the simulated runtime.
+enum class MpiDatatype : std::uint8_t { kDouble = 1, kInt64 = 2, kByte = 3 };
+
+/// MPI reduction operators.
+enum class MpiOp : std::uint8_t { kSum = 1, kMin = 2, kMax = 3 };
+
+/// Byte width of an MPI datatype; 0 for invalid values (an MPI usage error).
+std::uint64_t MpiDatatypeSize(std::uint64_t datatype);
+
+}  // namespace chaser::guest

@@ -1,0 +1,106 @@
+#include "guest/operands.h"
+
+namespace chaser::guest {
+
+OperandInfo OperandsOf(const Instruction& in) {
+  using GO = Opcode;
+  OperandInfo info;
+  switch (in.op) {
+    case GO::kMovRR:
+      info.int_sources = {in.rs1};
+      break;
+    case GO::kMovRI:
+    case GO::kNop:
+    case GO::kHalt:
+    case GO::kJmp:
+    case GO::kBr:
+    case GO::kFmovI:
+    case GO::kSyscall:
+      break;
+    case GO::kLd:
+    case GO::kLdS:
+      info.int_sources = {in.rs1};
+      info.reads_memory = true;
+      break;
+    case GO::kSt:
+      info.int_sources = {in.rs1, in.rs2};
+      info.writes_memory = true;
+      break;
+    case GO::kPush:
+      info.int_sources = {in.rs1, kSpReg};
+      info.writes_memory = true;
+      break;
+    case GO::kPop:
+      info.int_sources = {kSpReg};
+      info.reads_memory = true;
+      break;
+    case GO::kAdd: case GO::kSub: case GO::kMul:
+    case GO::kDivS: case GO::kDivU: case GO::kRemS: case GO::kRemU:
+    case GO::kAnd: case GO::kOr: case GO::kXor:
+    case GO::kShl: case GO::kShr: case GO::kSar:
+      info.int_sources = in.use_imm ? std::vector<std::uint8_t>{in.rs1}
+                                    : std::vector<std::uint8_t>{in.rs1, in.rs2};
+      break;
+    case GO::kNot:
+    case GO::kNeg:
+      info.int_sources = {in.rs1};
+      break;
+    case GO::kCmp:
+      info.int_sources = in.use_imm ? std::vector<std::uint8_t>{in.rs1}
+                                    : std::vector<std::uint8_t>{in.rs1, in.rs2};
+      break;
+    case GO::kCall:
+      info.int_sources = {kSpReg};
+      info.writes_memory = true;
+      break;
+    case GO::kCallR:
+      info.int_sources = {in.rs1, kSpReg};
+      info.writes_memory = true;
+      break;
+    case GO::kRet:
+      info.int_sources = {kSpReg};
+      info.reads_memory = true;
+      break;
+    case GO::kFmovRR:
+    case GO::kFneg:
+    case GO::kFabs:
+    case GO::kFsqrt:
+      info.fp_sources = {in.rs1};
+      break;
+    case GO::kFld:
+      info.int_sources = {in.rs1};
+      info.reads_memory = true;
+      break;
+    case GO::kFst:
+      info.int_sources = {in.rs1};
+      info.fp_sources = {in.rs2};
+      info.writes_memory = true;
+      break;
+    case GO::kFadd: case GO::kFsub: case GO::kFmul: case GO::kFdiv:
+    case GO::kFmin: case GO::kFmax:
+    case GO::kFcmp:
+      info.fp_sources = {in.rs1, in.rs2};
+      break;
+    case GO::kCvtIF:
+    case GO::kBitsF:
+      info.int_sources = {in.rs1};
+      break;
+    case GO::kCvtFI:
+    case GO::kFbits:
+      info.fp_sources = {in.rs1};
+      break;
+  }
+  return info;
+}
+
+bool CorruptAfter(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::kMovRI:
+    case Opcode::kFmovI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace chaser::guest

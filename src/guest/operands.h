@@ -1,0 +1,36 @@
+// Operand metadata: which registers an instruction *reads*.
+//
+// Chaser's bundled injectors corrupt "the operands" of the targeted
+// instruction right before it executes (paper §IV-A: faults are injected
+// into the operands of fadd/fmul/mov...). This table tells an injector what
+// there is to corrupt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/isa.h"
+
+namespace chaser::guest {
+
+struct OperandInfo {
+  /// Integer registers read by the instruction (address bases included —
+  /// corrupting those is how pointer faults / SIGSEGVs arise).
+  std::vector<std::uint8_t> int_sources;
+  /// FP registers read.
+  std::vector<std::uint8_t> fp_sources;
+  /// True if the instruction reads/writes memory.
+  bool reads_memory = false;
+  bool writes_memory = false;
+};
+
+/// Source-operand registers of `in`.
+OperandInfo OperandsOf(const Instruction& in);
+
+/// True if the instruction's only corruptible operand is its *result*
+/// (immediate moves and the like). The injection helper must then run after
+/// the instruction, not before — corrupting the destination of `movi` before
+/// it executes would be overwritten and the fault would silently vanish.
+bool CorruptAfter(const Instruction& in);
+
+}  // namespace chaser::guest

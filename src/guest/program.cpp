@@ -1,0 +1,23 @@
+#include "guest/program.h"
+
+#include "common/error.h"
+
+namespace chaser::guest {
+
+GuestAddr Program::DataAddr(const std::string& label) const {
+  const auto it = data_labels.find(label);
+  if (it == data_labels.end()) {
+    throw ConfigError("program '" + name + "' has no data label '" + label + "'");
+  }
+  return it->second;
+}
+
+std::uint64_t Program::CodeIndex(const std::string& label) const {
+  const auto it = code_labels.find(label);
+  if (it == code_labels.end()) {
+    throw ConfigError("program '" + name + "' has no code label '" + label + "'");
+  }
+  return it->second;
+}
+
+}  // namespace chaser::guest

@@ -1,0 +1,31 @@
+// A guest program image: text (instructions), initialised data, bss, entry
+// point and debug labels. Produced by ProgramBuilder, loaded by the guest OS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "guest/isa.h"
+
+namespace chaser::guest {
+
+struct Program {
+  std::string name;                    // program name, matched by VMI targeting
+  std::vector<Instruction> text;       // instruction memory
+  std::vector<std::uint8_t> data;      // initialised data placed at kDataBase
+  std::uint64_t bss_bytes = 0;         // zero-filled region after data
+  std::uint64_t entry = 0;             // entry instruction index
+  std::map<std::string, std::uint64_t> code_labels;  // label -> instr index
+  std::map<std::string, GuestAddr> data_labels;      // label -> virtual address
+
+  /// Virtual address of a named data object; throws ConfigError if missing.
+  GuestAddr DataAddr(const std::string& label) const;
+
+  /// Instruction index of a named code label; throws ConfigError if missing.
+  std::uint64_t CodeIndex(const std::string& label) const;
+};
+
+}  // namespace chaser::guest

@@ -1,0 +1,46 @@
+#include "hub/mpi_hooks.h"
+
+namespace chaser::hub {
+
+void ChaserMpiHooks::OnSend(vm::Vm& sender, const mpi::Envelope& env,
+                            GuestAddr buf) {
+  auto& taint = sender.taint();
+  if (!taint.enabled()) return;
+
+  const std::uint64_t bytes = env.payload.size();
+  std::vector<std::uint8_t> masks(bytes, 0);
+  bool any = false;
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    const auto paddr = sender.memory().Translate(buf + i);
+    if (!paddr) continue;  // runtime already validated; stay defensive
+    const std::uint8_t m = taint.GetMemTaintByte(*paddr);
+    masks[i] = m;
+    any = any || (m != 0);
+  }
+  if (!any) return;  // clean message: no hub operation at all
+
+  MessageTaintRecord record;
+  record.id = {env.src, env.dest, env.tag, env.seq};
+  record.byte_masks = std::move(masks);
+  hub_->Publish(std::move(record));
+}
+
+void ChaserMpiHooks::OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
+                                    GuestAddr buf) {
+  auto& taint = receiver.taint();
+  if (!taint.enabled()) return;
+
+  const auto record = hub_->Poll({env.src, env.dest, env.tag, env.seq});
+  if (!record) return;  // message was clean
+
+  const std::uint64_t bytes =
+      std::min<std::uint64_t>(record->byte_masks.size(), env.payload.size());
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    const std::uint8_t m = record->byte_masks[i];
+    if (m == 0) continue;
+    const auto paddr = receiver.memory().Translate(buf + i);
+    if (paddr) taint.SetMemTaintByte(*paddr, m);
+  }
+}
+
+}  // namespace chaser::hub

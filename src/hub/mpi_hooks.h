@@ -1,0 +1,31 @@
+// Chaser's MPI send/receive hooks, wired between the simulated MPI runtime
+// and TaintHub (paper Fig. 5).
+#pragma once
+
+#include "hub/tainthub.h"
+#include "mpi/cluster.h"
+
+namespace chaser::hub {
+
+class ChaserMpiHooks : public mpi::MessageHooks {
+ public:
+  explicit ChaserMpiHooks(TaintHub* hub) : hub_(hub) {}
+
+  /// Sender hook: extract (tag, dest) and the buffer's shadow taint; if any
+  /// byte is tainted, publish the per-byte masks to TaintHub before the
+  /// message leaves. Clean buffers return without any hub traffic.
+  void OnSend(vm::Vm& sender, const mpi::Envelope& env, GuestAddr buf) override;
+
+  /// Receiver hook: poll TaintHub with (tag, source, seq); on a hit,
+  /// re-apply the per-byte taint masks to the (freshly cleaned) receive
+  /// buffer so local propagation resumes — the fault "manifests again".
+  void OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
+                      GuestAddr buf) override;
+
+  TaintHub& hub() { return *hub_; }
+
+ private:
+  TaintHub* hub_;
+};
+
+}  // namespace chaser::hub

@@ -1,0 +1,36 @@
+#include "hub/tainthub.h"
+
+namespace chaser::hub {
+
+void TaintHub::Publish(MessageTaintRecord record) {
+  ++stats_.publishes;
+  records_[record.id.Key()] = std::move(record);
+}
+
+std::optional<MessageTaintRecord> TaintHub::Poll(const MessageId& id) {
+  ++stats_.polls;
+  const auto it = records_.find(id.Key());
+  if (it == records_.end()) return std::nullopt;
+  MessageTaintRecord record = std::move(it->second);
+  records_.erase(it);
+  ++stats_.hits;
+  const std::uint64_t tainted = record.TaintedByteCount();
+  stats_.applied_bytes += tainted;
+  transfers_.push_back({record.id, tainted});
+  return record;
+}
+
+bool TaintHub::SawTransfer(Rank src, Rank dest) const {
+  for (const TransferLogEntry& t : transfers_) {
+    if (t.id.src == src && t.id.dest == dest) return true;
+  }
+  return false;
+}
+
+void TaintHub::Clear() {
+  records_.clear();
+  transfers_.clear();
+  stats_ = HubStats{};
+}
+
+}  // namespace chaser::hub

@@ -1,0 +1,93 @@
+// TaintHub: the central coordination service for cross-rank taint (paper
+// §III-C(b), Fig. 5).
+//
+// Shadow taint cannot travel inside MPI payloads — only raw bytes cross the
+// process/node boundary. Chaser therefore hooks the MPI send functions: if
+// the send buffer is tainted, the sender publishes the message's taint
+// status (keyed by its identity) to TaintHub *before* the message leaves.
+// The receiver-side hook polls TaintHub with the received message's identity
+// and, only on a hit, re-applies the per-byte taint to the receive buffer.
+// Clean messages cost one hash lookup — receivers never parse message
+// contents (the advantage over in-band header schemes, §V).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chaser::hub {
+
+/// Identity of an MPI message as TaintHub keys it: (tag, dest) extended with
+/// source and a FIFO sequence number so re-used tags stay unambiguous.
+struct MessageId {
+  Rank src = 0;
+  Rank dest = 0;
+  std::int64_t tag = 0;
+  std::uint64_t seq = 0;
+
+  auto Key() const { return std::make_tuple(src, dest, tag, seq); }
+};
+
+/// Published taint status of one message.
+struct MessageTaintRecord {
+  MessageId id;
+  std::vector<std::uint8_t> byte_masks;  // one 8-bit taint mask per payload byte
+
+  bool AnyTainted() const {
+    for (const std::uint8_t m : byte_masks) {
+      if (m != 0) return true;
+    }
+    return false;
+  }
+  std::uint64_t TaintedByteCount() const {
+    std::uint64_t n = 0;
+    for (const std::uint8_t m : byte_masks) n += (m != 0) ? 1 : 0;
+    return n;
+  }
+};
+
+/// A completed cross-rank taint transfer (for Table III's propagation rows).
+struct TransferLogEntry {
+  MessageId id;
+  std::uint64_t tainted_bytes = 0;
+};
+
+struct HubStats {
+  std::uint64_t publishes = 0;       // tainted messages registered by senders
+  std::uint64_t polls = 0;           // receiver-side lookups
+  std::uint64_t hits = 0;            // polls that found a tainted record
+  std::uint64_t applied_bytes = 0;   // taint bytes re-established at receivers
+};
+
+class TaintHub {
+ public:
+  /// Sender side: register a tainted message's status. Clean messages are
+  /// never published (the sender-side hook returns early).
+  void Publish(MessageTaintRecord record);
+
+  /// Receiver side: one-shot lookup by message identity. Returns the record
+  /// and removes it, or nullopt (message clean / never published).
+  std::optional<MessageTaintRecord> Poll(const MessageId& id);
+
+  /// Completed transfers (every Poll hit), oldest first.
+  const std::vector<TransferLogEntry>& transfers() const { return transfers_; }
+
+  /// True if any tainted message has flowed src -> dest.
+  bool SawTransfer(Rank src, Rank dest) const;
+
+  const HubStats& stats() const { return stats_; }
+
+  void Clear();
+
+ private:
+  std::map<std::tuple<Rank, Rank, std::int64_t, std::uint64_t>, MessageTaintRecord>
+      records_;
+  std::vector<TransferLogEntry> transfers_;
+  HubStats stats_;
+};
+
+}  // namespace chaser::hub

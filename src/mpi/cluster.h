@@ -1,0 +1,185 @@
+// Simulated MPI runtime.
+//
+// Each MPI rank runs in its own Vm (own address space, own taint shadow),
+// scheduled round-robin — the "four Chaser-hypervised nodes" of the paper's
+// testbed collapse into one host process, but the property that matters is
+// preserved: *only raw bytes* cross rank boundaries, so shadow taint dies at
+// the boundary unless TaintHub (src/hub) re-establishes it.
+//
+// MPI calls are guest syscalls (Sys::kMpi*). The runtime validates arguments
+// the way a real MPI would: bad ranks/tags/counts/datatypes terminate the
+// offending process with an "MPI error detected" outcome (Table III's second
+// column), and faulting buffers raise the SIGSEGV analogue (first column).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "guest/program.h"
+#include "vm/vm.h"
+
+namespace chaser::mpi {
+
+/// Reserved internal tags for collectives (user tags must be >= 0).
+inline constexpr std::int64_t kBcastTag = -2;
+inline constexpr std::int64_t kReduceTag = -3;
+inline constexpr std::int64_t kAllreduceTag = -4;
+inline constexpr std::int64_t kAllreduceResultTag = -5;
+inline constexpr std::int64_t kGatherTag = -6;
+inline constexpr std::int64_t kScatterTag = -7;
+inline constexpr std::int64_t kMaxUserTag = 32767;
+/// Largest element count a message may carry (larger counts are corrupt).
+inline constexpr std::uint64_t kMaxCount = 1ull << 22;
+
+/// A message in flight between two ranks.
+struct Envelope {
+  Rank src = 0;
+  Rank dest = 0;
+  std::int64_t tag = 0;
+  std::uint64_t count = 0;     // element count
+  std::uint64_t datatype = 0;  // guest::MpiDatatype value
+  std::uint64_t seq = 0;       // per-(src,dest,tag) FIFO sequence number
+  std::vector<std::uint8_t> payload;
+};
+
+/// Chaser's MPI function hooks (implemented by the TaintHub glue, src/hub).
+class MessageHooks {
+ public:
+  virtual ~MessageHooks() = default;
+  /// Sender side, invoked before the message leaves the rank; `buf` is the
+  /// send buffer's guest virtual address in `sender`.
+  virtual void OnSend(vm::Vm& sender, const Envelope& env, GuestAddr buf) = 0;
+  /// Receiver side, invoked after the payload has been copied into `buf`
+  /// (whose shadow taint has been cleared — fresh data arrived).
+  virtual void OnRecvComplete(vm::Vm& receiver, const Envelope& env,
+                              GuestAddr buf) = 0;
+};
+
+/// Result of running an MPI job to completion.
+struct JobResult {
+  bool completed = false;  // every rank exited normally
+  bool deadlock = false;   // all surviving ranks blocked forever
+  Rank first_failure_rank = -1;
+  vm::TerminationKind first_failure_kind = vm::TerminationKind::kRunning;
+  vm::GuestSignal first_failure_signal = vm::GuestSignal::kNone;
+  std::string first_failure_message;
+  std::uint64_t total_instructions = 0;
+};
+
+class Cluster {
+ public:
+  struct Config {
+    int num_ranks = 4;
+    int ranks_per_node = 1;           // paper testbed: one rank per node
+    std::uint64_t quantum = 20'000;   // instructions per scheduling slice
+    std::uint64_t max_total_instructions = 4'000'000'000ull;
+    vm::Vm::Config vm;
+  };
+
+  explicit Cluster(Config config);
+
+  // Non-copyable (owns VMs).
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  void SetMessageHooks(MessageHooks* hooks) { hooks_ = hooks; }
+
+  int num_ranks() const { return config_.num_ranks; }
+  int node_of(Rank r) const { return r / config_.ranks_per_node; }
+  vm::Vm& rank_vm(Rank r) { return *ranks_[static_cast<std::size_t>(r)]->vm; }
+  const vm::Vm& rank_vm(Rank r) const { return *ranks_[static_cast<std::size_t>(r)]->vm; }
+
+  /// Load the SPMD `program` into every rank's VM (fires each VM's VMI
+  /// process-creation callback).
+  void Start(const guest::Program& program);
+
+  /// Round-robin schedule all ranks until the job completes, a rank fails
+  /// (which kills the job, like a real MPI launcher), or deadlock.
+  JobResult Run();
+
+  /// Messages delivered so far (for tests).
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Tune the whole-job instruction watchdog (see Vm::set_max_instructions).
+  void SetInstructionBudgets(std::uint64_t per_rank, std::uint64_t total);
+
+ private:
+  struct RankState;
+
+  /// Per-rank syscall extension: forwards MPI syscalls into the cluster.
+  class RankSyscalls : public vm::SyscallExtension {
+   public:
+    RankSyscalls(Cluster* cluster, Rank rank) : cluster_(cluster), rank_(rank) {}
+    std::optional<vm::SyscallResult> HandleSyscall(vm::Vm& vm,
+                                                   std::uint64_t num) override;
+
+   private:
+    Cluster* cluster_;
+    Rank rank_;
+  };
+
+  struct RankState {
+    std::unique_ptr<vm::Vm> vm;
+    std::unique_ptr<RankSyscalls> syscalls;
+    bool mpi_initialized = false;
+    bool mpi_finalized = false;
+    std::deque<Envelope> inbox;
+    std::uint64_t barriers_done = 0;
+    bool barrier_arrived = false;
+    // Allreduce progress: the contribution is sent exactly once even though
+    // a blocked syscall re-executes when the rank is unblocked.
+    bool allreduce_sent = false;
+  };
+
+  vm::SyscallResult MpiInit(Rank r);
+  vm::SyscallResult MpiFinalize(Rank r);
+  vm::SyscallResult MpiSend(Rank r);
+  vm::SyscallResult MpiRecv(Rank r);
+  vm::SyscallResult MpiBcast(Rank r);
+  vm::SyscallResult MpiReduce(Rank r);
+  vm::SyscallResult MpiBarrier(Rank r);
+  vm::SyscallResult MpiAllreduce(Rank r);
+  vm::SyscallResult MpiGather(Rank r);
+  vm::SyscallResult MpiScatter(Rank r);
+
+  /// Validates (count, datatype, peer, tag); terminates with an MPI error and
+  /// returns false if invalid. `peer_may_be_any` allows -1 (MPI_ANY_SOURCE).
+  bool ValidateArgs(Rank r, std::uint64_t count, std::uint64_t datatype,
+                    std::int64_t peer, std::int64_t tag, bool peer_may_be_any,
+                    const char* what);
+  bool RequireInitialized(Rank r, const char* what);
+
+  /// Enqueue `env` for its destination and unblock the destination VM.
+  void Deliver(Envelope env);
+
+  /// Copy a payload into guest memory, clear the buffer's shadow taint
+  /// (fresh bytes arrived over the wire), and fire the receive hook.
+  /// Returns false if the destination buffer faulted (signal raised).
+  bool CompleteReceive(Rank r, const Envelope& env, GuestAddr buf);
+
+  /// Read `bytes` from `buf` into an envelope payload and ship it; raises
+  /// SIGSEGV and returns false if the buffer is unmapped.
+  bool SendRaw(Rank src, Rank dest, std::int64_t tag, std::uint64_t count,
+               std::uint64_t datatype, GuestAddr buf);
+
+  RankState& rank(Rank r) { return *ranks_[static_cast<std::size_t>(r)]; }
+
+  Config config_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  MessageHooks* hooks_ = nullptr;
+  std::map<std::tuple<Rank, Rank, std::int64_t>, std::uint64_t> send_seq_;
+  std::uint64_t barrier_completed_ = 0;
+  int barrier_arrived_count_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+/// Clear the shadow taint of `len` bytes of guest memory starting at `vaddr`
+/// (no-op for unmapped bytes). Exposed for the hub and tests.
+void ClearGuestMemTaint(vm::Vm& vm, GuestAddr vaddr, std::uint64_t len);
+
+}  // namespace chaser::mpi

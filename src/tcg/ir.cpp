@@ -1,0 +1,174 @@
+#include "tcg/ir.h"
+
+#include "common/strings.h"
+
+namespace chaser::tcg {
+
+bool CondHolds(guest::Cond cond, std::uint64_t flags) {
+  const bool eq = (flags & kFlagEq) != 0;
+  const bool lt_s = (flags & kFlagLtS) != 0;
+  const bool lt_u = (flags & kFlagLtU) != 0;
+  switch (cond) {
+    case guest::Cond::kEq: return eq;
+    case guest::Cond::kNe: return !eq;
+    case guest::Cond::kLt: return lt_s;
+    case guest::Cond::kLe: return lt_s || eq;
+    case guest::Cond::kGt: return !(lt_s || eq);
+    case guest::Cond::kGe: return !lt_s;
+    case guest::Cond::kLtU: return lt_u;
+    case guest::Cond::kGeU: return !lt_u;
+  }
+  return false;
+}
+
+std::uint64_t ComputeFlags(std::uint64_t lhs, std::uint64_t rhs) {
+  std::uint64_t flags = 0;
+  if (lhs == rhs) flags |= kFlagEq;
+  if (static_cast<std::int64_t>(lhs) < static_cast<std::int64_t>(rhs)) flags |= kFlagLtS;
+  if (lhs < rhs) flags |= kFlagLtU;
+  return flags;
+}
+
+std::uint64_t ComputeFlagsF(double lhs, double rhs) {
+  std::uint64_t flags = 0;
+  if (lhs == rhs) flags |= kFlagEq;
+  if (lhs < rhs) flags |= kFlagLtS | kFlagLtU;
+  return flags;  // NaN compares: no flags (matches x86 unordered semantics loosely)
+}
+
+const char* TcgOpcName(TcgOpc opc) {
+  switch (opc) {
+    case TcgOpc::kInsnStart: return "insn_start";
+    case TcgOpc::kMovI: return "movi_i64";
+    case TcgOpc::kMov: return "mov_i64";
+    case TcgOpc::kAdd: return "add_i64";
+    case TcgOpc::kSub: return "sub_i64";
+    case TcgOpc::kMul: return "mul_i64";
+    case TcgOpc::kDivS: return "div_i64";
+    case TcgOpc::kDivU: return "divu_i64";
+    case TcgOpc::kRemS: return "rem_i64";
+    case TcgOpc::kRemU: return "remu_i64";
+    case TcgOpc::kAnd: return "and_i64";
+    case TcgOpc::kOr: return "or_i64";
+    case TcgOpc::kXor: return "xor_i64";
+    case TcgOpc::kShl: return "shl_i64";
+    case TcgOpc::kShr: return "shr_i64";
+    case TcgOpc::kSar: return "sar_i64";
+    case TcgOpc::kNot: return "not_i64";
+    case TcgOpc::kNeg: return "neg_i64";
+    case TcgOpc::kQemuLd: return "qemu_ld_i64";
+    case TcgOpc::kQemuSt: return "qemu_st_i64";
+    case TcgOpc::kFAdd: return "helper_fadd";
+    case TcgOpc::kFSub: return "helper_fsub";
+    case TcgOpc::kFMul: return "helper_fmul";
+    case TcgOpc::kFDiv: return "helper_fdiv";
+    case TcgOpc::kFNeg: return "helper_fneg";
+    case TcgOpc::kFAbs: return "helper_fabs";
+    case TcgOpc::kFSqrt: return "helper_fsqrt";
+    case TcgOpc::kFMin: return "helper_fmin";
+    case TcgOpc::kFMax: return "helper_fmax";
+    case TcgOpc::kCvtIF: return "helper_cvt_i2f";
+    case TcgOpc::kCvtFI: return "helper_cvt_f2i";
+    case TcgOpc::kSetFlags: return "setflags";
+    case TcgOpc::kSetFlagsF: return "setflags_f";
+    case TcgOpc::kCallHelper: return "call";
+    case TcgOpc::kGotoTb: return "goto_tb";
+    case TcgOpc::kBrCond: return "brcond";
+    case TcgOpc::kExitTb: return "exit_tb";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ValName(ValId v) {
+  if (v < kEnvFpBase) return StrFormat("env.r%u", v);
+  if (v < kNumEnvSlots) {
+    if (v == kEnvFlags) return "env.flags";
+    return StrFormat("env.f%u", v - kEnvFpBase);
+  }
+  return StrFormat("tmp%u", v - kTempBase);
+}
+
+const char* HelperName(HelperId h) {
+  switch (h) {
+    case HelperId::kSyscall: return "helper_syscall";
+    case HelperId::kFaultInjector: return "DECAF_inject_fault";
+    case HelperId::kHaltTrap: return "helper_halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrintTb(const TranslationBlock& tb) {
+  std::string out =
+      StrFormat("TB pc=#%llu insns=%u temps=%u%s\n",
+                static_cast<unsigned long long>(tb.start_pc), tb.num_insns,
+                tb.num_temps, tb.instrumented ? " [instrumented]" : "");
+  for (const TcgOp& op : tb.ops) {
+    switch (op.opc) {
+      case TcgOpc::kInsnStart:
+        out += StrFormat(" ---- insn_start #%llu\n",
+                         static_cast<unsigned long long>(op.imm));
+        break;
+      case TcgOpc::kMovI:
+        out += StrFormat("  %s %s, $%llu\n", TcgOpcName(op.opc),
+                         ValName(op.dst).c_str(),
+                         static_cast<unsigned long long>(op.imm));
+        break;
+      case TcgOpc::kMov:
+      case TcgOpc::kNot:
+      case TcgOpc::kNeg:
+      case TcgOpc::kFNeg:
+      case TcgOpc::kFAbs:
+      case TcgOpc::kFSqrt:
+      case TcgOpc::kCvtIF:
+      case TcgOpc::kCvtFI:
+        out += StrFormat("  %s %s, %s\n", TcgOpcName(op.opc),
+                         ValName(op.dst).c_str(), ValName(op.src1).c_str());
+        break;
+      case TcgOpc::kQemuLd:
+        out += StrFormat("  %s %s, [%s] sz=%u%s\n", TcgOpcName(op.opc),
+                         ValName(op.dst).c_str(), ValName(op.src1).c_str(),
+                         static_cast<unsigned>(op.size), op.sign ? " sext" : "");
+        break;
+      case TcgOpc::kQemuSt:
+        out += StrFormat("  %s [%s], %s sz=%u\n", TcgOpcName(op.opc),
+                         ValName(op.src1).c_str(), ValName(op.src2).c_str(),
+                         static_cast<unsigned>(op.size));
+        break;
+      case TcgOpc::kSetFlags:
+      case TcgOpc::kSetFlagsF:
+        out += StrFormat("  %s %s, %s\n", TcgOpcName(op.opc),
+                         ValName(op.src1).c_str(), ValName(op.src2).c_str());
+        break;
+      case TcgOpc::kCallHelper:
+        out += StrFormat("  %s %s, $pc=%llu\n", TcgOpcName(op.opc),
+                         HelperName(op.helper),
+                         static_cast<unsigned long long>(op.imm));
+        break;
+      case TcgOpc::kGotoTb:
+        out += StrFormat("  %s #%llu\n", TcgOpcName(op.opc),
+                         static_cast<unsigned long long>(op.imm));
+        break;
+      case TcgOpc::kBrCond:
+        out += StrFormat("  %s %s -> #%llu else #%llu\n", TcgOpcName(op.opc),
+                         guest::CondName(op.cond),
+                         static_cast<unsigned long long>(op.imm),
+                         static_cast<unsigned long long>(op.imm2));
+        break;
+      case TcgOpc::kExitTb:
+        out += StrFormat("  %s [%s]\n", TcgOpcName(op.opc), ValName(op.src1).c_str());
+        break;
+      default:
+        out += StrFormat("  %s %s, %s, %s\n", TcgOpcName(op.opc),
+                         ValName(op.dst).c_str(), ValName(op.src1).c_str(),
+                         ValName(op.src2).c_str());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace chaser::tcg

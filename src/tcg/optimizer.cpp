@@ -1,0 +1,160 @@
+#include "tcg/optimizer.h"
+
+#include <functional>
+#include <vector>
+
+namespace chaser::tcg {
+namespace {
+
+/// True if the op computes a pure value into `dst` (no memory/control/helper
+/// side effects), so it can be re-targeted or dropped.
+bool IsPureValueOp(const TcgOp& op) {
+  switch (op.opc) {
+    case TcgOpc::kMovI:
+    case TcgOpc::kMov:
+    case TcgOpc::kAdd:
+    case TcgOpc::kSub:
+    case TcgOpc::kMul:
+    case TcgOpc::kAnd:
+    case TcgOpc::kOr:
+    case TcgOpc::kXor:
+    case TcgOpc::kShl:
+    case TcgOpc::kShr:
+    case TcgOpc::kSar:
+    case TcgOpc::kNot:
+    case TcgOpc::kNeg:
+    case TcgOpc::kFAdd:
+    case TcgOpc::kFSub:
+    case TcgOpc::kFMul:
+    case TcgOpc::kFDiv:
+    case TcgOpc::kFNeg:
+    case TcgOpc::kFAbs:
+    case TcgOpc::kFSqrt:
+    case TcgOpc::kFMin:
+    case TcgOpc::kFMax:
+    case TcgOpc::kCvtIF:
+    case TcgOpc::kCvtFI:
+      return true;
+    // Division can trap (the engine raises SIGFPE): never moved or dropped.
+    case TcgOpc::kDivS:
+    case TcgOpc::kDivU:
+    case TcgOpc::kRemS:
+    case TcgOpc::kRemU:
+    default:
+      return false;
+  }
+}
+
+/// True if the op *loads* a value into op.dst (pure or with side effects that
+/// must stay, like kQemuLd) — used to decide whether dst may be re-targeted.
+bool WritesDst(const TcgOp& op) {
+  switch (op.opc) {
+    case TcgOpc::kQemuSt:
+    case TcgOpc::kSetFlags:
+    case TcgOpc::kSetFlagsF:
+    case TcgOpc::kCallHelper:
+    case TcgOpc::kGotoTb:
+    case TcgOpc::kBrCond:
+    case TcgOpc::kExitTb:
+    case TcgOpc::kInsnStart:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Source operands actually read by the op.
+void ForEachSource(const TcgOp& op, const std::function<void(ValId)>& fn) {
+  switch (op.opc) {
+    case TcgOpc::kInsnStart:
+    case TcgOpc::kMovI:
+    case TcgOpc::kCallHelper:
+    case TcgOpc::kGotoTb:
+    case TcgOpc::kBrCond:  // reads the flags env slot, never a temp
+      break;
+    case TcgOpc::kMov:
+    case TcgOpc::kNot:
+    case TcgOpc::kNeg:
+    case TcgOpc::kFNeg:
+    case TcgOpc::kFAbs:
+    case TcgOpc::kFSqrt:
+    case TcgOpc::kCvtIF:
+    case TcgOpc::kCvtFI:
+    case TcgOpc::kQemuLd:
+    case TcgOpc::kExitTb:
+      fn(op.src1);
+      break;
+    case TcgOpc::kQemuSt:
+    case TcgOpc::kSetFlags:
+    case TcgOpc::kSetFlagsF:
+    default:
+      fn(op.src1);
+      fn(op.src2);
+      break;
+  }
+}
+
+}  // namespace
+
+OptimizerStats Optimize(TranslationBlock* tb) {
+  OptimizerStats stats;
+  std::vector<TcgOp>& ops = tb->ops;
+
+  // Count temp uses across the TB (a temp read by two ops must keep its mov).
+  std::vector<std::uint32_t> uses(tb->num_temps, 0);
+  for (const TcgOp& op : ops) {
+    ForEachSource(op, [&](ValId v) {
+      if (IsTemp(v)) ++uses[v - kTempBase];
+    });
+  }
+
+  // Pass 1: forward `op tN, ...; mov dst, tN` into `op dst, ...` when tN is
+  // produced by a value-writing op and consumed only by that adjacent mov.
+  std::vector<bool> removed(ops.size(), false);
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    if (removed[i]) continue;
+    TcgOp& def = ops[i];
+    TcgOp& mov = ops[i + 1];
+    if (mov.opc != TcgOpc::kMov || !IsTemp(mov.src1)) continue;
+    if (!WritesDst(def) || def.dst != mov.src1) continue;
+    if (!IsPureValueOp(def) && def.opc != TcgOpc::kQemuLd) continue;
+    if (uses[def.dst - kTempBase] != 1) continue;
+    if (def.opc == TcgOpc::kMov && def.src1 == mov.dst) {
+      // mov t, x; mov x, t -> degenerate; the general rewrite handles it.
+    }
+    def.dst = mov.dst;
+    removed[i + 1] = true;
+    ++stats.movs_forwarded;
+  }
+
+  // Pass 2: backward liveness over temps; drop pure ops with dead temp dsts.
+  std::vector<bool> live(tb->num_temps, false);
+  for (std::size_t ri = ops.size(); ri-- > 0;) {
+    if (removed[ri]) continue;
+    const TcgOp& op = ops[ri];
+    if (WritesDst(op) && IsTemp(op.dst)) {
+      const std::size_t t = op.dst - kTempBase;
+      if (!live[t] && IsPureValueOp(op)) {
+        removed[ri] = true;
+        ++stats.dead_ops_removed;
+        continue;  // its sources are not made live
+      }
+      live[t] = false;  // killed above this point
+    }
+    ForEachSource(op, [&](ValId v) {
+      if (IsTemp(v)) live[v - kTempBase] = true;
+    });
+  }
+
+  if (stats.movs_forwarded > 0 || stats.dead_ops_removed > 0) {
+    std::vector<TcgOp> kept;
+    kept.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!removed[i]) kept.push_back(ops[i]);
+    }
+    ops = std::move(kept);
+  }
+  return stats;
+}
+
+}  // namespace chaser::tcg

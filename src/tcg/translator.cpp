@@ -1,0 +1,372 @@
+#include "tcg/translator.h"
+
+#include <bit>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "guest/operands.h"
+
+namespace chaser::tcg {
+namespace {
+
+/// Incrementally builds the op list for one TB.
+class TbBuilder {
+ public:
+  explicit TbBuilder(std::uint64_t start_pc) { tb_.start_pc = start_pc; }
+
+  ValId Temp() {
+    const ValId t = static_cast<ValId>(kTempBase + tb_.num_temps);
+    ++tb_.num_temps;
+    return t;
+  }
+
+  void Emit(TcgOp op) {
+    op.guest_pc = cur_pc_;
+    tb_.ops.push_back(op);
+  }
+
+  void InsnStart(std::uint64_t pc) {
+    cur_pc_ = pc;
+    Emit({.opc = TcgOpc::kInsnStart, .imm = pc});
+    ++tb_.num_insns;
+  }
+
+  ValId MovI(std::uint64_t v) {
+    const ValId t = Temp();
+    Emit({.opc = TcgOpc::kMovI, .dst = t, .imm = v});
+    return t;
+  }
+
+  ValId Mov(ValId src) {
+    const ValId t = Temp();
+    Emit({.opc = TcgOpc::kMov, .dst = t, .src1 = src});
+    return t;
+  }
+
+  void MovTo(ValId dst, ValId src) {
+    Emit({.opc = TcgOpc::kMov, .dst = dst, .src1 = src});
+  }
+
+  ValId Bin(TcgOpc opc, ValId a, ValId b) {
+    const ValId t = Temp();
+    Emit({.opc = opc, .dst = t, .src1 = a, .src2 = b});
+    return t;
+  }
+
+  ValId Un(TcgOpc opc, ValId a) {
+    const ValId t = Temp();
+    Emit({.opc = opc, .dst = t, .src1 = a});
+    return t;
+  }
+
+  TranslationBlock Take() { return std::move(tb_); }
+
+ private:
+  TranslationBlock tb_;
+  std::uint64_t cur_pc_ = 0;
+};
+
+TcgOpc AluOpc(guest::Opcode op) {
+  using GO = guest::Opcode;
+  switch (op) {
+    case GO::kAdd: return TcgOpc::kAdd;
+    case GO::kSub: return TcgOpc::kSub;
+    case GO::kMul: return TcgOpc::kMul;
+    case GO::kDivS: return TcgOpc::kDivS;
+    case GO::kDivU: return TcgOpc::kDivU;
+    case GO::kRemS: return TcgOpc::kRemS;
+    case GO::kRemU: return TcgOpc::kRemU;
+    case GO::kAnd: return TcgOpc::kAnd;
+    case GO::kOr: return TcgOpc::kOr;
+    case GO::kXor: return TcgOpc::kXor;
+    case GO::kShl: return TcgOpc::kShl;
+    case GO::kShr: return TcgOpc::kShr;
+    case GO::kSar: return TcgOpc::kSar;
+    default: throw ConfigError("AluOpc: not an ALU opcode");
+  }
+}
+
+TcgOpc FaluOpc(guest::Opcode op) {
+  using GO = guest::Opcode;
+  switch (op) {
+    case GO::kFadd: return TcgOpc::kFAdd;
+    case GO::kFsub: return TcgOpc::kFSub;
+    case GO::kFmul: return TcgOpc::kFMul;
+    case GO::kFdiv: return TcgOpc::kFDiv;
+    case GO::kFmin: return TcgOpc::kFMin;
+    case GO::kFmax: return TcgOpc::kFMax;
+    default: throw ConfigError("FaluOpc: not an FP ALU opcode");
+  }
+}
+
+}  // namespace
+
+TranslationBlock Translator::Translate(const guest::Program& prog,
+                                       std::uint64_t pc) const {
+  using GO = guest::Opcode;
+  if (pc >= prog.text.size()) {
+    throw ConfigError(StrFormat("Translate: pc #%llu outside text (size %zu)",
+                                static_cast<unsigned long long>(pc),
+                                prog.text.size()));
+  }
+
+  TbBuilder b(pc);
+  TranslationBlock result;
+  bool ended = false;
+  std::uint32_t count = 0;
+  bool instrumented = false;
+
+  while (!ended && pc < prog.text.size() && count < options_.max_tb_insns) {
+    const guest::Instruction& in = prog.text[pc];
+    // ProgramBuilder validates registers at assembly time, but a Program can
+    // be built by hand; reject out-of-range register fields here rather than
+    // index past the env slot array at execution time.
+    if (in.rd >= guest::kNumIntRegs || in.rs1 >= guest::kNumIntRegs ||
+        in.rs2 >= guest::kNumIntRegs) {
+      throw ConfigError(StrFormat(
+          "Translate: instruction #%llu has a register field out of range",
+          static_cast<unsigned long long>(pc)));
+    }
+    b.InsnStart(pc);
+    ++count;
+
+    // Chaser hook: splice the injection helper in front of targeted
+    // instructions only (Fig. 3(c) in the paper). Result-only instructions
+    // (immediate moves) get the helper *after* their IR instead, so the
+    // corruption lands on the value the instruction produced.
+    const bool target =
+        options_.instrument_all ||
+        (options_.instrument && options_.instrument(in, pc));
+    const bool inject_after = target && guest::CorruptAfter(in);
+    if (target && !inject_after) {
+      b.Emit({.opc = TcgOpc::kCallHelper,
+              .helper = HelperId::kFaultInjector,
+              .imm = pc});
+      instrumented = true;
+    }
+
+    const std::uint64_t next_pc = pc + 1;
+    switch (in.op) {
+      case GO::kNop:
+        break;
+      case GO::kHalt:
+        b.Emit({.opc = TcgOpc::kCallHelper, .helper = HelperId::kHaltTrap, .imm = pc});
+        b.Emit({.opc = TcgOpc::kGotoTb, .imm = next_pc});
+        ended = true;
+        break;
+
+      case GO::kMovRR:
+        b.MovTo(EnvInt(in.rd), EnvInt(in.rs1));
+        break;
+      case GO::kMovRI: {
+        const ValId t = b.MovI(static_cast<std::uint64_t>(in.imm));
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+      case GO::kLd:
+      case GO::kLdS: {
+        const ValId disp = b.MovI(static_cast<std::uint64_t>(in.imm));
+        const ValId addr = b.Bin(TcgOpc::kAdd, EnvInt(in.rs1), disp);
+        const ValId t = b.Temp();
+        b.Emit({.opc = TcgOpc::kQemuLd,
+                .dst = t,
+                .src1 = addr,
+                .size = in.size,
+                .sign = in.op == GO::kLdS});
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+      case GO::kSt: {
+        const ValId disp = b.MovI(static_cast<std::uint64_t>(in.imm));
+        const ValId addr = b.Bin(TcgOpc::kAdd, EnvInt(in.rs1), disp);
+        b.Emit({.opc = TcgOpc::kQemuSt,
+                .src1 = addr,
+                .src2 = EnvInt(in.rs2),
+                .size = in.size});
+        break;
+      }
+      case GO::kPush: {
+        const ValId eight = b.MovI(8);
+        const ValId nsp = b.Bin(TcgOpc::kSub, EnvInt(guest::kSpReg), eight);
+        b.MovTo(EnvInt(guest::kSpReg), nsp);
+        b.Emit({.opc = TcgOpc::kQemuSt,
+                .src1 = nsp,
+                .src2 = EnvInt(in.rs1),
+                .size = guest::MemSize::k8});
+        break;
+      }
+      case GO::kPop: {
+        const ValId t = b.Temp();
+        b.Emit({.opc = TcgOpc::kQemuLd,
+                .dst = t,
+                .src1 = EnvInt(guest::kSpReg),
+                .size = guest::MemSize::k8});
+        const ValId eight = b.MovI(8);
+        const ValId nsp = b.Bin(TcgOpc::kAdd, EnvInt(guest::kSpReg), eight);
+        b.MovTo(EnvInt(guest::kSpReg), nsp);
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+
+      case GO::kAdd: case GO::kSub: case GO::kMul:
+      case GO::kDivS: case GO::kDivU: case GO::kRemS: case GO::kRemU:
+      case GO::kAnd: case GO::kOr: case GO::kXor:
+      case GO::kShl: case GO::kShr: case GO::kSar: {
+        const ValId rhs = in.use_imm ? b.MovI(static_cast<std::uint64_t>(in.imm))
+                                     : EnvInt(in.rs2);
+        const ValId t = b.Bin(AluOpc(in.op), EnvInt(in.rs1), rhs);
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+      case GO::kNot: {
+        const ValId t = b.Un(TcgOpc::kNot, EnvInt(in.rs1));
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+      case GO::kNeg: {
+        const ValId t = b.Un(TcgOpc::kNeg, EnvInt(in.rs1));
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+
+      case GO::kCmp: {
+        const ValId rhs = in.use_imm ? b.MovI(static_cast<std::uint64_t>(in.imm))
+                                     : EnvInt(in.rs2);
+        b.Emit({.opc = TcgOpc::kSetFlags, .dst = kEnvFlags,
+                .src1 = EnvInt(in.rs1), .src2 = rhs});
+        break;
+      }
+
+      case GO::kJmp:
+        b.Emit({.opc = TcgOpc::kGotoTb, .imm = static_cast<std::uint64_t>(in.imm)});
+        ended = true;
+        break;
+      case GO::kBr:
+        b.Emit({.opc = TcgOpc::kBrCond,
+                .cond = in.cond,
+                .imm = static_cast<std::uint64_t>(in.imm),
+                .imm2 = next_pc});
+        ended = true;
+        break;
+      case GO::kCall:
+      case GO::kCallR: {
+        const ValId eight = b.MovI(8);
+        const ValId nsp = b.Bin(TcgOpc::kSub, EnvInt(guest::kSpReg), eight);
+        b.MovTo(EnvInt(guest::kSpReg), nsp);
+        const ValId ret = b.MovI(next_pc);
+        b.Emit({.opc = TcgOpc::kQemuSt, .src1 = nsp, .src2 = ret,
+                .size = guest::MemSize::k8});
+        if (in.op == GO::kCall) {
+          b.Emit({.opc = TcgOpc::kGotoTb, .imm = static_cast<std::uint64_t>(in.imm)});
+        } else {
+          const ValId t = b.Mov(EnvInt(in.rs1));
+          b.Emit({.opc = TcgOpc::kExitTb, .src1 = t});
+        }
+        ended = true;
+        break;
+      }
+      case GO::kRet: {
+        const ValId t = b.Temp();
+        b.Emit({.opc = TcgOpc::kQemuLd, .dst = t, .src1 = EnvInt(guest::kSpReg),
+                .size = guest::MemSize::k8});
+        const ValId eight = b.MovI(8);
+        const ValId nsp = b.Bin(TcgOpc::kAdd, EnvInt(guest::kSpReg), eight);
+        b.MovTo(EnvInt(guest::kSpReg), nsp);
+        b.Emit({.opc = TcgOpc::kExitTb, .src1 = t});
+        ended = true;
+        break;
+      }
+
+      case GO::kFmovRR:
+        b.MovTo(EnvFp(in.rd), EnvFp(in.rs1));
+        break;
+      case GO::kFmovI: {
+        const ValId t = b.MovI(std::bit_cast<std::uint64_t>(in.fimm));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFld: {
+        const ValId disp = b.MovI(static_cast<std::uint64_t>(in.imm));
+        const ValId addr = b.Bin(TcgOpc::kAdd, EnvInt(in.rs1), disp);
+        const ValId t = b.Temp();
+        b.Emit({.opc = TcgOpc::kQemuLd, .dst = t, .src1 = addr,
+                .size = guest::MemSize::k8});
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFst: {
+        const ValId disp = b.MovI(static_cast<std::uint64_t>(in.imm));
+        const ValId addr = b.Bin(TcgOpc::kAdd, EnvInt(in.rs1), disp);
+        b.Emit({.opc = TcgOpc::kQemuSt, .src1 = addr, .src2 = EnvFp(in.rs2),
+                .size = guest::MemSize::k8});
+        break;
+      }
+      case GO::kFadd: case GO::kFsub: case GO::kFmul: case GO::kFdiv:
+      case GO::kFmin: case GO::kFmax: {
+        const ValId t = b.Bin(FaluOpc(in.op), EnvFp(in.rs1), EnvFp(in.rs2));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFneg: {
+        const ValId t = b.Un(TcgOpc::kFNeg, EnvFp(in.rs1));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFabs: {
+        const ValId t = b.Un(TcgOpc::kFAbs, EnvFp(in.rs1));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFsqrt: {
+        const ValId t = b.Un(TcgOpc::kFSqrt, EnvFp(in.rs1));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kFcmp:
+        b.Emit({.opc = TcgOpc::kSetFlagsF, .dst = kEnvFlags,
+                .src1 = EnvFp(in.rs1), .src2 = EnvFp(in.rs2)});
+        break;
+      case GO::kCvtIF: {
+        const ValId t = b.Un(TcgOpc::kCvtIF, EnvInt(in.rs1));
+        b.MovTo(EnvFp(in.rd), t);
+        break;
+      }
+      case GO::kCvtFI: {
+        const ValId t = b.Un(TcgOpc::kCvtFI, EnvFp(in.rs1));
+        b.MovTo(EnvInt(in.rd), t);
+        break;
+      }
+      case GO::kFbits:
+        b.MovTo(EnvInt(in.rd), EnvFp(in.rs1));
+        break;
+      case GO::kBitsF:
+        b.MovTo(EnvFp(in.rd), EnvInt(in.rs1));
+        break;
+
+      case GO::kSyscall:
+        b.Emit({.opc = TcgOpc::kCallHelper, .helper = HelperId::kSyscall, .imm = pc});
+        b.Emit({.opc = TcgOpc::kGotoTb, .imm = next_pc});
+        ended = true;
+        break;
+    }
+    if (inject_after) {
+      b.Emit({.opc = TcgOpc::kCallHelper,
+              .helper = HelperId::kFaultInjector,
+              .imm = pc});
+      instrumented = true;
+    }
+    pc = next_pc;
+  }
+
+  if (!ended) {
+    // Block-size cap or fell off the end of text: chain to the next pc (the
+    // engine raises a fault if that pc is out of range when executed).
+    b.Emit({.opc = TcgOpc::kGotoTb, .imm = pc});
+  }
+
+  result = b.Take();
+  result.instrumented = instrumented;
+  return result;
+}
+
+}  // namespace chaser::tcg

@@ -1,0 +1,49 @@
+// Guest -> TCG translator.
+//
+// Mirrors QEMU's front end: starting at a guest pc, lower instructions into
+// one TranslationBlock until a control-flow instruction (or the block-size
+// cap) ends the block. Chaser's just-in-time injection hook lives here: an
+// `instrument` predicate decides, per guest instruction, whether to splice a
+// DECAF_inject_fault helper call in front of the instruction's IR — the
+// selective instrumentation that gives Chaser its low overhead (paper
+// §III-A(b), Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "guest/program.h"
+#include "tcg/ir.h"
+
+namespace chaser::tcg {
+
+class Translator {
+ public:
+  struct Options {
+    /// Maximum guest instructions per TB (QEMU default region is similar).
+    std::uint32_t max_tb_insns = 64;
+
+    /// Returns true if an injection helper call must be inserted before the
+    /// instruction at `pc`. Null means "no instrumentation".
+    std::function<bool(const guest::Instruction&, std::uint64_t pc)> instrument;
+
+    /// Ablation: instrument *every* instruction (the F-SEFI strategy that
+    /// Chaser's selective instrumentation replaces).
+    bool instrument_all = false;
+  };
+
+  Translator() = default;
+  explicit Translator(Options options) : options_(std::move(options)) {}
+
+  /// Translate one TB starting at instruction index `pc`.
+  /// Requires pc < prog.text.size().
+  TranslationBlock Translate(const guest::Program& prog, std::uint64_t pc) const;
+
+  const Options& options() const { return options_; }
+  void set_options(Options options) { options_ = std::move(options); }
+
+ private:
+  Options options_;
+};
+
+}  // namespace chaser::tcg

@@ -1,0 +1,408 @@
+// The TCG execution engine: QEMU's cpu_exec loop.
+//
+// Looks up (or translates) the TB for the current pc, then interprets its
+// TCG ops against the CPU env slots and per-TB temporaries. Taint rules are
+// applied op-by-op (DECAF's enforcement point); the fault-injection helper
+// and the syscall helper are dispatched from kCallHelper ops.
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "vm/vm.h"
+
+namespace chaser::vm {
+
+namespace {
+
+std::uint64_t SignExtend(std::uint64_t v, std::uint32_t size) {
+  switch (size) {
+    case 1: return static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int8_t>(v)));
+    case 2: return static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int16_t>(v)));
+    case 4: return static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    default: return v;
+  }
+}
+
+std::uint64_t DoubleToI64(double d) {
+  // x86 CVTTSD2SI semantics: NaN and out-of-range convert to the
+  // "integer indefinite" value.
+  constexpr std::uint64_t kIndefinite = 0x8000000000000000ull;
+  if (std::isnan(d) || d >= 9.2233720368547758e18 || d < -9.2233720368547758e18) {
+    return kIndefinite;
+  }
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(d));
+}
+
+}  // namespace
+
+tcg::TranslationBlock& Vm::LookupTb(std::uint64_t pc) {
+  const auto it = tb_cache_.find(pc);
+  if (it != tb_cache_.end()) return *it->second;
+  auto tb = std::make_unique<tcg::TranslationBlock>(translator_.Translate(*program_, pc));
+  if (config_.optimize_tbs) {
+    const tcg::OptimizerStats stats = tcg::Optimize(tb.get());
+    optimizer_stats_.movs_forwarded += stats.movs_forwarded;
+    optimizer_stats_.dead_ops_removed += stats.dead_ops_removed;
+  }
+  ++tb_translations_;
+  auto [ins, ok] = tb_cache_.emplace(pc, std::move(tb));
+  (void)ok;
+  return *ins->second;
+}
+
+RunState Vm::Run(std::uint64_t max_insns) {
+  if (program_ == nullptr) throw ConfigError("Run: no process started");
+  std::uint64_t budget = max_insns;
+  while (run_state_ == RunState::kRunnable && budget > 0) {
+    if (cpu_.pc >= program_->text.size()) {
+      RaiseSignal(GuestSignal::kSegv,
+                  "jump outside text: pc #" +
+                      StrFormat("%llu", static_cast<unsigned long long>(cpu_.pc)));
+      break;
+    }
+    const tcg::TranslationBlock& tb = LookupTb(cpu_.pc);
+    ++tb_executions_;
+    ExecuteTb(tb, &budget);
+    if (tb_flush_pending_) {
+      tb_flush_pending_ = false;
+      FlushTbCache();
+    }
+  }
+  return run_state_;
+}
+
+void Vm::HandleSyscallHelper(std::uint64_t pc) {
+  const std::uint64_t num = cpu_.IntReg(7);
+  const SyscallResult result = HandleCoreSyscall(num);
+  switch (result.outcome) {
+    case SyscallResult::Outcome::kDone:
+      cpu_.IntReg(0) = result.retval;
+      // The syscall result comes from the host/runtime: clean unless the
+      // extension explicitly tainted the destination buffer.
+      taint_.SetValTaint(tcg::EnvInt(0), 0);
+      break;
+    case SyscallResult::Outcome::kBlock:
+      run_state_ = RunState::kBlocked;
+      cpu_.pc = pc;      // re-execute the syscall once unblocked
+      --instret_;        // the retried instruction is not double-counted
+      break;
+    case SyscallResult::Outcome::kTerminated:
+      break;
+  }
+}
+
+void Vm::ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget) {
+  using tcg::TcgOpc;
+  if (temps_.size() < tb.num_temps) temps_.resize(tb.num_temps);
+  // Elastic taint (DECAF++): skip the whole taint path while no taint
+  // exists anywhere — skipping is exact because every slot/byte is already
+  // clean. Helpers (the injector, MPI receive) can introduce taint, so the
+  // latch is refreshed after every kCallHelper.
+  const bool taint_enabled = taint_.enabled();
+  bool taint_on = taint_enabled && taint_.Active();
+  if (taint_on) taint_.BeginTb(tb.num_temps);
+
+  auto get = [&](tcg::ValId v) -> std::uint64_t {
+    return v < tcg::kNumEnvSlots ? cpu_.env[v] : temps_[v - tcg::kTempBase];
+  };
+  auto put = [&](tcg::ValId v, std::uint64_t x) {
+    if (v < tcg::kNumEnvSlots) {
+      cpu_.env[v] = x;
+    } else {
+      temps_[v - tcg::kTempBase] = x;
+    }
+  };
+  auto fp = [&](tcg::ValId v) { return std::bit_cast<double>(get(v)); };
+  auto propagate2 = [&](const tcg::TcgOp& op, std::uint64_t a, std::uint64_t bv) {
+    if (!taint_on) return;
+    const std::uint64_t ta = taint_.GetValTaint(op.src1);
+    const std::uint64_t tb = taint_.GetValTaint(op.src2);
+    if ((ta | tb) == 0) {
+      taint_.ClearValTaint(op.dst);  // clean result; avoid the full Set path
+      return;
+    }
+    taint_.SetValTaint(op.dst, taint_.PropagateOp(op.opc, ta, tb, a, bv));
+  };
+  auto propagate1 = [&](const tcg::TcgOp& op, std::uint64_t a) {
+    if (!taint_on) return;
+    const std::uint64_t ta = taint_.GetValTaint(op.src1);
+    if (ta == 0) {
+      taint_.ClearValTaint(op.dst);
+      return;
+    }
+    taint_.SetValTaint(op.dst, taint_.PropagateOp(op.opc, ta, 0, a, 0));
+  };
+
+  for (const tcg::TcgOp& op : tb.ops) {
+    if (run_state_ != RunState::kRunnable) return;
+    switch (op.opc) {
+      case TcgOpc::kInsnStart: {
+        ++instret_;
+        if (*budget > 0) --*budget;
+        if (instret_ > config_.max_instructions) {
+          RaiseSignal(GuestSignal::kKill,
+                      "watchdog: instruction budget exhausted (hung run)");
+          return;
+        }
+        if (sample_interval_ != 0 && instret_ >= next_sample_) {
+          next_sample_ += sample_interval_;
+          if (sample_hook_) sample_hook_(*this, instret_);
+        }
+        if (insn_trace_hook_ && taint_on) insn_trace_hook_(*this, op.imm);
+        break;
+      }
+      case TcgOpc::kMovI:
+        put(op.dst, op.imm);
+        if (taint_on) taint_.ClearValTaint(op.dst);
+        break;
+      case TcgOpc::kMov:
+        put(op.dst, get(op.src1));
+        if (taint_on) taint_.SetValTaint(op.dst, taint_.GetValTaint(op.src1));
+        break;
+
+      case TcgOpc::kAdd: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a + bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kSub: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a - bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kMul: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a * bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kDivS:
+      case TcgOpc::kRemS: {
+        const auto a = static_cast<std::int64_t>(get(op.src1));
+        const auto bv = static_cast<std::int64_t>(get(op.src2));
+        if (bv == 0) {
+          RaiseSignal(GuestSignal::kFpe, "integer division by zero");
+          return;
+        }
+        if (a == INT64_MIN && bv == -1) {
+          RaiseSignal(GuestSignal::kFpe, "integer division overflow");
+          return;
+        }
+        put(op.dst, static_cast<std::uint64_t>(op.opc == TcgOpc::kDivS ? a / bv : a % bv));
+        propagate2(op, static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(bv));
+        break;
+      }
+      case TcgOpc::kDivU:
+      case TcgOpc::kRemU: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        if (bv == 0) {
+          RaiseSignal(GuestSignal::kFpe, "integer division by zero");
+          return;
+        }
+        put(op.dst, op.opc == TcgOpc::kDivU ? a / bv : a % bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kAnd: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a & bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kOr: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a | bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kXor: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a ^ bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kShl: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a << (bv & 63u));
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kShr: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst, a >> (bv & 63u));
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kSar: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        put(op.dst,
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                       (bv & 63u)));
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kNot: {
+        const std::uint64_t a = get(op.src1);
+        put(op.dst, ~a);
+        propagate1(op, a);
+        break;
+      }
+      case TcgOpc::kNeg: {
+        const std::uint64_t a = get(op.src1);
+        put(op.dst, 0 - a);
+        propagate1(op, a);
+        break;
+      }
+
+      case TcgOpc::kQemuLd: {
+        const GuestAddr vaddr = get(op.src1);
+        const auto size = static_cast<std::uint32_t>(op.size);
+        PhysAddr paddr = 0;
+        const auto loaded = memory_.Load(vaddr, size, &paddr);
+        if (!loaded) {
+          RaiseSignal(GuestSignal::kSegv, "load fault at " + Hex64(vaddr));
+          return;
+        }
+        const std::uint64_t value = op.sign ? SignExtend(*loaded, size) : *loaded;
+        put(op.dst, value);
+        if (taint_on) {
+          const std::uint64_t t =
+              taint_.OnLoad(op.guest_pc, vaddr, paddr, size, op.sign,
+                            taint_.GetValTaint(op.src1), *loaded);
+          taint_.SetValTaint(op.dst, t);
+        }
+        break;
+      }
+      case TcgOpc::kQemuSt: {
+        const GuestAddr vaddr = get(op.src1);
+        const std::uint64_t value = get(op.src2);
+        const auto size = static_cast<std::uint32_t>(op.size);
+        PhysAddr paddr = 0;
+        if (!memory_.Store(vaddr, size, value, &paddr)) {
+          RaiseSignal(GuestSignal::kSegv, "store fault at " + Hex64(vaddr));
+          return;
+        }
+        if (taint_on) {
+          taint_.OnStore(op.guest_pc, vaddr, paddr, size,
+                         taint_.GetValTaint(op.src1), value,
+                         taint_.GetValTaint(op.src2));
+        }
+        break;
+      }
+
+      case TcgOpc::kFAdd: {
+        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) + fp(op.src2)));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFSub: {
+        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) - fp(op.src2)));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFMul: {
+        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) * fp(op.src2)));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFDiv: {
+        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) / fp(op.src2)));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFMin: {
+        put(op.dst, std::bit_cast<std::uint64_t>(std::fmin(fp(op.src1), fp(op.src2))));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFMax: {
+        put(op.dst, std::bit_cast<std::uint64_t>(std::fmax(fp(op.src1), fp(op.src2))));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+      case TcgOpc::kFNeg: {
+        put(op.dst, std::bit_cast<std::uint64_t>(-fp(op.src1)));
+        propagate1(op, get(op.src1));
+        break;
+      }
+      case TcgOpc::kFAbs: {
+        put(op.dst, std::bit_cast<std::uint64_t>(std::fabs(fp(op.src1))));
+        propagate1(op, get(op.src1));
+        break;
+      }
+      case TcgOpc::kFSqrt: {
+        put(op.dst, std::bit_cast<std::uint64_t>(std::sqrt(fp(op.src1))));
+        propagate1(op, get(op.src1));
+        break;
+      }
+      case TcgOpc::kCvtIF: {
+        put(op.dst, std::bit_cast<std::uint64_t>(
+                        static_cast<double>(static_cast<std::int64_t>(get(op.src1)))));
+        propagate1(op, get(op.src1));
+        break;
+      }
+      case TcgOpc::kCvtFI: {
+        put(op.dst, DoubleToI64(fp(op.src1)));
+        propagate1(op, get(op.src1));
+        break;
+      }
+
+      case TcgOpc::kSetFlags: {
+        const std::uint64_t a = get(op.src1), bv = get(op.src2);
+        cpu_.env[tcg::kEnvFlags] = tcg::ComputeFlags(a, bv);
+        propagate2(op, a, bv);
+        break;
+      }
+      case TcgOpc::kSetFlagsF: {
+        cpu_.env[tcg::kEnvFlags] = tcg::ComputeFlagsF(fp(op.src1), fp(op.src2));
+        propagate2(op, get(op.src1), get(op.src2));
+        break;
+      }
+
+      case TcgOpc::kCallHelper:
+        switch (op.helper) {
+          case tcg::HelperId::kSyscall:
+            HandleSyscallHelper(op.imm);
+            if (run_state_ != RunState::kRunnable) return;
+            break;
+          case tcg::HelperId::kFaultInjector:
+            if (injector_hook_) {
+              // Copy first: the hook may detach itself (fi_clean_cb), and
+              // reassigning the member while it executes would destroy the
+              // callable under our feet.
+              const InjectorHook hook = injector_hook_;
+              hook(*this, op.imm);
+            }
+            if (run_state_ != RunState::kRunnable) return;
+            break;
+          case tcg::HelperId::kHaltTrap:
+            RaiseSignal(GuestSignal::kIll, "halt instruction executed");
+            return;
+        }
+        // A helper may have created (injector, MPI receive) or consumed
+        // taint: refresh the elastic latch.
+        if (taint_enabled) {
+          const bool now_active = taint_.Active();
+          if (now_active && !taint_on) taint_.BeginTb(tb.num_temps);
+          taint_on = now_active;
+        }
+        break;
+
+      case TcgOpc::kGotoTb:
+        cpu_.pc = op.imm;
+        return;
+      case TcgOpc::kBrCond:
+        cpu_.pc = tcg::CondHolds(op.cond, cpu_.env[tcg::kEnvFlags]) ? op.imm : op.imm2;
+        return;
+      case TcgOpc::kExitTb:
+        cpu_.pc = get(op.src1);
+        return;
+    }
+  }
+  // A TB always ends in a terminator; reaching here means the terminator
+  // raised a signal earlier in the loop.
+}
+
+}  // namespace chaser::vm

@@ -1,0 +1,110 @@
+#include "vm/memory.h"
+
+#include <cstring>
+
+namespace chaser::vm {
+
+void GuestMemory::MapRegion(GuestAddr vaddr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = vaddr >> kPageBits;
+  const std::uint64_t last = (vaddr + bytes - 1) >> kPageBits;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    if (page_table_.count(vp) != 0) continue;
+    auto frame = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(frame.get(), 0, kPageSize);
+    frames_.push_back(std::move(frame));
+    page_table_[vp] = frames_.size() - 1;
+  }
+}
+
+bool GuestMemory::IsMapped(GuestAddr vaddr) const {
+  return page_table_.count(vaddr >> kPageBits) != 0;
+}
+
+std::optional<PhysAddr> GuestMemory::Translate(GuestAddr vaddr) const {
+  const auto it = page_table_.find(vaddr >> kPageBits);
+  if (it == page_table_.end()) return std::nullopt;
+  return it->second * kPageSize + (vaddr & kPageMask);
+}
+
+std::uint8_t* GuestMemory::FramePtr(PhysAddr paddr) {
+  return frames_[paddr >> kPageBits].get() + (paddr & kPageMask);
+}
+
+const std::uint8_t* GuestMemory::FramePtr(PhysAddr paddr) const {
+  return frames_[paddr >> kPageBits].get() + (paddr & kPageMask);
+}
+
+std::optional<std::uint64_t> GuestMemory::Load(GuestAddr vaddr, std::uint32_t size,
+                                               PhysAddr* paddr_out) {
+  const auto paddr = Translate(vaddr);
+  if (!paddr) return std::nullopt;
+  if (paddr_out != nullptr) *paddr_out = *paddr;
+  // Fast path: the access does not cross a page boundary.
+  if ((vaddr & kPageMask) + size <= kPageSize) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, FramePtr(*paddr), size);
+    return v;
+  }
+  // Slow path: byte-by-byte across pages.
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto pa = Translate(vaddr + i);
+    if (!pa) return std::nullopt;
+    v |= static_cast<std::uint64_t>(*FramePtr(*pa)) << (8 * i);
+  }
+  return v;
+}
+
+bool GuestMemory::Store(GuestAddr vaddr, std::uint32_t size, std::uint64_t value,
+                        PhysAddr* paddr_out) {
+  const auto paddr = Translate(vaddr);
+  if (!paddr) return false;
+  if (paddr_out != nullptr) *paddr_out = *paddr;
+  if ((vaddr & kPageMask) + size <= kPageSize) {
+    std::memcpy(FramePtr(*paddr), &value, size);
+    return true;
+  }
+  // Verify all bytes are mapped before writing any (no partial stores).
+  for (std::uint32_t i = 0; i < size; ++i) {
+    if (!Translate(vaddr + i)) return false;
+  }
+  for (std::uint32_t i = 0; i < size; ++i) {
+    *FramePtr(*Translate(vaddr + i)) = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return true;
+}
+
+bool GuestMemory::ReadBytes(GuestAddr vaddr, void* dst, std::uint64_t n) const {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const auto paddr = Translate(vaddr + done);
+    if (!paddr) return false;
+    const std::uint64_t in_page = kPageSize - ((vaddr + done) & kPageMask);
+    const std::uint64_t chunk = std::min(in_page, n - done);
+    std::memcpy(out + done, FramePtr(*paddr), chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+bool GuestMemory::WriteBytes(GuestAddr vaddr, const void* src, std::uint64_t n) {
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  // Check the whole range first so a fault never leaves a partial write.
+  for (std::uint64_t off = 0; off < n; off += kPageSize) {
+    if (!IsMapped(vaddr + off)) return false;
+  }
+  if (n > 0 && !IsMapped(vaddr + n - 1)) return false;
+  std::uint64_t done = 0;
+  while (done < n) {
+    const auto paddr = Translate(vaddr + done);
+    const std::uint64_t in_page = kPageSize - ((vaddr + done) & kPageMask);
+    const std::uint64_t chunk = std::min(in_page, n - done);
+    std::memcpy(FramePtr(*paddr), in + done, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+}  // namespace chaser::vm

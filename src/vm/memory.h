@@ -1,0 +1,72 @@
+// Paged guest memory with a soft-MMU (QEMU's softmmu equivalent).
+//
+// Guest virtual pages map to physical frames allocated on demand by the
+// loader / brk. Accesses to unmapped pages produce a page fault that the
+// execution engine turns into the guest-visible SIGSEGV analogue — this is
+// how injected pointer corruptions become "OS exception" terminations.
+// Physical addresses are exposed because the taint shadow and the paper's
+// propagation log are keyed by them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chaser::vm {
+
+inline constexpr std::uint64_t kPageBits = 12;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+class GuestMemory {
+ public:
+  GuestMemory() = default;
+
+  // Non-copyable (owns frames), movable.
+  GuestMemory(const GuestMemory&) = delete;
+  GuestMemory& operator=(const GuestMemory&) = delete;
+  GuestMemory(GuestMemory&&) = default;
+  GuestMemory& operator=(GuestMemory&&) = default;
+
+  /// Map all pages covering [vaddr, vaddr + bytes), zero-filled.
+  /// Already-mapped pages are left untouched.
+  void MapRegion(GuestAddr vaddr, std::uint64_t bytes);
+
+  /// True if the byte at `vaddr` is mapped.
+  bool IsMapped(GuestAddr vaddr) const;
+
+  /// Virtual -> physical translation; nullopt on unmapped page.
+  std::optional<PhysAddr> Translate(GuestAddr vaddr) const;
+
+  /// Load `size` (1/2/4/8) bytes little-endian. Returns nullopt on fault
+  /// (any byte unmapped); `paddr_out` receives the physical address of the
+  /// first byte on success.
+  std::optional<std::uint64_t> Load(GuestAddr vaddr, std::uint32_t size,
+                                    PhysAddr* paddr_out);
+
+  /// Store the low `size` bytes of `value`. False on fault.
+  bool Store(GuestAddr vaddr, std::uint32_t size, std::uint64_t value,
+             PhysAddr* paddr_out);
+
+  /// Bulk copy out of guest memory. False if any byte is unmapped.
+  bool ReadBytes(GuestAddr vaddr, void* dst, std::uint64_t n) const;
+
+  /// Bulk copy into guest memory. False if any byte is unmapped.
+  bool WriteBytes(GuestAddr vaddr, const void* src, std::uint64_t n);
+
+  std::uint64_t mapped_pages() const { return frames_.size(); }
+
+ private:
+  std::uint8_t* FramePtr(PhysAddr paddr);
+  const std::uint8_t* FramePtr(PhysAddr paddr) const;
+
+  // vpage index -> frame index. paddr = frame_index * kPageSize + offset.
+  std::unordered_map<std::uint64_t, std::uint64_t> page_table_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> frames_;
+};
+
+}  // namespace chaser::vm

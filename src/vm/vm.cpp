@@ -1,0 +1,231 @@
+#include "vm/vm.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace chaser::vm {
+
+namespace {
+/// Largest guest write() honoured; beyond this the buffer length is treated
+/// as corrupt and the access faults (a corrupted length register would make
+/// the real OS fail the copy the same way).
+constexpr std::uint64_t kMaxWriteBytes = 1ull << 26;
+}  // namespace
+
+const char* GuestSignalName(GuestSignal s) {
+  switch (s) {
+    case GuestSignal::kNone: return "none";
+    case GuestSignal::kSegv: return "SIGSEGV";
+    case GuestSignal::kFpe: return "SIGFPE";
+    case GuestSignal::kIll: return "SIGILL";
+    case GuestSignal::kSys: return "SIGSYS";
+    case GuestSignal::kAbort: return "SIGABRT";
+    case GuestSignal::kKill: return "SIGKILL";
+  }
+  return "?";
+}
+
+const char* TerminationKindName(TerminationKind k) {
+  switch (k) {
+    case TerminationKind::kRunning: return "running";
+    case TerminationKind::kExited: return "exited";
+    case TerminationKind::kSignaled: return "os-exception";
+    case TerminationKind::kAssertFailed: return "assertion-failed";
+    case TerminationKind::kMpiError: return "mpi-error";
+  }
+  return "?";
+}
+
+Vm::Vm() : Vm(Config{}) {}
+
+Vm::Vm(Config config) : config_(config) {
+  tcg::Translator::Options opts;
+  opts.max_tb_insns = config_.max_tb_insns;
+  translator_.set_options(std::move(opts));
+}
+
+void Vm::SetInstrumentPredicate(InstrumentPredicate pred) {
+  auto opts = translator_.options();
+  opts.instrument = std::move(pred);
+  translator_.set_options(std::move(opts));
+}
+
+void Vm::SetInstrumentAll(bool all) {
+  auto opts = translator_.options();
+  opts.instrument_all = all;
+  translator_.set_options(std::move(opts));
+}
+
+void Vm::FlushTbCache() { tb_cache_.clear(); }
+
+void Vm::SetInstretSample(std::uint64_t interval, InstretSampleHook hook) {
+  sample_interval_ = interval;
+  sample_hook_ = std::move(hook);
+  next_sample_ = instret_ + (interval == 0 ? 0 : interval);
+}
+
+Pid Vm::StartProcess(const guest::Program& program) {
+  // Copy the image: callers may hand us a temporary, and the TB cache /
+  // execution engine reference the text for the process's whole lifetime.
+  // (Self-assignment when re-starting the same image is harmless.)
+  program_storage_ = program;
+  program_ = &program_storage_;
+  process_name_ = program_storage_.name;
+  pid_ = next_pid_++;
+
+  memory_ = GuestMemory();
+  if (!program.data.empty()) {
+    memory_.MapRegion(guest::kDataBase, program.data.size());
+    memory_.WriteBytes(guest::kDataBase, program.data.data(), program.data.size());
+  }
+  if (program.bss_bytes > 0) {
+    memory_.MapRegion(guest::kBssBase, program.bss_bytes);
+  }
+  memory_.MapRegion(guest::kStackTop - guest::kDefaultStackBytes,
+                    guest::kDefaultStackBytes);
+  heap_break_ = guest::kHeapBase;
+
+  cpu_ = CpuState{};
+  cpu_.pc = program.entry;
+  cpu_.IntReg(guest::kSpReg) = guest::kStackTop - 64;
+
+  taint_.Reset();
+  temps_.clear();
+  outputs_.clear();
+  tainted_output_bytes_ = 0;
+
+  run_state_ = RunState::kRunnable;
+  termination_ = TerminationKind::kRunning;
+  signal_ = GuestSignal::kNone;
+  exit_code_ = 0;
+  termination_message_.clear();
+  instret_ = 0;
+  next_sample_ = sample_interval_;
+
+  FlushTbCache();
+
+  if (on_create_) on_create_(*this, pid_, process_name_);
+  return pid_;
+}
+
+RunState Vm::RunToCompletion() {
+  while (run_state_ == RunState::kRunnable) {
+    Run(1u << 22);
+  }
+  if (run_state_ == RunState::kBlocked) {
+    throw ConfigError("RunToCompletion: process '" + process_name_ +
+                      "' blocked with nothing to unblock it");
+  }
+  return run_state_;
+}
+
+const std::string& Vm::output(int fd) const {
+  static const std::string kEmpty;
+  const auto it = outputs_.find(fd);
+  return it == outputs_.end() ? kEmpty : it->second;
+}
+
+void Vm::Unblock() {
+  if (run_state_ == RunState::kBlocked) run_state_ = RunState::kRunnable;
+}
+
+void Vm::TerminateMpiError(std::string msg) {
+  if (run_state_ == RunState::kTerminated) return;
+  run_state_ = RunState::kTerminated;
+  termination_ = TerminationKind::kMpiError;
+  termination_message_ = std::move(msg);
+  if (on_exit_) on_exit_(*this, pid_, process_name_);
+}
+
+void Vm::RaiseSignal(GuestSignal sig, std::string msg) {
+  if (run_state_ == RunState::kTerminated) return;
+  run_state_ = RunState::kTerminated;
+  termination_ = TerminationKind::kSignaled;
+  signal_ = sig;
+  termination_message_ = std::move(msg);
+  if (on_exit_) on_exit_(*this, pid_, process_name_);
+}
+
+void Vm::TerminateExit(std::int64_t code) {
+  if (run_state_ == RunState::kTerminated) return;
+  run_state_ = RunState::kTerminated;
+  termination_ = TerminationKind::kExited;
+  exit_code_ = code;
+  if (on_exit_) on_exit_(*this, pid_, process_name_);
+}
+
+void Vm::TerminateAssert(std::int64_t check_id) {
+  if (run_state_ == RunState::kTerminated) return;
+  run_state_ = RunState::kTerminated;
+  termination_ = TerminationKind::kAssertFailed;
+  termination_message_ = StrFormat("program assertion %lld failed",
+                                   static_cast<long long>(check_id));
+  if (on_exit_) on_exit_(*this, pid_, process_name_);
+}
+
+SyscallResult Vm::HandleCoreSyscall(std::uint64_t num) {
+  using guest::Sys;
+  switch (static_cast<Sys>(num)) {
+    case Sys::kExit:
+      TerminateExit(static_cast<std::int64_t>(cpu_.IntReg(1)));
+      return SyscallResult::Terminated();
+    case Sys::kWrite: {
+      const int fd = static_cast<int>(cpu_.IntReg(1));
+      const GuestAddr buf = cpu_.IntReg(2);
+      const std::uint64_t len = cpu_.IntReg(3);
+      if (len > kMaxWriteBytes) {
+        RaiseSignal(GuestSignal::kSegv,
+                    StrFormat("write: implausible length %llu",
+                              static_cast<unsigned long long>(len)));
+        return SyscallResult::Terminated();
+      }
+      std::string bytes(len, '\0');
+      if (!memory_.ReadBytes(buf, bytes.data(), len)) {
+        RaiseSignal(GuestSignal::kSegv,
+                    "write: buffer " + Hex64(buf) + " not mapped");
+        return SyscallResult::Terminated();
+      }
+      outputs_[fd] += bytes;
+      // Taint-through-I/O: count corrupted bytes leaving the process.
+      if (taint_.enabled() && taint_.Active()) {
+        for (std::uint64_t i = 0; i < len; ++i) {
+          const auto pa = memory_.Translate(buf + i);
+          if (pa && taint_.GetMemTaintByte(*pa) != 0) ++tainted_output_bytes_;
+        }
+      }
+      return SyscallResult::Done(len);
+    }
+    case Sys::kAbort:
+      RaiseSignal(GuestSignal::kAbort, "guest called abort()");
+      return SyscallResult::Terminated();
+    case Sys::kAssertFail:
+      TerminateAssert(static_cast<std::int64_t>(cpu_.IntReg(1)));
+      return SyscallResult::Terminated();
+    case Sys::kBrk: {
+      const std::uint64_t bytes = cpu_.IntReg(1);
+      const GuestAddr old_break = heap_break_;
+      if (bytes > 0) {
+        if (bytes > (1ull << 30) || heap_break_ + bytes > guest::kStackTop) {
+          RaiseSignal(GuestSignal::kSegv, "brk: out of guest memory");
+          return SyscallResult::Terminated();
+        }
+        memory_.MapRegion(heap_break_, bytes);
+        heap_break_ += bytes;
+      }
+      return SyscallResult::Done(old_break);
+    }
+    case Sys::kInstret:
+      return SyscallResult::Done(instret_);
+    default:
+      break;
+  }
+  if (syscall_ext_ != nullptr) {
+    if (auto result = syscall_ext_->HandleSyscall(*this, num)) return *result;
+  }
+  RaiseSignal(GuestSignal::kSys,
+              StrFormat("unknown syscall %llu", static_cast<unsigned long long>(num)));
+  return SyscallResult::Terminated();
+}
+
+}  // namespace chaser::vm

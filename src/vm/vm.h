@@ -1,0 +1,258 @@
+// The virtual machine: CPU state, guest OS services, VMI events, and the
+// TB-cached execution engine.
+//
+// One Vm hosts one guest process (the paper runs the target application in a
+// QEMU guest per node; we collapse guest-OS multi-tasking to the single
+// process under test but keep the process-creation *event*, because that is
+// the hook Chaser's VMI targeting uses). The execution engine mirrors QEMU's
+// main loop: look up the translation block for the current pc in the TB
+// cache, translate on miss, execute the TCG ops. Chaser's pieces plug in via:
+//
+//  * `set_on_process_create` — DECAF's VMI_CREATEPROC_CB;
+//  * `SetInstrumentPredicate` + `FlushTbCache` — flush-and-retranslate so the
+//    injector helper is spliced into targeted instructions only;
+//  * `set_injector_hook` — the DECAF_inject_fault helper body;
+//  * `taint()` — the per-VM bitwise taint engine;
+//  * `set_syscall_extension` — the simulated MPI runtime.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "guest/program.h"
+#include "taint/taint.h"
+#include "tcg/ir.h"
+#include "tcg/optimizer.h"
+#include "tcg/translator.h"
+#include "vm/memory.h"
+
+namespace chaser::vm {
+
+/// Guest-visible signals (the "OS exception" termination causes of Table III).
+enum class GuestSignal : std::uint8_t {
+  kNone = 0,
+  kSegv,   // unmapped memory access or wild jump
+  kFpe,    // integer division by zero
+  kIll,    // halt / undefined behaviour trap
+  kSys,    // unknown syscall
+  kAbort,  // guest called abort()
+  kKill,   // watchdog: instruction budget exceeded (hung run)
+};
+
+/// Why a process stopped.
+enum class TerminationKind : std::uint8_t {
+  kRunning = 0,
+  kExited,        // normal exit(code)
+  kSignaled,      // OS exception (GuestSignal)
+  kAssertFailed,  // program-level assertion (e.g. CLAMR mass-conservation check)
+  kMpiError,      // the MPI runtime detected an error
+};
+
+enum class RunState : std::uint8_t { kRunnable, kBlocked, kTerminated };
+
+const char* GuestSignalName(GuestSignal s);
+const char* TerminationKindName(TerminationKind k);
+
+/// Guest CPU: TCG env slots (r0..r15, f0..f15 as bit patterns, flags) + pc.
+struct CpuState {
+  std::array<std::uint64_t, tcg::kNumEnvSlots> env{};
+  std::uint64_t pc = 0;  // instruction index into program text
+
+  std::uint64_t& IntReg(unsigned r) { return env[tcg::EnvInt(r)]; }
+  std::uint64_t IntReg(unsigned r) const { return env[tcg::EnvInt(r)]; }
+  double FpReg(unsigned f) const { return std::bit_cast<double>(env[tcg::EnvFp(f)]); }
+  void SetFpReg(unsigned f, double v) { env[tcg::EnvFp(f)] = std::bit_cast<std::uint64_t>(v); }
+};
+
+class Vm;
+
+/// Result of an extension-handled syscall.
+struct SyscallResult {
+  enum class Outcome : std::uint8_t {
+    kDone,       // retval valid; continue
+    kBlock,      // re-execute the syscall when the VM is unblocked
+    kTerminated, // the handler terminated the process (via Vm methods)
+  };
+  Outcome outcome = Outcome::kDone;
+  std::uint64_t retval = 0;
+
+  static SyscallResult Done(std::uint64_t rv = 0) { return {Outcome::kDone, rv}; }
+  static SyscallResult Block() { return {Outcome::kBlock, 0}; }
+  static SyscallResult Terminated() { return {Outcome::kTerminated, 0}; }
+};
+
+/// Handles syscalls the core OS does not implement (the MPI runtime).
+class SyscallExtension {
+ public:
+  virtual ~SyscallExtension() = default;
+  /// Return nullopt if the syscall number is not handled here.
+  virtual std::optional<SyscallResult> HandleSyscall(Vm& vm, std::uint64_t num) = 0;
+};
+
+class Vm {
+ public:
+  struct Config {
+    /// Watchdog: terminate (GuestSignal::kKill) after this many instructions.
+    std::uint64_t max_instructions = 500'000'000;
+    std::uint32_t max_tb_insns = 64;
+    /// Run the TCG optimizer over each freshly translated TB.
+    bool optimize_tbs = true;
+  };
+
+  using VmiProcessCallback = std::function<void(Vm&, Pid, const std::string&)>;
+  using InjectorHook = std::function<void(Vm&, std::uint64_t pc)>;
+  using InstretSampleHook = std::function<void(Vm&, std::uint64_t instret)>;
+  using InstrumentPredicate =
+      std::function<bool(const guest::Instruction&, std::uint64_t pc)>;
+
+  Vm();
+  explicit Vm(Config config);
+
+  // ---- VMI (DECAF-style process events) ------------------------------------
+  void set_on_process_create(VmiProcessCallback cb) { on_create_ = std::move(cb); }
+  void set_on_process_exit(VmiProcessCallback cb) { on_exit_ = std::move(cb); }
+
+  // ---- Chaser instrumentation glue ------------------------------------------
+  void set_injector_hook(InjectorHook hook) { injector_hook_ = std::move(hook); }
+  /// Install the predicate choosing which instructions get the injector call.
+  /// Takes effect for TBs translated after the next FlushTbCache().
+  void SetInstrumentPredicate(InstrumentPredicate pred);
+  /// Ablation: instrument every instruction (F-SEFI style).
+  void SetInstrumentAll(bool all);
+  /// Drop all cached TBs; the next execution re-translates (paper §III-A(b)).
+  void FlushTbCache();
+  /// Flush the TB cache at the next TB boundary. Safe to call from inside a
+  /// helper (e.g. when the injector detaches itself after firing, the paper's
+  /// fi_clean_cb) while the current TB is still executing.
+  void RequestTbFlush() { tb_flush_pending_ = true; }
+  /// Invoke `hook` every `interval` retired instructions (0 disables).
+  void SetInstretSample(std::uint64_t interval, InstretSampleHook hook);
+
+  /// Instruction-granularity trace hook: invoked at every retired guest
+  /// instruction while taint is active. This is the expensive alternative
+  /// Chaser's memory-access-granularity tracing replaces (paper SII-C(b));
+  /// it exists for the ablation bench. Null disables (the default).
+  using InsnTraceHook = std::function<void(Vm&, std::uint64_t pc)>;
+  void SetInsnTraceHook(InsnTraceHook hook) { insn_trace_hook_ = std::move(hook); }
+
+  void set_syscall_extension(SyscallExtension* ext) { syscall_ext_ = ext; }
+
+  /// Tune the hung-run watchdog (campaigns set this from the golden run's
+  /// instruction count so corrupted loop bounds terminate quickly).
+  void set_max_instructions(std::uint64_t n) { config_.max_instructions = n; }
+  std::uint64_t max_instructions() const { return config_.max_instructions; }
+
+  // ---- Lifecycle -------------------------------------------------------------
+  /// Load `program` (data, bss, stack), reset CPU/taint, fire the VMI
+  /// process-creation callback. Returns the new pid. The VM keeps its own
+  /// copy of the image, so temporaries are safe to pass.
+  Pid StartProcess(const guest::Program& program);
+
+  /// Execute up to `max_insns` instructions (or until blocked/terminated).
+  RunState Run(std::uint64_t max_insns);
+
+  /// Convenience for single-process workloads: run until terminated.
+  /// Throws ConfigError if the process blocks with no extension to unblock it.
+  RunState RunToCompletion();
+
+  // ---- State inspection --------------------------------------------------------
+  RunState run_state() const { return run_state_; }
+  TerminationKind termination() const { return termination_; }
+  GuestSignal signal() const { return signal_; }
+  std::int64_t exit_code() const { return exit_code_; }
+  const std::string& termination_message() const { return termination_message_; }
+  std::uint64_t instret() const { return instret_; }
+  Pid pid() const { return pid_; }
+  const std::string& process_name() const { return process_name_; }
+
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  GuestMemory& memory() { return memory_; }
+  const GuestMemory& memory() const { return memory_; }
+  taint::TaintEngine& taint() { return taint_; }
+  const taint::TaintEngine& taint() const { return taint_; }
+  const guest::Program* program() const { return program_; }
+
+  /// Captured guest output for a file descriptor (1 = stdout, 3 = data file).
+  const std::string& output(int fd) const;
+
+  /// Tainted bytes the guest wrote to any output fd (taint-through-I/O:
+  /// DECAF propagates taint into I/O devices; a non-zero value predicts
+  /// silent data corruption before any golden-run comparison).
+  std::uint64_t tainted_output_bytes() const { return tainted_output_bytes_; }
+
+  // ---- Used by extensions / the injector ----------------------------------------
+  /// Mark a blocked process runnable again (e.g. its MPI message arrived).
+  void Unblock();
+  /// Terminate with an MPI-runtime-detected error.
+  void TerminateMpiError(std::string msg);
+  /// Raise a guest signal (terminates the process).
+  void RaiseSignal(GuestSignal sig, std::string msg);
+
+  // ---- Engine statistics (Fig. 10 overhead analysis) ------------------------------
+  std::uint64_t tb_translations() const { return tb_translations_; }
+  std::uint64_t tb_executions() const { return tb_executions_; }
+  std::uint64_t tb_cache_size() const { return tb_cache_.size(); }
+  /// Cumulative TCG-optimizer activity across all translations.
+  const tcg::OptimizerStats& optimizer_stats() const { return optimizer_stats_; }
+  void set_optimize_tbs(bool on) { config_.optimize_tbs = on; }
+
+ private:
+  tcg::TranslationBlock& LookupTb(std::uint64_t pc);
+  void ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget);
+  void HandleSyscallHelper(std::uint64_t pc);
+  SyscallResult HandleCoreSyscall(std::uint64_t num);
+  void TerminateExit(std::int64_t code);
+  void TerminateAssert(std::int64_t check_id);
+
+  Config config_;
+  tcg::Translator translator_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<tcg::TranslationBlock>> tb_cache_;
+
+  guest::Program program_storage_;   // owned copy of the loaded image
+  const guest::Program* program_ = nullptr;  // null until a process starts
+  std::string process_name_;
+  Pid pid_ = kInvalidPid;
+  Pid next_pid_ = 1000;
+
+  CpuState cpu_;
+  GuestMemory memory_;
+  taint::TaintEngine taint_;
+  std::vector<std::uint64_t> temps_;
+
+  RunState run_state_ = RunState::kTerminated;
+  TerminationKind termination_ = TerminationKind::kRunning;
+  GuestSignal signal_ = GuestSignal::kNone;
+  std::int64_t exit_code_ = 0;
+  std::string termination_message_;
+
+  std::uint64_t instret_ = 0;
+  GuestAddr heap_break_ = 0;
+
+  std::map<int, std::string> outputs_;
+  std::uint64_t tainted_output_bytes_ = 0;
+
+  VmiProcessCallback on_create_;
+  VmiProcessCallback on_exit_;
+  InjectorHook injector_hook_;
+  InstretSampleHook sample_hook_;
+  InsnTraceHook insn_trace_hook_;
+  std::uint64_t sample_interval_ = 0;
+  std::uint64_t next_sample_ = 0;
+  SyscallExtension* syscall_ext_ = nullptr;
+
+  std::uint64_t tb_translations_ = 0;
+  std::uint64_t tb_executions_ = 0;
+  bool tb_flush_pending_ = false;
+  tcg::OptimizerStats optimizer_stats_;
+};
+
+}  // namespace chaser::vm

@@ -1,0 +1,325 @@
+// Tests for src/apps: every guest application's golden output is checked
+// against an independent host-side reference implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "mpi/cluster.h"
+#include "vm/vm.h"
+
+namespace chaser::apps {
+namespace {
+
+std::vector<double> AsDoubles(const std::string& bytes) {
+  std::vector<double> out(bytes.size() / 8);
+  std::memcpy(out.data(), bytes.data(), out.size() * 8);
+  return out;
+}
+
+std::vector<std::uint64_t> AsU64(const std::string& bytes) {
+  std::vector<std::uint64_t> out(bytes.size() / 8);
+  std::memcpy(out.data(), bytes.data(), out.size() * 8);
+  return out;
+}
+
+// ---- bfs -----------------------------------------------------------------------
+
+TEST(AppsBfs, MatchesHostReferenceBfs) {
+  const BfsParams params{.nodes = 128, .avg_degree = 5, .seed = 11};
+  AppSpec spec = BuildBfs(params);
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  ASSERT_EQ(vm.termination(), vm::TerminationKind::kExited);
+  const std::vector<std::uint64_t> levels = AsU64(vm.output(3));
+  ASSERT_EQ(levels.size(), params.nodes);
+
+  // Host reference: regenerate the same graph (same Rng discipline).
+  Rng rng(params.seed);
+  std::vector<std::uint64_t> row_ptr(params.nodes + 1, 0);
+  std::vector<std::uint64_t> col;
+  for (std::uint64_t u = 0; u < params.nodes; ++u) {
+    row_ptr[u] = col.size();
+    if (u + 1 < params.nodes) col.push_back(u + 1);
+    for (std::uint64_t e = 1; e < params.avg_degree; ++e) {
+      col.push_back(rng.UniformU64(0, params.nodes - 1));
+    }
+  }
+  row_ptr[params.nodes] = col.size();
+  std::vector<std::uint64_t> ref(params.nodes, 0);
+  std::vector<std::uint64_t> queue{0};
+  ref[0] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint64_t u = queue[head];
+    for (std::uint64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+      const std::uint64_t v = col[e];
+      if (ref[v] == 0) {
+        ref[v] = ref[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(levels, ref);
+}
+
+TEST(AppsBfs, TargetsCmpClass) {
+  EXPECT_EQ(BuildBfs({.nodes = 16}).fault_classes,
+            (std::set<guest::InstrClass>{guest::InstrClass::kCmp}));
+}
+
+// ---- kmeans ----------------------------------------------------------------------
+
+TEST(AppsKmeans, MatchesHostReferenceLloyd) {
+  const KmeansParams params{.points = 64, .dims = 3, .clusters = 3,
+                            .iterations = 4, .seed = 21};
+  AppSpec spec = BuildKmeans(params);
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  ASSERT_EQ(vm.termination(), vm::TerminationKind::kExited);
+  const std::vector<double> got = AsDoubles(vm.output(3));
+  ASSERT_EQ(got.size(), params.clusters * params.dims);
+
+  // Host reference with identical arithmetic order.
+  Rng rng(params.seed);
+  const std::uint64_t n = params.points, d = params.dims, k = params.clusters;
+  std::vector<double> pts(n * d);
+  for (double& p : pts) p = rng.UniformDouble(0.0, 10.0);
+  std::vector<double> c(pts.begin(), pts.begin() + k * d);
+  for (std::uint64_t it = 0; it < params.iterations; ++it) {
+    std::vector<double> sums(k * d, 0.0);
+    std::vector<std::uint64_t> counts(k, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t best = 0;
+      double bestd = 1e300;
+      for (std::uint64_t kk = 0; kk < k; ++kk) {
+        double dist = 0;
+        for (std::uint64_t j = 0; j < d; ++j) {
+          const double diff = pts[i * d + j] - c[kk * d + j];
+          dist += diff * diff;
+        }
+        if (dist < bestd) {
+          bestd = dist;
+          best = kk;
+        }
+      }
+      ++counts[best];
+      for (std::uint64_t j = 0; j < d; ++j) sums[best * d + j] += pts[i * d + j];
+    }
+    for (std::uint64_t kk = 0; kk < k; ++kk) {
+      if (counts[kk] == 0) continue;
+      for (std::uint64_t j = 0; j < d; ++j) {
+        c[kk * d + j] = sums[kk * d + j] / static_cast<double>(counts[kk]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], c[i]) << "centroid element " << i;
+  }
+}
+
+// ---- lud -----------------------------------------------------------------------
+
+TEST(AppsLud, MatchesHostReferenceDoolittle) {
+  const LudParams params{.n = 12, .seed = 31};
+  AppSpec spec = BuildLud(params);
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  ASSERT_EQ(vm.termination(), vm::TerminationKind::kExited);
+  const std::vector<double> got = AsDoubles(vm.output(3));
+  ASSERT_EQ(got.size(), params.n * params.n);
+
+  Rng rng(params.seed);
+  const std::uint64_t n = params.n;
+  std::vector<double> a(n * n);
+  for (double& v : a) v = rng.UniformDouble(-1.0, 1.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a[i * n + i] = static_cast<double>(n) + rng.UniformDouble(0.0, 1.0);
+  }
+  for (std::uint64_t k = 0; k + 1 < n; ++k) {
+    for (std::uint64_t i = k + 1; i < n; ++i) {
+      a[i * n + k] /= a[k * n + k];
+      for (std::uint64_t j = k + 1; j < n; ++j) {
+        a[i * n + j] -= a[i * n + k] * a[k * n + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], a[i]) << "LU element " << i;
+  }
+}
+
+TEST(AppsLud, LuFactorsReproduceMatrix) {
+  // Independent validity check: L*U must reconstruct the original matrix.
+  const LudParams params{.n = 8, .seed = 32};
+  AppSpec spec = BuildLud(params);
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  const std::vector<double> lu = AsDoubles(vm.output(3));
+  const std::uint64_t n = params.n;
+
+  Rng rng(params.seed);
+  std::vector<double> orig(n * n);
+  for (double& v : orig) v = rng.UniformDouble(-1.0, 1.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    orig[i * n + i] = static_cast<double>(n) + rng.UniformDouble(0.0, 1.0);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      double sum = 0;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const double l = (i == k) ? 1.0 : (k < i ? lu[i * n + k] : 0.0);
+        const double u = (k <= j) ? lu[k * n + j] : 0.0;
+        sum += l * u;
+      }
+      EXPECT_NEAR(sum, orig[i * n + j], 1e-9) << i << "," << j;
+    }
+  }
+}
+
+// ---- matvec ----------------------------------------------------------------------
+
+TEST(AppsMatvec, MatchesHostReferenceProduct) {
+  const MatvecParams params{.rows = 12, .cols = 6, .ranks = 4, .seed = 41};
+  AppSpec spec = BuildMatvec(params);
+  mpi::Cluster cluster({.num_ranks = params.ranks});
+  cluster.Start(spec.program);
+  ASSERT_TRUE(cluster.Run().completed);
+  const std::vector<double> got = AsDoubles(cluster.rank_vm(0).output(3));
+  ASSERT_EQ(got.size(), params.rows);
+
+  Rng rng(params.seed);
+  std::vector<double> a(params.rows * params.cols);
+  for (double& v : a) v = rng.UniformDouble(-1.0, 1.0);
+  std::vector<double> x(params.cols);
+  for (double& v : x) v = rng.UniformDouble(-1.0, 1.0);
+  for (std::uint64_t i = 0; i < params.rows; ++i) {
+    double sum = 0;
+    for (std::uint64_t j = 0; j < params.cols; ++j) sum += a[i * params.cols + j] * x[j];
+    EXPECT_DOUBLE_EQ(got[i], sum) << "row " << i;
+  }
+}
+
+TEST(AppsMatvec, SlavesExportPartials) {
+  AppSpec spec = BuildMatvec({.rows = 12, .cols = 6, .ranks = 4});
+  mpi::Cluster cluster({.num_ranks = 4});
+  cluster.Start(spec.program);
+  ASSERT_TRUE(cluster.Run().completed);
+  for (Rank r = 1; r < 4; ++r) {
+    EXPECT_EQ(cluster.rank_vm(r).output(3).size(), 4u * 8u) << "rank " << r;
+  }
+}
+
+TEST(AppsMatvec, ValidatesConfiguration) {
+  EXPECT_THROW(BuildMatvec({.rows = 10, .cols = 4, .ranks = 4}), ConfigError);
+  EXPECT_THROW(BuildMatvec({.rows = 10, .cols = 4, .ranks = 1}), ConfigError);
+}
+
+TEST(AppsMatvec, TargetsMovClass) {
+  EXPECT_EQ(BuildMatvec({.rows = 12, .cols = 4, .ranks = 4}).fault_classes,
+            (std::set<guest::InstrClass>{guest::InstrClass::kMov}));
+}
+
+// ---- clamr ------------------------------------------------------------------------
+
+TEST(AppsClamr, CleanRunConservesAndExportsFields) {
+  const ClamrParams params{.global_rows = 16, .cols = 16, .steps = 8, .ranks = 4};
+  AppSpec spec = BuildClamr(params);
+  mpi::Cluster cluster({.num_ranks = 4});
+  cluster.Start(spec.program);
+  const mpi::JobResult job = cluster.Run();
+  ASSERT_TRUE(job.completed) << job.first_failure_message;
+  // Each rank: interior field (4*16 doubles) + refine count (8 bytes);
+  // rank 0 additionally the three conserved sums (24 bytes).
+  EXPECT_EQ(cluster.rank_vm(1).output(3).size(), 4u * 16u * 8u + 8u);
+  EXPECT_EQ(cluster.rank_vm(0).output(3).size(), 4u * 16u * 8u + 8u + 24u);
+}
+
+TEST(AppsClamr, MassMatchesInitialAnalyticSum) {
+  const ClamrParams params{.global_rows = 16, .cols = 16, .steps = 4, .ranks = 2};
+  AppSpec spec = BuildClamr(params);
+  mpi::Cluster cluster({.num_ranks = 2});
+  cluster.Start(spec.program);
+  ASSERT_TRUE(cluster.Run().completed);
+  const std::string& out = cluster.rank_vm(0).output(3);
+  double mass = 0;
+  std::memcpy(&mass, out.data() + out.size() - 24, 8);
+
+  // Host-side initial mass: sum over the bump initial condition.
+  const double cr = params.global_rows / 2.0, cc = params.cols / 2.0;
+  const double r2max = std::max(1.0, (params.global_rows / 4.0) * (params.global_rows / 4.0));
+  const double scale = 0.5 / r2max;
+  double expected = 0;
+  for (std::uint64_t gi = 0; gi < params.global_rows; ++gi) {
+    for (std::uint64_t j = 0; j < params.cols; ++j) {
+      const double dx = static_cast<double>(gi) - cr;
+      const double dy = static_cast<double>(j) - cc;
+      const double tmp = std::max(0.0, r2max - (dx * dx + dy * dy));
+      expected += 1.0 + tmp * scale;
+    }
+  }
+  EXPECT_NEAR(mass, expected, 1e-6);
+}
+
+TEST(AppsClamr, WavePropagatesAcrossRanks) {
+  // After enough steps the bump (centred in ranks 1-2's rows) must perturb
+  // rank 0's and rank 3's interior fields.
+  const ClamrParams params{.global_rows = 16, .cols = 16, .steps = 16, .ranks = 4};
+  AppSpec spec = BuildClamr(params);
+  mpi::Cluster cluster({.num_ranks = 4});
+  cluster.Start(spec.program);
+  ASSERT_TRUE(cluster.Run().completed);
+  const std::vector<double> h0 = AsDoubles(
+      cluster.rank_vm(0).output(3).substr(0, 4 * 16 * 8));
+  bool perturbed = false;
+  for (const double v : h0) {
+    if (std::fabs(v - 1.0) > 1e-9) perturbed = true;
+  }
+  EXPECT_TRUE(perturbed);
+}
+
+TEST(AppsClamr, RefinementCountsNonZeroNearBump) {
+  const ClamrParams params{.global_rows = 16, .cols = 16, .steps = 8, .ranks = 4};
+  AppSpec spec = BuildClamr(params);
+  mpi::Cluster cluster({.num_ranks = 4});
+  cluster.Start(spec.program);
+  ASSERT_TRUE(cluster.Run().completed);
+  std::uint64_t total_refined = 0;
+  for (Rank r = 0; r < 4; ++r) {
+    const std::string& out = cluster.rank_vm(r).output(3);
+    std::uint64_t count = 0;
+    std::memcpy(&count, out.data() + 4 * 16 * 8, 8);
+    total_refined += count;
+  }
+  EXPECT_GT(total_refined, 0u);
+}
+
+TEST(AppsClamr, SingleRankModeWorks) {
+  const ClamrParams params{.global_rows = 8, .cols = 8, .steps = 4, .ranks = 1};
+  AppSpec spec = BuildClamr(params);
+  mpi::Cluster cluster({.num_ranks = 1});
+  cluster.Start(spec.program);
+  EXPECT_TRUE(cluster.Run().completed);
+}
+
+TEST(AppsClamr, ValidatesConfiguration) {
+  EXPECT_THROW(BuildClamr({.global_rows = 10, .cols = 8, .ranks = 4}), ConfigError);
+}
+
+TEST(AppsClamr, DeterministicImageAcrossBuilds) {
+  const ClamrParams params{.global_rows = 8, .cols = 8, .steps = 2, .ranks = 2};
+  const AppSpec a = BuildClamr(params);
+  const AppSpec b = BuildClamr(params);
+  ASSERT_EQ(a.program.text.size(), b.program.text.size());
+  EXPECT_EQ(a.program.data, b.program.data);
+}
+
+}  // namespace
+}  // namespace chaser::apps

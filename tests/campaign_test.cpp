@@ -1,0 +1,250 @@
+// Tests for src/campaign: golden-run capture, outcome classification for
+// every outcome class, determinism, and watchdog tightening.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "common/error.h"
+#include "guest/builder.h"
+
+namespace chaser::campaign {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+/// A single-process app whose outcome is easy to steer: it runs `iters` fadds
+/// accumulating into memory, writes the result, and exits.
+apps::AppSpec AccumulatorApp(std::uint64_t iters = 50) {
+  ProgramBuilder b("accum");
+  const GuestAddr out = b.Bss("out", 8);
+  b.FmovI(F(0), 0.0);
+  b.FmovI(F(1), 1.0);
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.Fadd(F(0), F(0), F(1));
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), static_cast<std::int64_t>(iters));
+  b.Br(Cond::kLt, loop);
+  b.MovI(R(9), static_cast<std::int64_t>(out));
+  b.Fst(R(9), 0, F(0));
+  b.MovI(R(4), static_cast<std::int64_t>(out));
+  b.MovI(R(5), 8);
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "accum";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};
+  return spec;
+}
+
+TEST(Campaign, GoldenRunCapturesOutputsAndExecCounts) {
+  Campaign c(AccumulatorApp(50), {.runs = 0});
+  c.RunGolden();
+  EXPECT_TRUE(c.golden_done());
+  EXPECT_EQ(c.golden_output(0, 3).size(), 8u);
+  EXPECT_EQ(c.golden_targeted_execs(0), 50u);
+  EXPECT_GT(c.golden_instructions(), 100u);
+}
+
+TEST(Campaign, GoldenRunFailureThrows) {
+  ProgramBuilder b("crash");
+  b.Halt();
+  apps::AppSpec spec;
+  spec.name = "crash";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kSys};
+  Campaign c(std::move(spec), {.runs = 0});
+  EXPECT_THROW(c.RunGolden(), ConfigError);
+}
+
+TEST(Campaign, NoTargetedInstructionsThrows) {
+  ProgramBuilder b("nofp");
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "nofp";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};  // program has none
+  Campaign c(std::move(spec), {.runs = 0});
+  EXPECT_THROW(c.RunGolden(), ConfigError);
+}
+
+TEST(Campaign, InvalidInjectRankThrows) {
+  CampaignConfig config;
+  config.inject_ranks = {5};
+  EXPECT_THROW(Campaign(AccumulatorApp(), config), ConfigError);
+}
+
+TEST(Campaign, SdcDetectedOnOutputDivergence) {
+  // Exponent-bit flips in the accumulator almost always change the output.
+  CampaignConfig config;
+  config.runs = 40;
+  config.seed = 5;
+  Campaign c(AccumulatorApp(50), config);
+  const CampaignResult result = c.Run();
+  EXPECT_EQ(result.runs, 40u);
+  EXPECT_GT(result.sdc + result.benign + result.terminated, 0u);
+  EXPECT_GT(result.sdc, 0u);  // FP value corruption -> different bits out
+}
+
+TEST(Campaign, RunOnceIsDeterministicGivenSeed) {
+  Campaign c(AccumulatorApp(50), {.runs = 0});
+  c.RunGolden();
+  const RunRecord a = c.RunOnce(777);
+  const RunRecord b = c.RunOnce(778);
+  const RunRecord a2 = c.RunOnce(777);
+  EXPECT_EQ(a.outcome, a2.outcome);
+  EXPECT_EQ(a.trigger_nth, a2.trigger_nth);
+  EXPECT_EQ(a.flip_bits, a2.flip_bits);
+  EXPECT_EQ(a.tainted_reads, a2.tainted_reads);
+  EXPECT_EQ(a.tainted_writes, a2.tainted_writes);
+  // A different seed picks a different injection point (almost surely).
+  EXPECT_TRUE(a.trigger_nth != b.trigger_nth || a.flip_bits != b.flip_bits);
+}
+
+TEST(Campaign, FullCampaignDeterministicAcrossInstances) {
+  CampaignConfig config;
+  config.runs = 15;
+  config.seed = 99;
+  Campaign c1(AccumulatorApp(30), config);
+  Campaign c2(AccumulatorApp(30), config);
+  const CampaignResult r1 = c1.Run();
+  const CampaignResult r2 = c2.Run();
+  EXPECT_EQ(r1.benign, r2.benign);
+  EXPECT_EQ(r1.terminated, r2.terminated);
+  EXPECT_EQ(r1.sdc, r2.sdc);
+}
+
+TEST(Campaign, TracingRecordsTaintActivity) {
+  CampaignConfig config;
+  config.runs = 10;
+  config.seed = 3;
+  Campaign c(AccumulatorApp(50), config);
+  const CampaignResult result = c.Run();
+  bool any_taint = false;
+  for (const RunRecord& rec : result.records) {
+    if (rec.tainted_writes > 0 || rec.tainted_reads > 0) any_taint = true;
+    EXPECT_EQ(rec.injections, 1u) << "single-fault model";
+  }
+  EXPECT_TRUE(any_taint);
+}
+
+TEST(Campaign, TraceOffStillClassifies) {
+  CampaignConfig config;
+  config.runs = 10;
+  config.seed = 4;
+  config.trace = false;
+  Campaign c(AccumulatorApp(50), config);
+  const CampaignResult result = c.Run();
+  EXPECT_EQ(result.runs, 10u);
+  for (const RunRecord& rec : result.records) {
+    EXPECT_EQ(rec.tainted_reads, 0u);
+    EXPECT_EQ(rec.tainted_writes, 0u);
+  }
+}
+
+TEST(Campaign, AssertionOutcomeClassifiedAsDetected) {
+  // App that self-checks: accumulates 10 fadds, asserts result == 10.0.
+  ProgramBuilder b("checked");
+  b.FmovI(F(0), 0.0);
+  b.FmovI(F(1), 1.0);
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.Fadd(F(0), F(0), F(1));
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), 10);
+  b.Br(Cond::kLt, loop);
+  b.FmovI(F(2), 10.0);
+  b.Fcmp(F(0), F(2));
+  auto ok = b.NewLabel("ok");
+  b.Br(Cond::kEq, ok);
+  b.AssertFail(1);
+  b.Bind(ok);
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "checked";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};
+
+  CampaignConfig config;
+  config.runs = 60;
+  config.seed = 8;
+  Campaign c(std::move(spec), config);
+  const CampaignResult result = c.Run();
+  // Value corruptions of the accumulator trip the checker.
+  EXPECT_GT(result.assert_detected, 0u);
+  // And there is no output, so nothing can be SDC.
+  EXPECT_EQ(result.sdc, 0u);
+}
+
+TEST(Campaign, MatvecMasterInjectionShapesLikeTableIII) {
+  apps::AppSpec spec = apps::BuildMatvec({});
+  CampaignConfig config;
+  config.runs = 120;
+  config.seed = 123;
+  config.inject_ranks = {0};
+  Campaign c(std::move(spec), config);
+  const CampaignResult result = c.Run();
+  ASSERT_GT(result.terminated, 0u);
+  // OS exceptions must dominate MPI errors among terminations (Table III).
+  EXPECT_GT(result.os_exception, result.mpi_error);
+  for (const RunRecord& rec : result.records) {
+    EXPECT_EQ(rec.inject_rank, 0);
+  }
+}
+
+TEST(Campaign, ClamrCheckerDominatesTerminations) {
+  apps::AppSpec spec = apps::BuildClamr(
+      {.global_rows = 12, .cols = 12, .steps = 8, .ranks = 4});
+  CampaignConfig config;
+  config.runs = 60;
+  config.seed = 321;
+  config.inject_ranks = {0, 1, 2, 3};
+  Campaign c(std::move(spec), config);
+  const CampaignResult result = c.Run();
+  ASSERT_GT(result.terminated, 0u);
+  EXPECT_GT(result.assert_detected, result.os_exception);
+  EXPECT_GT(result.assert_detected, result.mpi_error);
+}
+
+TEST(Campaign, CrossRankPropagationObservedInClamr) {
+  apps::AppSpec spec = apps::BuildClamr(
+      {.global_rows = 12, .cols = 12, .steps = 8, .ranks = 4});
+  CampaignConfig config;
+  config.runs = 40;
+  config.seed = 55;
+  config.inject_ranks = {1};
+  Campaign c(std::move(spec), config);
+  const CampaignResult result = c.Run();
+  EXPECT_GT(result.propagated_runs, 0u);
+}
+
+TEST(Campaign, KeepRecordsOffDropsRecords) {
+  CampaignConfig config;
+  config.runs = 5;
+  config.keep_records = false;
+  Campaign c(AccumulatorApp(30), config);
+  const CampaignResult result = c.Run();
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.benign + result.terminated + result.sdc, 5u);
+}
+
+TEST(Campaign, RenderMentionsAllBuckets) {
+  CampaignConfig config;
+  config.runs = 10;
+  Campaign c(AccumulatorApp(30), config);
+  const std::string s = c.Run().Render("accum");
+  EXPECT_NE(s.find("benign"), std::string::npos);
+  EXPECT_NE(s.find("terminated"), std::string::npos);
+  EXPECT_NE(s.find("sdc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chaser::campaign

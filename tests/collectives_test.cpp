@@ -1,0 +1,211 @@
+// Tests for the Allreduce / Gather / Scatter collectives, including taint
+// propagation through the two-hop allreduce path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+
+#include "guest/builder.h"
+#include "hub/mpi_hooks.h"
+#include "hub/tainthub.h"
+#include "mpi/cluster.h"
+
+namespace chaser::mpi {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::MpiDatatype;
+using guest::MpiOp;
+using guest::ProgramBuilder;
+using guest::R;
+using guest::Sys;
+
+constexpr std::int64_t kDouble = static_cast<std::int64_t>(MpiDatatype::kDouble);
+constexpr std::int64_t kInt64 = static_cast<std::int64_t>(MpiDatatype::kInt64);
+
+std::deque<guest::Program>& Programs() {
+  static std::deque<guest::Program> programs;
+  return programs;
+}
+
+/// Every rank contributes (rank+1) as a double; allreduce-sum twice in a row
+/// (the second round exercises the per-rank progress-flag reset); each rank
+/// exports both results.
+const guest::Program& AllreduceProgram() {
+  static const guest::Program* p = [] {
+    ProgramBuilder b("allreduce");
+    const std::vector<double> one{1.0};
+    const GuestAddr scale = b.DataF64("scale", one);  // read-only input cell
+    const GuestAddr sendbuf = b.Bss("sendbuf", 8);
+    const GuestAddr recvbuf = b.Bss("recvbuf", 16);
+    b.Sys(Sys::kMpiInit);
+    b.Sys(Sys::kMpiCommRank);
+    b.Mov(R(10), R(0));
+    b.AddI(R(9), R(10), 1);
+    b.CvtIF(F(0), R(9));
+    b.MovI(R(9), static_cast<std::int64_t>(scale));
+    b.Fld(F(1), R(9), 0);
+    b.Fmul(F(0), F(0), F(1));  // contribution = (rank+1) * scale
+    b.MovI(R(9), static_cast<std::int64_t>(sendbuf));
+    b.Fst(R(9), 0, F(0));
+    for (int round = 0; round < 2; ++round) {
+      b.MovI(R(1), static_cast<std::int64_t>(sendbuf));
+      b.MovI(R(2), static_cast<std::int64_t>(recvbuf + 8 * round));
+      b.MovI(R(3), 1);
+      b.MovI(R(4), kDouble);
+      b.MovI(R(5), static_cast<std::int64_t>(MpiOp::kSum));
+      b.Sys(Sys::kMpiAllreduce);
+    }
+    b.MovI(R(4), static_cast<std::int64_t>(recvbuf));
+    b.MovI(R(5), 16);
+    b.Write(3, R(4), R(5));
+    b.Sys(Sys::kMpiFinalize);
+    b.Exit(0);
+    Programs().push_back(b.Finalize());
+    return &Programs().back();
+  }();
+  return *p;
+}
+
+TEST(Collectives, AllreduceSumsOnEveryRankTwice) {
+  Cluster cluster({.num_ranks = 4});
+  cluster.Start(AllreduceProgram());
+  const JobResult job = cluster.Run();
+  ASSERT_TRUE(job.completed) << job.first_failure_message;
+  for (Rank r = 0; r < 4; ++r) {
+    double v[2];
+    ASSERT_EQ(cluster.rank_vm(r).output(3).size(), 16u);
+    std::memcpy(v, cluster.rank_vm(r).output(3).data(), 16);
+    EXPECT_DOUBLE_EQ(v[0], 10.0) << "rank " << r << " round 1";
+    EXPECT_DOUBLE_EQ(v[1], 10.0) << "rank " << r << " round 2";
+  }
+}
+
+TEST(Collectives, AllreduceTaintReachesEveryRank) {
+  hub::TaintHub hub;
+  hub::ChaserMpiHooks hooks(&hub);
+  Cluster cluster({.num_ranks = 4});
+  cluster.SetMessageHooks(&hooks);
+  cluster.Start(AllreduceProgram());
+  for (Rank r = 0; r < 4; ++r) cluster.rank_vm(r).taint().set_enabled(true);
+  // Taint rank 2's read-only input cell: its contribution is derived from
+  // it, so the taint flows sendbuf -> rank 0 -> combined result -> everyone.
+  vm::Vm& source = cluster.rank_vm(2);
+  const GuestAddr scale = AllreduceProgram().DataAddr("scale");
+  const auto scale_pa = source.memory().Translate(scale);
+  ASSERT_TRUE(scale_pa.has_value());
+  source.taint().TaintSourceMemory(*scale_pa, 8, ~std::uint64_t{0});
+  ASSERT_TRUE(cluster.Run().completed);
+  // The combined result must be tainted on every rank's recvbuf.
+  for (Rank r = 0; r < 4; ++r) {
+    const GuestAddr recvbuf = AllreduceProgram().DataAddr("recvbuf");
+    const auto pa = cluster.rank_vm(r).memory().Translate(recvbuf);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_NE(cluster.rank_vm(r).taint().GetMemTaintByte(*pa), 0u) << "rank " << r;
+  }
+  EXPECT_GE(hub.stats().hits, 2u);  // contribution hop + distribution hops
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  ProgramBuilder b("gather");
+  const GuestAddr sendbuf = b.Bss("sendbuf", 8);
+  const GuestAddr recvbuf = b.Bss("recvbuf", 4 * 8);
+  b.Sys(Sys::kMpiInit);
+  b.Sys(Sys::kMpiCommRank);
+  b.Mov(R(10), R(0));
+  b.MulI(R(9), R(10), 11);  // contribute rank*11
+  b.MovI(R(8), static_cast<std::int64_t>(sendbuf));
+  b.St(R(8), 0, R(9));
+  b.MovI(R(1), static_cast<std::int64_t>(sendbuf));
+  b.MovI(R(2), static_cast<std::int64_t>(recvbuf));
+  b.MovI(R(3), 1);
+  b.MovI(R(4), kInt64);
+  b.MovI(R(5), 1);  // root = rank 1
+  b.Sys(Sys::kMpiGather);
+  auto not_root = b.NewLabel("not_root");
+  b.CmpI(R(10), 1);
+  b.Br(Cond::kNe, not_root);
+  b.MovI(R(4), static_cast<std::int64_t>(recvbuf));
+  b.MovI(R(5), 32);
+  b.Write(3, R(4), R(5));
+  b.Bind(not_root);
+  b.Sys(Sys::kMpiFinalize);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+
+  Cluster cluster({.num_ranks = 4});
+  cluster.Start(Programs().back());
+  ASSERT_TRUE(cluster.Run().completed);
+  std::uint64_t v[4];
+  ASSERT_EQ(cluster.rank_vm(1).output(3).size(), 32u);
+  std::memcpy(v, cluster.rank_vm(1).output(3).data(), 32);
+  for (std::uint64_t r = 0; r < 4; ++r) EXPECT_EQ(v[r], r * 11) << "slot " << r;
+}
+
+TEST(Collectives, ScatterDistributesChunks) {
+  ProgramBuilder b("scatter");
+  const std::vector<std::uint64_t> table{100, 200, 300, 400};
+  const GuestAddr sendbuf = b.DataU64("table", table);
+  const GuestAddr recvbuf = b.Bss("recvbuf", 8);
+  b.Sys(Sys::kMpiInit);
+  b.MovI(R(1), static_cast<std::int64_t>(sendbuf));
+  b.MovI(R(2), static_cast<std::int64_t>(recvbuf));
+  b.MovI(R(3), 1);
+  b.MovI(R(4), kInt64);
+  b.MovI(R(5), 0);  // root = rank 0
+  b.Sys(Sys::kMpiScatter);
+  b.MovI(R(4), static_cast<std::int64_t>(recvbuf));
+  b.MovI(R(5), 8);
+  b.Write(3, R(4), R(5));
+  b.Sys(Sys::kMpiFinalize);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+
+  Cluster cluster({.num_ranks = 4});
+  cluster.Start(Programs().back());
+  ASSERT_TRUE(cluster.Run().completed);
+  for (Rank r = 0; r < 4; ++r) {
+    std::uint64_t v = 0;
+    ASSERT_EQ(cluster.rank_vm(r).output(3).size(), 8u);
+    std::memcpy(&v, cluster.rank_vm(r).output(3).data(), 8);
+    EXPECT_EQ(v, static_cast<std::uint64_t>(r + 1) * 100) << "rank " << r;
+  }
+}
+
+TEST(Collectives, AllreduceInvalidOpIsMpiError) {
+  ProgramBuilder b("badallreduce");
+  const GuestAddr buf = b.Bss("buf", 8);
+  b.Sys(Sys::kMpiInit);
+  b.MovI(R(1), static_cast<std::int64_t>(buf));
+  b.MovI(R(2), static_cast<std::int64_t>(buf));
+  b.MovI(R(3), 1);
+  b.MovI(R(4), kDouble);
+  b.MovI(R(5), 42);  // invalid op
+  b.Sys(Sys::kMpiAllreduce);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  Cluster cluster({.num_ranks = 1});
+  cluster.Start(Programs().back());
+  EXPECT_EQ(cluster.Run().first_failure_kind, vm::TerminationKind::kMpiError);
+}
+
+TEST(Collectives, ScatterInvalidRootIsMpiError) {
+  ProgramBuilder b("badscatter");
+  const GuestAddr buf = b.Bss("buf", 64);
+  b.Sys(Sys::kMpiInit);
+  b.MovI(R(1), static_cast<std::int64_t>(buf));
+  b.MovI(R(2), static_cast<std::int64_t>(buf));
+  b.MovI(R(3), 1);
+  b.MovI(R(4), kInt64);
+  b.MovI(R(5), 9);  // no such root
+  b.Sys(Sys::kMpiScatter);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  Cluster cluster({.num_ranks = 2});
+  cluster.Start(Programs().back());
+  EXPECT_EQ(cluster.Run().first_failure_kind, vm::TerminationKind::kMpiError);
+}
+
+}  // namespace
+}  // namespace chaser::mpi

@@ -1,0 +1,256 @@
+// Unit tests for src/common: strings, bits, rng, histogram.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace chaser {
+namespace {
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+  EXPECT_EQ(StrFormat("%%"), "%");
+  EXPECT_EQ(StrFormat("empty%s", ""), "empty");
+}
+
+TEST(Strings, StrFormatLongOutput) {
+  const std::string big(5000, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Strings, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n d "),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n").empty());
+}
+
+TEST(Strings, SplitKeepsEmptyTokens) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, Hex64) {
+  EXPECT_EQ(Hex64(0), "0x0000000000000000");
+  EXPECT_EQ(Hex64(0x400000), "0x0000000000400000");
+  EXPECT_EQ(Hex64(~0ull), "0xffffffffffffffff");
+}
+
+TEST(Strings, ParseU64Decimal) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(ParseU64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+}
+
+TEST(Strings, ParseU64Hex) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(ParseU64("0xff", &v));
+  EXPECT_EQ(v, 255u);
+}
+
+TEST(Strings, ParseU64Rejects) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ParseU64("", &v));
+  EXPECT_FALSE(ParseU64("12x", &v));
+  EXPECT_FALSE(ParseU64("abc", &v));
+}
+
+TEST(Strings, ParseDouble) {
+  double d = 0;
+  ASSERT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  ASSERT_TRUE(ParseDouble("1e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 1e-3);
+  EXPECT_FALSE(ParseDouble("nanx1", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+}
+
+TEST(Strings, StartsWithAndToLower) {
+  EXPECT_TRUE(StartsWith("inject_fault", "inject"));
+  EXPECT_FALSE(StartsWith("in", "inject"));
+  EXPECT_EQ(ToLower("AbC-1"), "abc-1");
+}
+
+// ---- bits -------------------------------------------------------------------
+
+TEST(Bits, FlipBit) {
+  EXPECT_EQ(FlipBit(0, 0), 1u);
+  EXPECT_EQ(FlipBit(1, 0), 0u);
+  EXPECT_EQ(FlipBit(0, 63), 1ull << 63);
+  EXPECT_EQ(FlipBit(0xff, 4), 0xefull);
+}
+
+TEST(Bits, RandomBitMaskHasExactPopcount) {
+  Rng rng(1);
+  for (unsigned n = 1; n <= 8; ++n) {
+    const std::uint64_t m = RandomBitMask(rng, n, 64);
+    EXPECT_EQ(PopCount(m), n);
+  }
+}
+
+TEST(Bits, RandomBitMaskRespectsWidth) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t m = RandomBitMask(rng, 3, 8);
+    EXPECT_EQ(m & ~0xffull, 0u) << Hex64(m);
+    EXPECT_EQ(PopCount(m), 3u);
+  }
+}
+
+TEST(Bits, RandomBitMaskClampsToWidth) {
+  Rng rng(3);
+  // Requesting more bits than the width can hold saturates at width.
+  const std::uint64_t m = RandomBitMask(rng, 10, 4);
+  EXPECT_EQ(m, 0xfull);
+}
+
+TEST(Bits, ByteAccessors) {
+  const std::uint64_t v = 0x1122334455667788ull;
+  EXPECT_EQ(ByteOf(v, 0), 0x88);
+  EXPECT_EQ(ByteOf(v, 7), 0x11);
+  EXPECT_EQ(WithByte(v, 0, 0xff), 0x11223344556677ffull);
+  EXPECT_EQ(WithByte(v, 7, 0x00), 0x0022334455667788ull);
+}
+
+TEST(Bits, LowBytesMask) {
+  EXPECT_EQ(LowBytesMask(1), 0xffull);
+  EXPECT_EQ(LowBytesMask(4), 0xffffffffull);
+  EXPECT_EQ(LowBytesMask(8), ~0ull);
+}
+
+TEST(Bits, SetBitPositions) {
+  EXPECT_TRUE(SetBitPositions(0).empty());
+  EXPECT_EQ(SetBitPositions(0b1010), (std::vector<unsigned>{1, 3}));
+  EXPECT_EQ(SetBitPositions(1ull << 63), (std::vector<unsigned>{63}));
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformU64(0, 1000), b.UniformU64(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformU64(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all of 3, 4, 5 hit
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(7), 7u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughRate) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkChangesStream) {
+  Rng a(11);
+  const std::uint64_t child_seed = a.Fork();
+  Rng child(child_seed);
+  // The child stream differs from the parent's continuation.
+  bool differs = false;
+  Rng parent_copy(11);
+  (void)parent_copy.Fork();
+  for (int i = 0; i < 10; ++i) {
+    if (child.UniformU64(0, 1u << 30) != parent_copy.UniformU64(0, 1u << 30)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, PickUniform) {
+  Rng rng(12);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.Pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+// ---- histogram ----------------------------------------------------------------
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10, 3);  // [0,10) [10,20) [20,30) + overflow
+  h.Add(0);
+  h.Add(9);
+  h.Add(10);
+  h.Add(25);
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, MinMaxMean) {
+  Histogram h(100, 10);
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h(10, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  EXPECT_FALSE(h.Render("empty").empty());
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(10, 100);
+  for (std::uint64_t i = 0; i < 1000; ++i) h.Add(i % 500);
+  EXPECT_LE(h.ApproxQuantile(0.1), h.ApproxQuantile(0.5));
+  EXPECT_LE(h.ApproxQuantile(0.5), h.ApproxQuantile(0.9));
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(10, 2);
+  h.Add(5);
+  const std::string r = h.Render("lbl");
+  EXPECT_NE(r.find("lbl"), std::string::npos);
+  EXPECT_NE(r.find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, ZeroWidthBucketClamped) {
+  Histogram h(0, 0);  // degenerate config must not divide by zero
+  h.Add(3);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace chaser

@@ -1,0 +1,451 @@
+// Second-wave edge-case tests: VM lifecycle corners, MPI misuse paths,
+// Chaser options (instruction-granularity tracing, disarm, capacity),
+// and app robustness across configurations.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "apps/app.h"
+#include "common/error.h"
+#include "core/chaser.h"
+#include "campaign/campaign.h"
+#include "campaign/report.h"
+#include "core/chaser_mpi.h"
+#include "core/injectors/probabilistic_injector.h"
+#include "core/trigger.h"
+#include "guest/builder.h"
+#include "mpi/cluster.h"
+#include "vm/vm.h"
+
+namespace chaser {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::MpiDatatype;
+using guest::ProgramBuilder;
+using guest::R;
+using guest::Sys;
+
+std::deque<guest::Program>& Programs() {
+  static std::deque<guest::Program> programs;
+  return programs;
+}
+
+// ---- VM lifecycle ----------------------------------------------------------
+
+TEST(VmEdge, RunWithoutProcessThrows) {
+  vm::Vm vm;
+  EXPECT_THROW(vm.Run(10), ConfigError);
+}
+
+TEST(VmEdge, RestartResetsEverything) {
+  ProgramBuilder b("t");
+  const GuestAddr cell = b.Bss("cell", 8);
+  b.MovI(R(9), static_cast<std::int64_t>(cell));
+  b.Ld(R(8), R(9), 0);   // reads 0 on a fresh start
+  b.AddI(R(8), R(8), 1);
+  b.St(R(9), 0, R(8));
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  const guest::Program& p = Programs().back();
+
+  vm::Vm vm;
+  vm.taint().set_enabled(true);
+  for (int round = 0; round < 3; ++round) {
+    vm.StartProcess(p);
+    // Pollute taint before running; StartProcess of the next round clears it.
+    vm.taint().TaintSourceRegister(tcg::EnvInt(3), 0xff);
+    vm.RunToCompletion();
+    EXPECT_EQ(vm.cpu().IntReg(8), 1u) << "memory leaked across restart";
+  }
+}
+
+TEST(VmEdge, BlockedWithoutExtensionOnlyViaMpi) {
+  // A plain VM has no blocking syscalls; RunToCompletion always terminates.
+  ProgramBuilder b("t");
+  b.Nop();
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  vm::Vm vm;
+  vm.StartProcess(Programs().back());
+  EXPECT_EQ(vm.RunToCompletion(), vm::RunState::kTerminated);
+}
+
+TEST(VmEdge, InstretSampleFiresAtInterval) {
+  ProgramBuilder b("t");
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), 1000);
+  b.Br(Cond::kLt, loop);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  vm::Vm vm;
+  std::vector<std::uint64_t> fired;
+  vm.SetInstretSample(100, [&](vm::Vm&, std::uint64_t instret) {
+    fired.push_back(instret);
+  });
+  vm.StartProcess(Programs().back());
+  vm.RunToCompletion();
+  ASSERT_GE(fired.size(), 25u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_GT(fired[i], fired[i - 1]);
+    EXPECT_NEAR(static_cast<double>(fired[i] - fired[i - 1]), 100.0, 70.0);
+  }
+}
+
+TEST(VmEdge, SignalAfterTerminationIsIgnored) {
+  ProgramBuilder b("t");
+  b.Exit(7);
+  Programs().push_back(b.Finalize());
+  vm::Vm vm;
+  vm.StartProcess(Programs().back());
+  vm.RunToCompletion();
+  vm.RaiseSignal(vm::GuestSignal::kSegv, "late");
+  EXPECT_EQ(vm.termination(), vm::TerminationKind::kExited);
+  EXPECT_EQ(vm.exit_code(), 7);
+}
+
+TEST(VmEdge, StackOverflowSegfaults) {
+  // Recurse forever: the stack region is finite, push eventually faults.
+  ProgramBuilder b("t");
+  auto fn = b.NewLabel("fn");
+  b.Bind(fn);
+  b.Push(R(1));
+  b.Call(fn);
+  Programs().push_back(b.Finalize());
+  vm::Vm vm;
+  vm.StartProcess(Programs().back());
+  vm.RunToCompletion();
+  EXPECT_EQ(vm.signal(), vm::GuestSignal::kSegv);
+}
+
+TEST(VmEdge, FallingOffTextSegfaults) {
+  ProgramBuilder b("t");
+  b.Nop();  // no exit: pc runs past the end
+  Programs().push_back(b.Finalize());
+  vm::Vm vm;
+  vm.StartProcess(Programs().back());
+  vm.RunToCompletion();
+  EXPECT_EQ(vm.signal(), vm::GuestSignal::kSegv);
+  EXPECT_NE(vm.termination_message().find("jump outside text"), std::string::npos);
+}
+
+// ---- MPI misuse paths ---------------------------------------------------------
+
+const guest::Program& SelfSendProgram() {
+  static const guest::Program* p = [] {
+    ProgramBuilder b("selfsend");
+    const std::vector<std::uint64_t> payload{0xbeef};
+    const GuestAddr src = b.DataU64("src", payload);
+    const GuestAddr dst = b.Bss("dst", 8);
+    b.Sys(Sys::kMpiInit);
+    b.MovI(R(1), static_cast<std::int64_t>(src));
+    b.MovI(R(2), 1);
+    b.MovI(R(3), static_cast<std::int64_t>(MpiDatatype::kInt64));
+    b.MovI(R(4), 0);  // to myself
+    b.MovI(R(5), 9);
+    b.Sys(Sys::kMpiSend);
+    b.MovI(R(1), static_cast<std::int64_t>(dst));
+    b.MovI(R(2), 1);
+    b.MovI(R(3), static_cast<std::int64_t>(MpiDatatype::kInt64));
+    b.MovI(R(4), 0);
+    b.MovI(R(5), 9);
+    b.Sys(Sys::kMpiRecv);
+    b.MovI(R(9), static_cast<std::int64_t>(dst));
+    b.Ld(R(8), R(9), 0);
+    b.Sys(Sys::kMpiFinalize);
+    b.Exit(0);
+    Programs().push_back(b.Finalize());
+    return &Programs().back();
+  }();
+  return *p;
+}
+
+TEST(MpiEdge, SelfSendWorks) {
+  mpi::Cluster cluster({.num_ranks = 1});
+  cluster.Start(SelfSendProgram());
+  ASSERT_TRUE(cluster.Run().completed);
+  EXPECT_EQ(cluster.rank_vm(0).cpu().IntReg(8), 0xbeefu);
+}
+
+TEST(MpiEdge, ReduceInvalidOpIsMpiError) {
+  ProgramBuilder b("badop");
+  const GuestAddr buf = b.Bss("buf", 8);
+  b.Sys(Sys::kMpiInit);
+  b.MovI(R(1), static_cast<std::int64_t>(buf));
+  b.MovI(R(2), static_cast<std::int64_t>(buf));
+  b.MovI(R(3), 1);
+  b.MovI(R(4), static_cast<std::int64_t>(MpiDatatype::kDouble));
+  b.MovI(R(5), 99);  // no such reduction op
+  b.MovI(R(6), 0);
+  b.Sys(Sys::kMpiReduce);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  mpi::Cluster cluster({.num_ranks = 1});
+  cluster.Start(Programs().back());
+  const mpi::JobResult job = cluster.Run();
+  EXPECT_EQ(job.first_failure_kind, vm::TerminationKind::kMpiError);
+  EXPECT_NE(job.first_failure_message.find("invalid op"), std::string::npos);
+}
+
+TEST(MpiEdge, ShorterMessageThanBufferIsAccepted) {
+  // MPI semantics: receiving into a larger buffer is legal.
+  ProgramBuilder b("short");
+  const std::vector<double> payload{1.0};
+  const GuestAddr src = b.DataF64("src", payload);
+  const GuestAddr dst = b.Bss("dst", 4 * 8);
+  b.Sys(Sys::kMpiInit);
+  b.Sys(Sys::kMpiCommRank);
+  b.Mov(R(10), R(0));
+  auto recv = b.NewLabel("recv");
+  auto done = b.NewLabel("done");
+  b.CmpI(R(10), 0);
+  b.Br(Cond::kNe, recv);
+  b.MovI(R(1), static_cast<std::int64_t>(src));
+  b.MovI(R(2), 1);  // one double sent
+  b.MovI(R(3), static_cast<std::int64_t>(MpiDatatype::kDouble));
+  b.MovI(R(4), 1);
+  b.MovI(R(5), 4);
+  b.Sys(Sys::kMpiSend);
+  b.Jmp(done);
+  b.Bind(recv);
+  b.MovI(R(1), static_cast<std::int64_t>(dst));
+  b.MovI(R(2), 4);  // room for four
+  b.MovI(R(3), static_cast<std::int64_t>(MpiDatatype::kDouble));
+  b.MovI(R(4), 0);
+  b.MovI(R(5), 4);
+  b.Sys(Sys::kMpiRecv);
+  b.Bind(done);
+  b.Sys(Sys::kMpiFinalize);
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  mpi::Cluster cluster({.num_ranks = 2});
+  cluster.Start(Programs().back());
+  EXPECT_TRUE(cluster.Run().completed);
+}
+
+TEST(MpiEdge, JobKilledWhenOneRankCrashes) {
+  // Rank 1 segfaults; the launcher kills the job; rank 0 blocks forever on a
+  // message that never comes but is reported via first_failure of rank 1.
+  ProgramBuilder b("crash1");
+  const GuestAddr buf = b.Bss("buf", 8);
+  b.Sys(Sys::kMpiInit);
+  b.Sys(Sys::kMpiCommRank);
+  b.Mov(R(10), R(0));
+  auto crash = b.NewLabel("crash");
+  b.CmpI(R(10), 1);
+  b.Br(Cond::kEq, crash);
+  b.MovI(R(1), static_cast<std::int64_t>(buf));
+  b.MovI(R(2), 1);
+  b.MovI(R(3), static_cast<std::int64_t>(MpiDatatype::kInt64));
+  b.MovI(R(4), 1);
+  b.MovI(R(5), 0);
+  b.Sys(Sys::kMpiRecv);  // waits forever
+  b.Exit(0);
+  b.Bind(crash);
+  b.MovI(R(9), 0x666);
+  b.Ld(R(8), R(9), 0);  // SIGSEGV
+  b.Exit(0);
+  Programs().push_back(b.Finalize());
+  mpi::Cluster cluster({.num_ranks = 2});
+  cluster.Start(Programs().back());
+  const mpi::JobResult job = cluster.Run();
+  EXPECT_FALSE(job.completed);
+  EXPECT_EQ(job.first_failure_rank, 1);
+  EXPECT_EQ(job.first_failure_signal, vm::GuestSignal::kSegv);
+}
+
+// ---- Chaser options --------------------------------------------------------------
+
+TEST(ChaserEdge, InstructionGranularityLogsInstructionEvents) {
+  apps::AppSpec spec = apps::BuildLud({.n = 8});
+  core::Chaser::Options opts;
+  opts.granularity = core::Chaser::TraceGranularity::kInstruction;
+  vm::Vm vm;
+  core::Chaser chaser(vm, opts);
+  core::InjectionCommand cmd;
+  cmd.target_program = "lud";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(10);
+  cmd.injector = core::ProbabilisticInjector::Create(1);
+  chaser.Arm(cmd);
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  // Instruction events only accrue after the fault creates taint.
+  EXPECT_GT(chaser.trace_log().instructions_traced(), 100u);
+  // Memory-granularity events are still present.
+  EXPECT_GT(chaser.trace_log().tainted_reads() +
+                chaser.trace_log().tainted_writes(), 0u);
+}
+
+TEST(ChaserEdge, MemoryGranularityLogsNoInstructionEvents) {
+  apps::AppSpec spec = apps::BuildLud({.n = 8});
+  vm::Vm vm;
+  core::Chaser chaser(vm);
+  core::InjectionCommand cmd;
+  cmd.target_program = "lud";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(10);
+  cmd.injector = core::ProbabilisticInjector::Create(1);
+  chaser.Arm(cmd);
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_EQ(chaser.trace_log().instructions_traced(), 0u);
+}
+
+TEST(ChaserEdge, DisarmStopsInjection) {
+  apps::AppSpec spec = apps::BuildLud({.n = 8});
+  vm::Vm vm;
+  core::Chaser chaser(vm);
+  core::InjectionCommand cmd;
+  cmd.target_program = "lud";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(10);
+  cmd.injector = core::ProbabilisticInjector::Create(1);
+  chaser.Arm(cmd);
+  chaser.Disarm();
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_TRUE(chaser.injections().empty());
+  EXPECT_EQ(vm.termination(), vm::TerminationKind::kExited);
+}
+
+TEST(ChaserEdge, SmallTraceCapacityDropsButCounts) {
+  apps::AppSpec spec = apps::BuildLud({.n = 10});
+  core::Chaser::Options opts;
+  opts.trace_capacity = 8;
+  vm::Vm vm;
+  core::Chaser chaser(vm, opts);
+  core::InjectionCommand cmd;
+  cmd.target_program = "lud";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(5);
+  cmd.injector = core::ProbabilisticInjector::Create(2);
+  cmd.seed = 12;
+  chaser.Arm(cmd);
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_LE(chaser.trace_log().events().size(), 8u);
+  const std::uint64_t total = chaser.trace_log().tainted_reads() +
+                              chaser.trace_log().tainted_writes() +
+                              chaser.trace_log().injections();
+  EXPECT_EQ(chaser.trace_log().dropped(), total - chaser.trace_log().events().size());
+}
+
+// ---- App robustness -----------------------------------------------------------------
+
+TEST(AppsEdge, ClamrTwoRanks) {
+  apps::AppSpec spec =
+      apps::BuildClamr({.global_rows = 8, .cols = 8, .steps = 4, .ranks = 2});
+  mpi::Cluster cluster({.num_ranks = 2});
+  cluster.Start(spec.program);
+  EXPECT_TRUE(cluster.Run().completed);
+}
+
+TEST(AppsEdge, MatvecTwoRanks) {
+  apps::AppSpec spec = apps::BuildMatvec({.rows = 6, .cols = 4, .ranks = 2});
+  mpi::Cluster cluster({.num_ranks = 2});
+  cluster.Start(spec.program);
+  EXPECT_TRUE(cluster.Run().completed);
+  EXPECT_EQ(cluster.rank_vm(0).output(3).size(), 6u * 8u);
+}
+
+TEST(AppsEdge, KmeansSingleCluster) {
+  apps::AppSpec spec = apps::BuildKmeans({.points = 16, .dims = 2, .clusters = 1,
+                                          .iterations = 2});
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_EQ(vm.termination(), vm::TerminationKind::kExited);
+  EXPECT_EQ(vm.output(3).size(), 2u * 8u);
+}
+
+TEST(AppsEdge, BfsTinyGraph) {
+  apps::AppSpec spec = apps::BuildBfs({.nodes = 2, .avg_degree = 1});
+  vm::Vm vm;
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_EQ(vm.termination(), vm::TerminationKind::kExited);
+}
+
+TEST(AppsEdge, ClamrCheckpointingGrowsOutput) {
+  const apps::ClamrParams base{.global_rows = 8, .cols = 8, .steps = 8, .ranks = 2};
+  apps::ClamrParams with_ckpt = base;
+  with_ckpt.checkpoint_interval = 4;  // checkpoints after steps 4 and 8
+
+  mpi::Cluster plain({.num_ranks = 2});
+  plain.Start(apps::BuildClamr(base).program);
+  ASSERT_TRUE(plain.Run().completed);
+  mpi::Cluster ckpt({.num_ranks = 2});
+  ckpt.Start(apps::BuildClamr(with_ckpt).program);
+  ASSERT_TRUE(ckpt.Run().completed);
+
+  const std::size_t field = 4 * 8 * 8;  // rows*cols*8 per rank
+  EXPECT_EQ(ckpt.rank_vm(1).output(3).size(),
+            plain.rank_vm(1).output(3).size() + 2 * field);
+  // The final checkpoint equals the final field dump.
+  const std::string& out = ckpt.rank_vm(1).output(3);
+  EXPECT_EQ(out.substr(field, field), out.substr(2 * field, field));
+}
+
+TEST(ChaserEdge, SimultaneousInjectionOnMultipleRanks) {
+  // P-FSEFI-style parallel supervision: the same command armed on two ranks
+  // fires independently on each.
+  apps::AppSpec spec =
+      apps::BuildClamr({.global_rows = 8, .cols = 8, .steps = 6, .ranks = 4});
+  mpi::Cluster cluster({.num_ranks = 4});
+  core::ChaserMpi chaser(cluster);
+  core::InjectionCommand cmd;
+  cmd.target_program = "clamr";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(50);
+  cmd.injector = core::ProbabilisticInjector::Create(1, 8);  // low bits: survivable
+  cmd.seed = 5;
+  chaser.Arm(cmd, {1, 3});
+  cluster.Start(spec.program);
+  cluster.Run();
+  EXPECT_EQ(chaser.rank_chaser(1).injections().size(), 1u);
+  EXPECT_EQ(chaser.rank_chaser(3).injections().size(), 1u);
+  EXPECT_TRUE(chaser.rank_chaser(0).injections().empty());
+  EXPECT_TRUE(chaser.rank_chaser(2).injections().empty());
+  // Distinct per-rank seeds produce distinct flip masks (almost surely).
+  EXPECT_NE(chaser.rank_chaser(1).injections()[0].flip_mask,
+            chaser.rank_chaser(3).injections()[0].flip_mask);
+}
+
+TEST(ChaserEdge, TaintedOutputPredictsSdcOnDataFlowApp) {
+  // lud is pure data flow from FP faults to the output matrix: every
+  // completed faulty run that differs must have tainted output bytes, and
+  // (conversely) clean runs must not.
+  apps::AppSpec spec = apps::BuildLud({.n = 10});
+  campaign::CampaignConfig config;
+  config.runs = 30;
+  config.seed = 62;
+  campaign::Campaign c(std::move(spec), config);
+  const campaign::CampaignResult result = c.Run();
+  for (const campaign::RunRecord& rec : result.records) {
+    if (rec.kind != vm::TerminationKind::kExited) continue;
+    if (rec.outcome == campaign::Outcome::kBenign) continue;
+    // FP-operand corruption in lud flows straight to the written matrix
+    // whenever the outcome is SDC (the fp faults, not the cmp ones, dominate).
+    if (rec.outcome == campaign::Outcome::kSdc && rec.tainted_output_bytes > 0) {
+      SUCCEED();
+    }
+  }
+  const campaign::SdcPredictionStats p =
+      campaign::AnalyzeSdcPrediction(result.records);
+  EXPECT_DOUBLE_EQ(p.precision, 1.0);  // no false positives on pure data flow
+  EXPECT_GT(p.recall, 0.3);
+}
+
+TEST(AppsEdge, AppImagesAreDeterministic) {
+  const apps::AppSpec a = apps::BuildMatvec({});
+  const apps::AppSpec b = apps::BuildMatvec({});
+  EXPECT_EQ(a.program.data, b.program.data);
+  ASSERT_EQ(a.program.text.size(), b.program.text.size());
+}
+
+}  // namespace
+}  // namespace chaser

@@ -1,0 +1,287 @@
+// Unit tests for src/guest: ISA metadata, ProgramBuilder, disassembler,
+// operand tables.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "guest/builder.h"
+#include "guest/disasm.h"
+#include "guest/isa.h"
+#include "guest/operands.h"
+
+namespace chaser::guest {
+namespace {
+
+// ---- ISA metadata -----------------------------------------------------------
+
+TEST(Isa, ClassOfCoversKeyMnemonics) {
+  EXPECT_EQ(ClassOf(Opcode::kMovRR), InstrClass::kMov);
+  EXPECT_EQ(ClassOf(Opcode::kLd), InstrClass::kMov);
+  EXPECT_EQ(ClassOf(Opcode::kSt), InstrClass::kMov);
+  EXPECT_EQ(ClassOf(Opcode::kFadd), InstrClass::kFadd);
+  EXPECT_EQ(ClassOf(Opcode::kFsub), InstrClass::kFadd);
+  EXPECT_EQ(ClassOf(Opcode::kFmul), InstrClass::kFmul);
+  EXPECT_EQ(ClassOf(Opcode::kFdiv), InstrClass::kFmul);
+  EXPECT_EQ(ClassOf(Opcode::kCmp), InstrClass::kCmp);
+  EXPECT_EQ(ClassOf(Opcode::kFcmp), InstrClass::kCmp);
+  EXPECT_EQ(ClassOf(Opcode::kJmp), InstrClass::kBranch);
+  EXPECT_EQ(ClassOf(Opcode::kSyscall), InstrClass::kSys);
+}
+
+TEST(Isa, ParseInstrClassRoundTrip) {
+  for (const InstrClass c :
+       {InstrClass::kMov, InstrClass::kFadd, InstrClass::kFmul, InstrClass::kCmp,
+        InstrClass::kLogic, InstrClass::kBranch, InstrClass::kFother}) {
+    InstrClass parsed;
+    ASSERT_TRUE(ParseInstrClass(ClassName(c), &parsed)) << ClassName(c);
+    EXPECT_EQ(parsed, c);
+  }
+}
+
+TEST(Isa, ParseInstrClassCaseInsensitive) {
+  InstrClass c;
+  ASSERT_TRUE(ParseInstrClass("FADD", &c));
+  EXPECT_EQ(c, InstrClass::kFadd);
+}
+
+TEST(Isa, ParseInstrClassRejectsUnknown) {
+  InstrClass c;
+  EXPECT_FALSE(ParseInstrClass("frobnicate", &c));
+  EXPECT_FALSE(ParseInstrClass("", &c));
+}
+
+TEST(Isa, IsFpOpcode) {
+  EXPECT_TRUE(IsFpOpcode(Opcode::kFadd));
+  EXPECT_TRUE(IsFpOpcode(Opcode::kCvtIF));
+  EXPECT_FALSE(IsFpOpcode(Opcode::kAdd));
+  EXPECT_FALSE(IsFpOpcode(Opcode::kLd));
+}
+
+TEST(Isa, MpiDatatypeSizes) {
+  EXPECT_EQ(MpiDatatypeSize(static_cast<std::uint64_t>(MpiDatatype::kDouble)), 8u);
+  EXPECT_EQ(MpiDatatypeSize(static_cast<std::uint64_t>(MpiDatatype::kInt64)), 8u);
+  EXPECT_EQ(MpiDatatypeSize(static_cast<std::uint64_t>(MpiDatatype::kByte)), 1u);
+  EXPECT_EQ(MpiDatatypeSize(0), 0u);
+  EXPECT_EQ(MpiDatatypeSize(99), 0u);
+}
+
+TEST(Isa, PcAddressMapping) {
+  EXPECT_EQ(PcToAddr(0), kTextBase);
+  EXPECT_EQ(PcToAddr(10), kTextBase + 40);
+  EXPECT_EQ(AddrToPc(PcToAddr(1234)), 1234u);
+}
+
+// ---- ProgramBuilder -----------------------------------------------------------
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  ProgramBuilder b("t");
+  auto fwd = b.NewLabel("fwd");
+  b.Jmp(fwd);          // forward reference
+  auto back = b.Here("back");
+  b.Nop();
+  b.Bind(fwd);
+  b.Jmp(back);         // backward reference
+  const Program p = b.Finalize();
+  EXPECT_EQ(p.text[0].imm, 2);  // fwd bound after nop
+  EXPECT_EQ(p.text[2].imm, 1);  // back at index 1
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder b("t");
+  auto l = b.NewLabel("never");
+  b.Jmp(l);
+  EXPECT_THROW(b.Finalize(), AssemblyError);
+}
+
+TEST(Builder, DoubleBindThrows) {
+  ProgramBuilder b("t");
+  auto l = b.Here("once");
+  EXPECT_THROW(b.Bind(l), AssemblyError);
+}
+
+TEST(Builder, DataPlacementAlignedAndLabeled) {
+  ProgramBuilder b("t");
+  const std::uint8_t raw[3] = {1, 2, 3};
+  const GuestAddr a1 = b.DataBytes("x", raw);
+  const std::vector<double> d{1.5, 2.5};
+  const GuestAddr a2 = b.DataF64("y", d);
+  EXPECT_EQ(a1 % 8, 0u);
+  EXPECT_EQ(a2 % 8, 0u);
+  EXPECT_GT(a2, a1);
+  b.Exit(0);
+  const Program p = b.Finalize();
+  EXPECT_EQ(p.DataAddr("x"), a1);
+  EXPECT_EQ(p.DataAddr("y"), a2);
+  // Data bytes landed in the image at the right offset.
+  const std::uint64_t off = a2 - kDataBase;
+  double v = 0;
+  std::memcpy(&v, p.data.data() + off, 8);
+  EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Builder, DuplicateDataLabelThrows) {
+  ProgramBuilder b("t");
+  const std::uint8_t raw[1] = {0};
+  b.DataBytes("dup", raw);
+  EXPECT_THROW(b.DataBytes("dup", raw), AssemblyError);
+}
+
+TEST(Builder, BssSeparateRegionAligned) {
+  ProgramBuilder b("t");
+  const GuestAddr a1 = b.Bss("b1", 13);
+  const GuestAddr a2 = b.Bss("b2", 8);
+  EXPECT_EQ(a1, kBssBase);
+  EXPECT_EQ(a2 % 8, 0u);
+  EXPECT_GE(a2, a1 + 13);
+  b.Exit(0);
+  const Program p = b.Finalize();
+  EXPECT_GE(p.bss_bytes, 21u);
+}
+
+TEST(Builder, EntryDefaultsToZeroOrLabel) {
+  {
+    ProgramBuilder b("t");
+    b.Nop();
+    b.Exit(0);
+    EXPECT_EQ(b.Finalize().entry, 0u);
+  }
+  {
+    ProgramBuilder b("t");
+    b.Nop();
+    auto main = b.Here("main");
+    b.Exit(0);
+    b.SetEntry(main);
+    EXPECT_EQ(b.Finalize().entry, 1u);
+  }
+}
+
+TEST(Builder, RegisterRangeChecked) {
+  ProgramBuilder b("t");
+  EXPECT_THROW(b.Mov(R(16), R(0)), AssemblyError);
+  EXPECT_THROW(b.Ld(R(0), R(200), 0), AssemblyError);
+}
+
+TEST(Builder, FinalizeTwiceThrows) {
+  ProgramBuilder b("t");
+  b.Exit(0);
+  b.Finalize();
+  EXPECT_THROW(b.Finalize(), AssemblyError);
+}
+
+TEST(Builder, MovILabelResolvesToIndex) {
+  ProgramBuilder b("t");
+  auto fn = b.NewLabel("fn");
+  b.MovILabel(R(1), fn);
+  b.Exit(0);
+  b.Bind(fn);
+  b.Ret();
+  const Program p = b.Finalize();
+  EXPECT_EQ(p.text[0].imm, static_cast<std::int64_t>(p.CodeIndex("fn")));
+}
+
+TEST(Builder, MissingLabelLookupsThrow) {
+  ProgramBuilder b("t");
+  b.Exit(0);
+  const Program p = b.Finalize();
+  EXPECT_THROW(p.DataAddr("nope"), ConfigError);
+  EXPECT_THROW(p.CodeIndex("nope"), ConfigError);
+}
+
+TEST(Builder, ConvenienceSequences) {
+  ProgramBuilder b("t");
+  b.Exit(3);
+  const Program p = b.Finalize();
+  // Exit = MovI r1, code; MovI r7, kExit; syscall
+  ASSERT_EQ(p.text.size(), 3u);
+  EXPECT_EQ(p.text[0].op, Opcode::kMovRI);
+  EXPECT_EQ(p.text[0].rd, 1);
+  EXPECT_EQ(p.text[0].imm, 3);
+  EXPECT_EQ(p.text[1].rd, 7);
+  EXPECT_EQ(p.text[2].op, Opcode::kSyscall);
+}
+
+// ---- Disassembler --------------------------------------------------------------
+
+TEST(Disasm, RendersRepresentativeInstructions) {
+  EXPECT_EQ(Disassemble({.op = Opcode::kNop}), "nop");
+  EXPECT_EQ(Disassemble({.op = Opcode::kMovRR, .rd = 1, .rs1 = 2}), "mov r1, r2");
+  EXPECT_EQ(Disassemble({.op = Opcode::kMovRI, .rd = 3, .imm = -5}), "movi r3, -5");
+  EXPECT_EQ(Disassemble({.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3}),
+            "add r1, r2, r3");
+  EXPECT_EQ(
+      Disassemble({.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .use_imm = true, .imm = 9}),
+      "add r1, r2, 9");
+  EXPECT_EQ(Disassemble({.op = Opcode::kFadd, .rd = 1, .rs1 = 2, .rs2 = 3}),
+            "fadd f1, f2, f3");
+  EXPECT_EQ(Disassemble({.op = Opcode::kBr, .cond = Cond::kLt, .imm = 7}), "blt #7");
+  EXPECT_EQ(Disassemble({.op = Opcode::kLd,
+                         .rd = 4,
+                         .rs1 = 5,
+                         .size = MemSize::k4,
+                         .imm = 16}),
+            "ld32 r4, [r5+16]");
+}
+
+TEST(Disasm, ProgramListingHasLabelsAndAddresses) {
+  ProgramBuilder b("demo");
+  auto top = b.Here("top");
+  b.Nop();
+  b.Jmp(top);
+  const Program p = b.Finalize();
+  const std::string listing = DisassembleProgram(p);
+  EXPECT_NE(listing.find("top:"), std::string::npos);
+  EXPECT_NE(listing.find("0x0000000000400000"), std::string::npos);
+  EXPECT_NE(listing.find("demo"), std::string::npos);
+}
+
+// ---- Operand tables --------------------------------------------------------------
+
+TEST(Operands, AluRegisterSources) {
+  const OperandInfo ops = OperandsOf({.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3});
+  EXPECT_EQ(ops.int_sources, (std::vector<std::uint8_t>{2, 3}));
+  EXPECT_TRUE(ops.fp_sources.empty());
+}
+
+TEST(Operands, AluImmediateDropsRs2) {
+  const OperandInfo ops =
+      OperandsOf({.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .use_imm = true, .imm = 5});
+  EXPECT_EQ(ops.int_sources, (std::vector<std::uint8_t>{2}));
+}
+
+TEST(Operands, LoadStoreIncludeAddressBase) {
+  const OperandInfo ld = OperandsOf({.op = Opcode::kLd, .rd = 1, .rs1 = 9});
+  EXPECT_EQ(ld.int_sources, (std::vector<std::uint8_t>{9}));
+  EXPECT_TRUE(ld.reads_memory);
+  const OperandInfo st = OperandsOf({.op = Opcode::kSt, .rs1 = 9, .rs2 = 4});
+  EXPECT_EQ(st.int_sources, (std::vector<std::uint8_t>{9, 4}));
+  EXPECT_TRUE(st.writes_memory);
+}
+
+TEST(Operands, FpOps) {
+  const OperandInfo ops = OperandsOf({.op = Opcode::kFmul, .rd = 0, .rs1 = 1, .rs2 = 2});
+  EXPECT_EQ(ops.fp_sources, (std::vector<std::uint8_t>{1, 2}));
+  const OperandInfo fst = OperandsOf({.op = Opcode::kFst, .rs1 = 9, .rs2 = 3});
+  EXPECT_EQ(fst.int_sources, (std::vector<std::uint8_t>{9}));
+  EXPECT_EQ(fst.fp_sources, (std::vector<std::uint8_t>{3}));
+}
+
+TEST(Operands, ImmediateMovesHaveNoSources) {
+  const OperandInfo movi = OperandsOf({.op = Opcode::kMovRI, .rd = 1, .imm = 5});
+  EXPECT_TRUE(movi.int_sources.empty());
+  EXPECT_TRUE(movi.fp_sources.empty());
+  EXPECT_TRUE(CorruptAfter({.op = Opcode::kMovRI}));
+  EXPECT_TRUE(CorruptAfter({.op = Opcode::kFmovI}));
+  EXPECT_FALSE(CorruptAfter({.op = Opcode::kMovRR}));
+  EXPECT_FALSE(CorruptAfter({.op = Opcode::kLd}));
+}
+
+TEST(Operands, StackOpsUseSp) {
+  const OperandInfo push = OperandsOf({.op = Opcode::kPush, .rs1 = 3});
+  EXPECT_EQ(push.int_sources, (std::vector<std::uint8_t>{3, kSpReg}));
+  const OperandInfo ret = OperandsOf({.op = Opcode::kRet});
+  EXPECT_EQ(ret.int_sources, (std::vector<std::uint8_t>{kSpReg}));
+}
+
+}  // namespace
+}  // namespace chaser::guest

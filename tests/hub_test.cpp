@@ -1,0 +1,202 @@
+// Unit tests for src/hub: TaintHub publish/poll, the Chaser MPI hooks, and
+// end-to-end cross-rank taint propagation (the paper's Fig. 5 mechanism).
+#include <gtest/gtest.h>
+
+#include "core/chaser_mpi.h"
+#include "core/corrupt.h"
+#include "guest/builder.h"
+#include "hub/mpi_hooks.h"
+#include "hub/tainthub.h"
+#include "mpi/cluster.h"
+
+namespace chaser::hub {
+namespace {
+
+using guest::Cond;
+using guest::ProgramBuilder;
+using guest::R;
+using guest::Sys;
+
+constexpr std::int64_t kInt64 = static_cast<std::int64_t>(guest::MpiDatatype::kInt64);
+
+// ---- TaintHub registry -------------------------------------------------------
+
+TEST(TaintHub, PublishPollRoundTrip) {
+  TaintHub hub;
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0x00, 0xff, 0x0f};
+  hub.Publish(rec);
+  const auto got = hub.Poll({0, 1, 7, 0});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->byte_masks, rec.byte_masks);
+  EXPECT_EQ(got->TaintedByteCount(), 2u);
+  // One-shot: a second poll misses.
+  EXPECT_FALSE(hub.Poll({0, 1, 7, 0}).has_value());
+}
+
+TEST(TaintHub, PollMissesOnDifferentIdentity) {
+  TaintHub hub;
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff};
+  hub.Publish(rec);
+  EXPECT_FALSE(hub.Poll({0, 1, 7, 1}).has_value());  // different seq
+  EXPECT_FALSE(hub.Poll({0, 2, 7, 0}).has_value());  // different dest
+  EXPECT_FALSE(hub.Poll({0, 1, 8, 0}).has_value());  // different tag
+  EXPECT_FALSE(hub.Poll({1, 1, 7, 0}).has_value());  // different src
+}
+
+TEST(TaintHub, StatsAndTransfers) {
+  TaintHub hub;
+  MessageTaintRecord rec;
+  rec.id = {2, 3, 1, 5};
+  rec.byte_masks = {0xff, 0xff};
+  hub.Publish(rec);
+  (void)hub.Poll({2, 3, 1, 5});
+  (void)hub.Poll({9, 9, 9, 9});
+  EXPECT_EQ(hub.stats().publishes, 1u);
+  EXPECT_EQ(hub.stats().polls, 2u);
+  EXPECT_EQ(hub.stats().hits, 1u);
+  EXPECT_EQ(hub.stats().applied_bytes, 2u);
+  ASSERT_EQ(hub.transfers().size(), 1u);
+  EXPECT_TRUE(hub.SawTransfer(2, 3));
+  EXPECT_FALSE(hub.SawTransfer(3, 2));
+}
+
+TEST(TaintHub, ClearResets) {
+  TaintHub hub;
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 0, 0};
+  rec.byte_masks = {1};
+  hub.Publish(rec);
+  hub.Clear();
+  EXPECT_FALSE(hub.Poll({0, 1, 0, 0}).has_value());
+  EXPECT_EQ(hub.stats().publishes, 0u);
+  EXPECT_TRUE(hub.transfers().empty());
+}
+
+TEST(TaintHub, AnyTaintedHelper) {
+  MessageTaintRecord clean;
+  clean.byte_masks = {0, 0, 0};
+  EXPECT_FALSE(clean.AnyTainted());
+  MessageTaintRecord dirty;
+  dirty.byte_masks = {0, 4, 0};
+  EXPECT_TRUE(dirty.AnyTainted());
+}
+
+// ---- End-to-end cross-rank propagation ---------------------------------------------
+
+/// Rank 0 stores a value, (optionally corrupted by the test before the send),
+/// sends it to rank 1; rank 1 receives, copies it to a second buffer via a
+/// load/store, and exits. All data lives at "cell" / "copy".
+const guest::Program& RelayProgram() {
+  static const guest::Program p = [] {
+    ProgramBuilder b("relay");
+    const std::vector<std::uint64_t> init{0x1234};
+    const GuestAddr cell = b.DataU64("cell", init);
+    const GuestAddr copy = b.Bss("copy", 8);
+    b.Sys(Sys::kMpiInit);
+    b.Sys(Sys::kMpiCommRank);
+    b.Mov(R(10), R(0));
+    auto receiver = b.NewLabel("receiver");
+    auto done = b.NewLabel("done");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, receiver);
+    b.MovI(R(1), static_cast<std::int64_t>(cell));
+    b.MovI(R(2), 1);
+    b.MovI(R(3), kInt64);
+    b.MovI(R(4), 1);
+    b.MovI(R(5), 2);
+    b.Sys(Sys::kMpiSend);
+    b.Jmp(done);
+    b.Bind(receiver);
+    b.MovI(R(1), static_cast<std::int64_t>(cell));
+    b.MovI(R(2), 1);
+    b.MovI(R(3), kInt64);
+    b.MovI(R(4), 0);
+    b.MovI(R(5), 2);
+    b.Sys(Sys::kMpiRecv);
+    // Local propagation on the receiving side: tainted load + store.
+    b.MovI(R(9), static_cast<std::int64_t>(cell));
+    b.Ld(R(8), R(9), 0);
+    b.MovI(R(9), static_cast<std::int64_t>(copy));
+    b.St(R(9), 0, R(8));
+    b.Bind(done);
+    b.Sys(Sys::kMpiFinalize);
+    b.Exit(0);
+    return b.Finalize();
+  }();
+  return p;
+}
+
+class HubEndToEnd : public ::testing::Test {
+ protected:
+  HubEndToEnd() : cluster_({.num_ranks = 2}), hooks_(&hub_) {
+    cluster_.SetMessageHooks(&hooks_);
+  }
+
+  /// Start, enable taint on both ranks, taint the sender's cell, run.
+  mpi::JobResult RunWithTaintedCell() {
+    cluster_.Start(RelayProgram());
+    for (Rank r = 0; r < 2; ++r) cluster_.rank_vm(r).taint().set_enabled(true);
+    vm::Vm& sender = cluster_.rank_vm(0);
+    const GuestAddr cell = RelayProgram().DataAddr("cell");
+    const auto pa = sender.memory().Translate(cell);
+    sender.taint().SetMemTaintByte(*pa, 0xff);
+    sender.taint().SetMemTaintByte(*pa + 1, 0x0f);
+    return cluster_.Run();
+  }
+
+  mpi::Cluster cluster_;
+  TaintHub hub_;
+  ChaserMpiHooks hooks_;
+};
+
+TEST_F(HubEndToEnd, TaintCrossesRankBoundaryViaHub) {
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  EXPECT_EQ(hub_.stats().publishes, 1u);
+  EXPECT_EQ(hub_.stats().hits, 1u);
+  EXPECT_TRUE(hub_.SawTransfer(0, 1));
+
+  // The receiver's cell carries the re-applied per-byte masks...
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr cell = RelayProgram().DataAddr("cell");
+  const auto pa = receiver.memory().Translate(cell);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*pa), 0xffu);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*pa + 1), 0x0fu);
+  // ...and local propagation resumed: the copy cell is tainted too.
+  const GuestAddr copy = RelayProgram().DataAddr("copy");
+  const auto copy_pa = receiver.memory().Translate(copy);
+  EXPECT_NE(receiver.taint().GetMemTaintByte(*copy_pa), 0u);
+}
+
+TEST_F(HubEndToEnd, WithoutHooksTaintDiesAtBoundary) {
+  cluster_.SetMessageHooks(nullptr);  // the paper's problem statement
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr copy = RelayProgram().DataAddr("copy");
+  const auto copy_pa = receiver.memory().Translate(copy);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*copy_pa), 0u);
+  // But the *data* still arrived: only the shadow was lost.
+  PhysAddr pa;
+  EXPECT_EQ(*receiver.memory().Load(copy, 8, &pa), 0x1234u);
+}
+
+TEST_F(HubEndToEnd, CleanMessagesNeverTouchTheHub) {
+  cluster_.Start(RelayProgram());
+  for (Rank r = 0; r < 2; ++r) cluster_.rank_vm(r).taint().set_enabled(true);
+  ASSERT_TRUE(cluster_.Run().completed);
+  EXPECT_EQ(hub_.stats().publishes, 0u);  // sender returned early
+  EXPECT_EQ(hub_.stats().hits, 0u);
+}
+
+TEST_F(HubEndToEnd, TaintDisabledMeansNoHubTraffic) {
+  cluster_.Start(RelayProgram());
+  ASSERT_TRUE(cluster_.Run().completed);
+  EXPECT_EQ(hub_.stats().publishes, 0u);
+  EXPECT_EQ(hub_.stats().polls, 0u);
+}
+
+}  // namespace
+}  // namespace chaser::hub

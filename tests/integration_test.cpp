@@ -1,0 +1,246 @@
+// Integration tests: full Chaser workflows across modules — armed via the
+// console, injected into MPI jobs, traced across rank boundaries, with the
+// Fig. 7-style tainted-bytes timeline.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "core/chaser_mpi.h"
+#include "core/console.h"
+#include "core/injectors/deterministic_injector.h"
+#include "core/injectors/probabilistic_injector.h"
+#include "core/trigger.h"
+#include "mpi/cluster.h"
+
+namespace chaser {
+namespace {
+
+TEST(Integration, ConsoleCommandDrivesSingleVmInjection) {
+  apps::AppSpec spec = apps::BuildKmeans({.points = 32, .dims = 2, .clusters = 2,
+                                          .iterations = 2});
+  vm::Vm vm;
+  core::Chaser chaser(vm);
+
+  core::PluginRegistry registry;
+  registry.LoadPlugin("fault_injection", [&] {
+    return core::MakeFaultInjectionPlugin(
+        [&](core::InjectionCommand cmd) { chaser.Arm(std::move(cmd)); });
+  });
+  registry.Dispatch("inject_fault -p kmeans -i fadd,fmul -m det -c 100 -b 2 -s 4");
+
+  vm.StartProcess(spec.program);
+  vm.RunToCompletion();
+  EXPECT_EQ(chaser.injections().size(), 1u);
+  EXPECT_EQ(chaser.injections()[0].exec_count, 100u);
+}
+
+/// Custom injector built on the exported interfaces (the paper's
+/// extensibility story): corrupts the *stored value* of the first store
+/// instruction it is offered, then goes quiet.
+class PayloadInjector final : public core::FaultInjector {
+ public:
+  void Inject(core::InjectionContext& ctx) override {
+    if (done_ || ctx.instr.op != guest::Opcode::kSt) return;
+    done_ = true;
+    ctx.records.push_back(
+        core::CorruptIntRegister(ctx.vm, ctx.instr.rs2, 0xffull << 8));
+  }
+  std::string name() const override { return "payload"; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Integration, MatvecMasterPayloadFaultTracedIntoSlave) {
+  // Corrupt a staged *data value* in the master (a low mantissa byte, so the
+  // job completes), then verify the taint travels: hub transfer recorded,
+  // slave logs tainted reads, output is SDC.
+  apps::AppSpec spec = apps::BuildMatvec({.rows = 12, .cols = 6, .ranks = 4});
+  mpi::Cluster cluster({.num_ranks = 4});
+  core::ChaserMpi chaser(cluster);
+
+  core::InjectionCommand cmd;
+  cmd.target_program = "matvec";
+  cmd.target_classes = {guest::InstrClass::kMov};
+  // Offer executions 70..130 to the injector (inside the row-staging loop,
+  // past the header/permutation phase); it fires on the first store.
+  cmd.trigger = std::make_shared<core::GroupTrigger>(70, 1, 60);
+  cmd.injector = std::make_shared<PayloadInjector>();
+  cmd.seed = 11;
+  chaser.Arm(cmd, {0});
+
+  cluster.Start(spec.program);
+  const mpi::JobResult job = cluster.Run();
+  ASSERT_TRUE(job.completed) << job.first_failure_message;
+  EXPECT_EQ(chaser.total_injections(), 1u);
+
+  ASSERT_TRUE(chaser.FaultPropagatedFrom(0));
+  EXPECT_TRUE(chaser.FaultPropagatedAcrossNodes());
+  // The slave that received the tainted block shows taint activity.
+  EXPECT_GT(chaser.total_tainted_reads(), 0u);
+  bool slave_traced = false;
+  for (Rank r = 1; r < 4; ++r) {
+    if (chaser.rank_chaser(r).trace_log().tainted_reads() > 0) slave_traced = true;
+  }
+  EXPECT_TRUE(slave_traced);
+}
+
+TEST(Integration, TraceEventsCarryRankLabels) {
+  apps::AppSpec spec = apps::BuildMatvec({.rows = 12, .cols = 6, .ranks = 4});
+  mpi::Cluster cluster({.num_ranks = 4});
+  core::ChaserMpi chaser(cluster);
+  core::InjectionCommand cmd;
+  cmd.target_program = "matvec";
+  cmd.target_classes = {guest::InstrClass::kMov};
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(40);
+  cmd.injector = std::make_shared<core::DeterministicInjector>(1, 0xff00);
+  chaser.Arm(cmd, {0});
+  cluster.Start(spec.program);
+  cluster.Run();
+  for (const core::TraceEvent& e : chaser.rank_chaser(0).trace_log().events()) {
+    EXPECT_EQ(e.rank, 0);
+  }
+}
+
+TEST(Integration, ClamrTaintTimelineShowsPlateau) {
+  // Fig. 7 methodology: run CLAMR with a deterministic FP fault; the
+  // tainted-byte count, sampled every N instructions, climbs and then
+  // stabilises (the fault only ever touches a bounded region).
+  apps::AppSpec spec =
+      apps::BuildClamr({.global_rows = 8, .cols = 8, .steps = 10, .ranks = 1});
+  mpi::Cluster cluster({.num_ranks = 1});
+  core::Chaser::Options opts;
+  opts.taint_sample_interval = 1'000;
+  core::ChaserMpi chaser(cluster, opts);
+
+  core::InjectionCommand cmd;
+  cmd.target_program = "clamr";
+  cmd.target_classes = spec.fault_classes;
+  cmd.trigger = std::make_shared<core::DeterministicTrigger>(500);
+  cmd.injector = std::make_shared<core::DeterministicInjector>(0, 1ull << 30);
+  cmd.seed = 2;
+  chaser.Arm(cmd, {0});
+  cluster.Start(spec.program);
+  cluster.Run();  // may terminate via the checker; timeline is still valid
+
+  const auto& timeline = chaser.rank_chaser(0).taint_timeline();
+  ASSERT_GT(timeline.size(), 3u);
+  std::uint64_t peak = 0;
+  for (const core::TaintSample& s : timeline) {
+    peak = std::max(peak, s.tainted_bytes);
+  }
+  EXPECT_GT(peak, 0u);
+  // Bounded: tainted bytes never exceed the guest's mapped field memory.
+  EXPECT_LT(peak, 64u * 1024u);
+}
+
+TEST(Integration, SameSeedSameTimeline) {
+  apps::AppSpec spec =
+      apps::BuildClamr({.global_rows = 8, .cols = 8, .steps = 6, .ranks = 1});
+  auto run_once = [&spec](std::uint64_t seed) {
+    mpi::Cluster cluster({.num_ranks = 1});
+    core::Chaser::Options opts;
+    opts.taint_sample_interval = 5'000;
+    core::ChaserMpi chaser(cluster, opts);
+    core::InjectionCommand cmd;
+    cmd.target_program = "clamr";
+    cmd.target_classes = spec.fault_classes;
+    cmd.trigger = std::make_shared<core::DeterministicTrigger>(321);
+    cmd.injector = std::make_shared<core::ProbabilisticInjector>(2);
+    cmd.seed = seed;
+    chaser.Arm(cmd, {0});
+    cluster.Start(spec.program);
+    cluster.Run();
+    std::vector<std::uint64_t> bytes;
+    for (const core::TaintSample& s : chaser.rank_chaser(0).taint_timeline()) {
+      bytes.push_back(s.tainted_bytes);
+    }
+    return bytes;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  // (Different seeds flip different bits; the timeline usually differs, but
+  // that is not guaranteed, so only the equality direction is asserted.)
+}
+
+TEST(Integration, TracingOffHasNoTaintActivityButSameResult) {
+  apps::AppSpec spec = apps::BuildLud({.n = 8});
+  auto run = [&spec](bool trace) {
+    vm::Vm vm;
+    core::Chaser chaser(vm);
+    core::InjectionCommand cmd;
+    cmd.target_program = "lud";
+    cmd.target_classes = spec.fault_classes;
+    cmd.trigger = std::make_shared<core::DeterministicTrigger>(50);
+    cmd.injector = std::make_shared<core::DeterministicInjector>(0, 1ull << 40);
+    cmd.trace = trace;
+    chaser.Arm(cmd);
+    vm.StartProcess(spec.program);
+    vm.RunToCompletion();
+    return std::make_tuple(vm.output(3), chaser.trace_log().tainted_reads(),
+                           chaser.trace_log().tainted_writes());
+  };
+  const auto [out_on, reads_on, writes_on] = run(true);
+  const auto [out_off, reads_off, writes_off] = run(false);
+  EXPECT_EQ(out_on, out_off) << "tracing must not perturb execution";
+  EXPECT_GT(reads_on + writes_on, 0u);
+  EXPECT_EQ(reads_off + writes_off, 0u);
+}
+
+TEST(Integration, JitDetachShrinksInstrumentationCost) {
+  // After the deterministic trigger fires, fi_clean_cb detaches the injector
+  // and flushes the cache — subsequent TBs are clean. Compare against a
+  // NeverTrigger run where the instrumentation stays in place.
+  apps::AppSpec spec = apps::BuildKmeans({.points = 64, .dims = 4, .clusters = 4,
+                                          .iterations = 4});
+  auto count_injector_calls = [&spec](std::shared_ptr<const core::Trigger> trigger) {
+    vm::Vm vm;
+    core::Chaser chaser(vm);
+    core::InjectionCommand cmd;
+    cmd.target_program = "kmeans";
+    cmd.target_classes = spec.fault_classes;
+    cmd.trigger = std::move(trigger);
+    // Zero-effect injector (flip nothing isn't allowed; flip+flip back via
+    // two runs isn't needed — touch keeps the value).
+    struct NullInjector : core::FaultInjector {
+      void Inject(core::InjectionContext& ctx) override {
+        ctx.records.push_back(core::TouchIntRegister(ctx.vm, 0));
+      }
+      std::string name() const override { return "null"; }
+    };
+    cmd.injector = std::make_shared<NullInjector>();
+    cmd.trace = false;
+    chaser.Arm(cmd);
+    vm.StartProcess(spec.program);
+    vm.RunToCompletion();
+    return chaser.targeted_executions();
+  };
+  const std::uint64_t with_detach =
+      count_injector_calls(std::make_shared<core::DeterministicTrigger>(10));
+  const std::uint64_t without_detach =
+      count_injector_calls(std::make_shared<core::NeverTrigger>());
+  EXPECT_EQ(with_detach, 10u);
+  EXPECT_GT(without_detach, 1000u);
+}
+
+TEST(Integration, CampaignReproducesSingleRunFromRecordSeed) {
+  // The paper re-executes interesting cases with the same injected fault;
+  // RunOnce(rec.run_seed) must reproduce the recorded outcome.
+  apps::AppSpec spec = apps::BuildBfs({.nodes = 64, .avg_degree = 4});
+  campaign::CampaignConfig config;
+  config.runs = 20;
+  config.seed = 42;
+  campaign::Campaign c(std::move(spec), config);
+  const campaign::CampaignResult result = c.Run();
+  ASSERT_FALSE(result.records.empty());
+  for (std::size_t i = 0; i < 5 && i < result.records.size(); ++i) {
+    const campaign::RunRecord& rec = result.records[i];
+    const campaign::RunRecord replay = c.RunOnce(rec.run_seed);
+    EXPECT_EQ(replay.outcome, rec.outcome);
+    EXPECT_EQ(replay.trigger_nth, rec.trigger_nth);
+    EXPECT_EQ(replay.tainted_reads, rec.tainted_reads);
+    EXPECT_EQ(replay.tainted_writes, rec.tainted_writes);
+  }
+}
+
+}  // namespace
+}  // namespace chaser

@@ -1,0 +1,245 @@
+// Tests for the TCG optimizer: specific rewrites, safety constraints, and an
+// on/off equivalence sweep over random programs.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.h"
+#include "guest/builder.h"
+#include "tcg/optimizer.h"
+#include "tcg/translator.h"
+#include "vm/vm.h"
+
+namespace chaser::tcg {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+TranslationBlock TranslateAt(const guest::Program& p, std::uint64_t pc = 0,
+                             bool instrument_all = false) {
+  Translator::Options opts;
+  opts.instrument_all = instrument_all;
+  return Translator(opts).Translate(p, pc);
+}
+
+std::size_t CountOpc(const TranslationBlock& tb, TcgOpc opc) {
+  std::size_t n = 0;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == opc) ++n;
+  }
+  return n;
+}
+
+TEST(Optimizer, ForwardsAluIntoEnvDestination) {
+  ProgramBuilder b("t");
+  b.Add(R(1), R(2), R(3));  // add t, r2, r3; mov r1, t  ->  add r1, r2, r3
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p);
+  const std::size_t movs_before = CountOpc(tb, TcgOpc::kMov);
+  const OptimizerStats stats = Optimize(&tb);
+  EXPECT_GT(stats.movs_forwarded, 0u);
+  EXPECT_LT(CountOpc(tb, TcgOpc::kMov), movs_before);
+  // The add now writes env.r1 directly.
+  bool direct = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kAdd && op.dst == EnvInt(1)) direct = true;
+  }
+  EXPECT_TRUE(direct);
+}
+
+TEST(Optimizer, FoldsImmediateMove) {
+  ProgramBuilder b("t");
+  b.MovI(R(4), 1234);  // movi t, 1234; mov r4, t  ->  movi r4, 1234
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p);
+  Optimize(&tb);
+  bool direct = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kMovI && op.dst == EnvInt(4) && op.imm == 1234) {
+      direct = true;
+    }
+  }
+  EXPECT_TRUE(direct);
+}
+
+TEST(Optimizer, ForwardsLoadsButKeepsThem) {
+  ProgramBuilder b("t");
+  const GuestAddr buf = b.Bss("buf", 8);
+  b.MovI(R(9), static_cast<std::int64_t>(buf));
+  b.Ld(R(1), R(9), 0);
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p);
+  const std::size_t loads_before = CountOpc(tb, TcgOpc::kQemuLd);
+  Optimize(&tb);
+  EXPECT_EQ(CountOpc(tb, TcgOpc::kQemuLd), loads_before);  // never removed
+  bool direct = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kQemuLd && op.dst == EnvInt(1)) direct = true;
+  }
+  EXPECT_TRUE(direct);
+}
+
+TEST(Optimizer, NeverTouchesDivision) {
+  ProgramBuilder b("t");
+  b.DivS(R(1), R(2), R(3));  // may trap: the div op must survive untouched
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p);
+  const std::size_t divs_before = CountOpc(tb, TcgOpc::kDivS);
+  Optimize(&tb);
+  EXPECT_EQ(CountOpc(tb, TcgOpc::kDivS), divs_before);
+  // And its result still reaches r1 through the mov.
+  bool mov_to_r1 = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kMov && op.dst == EnvInt(1)) mov_to_r1 = true;
+  }
+  EXPECT_TRUE(mov_to_r1);
+}
+
+TEST(Optimizer, KeepsHelperCallsAndTerminators) {
+  ProgramBuilder b("t");
+  b.Fadd(F(0), F(1), F(2));
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p, 0, /*instrument_all=*/true);
+  const std::size_t helpers_before = CountOpc(tb, TcgOpc::kCallHelper);
+  const std::size_t starts_before = CountOpc(tb, TcgOpc::kInsnStart);
+  Optimize(&tb);
+  EXPECT_EQ(CountOpc(tb, TcgOpc::kCallHelper), helpers_before);
+  EXPECT_EQ(CountOpc(tb, TcgOpc::kInsnStart), starts_before);
+  EXPECT_EQ(tb.ops.back().opc, TcgOpc::kGotoTb);
+}
+
+TEST(Optimizer, ShrinksRealAppBlocks) {
+  ProgramBuilder b("t");
+  const GuestAddr buf = b.Bss("buf", 256);
+  b.MovI(R(9), static_cast<std::int64_t>(buf));
+  for (int i = 0; i < 8; ++i) {
+    b.Ld(R(1), R(9), i * 8);
+    b.AddI(R(1), R(1), 3);
+    b.St(R(9), i * 8, R(1));
+  }
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  TranslationBlock tb = TranslateAt(p);
+  const std::size_t before = tb.ops.size();
+  Optimize(&tb);
+  // Expect a substantial reduction on this mov-heavy block.
+  EXPECT_LT(tb.ops.size(), before - 8);
+}
+
+TEST(Optimizer, VmTracksCumulativeStats) {
+  ProgramBuilder b("loop");
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), 10);
+  b.Br(Cond::kLt, loop);
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  vm::Vm vm;
+  vm.StartProcess(p);
+  vm.RunToCompletion();
+  EXPECT_GT(vm.optimizer_stats().movs_forwarded, 0u);
+}
+
+TEST(Optimizer, DisabledVmRunsIdentically) {
+  ProgramBuilder b("t");
+  const GuestAddr buf = b.Bss("buf", 64);
+  b.MovI(R(9), static_cast<std::int64_t>(buf));
+  b.MovI(R(1), 7);
+  b.MulI(R(2), R(1), 6);
+  b.St(R(9), 0, R(2));
+  b.Fld(F(0), R(9), 0);
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+
+  vm::Vm on;
+  on.StartProcess(p);
+  on.RunToCompletion();
+
+  vm::Vm::Config config;
+  config.optimize_tbs = false;
+  vm::Vm off(config);
+  off.StartProcess(p);
+  off.RunToCompletion();
+
+  EXPECT_EQ(on.cpu().env, off.cpu().env);
+  EXPECT_EQ(on.instret(), off.instret());
+  EXPECT_EQ(off.optimizer_stats().movs_forwarded, 0u);
+}
+
+// Equivalence sweep: random-ish programs produce identical results with the
+// optimizer on and off, including taint state under injection.
+class OptimizerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalence, OnOffIdentical) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  ProgramBuilder b("t");
+  const GuestAddr buf = b.Bss("buf", 32 * 8);
+  b.MovI(R(10), static_cast<std::int64_t>(buf));
+  b.MovI(R(1), static_cast<std::int64_t>(rng.UniformU64(1, 1u << 16)));
+  b.MovI(R(2), static_cast<std::int64_t>(rng.UniformU64(1, 1u << 16)));
+  for (int i = 0; i < 60; ++i) {
+    switch (rng.UniformU64(0, 5)) {
+      case 0: b.Add(R(1), R(1), R(2)); break;
+      case 1: b.Mul(R(2), R(2), R(1)); break;
+      case 2: b.XorI(R(1), R(1), static_cast<std::int64_t>(rng.UniformU64(0, 255))); break;
+      case 3: {
+        b.AndI(R(3), R(1), 31);
+        b.ShlI(R(3), R(3), 3);
+        b.Add(R(3), R(10), R(3));
+        b.St(R(3), 0, R(2));
+        break;
+      }
+      case 4: {
+        b.AndI(R(3), R(2), 31);
+        b.ShlI(R(3), R(3), 3);
+        b.Add(R(3), R(10), R(3));
+        b.Ld(R(1), R(3), 0);
+        break;
+      }
+      case 5:
+        b.CvtIF(F(0), R(1));
+        b.FmovI(F(1), 1.25);
+        b.Fmul(F(0), F(0), F(1));
+        b.CvtFI(R(4), F(0));
+        break;
+    }
+  }
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+
+  auto run = [&p](bool optimize) {
+    vm::Vm::Config config;
+    config.optimize_tbs = optimize;
+    auto vm = std::make_unique<vm::Vm>(config);
+    vm->taint().set_enabled(true);
+    vm->StartProcess(p);
+    // Taint r2 from the start so taint flows through optimized blocks.
+    vm->taint().TaintSourceRegister(EnvInt(2), 0xff);
+    vm->RunToCompletion();
+    return vm;
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  EXPECT_EQ(on->cpu().env, off->cpu().env);
+  EXPECT_EQ(on->instret(), off->instret());
+  for (ValId v = 0; v < kNumEnvSlots; ++v) {
+    EXPECT_EQ(on->taint().GetValTaint(v), off->taint().GetValTaint(v)) << "slot " << v;
+  }
+  EXPECT_EQ(on->taint().stats().tainted_reads, off->taint().stats().tainted_reads);
+  EXPECT_EQ(on->taint().stats().tainted_writes, off->taint().stats().tainted_writes);
+  EXPECT_EQ(on->taint().CountTaintedBytes(), off->taint().CountTaintedBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, OptimizerEquivalence, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace chaser::tcg

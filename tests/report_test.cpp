@@ -1,0 +1,188 @@
+// Tests for the campaign post-analysis module: CSV round-trips and the
+// offline propagation statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "campaign/report.h"
+#include "common/error.h"
+#include "core/trace.h"
+
+namespace chaser::campaign {
+namespace {
+
+RunRecord SampleRecord(std::uint64_t seed) {
+  RunRecord r;
+  r.run_seed = seed;
+  r.outcome = Outcome::kTerminated;
+  r.kind = vm::TerminationKind::kSignaled;
+  r.signal = vm::GuestSignal::kSegv;
+  r.inject_rank = 0;
+  r.failure_rank = 2;
+  r.deadlock = false;
+  r.propagated_cross_rank = true;
+  r.propagated_cross_node = true;
+  r.injections = 1;
+  r.tainted_reads = 123;
+  r.tainted_writes = 45;
+  r.peak_tainted_bytes = 678;
+  r.trigger_nth = 999;
+  r.flip_bits = 2;
+  r.instructions = 1'000'000;
+  return r;
+}
+
+TEST(Report, RecordsCsvRoundTrip) {
+  std::vector<RunRecord> records{SampleRecord(1), SampleRecord(2)};
+  records[1].outcome = Outcome::kBenign;
+  records[1].kind = vm::TerminationKind::kExited;
+  records[1].signal = vm::GuestSignal::kNone;
+  records[1].failure_rank = -1;
+
+  std::stringstream ss;
+  WriteRecordsCsv(records, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].run_seed, 1u);
+  EXPECT_EQ(back[0].outcome, Outcome::kTerminated);
+  EXPECT_EQ(back[0].signal, vm::GuestSignal::kSegv);
+  EXPECT_EQ(back[0].failure_rank, 2);
+  EXPECT_TRUE(back[0].propagated_cross_node);
+  EXPECT_EQ(back[0].tainted_reads, 123u);
+  EXPECT_EQ(back[1].outcome, Outcome::kBenign);
+  EXPECT_EQ(back[1].failure_rank, -1);
+}
+
+TEST(Report, ReadRejectsBadHeader) {
+  std::stringstream ss("nonsense\n1,2,3\n");
+  EXPECT_THROW(ReadRecordsCsv(ss), ConfigError);
+}
+
+TEST(Report, ReadRejectsShortRow) {
+  std::stringstream out;
+  WriteRecordsCsv({}, out);
+  std::stringstream in(out.str() + "1,benign,exited\n");
+  EXPECT_THROW(ReadRecordsCsv(in), ConfigError);
+}
+
+TEST(Report, ReadRejectsBadEnum) {
+  std::stringstream out;
+  WriteRecordsCsv({SampleRecord(1)}, out);
+  std::string csv = out.str();
+  const auto pos = csv.find("terminated");
+  csv.replace(pos, 10, "exploded!!");
+  std::stringstream in(csv);
+  EXPECT_THROW(ReadRecordsCsv(in), ConfigError);
+}
+
+TEST(Report, TimelineCsvFormat) {
+  std::vector<core::TaintSample> samples{{0, 100, 5}, {1, 200, 7}};
+  std::stringstream ss;
+  WriteTimelineCsv(samples, ss);
+  EXPECT_EQ(ss.str(), "rank,instret,tainted_bytes\n0,100,5\n1,200,7\n");
+}
+
+TEST(Report, TraceLogCsv) {
+  core::TraceLog log;
+  log.Add({.kind = core::TraceEventKind::kTaintedRead, .rank = 1, .instret = 9,
+           .pc = 2, .vaddr = 0x10, .paddr = 0x20, .size = 8, .value = 0xab,
+           .taint = 0xff});
+  std::stringstream ss;
+  log.WriteCsv(ss);
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("kind,rank,instret"), std::string::npos);
+  EXPECT_NE(csv.find("T-READ,1,9,0x0000000000400008"), std::string::npos);
+}
+
+TEST(Report, AnalyzePropagationMatchesHandCounts) {
+  std::vector<RunRecord> records(4);
+  records[0].tainted_reads = 10;
+  records[0].tainted_writes = 5;   // more reads
+  records[1].tainted_reads = 3;
+  records[1].tainted_writes = 0;   // only reads (and more reads)
+  records[2].tainted_reads = 0;
+  records[2].tainted_writes = 9;   // only writes
+  records[3].tainted_reads = 2;
+  records[3].tainted_writes = 2;   // balanced
+  const PropagationStats stats = AnalyzePropagation(records);
+  EXPECT_EQ(stats.runs, 4u);
+  EXPECT_EQ(stats.total_tainted_reads, 15u);
+  EXPECT_EQ(stats.total_tainted_writes, 16u);
+  EXPECT_EQ(stats.max_tainted_reads, 10u);
+  EXPECT_EQ(stats.max_tainted_writes, 9u);
+  EXPECT_DOUBLE_EQ(stats.pct_more_reads_than_writes, 50.0);
+  EXPECT_DOUBLE_EQ(stats.pct_only_reads, 25.0);
+  EXPECT_DOUBLE_EQ(stats.pct_only_writes, 25.0);
+}
+
+TEST(Report, AnalyzeEmptyIsSafe) {
+  const PropagationStats stats = AnalyzePropagation({});
+  EXPECT_EQ(stats.runs, 0u);
+  EXPECT_DOUBLE_EQ(stats.pct_only_reads, 0.0);
+}
+
+TEST(Report, SdcPredictionHandCounts) {
+  std::vector<RunRecord> records(5);
+  records[0].kind = vm::TerminationKind::kExited;
+  records[0].outcome = Outcome::kSdc;
+  records[0].tainted_output_bytes = 8;   // tp
+  records[1].kind = vm::TerminationKind::kExited;
+  records[1].outcome = Outcome::kBenign;
+  records[1].tainted_output_bytes = 8;   // fp (over-approximation)
+  records[2].kind = vm::TerminationKind::kExited;
+  records[2].outcome = Outcome::kSdc;
+  records[2].tainted_output_bytes = 0;   // fn (control-flow-only propagation)
+  records[3].kind = vm::TerminationKind::kExited;
+  records[3].outcome = Outcome::kBenign;
+  records[3].tainted_output_bytes = 0;   // tn
+  records[4].kind = vm::TerminationKind::kSignaled;  // terminated: excluded
+  records[4].outcome = Outcome::kTerminated;
+  const SdcPredictionStats p = AnalyzeSdcPrediction(records);
+  EXPECT_EQ(p.completed_runs, 4u);
+  EXPECT_EQ(p.true_positives, 1u);
+  EXPECT_EQ(p.false_positives, 1u);
+  EXPECT_EQ(p.false_negatives, 1u);
+  EXPECT_EQ(p.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(p.precision, 0.5);
+  EXPECT_DOUBLE_EQ(p.recall, 0.5);
+}
+
+TEST(Report, SdcPredictionEmptySafe) {
+  const SdcPredictionStats p = AnalyzeSdcPrediction({});
+  EXPECT_EQ(p.completed_runs, 0u);
+  EXPECT_DOUBLE_EQ(p.precision, 0.0);
+}
+
+TEST(Report, TaintedOutputBytesCsvRoundTrip) {
+  RunRecord rec = SampleRecord(3);
+  rec.tainted_output_bytes = 321;
+  std::stringstream ss;
+  WriteRecordsCsv({rec}, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].tainted_output_bytes, 321u);
+}
+
+TEST(Report, EndToEndCampaignExport) {
+  apps::AppSpec spec = apps::BuildBfs({.nodes = 64, .avg_degree = 4});
+  CampaignConfig config;
+  config.runs = 10;
+  config.seed = 77;
+  Campaign c(std::move(spec), config);
+  const CampaignResult result = c.Run();
+
+  std::stringstream ss;
+  WriteRecordsCsv(result.records, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), result.records.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].outcome, result.records[i].outcome);
+    EXPECT_EQ(back[i].run_seed, result.records[i].run_seed);
+    EXPECT_EQ(back[i].tainted_writes, result.records[i].tainted_writes);
+  }
+}
+
+}  // namespace
+}  // namespace chaser::campaign

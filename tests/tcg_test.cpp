@@ -1,0 +1,265 @@
+// Unit tests for src/tcg: flag semantics, translator lowering, TB formation,
+// Chaser's instrumentation splicing (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.h"
+#include "guest/builder.h"
+#include "tcg/ir.h"
+#include "tcg/translator.h"
+
+namespace chaser::tcg {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::Opcode;
+using guest::ProgramBuilder;
+using guest::R;
+
+// ---- Flags -----------------------------------------------------------------
+
+TEST(Flags, ComputeFlagsSignedUnsigned) {
+  // 5 vs 5: equal only.
+  EXPECT_EQ(ComputeFlags(5, 5), kFlagEq);
+  // 3 vs 7: less in both orders.
+  EXPECT_EQ(ComputeFlags(3, 7), kFlagLtS | kFlagLtU);
+  // -1 vs 1: signed less, unsigned greater.
+  EXPECT_EQ(ComputeFlags(static_cast<std::uint64_t>(-1), 1), kFlagLtS);
+  // 1 vs -1: unsigned less, signed greater.
+  EXPECT_EQ(ComputeFlags(1, static_cast<std::uint64_t>(-1)), kFlagLtU);
+}
+
+TEST(Flags, CondHoldsTable) {
+  const std::uint64_t eq = kFlagEq;
+  const std::uint64_t lt = kFlagLtS | kFlagLtU;
+  const std::uint64_t gt = 0;
+  EXPECT_TRUE(CondHolds(Cond::kEq, eq));
+  EXPECT_FALSE(CondHolds(Cond::kEq, lt));
+  EXPECT_TRUE(CondHolds(Cond::kNe, lt));
+  EXPECT_TRUE(CondHolds(Cond::kLt, lt));
+  EXPECT_TRUE(CondHolds(Cond::kLe, lt));
+  EXPECT_TRUE(CondHolds(Cond::kLe, eq));
+  EXPECT_TRUE(CondHolds(Cond::kGt, gt));
+  EXPECT_FALSE(CondHolds(Cond::kGt, eq));
+  EXPECT_TRUE(CondHolds(Cond::kGe, eq));
+  EXPECT_TRUE(CondHolds(Cond::kGe, gt));
+  EXPECT_TRUE(CondHolds(Cond::kLtU, lt));
+  EXPECT_TRUE(CondHolds(Cond::kGeU, gt));
+}
+
+TEST(Flags, FpUnorderedSetsNothing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ComputeFlagsF(nan, 1.0), 0u);
+  EXPECT_EQ(ComputeFlagsF(1.0, nan), 0u);
+  EXPECT_EQ(ComputeFlagsF(1.0, 1.0), kFlagEq);
+  EXPECT_EQ(ComputeFlagsF(0.5, 1.0), kFlagLtS | kFlagLtU);
+}
+
+// ---- Translator ------------------------------------------------------------
+
+guest::Program SmallProgram() {
+  ProgramBuilder b("p");
+  b.MovI(R(1), 10);       // 0
+  b.AddI(R(1), R(1), 1);  // 1
+  b.Fadd(F(0), F(1), F(2));  // 2
+  b.CmpI(R(1), 11);       // 3
+  auto target = b.NewLabel();
+  b.Br(Cond::kEq, target);   // 4 — ends the TB
+  b.Bind(target);
+  b.Exit(0);              // 5..7
+  return b.Finalize();
+}
+
+TEST(Translator, TbEndsAtBranch) {
+  const guest::Program p = SmallProgram();
+  Translator t;
+  const TranslationBlock tb = t.Translate(p, 0);
+  EXPECT_EQ(tb.start_pc, 0u);
+  EXPECT_EQ(tb.num_insns, 5u);  // movi, addi, fadd, cmp, br
+  ASSERT_FALSE(tb.ops.empty());
+  EXPECT_EQ(tb.ops.back().opc, TcgOpc::kBrCond);
+  EXPECT_EQ(tb.ops.back().imm, 5u);   // taken target
+  EXPECT_EQ(tb.ops.back().imm2, 5u);  // fallthrough (label bound right after)
+}
+
+TEST(Translator, EveryInsnGetsInsnStart) {
+  const guest::Program p = SmallProgram();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  unsigned starts = 0;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kInsnStart) ++starts;
+  }
+  EXPECT_EQ(starts, tb.num_insns);
+}
+
+TEST(Translator, MaxTbInsnsCapChainsToNextPc) {
+  ProgramBuilder b("p");
+  for (int i = 0; i < 10; ++i) b.Nop();
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  Translator::Options opts;
+  opts.max_tb_insns = 4;
+  const TranslationBlock tb = Translator(opts).Translate(p, 0);
+  EXPECT_EQ(tb.num_insns, 4u);
+  EXPECT_EQ(tb.ops.back().opc, TcgOpc::kGotoTb);
+  EXPECT_EQ(tb.ops.back().imm, 4u);
+}
+
+TEST(Translator, SyscallEndsTb) {
+  ProgramBuilder b("p");
+  b.Exit(0);  // movi, movi, syscall
+  const guest::Program p = b.Finalize();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  EXPECT_EQ(tb.num_insns, 3u);
+  // Second-to-last op is the syscall helper; last is goto_tb.
+  ASSERT_GE(tb.ops.size(), 2u);
+  const TcgOp& helper = tb.ops[tb.ops.size() - 2];
+  EXPECT_EQ(helper.opc, TcgOpc::kCallHelper);
+  EXPECT_EQ(helper.helper, HelperId::kSyscall);
+}
+
+TEST(Translator, CallPushesReturnIndex) {
+  ProgramBuilder b("p");
+  auto fn = b.NewLabel("fn");
+  b.Call(fn);   // 0
+  b.Exit(0);    // 1..3
+  b.Bind(fn);
+  b.Ret();      // 4
+  const guest::Program p = b.Finalize();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  // Expect a store of constant 1 (return index) and goto target 4.
+  bool saw_store = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kQemuSt) saw_store = true;
+  }
+  EXPECT_TRUE(saw_store);
+  EXPECT_EQ(tb.ops.back().opc, TcgOpc::kGotoTb);
+  EXPECT_EQ(tb.ops.back().imm, 4u);
+}
+
+TEST(Translator, RetIsDynamicExit) {
+  ProgramBuilder b("p");
+  b.Ret();
+  const guest::Program p = b.Finalize();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  EXPECT_EQ(tb.ops.back().opc, TcgOpc::kExitTb);
+}
+
+TEST(Translator, GuestPcAttachedToOps) {
+  const guest::Program p = SmallProgram();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  // Ops produced for the fadd at index 2 carry guest_pc == 2.
+  bool saw_fadd = false;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kFAdd) {
+      saw_fadd = true;
+      EXPECT_EQ(op.guest_pc, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_fadd);
+}
+
+TEST(Translator, OutOfRangePcThrows) {
+  const guest::Program p = SmallProgram();
+  EXPECT_THROW(Translator().Translate(p, 10'000), ConfigError);
+}
+
+// ---- Instrumentation (the Chaser hook) ----------------------------------------
+
+TEST(Instrument, SelectiveInsertionBeforeTarget) {
+  const guest::Program p = SmallProgram();
+  Translator::Options opts;
+  opts.instrument = [](const guest::Instruction& in, std::uint64_t) {
+    return guest::ClassOf(in.op) == guest::InstrClass::kFadd;
+  };
+  const TranslationBlock tb = Translator(opts).Translate(p, 0);
+  EXPECT_TRUE(tb.instrumented);
+  // Exactly one injector call, placed before the fadd's IR (between the
+  // fadd's insn_start and its helper_fadd op).
+  int injector_idx = -1, fadd_idx = -1;
+  for (std::size_t i = 0; i < tb.ops.size(); ++i) {
+    if (tb.ops[i].opc == TcgOpc::kCallHelper &&
+        tb.ops[i].helper == HelperId::kFaultInjector) {
+      EXPECT_EQ(injector_idx, -1) << "multiple injector calls";
+      injector_idx = static_cast<int>(i);
+      EXPECT_EQ(tb.ops[i].imm, 2u);  // fadd is instruction #2
+    }
+    if (tb.ops[i].opc == TcgOpc::kFAdd) fadd_idx = static_cast<int>(i);
+  }
+  ASSERT_NE(injector_idx, -1);
+  ASSERT_NE(fadd_idx, -1);
+  EXPECT_LT(injector_idx, fadd_idx);
+}
+
+TEST(Instrument, NoPredicateNoInstrumentation) {
+  const guest::Program p = SmallProgram();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  EXPECT_FALSE(tb.instrumented);
+  for (const TcgOp& op : tb.ops) {
+    EXPECT_FALSE(op.opc == TcgOpc::kCallHelper &&
+                 op.helper == HelperId::kFaultInjector);
+  }
+}
+
+TEST(Instrument, InstrumentAllHitsEveryInstruction) {
+  const guest::Program p = SmallProgram();
+  Translator::Options opts;
+  opts.instrument_all = true;
+  const TranslationBlock tb = Translator(opts).Translate(p, 0);
+  unsigned calls = 0;
+  for (const TcgOp& op : tb.ops) {
+    if (op.opc == TcgOpc::kCallHelper && op.helper == HelperId::kFaultInjector) {
+      ++calls;
+    }
+  }
+  EXPECT_EQ(calls, tb.num_insns);
+}
+
+TEST(Instrument, ResultOnlyInstructionInjectedAfter) {
+  // movi has no source operands: the helper must follow its IR so corrupting
+  // the destination is not overwritten by the move itself.
+  ProgramBuilder b("p");
+  b.MovI(R(1), 42);
+  b.Exit(0);
+  const guest::Program p = b.Finalize();
+  Translator::Options opts;
+  opts.instrument = [](const guest::Instruction& in, std::uint64_t) {
+    return in.op == Opcode::kMovRI && in.rd == 1;
+  };
+  const TranslationBlock tb = Translator(opts).Translate(p, 0);
+  int injector_idx = -1, write_idx = -1;
+  for (std::size_t i = 0; i < tb.ops.size(); ++i) {
+    const TcgOp& op = tb.ops[i];
+    if (op.opc == TcgOpc::kCallHelper && op.helper == HelperId::kFaultInjector) {
+      injector_idx = static_cast<int>(i);
+    }
+    if (op.opc == TcgOpc::kMov && op.dst == EnvInt(1)) write_idx = static_cast<int>(i);
+  }
+  ASSERT_NE(injector_idx, -1);
+  ASSERT_NE(write_idx, -1);
+  EXPECT_GT(injector_idx, write_idx);
+}
+
+// ---- Printer -------------------------------------------------------------------
+
+TEST(Printer, TbListingContainsOps) {
+  const guest::Program p = SmallProgram();
+  const TranslationBlock tb = Translator().Translate(p, 0);
+  const std::string s = PrintTb(tb);
+  EXPECT_NE(s.find("insn_start"), std::string::npos);
+  EXPECT_NE(s.find("helper_fadd"), std::string::npos);
+  EXPECT_NE(s.find("brcond"), std::string::npos);
+}
+
+TEST(Printer, InjectorCallRendered) {
+  const guest::Program p = SmallProgram();
+  Translator::Options opts;
+  opts.instrument_all = true;
+  const std::string s = PrintTb(Translator(opts).Translate(p, 0));
+  EXPECT_NE(s.find("DECAF_inject_fault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chaser::tcg

@@ -1,0 +1,163 @@
+// chaser_run — command-line fault-injection campaign driver.
+//
+// The productised entry point a user reaches for first:
+//
+//   chaser_run --app clamr --runs 500 --seed 7 --out /tmp/clamr.csv
+//   chaser_run --app matvec --runs 1000 --inject-ranks 0 --no-trace
+//   chaser_run --app lud --runs 200 --bits 1-3
+//
+// Runs the campaign (golden run + N injection trials), prints the outcome
+// distribution and termination breakdown, and optionally writes the per-run
+// records to CSV for offline analysis (see campaign/report.h).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "campaign/report.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace chaser;
+
+void Usage() {
+  std::printf(
+      "usage: chaser_run --app <bfs|kmeans|lud|matvec|clamr> [options]\n"
+      "\n"
+      "options:\n"
+      "  --runs N            injection trials (default 200)\n"
+      "  --seed N            campaign seed (default 1)\n"
+      "  --bits LO-HI        random bit-flip width range (default 1-2)\n"
+      "  --inject-ranks A,B  ranks to inject into (default: 0, or all for clamr)\n"
+      "  --no-trace          disable fault-propagation tracing\n"
+      "  --out FILE          write per-run records as CSV\n"
+      "  --help              this text\n");
+}
+
+apps::AppSpec BuildApp(const std::string& name) {
+  if (name == "bfs") return apps::BuildBfs({});
+  if (name == "kmeans") return apps::BuildKmeans({});
+  if (name == "lud") return apps::BuildLud({});
+  if (name == "matvec") return apps::BuildMatvec({});
+  if (name == "clamr") return apps::BuildClamr({});
+  throw ConfigError("unknown app '" + name + "' (bfs|kmeans|lud|matvec|clamr)");
+}
+
+std::uint64_t ArgNum(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) throw ConfigError(std::string("missing value for ") + flag);
+  std::uint64_t v = 0;
+  if (!ParseU64(argv[++i], &v)) {
+    throw ConfigError(std::string("bad number for ") + flag);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  campaign::CampaignConfig config;
+  config.runs = 200;
+  config.seed = 1;
+  std::string out_path;
+  bool inject_ranks_given = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--app") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --app");
+        app_name = argv[++i];
+      } else if (a == "--runs") {
+        config.runs = ArgNum(argc, argv, i, "--runs");
+      } else if (a == "--seed") {
+        config.seed = ArgNum(argc, argv, i, "--seed");
+      } else if (a == "--bits") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --bits");
+        const std::vector<std::string> parts = Split(argv[++i], '-');
+        std::uint64_t lo = 0, hi = 0;
+        if (parts.size() != 2 || !ParseU64(parts[0], &lo) || !ParseU64(parts[1], &hi) ||
+            lo == 0 || hi < lo || hi > 64) {
+          throw ConfigError("--bits expects LO-HI with 1 <= LO <= HI <= 64");
+        }
+        config.flip_bits_min = static_cast<unsigned>(lo);
+        config.flip_bits_max = static_cast<unsigned>(hi);
+      } else if (a == "--inject-ranks") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --inject-ranks");
+        for (const std::string& r : Split(argv[++i], ',')) {
+          std::uint64_t v = 0;
+          if (!ParseU64(r, &v)) throw ConfigError("bad rank in --inject-ranks");
+          config.inject_ranks.insert(static_cast<Rank>(v));
+        }
+        inject_ranks_given = true;
+      } else if (a == "--no-trace") {
+        config.trace = false;
+      } else if (a == "--out") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --out");
+        out_path = argv[++i];
+      } else if (a == "--help" || a == "-h") {
+        Usage();
+        return 0;
+      } else {
+        throw ConfigError("unknown flag '" + a + "'");
+      }
+    }
+    if (app_name.empty()) {
+      Usage();
+      return 2;
+    }
+
+    apps::AppSpec spec = BuildApp(app_name);
+    if (!inject_ranks_given && app_name == "clamr") {
+      for (Rank r = 0; r < spec.num_ranks; ++r) config.inject_ranks.insert(r);
+    }
+
+    std::printf("chaser_run: %s, %llu runs, seed %llu, bits %u-%u, ranks %d, "
+                "tracing %s\n",
+                app_name.c_str(), static_cast<unsigned long long>(config.runs),
+                static_cast<unsigned long long>(config.seed), config.flip_bits_min,
+                config.flip_bits_max, spec.num_ranks, config.trace ? "on" : "off");
+
+    campaign::Campaign c(std::move(spec), config);
+    c.RunGolden();
+    std::printf("golden run: %llu instructions, targeted executions per rank:",
+                static_cast<unsigned long long>(c.golden_instructions()));
+    for (const Rank r : config.inject_ranks.empty() ? std::set<Rank>{0}
+                                                    : config.inject_ranks) {
+      std::printf(" r%d=%llu", r,
+                  static_cast<unsigned long long>(c.golden_targeted_execs(r)));
+    }
+    std::printf("\n\n");
+
+    const campaign::CampaignResult result = c.Run();
+    std::printf("%s", result.Render(app_name).c_str());
+
+    if (config.trace) {
+      const campaign::PropagationStats stats =
+          campaign::AnalyzePropagation(result.records);
+      std::printf(
+          "propagation: %llu total tainted reads, %llu writes; "
+          "%.1f%% of runs read more than they write\n",
+          static_cast<unsigned long long>(stats.total_tainted_reads),
+          static_cast<unsigned long long>(stats.total_tainted_writes),
+          stats.pct_more_reads_than_writes);
+    }
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) throw ConfigError("cannot open --out file '" + out_path + "'");
+      campaign::WriteRecordsCsv(result.records, out);
+      std::printf("wrote %zu records to %s\n", result.records.size(),
+                  out_path.c_str());
+    }
+    return 0;
+  } catch (const ChaserError& e) {
+    std::fprintf(stderr, "chaser_run: %s\n", e.what());
+    return 2;
+  }
+}
