@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/chaser_campaign.dir/campaign.cpp.o.d"
+  "CMakeFiles/chaser_campaign.dir/report.cpp.o"
+  "CMakeFiles/chaser_campaign.dir/report.cpp.o.d"
+  "libchaser_campaign.a"
+  "libchaser_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
