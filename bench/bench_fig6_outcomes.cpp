@@ -7,6 +7,7 @@
 #include "apps/app.h"
 #include "bench_util.h"
 #include "campaign/campaign.h"
+#include "campaign/parallel.h"
 #include "campaign/report.h"
 
 namespace {
@@ -23,8 +24,39 @@ int main() {
   bench::PrintHeader("Fig. 6: Fault injection results (benign/terminated/SDC)",
                      "paper Fig. 6 + the CLAMR detection split of SIV-B");
   const std::uint64_t runs = bench::RunsFromEnv(400);
-  std::printf("runs per application: %llu (paper: 3000-5000)\n\n",
-              static_cast<unsigned long long>(runs));
+  const unsigned jobs = bench::JobsFromEnv();
+  std::printf("runs per application: %llu (paper: 3000-5000), %u workers\n\n",
+              static_cast<unsigned long long>(runs),
+              jobs);
+
+  // Parallel-engine speedup, recorded on a 1000-run kmeans campaign; the
+  // outcome counts are compared so any serial/parallel divergence is visible
+  // right in the bench output.
+  {
+    campaign::CampaignConfig config;
+    config.runs = bench::RunsFromEnv(1000);
+    config.seed = 4242;
+    campaign::CampaignResult serial_result, parallel_result;
+    const double serial_secs = bench::TimeSecs([&] {
+      campaign::Campaign c(apps::BuildKmeans({}), config);
+      serial_result = c.Run();
+    });
+    const double parallel_secs = bench::TimeSecs([&] {
+      campaign::ParallelCampaign c(apps::BuildKmeans({}), config, jobs);
+      parallel_result = c.Run();
+    });
+    const bool identical =
+        serial_result.benign == parallel_result.benign &&
+        serial_result.terminated == parallel_result.terminated &&
+        serial_result.sdc == parallel_result.sdc;
+    std::printf(
+        "parallel campaign engine (kmeans, %llu runs):\n"
+        "  serial    %.2fs\n"
+        "  %2u jobs   %.2fs   speedup %.2fx   outcome-identical: %s\n\n",
+        static_cast<unsigned long long>(config.runs), serial_secs, jobs,
+        parallel_secs, serial_secs / (parallel_secs > 0 ? parallel_secs : 1.0),
+        identical ? "yes" : "NO (BUG)");
+  }
 
   std::vector<Row> rows;
   const auto run_campaign = [&](const char* name, apps::AppSpec spec,
@@ -33,7 +65,7 @@ int main() {
     config.runs = runs;
     config.seed = 4242;
     config.inject_ranks = std::move(inject_ranks);
-    campaign::Campaign c(std::move(spec), config);
+    campaign::ParallelCampaign c(std::move(spec), config, jobs);
     rows.push_back({name, c.Run()});
     std::printf("  ... %s done\n", name);
   };

@@ -10,23 +10,45 @@
 #include "apps/app.h"
 #include "bench_util.h"
 #include "campaign/campaign.h"
+#include "campaign/parallel.h"
 
 int main() {
   using namespace chaser;
   bench::PrintHeader("Table III: Termination breakdown for MPI application Matvec",
                      "paper Table III");
   const std::uint64_t runs = bench::RunsFromEnv(1000);
+  const unsigned jobs = bench::JobsFromEnv();
 
-  apps::AppSpec spec = apps::BuildMatvec({});
   campaign::CampaignConfig config;
   config.runs = runs;
   config.seed = 20200622;
   config.inject_ranks = {0};  // faults only on the master node (paper setup)
-  campaign::Campaign c(std::move(spec), config);
-  const campaign::CampaignResult r = c.Run();
 
-  std::printf("matvec: %llu runs, 4 ranks, mov-operand faults on the master\n\n",
+  // The table is produced by the parallel engine; a timed serial run of the
+  // same campaign records the speedup and proves the outputs identical.
+  campaign::CampaignResult r, serial;
+  const double parallel_secs = bench::TimeSecs([&] {
+    campaign::ParallelCampaign c(apps::BuildMatvec({}), config, jobs);
+    r = c.Run();
+  });
+  const double serial_secs = bench::TimeSecs([&] {
+    campaign::Campaign c(apps::BuildMatvec({}), config);
+    serial = c.Run();
+  });
+  const bool identical = serial.terminated == r.terminated &&
+                         serial.os_exception == r.os_exception &&
+                         serial.mpi_error == r.mpi_error &&
+                         serial.other_rank_failed == r.other_rank_failed &&
+                         serial.propagated_runs == r.propagated_runs;
+
+  std::printf("matvec: %llu runs, 4 ranks, mov-operand faults on the master\n",
               static_cast<unsigned long long>(runs));
+  std::printf(
+      "engine: parallel %u workers %.2fs, serial %.2fs, speedup %.2fx, "
+      "serial/parallel identical: %s\n\n",
+      jobs, parallel_secs, serial_secs,
+      serial_secs / (parallel_secs > 0 ? parallel_secs : 1.0),
+      identical ? "yes" : "NO (BUG)");
   std::printf("%s\n", r.Render("overall outcome distribution").c_str());
 
   const double term = static_cast<double>(r.terminated);

@@ -4,9 +4,11 @@
 // in minutes; set CHASER_BENCH_RUNS to scale toward the paper's 3000-5000.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -18,6 +20,27 @@ inline std::uint64_t RunsFromEnv(std::uint64_t def) {
   std::uint64_t v = 0;
   if (!ParseU64(env, &v) || v == 0) return def;
   return v;
+}
+
+/// Worker count for the parallel campaign driver: CHASER_BENCH_JOBS, or all
+/// hardware threads.
+inline unsigned JobsFromEnv() {
+  const char* env = std::getenv("CHASER_BENCH_JOBS");
+  if (env != nullptr) {
+    std::uint64_t v = 0;
+    if (ParseU64(env, &v) && v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Wall-clock seconds of `fn()`.
+template <typename Fn>
+double TimeSecs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

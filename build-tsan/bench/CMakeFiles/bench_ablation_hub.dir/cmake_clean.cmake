@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hub.dir/bench_ablation_hub.cpp.o"
+  "CMakeFiles/bench_ablation_hub.dir/bench_ablation_hub.cpp.o.d"
+  "bench_ablation_hub"
+  "bench_ablation_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

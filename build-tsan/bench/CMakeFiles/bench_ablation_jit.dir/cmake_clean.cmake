@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jit.dir/bench_ablation_jit.cpp.o"
+  "CMakeFiles/bench_ablation_jit.dir/bench_ablation_jit.cpp.o.d"
+  "bench_ablation_jit"
+  "bench_ablation_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_outcomes.dir/bench_fig6_outcomes.cpp.o"
+  "CMakeFiles/bench_fig6_outcomes.dir/bench_fig6_outcomes.cpp.o.d"
+  "bench_fig6_outcomes"
+  "bench_fig6_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

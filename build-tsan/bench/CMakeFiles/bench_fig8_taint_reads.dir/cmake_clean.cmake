@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_taint_reads.dir/bench_fig8_taint_reads.cpp.o"
+  "CMakeFiles/bench_fig8_taint_reads.dir/bench_fig8_taint_reads.cpp.o.d"
+  "bench_fig8_taint_reads"
+  "bench_fig8_taint_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_taint_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

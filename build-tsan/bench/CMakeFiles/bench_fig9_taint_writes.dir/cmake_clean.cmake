@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_taint_writes.dir/bench_fig9_taint_writes.cpp.o"
+  "CMakeFiles/bench_fig9_taint_writes.dir/bench_fig9_taint_writes.cpp.o.d"
+  "bench_fig9_taint_writes"
+  "bench_fig9_taint_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_taint_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

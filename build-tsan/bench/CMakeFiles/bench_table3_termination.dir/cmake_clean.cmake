@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_termination.dir/bench_table3_termination.cpp.o"
+  "CMakeFiles/bench_table3_termination.dir/bench_table3_termination.cpp.o.d"
+  "bench_table3_termination"
+  "bench_table3_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clamr_trace.dir/clamr_trace.cpp.o"
+  "CMakeFiles/clamr_trace.dir/clamr_trace.cpp.o.d"
+  "clamr_trace"
+  "clamr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clamr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console_demo.dir/console_demo.cpp.o"
+  "CMakeFiles/console_demo.dir/console_demo.cpp.o.d"
+  "console_demo"
+  "console_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

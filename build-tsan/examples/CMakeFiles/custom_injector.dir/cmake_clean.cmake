@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_injector.dir/custom_injector.cpp.o"
+  "CMakeFiles/custom_injector.dir/custom_injector.cpp.o.d"
+  "custom_injector"
+  "custom_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

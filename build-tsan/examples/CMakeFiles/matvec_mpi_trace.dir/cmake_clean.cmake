@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec_mpi_trace.dir/matvec_mpi_trace.cpp.o"
+  "CMakeFiles/matvec_mpi_trace.dir/matvec_mpi_trace.cpp.o.d"
+  "matvec_mpi_trace"
+  "matvec_mpi_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec_mpi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

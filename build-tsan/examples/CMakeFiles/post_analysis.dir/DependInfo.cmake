@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/post_analysis.cpp" "examples/CMakeFiles/post_analysis.dir/post_analysis.cpp.o" "gcc" "examples/CMakeFiles/post_analysis.dir/post_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/campaign/CMakeFiles/chaser_campaign.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/chaser_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hub/CMakeFiles/chaser_hub.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpi/CMakeFiles/chaser_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/chaser_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vm/CMakeFiles/chaser_vm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taint/CMakeFiles/chaser_taint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tcg/CMakeFiles/chaser_tcg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/guest/CMakeFiles/chaser_guest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/chaser_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_analysis.dir/post_analysis.cpp.o"
+  "CMakeFiles/post_analysis.dir/post_analysis.cpp.o.d"
+  "post_analysis"
+  "post_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("guest")
+subdirs("tcg")
+subdirs("vm")
+subdirs("taint")
+subdirs("core")
+subdirs("mpi")
+subdirs("hub")
+subdirs("apps")
+subdirs("campaign")

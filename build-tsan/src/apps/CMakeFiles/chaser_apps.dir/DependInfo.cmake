@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/apps/CMakeFiles/chaser_apps.dir/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/chaser_apps.dir/bfs.cpp.o.d"
+  "/root/repo/src/apps/clamr.cpp" "src/apps/CMakeFiles/chaser_apps.dir/clamr.cpp.o" "gcc" "src/apps/CMakeFiles/chaser_apps.dir/clamr.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/chaser_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/chaser_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/lud.cpp" "src/apps/CMakeFiles/chaser_apps.dir/lud.cpp.o" "gcc" "src/apps/CMakeFiles/chaser_apps.dir/lud.cpp.o.d"
+  "/root/repo/src/apps/matvec.cpp" "src/apps/CMakeFiles/chaser_apps.dir/matvec.cpp.o" "gcc" "src/apps/CMakeFiles/chaser_apps.dir/matvec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/guest/CMakeFiles/chaser_guest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/chaser_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_apps.dir/bfs.cpp.o"
+  "CMakeFiles/chaser_apps.dir/bfs.cpp.o.d"
+  "CMakeFiles/chaser_apps.dir/clamr.cpp.o"
+  "CMakeFiles/chaser_apps.dir/clamr.cpp.o.d"
+  "CMakeFiles/chaser_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/chaser_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/chaser_apps.dir/lud.cpp.o"
+  "CMakeFiles/chaser_apps.dir/lud.cpp.o.d"
+  "CMakeFiles/chaser_apps.dir/matvec.cpp.o"
+  "CMakeFiles/chaser_apps.dir/matvec.cpp.o.d"
+  "libchaser_apps.a"
+  "libchaser_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

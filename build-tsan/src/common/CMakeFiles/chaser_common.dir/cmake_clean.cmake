@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_common.dir/histogram.cpp.o"
+  "CMakeFiles/chaser_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/chaser_common.dir/log.cpp.o"
+  "CMakeFiles/chaser_common.dir/log.cpp.o.d"
+  "CMakeFiles/chaser_common.dir/strings.cpp.o"
+  "CMakeFiles/chaser_common.dir/strings.cpp.o.d"
+  "libchaser_common.a"
+  "libchaser_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

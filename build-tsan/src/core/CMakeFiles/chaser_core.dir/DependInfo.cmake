@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chaser.cpp" "src/core/CMakeFiles/chaser_core.dir/chaser.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/chaser.cpp.o.d"
+  "/root/repo/src/core/chaser_mpi.cpp" "src/core/CMakeFiles/chaser_core.dir/chaser_mpi.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/chaser_mpi.cpp.o.d"
+  "/root/repo/src/core/console.cpp" "src/core/CMakeFiles/chaser_core.dir/console.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/console.cpp.o.d"
+  "/root/repo/src/core/corrupt.cpp" "src/core/CMakeFiles/chaser_core.dir/corrupt.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/corrupt.cpp.o.d"
+  "/root/repo/src/core/injectors/deterministic_injector.cpp" "src/core/CMakeFiles/chaser_core.dir/injectors/deterministic_injector.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/injectors/deterministic_injector.cpp.o.d"
+  "/root/repo/src/core/injectors/group_injector.cpp" "src/core/CMakeFiles/chaser_core.dir/injectors/group_injector.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/injectors/group_injector.cpp.o.d"
+  "/root/repo/src/core/injectors/probabilistic_injector.cpp" "src/core/CMakeFiles/chaser_core.dir/injectors/probabilistic_injector.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/injectors/probabilistic_injector.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/chaser_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trigger.cpp" "src/core/CMakeFiles/chaser_core.dir/trigger.cpp.o" "gcc" "src/core/CMakeFiles/chaser_core.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hub/CMakeFiles/chaser_hub.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpi/CMakeFiles/chaser_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vm/CMakeFiles/chaser_vm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/taint/CMakeFiles/chaser_taint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/guest/CMakeFiles/chaser_guest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/chaser_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tcg/CMakeFiles/chaser_tcg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

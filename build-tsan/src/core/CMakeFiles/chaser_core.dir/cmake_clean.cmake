@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_core.dir/chaser.cpp.o"
+  "CMakeFiles/chaser_core.dir/chaser.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/chaser_mpi.cpp.o"
+  "CMakeFiles/chaser_core.dir/chaser_mpi.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/console.cpp.o"
+  "CMakeFiles/chaser_core.dir/console.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/corrupt.cpp.o"
+  "CMakeFiles/chaser_core.dir/corrupt.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/injectors/deterministic_injector.cpp.o"
+  "CMakeFiles/chaser_core.dir/injectors/deterministic_injector.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/injectors/group_injector.cpp.o"
+  "CMakeFiles/chaser_core.dir/injectors/group_injector.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/injectors/probabilistic_injector.cpp.o"
+  "CMakeFiles/chaser_core.dir/injectors/probabilistic_injector.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/trace.cpp.o"
+  "CMakeFiles/chaser_core.dir/trace.cpp.o.d"
+  "CMakeFiles/chaser_core.dir/trigger.cpp.o"
+  "CMakeFiles/chaser_core.dir/trigger.cpp.o.d"
+  "libchaser_core.a"
+  "libchaser_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/builder.cpp" "src/guest/CMakeFiles/chaser_guest.dir/builder.cpp.o" "gcc" "src/guest/CMakeFiles/chaser_guest.dir/builder.cpp.o.d"
+  "/root/repo/src/guest/disasm.cpp" "src/guest/CMakeFiles/chaser_guest.dir/disasm.cpp.o" "gcc" "src/guest/CMakeFiles/chaser_guest.dir/disasm.cpp.o.d"
+  "/root/repo/src/guest/isa.cpp" "src/guest/CMakeFiles/chaser_guest.dir/isa.cpp.o" "gcc" "src/guest/CMakeFiles/chaser_guest.dir/isa.cpp.o.d"
+  "/root/repo/src/guest/operands.cpp" "src/guest/CMakeFiles/chaser_guest.dir/operands.cpp.o" "gcc" "src/guest/CMakeFiles/chaser_guest.dir/operands.cpp.o.d"
+  "/root/repo/src/guest/program.cpp" "src/guest/CMakeFiles/chaser_guest.dir/program.cpp.o" "gcc" "src/guest/CMakeFiles/chaser_guest.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/chaser_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_guest.dir/builder.cpp.o"
+  "CMakeFiles/chaser_guest.dir/builder.cpp.o.d"
+  "CMakeFiles/chaser_guest.dir/disasm.cpp.o"
+  "CMakeFiles/chaser_guest.dir/disasm.cpp.o.d"
+  "CMakeFiles/chaser_guest.dir/isa.cpp.o"
+  "CMakeFiles/chaser_guest.dir/isa.cpp.o.d"
+  "CMakeFiles/chaser_guest.dir/operands.cpp.o"
+  "CMakeFiles/chaser_guest.dir/operands.cpp.o.d"
+  "CMakeFiles/chaser_guest.dir/program.cpp.o"
+  "CMakeFiles/chaser_guest.dir/program.cpp.o.d"
+  "libchaser_guest.a"
+  "libchaser_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_hub.dir/mpi_hooks.cpp.o"
+  "CMakeFiles/chaser_hub.dir/mpi_hooks.cpp.o.d"
+  "CMakeFiles/chaser_hub.dir/tainthub.cpp.o"
+  "CMakeFiles/chaser_hub.dir/tainthub.cpp.o.d"
+  "libchaser_hub.a"
+  "libchaser_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

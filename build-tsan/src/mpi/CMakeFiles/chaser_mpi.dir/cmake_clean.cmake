@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_mpi.dir/cluster.cpp.o"
+  "CMakeFiles/chaser_mpi.dir/cluster.cpp.o.d"
+  "libchaser_mpi.a"
+  "libchaser_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_taint.dir/taint.cpp.o"
+  "CMakeFiles/chaser_taint.dir/taint.cpp.o.d"
+  "libchaser_taint.a"
+  "libchaser_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_tcg.dir/ir.cpp.o"
+  "CMakeFiles/chaser_tcg.dir/ir.cpp.o.d"
+  "CMakeFiles/chaser_tcg.dir/optimizer.cpp.o"
+  "CMakeFiles/chaser_tcg.dir/optimizer.cpp.o.d"
+  "CMakeFiles/chaser_tcg.dir/translator.cpp.o"
+  "CMakeFiles/chaser_tcg.dir/translator.cpp.o.d"
+  "libchaser_tcg.a"
+  "libchaser_tcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_tcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chaser_tcg.
+# This may be replaced when dependencies are built.

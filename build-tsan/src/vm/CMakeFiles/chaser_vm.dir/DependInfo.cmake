@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/exec.cpp" "src/vm/CMakeFiles/chaser_vm.dir/exec.cpp.o" "gcc" "src/vm/CMakeFiles/chaser_vm.dir/exec.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/vm/CMakeFiles/chaser_vm.dir/memory.cpp.o" "gcc" "src/vm/CMakeFiles/chaser_vm.dir/memory.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/chaser_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/chaser_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/taint/CMakeFiles/chaser_taint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tcg/CMakeFiles/chaser_tcg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/guest/CMakeFiles/chaser_guest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/chaser_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

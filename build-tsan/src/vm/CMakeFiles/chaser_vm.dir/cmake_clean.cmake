@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_vm.dir/exec.cpp.o"
+  "CMakeFiles/chaser_vm.dir/exec.cpp.o.d"
+  "CMakeFiles/chaser_vm.dir/memory.cpp.o"
+  "CMakeFiles/chaser_vm.dir/memory.cpp.o.d"
+  "CMakeFiles/chaser_vm.dir/vm.cpp.o"
+  "CMakeFiles/chaser_vm.dir/vm.cpp.o.d"
+  "libchaser_vm.a"
+  "libchaser_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

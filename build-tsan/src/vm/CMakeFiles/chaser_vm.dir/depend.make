@@ -1,0 +1,2 @@
+# Empty dependencies file for chaser_vm.
+# This may be replaced when dependencies are built.

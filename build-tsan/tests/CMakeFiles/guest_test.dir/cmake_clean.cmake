@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_test.dir/guest_test.cpp.o"
+  "CMakeFiles/guest_test.dir/guest_test.cpp.o.d"
+  "guest_test"
+  "guest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

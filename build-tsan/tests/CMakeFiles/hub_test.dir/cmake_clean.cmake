@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_test.dir/hub_test.cpp.o"
+  "CMakeFiles/hub_test.dir/hub_test.cpp.o.d"
+  "hub_test"
+  "hub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcg_test.dir/tcg_test.cpp.o"
+  "CMakeFiles/tcg_test.dir/tcg_test.cpp.o.d"
+  "tcg_test"
+  "tcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaser_run.dir/chaser_run.cpp.o"
+  "CMakeFiles/chaser_run.dir/chaser_run.cpp.o.d"
+  "chaser_run"
+  "chaser_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaser_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

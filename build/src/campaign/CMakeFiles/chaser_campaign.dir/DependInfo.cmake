@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/campaign/campaign.cpp" "src/campaign/CMakeFiles/chaser_campaign.dir/campaign.cpp.o" "gcc" "src/campaign/CMakeFiles/chaser_campaign.dir/campaign.cpp.o.d"
+  "/root/repo/src/campaign/parallel.cpp" "src/campaign/CMakeFiles/chaser_campaign.dir/parallel.cpp.o" "gcc" "src/campaign/CMakeFiles/chaser_campaign.dir/parallel.cpp.o.d"
   "/root/repo/src/campaign/report.cpp" "src/campaign/CMakeFiles/chaser_campaign.dir/report.cpp.o" "gcc" "src/campaign/CMakeFiles/chaser_campaign.dir/report.cpp.o.d"
   )
 

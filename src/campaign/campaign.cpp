@@ -51,10 +51,72 @@ std::string CampaignResult::Render(const std::string& label) const {
   return out;
 }
 
-Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
-    : spec_(std::move(spec)), config_(config), rng_(config.seed) {
-  inject_ranks_ = config_.inject_ranks.empty() ? std::set<Rank>{0}
-                                               : config_.inject_ranks;
+void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
+  switch (rec.outcome) {
+    case Outcome::kBenign: ++benign; break;
+    case Outcome::kSdc: ++sdc; break;
+    case Outcome::kTerminated: {
+      ++terminated;
+      // A fired program-level checker is a *detection* no matter which rank
+      // runs the check (CLAMR's conservation test runs on rank 0);
+      // otherwise a failure surfacing on a non-injected rank means the
+      // fault crossed the rank boundary before killing the job.
+      if (rec.kind == vm::TerminationKind::kAssertFailed) {
+        ++assert_detected;
+      } else if (rec.deadlock) {
+        // A deadlock is a job-wide MPI-runtime condition, not attributable
+        // to whichever blocked rank the scheduler terminated first.
+        ++mpi_error;
+      } else if (rec.failure_rank >= 0 && rec.failure_rank != rec.inject_rank) {
+        ++other_rank_failed;
+      } else if (rec.kind == vm::TerminationKind::kSignaled) {
+        ++os_exception;
+      } else if (rec.kind == vm::TerminationKind::kMpiError) {
+        ++mpi_error;
+      }
+      break;
+    }
+  }
+  if (rec.propagated_cross_rank) {
+    ++propagated_runs;
+    if (rec.outcome == Outcome::kTerminated) {
+      ++propagated_terminated;
+      if (rec.kind == vm::TerminationKind::kSignaled) {
+        ++propagated_os_exception;
+      } else if (rec.kind == vm::TerminationKind::kMpiError) {
+        ++propagated_mpi_error;
+      }
+    }
+  }
+  if (keep_record) records.push_back(rec);
+}
+
+// ---- GoldenProfile -----------------------------------------------------------
+
+const std::string& GoldenProfile::output(Rank r, int fd) const {
+  const auto it = outputs.find({r, fd});
+  if (it == outputs.end()) {
+    throw ConfigError(StrFormat(
+        "GoldenProfile: no golden output captured for rank %d fd %d "
+        "(golden run not executed, or rank/fd outside the captured set)", r, fd));
+  }
+  return it->second;
+}
+
+std::uint64_t GoldenProfile::execs(Rank r) const {
+  const auto it = targeted_execs.find(r);
+  if (it == targeted_execs.end()) {
+    throw ConfigError(StrFormat(
+        "GoldenProfile: rank %d was not profiled as an inject rank", r));
+  }
+  return it->second;
+}
+
+// ---- TrialEngine -------------------------------------------------------------
+
+TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config,
+                         const std::set<Rank>& inject_ranks)
+    : spec_(spec), config_(config), inject_ranks_(inject_ranks) {
   for (const Rank r : inject_ranks_) {
     if (r < 0 || r >= spec_.num_ranks) {
       throw ConfigError(StrFormat("Campaign: inject rank %d outside 0..%d", r,
@@ -68,7 +130,7 @@ Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
   chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options);
 }
 
-void Campaign::RunGolden() {
+GoldenProfile TrialEngine::RunGolden() {
   // Profile with a never-firing trigger: instrumentation counts targeted
   // executions without perturbing anything; tracing stays off for speed.
   core::InjectionCommand cmd;
@@ -90,12 +152,11 @@ void Campaign::RunGolden() {
         job.first_failure_message.c_str()));
   }
 
-  golden_outputs_.clear();
-  golden_execs_.clear();
-  golden_instructions_ = job.total_instructions;
+  GoldenProfile golden;
+  golden.instructions = job.total_instructions;
   for (Rank r = 0; r < spec_.num_ranks; ++r) {
-    golden_outputs_[{r, 1}] = cluster_->rank_vm(r).output(1);
-    golden_outputs_[{r, 3}] = cluster_->rank_vm(r).output(3);
+    golden.outputs[{r, 1}] = cluster_->rank_vm(r).output(1);
+    golden.outputs[{r, 3}] = cluster_->rank_vm(r).output(3);
   }
   for (const Rank r : inject_ranks_) {
     const std::uint64_t execs = chaser_->rank_chaser(r).targeted_executions();
@@ -104,31 +165,25 @@ void Campaign::RunGolden() {
           "Campaign: rank %d of '%s' never executes the targeted classes", r,
           spec_.name.c_str()));
     }
-    golden_execs_[r] = execs;
+    golden.targeted_execs[r] = execs;
   }
+  return golden;
+}
 
+void TrialEngine::AdoptGolden(const GoldenProfile& golden) {
+  golden_ = &golden;
   // Tighten the watchdog so corrupted loop bounds cannot hang a campaign.
   const std::uint64_t per_rank =
-      config_.watchdog_multiplier * golden_instructions_ + config_.watchdog_slack;
+      config_.watchdog_multiplier * golden.instructions + config_.watchdog_slack;
   cluster_->SetInstructionBudgets(per_rank,
                                   per_rank * static_cast<std::uint64_t>(
                                                  spec_.num_ranks));
-  golden_done_ = true;
 }
 
-const std::string& Campaign::golden_output(Rank r, int fd) const {
-  static const std::string kEmpty;
-  const auto it = golden_outputs_.find({r, fd});
-  return it == golden_outputs_.end() ? kEmpty : it->second;
-}
-
-std::uint64_t Campaign::golden_targeted_execs(Rank r) const {
-  const auto it = golden_execs_.find(r);
-  return it == golden_execs_.end() ? 0 : it->second;
-}
-
-RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
-  if (!golden_done_) RunGolden();
+RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
+  if (golden_ == nullptr) {
+    throw ConfigError("TrialEngine: RunTrial before a golden profile was adopted");
+  }
   Rng run_rng(run_seed);
 
   RunRecord rec;
@@ -138,7 +193,7 @@ RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
                                  static_cast<std::ptrdiff_t>(
                                      run_rng.Index(inject_ranks_.size())));
   rec.inject_rank = *rank_it;
-  rec.trigger_nth = run_rng.UniformU64(1, golden_execs_.at(rec.inject_rank));
+  rec.trigger_nth = run_rng.UniformU64(1, golden_->execs(rec.inject_rank));
   rec.flip_bits = static_cast<unsigned>(
       run_rng.UniformU64(config_.flip_bits_min, config_.flip_bits_max));
 
@@ -157,7 +212,7 @@ RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
   return rec;
 }
 
-void Campaign::Classify(const mpi::JobResult& job, RunRecord* rec) {
+void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
   rec->instructions = job.total_instructions;
   rec->injections = chaser_->total_injections();
   rec->tainted_reads = chaser_->total_tainted_reads();
@@ -175,8 +230,8 @@ void Campaign::Classify(const mpi::JobResult& job, RunRecord* rec) {
   if (job.completed) {
     bool same = true;
     for (Rank r = 0; r < spec_.num_ranks && same; ++r) {
-      same = cluster_->rank_vm(r).output(1) == golden_output(r, 1) &&
-             cluster_->rank_vm(r).output(3) == golden_output(r, 3);
+      same = cluster_->rank_vm(r).output(1) == golden_->output(r, 1) &&
+             cluster_->rank_vm(r).output(3) == golden_->output(r, 3);
     }
     rec->outcome = same ? Outcome::kBenign : Outcome::kSdc;
     rec->kind = vm::TerminationKind::kExited;
@@ -188,49 +243,55 @@ void Campaign::Classify(const mpi::JobResult& job, RunRecord* rec) {
   rec->failure_rank = job.first_failure_rank;
 }
 
+// ---- Campaign (serial driver) ------------------------------------------------
+
+Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
+    : spec_(std::move(spec)),
+      config_(config),
+      inject_ranks_(config.inject_ranks.empty() ? std::set<Rank>{0}
+                                                : config.inject_ranks),
+      engine_(spec_, config_, inject_ranks_),
+      rng_(config.seed) {}
+
+void Campaign::RunGolden() {
+  golden_ = engine_.RunGolden();
+  engine_.AdoptGolden(golden_);
+  golden_done_ = true;
+}
+
+const std::string& Campaign::golden_output(Rank r, int fd) const {
+  if (!golden_done_) {
+    throw ConfigError(StrFormat(
+        "Campaign: golden_output(rank %d, fd %d) before the golden run", r, fd));
+  }
+  return golden_.output(r, fd);
+}
+
+std::uint64_t Campaign::golden_targeted_execs(Rank r) const {
+  const auto it = golden_.targeted_execs.find(r);
+  return it == golden_.targeted_execs.end() ? 0 : it->second;
+}
+
+RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
+  if (!golden_done_) RunGolden();
+  return engine_.RunTrial(run_seed);
+}
+
+std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
+                                                      std::uint64_t n) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) seeds.push_back(rng.Fork());
+  return seeds;
+}
+
 CampaignResult Campaign::Run() {
   if (!golden_done_) RunGolden();
   CampaignResult result;
   result.runs = config_.runs;
   for (std::uint64_t i = 0; i < config_.runs; ++i) {
-    const RunRecord rec = RunOnce(rng_.Fork());
-    switch (rec.outcome) {
-      case Outcome::kBenign: ++result.benign; break;
-      case Outcome::kSdc: ++result.sdc; break;
-      case Outcome::kTerminated: {
-        ++result.terminated;
-        // A fired program-level checker is a *detection* no matter which rank
-        // runs the check (CLAMR's conservation test runs on rank 0);
-        // otherwise a failure surfacing on a non-injected rank means the
-        // fault crossed the rank boundary before killing the job.
-        if (rec.kind == vm::TerminationKind::kAssertFailed) {
-          ++result.assert_detected;
-        } else if (rec.deadlock) {
-          // A deadlock is a job-wide MPI-runtime condition, not attributable
-          // to whichever blocked rank the scheduler terminated first.
-          ++result.mpi_error;
-        } else if (rec.failure_rank >= 0 && rec.failure_rank != rec.inject_rank) {
-          ++result.other_rank_failed;
-        } else if (rec.kind == vm::TerminationKind::kSignaled) {
-          ++result.os_exception;
-        } else if (rec.kind == vm::TerminationKind::kMpiError) {
-          ++result.mpi_error;
-        }
-        break;
-      }
-    }
-    if (rec.propagated_cross_rank) {
-      ++result.propagated_runs;
-      if (rec.outcome == Outcome::kTerminated) {
-        ++result.propagated_terminated;
-        if (rec.kind == vm::TerminationKind::kSignaled) {
-          ++result.propagated_os_exception;
-        } else if (rec.kind == vm::TerminationKind::kMpiError) {
-          ++result.propagated_mpi_error;
-        }
-      }
-    }
-    if (config_.keep_records) result.records.push_back(rec);
+    result.Accumulate(engine_.RunTrial(rng_.Fork()), config_.keep_records);
   }
   return result;
 }

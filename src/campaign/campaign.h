@@ -14,6 +14,15 @@
 //
 // Every application (single-process or MPI) runs under a Cluster; a
 // 1-rank cluster is just a VM with the MPI syscalls available but unused.
+//
+// The campaign splits into two phases with very different sharing rules:
+//
+//   golden phase   runs once, produces an immutable GoldenProfile that every
+//                  subsequent trial only reads;
+//   trial phase    each trial mutates a Cluster + ChaserMpi + TaintHub. That
+//                  mutable state is encapsulated in a TrialEngine so the
+//                  serial Campaign owns one engine while ParallelCampaign
+//                  (campaign/parallel.h) gives each worker thread its own.
 #pragma once
 
 #include <map>
@@ -91,11 +100,72 @@ struct CampaignResult {
 
   std::vector<RunRecord> records;
 
+  /// Tally one trial into the counters (and into `records` if
+  /// `keep_record`). The serial and parallel drivers reduce through this
+  /// same function, so their outcome bookkeeping cannot diverge.
+  void Accumulate(const RunRecord& rec, bool keep_record);
+
   double Pct(std::uint64_t n) const {
     return runs == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(runs);
   }
   /// Multi-line human-readable summary.
   std::string Render(const std::string& label) const;
+};
+
+/// The immutable product of the one-time golden phase: reference outputs,
+/// per-rank targeted-execution counts, and the clean instruction count.
+/// After RunGolden it is only ever read, so one profile can be shared by any
+/// number of worker-private TrialEngines without copies or locks.
+struct GoldenProfile {
+  std::map<std::pair<Rank, int>, std::string> outputs;
+  std::map<Rank, std::uint64_t> targeted_execs;
+  std::uint64_t instructions = 0;
+
+  /// Reference output of rank `r` on guest fd `fd`; throws ConfigError
+  /// naming the rank/fd if that stream was never captured.
+  const std::string& output(Rank r, int fd) const;
+  /// Golden targeted-execution count of inject rank `r`; throws ConfigError
+  /// naming the rank if it was not profiled.
+  std::uint64_t execs(Rank r) const;
+};
+
+/// One trial-execution engine: a private Cluster + ChaserMpi (and therefore
+/// TaintHub) that runs injection trials against a shared GoldenProfile.
+/// Engines own all per-trial mutable state — two engines never share
+/// anything writable, which is what makes the parallel driver race-free.
+class TrialEngine {
+ public:
+  /// `spec`, `config` and `inject_ranks` are borrowed and must stay alive
+  /// and unmodified for the engine's lifetime. Throws ConfigError if an
+  /// inject rank is outside the spec's rank range.
+  TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config,
+              const std::set<Rank>& inject_ranks);
+
+  /// Execute the clean profiling run (never-firing trigger, tracing off) and
+  /// return the profile. Throws ConfigError if the clean app fails or an
+  /// inject rank never executes the targeted classes.
+  GoldenProfile RunGolden();
+
+  /// Adopt a profile — typically captured by a different engine — and
+  /// tighten the watchdog from its instruction count. Required before
+  /// RunTrial; the profile must outlive the engine.
+  void AdoptGolden(const GoldenProfile& golden);
+
+  /// Execute one injection trial. `run_seed` fully determines the trial.
+  RunRecord RunTrial(std::uint64_t run_seed);
+
+  mpi::Cluster& cluster() { return *cluster_; }
+  core::ChaserMpi& chaser() { return *chaser_; }
+
+ private:
+  void Classify(const mpi::JobResult& job, RunRecord* rec);
+
+  const apps::AppSpec& spec_;
+  const CampaignConfig& config_;
+  const std::set<Rank>& inject_ranks_;
+  std::unique_ptr<mpi::Cluster> cluster_;
+  std::unique_ptr<core::ChaserMpi> chaser_;
+  const GoldenProfile* golden_ = nullptr;
 };
 
 class Campaign {
@@ -113,29 +183,35 @@ class Campaign {
   /// Full campaign: golden + config.runs trials.
   CampaignResult Run();
 
+  /// The first `n` trial seeds a fresh serial Run() draws for campaign seed
+  /// `seed` (the n successive Fork()s of Rng(seed)). ParallelCampaign
+  /// dispatches exactly this sequence, which is what makes its result
+  /// bit-identical to the serial path for any worker count.
+  static std::vector<std::uint64_t> DeriveTrialSeeds(std::uint64_t seed,
+                                                     std::uint64_t n);
+
   // ---- Introspection -------------------------------------------------------
   bool golden_done() const { return golden_done_; }
+  const GoldenProfile& golden() const { return golden_; }
+  /// Golden output of (r, fd); throws ConfigError naming the rank/fd if the
+  /// golden run has not happened or that stream was never captured.
   const std::string& golden_output(Rank r, int fd) const;
   std::uint64_t golden_targeted_execs(Rank r) const;
-  std::uint64_t golden_instructions() const { return golden_instructions_; }
+  std::uint64_t golden_instructions() const { return golden_.instructions; }
   const apps::AppSpec& spec() const { return spec_; }
-  mpi::Cluster& cluster() { return *cluster_; }
-  core::ChaserMpi& chaser() { return *chaser_; }
+  const std::set<Rank>& inject_ranks() const { return inject_ranks_; }
+  mpi::Cluster& cluster() { return engine_.cluster(); }
+  core::ChaserMpi& chaser() { return engine_.chaser(); }
 
  private:
-  void Classify(const mpi::JobResult& job, RunRecord* rec);
-
   apps::AppSpec spec_;
   CampaignConfig config_;
   std::set<Rank> inject_ranks_;
-  std::unique_ptr<mpi::Cluster> cluster_;
-  std::unique_ptr<core::ChaserMpi> chaser_;
+  TrialEngine engine_;  // after spec_/config_/inject_ranks_: borrows them
   Rng rng_;
 
+  GoldenProfile golden_;
   bool golden_done_ = false;
-  std::map<std::pair<Rank, int>, std::string> golden_outputs_;
-  std::map<Rank, std::uint64_t> golden_execs_;
-  std::uint64_t golden_instructions_ = 0;
 };
 
 }  // namespace chaser::campaign

@@ -1,0 +1,99 @@
+#include "campaign/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::campaign {
+
+ParallelCampaign::ParallelCampaign(apps::AppSpec spec, CampaignConfig config,
+                                   unsigned jobs)
+    : spec_(std::move(spec)),
+      config_(config),
+      inject_ranks_(config.inject_ranks.empty() ? std::set<Rank>{0}
+                                                : config.inject_ranks),
+      jobs_(jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw == 0 ? 1 : hw;
+  }
+  // Fail on a bad inject-rank set here, like the serial Campaign constructor
+  // does, instead of from inside a worker thread mid-run.
+  for (const Rank r : inject_ranks_) {
+    if (r < 0 || r >= spec_.num_ranks) {
+      throw ConfigError(StrFormat("ParallelCampaign: inject rank %d outside 0..%d",
+                                  r, spec_.num_ranks - 1));
+    }
+  }
+}
+
+void ParallelCampaign::RunGolden() {
+  TrialEngine engine(spec_, config_, inject_ranks_);
+  golden_ = engine.RunGolden();
+  golden_done_ = true;
+}
+
+std::uint64_t ParallelCampaign::golden_targeted_execs(Rank r) const {
+  const auto it = golden_.targeted_execs.find(r);
+  return it == golden_.targeted_execs.end() ? 0 : it->second;
+}
+
+CampaignResult ParallelCampaign::Run() {
+  if (!golden_done_) RunGolden();
+  const std::uint64_t runs = config_.runs;
+  const std::vector<std::uint64_t> seeds =
+      Campaign::DeriveTrialSeeds(config_.seed, runs);
+
+  // Trial i writes only records[i]; the atomic counter hands every index to
+  // exactly one worker, so the records vector needs no lock.
+  std::vector<RunRecord> records(static_cast<std::size_t>(runs));
+  std::atomic<std::uint64_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto worker = [&]() {
+    try {
+      TrialEngine engine(spec_, config_, inject_ranks_);
+      engine.AdoptGolden(golden_);
+      while (true) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= runs) break;
+        records[static_cast<std::size_t>(i)] = engine.RunTrial(seeds[i]);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+      // Drain the remaining work so the other workers stop promptly.
+      next.store(runs, std::memory_order_relaxed);
+    }
+  };
+
+  const unsigned n_workers = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(jobs_, runs == 0 ? 1 : runs)));
+  if (n_workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Deterministic ordered reduction: merging in trial order through the
+  // shared Accumulate makes the result bit-identical to the serial driver.
+  CampaignResult result;
+  result.runs = runs;
+  for (const RunRecord& rec : records) {
+    result.Accumulate(rec, config_.keep_records);
+  }
+  return result;
+}
+
+}  // namespace chaser::campaign

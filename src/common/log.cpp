@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace chaser {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Parallel campaign workers log concurrently; serialize sink writes so lines
+// never interleave mid-message.
+std::mutex g_sink_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,6 +32,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::fprintf(stderr, "[chaser %s] %s\n", LevelName(level), msg.c_str());
 }
 

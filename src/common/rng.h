@@ -10,6 +10,8 @@
 #include <random>
 #include <vector>
 
+#include "common/error.h"
+
 namespace chaser {
 
 class Rng {
@@ -21,8 +23,11 @@ class Rng {
     return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
   }
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Throws ConfigError if n == 0 — the
+  /// alternative is an underflow to UniformU64(0, SIZE_MAX) and a garbage
+  /// index that the caller would use to address an empty container.
   std::size_t Index(std::size_t n) {
+    if (n == 0) throw ConfigError("Rng::Index: n must be > 0 (empty range)");
     return static_cast<std::size_t>(UniformU64(0, n - 1));
   }
 

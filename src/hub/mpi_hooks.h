@@ -11,6 +11,13 @@ class ChaserMpiHooks : public mpi::MessageHooks {
  public:
   explicit ChaserMpiHooks(TaintHub* hub) : hub_(hub) {}
 
+  /// Job-start hook: evict everything a previous trial left in the hub.
+  /// Records published but never polled (the sender's receiver died first)
+  /// would otherwise collide with the fresh job's restarted sequence numbers,
+  /// and HubStats/transfers() would accumulate across trials, skewing the
+  /// Table III cross-rank propagation counts.
+  void OnJobStart() override { hub_->Clear(); }
+
   /// Sender hook: extract (tag, dest) and the buffer's shadow taint; if any
   /// byte is tainted, publish the per-byte masks to TaintHub before the
   /// message leaves. Clean buffers return without any hub traffic.

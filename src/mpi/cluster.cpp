@@ -61,6 +61,7 @@ void Cluster::SetInstructionBudgets(std::uint64_t per_rank, std::uint64_t total)
 }
 
 void Cluster::Start(const guest::Program& program) {
+  if (hooks_ != nullptr) hooks_->OnJobStart();
   send_seq_.clear();
   barrier_completed_ = 0;
   barrier_arrived_count_ = 0;

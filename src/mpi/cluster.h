@@ -51,6 +51,12 @@ struct Envelope {
 class MessageHooks {
  public:
   virtual ~MessageHooks() = default;
+  /// Invoked by Cluster::Start before any rank executes. Per-job state must
+  /// reset here: message sequence numbers restart at zero on Start, so taint
+  /// records published in a previous job (e.g. by a trial that terminated
+  /// before the receiver polled) would otherwise match the *next* job's
+  /// identities and leak phantom taint across campaign trials.
+  virtual void OnJobStart() {}
   /// Sender side, invoked before the message leaves the rank; `buf` is the
   /// send buffer's guest virtual address in `sender`.
   virtual void OnSend(vm::Vm& sender, const Envelope& env, GuestAddr buf) = 0;

@@ -51,6 +51,22 @@ TEST(Campaign, GoldenRunCapturesOutputsAndExecCounts) {
   EXPECT_GT(c.golden_instructions(), 100u);
 }
 
+TEST(Campaign, GoldenOutputMissingPairThrowsWithContext) {
+  Campaign c(AccumulatorApp(50), {.runs = 0});
+  // Before the golden run: any lookup must fail loudly, not return garbage.
+  EXPECT_THROW(c.golden_output(0, 3), ConfigError);
+  c.RunGolden();
+  // Rank/fd outside the captured set name the offending pair.
+  try {
+    c.golden_output(7, 3);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 7"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("fd 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(c.golden_output(0, 2), ConfigError);  // fd 2 never captured
+}
+
 TEST(Campaign, GoldenRunFailureThrows) {
   ProgramBuilder b("crash");
   b.Halt();

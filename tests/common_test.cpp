@@ -157,6 +157,14 @@ TEST(Rng, IndexStaysInBounds) {
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(7), 7u);
 }
 
+TEST(Rng, IndexZeroThrowsInsteadOfUnderflowing) {
+  // Index(0) used to underflow to UniformU64(0, SIZE_MAX) and hand back a
+  // garbage index into an empty container.
+  Rng rng(8);
+  EXPECT_THROW(rng.Index(0), ConfigError);
+  EXPECT_THROW(rng.Pick(std::vector<int>{}), ConfigError);
+}
+
 TEST(Rng, BernoulliExtremes) {
   Rng rng(9);
   for (int i = 0; i < 50; ++i) {

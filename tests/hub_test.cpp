@@ -198,5 +198,75 @@ TEST_F(HubEndToEnd, TaintDisabledMeansNoHubTraffic) {
   EXPECT_EQ(hub_.stats().polls, 0u);
 }
 
+// ---- Per-job isolation (campaign trials re-Start the same cluster) -----------
+
+/// Like RelayProgram, but rank 1 exits without ever receiving: the tainted
+/// message is published to the hub and never polled.
+const guest::Program& SendNoRecvProgram() {
+  static const guest::Program p = [] {
+    ProgramBuilder b("relay");  // same process name: hooks stay comparable
+    const std::vector<std::uint64_t> init{0x1234};
+    const GuestAddr cell = b.DataU64("cell", init);
+    b.Bss("copy", 8);
+    b.Sys(Sys::kMpiInit);
+    b.Sys(Sys::kMpiCommRank);
+    b.Mov(R(10), R(0));
+    auto done = b.NewLabel("done");
+    b.CmpI(R(10), 0);
+    b.Br(Cond::kNe, done);  // rank 1: straight to finalize, no recv
+    b.MovI(R(1), static_cast<std::int64_t>(cell));
+    b.MovI(R(2), 1);
+    b.MovI(R(3), kInt64);
+    b.MovI(R(4), 1);
+    b.MovI(R(5), 2);  // same tag RelayProgram uses
+    b.Sys(Sys::kMpiSend);
+    b.Bind(done);
+    b.Sys(Sys::kMpiFinalize);
+    b.Exit(0);
+    return b.Finalize();
+  }();
+  return p;
+}
+
+TEST_F(HubEndToEnd, StaleRecordsFromDeadTrialDoNotLeakIntoNextJob) {
+  // Job 1: the tainted message is published but the receiver terminates
+  // without polling — the record is stranded in the hub.
+  cluster_.Start(SendNoRecvProgram());
+  for (Rank r = 0; r < 2; ++r) cluster_.rank_vm(r).taint().set_enabled(true);
+  vm::Vm& sender = cluster_.rank_vm(0);
+  const GuestAddr cell = SendNoRecvProgram().DataAddr("cell");
+  const auto pa = sender.memory().Translate(cell);
+  sender.taint().SetMemTaintByte(*pa, 0xff);
+  ASSERT_TRUE(cluster_.Run().completed);
+  EXPECT_EQ(hub_.stats().publishes, 1u);
+  EXPECT_EQ(hub_.stats().hits, 0u);
+
+  // Job 2: a clean relay run. Sequence numbers restart at zero, so the
+  // first (src 0, dest 1, tag 2) message has the *same identity* as the
+  // stranded record — without the per-job hub reset the receiver would poll
+  // a hit and phantom taint would leak into this trial.
+  cluster_.Start(RelayProgram());
+  for (Rank r = 0; r < 2; ++r) cluster_.rank_vm(r).taint().set_enabled(true);
+  ASSERT_TRUE(cluster_.Run().completed);
+  EXPECT_EQ(hub_.stats().publishes, 0u) << "stats must not accumulate across jobs";
+  EXPECT_EQ(hub_.stats().hits, 0u) << "stale record must not match the new job";
+  EXPECT_TRUE(hub_.transfers().empty());
+
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr copy = RelayProgram().DataAddr("copy");
+  const auto copy_pa = receiver.memory().Translate(copy);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*copy_pa), 0u)
+      << "phantom taint leaked from the previous job";
+}
+
+TEST_F(HubEndToEnd, StatsAndTransfersResetBetweenJobs) {
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  // Second job saw exactly one publish/hit of its own, not two accumulated.
+  EXPECT_EQ(hub_.stats().publishes, 1u);
+  EXPECT_EQ(hub_.stats().hits, 1u);
+  EXPECT_EQ(hub_.transfers().size(), 1u);
+}
+
 }  // namespace
 }  // namespace chaser::hub

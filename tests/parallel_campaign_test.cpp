@@ -1,0 +1,221 @@
+// Tests for src/campaign/parallel: the worker-pool campaign driver must be
+// bit-identical to the serial Campaign for the same seed at any worker
+// count, and consecutive trials on one engine must be fully isolated (no
+// hub/stat bleed between trials).
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "campaign/parallel.h"
+#include "common/error.h"
+#include "guest/builder.h"
+
+namespace chaser::campaign {
+namespace {
+
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+/// Same steerable single-process app the serial campaign tests use: `iters`
+/// fadds accumulating into memory, result written to fd 3.
+apps::AppSpec AccumulatorApp(std::uint64_t iters = 50) {
+  ProgramBuilder b("accum");
+  const GuestAddr out = b.Bss("out", 8);
+  b.FmovI(F(0), 0.0);
+  b.FmovI(F(1), 1.0);
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.Fadd(F(0), F(0), F(1));
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), static_cast<std::int64_t>(iters));
+  b.Br(Cond::kLt, loop);
+  b.MovI(R(9), static_cast<std::int64_t>(out));
+  b.Fst(R(9), 0, F(0));
+  b.MovI(R(4), static_cast<std::int64_t>(out));
+  b.MovI(R(5), 8);
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "accum";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};
+  return spec;
+}
+
+void ExpectRecordEq(const RunRecord& a, const RunRecord& b, std::size_t i) {
+  EXPECT_EQ(a.outcome, b.outcome) << "record " << i;
+  EXPECT_EQ(a.kind, b.kind) << "record " << i;
+  EXPECT_EQ(a.signal, b.signal) << "record " << i;
+  EXPECT_EQ(a.inject_rank, b.inject_rank) << "record " << i;
+  EXPECT_EQ(a.failure_rank, b.failure_rank) << "record " << i;
+  EXPECT_EQ(a.deadlock, b.deadlock) << "record " << i;
+  EXPECT_EQ(a.propagated_cross_rank, b.propagated_cross_rank) << "record " << i;
+  EXPECT_EQ(a.propagated_cross_node, b.propagated_cross_node) << "record " << i;
+  EXPECT_EQ(a.injections, b.injections) << "record " << i;
+  EXPECT_EQ(a.tainted_reads, b.tainted_reads) << "record " << i;
+  EXPECT_EQ(a.tainted_writes, b.tainted_writes) << "record " << i;
+  EXPECT_EQ(a.peak_tainted_bytes, b.peak_tainted_bytes) << "record " << i;
+  EXPECT_EQ(a.tainted_output_bytes, b.tainted_output_bytes) << "record " << i;
+  EXPECT_EQ(a.trigger_nth, b.trigger_nth) << "record " << i;
+  EXPECT_EQ(a.flip_bits, b.flip_bits) << "record " << i;
+  EXPECT_EQ(a.run_seed, b.run_seed) << "record " << i;
+  EXPECT_EQ(a.instructions, b.instructions) << "record " << i;
+}
+
+void ExpectResultEq(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.os_exception, b.os_exception);
+  EXPECT_EQ(a.mpi_error, b.mpi_error);
+  EXPECT_EQ(a.assert_detected, b.assert_detected);
+  EXPECT_EQ(a.other_rank_failed, b.other_rank_failed);
+  EXPECT_EQ(a.propagated_runs, b.propagated_runs);
+  EXPECT_EQ(a.propagated_terminated, b.propagated_terminated);
+  EXPECT_EQ(a.propagated_os_exception, b.propagated_os_exception);
+  EXPECT_EQ(a.propagated_mpi_error, b.propagated_mpi_error);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ExpectRecordEq(a.records[i], b.records[i], i);
+  }
+}
+
+TEST(ParallelCampaign, BitIdenticalToSerialAtAnyWorkerCount) {
+  CampaignConfig config;
+  config.runs = 48;
+  config.seed = 2026;
+  Campaign serial(AccumulatorApp(50), config);
+  const CampaignResult reference = serial.Run();
+
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    ParallelCampaign parallel(AccumulatorApp(50), config, jobs);
+    const CampaignResult result = parallel.Run();
+    SCOPED_TRACE(jobs);
+    ExpectResultEq(reference, result);
+  }
+}
+
+TEST(ParallelCampaign, BitIdenticalToSerialForMpiApp) {
+  // Matvec exercises the whole stack per trial: MPI collectives, the taint
+  // hub, cross-rank propagation, and every termination class.
+  CampaignConfig config;
+  config.runs = 24;
+  config.seed = 123;
+  config.inject_ranks = {0};
+  Campaign serial(apps::BuildMatvec({}), config);
+  const CampaignResult reference = serial.Run();
+
+  for (const unsigned jobs : {2u, 8u}) {
+    ParallelCampaign parallel(apps::BuildMatvec({}), config, jobs);
+    const CampaignResult result = parallel.Run();
+    SCOPED_TRACE(jobs);
+    ExpectResultEq(reference, result);
+  }
+}
+
+TEST(ParallelCampaign, SeedDerivationMatchesSerialForkSequence) {
+  Rng rng(777);
+  const std::vector<std::uint64_t> expected{rng.Fork(), rng.Fork(), rng.Fork()};
+  EXPECT_EQ(Campaign::DeriveTrialSeeds(777, 3), expected);
+}
+
+TEST(ParallelCampaign, JobsZeroPicksAtLeastOneWorker) {
+  ParallelCampaign c(AccumulatorApp(30), {.runs = 0}, 0);
+  EXPECT_GE(c.jobs(), 1u);
+}
+
+TEST(ParallelCampaign, InvalidInjectRankThrowsInConstructor) {
+  CampaignConfig config;
+  config.inject_ranks = {9};
+  EXPECT_THROW(ParallelCampaign(AccumulatorApp(30), config, 2), ConfigError);
+}
+
+TEST(ParallelCampaign, GoldenFailurePropagatesOutOfRun) {
+  // No targeted instructions -> the golden phase must throw, even though
+  // Run() would otherwise fan out to workers.
+  guest::ProgramBuilder b("nofp");
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "nofp";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};
+  ParallelCampaign c(std::move(spec), {.runs = 4}, 2);
+  EXPECT_THROW(c.Run(), ConfigError);
+}
+
+TEST(ParallelCampaign, KeepRecordsOffStillCountsDeterministically) {
+  CampaignConfig config;
+  config.runs = 16;
+  config.seed = 31;
+  config.keep_records = false;
+  Campaign serial(AccumulatorApp(40), config);
+  const CampaignResult reference = serial.Run();
+  ParallelCampaign parallel(AccumulatorApp(40), config, 4);
+  const CampaignResult result = parallel.Run();
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(reference.benign, result.benign);
+  EXPECT_EQ(reference.terminated, result.terminated);
+  EXPECT_EQ(reference.sdc, result.sdc);
+}
+
+// ---- Trial isolation ----------------------------------------------------------
+
+TEST(TrialIsolation, RunOnceUnaffectedByInterveningTrials) {
+  // A trial's record — including the hub-derived propagation flags and the
+  // taint counters — must depend only on its seed, not on what earlier
+  // trials left behind in the hub, the trace logs, or the VMs.
+  CampaignConfig config;
+  config.runs = 0;
+  config.seed = 9;
+  config.inject_ranks = {0};
+  Campaign c(apps::BuildMatvec({}), config);
+  c.RunGolden();
+
+  const RunRecord first = c.RunOnce(4242);
+  for (std::uint64_t s = 100; s < 112; ++s) c.RunOnce(s);  // pollute
+  const RunRecord replay = c.RunOnce(4242);
+  ExpectRecordEq(first, replay, 0);
+}
+
+TEST(TrialIsolation, NoStatBleedAcrossConsecutiveTrials) {
+  // Run trials until one shows cross-rank propagation, then check that the
+  // very next trial does not inherit the hub transfers/stats that produced
+  // the flag (a benign trial after a propagating one must report clean).
+  CampaignConfig config;
+  config.runs = 0;
+  config.seed = 55;
+  config.inject_ranks = {1};
+  Campaign c(apps::BuildClamr(
+                 {.global_rows = 12, .cols = 12, .steps = 8, .ranks = 4}),
+             config);
+  c.RunGolden();
+
+  std::uint64_t propagating_seed = 0;
+  for (std::uint64_t s = 1; s <= 30 && propagating_seed == 0; ++s) {
+    if (c.RunOnce(s).propagated_cross_rank) propagating_seed = s;
+  }
+  ASSERT_NE(propagating_seed, 0u) << "no propagating trial in 30 seeds";
+
+  // Snapshot the hub stats the propagating trial produced, pollute the
+  // engine with other trials, replay: identical stats prove nothing
+  // accumulated across the intervening jobs.
+  (void)c.RunOnce(propagating_seed);
+  const hub::HubStats snapshot = c.chaser().hub().stats();
+  const std::size_t transfers = c.chaser().hub().transfers().size();
+  EXPECT_GT(snapshot.publishes, 0u);
+  for (std::uint64_t s = 200; s < 210; ++s) c.RunOnce(s);  // pollute
+  (void)c.RunOnce(propagating_seed);
+  EXPECT_EQ(c.chaser().hub().stats().publishes, snapshot.publishes);
+  EXPECT_EQ(c.chaser().hub().stats().polls, snapshot.polls);
+  EXPECT_EQ(c.chaser().hub().stats().hits, snapshot.hits);
+  EXPECT_EQ(c.chaser().hub().stats().applied_bytes, snapshot.applied_bytes);
+  EXPECT_EQ(c.chaser().hub().transfers().size(), transfers);
+}
+
+}  // namespace
+}  // namespace chaser::campaign

@@ -4,11 +4,15 @@
 //
 //   chaser_run --app clamr --runs 500 --seed 7 --out /tmp/clamr.csv
 //   chaser_run --app matvec --runs 1000 --inject-ranks 0 --no-trace
-//   chaser_run --app lud --runs 200 --bits 1-3
+//   chaser_run --app lud --runs 200 --bits 1-3 --jobs 4
 //
 // Runs the campaign (golden run + N injection trials), prints the outcome
 // distribution and termination breakdown, and optionally writes the per-run
 // records to CSV for offline analysis (see campaign/report.h).
+//
+// Trials are seed-independent, so they fan out across a worker pool
+// (campaign/parallel.h); the result is bit-identical to the serial engine
+// for the same seed no matter the --jobs value.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,6 +21,7 @@
 
 #include "apps/app.h"
 #include "campaign/campaign.h"
+#include "campaign/parallel.h"
 #include "campaign/report.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -34,6 +39,8 @@ void Usage() {
       "  --seed N            campaign seed (default 1)\n"
       "  --bits LO-HI        random bit-flip width range (default 1-2)\n"
       "  --inject-ranks A,B  ranks to inject into (default: 0, or all for clamr)\n"
+      "  --jobs N            worker threads (default: all hardware threads;\n"
+      "                      1 = serial engine; results are seed-identical)\n"
       "  --no-trace          disable fault-propagation tracing\n"
       "  --out FILE          write per-run records as CSV\n"
       "  --help              this text\n");
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
   config.seed = 1;
   std::string out_path;
   bool inject_ranks_given = false;
+  std::uint64_t jobs = 0;  // 0 = hardware concurrency
+  bool jobs_given = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +104,9 @@ int main(int argc, char** argv) {
           config.inject_ranks.insert(static_cast<Rank>(v));
         }
         inject_ranks_given = true;
+      } else if (a == "--jobs") {
+        jobs = ArgNum(argc, argv, i, "--jobs");
+        jobs_given = true;
       } else if (a == "--no-trace") {
         config.trace = false;
       } else if (a == "--out") {
@@ -123,18 +135,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(config.seed), config.flip_bits_min,
                 config.flip_bits_max, spec.num_ranks, config.trace ? "on" : "off");
 
-    campaign::Campaign c(std::move(spec), config);
-    c.RunGolden();
-    std::printf("golden run: %llu instructions, targeted executions per rank:",
-                static_cast<unsigned long long>(c.golden_instructions()));
-    for (const Rank r : config.inject_ranks.empty() ? std::set<Rank>{0}
-                                                    : config.inject_ranks) {
-      std::printf(" r%d=%llu", r,
-                  static_cast<unsigned long long>(c.golden_targeted_execs(r)));
-    }
-    std::printf("\n\n");
+    const auto print_golden = [](std::uint64_t instructions,
+                                 const std::set<Rank>& ranks,
+                                 auto&& execs_of) {
+      std::printf("golden run: %llu instructions, targeted executions per rank:",
+                  static_cast<unsigned long long>(instructions));
+      for (const Rank r : ranks) {
+        std::printf(" r%d=%llu", r,
+                    static_cast<unsigned long long>(execs_of(r)));
+      }
+      std::printf("\n\n");
+    };
 
-    const campaign::CampaignResult result = c.Run();
+    campaign::CampaignResult result;
+    if (jobs_given && jobs == 1) {
+      campaign::Campaign c(std::move(spec), config);
+      c.RunGolden();
+      print_golden(c.golden_instructions(), c.inject_ranks(),
+                   [&](Rank r) { return c.golden_targeted_execs(r); });
+      std::printf("engine: serial\n");
+      result = c.Run();
+    } else {
+      campaign::ParallelCampaign c(std::move(spec), config,
+                                   static_cast<unsigned>(jobs));
+      c.RunGolden();
+      print_golden(c.golden_instructions(), c.inject_ranks(),
+                   [&](Rank r) { return c.golden_targeted_execs(r); });
+      std::printf("engine: parallel, %u workers\n", c.jobs());
+      result = c.Run();
+    }
     std::printf("%s", result.Render(app_name).c_str());
 
     if (config.trace) {
