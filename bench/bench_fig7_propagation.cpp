@@ -1,0 +1,199 @@
+// Fig. 7 / Fig. 8 — propagation analysis from a full trace spool.
+//
+// The original bench_fig7_tainted_bytes samples the in-memory taint
+// timeline; this bench reproduces the same curves from the *spooled* trace
+// (no event cap), exercising the offline pipeline end to end: campaign with
+// CampaignConfig::spool_dir -> TraceSpool on disk -> ReadTrialSpool ->
+// PropagationGraph. It checks the paper's two shapes:
+//
+//   Fig. 7  the tainted-byte count climbs after the injection and plateaus
+//           (the fault only ever touches a bounded region of memory);
+//   Fig. 8  the fault spreads across ranks in the order of the hub's
+//           transfer log (injection rank first).
+//
+// Determinism: the whole scout-spool-analyze pass runs twice with the same
+// seed into two directories, and every spooled segment must be
+// byte-identical — the disk format inherits the engine's reproducibility.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/propagation.h"
+#include "analysis/spool.h"
+#include "apps/app.h"
+#include "bench_util.h"
+#include "campaign/campaign.h"
+
+namespace {
+
+using namespace chaser;
+namespace fs = std::filesystem;
+
+struct PassResult {
+  std::uint64_t case_seed = 0;
+  std::string trial_dir;
+  analysis::TrialSpool spool;
+};
+
+PassResult RunPass(const std::string& spool_dir, std::uint64_t runs) {
+  fs::remove_all(spool_dir);
+
+  apps::ClamrParams params{};
+  params.steps = 60;
+  campaign::CampaignConfig config;
+  config.runs = runs;
+  config.seed = 777;
+  config.inject_ranks = {0, 1, 2, 3};
+  config.spool_dir = spool_dir;
+  // Sample densely enough that short runs still draw a curve.
+  config.chaser_options.taint_sample_interval = 50'000;
+
+  campaign::Campaign scout(apps::BuildClamr(params), config);
+  const campaign::CampaignResult result = scout.Run();
+
+  // Pick the case with the most propagation activity, preferring runs whose
+  // fault crossed ranks (Fig. 8 needs at least one transfer).
+  const campaign::RunRecord* top = nullptr;
+  for (const campaign::RunRecord& rec : result.records) {
+    if (top == nullptr ||
+        std::make_tuple(rec.propagated_cross_rank, rec.tainted_writes) >
+            std::make_tuple(top->propagated_cross_rank, top->tainted_writes)) {
+      top = &rec;
+    }
+  }
+
+  PassResult pass;
+  pass.case_seed = top->run_seed;
+  pass.trial_dir = spool_dir + "/trial-" + std::to_string(top->run_seed);
+  pass.spool = analysis::ReadTrialSpool(pass.trial_dir);
+  return pass;
+}
+
+/// Byte-compare every regular file under two directories (same relative
+/// names, same contents).
+bool DirsIdentical(const std::string& a, const std::string& b) {
+  std::map<std::string, std::string> files_a, files_b;
+  const auto slurp = [](const std::string& root,
+                        std::map<std::string, std::string>* out) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      (*out)[fs::relative(entry.path(), root).string()] = std::move(bytes);
+    }
+  };
+  slurp(a, &files_a);
+  slurp(b, &files_b);
+  return files_a == files_b;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 7/8: propagation analysis from the trace spool (CLAMR)",
+      "paper Figs. 7 & 8 via the offline spool pipeline");
+
+  const std::uint64_t runs = bench::RunsFromEnv(12);
+  const PassResult pass = RunPass("/tmp/chaser_bench_spool_a", runs);
+  std::printf("selected case seed %llu (%s)\n",
+              static_cast<unsigned long long>(pass.case_seed),
+              pass.trial_dir.c_str());
+  for (const auto& [k, v] : pass.spool.meta) {
+    std::printf("  %s=%s\n", k.c_str(), v.c_str());
+  }
+
+  const analysis::PropagationGraph graph = analysis::PropagationGraph::Build(
+      analysis::DatasetFromSpool(pass.spool));
+
+  // ---- Fig. 7: tainted bytes vs executed instructions ----------------------
+  const std::map<std::uint64_t, std::uint64_t> timeline = graph.TaintTimeline();
+  std::uint64_t peak = 1;
+  for (const auto& [instret, bytes] : timeline) peak = std::max(peak, bytes);
+  std::printf("\n%-18s %-14s\n", "instructions", "tainted bytes");
+  bool seen_taint = false;
+  std::uint64_t zeros_skipped = 0;
+  for (const auto& [instret, bytes] : timeline) {
+    if (!seen_taint && bytes == 0) {
+      ++zeros_skipped;
+      continue;
+    }
+    seen_taint = true;
+    const int bar = static_cast<int>(50 * bytes / peak);
+    std::printf("%-18llu %-14llu %s\n",
+                static_cast<unsigned long long>(instret),
+                static_cast<unsigned long long>(bytes),
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  if (zeros_skipped > 0) {
+    std::printf("(%llu pre-injection zero samples omitted)\n",
+                static_cast<unsigned long long>(zeros_skipped));
+  }
+
+  // Shape check: the curve climbs from zero to its peak and the tail stays
+  // within the fluctuation band of the plateau (paper: the fault affects a
+  // bounded region, with dips as tainted bytes are overwritten).
+  std::uint64_t final_bytes = 0;
+  for (const auto& [instret, bytes] : timeline) final_bytes = bytes;
+  const bool plateaued = peak > 0 && final_bytes * 2 >= peak;
+  std::printf("shape: peak %llu bytes, final %llu bytes -> %s\n",
+              static_cast<unsigned long long>(peak),
+              static_cast<unsigned long long>(final_bytes),
+              plateaued ? "climb-then-plateau OK"
+                        : "tail decayed below half of peak");
+
+  // ---- Fig. 8: rank spread order vs the hub transfer log -------------------
+  const std::vector<Rank> order = graph.SpreadOrder();
+  std::printf("\nspread order:");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::printf("%s %d", i == 0 ? "" : " ->", order[i]);
+  }
+  std::printf("\n");
+  constexpr std::size_t kMaxShown = 12;
+  for (std::size_t i = 0;
+       i < std::min(pass.spool.transfers.size(), kMaxShown); ++i) {
+    const hub::TransferLogEntry& t = pass.spool.transfers[i];
+    std::printf("  transfer[%llu]: rank %d -> %d tag %lld (%llu/%llu tainted)\n",
+                static_cast<unsigned long long>(t.hub_seq), t.id.src, t.id.dest,
+                static_cast<long long>(t.id.tag),
+                static_cast<unsigned long long>(t.tainted_bytes),
+                static_cast<unsigned long long>(t.payload_bytes));
+  }
+  if (pass.spool.transfers.size() > kMaxShown) {
+    std::printf("  ... %zu more transfers\n",
+                pass.spool.transfers.size() - kMaxShown);
+  }
+  // Consistency: every rank past the injection site must have an inbound
+  // transfer, and sources must already be contaminated when they send.
+  std::set<Rank> contaminated;
+  for (const core::TraceEvent& e : pass.spool.events) {
+    if (e.kind == core::TraceEventKind::kInjection) contaminated.insert(e.rank);
+  }
+  bool consistent = true;
+  for (const hub::TransferLogEntry& t : pass.spool.transfers) {
+    if (contaminated.count(t.id.src) == 0) consistent = false;
+    contaminated.insert(t.id.dest);
+  }
+  for (const Rank r : order) {
+    if (contaminated.count(r) == 0) consistent = false;
+  }
+  std::printf("spread order consistent with transfer log: %s\n",
+              consistent ? "yes" : "NO");
+
+  // ---- Determinism: same seed -> byte-identical spool ----------------------
+  const PassResult pass_b = RunPass("/tmp/chaser_bench_spool_b", runs);
+  const bool same_case = pass_b.case_seed == pass.case_seed;
+  const bool identical =
+      same_case && DirsIdentical(pass.trial_dir, pass_b.trial_dir);
+  std::printf("\nrerun at the same seed: case %s, spool bytes %s\n",
+              same_case ? "identical" : "DIFFERS",
+              identical ? "identical" : "DIFFER");
+
+  return (plateaued && consistent && identical) ? 0 : 1;
+}

@@ -1,13 +1,18 @@
 // Offline post-analysis workflow (how Figs. 7-9 are produced): run a traced
 // campaign, export the per-run records and one case's propagation log to
-// CSV, then load the CSV back and compute the distribution statistics.
+// CSV, load the CSV back and compute the distribution statistics — then
+// replay the most active case into a trace spool and build the propagation
+// graph from it (the chaser_analyze pipeline, in-process).
 //
 //   $ ./examples/post_analysis [runs]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/propagation.h"
+#include "analysis/spool.h"
 #include "apps/app.h"
 #include "campaign/campaign.h"
 #include "campaign/report.h"
@@ -77,5 +82,35 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.max_tainted_writes),
       stats.pct_more_reads_than_writes, stats.pct_only_reads,
       stats.pct_only_writes);
+
+  // 5. Spool pipeline: replay the top case with a trace spool attached and
+  //    build the propagation graph offline (what chaser_analyze does from
+  //    the command line).
+  if (top != nullptr && top->tainted_writes > 0) {
+    const char* spool_root = "/tmp/chaser_spool_example";
+    std::filesystem::remove_all(spool_root);
+    campaign::CampaignConfig spool_config = config;
+    spool_config.runs = 0;
+    spool_config.spool_dir = spool_root;
+    spool_config.chaser_options.taint_sample_interval = 50'000;
+    campaign::Campaign replayer(
+        apps::BuildClamr({.global_rows = 16, .cols = 16, .steps = 15, .ranks = 4}),
+        spool_config);
+    replayer.RunOnce(top->run_seed);
+
+    const std::string trial_dir =
+        std::string(spool_root) + "/trial-" + std::to_string(top->run_seed);
+    const analysis::TrialSpool spool = analysis::ReadTrialSpool(trial_dir);
+    const analysis::PropagationGraph graph =
+        analysis::PropagationGraph::Build(analysis::DatasetFromSpool(spool));
+    std::printf("\nspooled replay -> %s\n%s", trial_dir.c_str(),
+                graph.Summarize().c_str());
+    const auto outputs = graph.OutputEvents();
+    if (!outputs.empty()) {
+      const auto chain = graph.RootCause(outputs[0].rank, outputs[0].fd,
+                                         outputs[0].stream_off);
+      std::printf("%s", chain.Render().c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,630 @@
+#include "analysis/propagation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/spool.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "guest/isa.h"
+
+namespace chaser::analysis {
+
+namespace {
+
+/// [lo1, hi1) and [lo2, hi2) overlap, with `gap` bytes of slack.
+bool RangesNear(GuestAddr lo1, GuestAddr hi1, GuestAddr lo2, GuestAddr hi2,
+                GuestAddr gap) {
+  return lo1 < hi2 + gap && lo2 < hi1 + gap;
+}
+
+GuestAddr EventLo(const core::TraceEvent& e) { return e.vaddr; }
+GuestAddr EventHi(const core::TraceEvent& e) {
+  return e.vaddr + std::max<std::uint32_t>(e.size, 1);
+}
+
+bool IsMemEvent(const core::TraceEvent& e) {
+  return e.kind == core::TraceEventKind::kTaintedRead ||
+         e.kind == core::TraceEventKind::kTaintedWrite;
+}
+
+}  // namespace
+
+TraceDataset DatasetFromSpool(const TrialSpool& spool) {
+  return TraceDataset{spool.events, spool.samples, spool.transfers};
+}
+
+std::string GraphNode::Label() const {
+  switch (kind) {
+    case NodeKind::kInjection:
+      return StrFormat("INJECT rank %d\\n@%llu eip=%s", rank,
+                       static_cast<unsigned long long>(first_instret),
+                       Hex64(guest::PcToAddr(addr_lo)).c_str());
+    case NodeKind::kOutput:
+      return StrFormat("OUTPUT rank %d fd %d\\n%llu corrupted bytes", rank, fd,
+                       static_cast<unsigned long long>(bytes));
+    case NodeKind::kEpisode:
+      return StrFormat("rank %d\\n%s..%s\\n@%llu..%llu (%lluR/%lluW)", rank,
+                       Hex64(addr_lo).c_str(), Hex64(addr_hi).c_str(),
+                       static_cast<unsigned long long>(first_instret),
+                       static_cast<unsigned long long>(last_instret),
+                       static_cast<unsigned long long>(reads),
+                       static_cast<unsigned long long>(writes));
+  }
+  return "?";
+}
+
+std::string ChainStep::Describe() const {
+  switch (what) {
+    case What::kInjection:
+      return StrFormat("INJECT   rank %d @instret %llu eip=%s flip-mask=%s",
+                       event.rank, static_cast<unsigned long long>(event.instret),
+                       Hex64(guest::PcToAddr(event.pc)).c_str(),
+                       Hex64(event.taint).c_str());
+    case What::kWrite:
+      return StrFormat("T-WRITE  rank %d @instret %llu vaddr=%s size=%u value=%s",
+                       event.rank, static_cast<unsigned long long>(event.instret),
+                       Hex64(event.vaddr).c_str(), event.size,
+                       Hex64(event.value).c_str());
+    case What::kRead:
+      return StrFormat("T-READ   rank %d @instret %llu vaddr=%s size=%u value=%s",
+                       event.rank, static_cast<unsigned long long>(event.instret),
+                       Hex64(event.vaddr).c_str(), event.size,
+                       Hex64(event.value).c_str());
+    case What::kTransfer:
+      return StrFormat(
+          "TRANSFER rank %d -> rank %d tag %lld (%llu/%llu tainted bytes, "
+          "hub seq %llu)",
+          transfer.id.src, transfer.id.dest,
+          static_cast<long long>(transfer.id.tag),
+          static_cast<unsigned long long>(transfer.tainted_bytes),
+          static_cast<unsigned long long>(transfer.payload_bytes),
+          static_cast<unsigned long long>(transfer.hub_seq));
+    case What::kOutput:
+      return StrFormat("OUTPUT   rank %d fd %d offset %llu byte=0x%02llx "
+                       "(corrupted output byte)",
+                       event.rank, event.fd,
+                       static_cast<unsigned long long>(event.stream_off),
+                       static_cast<unsigned long long>(event.value));
+  }
+  return "?";
+}
+
+std::string RootCauseChain::Render() const {
+  std::string out = StrFormat(
+      "root cause chain: %zu steps, %zu MPI transfer(s) crossed, %s\n",
+      steps.size(), transfers_crossed,
+      complete ? "complete (reached the injection)" : "INCOMPLETE");
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out += StrFormat("  %2zu. %s\n", i + 1, steps[i].Describe().c_str());
+  }
+  return out;
+}
+
+int PropagationGraph::AddNode(GraphNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  return node.id;
+}
+
+void PropagationGraph::AddEdge(int from, int to, EdgeKind kind,
+                               std::uint64_t bytes) {
+  if (from < 0 || to < 0 || from == to) return;
+  for (GraphEdge& e : edges_) {
+    if (e.from == from && e.to == to && e.kind == kind) {
+      e.bytes += bytes;
+      return;
+    }
+  }
+  edges_.push_back({from, to, kind, bytes});
+}
+
+PropagationGraph PropagationGraph::Build(TraceDataset dataset,
+                                         GraphOptions options) {
+  PropagationGraph g;
+  g.data_ = std::move(dataset);
+  g.options_ = options;
+  std::sort(g.data_.transfers.begin(), g.data_.transfers.end(),
+            [](const hub::TransferLogEntry& a, const hub::TransferLogEntry& b) {
+              return a.hub_seq < b.hub_seq;
+            });
+
+  const std::vector<core::TraceEvent>& events = g.data_.events;
+  g.event_node_.assign(events.size(), -1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    g.rank_events_[events[i].rank].push_back(i);
+  }
+  for (auto& [rank, bucket] : g.rank_events_) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return events[a].instret < events[b].instret;
+                     });
+  }
+
+  // Pass 1: node construction (injections, episodes, output streams).
+  std::map<Rank, std::vector<int>> rank_episodes;
+  std::map<Rank, int> rank_injection;  // first injection node per rank
+  std::map<std::pair<Rank, int>, int> output_nodes;
+  for (const auto& [rank, bucket] : g.rank_events_) {
+    for (const std::size_t idx : bucket) {
+      const core::TraceEvent& e = events[idx];
+      switch (e.kind) {
+        case core::TraceEventKind::kInjection: {
+          const int id = g.AddNode({.kind = NodeKind::kInjection, .rank = rank,
+                                    .addr_lo = e.pc, .addr_hi = e.pc,
+                                    .first_instret = e.instret,
+                                    .last_instret = e.instret});
+          rank_injection.emplace(rank, id);  // keep the first
+          g.event_node_[idx] = id;
+          break;
+        }
+        case core::TraceEventKind::kTaintedRead:
+        case core::TraceEventKind::kTaintedWrite: {
+          int found = -1;
+          for (const int nid : rank_episodes[rank]) {
+            GraphNode& n = g.nodes_[static_cast<std::size_t>(nid)];
+            if (RangesNear(EventLo(e), EventHi(e), n.addr_lo, n.addr_hi,
+                           options.addr_gap) &&
+                e.instret - n.last_instret <= options.time_gap) {
+              found = nid;
+              break;
+            }
+          }
+          if (found < 0) {
+            found = g.AddNode({.kind = NodeKind::kEpisode, .rank = rank,
+                               .addr_lo = EventLo(e), .addr_hi = EventHi(e),
+                               .first_instret = e.instret,
+                               .last_instret = e.instret});
+            rank_episodes[rank].push_back(found);
+          }
+          GraphNode& n = g.nodes_[static_cast<std::size_t>(found)];
+          n.addr_lo = std::min(n.addr_lo, EventLo(e));
+          n.addr_hi = std::max(n.addr_hi, EventHi(e));
+          n.last_instret = std::max(n.last_instret, e.instret);
+          if (e.kind == core::TraceEventKind::kTaintedRead) ++n.reads;
+          else ++n.writes;
+          g.event_node_[idx] = found;
+          break;
+        }
+        case core::TraceEventKind::kTaintedOutput: {
+          const auto key = std::make_pair(rank, e.fd);
+          auto it = output_nodes.find(key);
+          if (it == output_nodes.end()) {
+            const int id = g.AddNode({.kind = NodeKind::kOutput, .rank = rank,
+                                      .first_instret = e.instret,
+                                      .last_instret = e.instret, .fd = e.fd});
+            it = output_nodes.emplace(key, id).first;
+          }
+          GraphNode& n = g.nodes_[static_cast<std::size_t>(it->second)];
+          n.last_instret = std::max(n.last_instret, e.instret);
+          ++n.bytes;
+          g.event_node_[idx] = it->second;
+          break;
+        }
+        case core::TraceEventKind::kInstruction:
+          break;  // ablation-mode noise; not part of the graph
+      }
+    }
+  }
+
+  // Pass 2: intra-rank dataflow edges. A tainted write is fed by the most
+  // recent tainted read on its rank; the first write with no prior read is
+  // fed by the rank's injection (the fault is still register-resident).
+  for (const auto& [rank, bucket] : g.rank_events_) {
+    int last_read_node = -1;
+    for (const std::size_t idx : bucket) {
+      const core::TraceEvent& e = events[idx];
+      if (e.kind == core::TraceEventKind::kTaintedRead) {
+        last_read_node = g.event_node_[idx];
+      } else if (e.kind == core::TraceEventKind::kTaintedWrite) {
+        if (last_read_node >= 0) {
+          g.AddEdge(last_read_node, g.event_node_[idx], EdgeKind::kFlow, e.size);
+        } else {
+          const auto inj = rank_injection.find(rank);
+          if (inj != rank_injection.end()) {
+            g.AddEdge(inj->second, g.event_node_[idx], EdgeKind::kFlow, e.size);
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: cross-rank transfer edges, anchored on the hub's buffer
+  // addresses. Missing anchors fall back to the nearest episode in time; a
+  // receiver that never touched the landed taint still gets a landing node
+  // so the spread stays visible in the graph.
+  for (const hub::TransferLogEntry& t : g.data_.transfers) {
+    const GuestAddr src_lo = t.src_vaddr;
+    const GuestAddr src_hi = t.src_vaddr + std::max<std::uint64_t>(t.payload_bytes, 1);
+    const GuestAddr dst_lo = t.dest_vaddr;
+    const GuestAddr dst_hi = t.dest_vaddr + std::max<std::uint64_t>(t.payload_bytes, 1);
+
+    int from = -1;
+    int from_fallback = -1;
+    if (const auto it = g.rank_events_.find(t.id.src); it != g.rank_events_.end()) {
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        const core::TraceEvent& e = events[*rit];
+        if (e.instret > t.send_instret || g.event_node_[*rit] < 0) continue;
+        if (IsMemEvent(e) && from_fallback < 0) from_fallback = g.event_node_[*rit];
+        if (IsMemEvent(e) &&
+            RangesNear(EventLo(e), EventHi(e), src_lo, src_hi, options.addr_gap)) {
+          from = g.event_node_[*rit];
+          break;
+        }
+      }
+    }
+    if (from < 0) from = from_fallback;
+    if (from < 0) {
+      const auto inj = rank_injection.find(t.id.src);
+      if (inj != rank_injection.end()) from = inj->second;
+    }
+
+    int to = -1;
+    if (const auto it = g.rank_events_.find(t.id.dest); it != g.rank_events_.end()) {
+      for (const std::size_t idx : it->second) {
+        const core::TraceEvent& e = events[idx];
+        if (e.instret < t.recv_instret || g.event_node_[idx] < 0) continue;
+        if (IsMemEvent(e) &&
+            RangesNear(EventLo(e), EventHi(e), dst_lo, dst_hi, options.addr_gap)) {
+          to = g.event_node_[idx];
+          break;
+        }
+      }
+    }
+    if (to < 0) {
+      // Landing episode: the transfer re-applied taint here even if the
+      // receiver never touched it afterwards.
+      to = g.AddNode({.kind = NodeKind::kEpisode, .rank = t.id.dest,
+                      .addr_lo = dst_lo, .addr_hi = dst_hi,
+                      .first_instret = t.recv_instret,
+                      .last_instret = t.recv_instret});
+      rank_episodes[t.id.dest].push_back(to);
+    }
+    if (from >= 0) g.AddEdge(from, to, EdgeKind::kTransfer, t.tainted_bytes);
+  }
+
+  // Pass 4: output edges — the write episode covering each corrupted output
+  // byte's source address feeds that output stream.
+  for (const auto& [rank, bucket] : g.rank_events_) {
+    for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
+      const core::TraceEvent& e = events[bucket[bi]];
+      if (e.kind != core::TraceEventKind::kTaintedOutput) continue;
+      int from = -1;
+      for (std::size_t j = bi; j-- > 0;) {
+        const core::TraceEvent& w = events[bucket[j]];
+        if (w.kind == core::TraceEventKind::kTaintedWrite &&
+            w.vaddr <= e.vaddr && e.vaddr < EventHi(w)) {
+          from = g.event_node_[bucket[j]];
+          break;
+        }
+      }
+      if (from < 0) {
+        // No local write produced the byte: it landed via an MPI transfer.
+        for (auto rit = g.data_.transfers.rbegin();
+             rit != g.data_.transfers.rend(); ++rit) {
+          if (rit->id.dest == rank && rit->recv_instret <= e.instret &&
+              rit->dest_vaddr <= e.vaddr &&
+              e.vaddr < rit->dest_vaddr + rit->payload_bytes) {
+            for (const int nid : rank_episodes[rank]) {
+              const GraphNode& n = g.nodes_[static_cast<std::size_t>(nid)];
+              if (n.addr_lo <= e.vaddr && e.vaddr < n.addr_hi) {
+                from = nid;
+                break;
+              }
+            }
+            break;
+          }
+        }
+      }
+      if (from < 0) {
+        const auto inj = rank_injection.find(rank);
+        if (inj != rank_injection.end()) from = inj->second;
+      }
+      if (from >= 0) g.AddEdge(from, g.event_node_[bucket[bi]], EdgeKind::kOutput, 1);
+    }
+  }
+  return g;
+}
+
+std::map<Rank, std::uint64_t> PropagationGraph::FirstContamination() const {
+  std::map<Rank, std::uint64_t> first;
+  const auto note = [&](Rank r, std::uint64_t instret) {
+    const auto it = first.find(r);
+    if (it == first.end() || instret < it->second) first[r] = instret;
+  };
+  for (const core::TraceEvent& e : data_.events) {
+    if (e.kind == core::TraceEventKind::kInstruction) continue;
+    note(e.rank, e.instret);
+  }
+  for (const hub::TransferLogEntry& t : data_.transfers) {
+    note(t.id.dest, t.recv_instret);
+  }
+  return first;
+}
+
+std::map<std::uint64_t, std::uint64_t> PropagationGraph::TaintTimeline() const {
+  std::map<std::uint64_t, std::uint64_t> timeline;
+  for (const core::TaintSample& s : data_.samples) {
+    timeline[s.instret] += s.tainted_bytes;
+  }
+  return timeline;
+}
+
+std::vector<Rank> PropagationGraph::SpreadOrder() const {
+  std::vector<Rank> order;
+  std::set<Rank> seen;
+  const auto add = [&](Rank r) {
+    if (seen.insert(r).second) order.push_back(r);
+  };
+  for (const core::TraceEvent& e : data_.events) {
+    if (e.kind == core::TraceEventKind::kInjection) add(e.rank);
+  }
+  for (const hub::TransferLogEntry& t : data_.transfers) {
+    add(t.id.src);  // a tainted sender is contaminated by definition
+    add(t.id.dest);
+  }
+  return order;
+}
+
+std::vector<core::TraceEvent> PropagationGraph::OutputEvents() const {
+  std::vector<core::TraceEvent> out;
+  for (const core::TraceEvent& e : data_.events) {
+    if (e.kind == core::TraceEventKind::kTaintedOutput) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::TraceEvent& a, const core::TraceEvent& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.fd != b.fd) return a.fd < b.fd;
+                     return a.stream_off < b.stream_off;
+                   });
+  return out;
+}
+
+RootCauseChain PropagationGraph::RootCause(Rank rank, int fd,
+                                           std::uint64_t offset) const {
+  const std::vector<core::TraceEvent>& events = data_.events;
+  const auto bucket_it = rank_events_.find(rank);
+  std::size_t target_pos = static_cast<std::size_t>(-1);
+  if (bucket_it != rank_events_.end()) {
+    for (std::size_t bi = 0; bi < bucket_it->second.size(); ++bi) {
+      const core::TraceEvent& e = events[bucket_it->second[bi]];
+      if (e.kind == core::TraceEventKind::kTaintedOutput && e.fd == fd &&
+          e.stream_off == offset) {
+        target_pos = bi;
+        break;
+      }
+    }
+  }
+  if (target_pos == static_cast<std::size_t>(-1)) {
+    throw ConfigError(StrFormat(
+        "RootCause: no tainted output byte at rank %d fd %d offset %llu",
+        rank, fd, static_cast<unsigned long long>(offset)));
+  }
+
+  RootCauseChain chain;
+  // Collected output-first; reversed into causal order at the end.
+  std::vector<ChainStep> rev;
+  std::set<std::size_t> visited_events;
+  std::set<std::uint64_t> visited_transfers;
+
+  Rank cur_rank = rank;
+  const core::TraceEvent& target = events[bucket_it->second[target_pos]];
+  rev.push_back({.what = ChainStep::What::kOutput, .event = target});
+  GuestAddr addr = target.vaddr;
+  std::uint64_t time = target.instret;
+  std::size_t pos = target_pos;  // walk strictly below this bucket position
+
+  const std::size_t max_steps = events.size() + data_.transfers.size() + 2;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const auto& bucket = rank_events_.at(cur_rank);
+
+    // Candidate 1: the most recent tainted write covering `addr`.
+    std::size_t write_bi = static_cast<std::size_t>(-1);
+    for (std::size_t j = pos; j-- > 0;) {
+      const core::TraceEvent& e = events[bucket[j]];
+      if (e.instret > time || visited_events.count(bucket[j])) continue;
+      if (e.kind == core::TraceEventKind::kTaintedWrite && e.vaddr <= addr &&
+          addr < EventHi(e)) {
+        write_bi = j;
+        break;
+      }
+    }
+
+    // Candidate 2: the most recent inbound MPI transfer that landed taint on
+    // `addr` (taint application leaves no write event — only the hub log).
+    const hub::TransferLogEntry* transfer = nullptr;
+    for (auto rit = data_.transfers.rbegin(); rit != data_.transfers.rend();
+         ++rit) {
+      if (rit->id.dest != cur_rank || rit->recv_instret > time ||
+          visited_transfers.count(rit->hub_seq)) {
+        continue;
+      }
+      if (rit->dest_vaddr <= addr &&
+          addr < rit->dest_vaddr + rit->payload_bytes) {
+        transfer = &*rit;
+        break;
+      }
+    }
+
+    const bool use_write =
+        write_bi != static_cast<std::size_t>(-1) &&
+        (transfer == nullptr ||
+         events[bucket[write_bi]].instret >= transfer->recv_instret);
+
+    if (use_write) {
+      const std::size_t w_idx = bucket[write_bi];
+      const core::TraceEvent& w = events[w_idx];
+      visited_events.insert(w_idx);
+      rev.push_back({.what = ChainStep::What::kWrite, .event = w});
+      // The written value travelled through registers from the most recent
+      // tainted read — or straight from the injection if none happened yet.
+      std::size_t read_bi = static_cast<std::size_t>(-1);
+      for (std::size_t j = write_bi; j-- > 0;) {
+        const core::TraceEvent& e = events[bucket[j]];
+        if (visited_events.count(bucket[j])) continue;
+        if (e.kind == core::TraceEventKind::kTaintedRead &&
+            e.instret <= w.instret) {
+          read_bi = j;
+          break;
+        }
+      }
+      if (read_bi == static_cast<std::size_t>(-1)) {
+        for (std::size_t j = write_bi; j-- > 0;) {
+          const core::TraceEvent& e = events[bucket[j]];
+          if (e.kind == core::TraceEventKind::kInjection &&
+              e.instret <= w.instret) {
+            rev.push_back({.what = ChainStep::What::kInjection, .event = e});
+            chain.complete = true;
+            break;
+          }
+        }
+        break;
+      }
+      const std::size_t r_idx = bucket[read_bi];
+      const core::TraceEvent& r = events[r_idx];
+      visited_events.insert(r_idx);
+      rev.push_back({.what = ChainStep::What::kRead, .event = r});
+      addr = r.vaddr;
+      time = r.instret;
+      pos = read_bi;
+      continue;
+    }
+
+    if (transfer != nullptr) {
+      visited_transfers.insert(transfer->hub_seq);
+      rev.push_back({.what = ChainStep::What::kTransfer, .transfer = *transfer});
+      ++chain.transfers_crossed;
+      addr = transfer->src_vaddr + (addr - transfer->dest_vaddr);
+      time = transfer->send_instret;
+      cur_rank = transfer->id.src;
+      const auto it = rank_events_.find(cur_rank);
+      if (it == rank_events_.end()) break;  // sender left no events
+      // Resume below the first sender event after the send.
+      const auto& sb = it->second;
+      pos = sb.size();
+      while (pos > 0 && events[sb[pos - 1]].instret > time) --pos;
+      continue;
+    }
+
+    // No covering write or transfer: a direct memory injection (or the
+    // register fault's very first materialisation) ends the walk here.
+    bool found_injection = false;
+    for (std::size_t j = pos; j-- > 0;) {
+      const core::TraceEvent& e = events[bucket[j]];
+      if (e.kind == core::TraceEventKind::kInjection && e.instret <= time) {
+        rev.push_back({.what = ChainStep::What::kInjection, .event = e});
+        chain.complete = true;
+        found_injection = true;
+        break;
+      }
+    }
+    (void)found_injection;
+    break;
+  }
+
+  std::reverse(rev.begin(), rev.end());
+  chain.steps = std::move(rev);
+  return chain;
+}
+
+std::string PropagationGraph::ToDot() const {
+  std::string out = "digraph propagation {\n  rankdir=LR;\n"
+                    "  node [shape=box, fontsize=10];\n";
+  for (const GraphNode& n : nodes_) {
+    const char* style = "";
+    switch (n.kind) {
+      case NodeKind::kInjection:
+        style = ", shape=octagon, style=filled, fillcolor=salmon";
+        break;
+      case NodeKind::kOutput:
+        style = ", shape=note, style=filled, fillcolor=lightblue";
+        break;
+      case NodeKind::kEpisode:
+        break;
+    }
+    out += StrFormat("  n%d [label=\"%s\"%s];\n", n.id, n.Label().c_str(), style);
+  }
+  for (const GraphEdge& e : edges_) {
+    const char* attr = "";
+    std::string label;
+    switch (e.kind) {
+      case EdgeKind::kFlow:
+        label = StrFormat("%llu B", static_cast<unsigned long long>(e.bytes));
+        break;
+      case EdgeKind::kTransfer:
+        attr = ", color=red, penwidth=2";
+        label = StrFormat("mpi %llu B", static_cast<unsigned long long>(e.bytes));
+        break;
+      case EdgeKind::kOutput:
+        attr = ", color=blue";
+        label = StrFormat("%llu B", static_cast<unsigned long long>(e.bytes));
+        break;
+    }
+    out += StrFormat("  n%d -> n%d [label=\"%s\"%s];\n", e.from, e.to,
+                     label.c_str(), attr);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PropagationGraph::Summarize() const {
+  std::uint64_t injections = 0, episodes = 0, outputs = 0;
+  for (const GraphNode& n : nodes_) {
+    switch (n.kind) {
+      case NodeKind::kInjection: ++injections; break;
+      case NodeKind::kEpisode: ++episodes; break;
+      case NodeKind::kOutput: ++outputs; break;
+    }
+  }
+  std::uint64_t flow = 0, transfer = 0, output_edges = 0;
+  for (const GraphEdge& e : edges_) {
+    switch (e.kind) {
+      case EdgeKind::kFlow: ++flow; break;
+      case EdgeKind::kTransfer: ++transfer; break;
+      case EdgeKind::kOutput: ++output_edges; break;
+    }
+  }
+  std::string out = StrFormat(
+      "propagation graph: %zu events, %zu samples, %zu transfers\n"
+      "  nodes: %llu injection, %llu episode, %llu output; "
+      "edges: %llu flow, %llu transfer, %llu output\n",
+      data_.events.size(), data_.samples.size(), data_.transfers.size(),
+      static_cast<unsigned long long>(injections),
+      static_cast<unsigned long long>(episodes),
+      static_cast<unsigned long long>(outputs),
+      static_cast<unsigned long long>(flow),
+      static_cast<unsigned long long>(transfer),
+      static_cast<unsigned long long>(output_edges));
+  out += "  first contamination (per-rank instret):";
+  for (const auto& [rank, instret] : FirstContamination()) {
+    out += StrFormat(" r%d=%llu", rank, static_cast<unsigned long long>(instret));
+  }
+  out += "\n  spread order:";
+  const std::vector<Rank> order = SpreadOrder();
+  if (order.empty()) {
+    out += " (no contamination)";
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      out += StrFormat("%s %d", i == 0 ? "" : " ->", order[i]);
+    }
+  }
+  out += "\n";
+  for (const hub::TransferLogEntry& t : data_.transfers) {
+    out += StrFormat(
+        "  transfer[%llu]: rank %d -> %d tag %lld seq %llu: %llu/%llu tainted "
+        "bytes\n",
+        static_cast<unsigned long long>(t.hub_seq), t.id.src, t.id.dest,
+        static_cast<long long>(t.id.tag),
+        static_cast<unsigned long long>(t.id.seq),
+        static_cast<unsigned long long>(t.tainted_bytes),
+        static_cast<unsigned long long>(t.payload_bytes));
+  }
+  for (const GraphNode& n : nodes_) {
+    if (n.kind != NodeKind::kOutput) continue;
+    out += StrFormat("  corrupted output: rank %d fd %d: %llu bytes\n", n.rank,
+                     n.fd, static_cast<unsigned long long>(n.bytes));
+  }
+  return out;
+}
+
+}  // namespace chaser::analysis

@@ -1,0 +1,159 @@
+// Cross-rank fault-propagation graph (paper §III-C, Figs. 7 & 8).
+//
+// Built from a trial's trace — either a TraceSpool directory or in-memory
+// TraceLogs — plus the TaintHub transfer log. The model:
+//
+//   nodes  contamination episodes: (rank, address range, instret interval)
+//          clusters of tainted reads/writes, plus one node per injection
+//          event and one per (rank, fd) corrupted output stream;
+//   edges  intra-rank dataflow (read episode -> write episode, injection ->
+//          first write), cross-rank MPI transfers (sender episode ->
+//          receiver episode, anchored by the hub's buffer addresses), and
+//          episode -> output-stream edges.
+//
+// Queries answer the paper's propagation questions: when was each rank first
+// contaminated, how did the tainted-byte count evolve (Fig. 7), in what
+// order did the fault spread across ranks (Fig. 8), and — walking the trace
+// backwards — which injection a corrupted output byte descends from.
+//
+// The intra-rank dataflow rule is the paper's read/write heuristic: a
+// tainted write is attributed to the most recent tainted read on that rank
+// (the value travelled through registers between them), and a tainted read
+// to the most recent tainted write or MPI transfer covering its address.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/trace.h"
+#include "hub/tainthub.h"
+
+namespace chaser::analysis {
+
+struct TrialSpool;  // spool.h
+
+/// Input to PropagationGraph::Build: any mix of spooled or in-memory data.
+struct TraceDataset {
+  std::vector<core::TraceEvent> events;          // all ranks, emission order
+  std::vector<core::TaintSample> samples;        // tainted-bytes timeline
+  std::vector<hub::TransferLogEntry> transfers;  // hub_seq order
+};
+
+/// Convert a loaded spool into a dataset (copies).
+TraceDataset DatasetFromSpool(const TrialSpool& spool);
+
+struct GraphOptions {
+  /// Two memory events join one episode if their address ranges are within
+  /// this many bytes of each other...
+  GuestAddr addr_gap = 64;
+  /// ...and the episode saw an event within this many retired instructions.
+  std::uint64_t time_gap = 250'000;
+};
+
+enum class NodeKind : std::uint8_t { kInjection, kEpisode, kOutput };
+enum class EdgeKind : std::uint8_t { kFlow, kTransfer, kOutput };
+
+struct GraphNode {
+  int id = 0;
+  NodeKind kind = NodeKind::kEpisode;
+  Rank rank = -1;
+  GuestAddr addr_lo = 0;  // [addr_lo, addr_hi) touched address range
+  GuestAddr addr_hi = 0;
+  std::uint64_t first_instret = 0;
+  std::uint64_t last_instret = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  int fd = -1;                 // kOutput: which stream
+  std::uint64_t bytes = 0;     // kOutput: corrupted bytes in the stream
+
+  std::string Label() const;
+};
+
+struct GraphEdge {
+  int from = 0;
+  int to = 0;
+  EdgeKind kind = EdgeKind::kFlow;
+  std::uint64_t bytes = 0;  // kTransfer: tainted bytes carried
+};
+
+/// One step of a root-cause chain, ordered injection -> output.
+struct ChainStep {
+  enum class What : std::uint8_t {
+    kInjection,
+    kWrite,
+    kRead,
+    kTransfer,
+    kOutput,
+  };
+  What what = What::kWrite;
+  core::TraceEvent event;              // valid unless what == kTransfer
+  hub::TransferLogEntry transfer;      // valid when what == kTransfer
+
+  std::string Describe() const;
+};
+
+struct RootCauseChain {
+  /// True if the walk reached an injection event.
+  bool complete = false;
+  /// Steps in causal order: [injection, ..., output]. On an incomplete walk
+  /// the first step is wherever the trace ran out.
+  std::vector<ChainStep> steps;
+  /// Number of cross-rank MPI transfer edges crossed.
+  std::size_t transfers_crossed = 0;
+
+  std::string Render() const;
+};
+
+class PropagationGraph {
+ public:
+  static PropagationGraph Build(TraceDataset dataset, GraphOptions options = {});
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+  const TraceDataset& dataset() const { return data_; }
+
+  /// Earliest contamination (instret on that rank's clock) per rank: the
+  /// first tainted event, injection, or inbound transfer application.
+  std::map<Rank, std::uint64_t> FirstContamination() const;
+
+  /// Fig. 7 data: instret -> tainted bytes summed across ranks (every rank
+  /// samples on the same instret grid).
+  std::map<std::uint64_t, std::uint64_t> TaintTimeline() const;
+
+  /// Fig. 8 data: ranks in the order the fault reached them — injection
+  /// rank(s) first, then receivers in hub transfer order.
+  std::vector<Rank> SpreadOrder() const;
+
+  /// Corrupted output bytes, sorted by (rank, fd, stream offset).
+  std::vector<core::TraceEvent> OutputEvents() const;
+
+  /// Walk backwards from the corrupted output byte (rank, fd, offset) to
+  /// the injection that caused it. Throws ConfigError if no tainted output
+  /// byte matches.
+  RootCauseChain RootCause(Rank rank, int fd, std::uint64_t offset) const;
+
+  /// Graphviz DOT rendering of the full graph (deterministic).
+  std::string ToDot() const;
+
+  /// Multi-line human-readable summary (counts, first contamination, spread
+  /// order, transfers).
+  std::string Summarize() const;
+
+ private:
+  int AddNode(GraphNode node);
+  void AddEdge(int from, int to, EdgeKind kind, std::uint64_t bytes);
+
+  TraceDataset data_;
+  GraphOptions options_;
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  /// data_.events index -> node id (-1 for unassigned, e.g. kInstruction).
+  std::vector<int> event_node_;
+  /// Per-rank indices into data_.events, sorted by (instret, emission).
+  std::map<Rank, std::vector<std::size_t>> rank_events_;
+};
+
+}  // namespace chaser::analysis

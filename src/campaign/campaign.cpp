@@ -1,5 +1,6 @@
 #include "campaign/campaign.h"
 
+#include "analysis/spool.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/injectors/probabilistic_injector.h"
@@ -48,6 +49,12 @@ std::string CampaignResult::Render(const std::string& label) const {
         static_cast<unsigned long long>(propagated_os_exception),
         static_cast<unsigned long long>(propagated_mpi_error));
   }
+  if (trace_dropped > 0) {
+    out += StrFormat(
+        "  trace: %llu events dropped at the in-memory capacity cap "
+        "(attach a trace spool for the full trace)\n",
+        static_cast<unsigned long long>(trace_dropped));
+  }
   return out;
 }
 
@@ -88,6 +95,7 @@ void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
       }
     }
   }
+  trace_dropped += rec.trace_dropped;
   if (keep_record) records.push_back(rec);
 }
 
@@ -206,10 +214,54 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
   cmd.seed = run_rng.Fork();
   chaser_->Arm(cmd, {rec.inject_rank});
 
-  cluster_->Start(spec_.program);
-  const mpi::JobResult job = cluster_->Run();
-  Classify(job, &rec);
+  // With a spool directory configured, tee every rank's trace into a
+  // per-trial spool named by the run seed — the same seed produces the same
+  // directory (and byte-identical contents) on the serial and parallel
+  // drivers. Detach the sinks on every exit path: the spool dies with this
+  // frame and a dangling sink would corrupt the next trial.
+  std::unique_ptr<analysis::TraceSpool> spool;
+  if (!config_.spool_dir.empty()) {
+    spool = std::make_unique<analysis::TraceSpool>(
+        config_.spool_dir + "/trial-" + std::to_string(run_seed));
+    for (Rank r = 0; r < spec_.num_ranks; ++r) {
+      chaser_->rank_chaser(r).trace_log().set_sink(spool.get());
+    }
+  }
+  try {
+    cluster_->Start(spec_.program);
+    const mpi::JobResult job = cluster_->Run();
+    Classify(job, &rec);
+  } catch (...) {
+    if (spool != nullptr) DetachSpool();
+    throw;
+  }
+  if (spool != nullptr) {
+    for (Rank r = 0; r < spec_.num_ranks; ++r) {
+      for (const core::TaintSample& s : chaser_->rank_chaser(r).taint_timeline()) {
+        spool->AddSample(s);
+      }
+    }
+    for (const hub::TransferLogEntry& t : chaser_->hub().DrainTransferLog()) {
+      spool->AddTransfer(t);
+    }
+    spool->SetMeta("app", spec_.name);
+    spool->SetMeta("ranks", std::to_string(spec_.num_ranks));
+    spool->SetMeta("run_seed", std::to_string(run_seed));
+    spool->SetMeta("outcome", OutcomeName(rec.outcome));
+    spool->SetMeta("inject_rank", std::to_string(rec.inject_rank));
+    spool->SetMeta("trigger_nth", std::to_string(rec.trigger_nth));
+    spool->SetMeta("flip_bits", std::to_string(rec.flip_bits));
+    spool->SetMeta("trace_dropped", std::to_string(rec.trace_dropped));
+    DetachSpool();
+    spool->Finish();
+  }
   return rec;
+}
+
+void TrialEngine::DetachSpool() {
+  for (Rank r = 0; r < spec_.num_ranks; ++r) {
+    chaser_->rank_chaser(r).trace_log().set_sink(nullptr);
+  }
 }
 
 void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
@@ -222,6 +274,9 @@ void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
         std::max(rec->peak_tainted_bytes,
                  cluster_->rank_vm(r).taint().stats().peak_tainted_bytes);
     rec->tainted_output_bytes += cluster_->rank_vm(r).tainted_output_bytes();
+  }
+  for (Rank r = 0; r < spec_.num_ranks; ++r) {
+    rec->trace_dropped += chaser_->rank_chaser(r).trace_log().dropped();
   }
   rec->propagated_cross_rank = chaser_->FaultPropagatedFrom(rec->inject_rank);
   rec->propagated_cross_node = chaser_->FaultPropagatedAcrossNodes();

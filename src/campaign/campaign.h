@@ -63,6 +63,9 @@ struct RunRecord {
   unsigned flip_bits = 0;          // the chosen x
   std::uint64_t run_seed = 0;      // reproduce this exact trial
   std::uint64_t instructions = 0;  // total guest instructions this trial
+  /// Events the in-memory TraceLogs dropped at their capacity cap this
+  /// trial (0 when everything fit; a spool still captured all of them).
+  std::uint64_t trace_dropped = 0;
 };
 
 struct CampaignConfig {
@@ -78,6 +81,10 @@ struct CampaignConfig {
   std::uint64_t watchdog_multiplier = 20;
   std::uint64_t watchdog_slack = 1'000'000;
   bool keep_records = true;          // retain per-run records (Fig. 8/9 need them)
+  /// Non-empty: stream every trial's full trace (events, taint timeline,
+  /// hub transfers, outcome metadata) to `<spool_dir>/trial-<run_seed>/` as
+  /// an analysis::TraceSpool — no event cap, readable by chaser_analyze.
+  std::string spool_dir;
 };
 
 struct CampaignResult {
@@ -97,6 +104,11 @@ struct CampaignResult {
   std::uint64_t propagated_terminated = 0;
   std::uint64_t propagated_os_exception = 0;
   std::uint64_t propagated_mpi_error = 0;
+
+  /// Total trace events dropped across all trials by the in-memory
+  /// TraceLog capacity cap (Render flags this so truncated traces are
+  /// never mistaken for complete ones).
+  std::uint64_t trace_dropped = 0;
 
   std::vector<RunRecord> records;
 
@@ -159,6 +171,8 @@ class TrialEngine {
 
  private:
   void Classify(const mpi::JobResult& job, RunRecord* rec);
+  /// Remove the trial spool's sink from every rank's trace log.
+  void DetachSpool();
 
   const apps::AppSpec& spec_;
   const CampaignConfig& config_;

@@ -13,7 +13,7 @@ constexpr const char* kRecordsHeader =
     "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
     "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
     "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
-    "flip_bits,instructions";
+    "flip_bits,instructions,trace_dropped";
 }  // namespace
 
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
@@ -26,7 +26,8 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
         << (r.propagated_cross_node ? 1 : 0) << ',' << r.injections << ','
         << r.tainted_reads << ',' << r.tainted_writes << ','
         << r.peak_tainted_bytes << ',' << r.tainted_output_bytes << ','
-        << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << '\n';
+        << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << ','
+        << r.trace_dropped << '\n';
   }
 }
 
@@ -81,8 +82,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> f = Split(line, ',');
-    if (f.size() != 17) {
-      throw ConfigError(StrFormat("ReadRecordsCsv: expected 17 fields, got %zu",
+    if (f.size() != 18) {
+      throw ConfigError(StrFormat("ReadRecordsCsv: expected 18 fields, got %zu",
                                   f.size()));
     }
     RunRecord r;
@@ -103,6 +104,7 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     r.trigger_nth = ParseNum(f[14]);
     r.flip_bits = static_cast<unsigned>(ParseNum(f[15]));
     r.instructions = ParseNum(f[16]);
+    r.trace_dropped = ParseNum(f[17]);
     records.push_back(r);
   }
   return records;

@@ -75,6 +75,12 @@ void Chaser::Attach() {
                       .paddr = a.paddr, .size = a.size, .value = a.value,
                       .taint = a.taint});
     });
+    vm_.SetTaintedOutputHook([this](vm::Vm& v, const vm::Vm::TaintedOutputByte& b) {
+      trace_log_.Add({.kind = TraceEventKind::kTaintedOutput, .rank = rank_,
+                      .instret = v.instret(), .pc = v.cpu().pc, .vaddr = b.vaddr,
+                      .paddr = b.paddr, .size = 1, .value = b.value,
+                      .taint = b.taint, .fd = b.fd, .stream_off = b.stream_off});
+    });
     if (options_.taint_sample_interval > 0) {
       vm_.SetInstretSample(
           options_.taint_sample_interval, [this](vm::Vm& v, std::uint64_t instret) {
@@ -94,6 +100,7 @@ void Chaser::Attach() {
     vm_.taint().set_enabled(false);
     vm_.SetInstretSample(0, nullptr);
     vm_.SetInsnTraceHook(nullptr);
+    vm_.SetTaintedOutputHook(nullptr);
   }
 }
 

@@ -13,19 +13,26 @@ const char* TraceEventKindName(TraceEventKind k) {
     case TraceEventKind::kTaintedRead: return "T-READ";
     case TraceEventKind::kTaintedWrite: return "T-WRITE";
     case TraceEventKind::kInstruction: return "I-TRACE";
+    case TraceEventKind::kTaintedOutput: return "T-OUT";
   }
   return "?";
 }
 
 std::string TraceEvent::Describe() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%-7s rank=%d instret=%llu eip=%s vaddr=%s paddr=%s size=%u value=%s taint=%s",
       TraceEventKindName(kind), rank, static_cast<unsigned long long>(instret),
       Hex64(guest::PcToAddr(pc)).c_str(), Hex64(vaddr).c_str(),
       Hex64(paddr).c_str(), size, Hex64(value).c_str(), Hex64(taint).c_str());
+  if (kind == TraceEventKind::kTaintedOutput) {
+    out += StrFormat(" fd=%d off=%llu", fd,
+                     static_cast<unsigned long long>(stream_off));
+  }
+  return out;
 }
 
 void TraceLog::Add(const TraceEvent& event) {
+  if (sink_ != nullptr) sink_->OnTraceEvent(event);
   ++counts_[static_cast<std::size_t>(event.kind)];
   if (events_.size() < capacity_) {
     events_.push_back(event);
@@ -40,18 +47,24 @@ std::uint64_t TraceLog::count(TraceEventKind k) const {
 
 void TraceLog::Clear() {
   events_.clear();
-  counts_[0] = counts_[1] = counts_[2] = counts_[3] = 0;
+  for (std::uint64_t& c : counts_) c = 0;
   dropped_ = 0;
 }
 
 std::string TraceLog::ToString(std::size_t limit) const {
   std::string out = StrFormat(
-      "trace: %llu injections, %llu tainted reads, %llu tainted writes"
-      " (%zu stored, %llu dropped)\n",
+      "trace: %llu injections, %llu tainted reads, %llu tainted writes, "
+      "%llu tainted output bytes (%zu stored)\n",
       static_cast<unsigned long long>(injections()),
       static_cast<unsigned long long>(tainted_reads()),
-      static_cast<unsigned long long>(tainted_writes()), events_.size(),
-      static_cast<unsigned long long>(dropped_));
+      static_cast<unsigned long long>(tainted_writes()),
+      static_cast<unsigned long long>(tainted_outputs()), events_.size());
+  if (dropped_ > 0) {
+    out += StrFormat(
+        "  %llu events dropped at the in-memory capacity cap "
+        "(attach a trace spool for the full trace)\n",
+        static_cast<unsigned long long>(dropped_));
+  }
   const std::size_t n = std::min(limit, events_.size());
   for (std::size_t i = 0; i < n; ++i) {
     out += "  " + events_[i].Describe() + "\n";
@@ -63,12 +76,12 @@ std::string TraceLog::ToString(std::size_t limit) const {
 }
 
 void TraceLog::WriteCsv(std::ostream& out) const {
-  out << "kind,rank,instret,eip,vaddr,paddr,size,value,taint\n";
+  out << "kind,rank,instret,eip,vaddr,paddr,size,value,taint,fd,offset\n";
   for (const TraceEvent& e : events_) {
     out << TraceEventKindName(e.kind) << ',' << e.rank << ',' << e.instret
         << ',' << Hex64(guest::PcToAddr(e.pc)) << ',' << Hex64(e.vaddr) << ','
         << Hex64(e.paddr) << ',' << e.size << ',' << Hex64(e.value) << ','
-        << Hex64(e.taint) << '\n';
+        << Hex64(e.taint) << ',' << e.fd << ',' << e.stream_off << '\n';
   }
 }
 

@@ -22,6 +22,8 @@ void ChaserMpiHooks::OnSend(vm::Vm& sender, const mpi::Envelope& env,
   MessageTaintRecord record;
   record.id = {env.src, env.dest, env.tag, env.seq};
   record.byte_masks = std::move(masks);
+  record.src_vaddr = buf;
+  record.send_instret = sender.instret();
   hub_->Publish(std::move(record));
 }
 
@@ -30,7 +32,9 @@ void ChaserMpiHooks::OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
   auto& taint = receiver.taint();
   if (!taint.enabled()) return;
 
-  const auto record = hub_->Poll({env.src, env.dest, env.tag, env.seq});
+  const auto record = hub_->Poll({env.src, env.dest, env.tag, env.seq},
+                                 {.dest_vaddr = buf,
+                                  .recv_instret = receiver.instret()});
   if (!record) return;  // message was clean
 
   const std::uint64_t bytes =

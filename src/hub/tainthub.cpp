@@ -1,5 +1,7 @@
 #include "hub/tainthub.h"
 
+#include <algorithm>
+
 namespace chaser::hub {
 
 void TaintHub::Publish(MessageTaintRecord record) {
@@ -7,7 +9,8 @@ void TaintHub::Publish(MessageTaintRecord record) {
   records_[record.id.Key()] = std::move(record);
 }
 
-std::optional<MessageTaintRecord> TaintHub::Poll(const MessageId& id) {
+std::optional<MessageTaintRecord> TaintHub::Poll(const MessageId& id,
+                                                 const RecvContext& ctx) {
   ++stats_.polls;
   const auto it = records_.find(id.Key());
   if (it == records_.end()) return std::nullopt;
@@ -16,8 +19,34 @@ std::optional<MessageTaintRecord> TaintHub::Poll(const MessageId& id) {
   ++stats_.hits;
   const std::uint64_t tainted = record.TaintedByteCount();
   stats_.applied_bytes += tainted;
-  transfers_.push_back({record.id, tainted});
+  transfers_.push_back({.id = record.id,
+                        .tainted_bytes = tainted,
+                        .payload_bytes = record.byte_masks.size(),
+                        .src_vaddr = record.src_vaddr,
+                        .dest_vaddr = ctx.dest_vaddr,
+                        .send_instret = record.send_instret,
+                        .recv_instret = ctx.recv_instret,
+                        .hub_seq = next_hub_seq_++});
   return record;
+}
+
+std::vector<TransferLogEntry> TaintHub::transfer_log() const {
+  std::vector<TransferLogEntry> log = transfers_;
+  std::sort(log.begin(), log.end(),
+            [](const TransferLogEntry& a, const TransferLogEntry& b) {
+              return a.hub_seq < b.hub_seq;
+            });
+  return log;
+}
+
+std::vector<TransferLogEntry> TaintHub::DrainTransferLog() {
+  std::vector<TransferLogEntry> log = std::move(transfers_);
+  transfers_.clear();
+  std::sort(log.begin(), log.end(),
+            [](const TransferLogEntry& a, const TransferLogEntry& b) {
+              return a.hub_seq < b.hub_seq;
+            });
+  return log;
 }
 
 bool TaintHub::SawTransfer(Rank src, Rank dest) const {
@@ -30,6 +59,7 @@ bool TaintHub::SawTransfer(Rank src, Rank dest) const {
 void TaintHub::Clear() {
   records_.clear();
   transfers_.clear();
+  next_hub_seq_ = 0;
   stats_ = HubStats{};
 }
 

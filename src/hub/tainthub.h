@@ -36,6 +36,10 @@ struct MessageId {
 struct MessageTaintRecord {
   MessageId id;
   std::vector<std::uint8_t> byte_masks;  // one 8-bit taint mask per payload byte
+  // Sender-side provenance (propagation analysis): guest address of the send
+  // buffer and the sender's retired-instruction count at publish time.
+  GuestAddr src_vaddr = 0;
+  std::uint64_t send_instret = 0;
 
   bool AnyTainted() const {
     for (const std::uint8_t m : byte_masks) {
@@ -50,10 +54,28 @@ struct MessageTaintRecord {
   }
 };
 
-/// A completed cross-rank taint transfer (for Table III's propagation rows).
+/// A completed cross-rank taint transfer (for Table III's propagation rows
+/// and the propagation graph's cross-rank edges).
 struct TransferLogEntry {
   MessageId id;
   std::uint64_t tainted_bytes = 0;
+  std::uint64_t payload_bytes = 0;   // full message length (mask count)
+  // Address/time anchors for the propagation graph: where the payload lived
+  // on the sender, where it landed on the receiver, and each side's
+  // retired-instruction count (per-rank clocks; comparable within one rank).
+  GuestAddr src_vaddr = 0;
+  GuestAddr dest_vaddr = 0;
+  std::uint64_t send_instret = 0;
+  std::uint64_t recv_instret = 0;
+  /// Global arrival order at the hub (0, 1, 2, ...): the deterministic
+  /// cross-channel ordering the spread-order analysis keys on.
+  std::uint64_t hub_seq = 0;
+};
+
+/// Receiver-side context for Poll (propagation-analysis anchors).
+struct RecvContext {
+  GuestAddr dest_vaddr = 0;
+  std::uint64_t recv_instret = 0;
 };
 
 struct HubStats {
@@ -70,11 +92,24 @@ class TaintHub {
   void Publish(MessageTaintRecord record);
 
   /// Receiver side: one-shot lookup by message identity. Returns the record
-  /// and removes it, or nullopt (message clean / never published).
-  std::optional<MessageTaintRecord> Poll(const MessageId& id);
+  /// and removes it, or nullopt (message clean / never published). `ctx`
+  /// stamps the transfer-log entry with the receiver-side anchors.
+  std::optional<MessageTaintRecord> Poll(const MessageId& id,
+                                         const RecvContext& ctx = {});
 
   /// Completed transfers (every Poll hit), oldest first.
   const std::vector<TransferLogEntry>& transfers() const { return transfers_; }
+
+  /// Completed transfers in deterministic hub_seq order (ascending). The
+  /// entries are appended in that order, but callers that merged or filtered
+  /// lists should re-sort through this accessor's contract.
+  std::vector<TransferLogEntry> transfer_log() const;
+
+  /// Move the transfer log out (hub_seq order) and clear it, leaving stats
+  /// and pending records untouched. The per-trial trace spool drains the log
+  /// through this so records from one trial can never bleed into — or
+  /// interleave with — the next trial's spool.
+  std::vector<TransferLogEntry> DrainTransferLog();
 
   /// True if any tainted message has flowed src -> dest.
   bool SawTransfer(Rank src, Rank dest) const;
@@ -87,6 +122,7 @@ class TaintHub {
   std::map<std::tuple<Rank, Rank, std::int64_t, std::uint64_t>, MessageTaintRecord>
       records_;
   std::vector<TransferLogEntry> transfers_;
+  std::uint64_t next_hub_seq_ = 0;
   HubStats stats_;
 };
 

@@ -186,12 +186,26 @@ SyscallResult Vm::HandleCoreSyscall(std::uint64_t num) {
                     "write: buffer " + Hex64(buf) + " not mapped");
         return SyscallResult::Terminated();
       }
+      const std::uint64_t stream_base = outputs_[fd].size();
       outputs_[fd] += bytes;
       // Taint-through-I/O: count corrupted bytes leaving the process.
       if (taint_.enabled() && taint_.Active()) {
         for (std::uint64_t i = 0; i < len; ++i) {
           const auto pa = memory_.Translate(buf + i);
-          if (pa && taint_.GetMemTaintByte(*pa) != 0) ++tainted_output_bytes_;
+          if (!pa) continue;
+          const std::uint8_t mask = taint_.GetMemTaintByte(*pa);
+          if (mask == 0) continue;
+          ++tainted_output_bytes_;
+          if (tainted_output_hook_) {
+            tainted_output_hook_(
+                *this, TaintedOutputByte{
+                           .fd = fd,
+                           .stream_off = stream_base + i,
+                           .vaddr = buf + i,
+                           .paddr = *pa,
+                           .value = static_cast<std::uint8_t>(bytes[i]),
+                           .taint = mask});
+          }
         }
       }
       return SyscallResult::Done(len);

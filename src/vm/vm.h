@@ -143,6 +143,24 @@ class Vm {
   using InsnTraceHook = std::function<void(Vm&, std::uint64_t pc)>;
   void SetInsnTraceHook(InsnTraceHook hook) { insn_trace_hook_ = std::move(hook); }
 
+  /// One tainted byte leaving the process through a write syscall:
+  /// (fd, byte offset in that fd's output stream, guest/physical source
+  /// address, byte value, taint mask). Chaser records these as
+  /// TraceEventKind::kTaintedOutput — the anchor the root-cause walk starts
+  /// from when tracing an SDC'd output byte back to its injection.
+  struct TaintedOutputByte {
+    int fd = -1;
+    std::uint64_t stream_off = 0;
+    GuestAddr vaddr = 0;
+    PhysAddr paddr = 0;
+    std::uint8_t value = 0;
+    std::uint8_t taint = 0;
+  };
+  using TaintedOutputHook = std::function<void(Vm&, const TaintedOutputByte&)>;
+  void SetTaintedOutputHook(TaintedOutputHook hook) {
+    tainted_output_hook_ = std::move(hook);
+  }
+
   void set_syscall_extension(SyscallExtension* ext) { syscall_ext_ = ext; }
 
   /// Tune the hung-run watchdog (campaigns set this from the golden run's
@@ -245,6 +263,7 @@ class Vm {
   InjectorHook injector_hook_;
   InstretSampleHook sample_hook_;
   InsnTraceHook insn_trace_hook_;
+  TaintedOutputHook tainted_output_hook_;
   std::uint64_t sample_interval_ = 0;
   std::uint64_t next_sample_ = 0;
   SyscallExtension* syscall_ext_ = nullptr;

@@ -330,7 +330,8 @@ TEST(ChaserEdge, SmallTraceCapacityDropsButCounts) {
   EXPECT_LE(chaser.trace_log().events().size(), 8u);
   const std::uint64_t total = chaser.trace_log().tainted_reads() +
                               chaser.trace_log().tainted_writes() +
-                              chaser.trace_log().injections();
+                              chaser.trace_log().injections() +
+                              chaser.trace_log().tainted_outputs();
   EXPECT_EQ(chaser.trace_log().dropped(), total - chaser.trace_log().events().size());
 }
 

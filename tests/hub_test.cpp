@@ -76,6 +76,66 @@ TEST(TaintHub, ClearResets) {
   EXPECT_TRUE(hub.transfers().empty());
 }
 
+TEST(TaintHub, TransferLogOrderingAndAnchors) {
+  TaintHub hub;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    MessageTaintRecord rec;
+    rec.id = {0, 1, static_cast<std::int64_t>(i), i};
+    rec.byte_masks = {0xff};
+    rec.src_vaddr = 0x1000 + i;
+    rec.send_instret = 100 + i;
+    hub.Publish(rec);
+  }
+  // Poll out of publish order: hub_seq must follow *poll* (arrival) order.
+  (void)hub.Poll({0, 1, 2, 2}, {.dest_vaddr = 0x2002, .recv_instret = 202});
+  (void)hub.Poll({0, 1, 0, 0}, {.dest_vaddr = 0x2000, .recv_instret = 200});
+  (void)hub.Poll({0, 1, 1, 1}, {.dest_vaddr = 0x2001, .recv_instret = 201});
+
+  const std::vector<TransferLogEntry> log = hub.transfer_log();
+  ASSERT_EQ(log.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(log[i].hub_seq, i);
+  EXPECT_EQ(log[0].id.tag, 2);  // first polled
+  EXPECT_EQ(log[1].id.tag, 0);
+  EXPECT_EQ(log[2].id.tag, 1);
+  // Sender/receiver anchors survive into the log.
+  EXPECT_EQ(log[0].src_vaddr, 0x1002u);
+  EXPECT_EQ(log[0].send_instret, 102u);
+  EXPECT_EQ(log[0].dest_vaddr, 0x2002u);
+  EXPECT_EQ(log[0].recv_instret, 202u);
+  EXPECT_EQ(log[0].payload_bytes, 1u);
+  EXPECT_EQ(log[0].tainted_bytes, 1u);
+}
+
+TEST(TaintHub, DrainTransferLogMovesAndClears) {
+  TaintHub hub;
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff};
+  hub.Publish(rec);
+  (void)hub.Poll({0, 1, 7, 0});
+
+  const std::vector<TransferLogEntry> drained = hub.DrainTransferLog();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(hub.transfers().empty());
+  // Stats and pending records survive a drain; only the log empties.
+  EXPECT_EQ(hub.stats().hits, 1u);
+  EXPECT_TRUE(hub.DrainTransferLog().empty());
+  // hub_seq keeps counting across drains (Clear() resets it).
+  MessageTaintRecord rec2;
+  rec2.id = {1, 0, 7, 0};
+  rec2.byte_masks = {0xff};
+  hub.Publish(rec2);
+  (void)hub.Poll({1, 0, 7, 0});
+  const std::vector<TransferLogEntry> second = hub.DrainTransferLog();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].hub_seq, 1u);
+  hub.Clear();
+  rec2.byte_masks = {0xff};
+  hub.Publish(rec2);
+  (void)hub.Poll({1, 0, 7, 0});
+  EXPECT_EQ(hub.transfer_log().at(0).hub_seq, 0u);
+}
+
 TEST(TaintHub, AnyTaintedHelper) {
   MessageTaintRecord clean;
   clean.byte_masks = {0, 0, 0};

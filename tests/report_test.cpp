@@ -31,6 +31,7 @@ RunRecord SampleRecord(std::uint64_t seed) {
   r.trigger_nth = 999;
   r.flip_bits = 2;
   r.instructions = 1'000'000;
+  r.trace_dropped = 41;
   return r;
 }
 
@@ -51,6 +52,7 @@ TEST(Report, RecordsCsvRoundTrip) {
   EXPECT_EQ(back[0].failure_rank, 2);
   EXPECT_TRUE(back[0].propagated_cross_node);
   EXPECT_EQ(back[0].tainted_reads, 123u);
+  EXPECT_EQ(back[0].trace_dropped, 41u);
   EXPECT_EQ(back[1].outcome, Outcome::kBenign);
   EXPECT_EQ(back[1].failure_rank, -1);
 }

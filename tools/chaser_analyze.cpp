@@ -1,0 +1,285 @@
+// chaser_analyze — offline propagation analysis over trial trace spools.
+//
+//   chaser_analyze summarize  <spool>            # counts, spread order, transfers
+//   chaser_analyze timeline   <spool> [--csv]    # Fig. 7 tainted-bytes curve
+//   chaser_analyze graph-dot  <spool>            # Graphviz DOT of the graph
+//   chaser_analyze root-cause <spool> [--rank R --fd F --offset N]
+//                                                # SDC output byte -> injection
+//
+// <spool> is a trial directory written by a TraceSpool (chaser_run --spool,
+// CampaignConfig::spool_dir, or examples/post_analysis) — or a campaign
+// spool directory holding trial-<seed>/ subdirectories, selected with
+// --trial SEED (defaulting to the only trial if there is exactly one).
+// --json switches summarize/timeline/root-cause to JSON; --out FILE writes
+// to a file instead of stdout.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/propagation.h"
+#include "analysis/spool.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace chaser;
+namespace fs = std::filesystem;
+
+void Usage() {
+  std::printf(
+      "usage: chaser_analyze <subcommand> <spool-dir> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  summarize    graph/transfer summary, first contamination, spread order\n"
+      "  timeline     tainted-bytes-over-time curve (Fig. 7)\n"
+      "  graph-dot    propagation graph as Graphviz DOT\n"
+      "  root-cause   walk a corrupted output byte back to the injection\n"
+      "\n"
+      "options:\n"
+      "  --trial SEED   pick trial-<SEED>/ inside a campaign spool dir\n"
+      "  --rank R       root-cause: rank of the output byte (default: first)\n"
+      "  --fd F         root-cause: output stream fd (default: first)\n"
+      "  --offset N     root-cause: byte offset in that stream (default: first)\n"
+      "  --csv          timeline: emit instret,tainted_bytes CSV\n"
+      "  --json         summarize/timeline/root-cause: emit JSON\n"
+      "  --out FILE     write to FILE instead of stdout\n"
+      "  --help         this text\n");
+}
+
+/// Resolve a spool path: a trial dir itself, or a campaign dir holding
+/// trial-<seed>/ children (picked by --trial, or alone-child default).
+std::string ResolveTrialDir(const std::string& dir, const std::string& trial) {
+  if (!trial.empty()) {
+    const std::string candidate = dir + "/trial-" + trial;
+    if (analysis::IsTrialSpoolDir(candidate)) return candidate;
+    throw ConfigError("no trial spool at '" + candidate + "'");
+  }
+  if (analysis::IsTrialSpoolDir(dir)) return dir;
+  std::vector<std::string> trials;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_directory() &&
+          analysis::IsTrialSpoolDir(entry.path().string())) {
+        trials.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(trials.begin(), trials.end());
+  if (trials.size() == 1) return trials[0];
+  if (trials.empty()) {
+    throw ConfigError("'" + dir + "' is neither a trial spool (no .seg files) "
+                      "nor a campaign spool directory");
+  }
+  std::string msg = "'" + dir + "' holds " + std::to_string(trials.size()) +
+                    " trials; pick one with --trial SEED:";
+  for (const std::string& t : trials) msg += "\n  " + t;
+  throw ConfigError(msg);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') { out += '\\'; out += c; }
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string SummarizeJson(const analysis::PropagationGraph& g,
+                          const std::map<std::string, std::string>& meta) {
+  std::string out = "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta) {
+    out += StrFormat("%s\n    \"%s\": \"%s\"", first ? "" : ",",
+                     JsonEscape(k).c_str(), JsonEscape(v).c_str());
+    first = false;
+  }
+  out += "\n  },\n  \"first_contamination\": {";
+  first = true;
+  for (const auto& [rank, instret] : g.FirstContamination()) {
+    out += StrFormat("%s\"%d\": %llu", first ? "" : ", ", rank,
+                     static_cast<unsigned long long>(instret));
+    first = false;
+  }
+  out += "},\n  \"spread_order\": [";
+  first = true;
+  for (const Rank r : g.SpreadOrder()) {
+    out += StrFormat("%s%d", first ? "" : ", ", r);
+    first = false;
+  }
+  out += "],\n  \"transfers\": [";
+  first = true;
+  for (const hub::TransferLogEntry& t : g.dataset().transfers) {
+    out += StrFormat(
+        "%s\n    {\"hub_seq\": %llu, \"src\": %d, \"dest\": %d, \"tag\": %lld, "
+        "\"tainted_bytes\": %llu, \"payload_bytes\": %llu}",
+        first ? "" : ",", static_cast<unsigned long long>(t.hub_seq), t.id.src,
+        t.id.dest, static_cast<long long>(t.id.tag),
+        static_cast<unsigned long long>(t.tainted_bytes),
+        static_cast<unsigned long long>(t.payload_bytes));
+    first = false;
+  }
+  out += StrFormat("\n  ],\n  \"nodes\": %zu,\n  \"edges\": %zu\n}\n",
+                   g.nodes().size(), g.edges().size());
+  return out;
+}
+
+std::string TimelineText(const analysis::PropagationGraph& g, bool csv,
+                         bool json) {
+  const auto timeline = g.TaintTimeline();
+  std::string out;
+  if (json) {
+    out = "[";
+    bool first = true;
+    for (const auto& [instret, bytes] : timeline) {
+      out += StrFormat("%s\n  {\"instret\": %llu, \"tainted_bytes\": %llu}",
+                       first ? "" : ",",
+                       static_cast<unsigned long long>(instret),
+                       static_cast<unsigned long long>(bytes));
+      first = false;
+    }
+    out += "\n]\n";
+    return out;
+  }
+  if (csv) {
+    out = "instret,tainted_bytes\n";
+    for (const auto& [instret, bytes] : timeline) {
+      out += StrFormat("%llu,%llu\n", static_cast<unsigned long long>(instret),
+                       static_cast<unsigned long long>(bytes));
+    }
+    return out;
+  }
+  std::uint64_t peak = 0;
+  for (const auto& [instret, bytes] : timeline) peak = std::max(peak, bytes);
+  out = StrFormat("tainted-bytes timeline: %zu samples, peak %llu bytes\n",
+                  timeline.size(), static_cast<unsigned long long>(peak));
+  for (const auto& [instret, bytes] : timeline) {
+    const int bar = peak == 0 ? 0 : static_cast<int>(50 * bytes / peak);
+    out += StrFormat("  %12llu %8llu %s\n",
+                     static_cast<unsigned long long>(instret),
+                     static_cast<unsigned long long>(bytes),
+                     std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  return out;
+}
+
+std::string RootCauseJson(const analysis::RootCauseChain& chain) {
+  std::string out = StrFormat(
+      "{\n  \"complete\": %s,\n  \"transfers_crossed\": %zu,\n  \"steps\": [",
+      chain.complete ? "true" : "false", chain.transfers_crossed);
+  bool first = true;
+  for (const analysis::ChainStep& s : chain.steps) {
+    out += StrFormat("%s\n    \"%s\"", first ? "" : ",",
+                     JsonEscape(s.Describe()).c_str());
+    first = false;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) {
+      Usage();
+      return argc >= 2 && std::string(argv[1]) == "--help" ? 0 : 2;
+    }
+    const std::string cmd = argv[1];
+    const std::string dir = argv[2];
+    std::string trial, out_path;
+    bool csv = false, json = false;
+    bool rank_given = false, fd_given = false, offset_given = false;
+    std::uint64_t rank = 0, fd = 0, offset = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw ConfigError(std::string("missing value for ") + flag);
+        }
+        return argv[++i];
+      };
+      const auto num = [&](const char* flag) {
+        std::uint64_t v = 0;
+        if (!ParseU64(value(flag), &v)) {
+          throw ConfigError(std::string("bad number for ") + flag);
+        }
+        return v;
+      };
+      if (a == "--trial") trial = value("--trial");
+      else if (a == "--rank") { rank = num("--rank"); rank_given = true; }
+      else if (a == "--fd") { fd = num("--fd"); fd_given = true; }
+      else if (a == "--offset") { offset = num("--offset"); offset_given = true; }
+      else if (a == "--csv") csv = true;
+      else if (a == "--json") json = true;
+      else if (a == "--out") out_path = value("--out");
+      else if (a == "--help" || a == "-h") { Usage(); return 0; }
+      else throw ConfigError("unknown flag '" + a + "'");
+    }
+
+    const std::string trial_dir = ResolveTrialDir(dir, trial);
+    const analysis::TrialSpool spool = analysis::ReadTrialSpool(trial_dir);
+    if (spool.truncated) {
+      std::fprintf(stderr,
+                   "chaser_analyze: warning: spool '%s' is truncated (writer "
+                   "died mid-trial); analyzing the intact prefix\n",
+                   trial_dir.c_str());
+    }
+    const analysis::PropagationGraph graph =
+        analysis::PropagationGraph::Build(analysis::DatasetFromSpool(spool));
+
+    std::string output;
+    if (cmd == "summarize") {
+      if (json) {
+        output = SummarizeJson(graph, spool.meta);
+      } else {
+        output = StrFormat("trial spool: %s\n", trial_dir.c_str());
+        for (const auto& [k, v] : spool.meta) {
+          output += StrFormat("  %s=%s\n", k.c_str(), v.c_str());
+        }
+        output += graph.Summarize();
+      }
+    } else if (cmd == "timeline") {
+      output = TimelineText(graph, csv, json);
+    } else if (cmd == "graph-dot") {
+      output = graph.ToDot();
+    } else if (cmd == "root-cause") {
+      if (!rank_given || !fd_given || !offset_given) {
+        const auto outputs = graph.OutputEvents();
+        if (outputs.empty()) {
+          throw ConfigError(
+              "no tainted output bytes in this trial (nothing to root-cause); "
+              "was the trial an SDC with tracing enabled?");
+        }
+        if (!rank_given) rank = static_cast<std::uint64_t>(outputs[0].rank);
+        if (!fd_given) fd = static_cast<std::uint64_t>(outputs[0].fd);
+        if (!offset_given) offset = outputs[0].stream_off;
+      }
+      const analysis::RootCauseChain chain = graph.RootCause(
+          static_cast<Rank>(rank), static_cast<int>(fd), offset);
+      output = json ? RootCauseJson(chain) : chain.Render();
+    } else {
+      Usage();
+      throw ConfigError("unknown subcommand '" + cmd + "'");
+    }
+
+    if (out_path.empty()) {
+      std::fputs(output.c_str(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) throw ConfigError("cannot open --out file '" + out_path + "'");
+      out << output;
+      std::printf("wrote %zu bytes to %s\n", output.size(), out_path.c_str());
+    }
+    return 0;
+  } catch (const ChaserError& e) {
+    std::fprintf(stderr, "chaser_analyze: %s\n", e.what());
+    return 2;
+  }
+}

@@ -42,6 +42,8 @@ void Usage() {
       "  --jobs N            worker threads (default: all hardware threads;\n"
       "                      1 = serial engine; results are seed-identical)\n"
       "  --no-trace          disable fault-propagation tracing\n"
+      "  --spool DIR         stream each trial's full trace to DIR/trial-<seed>/\n"
+      "                      (no event cap; inspect with chaser_analyze)\n"
       "  --out FILE          write per-run records as CSV\n"
       "  --help              this text\n");
 }
@@ -109,6 +111,9 @@ int main(int argc, char** argv) {
         jobs_given = true;
       } else if (a == "--no-trace") {
         config.trace = false;
+      } else if (a == "--spool") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --spool");
+        config.spool_dir = argv[++i];
       } else if (a == "--out") {
         if (i + 1 >= argc) throw ConfigError("missing value for --out");
         out_path = argv[++i];
