@@ -1,6 +1,11 @@
 #include "campaign/campaign.h"
 
+#include <chrono>
+#include <thread>
+
 #include "analysis/spool.h"
+#include "campaign/journal.h"
+#include "common/bits.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/injectors/probabilistic_injector.h"
@@ -13,6 +18,7 @@ const char* OutcomeName(Outcome o) {
     case Outcome::kBenign: return "benign";
     case Outcome::kTerminated: return "terminated";
     case Outcome::kSdc: return "sdc";
+    case Outcome::kInfra: return "infra";
   }
   return "?";
 }
@@ -27,6 +33,12 @@ std::string CampaignResult::Render(const std::string& label) const {
       static_cast<unsigned long long>(benign), Pct(benign),
       static_cast<unsigned long long>(terminated), Pct(terminated),
       static_cast<unsigned long long>(sdc), Pct(sdc));
+  if (infra > 0) {
+    out += StrFormat(
+        "  infra       %6llu (%5.2f%%) — harness failures quarantined after "
+        "the retry budget; not injection outcomes\n",
+        static_cast<unsigned long long>(infra), Pct(infra));
+  }
   if (terminated > 0) {
     const auto tp = [&](std::uint64_t n) {
       return 100.0 * static_cast<double>(n) / static_cast<double>(terminated);
@@ -55,6 +67,12 @@ std::string CampaignResult::Render(const std::string& label) const {
         "(attach a trace spool for the full trace)\n",
         static_cast<unsigned long long>(trace_dropped));
   }
+  if (taint_lost > 0) {
+    out += StrFormat(
+        "  hub degradation: %llu messages lost their taint shadow in "
+        "transit (propagation counts are a lower bound)\n",
+        static_cast<unsigned long long>(taint_lost));
+  }
   return out;
 }
 
@@ -62,6 +80,7 @@ void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
   switch (rec.outcome) {
     case Outcome::kBenign: ++benign; break;
     case Outcome::kSdc: ++sdc; break;
+    case Outcome::kInfra: ++infra; break;
     case Outcome::kTerminated: {
       ++terminated;
       // A fired program-level checker is a *detection* no matter which rank
@@ -96,6 +115,7 @@ void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
     }
   }
   trace_dropped += rec.trace_dropped;
+  taint_lost += rec.taint_lost;
   if (keep_record) records.push_back(rec);
 }
 
@@ -136,6 +156,10 @@ TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config
   cluster_config.quantum = config_.scheduler_quantum;
   cluster_ = std::make_unique<mpi::Cluster>(cluster_config);
   chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options);
+  // The fault model lives in config (not per trial): TaintHub::Clear() at
+  // each trial's job start restarts its clock and drop tape, so every trial
+  // — on any driver — sees the identical degradation schedule.
+  chaser_->hub().SetFaultModel(config_.hub_fault);
 }
 
 GoldenProfile TrialEngine::RunGolden() {
@@ -181,11 +205,15 @@ GoldenProfile TrialEngine::RunGolden() {
 void TrialEngine::AdoptGolden(const GoldenProfile& golden) {
   golden_ = &golden;
   // Tighten the watchdog so corrupted loop bounds cannot hang a campaign.
-  const std::uint64_t per_rank =
-      config_.watchdog_multiplier * golden.instructions + config_.watchdog_slack;
-  cluster_->SetInstructionBudgets(per_rank,
-                                  per_rank * static_cast<std::uint64_t>(
-                                                 spec_.num_ranks));
+  // Saturate instead of wrapping: an extreme multiplier times a long golden
+  // run must clamp to "unlimited", never wrap to a tiny budget that would
+  // kill every healthy trial as a spurious watchdog timeout.
+  const std::uint64_t per_rank = SaturatingAddU64(
+      SaturatingMulU64(config_.watchdog_multiplier, golden.instructions),
+      config_.watchdog_slack);
+  cluster_->SetInstructionBudgets(
+      per_rank,
+      SaturatingMulU64(per_rank, static_cast<std::uint64_t>(spec_.num_ranks)));
 }
 
 RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
@@ -252,6 +280,7 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
     spool->SetMeta("trigger_nth", std::to_string(rec.trigger_nth));
     spool->SetMeta("flip_bits", std::to_string(rec.flip_bits));
     spool->SetMeta("trace_dropped", std::to_string(rec.trace_dropped));
+    spool->SetMeta("taint_lost", std::to_string(rec.taint_lost));
     DetachSpool();
     spool->Finish();
   }
@@ -280,6 +309,7 @@ void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
   }
   rec->propagated_cross_rank = chaser_->FaultPropagatedFrom(rec->inject_rank);
   rec->propagated_cross_node = chaser_->FaultPropagatedAcrossNodes();
+  rec->taint_lost = chaser_->hub().stats().taint_lost;
   rec->deadlock = job.deadlock;
 
   if (job.completed) {
@@ -298,6 +328,50 @@ void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
   rec->failure_rank = job.first_failure_rank;
 }
 
+// ---- Contained trial execution -----------------------------------------------
+
+RunRecord RunTrialContained(std::unique_ptr<TrialEngine>* engine,
+                            const apps::AppSpec& spec,
+                            const CampaignConfig& config,
+                            const std::set<Rank>& inject_ranks,
+                            const GoldenProfile& golden,
+                            std::uint64_t run_seed) {
+  const unsigned attempts = config.trial_retries + 1;
+  std::string last_error;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      if (*engine == nullptr) {
+        *engine = std::make_unique<TrialEngine>(spec, config, inject_ranks);
+        (*engine)->AdoptGolden(golden);
+      }
+      if (config.trial_chaos) config.trial_chaos(run_seed, attempt);
+      RunRecord rec = (*engine)->RunTrial(run_seed);
+      rec.retries = attempt;
+      return rec;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    } catch (...) {
+      last_error = "non-standard exception escaped the trial engine";
+    }
+    // The engine threw mid-trial: its Cluster/TaintHub are in an arbitrary
+    // state and must never serve another trial. Rebuild from scratch.
+    engine->reset();
+    if (attempt + 1 < attempts && config.retry_backoff_ms > 0) {
+      const std::uint64_t ms =
+          std::min<std::uint64_t>(config.retry_backoff_ms << attempt, 1000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+  // Retry budget exhausted: quarantine this seed instead of losing the whole
+  // campaign. kInfra records carry no injection data — only the evidence.
+  RunRecord rec;
+  rec.outcome = Outcome::kInfra;
+  rec.run_seed = run_seed;
+  rec.retries = config.trial_retries;
+  rec.infra_error = last_error;
+  return rec;
+}
+
 // ---- Campaign (serial driver) ------------------------------------------------
 
 Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
@@ -305,12 +379,14 @@ Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
       config_(config),
       inject_ranks_(config.inject_ranks.empty() ? std::set<Rank>{0}
                                                 : config.inject_ranks),
-      engine_(spec_, config_, inject_ranks_),
-      rng_(config.seed) {}
+      engine_(std::make_unique<TrialEngine>(spec_, config_, inject_ranks_)) {}
 
 void Campaign::RunGolden() {
-  golden_ = engine_.RunGolden();
-  engine_.AdoptGolden(golden_);
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<TrialEngine>(spec_, config_, inject_ranks_);
+  }
+  golden_ = engine_->RunGolden();
+  engine_->AdoptGolden(golden_);
   golden_done_ = true;
 }
 
@@ -329,7 +405,7 @@ std::uint64_t Campaign::golden_targeted_execs(Rank r) const {
 
 RunRecord Campaign::RunOnce(std::uint64_t run_seed) {
   if (!golden_done_) RunGolden();
-  return engine_.RunTrial(run_seed);
+  return engine_->RunTrial(run_seed);
 }
 
 std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
@@ -343,10 +419,34 @@ std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
 
 CampaignResult Campaign::Run() {
   if (!golden_done_) RunGolden();
+  const std::vector<std::uint64_t> seeds =
+      DeriveTrialSeeds(config_.seed, config_.runs);
+
+  // With a journal, trials completed by an earlier (possibly killed) process
+  // are replayed instead of re-run; everything executed here is appended so
+  // the *next* resume sees it. Records are keyed by run_seed, so replay
+  // order (journal append order) never affects the seed-ordered reduction.
+  std::unique_ptr<TrialJournal> journal;
+  std::map<std::uint64_t, RunRecord> done;
+  if (!config_.journal_path.empty()) {
+    std::vector<RunRecord> replayed;
+    journal = std::make_unique<TrialJournal>(config_.journal_path, config_.seed,
+                                             spec_.name, &replayed);
+    for (RunRecord& rec : replayed) done[rec.run_seed] = std::move(rec);
+  }
+
   CampaignResult result;
   result.runs = config_.runs;
-  for (std::uint64_t i = 0; i < config_.runs; ++i) {
-    result.Accumulate(engine_.RunTrial(rng_.Fork()), config_.keep_records);
+  for (const std::uint64_t run_seed : seeds) {
+    const auto it = done.find(run_seed);
+    if (it != done.end()) {
+      result.Accumulate(it->second, config_.keep_records);
+      continue;
+    }
+    const RunRecord rec = RunTrialContained(&engine_, spec_, config_,
+                                            inject_ranks_, golden_, run_seed);
+    if (journal != nullptr) journal->Append(rec);
+    result.Accumulate(rec, config_.keep_records);
   }
   return result;
 }

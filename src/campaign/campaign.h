@@ -25,6 +25,7 @@
 //                  (campaign/parallel.h) gives each worker thread its own.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -34,11 +35,15 @@
 #include "apps/app.h"
 #include "common/rng.h"
 #include "core/chaser_mpi.h"
+#include "hub/tainthub.h"
 #include "mpi/cluster.h"
 
 namespace chaser::campaign {
 
-enum class Outcome : std::uint8_t { kBenign, kTerminated, kSdc };
+/// kInfra is not a fault-injection outcome at all: it marks a trial whose
+/// *harness* failed (an exception escaped the engine) even after the retry
+/// budget, and which was quarantined instead of aborting the campaign.
+enum class Outcome : std::uint8_t { kBenign, kTerminated, kSdc, kInfra };
 
 const char* OutcomeName(Outcome o);
 
@@ -66,6 +71,14 @@ struct RunRecord {
   /// Events the in-memory TraceLogs dropped at their capacity cap this
   /// trial (0 when everything fit; a spool still captured all of them).
   std::uint64_t trace_dropped = 0;
+  /// Messages whose taint shadow the hub lost this trial (publish dropped,
+  /// outage, or receiver poll deadline exhausted) — see hub::HubFaultModel.
+  std::uint64_t taint_lost = 0;
+  /// Attempts discarded before this record was produced (0 = first attempt
+  /// succeeded). For a kInfra record: the full retry budget, all exhausted.
+  unsigned retries = 0;
+  /// kInfra only: what() of the last exception that escaped the engine.
+  std::string infra_error;
 };
 
 struct CampaignConfig {
@@ -85,6 +98,25 @@ struct CampaignConfig {
   /// hub transfers, outcome metadata) to `<spool_dir>/trial-<run_seed>/` as
   /// an analysis::TraceSpool — no event cap, readable by chaser_analyze.
   std::string spool_dir;
+  /// Extra attempts granted to a trial whose engine throws (fresh
+  /// Cluster/TaintHub each attempt, exponential backoff between them).
+  /// Past the budget the trial is quarantined as Outcome::kInfra instead of
+  /// aborting the campaign. 0 = quarantine on the first throw.
+  unsigned trial_retries = 0;
+  /// Base of the exponential backoff between retry attempts (doubled per
+  /// attempt, capped at ~1 s). 0 disables sleeping — tests use that.
+  std::uint64_t retry_backoff_ms = 10;
+  /// Non-empty: append every completed trial to this crash-safe journal
+  /// (campaign/journal.h) and, on start, replay any trials it already holds
+  /// instead of re-running them — `chaser_run --resume`.
+  std::string journal_path;
+  /// Degradation model installed into every trial's TaintHub (outages,
+  /// publish drops, visibility lag, poll-retry deadline).
+  hub::HubFaultModel hub_fault;
+  /// Test/chaos hook: invoked as (run_seed, attempt) right before each trial
+  /// attempt, *inside* the containment boundary — throwing from here
+  /// exercises the retry/quarantine path deterministically.
+  std::function<void(std::uint64_t, unsigned)> trial_chaos;
 };
 
 struct CampaignResult {
@@ -109,6 +141,11 @@ struct CampaignResult {
   /// TraceLog capacity cap (Render flags this so truncated traces are
   /// never mistaken for complete ones).
   std::uint64_t trace_dropped = 0;
+
+  /// Trials quarantined after exhausting the retry budget (Outcome::kInfra).
+  std::uint64_t infra = 0;
+  /// Messages whose taint shadow the degraded hub lost, summed over trials.
+  std::uint64_t taint_lost = 0;
 
   std::vector<RunRecord> records;
 
@@ -182,6 +219,21 @@ class TrialEngine {
   const GoldenProfile* golden_ = nullptr;
 };
 
+/// Containment boundary shared by the serial and parallel drivers: run one
+/// trial, catching anything the engine throws. A throwing attempt discards
+/// `*engine` (its Cluster/TaintHub may be in an arbitrary state) and retries
+/// with a freshly built engine after exponential backoff, up to
+/// config.trial_retries extra attempts. Exhausting the budget quarantines
+/// the trial as an Outcome::kInfra record carrying the last exception text —
+/// the campaign keeps going. `*engine` may be null on entry (it is built
+/// lazily) and is left usable for the next trial whenever possible.
+RunRecord RunTrialContained(std::unique_ptr<TrialEngine>* engine,
+                            const apps::AppSpec& spec,
+                            const CampaignConfig& config,
+                            const std::set<Rank>& inject_ranks,
+                            const GoldenProfile& golden,
+                            std::uint64_t run_seed);
+
 class Campaign {
  public:
   Campaign(apps::AppSpec spec, CampaignConfig config);
@@ -194,7 +246,11 @@ class Campaign {
   /// it lazily). `run_seed` fully determines the trial.
   RunRecord RunOnce(std::uint64_t run_seed);
 
-  /// Full campaign: golden + config.runs trials.
+  /// Full campaign: golden + config.runs trials. Trial failures are
+  /// contained per RunTrialContained. With config.journal_path set, every
+  /// completed trial is journalled and trials already in the journal are
+  /// replayed instead of re-run — the resumed result is byte-identical to
+  /// an uninterrupted one.
   CampaignResult Run();
 
   /// The first `n` trial seeds a fresh serial Run() draws for campaign seed
@@ -214,15 +270,16 @@ class Campaign {
   std::uint64_t golden_instructions() const { return golden_.instructions; }
   const apps::AppSpec& spec() const { return spec_; }
   const std::set<Rank>& inject_ranks() const { return inject_ranks_; }
-  mpi::Cluster& cluster() { return engine_.cluster(); }
-  core::ChaserMpi& chaser() { return engine_.chaser(); }
+  mpi::Cluster& cluster() { return engine_->cluster(); }
+  core::ChaserMpi& chaser() { return engine_->chaser(); }
 
  private:
   apps::AppSpec spec_;
   CampaignConfig config_;
   std::set<Rank> inject_ranks_;
-  TrialEngine engine_;  // after spec_/config_/inject_ranks_: borrows them
-  Rng rng_;
+  /// Owned via pointer so containment can rebuild it after a trial throws
+  /// (a half-destroyed Cluster must never serve another trial).
+  std::unique_ptr<TrialEngine> engine_;  // borrows spec_/config_/inject_ranks_
 
   GoldenProfile golden_;
   bool golden_done_ = false;

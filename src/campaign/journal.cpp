@@ -1,0 +1,267 @@
+#include "campaign/journal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "analysis/spool.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::campaign {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'C', 'H', 'S', 'J', 'R', 'N', 'L', '1'};
+constexpr std::uint64_t kJournalVersion = 1;
+/// Upper bound on one record frame; anything larger is a corrupt length
+/// varint, not a real record (records are a few hundred bytes).
+constexpr std::uint64_t kMaxRecordBytes = 1u << 20;
+
+using analysis::AppendVarint;
+using analysis::DecodeVarint;
+using analysis::ZigZagDecode;
+using analysis::ZigZagEncode;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the record payload —
+/// catches both torn tails and in-place bit rot.
+std::uint32_t Crc32(const char* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendU32Le(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t ReadU32Le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<RunRecord> DecodeJournalRecord(const std::string& payload) {
+  std::size_t pos = 0;
+  RunRecord r;
+  const auto u64 = [&](std::uint64_t* v) {
+    const auto d = DecodeVarint(payload, &pos);
+    if (!d) return false;
+    *v = *d;
+    return true;
+  };
+  std::uint64_t outcome = 0, kind = 0, signal = 0, inject = 0, failure = 0,
+                flags = 0, flip_bits = 0, retries = 0, error_len = 0;
+  if (!u64(&r.run_seed) || !u64(&outcome) || !u64(&kind) || !u64(&signal) ||
+      !u64(&inject) || !u64(&failure) || !u64(&flags) || !u64(&r.injections) ||
+      !u64(&r.tainted_reads) || !u64(&r.tainted_writes) ||
+      !u64(&r.peak_tainted_bytes) || !u64(&r.tainted_output_bytes) ||
+      !u64(&r.trigger_nth) || !u64(&flip_bits) || !u64(&r.instructions) ||
+      !u64(&r.trace_dropped) || !u64(&r.taint_lost) || !u64(&retries) ||
+      !u64(&error_len)) {
+    return std::nullopt;
+  }
+  if (outcome > static_cast<std::uint64_t>(Outcome::kInfra) ||
+      kind > static_cast<std::uint64_t>(vm::TerminationKind::kMpiError) ||
+      signal > static_cast<std::uint64_t>(vm::GuestSignal::kKill)) {
+    return std::nullopt;
+  }
+  if (error_len != payload.size() - pos) return std::nullopt;
+  r.outcome = static_cast<Outcome>(outcome);
+  r.kind = static_cast<vm::TerminationKind>(kind);
+  r.signal = static_cast<vm::GuestSignal>(signal);
+  r.inject_rank = static_cast<Rank>(ZigZagDecode(inject));
+  r.failure_rank = static_cast<Rank>(ZigZagDecode(failure));
+  r.deadlock = (flags & 1) != 0;
+  r.propagated_cross_rank = (flags & 2) != 0;
+  r.propagated_cross_node = (flags & 4) != 0;
+  r.flip_bits = static_cast<unsigned>(flip_bits);
+  r.retries = static_cast<unsigned>(retries);
+  r.infra_error = payload.substr(pos);
+  return r;
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const RunRecord& rec) {
+  std::string payload;
+  AppendVarint(&payload, rec.run_seed);
+  AppendVarint(&payload, static_cast<std::uint64_t>(rec.outcome));
+  AppendVarint(&payload, static_cast<std::uint64_t>(rec.kind));
+  AppendVarint(&payload, static_cast<std::uint64_t>(rec.signal));
+  AppendVarint(&payload, ZigZagEncode(rec.inject_rank));
+  AppendVarint(&payload, ZigZagEncode(rec.failure_rank));
+  AppendVarint(&payload, (rec.deadlock ? 1u : 0u) |
+                             (rec.propagated_cross_rank ? 2u : 0u) |
+                             (rec.propagated_cross_node ? 4u : 0u));
+  AppendVarint(&payload, rec.injections);
+  AppendVarint(&payload, rec.tainted_reads);
+  AppendVarint(&payload, rec.tainted_writes);
+  AppendVarint(&payload, rec.peak_tainted_bytes);
+  AppendVarint(&payload, rec.tainted_output_bytes);
+  AppendVarint(&payload, rec.trigger_nth);
+  AppendVarint(&payload, rec.flip_bits);
+  AppendVarint(&payload, rec.instructions);
+  AppendVarint(&payload, rec.trace_dropped);
+  AppendVarint(&payload, rec.taint_lost);
+  AppendVarint(&payload, rec.retries);
+  AppendVarint(&payload, rec.infra_error.size());
+  payload.append(rec.infra_error);
+  return payload;
+}
+
+JournalContents ReadJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("ReadJournal: cannot open '" + path + "'");
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  if (buf.size() < sizeof(kJournalMagic) ||
+      std::memcmp(buf.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    throw ConfigError("ReadJournal: '" + path + "' is not a Chaser trial journal");
+  }
+  std::size_t pos = sizeof(kJournalMagic);
+  JournalContents contents;
+  const auto header_u64 = [&](std::uint64_t* v) {
+    const auto d = DecodeVarint(buf, &pos);
+    if (!d) throw ConfigError("ReadJournal: '" + path + "' has a corrupt header");
+    *v = *d;
+  };
+  header_u64(&contents.header.version);
+  if (contents.header.version != kJournalVersion) {
+    throw ConfigError(StrFormat(
+        "ReadJournal: '%s' is journal version %llu; this build reads version %llu",
+        path.c_str(),
+        static_cast<unsigned long long>(contents.header.version),
+        static_cast<unsigned long long>(kJournalVersion)));
+  }
+  header_u64(&contents.header.campaign_seed);
+  std::uint64_t app_len = 0;
+  header_u64(&app_len);
+  if (app_len > buf.size() - pos) {
+    throw ConfigError("ReadJournal: '" + path + "' has a corrupt header");
+  }
+  contents.header.app = buf.substr(pos, app_len);
+  pos += app_len;
+  contents.valid_bytes = pos;
+
+  // Record region: prefix discipline — serve intact frames, stop at the
+  // first one that is short, overlong, or fails its checksum.
+  while (pos < buf.size()) {
+    std::size_t frame_start = pos;
+    const auto len = DecodeVarint(buf, &pos);
+    if (!len || *len > kMaxRecordBytes || *len > buf.size() - pos ||
+        buf.size() - pos - *len < 4) {
+      contents.truncated = true;
+      break;
+    }
+    const std::size_t payload_at = pos;
+    const std::size_t payload_len = static_cast<std::size_t>(*len);
+    const std::uint32_t stored_crc = ReadU32Le(buf.data() + payload_at + payload_len);
+    if (Crc32(buf.data() + payload_at, payload_len) != stored_crc) {
+      contents.truncated = true;
+      break;
+    }
+    const auto rec = DecodeJournalRecord(buf.substr(payload_at, payload_len));
+    if (!rec) {
+      contents.truncated = true;
+      break;
+    }
+    pos = payload_at + payload_len + 4;
+    contents.records.push_back(*rec);
+    contents.valid_bytes = pos;
+    (void)frame_start;
+  }
+  return contents;
+}
+
+TrialJournal::TrialJournal(const std::string& path, std::uint64_t campaign_seed,
+                           const std::string& app,
+                           std::vector<RunRecord>* replayed)
+    : path_(path) {
+  if (replayed != nullptr) replayed->clear();
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path_, ec) &&
+                      std::filesystem::file_size(path_, ec) > 0;
+  if (exists) {
+    JournalContents contents = ReadJournal(path_);
+    if (contents.header.campaign_seed != campaign_seed ||
+        contents.header.app != app) {
+      throw ConfigError(StrFormat(
+          "TrialJournal: '%s' belongs to campaign (app '%s', seed %llu), not "
+          "(app '%s', seed %llu) — refusing to mix trial sets",
+          path_.c_str(), contents.header.app.c_str(),
+          static_cast<unsigned long long>(contents.header.campaign_seed),
+          app.c_str(), static_cast<unsigned long long>(campaign_seed)));
+    }
+    // Cut a crash-torn tail off *before* appending: new frames written after
+    // garbage would be unreachable to the prefix-disciplined reader.
+    std::filesystem::resize_file(path_, contents.valid_bytes, ec);
+    if (ec) {
+      throw ConfigError("TrialJournal: cannot truncate torn tail of '" + path_ +
+                        "': " + ec.message());
+    }
+    if (replayed != nullptr) *replayed = std::move(contents.records);
+  }
+
+  file_ = std::fopen(path_.c_str(), exists ? "ab" : "wb");
+  if (file_ == nullptr) {
+    throw ConfigError("TrialJournal: cannot open '" + path_ + "' for append");
+  }
+  if (!exists) {
+    std::string header(kJournalMagic, sizeof(kJournalMagic));
+    AppendVarint(&header, kJournalVersion);
+    AppendVarint(&header, campaign_seed);
+    AppendVarint(&header, app.size());
+    header.append(app);
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      throw ConfigError("TrialJournal: cannot write header of '" + path_ + "'");
+    }
+  }
+}
+
+TrialJournal::~TrialJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TrialJournal::Append(const RunRecord& rec) {
+  const std::string payload = EncodeJournalRecord(rec);
+  std::string frame;
+  AppendVarint(&frame, payload.size());
+  frame.append(payload);
+  AppendU32Le(&frame, Crc32(payload.data(), payload.size()));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    throw ConfigError("TrialJournal: append to closed journal '" + path_ + "'");
+  }
+  // One fwrite per frame keeps frames contiguous; fsync makes the record
+  // durable before the trial is considered "completed" anywhere else.
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    throw ConfigError("TrialJournal: append failed on '" + path_ + "'");
+  }
+  ++appended_;
+}
+
+}  // namespace chaser::campaign

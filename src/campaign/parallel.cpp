@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "campaign/journal.h"
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -53,29 +56,64 @@ CampaignResult ParallelCampaign::Run() {
   // Trial i writes only records[i]; the atomic counter hands every index to
   // exactly one worker, so the records vector needs no lock.
   std::vector<RunRecord> records(static_cast<std::size_t>(runs));
+
+  // Journal replay: trials an earlier (possibly killed) process already
+  // completed are slotted into their records[] position by run_seed and
+  // withheld from the work queue. Workers share the journal handle —
+  // TrialJournal::Append is internally locked and fsync-framed, so records
+  // from concurrent workers interleave whole, never torn.
+  std::unique_ptr<TrialJournal> journal;
+  std::vector<std::uint64_t> pending;  // indices still to execute
+  pending.reserve(static_cast<std::size_t>(runs));
+  if (!config_.journal_path.empty()) {
+    std::vector<RunRecord> replayed;
+    journal = std::make_unique<TrialJournal>(config_.journal_path, config_.seed,
+                                             spec_.name, &replayed);
+    std::map<std::uint64_t, RunRecord> done;
+    for (RunRecord& rec : replayed) done[rec.run_seed] = std::move(rec);
+    for (std::uint64_t i = 0; i < runs; ++i) {
+      const auto it = done.find(seeds[i]);
+      if (it != done.end()) {
+        records[static_cast<std::size_t>(i)] = it->second;
+      } else {
+        pending.push_back(i);
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < runs; ++i) pending.push_back(i);
+  }
+
   std::atomic<std::uint64_t> next{0};
+  const std::uint64_t n_pending = pending.size();
   std::mutex error_mutex;
   std::exception_ptr error;
 
   const auto worker = [&]() {
     try {
-      TrialEngine engine(spec_, config_, inject_ranks_);
-      engine.AdoptGolden(golden_);
+      std::unique_ptr<TrialEngine> engine;
       while (true) {
-        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= runs) break;
-        records[static_cast<std::size_t>(i)] = engine.RunTrial(seeds[i]);
+        const std::uint64_t p = next.fetch_add(1, std::memory_order_relaxed);
+        if (p >= n_pending) break;
+        const std::uint64_t i = pending[static_cast<std::size_t>(p)];
+        // Containment boundary: a throwing trial retries on a rebuilt engine
+        // and quarantines as kInfra — it cannot take down the worker pool.
+        const RunRecord rec = RunTrialContained(
+            &engine, spec_, config_, inject_ranks_, golden_, seeds[i]);
+        if (journal != nullptr) journal->Append(rec);
+        records[static_cast<std::size_t>(i)] = rec;
       }
     } catch (...) {
+      // Only infrastructure outside trial containment lands here (e.g. the
+      // journal device filling up) — that genuinely ends the campaign.
       std::lock_guard<std::mutex> lock(error_mutex);
       if (!error) error = std::current_exception();
       // Drain the remaining work so the other workers stop promptly.
-      next.store(runs, std::memory_order_relaxed);
+      next.store(n_pending, std::memory_order_relaxed);
     }
   };
 
   const unsigned n_workers = static_cast<unsigned>(std::max<std::uint64_t>(
-      1, std::min<std::uint64_t>(jobs_, runs == 0 ? 1 : runs)));
+      1, std::min<std::uint64_t>(jobs_, n_pending == 0 ? 1 : n_pending)));
   if (n_workers == 1) {
     worker();
   } else {

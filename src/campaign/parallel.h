@@ -32,6 +32,11 @@ class ParallelCampaign {
   void RunGolden();
 
   /// Full campaign: golden + config.runs trials across the worker pool.
+  /// Trial failures are contained per RunTrialContained (retry, then
+  /// quarantine as Outcome::kInfra). With config.journal_path set, workers
+  /// append every completed trial to the shared crash-safe journal and
+  /// trials already journalled are replayed, not re-run — a killed `--jobs N`
+  /// campaign resumes to the same bytes as an uninterrupted one.
   CampaignResult Run();
 
   // ---- Introspection -------------------------------------------------------

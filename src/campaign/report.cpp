@@ -9,15 +9,47 @@
 namespace chaser::campaign {
 
 namespace {
-constexpr const char* kRecordsHeader =
+
+// Format history. A bare (versionless) first line is how v1/v2 files start;
+// v3 onward leads with an explicit `#chaser-records-csv vN` line so future
+// column growth cannot silently misparse old files again.
+constexpr const char* kVersionLinePrefix = "#chaser-records-csv v";
+constexpr unsigned kCurrentCsvVersion = 3;
+
+constexpr const char* kRecordsHeaderV1 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions";
+constexpr const char* kRecordsHeaderV2 =
     "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
     "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
     "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
     "flip_bits,instructions,trace_dropped";
+constexpr const char* kRecordsHeaderV3 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error";
+
+constexpr std::size_t kFieldsV1 = 17;
+constexpr std::size_t kFieldsV2 = 18;
+constexpr std::size_t kFieldsV3 = 21;
+
+/// infra_error is free-form exception text; flatten anything that would
+/// break the one-line-per-record framing or the comma split.
+std::string SanitizeCell(std::string s) {
+  for (char& c : s) {
+    if (c == ',' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
 }  // namespace
 
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
-  out << kRecordsHeader << '\n';
+  out << kVersionLinePrefix << kCurrentCsvVersion << '\n';
+  out << kRecordsHeaderV3 << '\n';
   for (const RunRecord& r : records) {
     out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
         << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
@@ -27,7 +59,8 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
         << r.tainted_reads << ',' << r.tainted_writes << ','
         << r.peak_tainted_bytes << ',' << r.tainted_output_bytes << ','
         << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << ','
-        << r.trace_dropped << '\n';
+        << r.trace_dropped << ',' << r.taint_lost << ',' << r.retries << ','
+        << SanitizeCell(r.infra_error) << '\n';
   }
 }
 
@@ -37,6 +70,7 @@ Outcome ParseOutcome(const std::string& s) {
   if (s == "benign") return Outcome::kBenign;
   if (s == "terminated") return Outcome::kTerminated;
   if (s == "sdc") return Outcome::kSdc;
+  if (s == "infra") return Outcome::kInfra;
   throw ConfigError("ReadRecordsCsv: unknown outcome '" + s + "'");
 }
 
@@ -75,16 +109,55 @@ std::int64_t ParseSigned(const std::string& s) {
 
 std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kRecordsHeader) {
+  if (!std::getline(in, line)) {
     throw ConfigError("ReadRecordsCsv: missing or unexpected header");
   }
+
+  // Versioned files lead with `#chaser-records-csv vN`; versionless files
+  // are identified by which historical bare header their first line matches.
+  unsigned version = 0;
+  const std::string prefix = kVersionLinePrefix;
+  if (line.rfind(prefix, 0) == 0) {
+    std::uint64_t v = 0;
+    if (!ParseU64(line.substr(prefix.size()), &v) || v == 0) {
+      throw ConfigError("ReadRecordsCsv: malformed version line '" + line + "'");
+    }
+    if (v > kCurrentCsvVersion) {
+      throw ConfigError(StrFormat(
+          "ReadRecordsCsv: file is format v%llu but this build reads up to "
+          "v%u — regenerate or upgrade",
+          static_cast<unsigned long long>(v), kCurrentCsvVersion));
+    }
+    version = static_cast<unsigned>(v);
+    if (!std::getline(in, line)) {
+      throw ConfigError("ReadRecordsCsv: version line without a header");
+    }
+    const char* expected = version == 1   ? kRecordsHeaderV1
+                           : version == 2 ? kRecordsHeaderV2
+                                          : kRecordsHeaderV3;
+    if (line != expected) {
+      throw ConfigError(StrFormat(
+          "ReadRecordsCsv: header does not match format v%u", version));
+    }
+  } else if (line == kRecordsHeaderV2) {
+    version = 2;
+  } else if (line == kRecordsHeaderV1) {
+    version = 1;
+  } else {
+    throw ConfigError("ReadRecordsCsv: missing or unexpected header");
+  }
+
+  const std::size_t fields = version == 1   ? kFieldsV1
+                             : version == 2 ? kFieldsV2
+                                            : kFieldsV3;
   std::vector<RunRecord> records;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> f = Split(line, ',');
-    if (f.size() != 18) {
-      throw ConfigError(StrFormat("ReadRecordsCsv: expected 18 fields, got %zu",
-                                  f.size()));
+    if (f.size() != fields) {
+      throw ConfigError(StrFormat(
+          "ReadRecordsCsv: expected %zu fields (format v%u), got %zu", fields,
+          version, f.size()));
     }
     RunRecord r;
     r.run_seed = ParseNum(f[0]);
@@ -104,7 +177,12 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     r.trigger_nth = ParseNum(f[14]);
     r.flip_bits = static_cast<unsigned>(ParseNum(f[15]));
     r.instructions = ParseNum(f[16]);
-    r.trace_dropped = ParseNum(f[17]);
+    if (version >= 2) r.trace_dropped = ParseNum(f[17]);
+    if (version >= 3) {
+      r.taint_lost = ParseNum(f[18]);
+      r.retries = static_cast<unsigned>(ParseNum(f[19]));
+      r.infra_error = f[20];
+    }
     records.push_back(r);
   }
   return records;

@@ -16,11 +16,17 @@
 namespace chaser::campaign {
 
 /// Write one row per run: seed, outcome, termination detail, injection site,
-/// propagation counters.
+/// propagation counters. Emits the current format: a `#chaser-records-csv vN`
+/// version line, the column header, then the rows. `infra_error` cells are
+/// sanitized (',' and newlines become spaces) so rows stay one line wide.
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out);
 
-/// Parse a CSV produced by WriteRecordsCsv. Throws ConfigError on malformed
-/// input (wrong header, bad field counts, non-numeric cells).
+/// Parse a CSV produced by WriteRecordsCsv — any version this build knows:
+///   v1  bare 17-column header (pre trace_dropped)
+///   v2  bare 18-column header (adds trace_dropped)
+///   v3  version line + 21 columns (adds taint_lost, retries, infra_error)
+/// Fields a version predates default to zero/empty. Throws ConfigError on
+/// malformed input (unknown header/version, bad field counts, bad cells).
 std::vector<RunRecord> ReadRecordsCsv(std::istream& in);
 
 /// Write a tainted-bytes timeline (Fig. 7 series) as CSV.

@@ -53,6 +53,20 @@ inline std::uint64_t LowBytesMask(unsigned bytes) {
                     : ((std::uint64_t{1} << (8 * bytes)) - 1);
 }
 
+/// a + b, clamped to UINT64_MAX on overflow. Watchdog-budget arithmetic
+/// (multiplier * golden instret + slack) must never wrap to a tiny budget
+/// that would kill every healthy trial.
+inline std::uint64_t SaturatingAddU64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = 0;
+  return __builtin_add_overflow(a, b, &r) ? ~std::uint64_t{0} : r;
+}
+
+/// a * b, clamped to UINT64_MAX on overflow.
+inline std::uint64_t SaturatingMulU64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = 0;
+  return __builtin_mul_overflow(a, b, &r) ? ~std::uint64_t{0} : r;
+}
+
 /// Positions (0-based) of set bits, LSB first.
 inline std::vector<unsigned> SetBitPositions(std::uint64_t v) {
   std::vector<unsigned> out;

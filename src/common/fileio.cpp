@@ -1,0 +1,46 @@
+#include "common/fileio.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.h"
+
+namespace chaser {
+
+void WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw ConfigError("WriteFileAtomic: cannot open '" + tmp + "' for writing");
+  }
+  const auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw ConfigError("WriteFileAtomic: " + what + " '" + tmp + "'");
+  };
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    fail("short write to");
+  }
+  // Flush user-space buffers, then force the bytes to disk before the
+  // rename — otherwise a crash could publish an empty file under `path`.
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) fail("cannot flush");
+  if (std::fclose(f) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw ConfigError("WriteFileAtomic: close failed for '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    throw ConfigError("WriteFileAtomic: cannot rename '" + tmp + "' to '" +
+                      path + "': " + ec.message());
+  }
+}
+
+}  // namespace chaser

@@ -1,0 +1,19 @@
+// Crash-safe file output helpers.
+//
+// Campaign artifacts (CSV exports, reports, analysis dumps) are read back by
+// later tooling — a process killed mid-write must never leave a truncated
+// file that a reader mistakes for a complete one. The discipline here is the
+// classic write-to-temp / fsync / rename: the destination path either holds
+// the old contents or the complete new contents, never a prefix.
+#pragma once
+
+#include <string>
+
+namespace chaser {
+
+/// Write `content` to `path` atomically: the bytes go to `<path>.tmp`, are
+/// flushed and fsync'd, and the temp file is renamed over `path`. Throws
+/// ConfigError if any step fails (the temp file is removed on failure).
+void WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace chaser

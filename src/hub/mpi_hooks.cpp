@@ -32,15 +32,28 @@ void ChaserMpiHooks::OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
   auto& taint = receiver.taint();
   if (!taint.enabled()) return;
 
-  const auto record = hub_->Poll({env.src, env.dest, env.tag, env.seq},
-                                 {.dest_vaddr = buf,
-                                  .recv_instret = receiver.instret()});
-  if (!record) return;  // message was clean
+  const MessageId id{env.src, env.dest, env.tag, env.seq};
+  const RecvContext ctx{.dest_vaddr = buf, .recv_instret = receiver.instret()};
+  // Bounded poll deadline: an unavailable hub (outage / visibility lag) is
+  // retried up to the fault model's budget; a definitive miss never is.
+  PollAttempt attempt = hub_->TryPoll(id, ctx);
+  for (std::uint64_t retry = hub_->fault_model().poll_retries;
+       attempt.status == PollStatus::kUnavailable && retry > 0; --retry) {
+    attempt = hub_->TryPoll(id, ctx);
+  }
+  if (attempt.status == PollStatus::kUnavailable) {
+    // Deadline exhausted: proceed untainted — the payload bytes arrived, but
+    // their shadow is lost. The hub accounts the loss (RunRecord::taint_lost).
+    hub_->AbandonPoll(id);
+    return;
+  }
+  if (attempt.status == PollStatus::kMiss) return;  // message was clean
 
+  const MessageTaintRecord& record = *attempt.record;
   const std::uint64_t bytes =
-      std::min<std::uint64_t>(record->byte_masks.size(), env.payload.size());
+      std::min<std::uint64_t>(record.byte_masks.size(), env.payload.size());
   for (std::uint64_t i = 0; i < bytes; ++i) {
-    const std::uint8_t m = record->byte_masks[i];
+    const std::uint8_t m = record.byte_masks[i];
     if (m == 0) continue;
     const auto paddr = receiver.memory().Translate(buf + i);
     if (paddr) taint.SetMemTaintByte(*paddr, m);

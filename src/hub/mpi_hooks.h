@@ -26,6 +26,9 @@ class ChaserMpiHooks : public mpi::MessageHooks {
   /// Receiver hook: poll TaintHub with (tag, source, seq); on a hit,
   /// re-apply the per-byte taint masks to the (freshly cleaned) receive
   /// buffer so local propagation resumes — the fault "manifests again".
+  /// Under a degraded hub (HubFaultModel) an unavailable poll is retried up
+  /// to the model's deadline; past it the receiver proceeds untainted and
+  /// the hub counts the lost taint.
   void OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
                       GuestAddr buf) override;
 

@@ -9,6 +9,13 @@
 // and, only on a hit, re-applies the per-byte taint to the receive buffer.
 // Clean messages cost one hash lookup — receivers never parse message
 // contents (the advantage over in-band header schemes, §V).
+//
+// The hub is also a single point of failure in the paper's real deployment
+// (one service coordinating every QEMU instance). A configurable
+// HubFaultModel degrades the hub on purpose — dropped publishes, delayed
+// visibility, a hard outage window, and a bounded receiver-side poll
+// deadline — so campaigns can *measure* cross-rank taint loss
+// (HubStats::taint_lost) instead of treating the hub as infallible.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace chaser::hub {
@@ -80,22 +88,92 @@ struct RecvContext {
 
 struct HubStats {
   std::uint64_t publishes = 0;       // tainted messages registered by senders
-  std::uint64_t polls = 0;           // receiver-side lookups
+  std::uint64_t polls = 0;           // receiver-side lookups (incl. retries)
   std::uint64_t hits = 0;            // polls that found a tainted record
   std::uint64_t applied_bytes = 0;   // taint bytes re-established at receivers
+  // Degradation-mode accounting (all zero with a healthy hub):
+  std::uint64_t publish_drops = 0;     // sender publishes the hub lost
+  std::uint64_t unavailable_polls = 0; // poll attempts during outage/lag
+  std::uint64_t abandoned_polls = 0;   // receivers that exhausted the deadline
+  std::uint64_t taint_lost = 0;        // tainted messages whose taint never
+                                       // reached the receiver (drops + abandons)
+  std::uint64_t lost_taint_bytes = 0;  // tainted bytes those messages carried
+};
+
+/// Configurable hub degradation (all defaults = a perfectly healthy hub).
+/// Time is the hub's own operation clock: every Publish and every poll
+/// attempt advances it by one, so the model is deterministic and identical
+/// on the serial and parallel campaign drivers.
+struct HubFaultModel {
+  /// Each sender publish is silently lost with this probability (drawn from
+  /// a private Rng reseeded on every Clear(), i.e. per trial).
+  double publish_drop_prob = 0.0;
+  /// A publish becomes visible to polls only after this many further hub
+  /// operations (models hub processing lag; receivers overcome it by
+  /// retrying if their deadline allows).
+  std::uint64_t visibility_delay = 0;
+  /// Hard outage: hub operations in clock window [outage_start, outage_end)
+  /// fail — publishes are lost, polls report kUnavailable.
+  std::uint64_t outage_start = 0;
+  std::uint64_t outage_end = 0;
+  /// Receiver-side deadline: extra poll attempts a receiver hook makes after
+  /// an unavailable first attempt before proceeding untainted.
+  std::uint64_t poll_retries = 0;
+  /// Seed for the publish-drop decisions.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  bool Active() const {
+    return publish_drop_prob > 0.0 || visibility_delay > 0 ||
+           outage_end > outage_start;
+  }
+};
+
+/// Outcome of one poll attempt under a (possibly degraded) hub.
+enum class PollStatus : std::uint8_t {
+  kHit,          // tainted record found and consumed
+  kMiss,         // no record: the message was clean (or its publish was lost)
+  kUnavailable,  // hub down / record not yet visible — retrying may succeed
+};
+
+struct PollAttempt {
+  PollStatus status = PollStatus::kMiss;
+  std::optional<MessageTaintRecord> record;  // set only on kHit
 };
 
 class TaintHub {
  public:
   /// Sender side: register a tainted message's status. Clean messages are
-  /// never published (the sender-side hook returns early).
+  /// never published (the sender-side hook returns early). Under a fault
+  /// model the publish may be silently lost (counted in stats).
   void Publish(MessageTaintRecord record);
 
   /// Receiver side: one-shot lookup by message identity. Returns the record
   /// and removes it, or nullopt (message clean / never published). `ctx`
-  /// stamps the transfer-log entry with the receiver-side anchors.
+  /// stamps the transfer-log entry with the receiver-side anchors. Under a
+  /// fault model an unavailable hub reads as a miss — callers that want to
+  /// retry must use TryPoll.
   std::optional<MessageTaintRecord> Poll(const MessageId& id,
                                          const RecvContext& ctx = {});
+
+  /// One poll attempt that distinguishes "definitively clean" (kMiss) from
+  /// "hub unavailable right now" (kUnavailable, outage or visibility lag).
+  /// The receiver hook retries kUnavailable up to the model's poll_retries.
+  PollAttempt TryPoll(const MessageId& id, const RecvContext& ctx = {});
+
+  /// Receiver gave up on `id` (deadline exhausted): drop any pending record
+  /// so it cannot alias a later message, and account the lost taint. The
+  /// taint_lost counter only grows when a record actually existed — abandons
+  /// of genuinely clean messages are not taint loss.
+  void AbandonPoll(const MessageId& id);
+
+  /// Install (or clear, with a default-constructed model) the degradation
+  /// model. Takes effect immediately; the drop Rng reseeds now and on every
+  /// Clear() so each campaign trial sees the same deterministic fault tape.
+  void SetFaultModel(const HubFaultModel& model);
+  const HubFaultModel& fault_model() const { return fault_model_; }
+
+  /// Hub operation clock (publishes + poll attempts since the last Clear).
+  std::uint64_t clock() const { return clock_; }
 
   /// Completed transfers (every Poll hit), oldest first.
   const std::vector<TransferLogEntry>& transfers() const { return transfers_; }
@@ -119,11 +197,24 @@ class TaintHub {
   void Clear();
 
  private:
-  std::map<std::tuple<Rank, Rank, std::int64_t, std::uint64_t>, MessageTaintRecord>
-      records_;
+  /// A published record plus the hub clock at which it becomes pollable.
+  struct Pending {
+    MessageTaintRecord record;
+    std::uint64_t visible_at = 0;
+  };
+
+  bool InOutage() const {
+    return clock_ >= fault_model_.outage_start && clock_ < fault_model_.outage_end;
+  }
+  void AccountLoss(const MessageTaintRecord& record);
+
+  std::map<std::tuple<Rank, Rank, std::int64_t, std::uint64_t>, Pending> records_;
   std::vector<TransferLogEntry> transfers_;
   std::uint64_t next_hub_seq_ = 0;
   HubStats stats_;
+  HubFaultModel fault_model_;
+  Rng fault_rng_{fault_model_.seed};
+  std::uint64_t clock_ = 0;
 };
 
 }  // namespace chaser::hub

@@ -137,6 +137,23 @@ TEST(Campaign, FullCampaignDeterministicAcrossInstances) {
   EXPECT_EQ(r1.sdc, r2.sdc);
 }
 
+TEST(Campaign, ExtremeWatchdogMultiplierSaturatesInsteadOfWrapping) {
+  // A huge multiplier used to wrap `multiplier * golden_instructions + slack`
+  // around to a tiny budget, killing healthy trials. It must now clamp to
+  // effectively-unlimited, so outcomes match a default-watchdog campaign.
+  CampaignConfig config;
+  config.runs = 8;
+  config.seed = 55;
+  Campaign reference(AccumulatorApp(40), config);
+  const CampaignResult expected = reference.Run();
+  config.watchdog_multiplier = ~0ull;
+  Campaign c(AccumulatorApp(40), config);
+  const CampaignResult result = c.Run();
+  EXPECT_EQ(result.benign, expected.benign);
+  EXPECT_EQ(result.terminated, expected.terminated);
+  EXPECT_EQ(result.sdc, expected.sdc);
+}
+
 TEST(Campaign, TracingRecordsTaintActivity) {
   CampaignConfig config;
   config.runs = 10;

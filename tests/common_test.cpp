@@ -131,6 +131,25 @@ TEST(Bits, SetBitPositions) {
   EXPECT_EQ(SetBitPositions(1ull << 63), (std::vector<unsigned>{63}));
 }
 
+TEST(Bits, SaturatingAddU64) {
+  EXPECT_EQ(SaturatingAddU64(2, 3), 5u);
+  EXPECT_EQ(SaturatingAddU64(~0ull, 0), ~0ull);
+  EXPECT_EQ(SaturatingAddU64(~0ull, 1), ~0ull);
+  EXPECT_EQ(SaturatingAddU64(~0ull - 1, 1), ~0ull - 1 + 1);
+  EXPECT_EQ(SaturatingAddU64(1ull << 63, 1ull << 63), ~0ull);
+}
+
+TEST(Bits, SaturatingMulU64) {
+  EXPECT_EQ(SaturatingMulU64(6, 7), 42u);
+  EXPECT_EQ(SaturatingMulU64(0, ~0ull), 0u);
+  EXPECT_EQ(SaturatingMulU64(~0ull, 1), ~0ull);
+  EXPECT_EQ(SaturatingMulU64(~0ull, 2), ~0ull);
+  EXPECT_EQ(SaturatingMulU64(1ull << 32, 1ull << 32), ~0ull);
+  // The watchdog-budget shape that used to wrap: a huge multiplier times a
+  // realistic golden instruction count must clamp, not wrap small.
+  EXPECT_EQ(SaturatingMulU64(~0ull / 2, 1'000'000), ~0ull);
+}
+
 // ---- rng -------------------------------------------------------------------
 
 TEST(Rng, DeterministicAcrossInstances) {

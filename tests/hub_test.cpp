@@ -2,6 +2,9 @@
 // end-to-end cross-rank taint propagation (the paper's Fig. 5 mechanism).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/chaser_mpi.h"
 #include "core/corrupt.h"
 #include "guest/builder.h"
@@ -134,6 +137,116 @@ TEST(TaintHub, DrainTransferLogMovesAndClears) {
   hub.Publish(rec2);
   (void)hub.Poll({1, 0, 7, 0});
   EXPECT_EQ(hub.transfer_log().at(0).hub_seq, 0u);
+}
+
+// ---- Degradation model (HubFaultModel) ---------------------------------------
+
+TEST(TaintHubFault, OutageWindowDropsPublishesAndBlocksPolls) {
+  TaintHub hub;
+  hub.SetFaultModel({.outage_start = 0, .outage_end = 10});
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff, 0x0f};
+  hub.Publish(rec);  // clock 1, inside the outage: lost
+  EXPECT_EQ(hub.stats().publish_drops, 1u);
+  EXPECT_EQ(hub.stats().taint_lost, 1u);
+  EXPECT_EQ(hub.stats().lost_taint_bytes, 2u);
+  const PollAttempt attempt = hub.TryPoll({0, 1, 7, 0}, {});
+  EXPECT_EQ(attempt.status, PollStatus::kUnavailable);
+  EXPECT_EQ(hub.stats().unavailable_polls, 1u);
+}
+
+TEST(TaintHubFault, PollAfterOutageEndsSeesDefinitiveMiss) {
+  TaintHub hub;
+  hub.SetFaultModel({.outage_start = 0, .outage_end = 2});
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff};
+  hub.Publish(rec);                                        // clock 1: lost
+  EXPECT_EQ(hub.TryPoll({0, 1, 7, 0}, {}).status,          // clock 2: outage over,
+            PollStatus::kMiss);                            // record is simply gone
+}
+
+TEST(TaintHubFault, VisibilityDelayOvercomeByRetrying) {
+  TaintHub hub;
+  hub.SetFaultModel({.visibility_delay = 2});
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff};
+  hub.Publish(rec);  // clock 1, visible at clock 3
+  EXPECT_EQ(hub.TryPoll({0, 1, 7, 0}, {}).status, PollStatus::kUnavailable);
+  const PollAttempt hit = hub.TryPoll({0, 1, 7, 0}, {});  // clock 3
+  ASSERT_EQ(hit.status, PollStatus::kHit);
+  EXPECT_EQ(hit.record->byte_masks, rec.byte_masks);
+  EXPECT_EQ(hub.stats().unavailable_polls, 1u);
+  EXPECT_EQ(hub.stats().hits, 1u);
+  EXPECT_EQ(hub.stats().taint_lost, 0u);
+}
+
+TEST(TaintHubFault, AbandonedPollAccountsTheLoss) {
+  TaintHub hub;
+  hub.SetFaultModel({.visibility_delay = 100});
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff, 0xff, 0x00};
+  hub.Publish(rec);
+  EXPECT_EQ(hub.TryPoll({0, 1, 7, 0}, {}).status, PollStatus::kUnavailable);
+  hub.AbandonPoll({0, 1, 7, 0});
+  EXPECT_EQ(hub.stats().abandoned_polls, 1u);
+  EXPECT_EQ(hub.stats().taint_lost, 1u);
+  EXPECT_EQ(hub.stats().lost_taint_bytes, 2u);
+  // The evicted record cannot alias a later message with the same identity.
+  EXPECT_EQ(hub.TryPoll({0, 1, 7, 0}, {}).status, PollStatus::kMiss);
+}
+
+TEST(TaintHubFault, PublishDropProbabilityOneLosesEverything) {
+  TaintHub hub;
+  hub.SetFaultModel({.publish_drop_prob = 1.0});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    MessageTaintRecord rec;
+    rec.id = {0, 1, 7, i};
+    rec.byte_masks = {0xff};
+    hub.Publish(rec);
+    EXPECT_EQ(hub.TryPoll({0, 1, 7, i}, {}).status, PollStatus::kMiss);
+  }
+  EXPECT_EQ(hub.stats().publish_drops, 5u);
+  EXPECT_EQ(hub.stats().taint_lost, 5u);
+}
+
+TEST(TaintHubFault, ClearRestartsTheDegradationSchedule) {
+  // The drop tape and the operation clock restart on Clear(), so every
+  // trial sees the same schedule — the serial == parallel bit-identity of
+  // degraded campaigns depends on this.
+  TaintHub hub;
+  hub.SetFaultModel({.publish_drop_prob = 0.5, .seed = 7});
+  const auto run_tape = [&] {
+    std::vector<bool> dropped;
+    std::uint64_t drops_before = hub.stats().publish_drops;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      MessageTaintRecord rec;
+      rec.id = {0, 1, 7, i};
+      rec.byte_masks = {0xff};
+      hub.Publish(rec);
+      dropped.push_back(hub.stats().publish_drops > drops_before);
+      drops_before = hub.stats().publish_drops;
+    }
+    return dropped;
+  };
+  const std::vector<bool> first = run_tape();
+  hub.Clear();
+  EXPECT_EQ(run_tape(), first);
+  EXPECT_TRUE(std::find(first.begin(), first.end(), true) != first.end());
+  EXPECT_TRUE(std::find(first.begin(), first.end(), false) != first.end());
+}
+
+TEST(TaintHubFault, LegacyPollTreatsUnavailableAsMiss) {
+  TaintHub hub;
+  hub.SetFaultModel({.outage_start = 0, .outage_end = 100});
+  MessageTaintRecord rec;
+  rec.id = {0, 1, 7, 0};
+  rec.byte_masks = {0xff};
+  hub.Publish(rec);
+  EXPECT_FALSE(hub.Poll({0, 1, 7, 0}).has_value());
 }
 
 TEST(TaintHub, AnyTaintedHelper) {
@@ -317,6 +430,57 @@ TEST_F(HubEndToEnd, StaleRecordsFromDeadTrialDoNotLeakIntoNextJob) {
   const auto copy_pa = receiver.memory().Translate(copy);
   EXPECT_EQ(receiver.taint().GetMemTaintByte(*copy_pa), 0u)
       << "phantom taint leaked from the previous job";
+}
+
+TEST_F(HubEndToEnd, PollDeadlineExhaustedProceedsUntaintedAndCountsLoss) {
+  // The publish succeeds but stays invisible longer than the receiver's
+  // whole poll deadline: the receiver must give up, deliver the payload
+  // untainted, and the hub must account the lost shadow.
+  hub_.SetFaultModel({.visibility_delay = 1000, .poll_retries = 2});
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  EXPECT_EQ(hub_.stats().publishes, 1u);
+  EXPECT_EQ(hub_.stats().hits, 0u);
+  EXPECT_EQ(hub_.stats().abandoned_polls, 1u);
+  EXPECT_EQ(hub_.stats().taint_lost, 1u);
+  EXPECT_EQ(hub_.stats().lost_taint_bytes, 2u);
+  // Retries happened: 1 first attempt + 2 retries, all unavailable.
+  EXPECT_EQ(hub_.stats().polls, 3u);
+  EXPECT_EQ(hub_.stats().unavailable_polls, 3u);
+
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr cell = RelayProgram().DataAddr("cell");
+  const auto pa = receiver.memory().Translate(cell);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*pa), 0u) << "must proceed untainted";
+  // The *data* still arrived — only its shadow was lost.
+  PhysAddr unused;
+  EXPECT_EQ(*receiver.memory().Load(cell, 8, &unused), 0x1234u);
+}
+
+TEST_F(HubEndToEnd, HardOutageLosesTaintButJobCompletes) {
+  hub_.SetFaultModel({.outage_start = 0, .outage_end = 1'000'000});
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  EXPECT_EQ(hub_.stats().publish_drops, 1u);
+  EXPECT_EQ(hub_.stats().taint_lost, 1u);
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr copy = RelayProgram().DataAddr("copy");
+  const auto copy_pa = receiver.memory().Translate(copy);
+  EXPECT_EQ(receiver.taint().GetMemTaintByte(*copy_pa), 0u);
+}
+
+TEST_F(HubEndToEnd, RetryDeadlineOvercomesShortVisibilityLag) {
+  // delay=2 with a 1-retry deadline: the first poll is one clock too early,
+  // the retry lands exactly at visibility — no taint loss, propagation
+  // intact.
+  hub_.SetFaultModel({.visibility_delay = 2, .poll_retries = 1});
+  ASSERT_TRUE(RunWithTaintedCell().completed);
+  EXPECT_EQ(hub_.stats().hits, 1u);
+  EXPECT_EQ(hub_.stats().taint_lost, 0u);
+  EXPECT_EQ(hub_.stats().unavailable_polls, 1u);
+  vm::Vm& receiver = cluster_.rank_vm(1);
+  const GuestAddr copy = RelayProgram().DataAddr("copy");
+  const auto copy_pa = receiver.memory().Translate(copy);
+  EXPECT_NE(receiver.taint().GetMemTaintByte(*copy_pa), 0u)
+      << "taint must propagate once the retry hits";
 }
 
 TEST_F(HubEndToEnd, StatsAndTransfersResetBetweenJobs) {

@@ -4,6 +4,10 @@
 // hub/stat bleed between trials).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <vector>
+
 #include "apps/app.h"
 #include "campaign/campaign.h"
 #include "campaign/parallel.h"
@@ -63,6 +67,10 @@ void ExpectRecordEq(const RunRecord& a, const RunRecord& b, std::size_t i) {
   EXPECT_EQ(a.flip_bits, b.flip_bits) << "record " << i;
   EXPECT_EQ(a.run_seed, b.run_seed) << "record " << i;
   EXPECT_EQ(a.instructions, b.instructions) << "record " << i;
+  EXPECT_EQ(a.trace_dropped, b.trace_dropped) << "record " << i;
+  EXPECT_EQ(a.taint_lost, b.taint_lost) << "record " << i;
+  EXPECT_EQ(a.retries, b.retries) << "record " << i;
+  EXPECT_EQ(a.infra_error, b.infra_error) << "record " << i;
 }
 
 void ExpectResultEq(const CampaignResult& a, const CampaignResult& b) {
@@ -78,6 +86,8 @@ void ExpectResultEq(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.propagated_terminated, b.propagated_terminated);
   EXPECT_EQ(a.propagated_os_exception, b.propagated_os_exception);
   EXPECT_EQ(a.propagated_mpi_error, b.propagated_mpi_error);
+  EXPECT_EQ(a.infra, b.infra);
+  EXPECT_EQ(a.taint_lost, b.taint_lost);
   ASSERT_EQ(a.records.size(), b.records.size());
   for (std::size_t i = 0; i < a.records.size(); ++i) {
     ExpectRecordEq(a.records[i], b.records[i], i);
@@ -161,6 +171,151 @@ TEST(ParallelCampaign, KeepRecordsOffStillCountsDeterministically) {
   EXPECT_EQ(reference.benign, result.benign);
   EXPECT_EQ(reference.terminated, result.terminated);
   EXPECT_EQ(reference.sdc, result.sdc);
+}
+
+// ---- Contained trial failures -------------------------------------------------
+
+TEST(TrialContainment, ThrowingTrialRetriesThenSucceeds) {
+  // A chaos hook that throws on the first attempt of one specific trial:
+  // with one retry granted the campaign must complete with a normal record
+  // for that seed, marked as having cost one retry.
+  CampaignConfig config;
+  config.runs = 8;
+  config.seed = 61;
+  config.trial_retries = 1;
+  config.retry_backoff_ms = 0;
+  const std::uint64_t victim = Campaign::DeriveTrialSeeds(config.seed, 8)[3];
+  config.trial_chaos = [victim](std::uint64_t run_seed, unsigned attempt) {
+    if (run_seed == victim && attempt == 0) {
+      throw ConfigError("chaos: simulated harness failure");
+    }
+  };
+  Campaign campaign(AccumulatorApp(40), config);
+  const CampaignResult result = campaign.Run();
+  EXPECT_EQ(result.infra, 0u);
+  ASSERT_EQ(result.records.size(), 8u);
+  EXPECT_EQ(result.records[3].run_seed, victim);
+  EXPECT_EQ(result.records[3].retries, 1u);
+  EXPECT_NE(result.records[3].outcome, Outcome::kInfra);
+
+  // Apart from the retry count, the retried record must match a clean run:
+  // the rebuilt engine re-derives everything from the trial seed.
+  CampaignConfig clean_config = config;
+  clean_config.trial_chaos = nullptr;
+  Campaign clean(AccumulatorApp(40), clean_config);
+  const CampaignResult reference = clean.Run();
+  RunRecord retried = result.records[3];
+  retried.retries = reference.records[3].retries;
+  ExpectRecordEq(reference.records[3], retried, 3);
+}
+
+TEST(TrialContainment, ExhaustedRetriesQuarantineInsteadOfAborting) {
+  CampaignConfig config;
+  config.runs = 6;
+  config.seed = 62;
+  config.trial_retries = 2;
+  config.retry_backoff_ms = 0;
+  const std::uint64_t victim = Campaign::DeriveTrialSeeds(config.seed, 6)[2];
+  std::atomic<unsigned> attempts{0};
+  config.trial_chaos = [&](std::uint64_t run_seed, unsigned) {
+    if (run_seed == victim) {
+      ++attempts;
+      throw ConfigError("chaos: persistent harness failure");
+    }
+  };
+  Campaign campaign(AccumulatorApp(40), config);
+  const CampaignResult result = campaign.Run();  // must NOT throw
+  EXPECT_EQ(attempts.load(), 3u);  // 1 initial + 2 retries
+  EXPECT_EQ(result.infra, 1u);
+  ASSERT_EQ(result.records.size(), 6u);
+  const RunRecord& quarantined = result.records[2];
+  EXPECT_EQ(quarantined.outcome, Outcome::kInfra);
+  EXPECT_EQ(quarantined.run_seed, victim);
+  EXPECT_EQ(quarantined.retries, 2u);
+  EXPECT_NE(quarantined.infra_error.find("persistent harness failure"),
+            std::string::npos);
+  // The other five trials are real outcomes, unaffected by the quarantine.
+  EXPECT_EQ(result.benign + result.terminated + result.sdc, 5u);
+  // And the report names the quarantine bucket.
+  EXPECT_NE(result.Render("accum").find("infra"), std::string::npos);
+}
+
+TEST(TrialContainment, ParallelPoolSurvivesThrowingTrials) {
+  CampaignConfig config;
+  config.runs = 16;
+  config.seed = 63;
+  config.trial_retries = 0;  // quarantine on first throw
+  config.retry_backoff_ms = 0;
+  const std::vector<std::uint64_t> seeds =
+      Campaign::DeriveTrialSeeds(config.seed, 16);
+  config.trial_chaos = [&seeds](std::uint64_t run_seed, unsigned) {
+    // Poison every fourth trial.
+    for (std::size_t i = 0; i < seeds.size(); i += 4) {
+      if (seeds[i] == run_seed) throw ConfigError("chaos: poisoned trial");
+    }
+  };
+  Campaign serial(AccumulatorApp(40), config);
+  const CampaignResult reference = serial.Run();
+  EXPECT_EQ(reference.infra, 4u);
+
+  for (const unsigned jobs : {2u, 8u}) {
+    ParallelCampaign parallel(AccumulatorApp(40), config, jobs);
+    const CampaignResult result = parallel.Run();
+    SCOPED_TRACE(jobs);
+    ExpectResultEq(reference, result);
+  }
+}
+
+// ---- Hub degradation ----------------------------------------------------------
+
+TEST(HubDegradation, DegradedCampaignStaysBitIdenticalSerialVsParallel) {
+  // The degradation schedule is driven by the hub's deterministic operation
+  // clock and a per-trial reseeded drop tape, so a faulty hub must not break
+  // the serial == parallel bit-identity guarantee.
+  CampaignConfig config;
+  config.runs = 24;
+  config.seed = 123;
+  config.inject_ranks = {0};
+  config.hub_fault.publish_drop_prob = 0.5;
+  config.hub_fault.visibility_delay = 1;
+  config.hub_fault.poll_retries = 1;
+  Campaign serial(apps::BuildMatvec({}), config);
+  const CampaignResult reference = serial.Run();
+
+  for (const unsigned jobs : {2u, 8u}) {
+    ParallelCampaign parallel(apps::BuildMatvec({}), config, jobs);
+    const CampaignResult result = parallel.Run();
+    SCOPED_TRACE(jobs);
+    ExpectResultEq(reference, result);
+  }
+}
+
+TEST(HubDegradation, OutagePlusThrowingTrialCompletesWithInfraAndTaintLost) {
+  // The full acceptance scenario: a campaign hit by BOTH a hub outage (taint
+  // shadows lost in transit) and a persistently throwing trial must run to
+  // completion, quarantine the bad trial as infra, and report nonzero
+  // taint_lost — never abort.
+  CampaignConfig config;
+  config.runs = 24;
+  config.seed = 321;
+  config.inject_ranks = {0};
+  config.trial_retries = 1;
+  config.retry_backoff_ms = 0;
+  config.hub_fault.outage_start = 0;
+  config.hub_fault.outage_end = 1'000'000;  // hub down for the whole trial
+  const std::uint64_t victim = Campaign::DeriveTrialSeeds(config.seed, 24)[5];
+  config.trial_chaos = [victim](std::uint64_t run_seed, unsigned) {
+    if (run_seed == victim) throw ConfigError("chaos: trial host lost");
+  };
+  ParallelCampaign campaign(apps::BuildMatvec({}), config, 4);
+  const CampaignResult result = campaign.Run();  // must NOT throw
+  EXPECT_EQ(result.runs, 24u);
+  EXPECT_EQ(result.infra, 1u);
+  EXPECT_GT(result.taint_lost, 0u);
+  EXPECT_EQ(result.benign + result.terminated + result.sdc, 23u);
+  const std::string report = result.Render("matvec");
+  EXPECT_NE(report.find("infra"), std::string::npos);
+  EXPECT_NE(report.find("lost their taint shadow"), std::string::npos);
 }
 
 // ---- Trial isolation ----------------------------------------------------------

@@ -62,6 +62,106 @@ TEST(Report, ReadRejectsBadHeader) {
   EXPECT_THROW(ReadRecordsCsv(ss), ConfigError);
 }
 
+// ---- Format versioning --------------------------------------------------------
+
+constexpr const char* kHeaderV1 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions";
+
+TEST(Report, WriterEmitsVersionLine) {
+  std::stringstream ss;
+  WriteRecordsCsv({SampleRecord(1)}, ss);
+  EXPECT_EQ(ss.str().rfind("#chaser-records-csv v3\n", 0), 0u)
+      << "v3 files must self-identify so the next column growth cannot "
+         "silently misparse them";
+}
+
+TEST(Report, NewFieldsRoundTripThroughV3) {
+  RunRecord rec = SampleRecord(9);
+  rec.taint_lost = 4;
+  rec.retries = 2;
+  RunRecord infra;
+  infra.run_seed = 10;
+  infra.outcome = Outcome::kInfra;
+  infra.retries = 3;
+  infra.infra_error = "TrialEngine: the disk caught fire";
+  std::stringstream ss;
+  WriteRecordsCsv({rec, infra}, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].taint_lost, 4u);
+  EXPECT_EQ(back[0].retries, 2u);
+  EXPECT_EQ(back[0].infra_error, "");
+  EXPECT_EQ(back[1].outcome, Outcome::kInfra);
+  EXPECT_EQ(back[1].retries, 3u);
+  EXPECT_EQ(back[1].infra_error, "TrialEngine: the disk caught fire");
+}
+
+TEST(Report, InfraErrorCellIsSanitized) {
+  RunRecord infra;
+  infra.run_seed = 1;
+  infra.outcome = Outcome::kInfra;
+  infra.infra_error = "line one\nwith,commas\rand returns";
+  std::stringstream ss;
+  WriteRecordsCsv({infra}, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].infra_error, "line one with commas and returns");
+}
+
+TEST(Report, ReadsLegacyV2FilesWithoutVersionLine) {
+  // A file written before the version line existed: bare 18-column header.
+  // (PR 2 grew the format to this width; those files must keep parsing.)
+  std::stringstream in(
+      std::string(kHeaderV1) + ",trace_dropped\n" +
+      "5,sdc,exited,none,0,-1,0,1,0,1,10,20,30,40,50,2,1000,7\n");
+  const std::vector<RunRecord> back = ReadRecordsCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].run_seed, 5u);
+  EXPECT_EQ(back[0].outcome, Outcome::kSdc);
+  EXPECT_EQ(back[0].instructions, 1000u);
+  EXPECT_EQ(back[0].trace_dropped, 7u);
+  // Fields that postdate v2 default to empty/zero.
+  EXPECT_EQ(back[0].taint_lost, 0u);
+  EXPECT_EQ(back[0].retries, 0u);
+  EXPECT_EQ(back[0].infra_error, "");
+}
+
+TEST(Report, ReadsLegacyV1FilesWithoutTraceDropped) {
+  // The original 17-column format (pre trace_dropped). Reading one of these
+  // with the 18-column reader used to throw "expected 18 fields, got 17".
+  std::stringstream in(std::string(kHeaderV1) + "\n" +
+                       "5,benign,exited,none,0,-1,0,0,0,1,10,20,30,40,50,2,999\n");
+  const std::vector<RunRecord> back = ReadRecordsCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].run_seed, 5u);
+  EXPECT_EQ(back[0].instructions, 999u);
+  EXPECT_EQ(back[0].trace_dropped, 0u);
+}
+
+TEST(Report, RejectsFutureVersion) {
+  std::stringstream in("#chaser-records-csv v99\nwhatever\n");
+  EXPECT_THROW(ReadRecordsCsv(in), ConfigError);
+}
+
+TEST(Report, RejectsVersionHeaderMismatch) {
+  // Claims v1 but carries the v2 header: refuse rather than guess widths.
+  std::stringstream in("#chaser-records-csv v1\n" + std::string(kHeaderV1) +
+                       ",trace_dropped\n");
+  EXPECT_THROW(ReadRecordsCsv(in), ConfigError);
+}
+
+TEST(Report, RejectsWrongWidthForDeclaredVersion) {
+  // A v1 row inside a v3 file must fail loudly, not zero-fill.
+  std::stringstream out;
+  WriteRecordsCsv({}, out);
+  std::stringstream in(out.str() +
+                       "5,benign,exited,none,0,-1,0,0,0,1,10,20,30,40,50,2,999\n");
+  EXPECT_THROW(ReadRecordsCsv(in), ConfigError);
+}
+
 TEST(Report, ReadRejectsShortRow) {
   std::stringstream out;
   WriteRecordsCsv({}, out);

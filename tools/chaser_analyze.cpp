@@ -23,6 +23,7 @@
 #include "analysis/propagation.h"
 #include "analysis/spool.h"
 #include "common/error.h"
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace {
@@ -272,9 +273,8 @@ int main(int argc, char** argv) {
     if (out_path.empty()) {
       std::fputs(output.c_str(), stdout);
     } else {
-      std::ofstream out(out_path);
-      if (!out) throw ConfigError("cannot open --out file '" + out_path + "'");
-      out << output;
+      // Atomic tmp+rename: never clobber a previous report with a torn file.
+      WriteFileAtomic(out_path, output);
       std::printf("wrote %zu bytes to %s\n", output.size(), out_path.c_str());
     }
     return 0;

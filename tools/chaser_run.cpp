@@ -15,7 +15,7 @@
 // for the same seed no matter the --jobs value.
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +24,7 @@
 #include "campaign/parallel.h"
 #include "campaign/report.h"
 #include "common/error.h"
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace {
@@ -44,7 +45,19 @@ void Usage() {
       "  --no-trace          disable fault-propagation tracing\n"
       "  --spool DIR         stream each trial's full trace to DIR/trial-<seed>/\n"
       "                      (no event cap; inspect with chaser_analyze)\n"
-      "  --out FILE          write per-run records as CSV\n"
+      "  --out FILE          write per-run records as CSV (atomic: written to\n"
+      "                      FILE.tmp and renamed into place)\n"
+      "  --resume FILE       journal completed trials to FILE and, if it already\n"
+      "                      holds trials from a killed run of this same campaign,\n"
+      "                      replay them and execute only the missing seeds\n"
+      "  --trial-retries N   rebuild the engine and retry a trial whose harness\n"
+      "                      throws, up to N times, then quarantine it as\n"
+      "                      outcome 'infra' instead of aborting (default 0)\n"
+      "  --hub-fault SPEC    degrade TaintHub; SPEC is comma-separated k=v of\n"
+      "                      drop=P (publish drop probability), delay=N (polls\n"
+      "                      before a publish is visible), outage=A-B (hub down\n"
+      "                      for operation clocks A..B), retries=N (receiver\n"
+      "                      poll deadline), seed=N (drop-tape seed)\n"
       "  --help              this text\n");
 }
 
@@ -64,6 +77,51 @@ std::uint64_t ArgNum(int argc, char** argv, int& i, const char* flag) {
     throw ConfigError(std::string("bad number for ") + flag);
   }
   return v;
+}
+
+/// Parse `--hub-fault drop=0.1,delay=2,outage=100-400,retries=3,seed=9`.
+/// Keys may appear in any order; unspecified ones keep their defaults.
+hub::HubFaultModel ParseHubFault(const std::string& spec) {
+  hub::HubFaultModel model;
+  for (const std::string& kv : Split(spec, ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("--hub-fault: expected k=v, got '" + kv + "'");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "drop") {
+      char* end = nullptr;
+      const double p = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        throw ConfigError("--hub-fault: drop expects a probability in [0,1]");
+      }
+      model.publish_drop_prob = p;
+    } else if (key == "delay") {
+      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad delay value");
+      model.visibility_delay = n;
+    } else if (key == "outage") {
+      const std::vector<std::string> parts = Split(val, '-');
+      std::uint64_t a = 0, b = 0;
+      if (parts.size() != 2 || !ParseU64(parts[0], &a) ||
+          !ParseU64(parts[1], &b) || b < a) {
+        throw ConfigError(
+            "--hub-fault: outage expects A-B (down for clocks [A,B))");
+      }
+      model.outage_start = a;
+      model.outage_end = b;
+    } else if (key == "retries") {
+      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad retries value");
+      model.poll_retries = n;
+    } else if (key == "seed") {
+      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad seed value");
+      model.seed = n;
+    } else {
+      throw ConfigError("--hub-fault: unknown key '" + key + "'");
+    }
+  }
+  return model;
 }
 
 }  // namespace
@@ -111,6 +169,15 @@ int main(int argc, char** argv) {
         jobs_given = true;
       } else if (a == "--no-trace") {
         config.trace = false;
+      } else if (a == "--resume") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --resume");
+        config.journal_path = argv[++i];
+      } else if (a == "--trial-retries") {
+        config.trial_retries =
+            static_cast<unsigned>(ArgNum(argc, argv, i, "--trial-retries"));
+      } else if (a == "--hub-fault") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --hub-fault");
+        config.hub_fault = ParseHubFault(argv[++i]);
       } else if (a == "--spool") {
         if (i + 1 >= argc) throw ConfigError("missing value for --spool");
         config.spool_dir = argv[++i];
@@ -183,9 +250,11 @@ int main(int argc, char** argv) {
     }
 
     if (!out_path.empty()) {
-      std::ofstream out(out_path);
-      if (!out) throw ConfigError("cannot open --out file '" + out_path + "'");
-      campaign::WriteRecordsCsv(result.records, out);
+      // Atomic: a crash mid-write must never leave a half-written CSV where
+      // a previous complete report used to be.
+      std::ostringstream csv;
+      campaign::WriteRecordsCsv(result.records, csv);
+      WriteFileAtomic(out_path, csv.str());
       std::printf("wrote %zu records to %s\n", result.records.size(),
                   out_path.c_str());
     }
