@@ -1,0 +1,162 @@
+// Ablation — the JIT-grade hot path, layer by layer.
+//
+// Times an end-to-end serial injection campaign (golden + trials, tracing on)
+// with each hot-path optimisation enabled cumulatively on top of the last:
+//
+//   baseline        switch dispatch, no TB chaining, no software TLB,
+//                   per-trial private translation caches
+//   +chain          patch TB successor pointers (QEMU goto_tb)
+//   +tlb            flat direct-mapped TLB in front of Memory::Translate
+//   +shared-cache   one process-wide translation cache reused across trials
+//   +threaded       computed-goto dispatch (falls back to switch when the
+//                   build lacks CHASER_THREADED_DISPATCH)
+//
+// Every configuration produces bit-identical campaign results — this file
+// measures only the speed of getting there. `--json` emits the summary as a
+// machine-readable object for tools/bench_to_json.sh.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "vm/vm.h"
+
+namespace chaser {
+namespace {
+
+struct HotPathConfig {
+  const char* name;
+  bool chain_tbs;
+  bool mem_tlb;
+  bool share_cache;
+  vm::Dispatch dispatch;
+};
+
+constexpr HotPathConfig kLadder[] = {
+    {"baseline", false, false, false, vm::Dispatch::kSwitch},
+    {"+chain", true, false, false, vm::Dispatch::kSwitch},
+    {"+tlb", true, true, false, vm::Dispatch::kSwitch},
+    {"+shared-cache", true, true, true, vm::Dispatch::kSwitch},
+    {"+threaded", true, true, true, vm::Dispatch::kAuto},
+};
+constexpr int kConfigs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+struct Workload {
+  const char* app;
+  std::uint64_t runs;
+};
+
+constexpr Workload kWorkloads[] = {{"matvec", 120}, {"lud", 60}};
+constexpr int kNumWorkloads =
+    static_cast<int>(sizeof(kWorkloads) / sizeof(kWorkloads[0]));
+
+apps::AppSpec BuildApp(const char* name) {
+  if (std::strcmp(name, "lud") == 0) return apps::BuildLud({});
+  return apps::BuildMatvec({});
+}
+
+/// One full serial campaign under `hp`; returns wall milliseconds.
+double TimeCampaignOnce(const Workload& w, const HotPathConfig& hp) {
+  campaign::CampaignConfig config;
+  config.runs = w.runs;
+  config.seed = 42;
+  config.chain_tbs = hp.chain_tbs;
+  config.mem_tlb = hp.mem_tlb;
+  config.share_tb_cache = hp.share_cache;
+  config.dispatch = hp.dispatch;
+  campaign::Campaign c(BuildApp(w.app), config);
+  const auto start = std::chrono::steady_clock::now();
+  c.Run();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+}  // namespace chaser
+
+int main(int argc, char** argv) {
+  using namespace chaser;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const int reps = 5;
+  const int pairs = 7;
+
+  // Methodology, tuned for hosts with coarse frequency drift (CI containers):
+  //
+  //  * One untimed warm-up pass per workload, so page-cache/allocator
+  //    cold-start cost is not attributed to whichever config runs first.
+  //  * Ladder times: whole-config campaigns interleaved round-robin across
+  //    repetitions (config order never correlates with drift), min-of-N —
+  //    campaign work is deterministic, so the minimum is the run with the
+  //    least interference.
+  //  * Headline speedup: baseline and fully-optimised campaigns alternated
+  //    back-to-back; each adjacent pair yields one ratio, and the median
+  //    ratio is reported. Drift that is slow compared to one campaign
+  //    (~100 ms) inflates or deflates both halves of a pair together, so
+  //    the ratio survives noise that poisons absolute times.
+  double times[kNumWorkloads][kConfigs] = {};
+  double speedups[kNumWorkloads] = {};
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    (void)TimeCampaignOnce(kWorkloads[w], kLadder[kConfigs - 1]);  // warm-up
+    (void)TimeCampaignOnce(kWorkloads[w], kLadder[0]);             // warm-up
+    for (int r = 0; r < reps; ++r) {
+      for (int c = 0; c < kConfigs; ++c) {
+        const double ms = TimeCampaignOnce(kWorkloads[w], kLadder[c]);
+        if (r == 0 || ms < times[w][c]) times[w][c] = ms;
+      }
+    }
+    std::vector<double> ratios;
+    for (int p = 0; p < pairs; ++p) {
+      const double base = TimeCampaignOnce(kWorkloads[w], kLadder[0]);
+      const double opt = TimeCampaignOnce(kWorkloads[w], kLadder[kConfigs - 1]);
+      ratios.push_back(base / opt);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    speedups[w] = ratios[ratios.size() / 2];
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"ablation_dispatch\",\n");
+    std::printf("  \"threaded_dispatch_available\": %s,\n",
+                vm::Vm::ThreadedDispatchAvailable() ? "true" : "false");
+    std::printf("  \"workloads\": [\n");
+    double min_speedup = 0.0;
+    for (int w = 0; w < kNumWorkloads; ++w) {
+      const double speedup = speedups[w];
+      if (w == 0 || speedup < min_speedup) min_speedup = speedup;
+      std::printf("    {\"app\": \"%s\", \"runs\": %llu, \"jobs\": 1, "
+                  "\"configs\": [",
+                  kWorkloads[w].app,
+                  static_cast<unsigned long long>(kWorkloads[w].runs));
+      for (int c = 0; c < kConfigs; ++c) {
+        std::printf("%s{\"name\": \"%s\", \"ms\": %.2f}", c == 0 ? "" : ", ",
+                    kLadder[c].name, times[w][c]);
+      }
+      std::printf("], \"baseline_ms\": %.2f, \"optimized_ms\": %.2f, "
+                  "\"speedup\": %.2f}%s\n",
+                  times[w][0], times[w][kConfigs - 1], speedup,
+                  w + 1 < kNumWorkloads ? "," : "");
+    }
+    std::printf("  ],\n  \"min_speedup\": %.2f\n}\n", min_speedup);
+    return 0;
+  }
+
+  std::printf("=== Ablation: hot-path layers (serial campaign, tracing on) ===\n");
+  std::printf("threaded dispatch available: %s\n\n",
+              vm::Vm::ThreadedDispatchAvailable() ? "yes" : "no (switch fallback)");
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    std::printf("%s, %llu runs:\n", kWorkloads[w].app,
+                static_cast<unsigned long long>(kWorkloads[w].runs));
+    for (int c = 0; c < kConfigs; ++c) {
+      std::printf("  %-14s %8.2f ms   %.2fx vs baseline\n", kLadder[c].name,
+                  times[w][c], times[w][0] / times[w][c]);
+    }
+    std::printf("  paired speedup (median of %d baseline/optimized pairs): %.2fx\n\n",
+                pairs, speedups[w]);
+  }
+  return 0;
+}

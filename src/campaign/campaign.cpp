@@ -73,6 +73,13 @@ std::string CampaignResult::Render(const std::string& label) const {
         "transit (propagation counts are a lower bound)\n",
         static_cast<unsigned long long>(taint_lost));
   }
+  if (tb_chain_hits + tlb_hits + tlb_misses > 0) {
+    out += StrFormat(
+        "  hot path: %llu tb chain hits, %llu tlb hits, %llu tlb misses\n",
+        static_cast<unsigned long long>(tb_chain_hits),
+        static_cast<unsigned long long>(tlb_hits),
+        static_cast<unsigned long long>(tlb_misses));
+  }
   return out;
 }
 
@@ -116,6 +123,9 @@ void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
   }
   trace_dropped += rec.trace_dropped;
   taint_lost += rec.taint_lost;
+  tb_chain_hits += rec.tb_chain_hits;
+  tlb_hits += rec.tlb_hits;
+  tlb_misses += rec.tlb_misses;
   if (keep_record) records.push_back(rec);
 }
 
@@ -144,7 +154,10 @@ std::uint64_t GoldenProfile::execs(Rank r) const {
 
 TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config,
                          const std::set<Rank>& inject_ranks)
-    : spec_(spec), config_(config), inject_ranks_(inject_ranks) {
+    : spec_(spec),
+      config_(config),
+      inject_ranks_(inject_ranks),
+      image_(std::make_shared<const guest::Program>(spec.program)) {
   for (const Rank r : inject_ranks_) {
     if (r < 0 || r >= spec_.num_ranks) {
       throw ConfigError(StrFormat("Campaign: inject rank %d outside 0..%d", r,
@@ -154,6 +167,19 @@ TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config
   mpi::Cluster::Config cluster_config;
   cluster_config.num_ranks = spec_.num_ranks;
   cluster_config.quantum = config_.scheduler_quantum;
+  // Hot-path plumbing: every rank VM of every trial shares the campaign's
+  // translation cache and runs with the configured dispatch/chaining/TLB.
+  cluster_config.vm.shared_cache = config_.shared_tb_cache;
+  cluster_config.vm.max_cached_tbs = config_.tb_cache_cap;
+  cluster_config.vm.dispatch = config_.dispatch;
+  cluster_config.vm.chain_tbs = config_.chain_tbs;
+  cluster_config.vm.mem_tlb = config_.mem_tlb;
+  // Every trial restarts the same image; hash it once per engine, not once
+  // per StartProcess.
+  if (config_.shared_tb_cache != nullptr) {
+    cluster_config.vm.program_hash =
+        tcg::SharedTbCache::HashProgram(spec_.program);
+  }
   cluster_ = std::make_unique<mpi::Cluster>(cluster_config);
   chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options);
   // The fault model lives in config (not per trial): TaintHub::Clear() at
@@ -174,7 +200,7 @@ GoldenProfile TrialEngine::RunGolden() {
   cmd.seed = config_.seed;
   chaser_->Arm(cmd, inject_ranks_);
 
-  cluster_->Start(spec_.program);
+  cluster_->Start(image_);
   const mpi::JobResult job = cluster_->Run();
   if (!job.completed) {
     throw ConfigError(StrFormat(
@@ -256,7 +282,7 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
     }
   }
   try {
-    cluster_->Start(spec_.program);
+    cluster_->Start(image_);
     const mpi::JobResult job = cluster_->Run();
     Classify(job, &rec);
   } catch (...) {
@@ -306,6 +332,15 @@ void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
   }
   for (Rank r = 0; r < spec_.num_ranks; ++r) {
     rec->trace_dropped += chaser_->rank_chaser(r).trace_log().dropped();
+  }
+  // Hot-path counters: per-trial deterministic (chain hits and TLB traffic
+  // depend only on the executed instruction stream) and config-invariant, so
+  // they are safe to place in the identity-checked record.
+  for (Rank r = 0; r < spec_.num_ranks; ++r) {
+    const vm::Vm& rank_vm = cluster_->rank_vm(r);
+    rec->tb_chain_hits += rank_vm.tb_chain_hits();
+    rec->tlb_hits += rank_vm.tlb_hits();
+    rec->tlb_misses += rank_vm.tlb_misses();
   }
   rec->propagated_cross_rank = chaser_->FaultPropagatedFrom(rec->inject_rank);
   rec->propagated_cross_node = chaser_->FaultPropagatedAcrossNodes();
@@ -376,10 +411,19 @@ RunRecord RunTrialContained(std::unique_ptr<TrialEngine>* engine,
 
 Campaign::Campaign(apps::AppSpec spec, CampaignConfig config)
     : spec_(std::move(spec)),
-      config_(config),
-      inject_ranks_(config.inject_ranks.empty() ? std::set<Rank>{0}
-                                                : config.inject_ranks),
-      engine_(std::make_unique<TrialEngine>(spec_, config_, inject_ranks_)) {}
+      config_(std::move(config)),
+      inject_ranks_(config_.inject_ranks.empty() ? std::set<Rank>{0}
+                                                 : config_.inject_ranks) {
+  // Resolve the shared translation cache before any engine exists: engines
+  // copy the pointer into their cluster's Vm::Config at construction.
+  if (!config_.share_tb_cache) {
+    config_.shared_tb_cache = nullptr;
+  } else if (config_.shared_tb_cache == nullptr) {
+    owned_tb_cache_ = std::make_unique<tcg::SharedTbCache>(config_.tb_cache_cap);
+    config_.shared_tb_cache = owned_tb_cache_.get();
+  }
+  engine_ = std::make_unique<TrialEngine>(spec_, config_, inject_ranks_);
+}
 
 void Campaign::RunGolden() {
   if (engine_ == nullptr) {

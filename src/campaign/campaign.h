@@ -37,6 +37,7 @@
 #include "core/chaser_mpi.h"
 #include "hub/tainthub.h"
 #include "mpi/cluster.h"
+#include "tcg/shared_cache.h"
 
 namespace chaser::campaign {
 
@@ -68,6 +69,12 @@ struct RunRecord {
   unsigned flip_bits = 0;          // the chosen x
   std::uint64_t run_seed = 0;      // reproduce this exact trial
   std::uint64_t instructions = 0;  // total guest instructions this trial
+  /// Hot-path counters summed over ranks (deterministic per run_seed and
+  /// invariant across serial/parallel, shared-cache, and dispatch configs —
+  /// which is why they may live in the identity-checked record).
+  std::uint64_t tb_chain_hits = 0;
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
   /// Events the in-memory TraceLogs dropped at their capacity cap this
   /// trial (0 when everything fit; a spool still captured all of them).
   std::uint64_t trace_dropped = 0;
@@ -117,6 +124,26 @@ struct CampaignConfig {
   /// attempt, *inside* the containment boundary — throwing from here
   /// exercises the retry/quarantine path deterministically.
   std::function<void(std::uint64_t, unsigned)> trial_chaos;
+
+  // ---- Hot-path knobs (all bit-transparent: outputs are byte-identical
+  // ---- with any combination of these, only speed changes) -----------------
+  /// Share one cross-trial translation cache among every VM the campaign
+  /// creates (the driver owns it unless `shared_tb_cache` is set).
+  bool share_tb_cache = true;
+  /// Externally owned cache to use instead of the driver-owned one (lets
+  /// several campaigns over the same app share translations). Must outlive
+  /// the campaign.
+  tcg::SharedTbCache* shared_tb_cache = nullptr;
+  /// Per-VM local TB-index cap and shared-cache live-TB cap; overflow does a
+  /// full flush (QEMU semantics), surfaced in eviction stats. 0 = unlimited.
+  std::uint64_t tb_cache_cap = 0;
+  /// TCG dispatch engine for every VM (vm::Dispatch::kAuto = threaded when
+  /// compiled in, else switch).
+  vm::Dispatch dispatch = vm::Dispatch::kAuto;
+  /// goto_tb-style TB chaining in every VM.
+  bool chain_tbs = true;
+  /// Flat software TLB in front of every VM's soft-MMU.
+  bool mem_tlb = true;
 };
 
 struct CampaignResult {
@@ -146,6 +173,11 @@ struct CampaignResult {
   std::uint64_t infra = 0;
   /// Messages whose taint shadow the degraded hub lost, summed over trials.
   std::uint64_t taint_lost = 0;
+
+  // Hot-path counters summed over trials (see RunRecord).
+  std::uint64_t tb_chain_hits = 0;
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
 
   std::vector<RunRecord> records;
 
@@ -214,6 +246,9 @@ class TrialEngine {
   const apps::AppSpec& spec_;
   const CampaignConfig& config_;
   const std::set<Rank>& inject_ranks_;
+  /// One immutable copy of the app image, lent to every rank VM of every
+  /// trial (Vm::StartProcess shared overload) instead of re-copied per start.
+  std::shared_ptr<const guest::Program> image_;
   std::unique_ptr<mpi::Cluster> cluster_;
   std::unique_ptr<core::ChaserMpi> chaser_;
   const GoldenProfile* golden_ = nullptr;
@@ -272,11 +307,20 @@ class Campaign {
   const std::set<Rank>& inject_ranks() const { return inject_ranks_; }
   mpi::Cluster& cluster() { return engine_->cluster(); }
   core::ChaserMpi& chaser() { return engine_->chaser(); }
+  /// The shared translation cache in use (campaign-owned or external);
+  /// null when sharing is disabled.
+  const tcg::SharedTbCache* shared_tb_cache() const {
+    return config_.shared_tb_cache;
+  }
 
  private:
   apps::AppSpec spec_;
   CampaignConfig config_;
   std::set<Rank> inject_ranks_;
+  /// Campaign-owned shared cache (when config.share_tb_cache and no external
+  /// cache was supplied). Declared before engine_: engines must be destroyed
+  /// before the cache their VMs point into.
+  std::unique_ptr<tcg::SharedTbCache> owned_tb_cache_;
   /// Owned via pointer so containment can rebuild it after a trial throws
   /// (a half-destroyed Cluster must never serve another trial).
   std::unique_ptr<TrialEngine> engine_;  // borrows spec_/config_/inject_ranks_

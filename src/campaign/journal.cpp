@@ -17,7 +17,6 @@ namespace chaser::campaign {
 namespace {
 
 constexpr char kJournalMagic[8] = {'C', 'H', 'S', 'J', 'R', 'N', 'L', '1'};
-constexpr std::uint64_t kJournalVersion = 1;
 /// Upper bound on one record frame; anything larger is a corrupt length
 /// varint, not a real record (records are a few hundred bytes).
 constexpr std::uint64_t kMaxRecordBytes = 1u << 20;
@@ -58,7 +57,8 @@ std::uint32_t ReadU32Le(const char* p) {
   return v;
 }
 
-std::optional<RunRecord> DecodeJournalRecord(const std::string& payload) {
+std::optional<RunRecord> DecodeJournalRecord(const std::string& payload,
+                                             std::uint64_t version) {
   std::size_t pos = 0;
   RunRecord r;
   const auto u64 = [&](std::uint64_t* v) {
@@ -74,10 +74,16 @@ std::optional<RunRecord> DecodeJournalRecord(const std::string& payload) {
       !u64(&r.tainted_reads) || !u64(&r.tainted_writes) ||
       !u64(&r.peak_tainted_bytes) || !u64(&r.tainted_output_bytes) ||
       !u64(&r.trigger_nth) || !u64(&flip_bits) || !u64(&r.instructions) ||
-      !u64(&r.trace_dropped) || !u64(&r.taint_lost) || !u64(&retries) ||
-      !u64(&error_len)) {
+      !u64(&r.trace_dropped) || !u64(&r.taint_lost) || !u64(&retries)) {
     return std::nullopt;
   }
+  // v2 appended the hot-path counters here; v1 records replay with zeros,
+  // matching what a v1 build would have accumulated.
+  if (version >= 2 && (!u64(&r.tb_chain_hits) || !u64(&r.tlb_hits) ||
+                       !u64(&r.tlb_misses))) {
+    return std::nullopt;
+  }
+  if (!u64(&error_len)) return std::nullopt;
   if (outcome > static_cast<std::uint64_t>(Outcome::kInfra) ||
       kind > static_cast<std::uint64_t>(vm::TerminationKind::kMpiError) ||
       signal > static_cast<std::uint64_t>(vm::GuestSignal::kKill)) {
@@ -100,7 +106,7 @@ std::optional<RunRecord> DecodeJournalRecord(const std::string& payload) {
 
 }  // namespace
 
-std::string EncodeJournalRecord(const RunRecord& rec) {
+std::string EncodeJournalRecord(const RunRecord& rec, std::uint64_t version) {
   std::string payload;
   AppendVarint(&payload, rec.run_seed);
   AppendVarint(&payload, static_cast<std::uint64_t>(rec.outcome));
@@ -122,6 +128,11 @@ std::string EncodeJournalRecord(const RunRecord& rec) {
   AppendVarint(&payload, rec.trace_dropped);
   AppendVarint(&payload, rec.taint_lost);
   AppendVarint(&payload, rec.retries);
+  if (version >= 2) {
+    AppendVarint(&payload, rec.tb_chain_hits);
+    AppendVarint(&payload, rec.tlb_hits);
+    AppendVarint(&payload, rec.tlb_misses);
+  }
   AppendVarint(&payload, rec.infra_error.size());
   payload.append(rec.infra_error);
   return payload;
@@ -145,9 +156,9 @@ JournalContents ReadJournal(const std::string& path) {
     *v = *d;
   };
   header_u64(&contents.header.version);
-  if (contents.header.version != kJournalVersion) {
+  if (contents.header.version == 0 || contents.header.version > kJournalVersion) {
     throw ConfigError(StrFormat(
-        "ReadJournal: '%s' is journal version %llu; this build reads version %llu",
+        "ReadJournal: '%s' is journal version %llu; this build reads versions up to %llu",
         path.c_str(),
         static_cast<unsigned long long>(contents.header.version),
         static_cast<unsigned long long>(kJournalVersion)));
@@ -179,7 +190,8 @@ JournalContents ReadJournal(const std::string& path) {
       contents.truncated = true;
       break;
     }
-    const auto rec = DecodeJournalRecord(buf.substr(payload_at, payload_len));
+    const auto rec = DecodeJournalRecord(buf.substr(payload_at, payload_len),
+                                         contents.header.version);
     if (!rec) {
       contents.truncated = true;
       break;
@@ -211,6 +223,9 @@ TrialJournal::TrialJournal(const std::string& path, std::uint64_t campaign_seed,
           static_cast<unsigned long long>(contents.header.campaign_seed),
           app.c_str(), static_cast<unsigned long long>(campaign_seed)));
     }
+    // Appends continue in the file's own format version — mixing v1 and v2
+    // frames in one file would make the layout ambiguous to readers.
+    version_ = contents.header.version;
     // Cut a crash-torn tail off *before* appending: new frames written after
     // garbage would be unreachable to the prefix-disciplined reader.
     std::filesystem::resize_file(path_, contents.valid_bytes, ec);
@@ -245,7 +260,7 @@ TrialJournal::~TrialJournal() {
 }
 
 void TrialJournal::Append(const RunRecord& rec) {
-  const std::string payload = EncodeJournalRecord(rec);
+  const std::string payload = EncodeJournalRecord(rec, version_);
   std::string frame;
   AppendVarint(&frame, payload.size());
   frame.append(payload);

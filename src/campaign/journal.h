@@ -14,6 +14,12 @@
 //   record*  frame: payload_len varint, payload bytes, CRC-32 of the payload
 //            as 4 LE bytes; the payload is the varint-serialised RunRecord
 //
+// The header version selects the record payload layout for the whole file:
+// v1 lacks the hot-path counters (tb_chain_hits/tlb_hits/tlb_misses) that v2
+// appends after `retries`. A reader accepts any version <= its own and an
+// appender continues in the *file's* version, so resuming a v1 journal keeps
+// writing v1 frames — one file never mixes layouts.
+//
 // Every Append is flushed and fsync'd before it returns, so a record is
 // either fully on disk or not there at all. The reader applies the same
 // prefix discipline as analysis::SegmentReader: it stops at the first frame
@@ -35,7 +41,7 @@ namespace chaser::campaign {
 /// wrong campaign (different seed or app — different trial-seed sequence)
 /// fails loudly instead of silently merging unrelated trials.
 struct JournalHeader {
-  std::uint64_t version = 1;
+  std::uint64_t version = 2;
   std::uint64_t campaign_seed = 0;
   std::string app;
 };
@@ -53,9 +59,13 @@ struct JournalContents {
 /// bit-flipped record region is *not* an error (truncated flag instead).
 JournalContents ReadJournal(const std::string& path);
 
-/// Serialise/deserialise one RunRecord payload (exposed for tests; the
-/// journal frame adds length + CRC around this).
-std::string EncodeJournalRecord(const RunRecord& rec);
+/// Current journal format version written to fresh files.
+inline constexpr std::uint64_t kJournalVersion = 2;
+
+/// Serialise one RunRecord payload in the given format version (exposed for
+/// tests; the journal frame adds length + CRC around this).
+std::string EncodeJournalRecord(const RunRecord& rec,
+                                std::uint64_t version = kJournalVersion);
 
 /// Append-side handle. Thread-safe: ParallelCampaign workers share one
 /// journal and append completed trials as they finish (order is irrelevant —
@@ -79,12 +89,16 @@ class TrialJournal {
 
   const std::string& path() const { return path_; }
   std::uint64_t appended() const { return appended_; }
+  /// The format version this journal file is written in: an existing file's
+  /// header version (appends continue its layout), kJournalVersion if fresh.
+  std::uint64_t version() const { return version_; }
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   std::mutex mutex_;
   std::uint64_t appended_ = 0;
+  std::uint64_t version_ = kJournalVersion;
 };
 
 }  // namespace chaser::campaign

@@ -18,13 +18,23 @@ namespace chaser::campaign {
 ParallelCampaign::ParallelCampaign(apps::AppSpec spec, CampaignConfig config,
                                    unsigned jobs)
     : spec_(std::move(spec)),
-      config_(config),
-      inject_ranks_(config.inject_ranks.empty() ? std::set<Rank>{0}
-                                                : config.inject_ranks),
+      config_(std::move(config)),
+      inject_ranks_(config_.inject_ranks.empty() ? std::set<Rank>{0}
+                                                 : config_.inject_ranks),
       jobs_(jobs) {
   if (jobs_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs_ = hw == 0 ? 1 : hw;
+  }
+  // Resolve the shared translation cache once; every worker's engines copy
+  // the pointer, so the whole pool reads/writes one cache. Its read path is
+  // lock-free and its insert path re-checks for racing winners, which is
+  // what `ctest -L tsan` exercises.
+  if (!config_.share_tb_cache) {
+    config_.shared_tb_cache = nullptr;
+  } else if (config_.shared_tb_cache == nullptr) {
+    owned_tb_cache_ = std::make_unique<tcg::SharedTbCache>(config_.tb_cache_cap);
+    config_.shared_tb_cache = owned_tb_cache_.get();
   }
   // Fail on a bad inject-rank set here, like the serial Campaign constructor
   // does, instead of from inside a worker thread mid-run.

@@ -47,11 +47,20 @@ class ParallelCampaign {
   std::uint64_t golden_targeted_execs(Rank r) const;
   const apps::AppSpec& spec() const { return spec_; }
   const std::set<Rank>& inject_ranks() const { return inject_ranks_; }
+  /// The shared translation cache in use (driver-owned or external);
+  /// null when sharing is disabled.
+  const tcg::SharedTbCache* shared_tb_cache() const {
+    return config_.shared_tb_cache;
+  }
 
  private:
   apps::AppSpec spec_;
   CampaignConfig config_;
   std::set<Rank> inject_ranks_;
+  /// Pool-owned shared cache (when config.share_tb_cache and no external
+  /// cache was supplied). Outlives every worker's TrialEngine: workers join
+  /// before Run() returns, and nothing else holds TB pointers after that.
+  std::unique_ptr<tcg::SharedTbCache> owned_tb_cache_;
   unsigned jobs_ = 1;
 
   GoldenProfile golden_;

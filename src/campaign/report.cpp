@@ -14,7 +14,7 @@ namespace {
 // v3 onward leads with an explicit `#chaser-records-csv vN` line so future
 // column growth cannot silently misparse old files again.
 constexpr const char* kVersionLinePrefix = "#chaser-records-csv v";
-constexpr unsigned kCurrentCsvVersion = 3;
+constexpr unsigned kCurrentCsvVersion = 4;
 
 constexpr const char* kRecordsHeaderV1 =
     "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
@@ -31,10 +31,17 @@ constexpr const char* kRecordsHeaderV3 =
     "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
     "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
     "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error";
+constexpr const char* kRecordsHeaderV4 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error,"
+    "tb_chain_hits,tlb_hits,tlb_misses";
 
 constexpr std::size_t kFieldsV1 = 17;
 constexpr std::size_t kFieldsV2 = 18;
 constexpr std::size_t kFieldsV3 = 21;
+constexpr std::size_t kFieldsV4 = 24;
 
 /// infra_error is free-form exception text; flatten anything that would
 /// break the one-line-per-record framing or the comma split.
@@ -49,7 +56,7 @@ std::string SanitizeCell(std::string s) {
 
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
   out << kVersionLinePrefix << kCurrentCsvVersion << '\n';
-  out << kRecordsHeaderV3 << '\n';
+  out << kRecordsHeaderV4 << '\n';
   for (const RunRecord& r : records) {
     out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
         << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
@@ -60,7 +67,8 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
         << r.peak_tainted_bytes << ',' << r.tainted_output_bytes << ','
         << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << ','
         << r.trace_dropped << ',' << r.taint_lost << ',' << r.retries << ','
-        << SanitizeCell(r.infra_error) << '\n';
+        << SanitizeCell(r.infra_error) << ',' << r.tb_chain_hits << ','
+        << r.tlb_hits << ',' << r.tlb_misses << '\n';
   }
 }
 
@@ -134,7 +142,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     }
     const char* expected = version == 1   ? kRecordsHeaderV1
                            : version == 2 ? kRecordsHeaderV2
-                                          : kRecordsHeaderV3;
+                           : version == 3 ? kRecordsHeaderV3
+                                          : kRecordsHeaderV4;
     if (line != expected) {
       throw ConfigError(StrFormat(
           "ReadRecordsCsv: header does not match format v%u", version));
@@ -149,7 +158,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
 
   const std::size_t fields = version == 1   ? kFieldsV1
                              : version == 2 ? kFieldsV2
-                                            : kFieldsV3;
+                             : version == 3 ? kFieldsV3
+                                            : kFieldsV4;
   std::vector<RunRecord> records;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -182,6 +192,11 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
       r.taint_lost = ParseNum(f[18]);
       r.retries = static_cast<unsigned>(ParseNum(f[19]));
       r.infra_error = f[20];
+    }
+    if (version >= 4) {
+      r.tb_chain_hits = ParseNum(f[21]);
+      r.tlb_hits = ParseNum(f[22]);
+      r.tlb_misses = ParseNum(f[23]);
     }
     records.push_back(r);
   }

@@ -47,10 +47,21 @@ void Chaser::Attach() {
     trigger_ = cmd_->trigger->Clone();
     injector_active_ = true;
     const std::set<guest::InstrClass> classes = cmd_->target_classes;
+    // The predicate is a pure function of the target-class set, so key it
+    // for the shared translation cache: every trial targeting the same
+    // classes shares one set of instrumented TBs. Bit 63 keeps user keys
+    // disjoint from the reserved clean/unshareable keys (1/0).
+    std::uint64_t key = 1469598103934665603ull;
+    for (const guest::InstrClass c : classes) {  // std::set: sorted, stable
+      key ^= static_cast<std::uint64_t>(c);
+      key *= 1099511628211ull;
+    }
+    key |= 1ull << 63;
     vm_.SetInstrumentPredicate(
         [classes](const guest::Instruction& in, std::uint64_t) {
           return classes.count(guest::ClassOf(in.op)) != 0;
-        });
+        },
+        key);
     vm_.set_injector_hook(
         [this](vm::Vm&, std::uint64_t pc) { OnInjectorHelper(pc); });
   } else {

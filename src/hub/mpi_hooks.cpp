@@ -1,21 +1,45 @@
 #include "hub/mpi_hooks.h"
 
+#include <algorithm>
+
+#include "taint/taint.h"
+#include "vm/memory.h"
+
 namespace chaser::hub {
 
 void ChaserMpiHooks::OnSend(vm::Vm& sender, const mpi::Envelope& env,
                             GuestAddr buf) {
   auto& taint = sender.taint();
   if (!taint.enabled()) return;
+  // Elastic early-out: with no taint anywhere in the process every mask is
+  // zero, so the whole scan (and the hub) can be skipped exactly.
+  if (!taint.Active()) return;
 
   const std::uint64_t bytes = env.payload.size();
   std::vector<std::uint8_t> masks(bytes, 0);
   bool any = false;
-  for (std::uint64_t i = 0; i < bytes; ++i) {
-    const auto paddr = sender.memory().Translate(buf + i);
-    if (!paddr) continue;  // runtime already validated; stay defensive
-    const std::uint8_t m = taint.GetMemTaintByte(*paddr);
-    masks[i] = m;
-    any = any || (m != 0);
+  // Page-at-a-time: translate once per guest page and read the shadow page
+  // directly, instead of a translation + shadow hash lookup per byte.
+  std::uint64_t i = 0;
+  while (i < bytes) {
+    const GuestAddr va = buf + i;
+    std::uint64_t chunk =
+        std::min<std::uint64_t>(bytes - i, vm::kPageSize - (va & vm::kPageMask));
+    const auto paddr = sender.memory().Translate(va);
+    if (!paddr) {  // runtime already validated; stay defensive
+      i += chunk;
+      continue;
+    }
+    const std::uint64_t shadow_off = *paddr & (taint::kShadowPageSize - 1);
+    chunk = std::min(chunk, taint::kShadowPageSize - shadow_off);
+    if (const std::uint8_t* shadow = taint.PeekShadowPage(*paddr)) {
+      for (std::uint64_t j = 0; j < chunk; ++j) {
+        const std::uint8_t m = shadow[shadow_off + j];
+        masks[i + j] = m;
+        any = any || (m != 0);
+      }
+    }
+    i += chunk;
   }
   if (!any) return;  // clean message: no hub operation at all
 

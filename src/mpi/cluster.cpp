@@ -12,9 +12,27 @@ namespace chaser::mpi {
 void ClearGuestMemTaint(vm::Vm& vm, GuestAddr vaddr, std::uint64_t len) {
   auto& taint = vm.taint();
   if (!taint.enabled()) return;
-  for (std::uint64_t i = 0; i < len; ++i) {
-    const auto paddr = vm.memory().Translate(vaddr + i);
-    if (paddr) taint.SetMemTaintByte(*paddr, 0);
+  // With zero tainted bytes in the whole process the clear is a no-op;
+  // receives in clean runs skip the scan entirely.
+  if (taint.CountTaintedBytes() == 0) return;
+  // Page-at-a-time: one translation per guest page, one shadow-page probe
+  // instead of a hash lookup per byte; untracked pages are already clean.
+  std::uint64_t i = 0;
+  while (i < len) {
+    const GuestAddr va = vaddr + i;
+    std::uint64_t chunk =
+        std::min<std::uint64_t>(len - i, vm::kPageSize - (va & vm::kPageMask));
+    const auto paddr = vm.memory().Translate(va);
+    if (paddr) {
+      const std::uint64_t shadow_off = *paddr & (taint::kShadowPageSize - 1);
+      chunk = std::min(chunk, taint::kShadowPageSize - shadow_off);
+      if (taint.PeekShadowPage(*paddr) != nullptr) {
+        for (std::uint64_t j = 0; j < chunk; ++j) {
+          taint.SetMemTaintByte(*paddr + j, 0);
+        }
+      }
+    }
+    i += chunk;
   }
 }
 
@@ -61,6 +79,16 @@ void Cluster::SetInstructionBudgets(std::uint64_t per_rank, std::uint64_t total)
 }
 
 void Cluster::Start(const guest::Program& program) {
+  ResetJobState();
+  for (auto& state : ranks_) state->vm->StartProcess(program);
+}
+
+void Cluster::Start(std::shared_ptr<const guest::Program> program) {
+  ResetJobState();
+  for (auto& state : ranks_) state->vm->StartProcess(program);
+}
+
+void Cluster::ResetJobState() {
   if (hooks_ != nullptr) hooks_->OnJobStart();
   send_seq_.clear();
   barrier_completed_ = 0;
@@ -73,7 +101,6 @@ void Cluster::Start(const guest::Program& program) {
     state->barriers_done = 0;
     state->barrier_arrived = false;
     state->allreduce_sent = false;
-    state->vm->StartProcess(program);
   }
 }
 
@@ -473,7 +500,7 @@ vm::SyscallResult Cluster::MpiReduce(Rank r) {
   }
   // Record whether the root's own contribution was tainted before combining.
   bool root_contribution_tainted = false;
-  if (v.taint().enabled()) {
+  if (v.taint().enabled() && v.taint().Active()) {  // elastic: no taint -> clean
     for (std::uint64_t i = 0; i < bytes && !root_contribution_tainted; ++i) {
       const auto pa = v.memory().Translate(sendbuf + i);
       if (pa && v.taint().GetMemTaintByte(*pa) != 0) root_contribution_tainted = true;
@@ -583,7 +610,7 @@ vm::SyscallResult Cluster::MpiAllreduce(Rank r) {
     return vm::SyscallResult::Terminated();
   }
   bool root_tainted = false;
-  if (v.taint().enabled()) {
+  if (v.taint().enabled() && v.taint().Active()) {  // elastic: no taint -> clean
     for (std::uint64_t i = 0; i < bytes && !root_tainted; ++i) {
       const auto pa = v.memory().Translate(sendbuf + i);
       if (pa && v.taint().GetMemTaintByte(*pa) != 0) root_tainted = true;

@@ -104,6 +104,11 @@ class Cluster {
   /// process-creation callback).
   void Start(const guest::Program& program);
 
+  /// Shared-image variant: every rank VM borrows the same immutable image
+  /// instead of copying it (see Vm::StartProcess overloads). The fast path
+  /// for campaign engines that restart one program thousands of times.
+  void Start(std::shared_ptr<const guest::Program> program);
+
   /// Round-robin schedule all ranks until the job completes, a rank fails
   /// (which kills the job, like a real MPI launcher), or deadlock.
   JobResult Run();
@@ -116,6 +121,9 @@ class Cluster {
 
  private:
   struct RankState;
+
+  /// Shared prologue of both Start overloads: job bookkeeping + rank reset.
+  void ResetJobState();
 
   /// Per-rank syscall extension: forwards MPI syscalls into the cluster.
   class RankSyscalls : public vm::SyscallExtension {

@@ -37,32 +37,22 @@ void UnpackMask(std::uint64_t packed, std::uint32_t size, std::uint8_t* masks) {
 
 TaintEngine::TaintEngine() : val_taint_(tcg::kTempBase, 0) {}
 
-std::uint64_t TaintEngine::GetValTaint(tcg::ValId v) const {
-  if (!enabled_ || v >= val_taint_.size()) return 0;
-  return val_taint_[v];
-}
-
-void TaintEngine::SetValTaint(tcg::ValId v, std::uint64_t mask) {
-  if (!enabled_) return;
-  if (v >= val_taint_.size()) val_taint_.resize(v + 1, 0);
-  const bool was = val_taint_[v] != 0;
-  const bool now = mask != 0;
-  val_taint_[v] = mask;
-  if (was != now) val_nonzero_ += now ? 1 : -1;
-}
-
 void TaintEngine::BeginTb(std::uint16_t num_temps) {
   if (!enabled_) return;
   const std::size_t needed = tcg::kTempBase + num_temps;
   if (val_taint_.size() < needed) val_taint_.resize(needed, 0);
-  // Always clear every temp slot: stale taint from a previous TB (or from a
-  // direct SetValTaint) must not leak into this block's temporaries.
+  // Clear stale temp taint from a previous TB (or a direct SetValTaint) so
+  // it cannot leak into this block's temporaries. The temp_nonzero_ counter
+  // makes the common case — no tainted temps — a single compare instead of
+  // a sweep over every temp slot on every TB.
+  if (temp_nonzero_ == 0) return;
   for (std::size_t v = tcg::kTempBase; v < val_taint_.size(); ++v) {
     if (val_taint_[v] != 0) {
       val_taint_[v] = 0;
       --val_nonzero_;
     }
   }
+  temp_nonzero_ = 0;
 }
 
 bool TaintEngine::AnyEnvTainted() const {
@@ -76,22 +66,54 @@ bool TaintEngine::AnyEnvTainted() const {
 void TaintEngine::ClearVals() {
   std::fill(val_taint_.begin(), val_taint_.end(), 0);
   val_nonzero_ = 0;
+  temp_nonzero_ = 0;
 }
 
 TaintEngine::ShadowPage* TaintEngine::FindPage(PhysAddr paddr) {
-  const auto it = pages_.find(paddr >> kShadowPageBits);
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint64_t page = paddr >> kShadowPageBits;
+  if (page_cache_enabled_) {
+    PageCacheEntry& e = page_cache_[page & (kPageCacheEntries - 1)];
+    if (e.page == page) return e.shadow;
+    const auto it = pages_.find(page);
+    if (it == pages_.end()) return nullptr;
+    e = PageCacheEntry{page, &it->second};
+    return &it->second;
+  }
+  const auto it = pages_.find(page);
+  if (it == pages_.end()) return nullptr;
+  return &it->second;
 }
 
 const TaintEngine::ShadowPage* TaintEngine::FindPage(PhysAddr paddr) const {
-  const auto it = pages_.find(paddr >> kShadowPageBits);
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint64_t page = paddr >> kShadowPageBits;
+  if (page_cache_enabled_) {
+    PageCacheEntry& e = page_cache_[page & (kPageCacheEntries - 1)];
+    if (e.page == page) return e.shadow;
+    const auto it = pages_.find(page);
+    if (it == pages_.end()) return nullptr;
+    // Safe to cache from const context: shadow pages are node-stable in the
+    // pages_ hash and the cache is pure memoisation.
+    e = PageCacheEntry{page, const_cast<ShadowPage*>(&it->second)};
+    return &it->second;
+  }
+  const auto it = pages_.find(page);
+  if (it == pages_.end()) return nullptr;
+  return &it->second;
 }
 
 TaintEngine::ShadowPage& TaintEngine::EnsurePage(PhysAddr paddr) {
-  ShadowPage& page = pages_[paddr >> kShadowPageBits];
-  if (page.empty()) page.resize(kShadowPageSize, 0);
-  return page;
+  const std::uint64_t page = paddr >> kShadowPageBits;
+  if (page_cache_enabled_) {
+    PageCacheEntry& e = page_cache_[page & (kPageCacheEntries - 1)];
+    if (e.page == page) return *e.shadow;
+    ShadowPage& shadow = pages_[page];
+    if (shadow.empty()) shadow.resize(kShadowPageSize, 0);
+    e = PageCacheEntry{page, &shadow};
+    return shadow;
+  }
+  ShadowPage& shadow = pages_[page];
+  if (shadow.empty()) shadow.resize(kShadowPageSize, 0);
+  return shadow;
 }
 
 std::uint8_t TaintEngine::GetMemTaintByte(PhysAddr paddr) const {
@@ -139,6 +161,32 @@ std::uint64_t TaintEngine::GetMemTaint(PhysAddr paddr, std::uint32_t size) const
 void TaintEngine::SetMemTaint(PhysAddr paddr, std::uint32_t size, std::uint64_t packed) {
   // Fast path: clearing a range when no shadow exists at all is a no-op.
   if (packed == 0 && tainted_bytes_ == 0) return;
+  // Fast path: the whole access sits in one shadow page (one page lookup
+  // for the range instead of one per byte — stores of tainted values are
+  // the hottest shadow writers).
+  if ((paddr & (kShadowPageSize - 1)) + size <= kShadowPageSize) {
+    const std::uint64_t off = paddr & (kShadowPageSize - 1);
+    ShadowPage* page;
+    if (packed == 0) {
+      page = FindPage(paddr);
+      if (page == nullptr) return;  // clearing untracked bytes: no-op
+    } else {
+      page = &EnsurePage(paddr);
+    }
+    for (std::uint32_t i = 0; i < size && i < 8; ++i) {
+      std::uint8_t& slot = (*page)[off + i];
+      const auto mask = static_cast<std::uint8_t>(packed >> (8 * i));
+      if (slot == 0 && mask != 0) {
+        ++tainted_bytes_;
+        stats_.peak_tainted_bytes =
+            std::max(stats_.peak_tainted_bytes, tainted_bytes_);
+      } else if (slot != 0 && mask == 0) {
+        --tainted_bytes_;
+      }
+      slot = mask;
+    }
+    return;
+  }
   for (std::uint32_t i = 0; i < size && i < 8; ++i) {
     SetMemTaintByte(paddr + i, static_cast<std::uint8_t>(packed >> (8 * i)));
   }
@@ -146,6 +194,7 @@ void TaintEngine::SetMemTaint(PhysAddr paddr, std::uint32_t size, std::uint64_t 
 
 void TaintEngine::ClearMem() {
   pages_.clear();
+  FlushPageCache();  // cached ShadowPage* now dangle — drop them all
   tainted_bytes_ = 0;
 }
 
@@ -217,7 +266,7 @@ std::uint64_t TaintEngine::PropagateOp(tcg::TcgOpc opc, std::uint64_t ta,
   }
 }
 
-std::uint64_t TaintEngine::OnLoad(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
+std::uint64_t TaintEngine::OnLoadSlow(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
                                   std::uint32_t size, bool sign_extend,
                                   std::uint64_t addr_taint, std::uint64_t value) {
   if (!enabled_) return 0;
@@ -241,7 +290,7 @@ std::uint64_t TaintEngine::OnLoad(std::uint64_t pc, GuestAddr vaddr, PhysAddr pa
   return taint;
 }
 
-void TaintEngine::OnStore(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
+void TaintEngine::OnStoreSlow(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
                           std::uint32_t size, std::uint64_t addr_taint,
                           std::uint64_t value, std::uint64_t value_taint) {
   if (!enabled_) return;
@@ -253,8 +302,16 @@ void TaintEngine::OnStore(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
       on_write_({.pc = pc, .vaddr = vaddr, .paddr = paddr, .size = size,
                  .value = value, .taint = stored_taint});
     }
-  } else {
+  } else if ((paddr & (kShadowPageSize - 1)) + size <= kShadowPageSize) {
     // Clean store: count taint destroyed by overwriting (Fig. 7's drops).
+    // One page lookup for the whole in-page range.
+    if (const ShadowPage* page = FindPage(paddr)) {
+      const std::uint64_t off = paddr & (kShadowPageSize - 1);
+      for (std::uint32_t i = 0; i < size; ++i) {
+        if ((*page)[off + i] != 0) ++stats_.taint_cleared_bytes;
+      }
+    }
+  } else {
     for (std::uint32_t i = 0; i < size; ++i) {
       if (GetMemTaintByte(paddr + i) != 0) ++stats_.taint_cleared_bytes;
     }
@@ -267,7 +324,10 @@ void TaintEngine::TaintSourceRegister(tcg::ValId v, std::uint64_t mask) {
   if (v >= val_taint_.size()) val_taint_.resize(v + 1, 0);
   const bool was = val_taint_[v] != 0;
   val_taint_[v] |= mask;
-  if (!was && val_taint_[v] != 0) ++val_nonzero_;
+  if (!was && val_taint_[v] != 0) {
+    ++val_nonzero_;
+    if (v >= tcg::kTempBase) ++temp_nonzero_;
+  }
 }
 
 void TaintEngine::TaintSourceMemory(PhysAddr paddr, std::uint32_t size,

@@ -17,6 +17,7 @@
 //    payload: eip, virtual address, physical address, taint mask, value.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -73,6 +74,7 @@ class TaintEngine {
     if (v < val_taint_.size() && val_taint_[v] != 0) {
       val_taint_[v] = 0;
       --val_nonzero_;
+      if (v >= tcg::kTempBase) --temp_nonzero_;
     }
   }
 
@@ -81,8 +83,23 @@ class TaintEngine {
   void set_on_tainted_write(MemAccessCallback cb) { on_write_ = std::move(cb); }
 
   // ---- Value-slot shadow ----------------------------------------------------
-  std::uint64_t GetValTaint(tcg::ValId v) const;
-  void SetValTaint(tcg::ValId v, std::uint64_t mask);
+  // Inline: the interpreter queries/sets value taint for every op while
+  // taint is active, so these are on the per-op hot path.
+  std::uint64_t GetValTaint(tcg::ValId v) const {
+    if (!enabled_ || v >= val_taint_.size()) return 0;
+    return val_taint_[v];
+  }
+  void SetValTaint(tcg::ValId v, std::uint64_t mask) {
+    if (!enabled_) return;
+    if (v >= val_taint_.size()) val_taint_.resize(v + 1, 0);
+    const bool was = val_taint_[v] != 0;
+    const bool now = mask != 0;
+    val_taint_[v] = mask;
+    if (was != now) {
+      val_nonzero_ += now ? 1 : -1;
+      if (v >= tcg::kTempBase) temp_nonzero_ += now ? 1 : -1;
+    }
+  }
   /// Ensure capacity for a TB's temporaries and clear them.
   void BeginTb(std::uint16_t num_temps);
   /// True if any guest register (int, FP, flags) carries taint.
@@ -99,6 +116,16 @@ class TaintEngine {
   std::uint64_t GetMemTaint(PhysAddr paddr, std::uint32_t size) const;
   /// Store packed per-byte masks for `size` bytes at `paddr`.
   void SetMemTaint(PhysAddr paddr, std::uint32_t size, std::uint64_t packed);
+  /// Raw shadow masks of the page containing `paddr` (kShadowPageSize bytes,
+  /// indexed by paddr offset), or nullptr when the page holds no taint at
+  /// all. For page-at-a-time scans — e.g. the write-syscall's
+  /// taint-through-I/O filter — where a per-byte GetMemTaintByte would pay
+  /// the page lookup once per byte instead of once per page.
+  const std::uint8_t* PeekShadowPage(PhysAddr paddr) const {
+    const ShadowPage* page = FindPage(paddr);
+    return page == nullptr ? nullptr : page->data();
+  }
+
   /// Number of bytes whose shadow mask is currently non-zero.
   std::uint64_t CountTaintedBytes() const { return tainted_bytes_; }
   /// Drop all memory taint.
@@ -112,15 +139,27 @@ class TaintEngine {
 
   /// Memory load: computes the loaded value's taint from the shadow (plus a
   /// tainted-address over-approximation), fires the read callback if tainted.
+  /// Inline early-out: while no memory byte is tainted and the address is
+  /// clean, the result is exactly 0 with no callback and no stats — the
+  /// common case even after an injection (taint usually lives in a handful
+  /// of registers/bytes while the guest streams over clean data).
   std::uint64_t OnLoad(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
                        std::uint32_t size, bool sign_extend,
-                       std::uint64_t addr_taint, std::uint64_t value);
+                       std::uint64_t addr_taint, std::uint64_t value) {
+    if (tainted_bytes_ == 0 && addr_taint == 0) return 0;
+    return OnLoadSlow(pc, vaddr, paddr, size, sign_extend, addr_taint, value);
+  }
 
   /// Memory store: updates the shadow from the stored value's taint, fires the
   /// write callback if tainted, accounts for taint cleared by clean stores.
+  /// Inline early-out mirroring OnLoad: a clean store over clean shadow
+  /// changes nothing.
   void OnStore(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
                std::uint32_t size, std::uint64_t addr_taint,
-               std::uint64_t value, std::uint64_t value_taint);
+               std::uint64_t value, std::uint64_t value_taint) {
+    if (tainted_bytes_ == 0 && addr_taint == 0 && value_taint == 0) return;
+    OnStoreSlow(pc, vaddr, paddr, size, addr_taint, value, value_taint);
+  }
 
   // ---- Taint sources (used by the fault injector) ----------------------------
   /// Mark bits of a guest register (int or FP) as tainted — the injected
@@ -138,14 +177,46 @@ class TaintEngine {
  private:
   using ShadowPage = std::vector<std::uint8_t>;  // kShadowPageSize masks
 
+  // Same-shape fast path as GuestMemory's flat TLB: a small direct-mapped
+  // page-index -> ShadowPage* cache in front of the pages_ hash. Only
+  // positive entries are cached, and unordered_map values are node-stable,
+  // so entries survive rehash; ClearMem() is the sole invalidation point.
+  struct PageCacheEntry {
+    std::uint64_t page = ~0ull;     // ~0 never matches a real page index
+    ShadowPage* shadow = nullptr;
+  };
+  static constexpr std::size_t kPageCacheEntries = 64;  // power of two
+
+  std::uint64_t OnLoadSlow(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
+                           std::uint32_t size, bool sign_extend,
+                           std::uint64_t addr_taint, std::uint64_t value);
+  void OnStoreSlow(std::uint64_t pc, GuestAddr vaddr, PhysAddr paddr,
+                   std::uint32_t size, std::uint64_t addr_taint,
+                   std::uint64_t value, std::uint64_t value_taint);
+
   ShadowPage* FindPage(PhysAddr paddr);
   const ShadowPage* FindPage(PhysAddr paddr) const;
   ShadowPage& EnsurePage(PhysAddr paddr);
+  void FlushPageCache() { page_cache_.fill(PageCacheEntry{}); }
+
+ public:
+  /// Enable/disable the shadow-page cache. Toggled together with the memory
+  /// TLB (it is the taint half of the same ablation knob); disabling flushes
+  /// so re-enabling never sees stale pointers.
+  void set_page_cache_enabled(bool enabled) {
+    page_cache_enabled_ = enabled;
+    FlushPageCache();
+  }
+
+ private:
 
   bool enabled_ = false;
   std::vector<std::uint64_t> val_taint_;  // env slots + temps
   std::uint64_t val_nonzero_ = 0;         // slots with non-zero taint
+  std::uint64_t temp_nonzero_ = 0;        // subset of val_nonzero_ >= kTempBase
   std::unordered_map<std::uint64_t, ShadowPage> pages_;  // page index -> masks
+  mutable std::array<PageCacheEntry, kPageCacheEntries> page_cache_{};
+  bool page_cache_enabled_ = true;
   std::uint64_t tainted_bytes_ = 0;
   TaintStats stats_;
   MemAccessCallback on_read_;

@@ -4,38 +4,6 @@
 
 namespace chaser::tcg {
 
-bool CondHolds(guest::Cond cond, std::uint64_t flags) {
-  const bool eq = (flags & kFlagEq) != 0;
-  const bool lt_s = (flags & kFlagLtS) != 0;
-  const bool lt_u = (flags & kFlagLtU) != 0;
-  switch (cond) {
-    case guest::Cond::kEq: return eq;
-    case guest::Cond::kNe: return !eq;
-    case guest::Cond::kLt: return lt_s;
-    case guest::Cond::kLe: return lt_s || eq;
-    case guest::Cond::kGt: return !(lt_s || eq);
-    case guest::Cond::kGe: return !lt_s;
-    case guest::Cond::kLtU: return lt_u;
-    case guest::Cond::kGeU: return !lt_u;
-  }
-  return false;
-}
-
-std::uint64_t ComputeFlags(std::uint64_t lhs, std::uint64_t rhs) {
-  std::uint64_t flags = 0;
-  if (lhs == rhs) flags |= kFlagEq;
-  if (static_cast<std::int64_t>(lhs) < static_cast<std::int64_t>(rhs)) flags |= kFlagLtS;
-  if (lhs < rhs) flags |= kFlagLtU;
-  return flags;
-}
-
-std::uint64_t ComputeFlagsF(double lhs, double rhs) {
-  std::uint64_t flags = 0;
-  if (lhs == rhs) flags |= kFlagEq;
-  if (lhs < rhs) flags |= kFlagLtS | kFlagLtU;
-  return flags;  // NaN compares: no flags (matches x86 unordered semantics loosely)
-}
-
 const char* TcgOpcName(TcgOpc opc) {
   switch (opc) {
     case TcgOpc::kInsnStart: return "insn_start";
@@ -90,6 +58,20 @@ std::string ValName(ValId v) {
   return StrFormat("tmp%u", v - kTempBase);
 }
 
+/// Second operand as the optimizer left it: a fused immediate or a slot.
+std::string Src2Name(const TcgOp& op) {
+  if (op.src2_imm) {
+    return StrFormat("$%llu", static_cast<unsigned long long>(op.imm));
+  }
+  return ValName(op.src2);
+}
+
+/// Fused address displacement of a load/store ("+$disp"), empty if unfused.
+std::string AddrDisp(const TcgOp& op) {
+  if (!op.addr_fused) return "";
+  return StrFormat("+$%llu", static_cast<unsigned long long>(op.imm2));
+}
+
 const char* HelperName(HelperId h) {
   switch (h) {
     case HelperId::kSyscall: return "helper_syscall";
@@ -107,6 +89,10 @@ std::string PrintTb(const TranslationBlock& tb) {
                 static_cast<unsigned long long>(tb.start_pc), tb.num_insns,
                 tb.num_temps, tb.instrumented ? " [instrumented]" : "");
   for (const TcgOp& op : tb.ops) {
+    if (op.insn_boundary) {
+      out += StrFormat(" ---- insn_start #%llu (folded)\n",
+                       static_cast<unsigned long long>(op.guest_pc));
+    }
     switch (op.opc) {
       case TcgOpc::kInsnStart:
         out += StrFormat(" ---- insn_start #%llu\n",
@@ -129,19 +115,20 @@ std::string PrintTb(const TranslationBlock& tb) {
                          ValName(op.dst).c_str(), ValName(op.src1).c_str());
         break;
       case TcgOpc::kQemuLd:
-        out += StrFormat("  %s %s, [%s] sz=%u%s\n", TcgOpcName(op.opc),
+        out += StrFormat("  %s %s, [%s%s] sz=%u%s\n", TcgOpcName(op.opc),
                          ValName(op.dst).c_str(), ValName(op.src1).c_str(),
-                         static_cast<unsigned>(op.size), op.sign ? " sext" : "");
+                         AddrDisp(op).c_str(), static_cast<unsigned>(op.size),
+                         op.sign ? " sext" : "");
         break;
       case TcgOpc::kQemuSt:
-        out += StrFormat("  %s [%s], %s sz=%u\n", TcgOpcName(op.opc),
-                         ValName(op.src1).c_str(), ValName(op.src2).c_str(),
-                         static_cast<unsigned>(op.size));
+        out += StrFormat("  %s [%s%s], %s sz=%u\n", TcgOpcName(op.opc),
+                         ValName(op.src1).c_str(), AddrDisp(op).c_str(),
+                         Src2Name(op).c_str(), static_cast<unsigned>(op.size));
         break;
       case TcgOpc::kSetFlags:
       case TcgOpc::kSetFlagsF:
         out += StrFormat("  %s %s, %s\n", TcgOpcName(op.opc),
-                         ValName(op.src1).c_str(), ValName(op.src2).c_str());
+                         ValName(op.src1).c_str(), Src2Name(op).c_str());
         break;
       case TcgOpc::kCallHelper:
         out += StrFormat("  %s %s, $pc=%llu\n", TcgOpcName(op.opc),
@@ -164,7 +151,7 @@ std::string PrintTb(const TranslationBlock& tb) {
       default:
         out += StrFormat("  %s %s, %s, %s\n", TcgOpcName(op.opc),
                          ValName(op.dst).c_str(), ValName(op.src1).c_str(),
-                         ValName(op.src2).c_str());
+                         Src2Name(op).c_str());
         break;
     }
   }

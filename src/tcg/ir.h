@@ -15,6 +15,7 @@
 //   [64, ...) per-TB temporaries t0, t1, ...
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,6 +74,12 @@ enum class TcgOpc : std::uint8_t {
   kExitTb,      // dynamic successor: next pc index = value of src1
 };
 
+/// Number of TcgOpc values — sizes the threaded-dispatch jump table, which
+/// must list one label per opcode in exact enum order.
+inline constexpr std::size_t kNumTcgOpcs =
+    static_cast<std::size_t>(TcgOpc::kExitTb) + 1;
+static_assert(kNumTcgOpcs == 37, "update dispatch tables when adding opcodes");
+
 /// Host helpers reachable from IR.
 enum class HelperId : std::uint8_t {
   kSyscall = 1,
@@ -87,6 +94,22 @@ struct TcgOp {
   ValId src2 = 0;
   guest::MemSize size = guest::MemSize::k8;
   bool sign = false;
+  // Optimizer immediate fusion (never set by the translator):
+  //  * src2_imm — the second operand is `imm`, not the value slot in src2.
+  //    src2 still names the dead kMovI temp so taint reads stay valid (the
+  //    temp is cleared at TB entry and nothing else writes it, so its taint
+  //    is exactly the 0 the folded kMovI would have produced).
+  //  * addr_fused (kQemuLd/kQemuSt) — the effective address is
+  //    val(src1) + imm2; the folded kAdd's taint rule is applied to the
+  //    base's taint by the interpreter. Unfused memory ops keep imm2 == 0,
+  //    so the address math needs no branch.
+  bool src2_imm = false;
+  bool addr_fused = false;
+  //  * insn_boundary — this op absorbed the preceding kInsnStart: the
+  //    dispatch glue runs the per-instruction bookkeeping (instret, budget,
+  //    watchdog, sample/trace hooks) before executing it. guest_pc supplies
+  //    the instruction index the folded kInsnStart carried in imm.
+  bool insn_boundary = false;
   guest::Cond cond = guest::Cond::kEq;
   HelperId helper = HelperId::kSyscall;
   std::uint64_t imm = 0;
@@ -103,14 +126,42 @@ struct TranslationBlock {
   std::vector<TcgOp> ops;
 };
 
-/// True if `cond` holds for a packed flags value.
-bool CondHolds(guest::Cond cond, std::uint64_t flags);
+/// True if `cond` holds for a packed flags value. Inline: evaluated for
+/// every conditional branch the interpreter executes.
+inline bool CondHolds(guest::Cond cond, std::uint64_t flags) {
+  const bool eq = (flags & kFlagEq) != 0;
+  const bool lt_s = (flags & kFlagLtS) != 0;
+  const bool lt_u = (flags & kFlagLtU) != 0;
+  switch (cond) {
+    case guest::Cond::kEq: return eq;
+    case guest::Cond::kNe: return !eq;
+    case guest::Cond::kLt: return lt_s;
+    case guest::Cond::kLe: return lt_s || eq;
+    case guest::Cond::kGt: return !(lt_s || eq);
+    case guest::Cond::kGe: return !lt_s;
+    case guest::Cond::kLtU: return lt_u;
+    case guest::Cond::kGeU: return !lt_u;
+  }
+  return false;
+}
 
-/// Compute packed flags for an integer compare lhs ? rhs.
-std::uint64_t ComputeFlags(std::uint64_t lhs, std::uint64_t rhs);
+/// Compute packed flags for an integer compare lhs ? rhs. Inline: one call
+/// per kSetFlags op.
+inline std::uint64_t ComputeFlags(std::uint64_t lhs, std::uint64_t rhs) {
+  std::uint64_t flags = 0;
+  if (lhs == rhs) flags |= kFlagEq;
+  if (static_cast<std::int64_t>(lhs) < static_cast<std::int64_t>(rhs)) flags |= kFlagLtS;
+  if (lhs < rhs) flags |= kFlagLtU;
+  return flags;
+}
 
 /// Compute packed flags for a double compare (unordered -> no flags set).
-std::uint64_t ComputeFlagsF(double lhs, double rhs);
+inline std::uint64_t ComputeFlagsF(double lhs, double rhs) {
+  std::uint64_t flags = 0;
+  if (lhs == rhs) flags |= kFlagEq;
+  if (lhs < rhs) flags |= kFlagLtS | kFlagLtU;
+  return flags;  // NaN compares: no flags (matches x86 unordered semantics loosely)
+}
 
 const char* TcgOpcName(TcgOpc opc);
 

@@ -1,5 +1,6 @@
 #include "tcg/optimizer.h"
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -89,8 +90,35 @@ void ForEachSource(const TcgOp& op, const std::function<void(ValId)>& fn) {
     case TcgOpc::kSetFlagsF:
     default:
       fn(op.src1);
-      fn(op.src2);
+      if (!op.src2_imm) fn(op.src2);  // fused src2 is an immediate, not a read
       break;
+  }
+}
+
+/// Ops whose second operand may be folded to an immediate (src2_imm). The
+/// interpreter reads `imm` instead of src2 for these; every other opcode
+/// keeps its register operand. Division stays fusible — fusion changes where
+/// the operand comes from, not its value, so trap behaviour is unchanged.
+bool FusesImmSrc2(TcgOpc opc) {
+  switch (opc) {
+    case TcgOpc::kAdd:
+    case TcgOpc::kSub:
+    case TcgOpc::kMul:
+    case TcgOpc::kDivS:
+    case TcgOpc::kDivU:
+    case TcgOpc::kRemS:
+    case TcgOpc::kRemU:
+    case TcgOpc::kAnd:
+    case TcgOpc::kOr:
+    case TcgOpc::kXor:
+    case TcgOpc::kShl:
+    case TcgOpc::kShr:
+    case TcgOpc::kSar:
+    case TcgOpc::kSetFlags:
+    case TcgOpc::kQemuSt:  // stored value; the address operand is src1
+      return true;
+    default:
+      return false;
   }
 }
 
@@ -127,7 +155,56 @@ OptimizerStats Optimize(TranslationBlock* tb) {
     ++stats.movs_forwarded;
   }
 
-  // Pass 2: backward liveness over temps; drop pure ops with dead temp dsts.
+  // Pass 2: immediate fusion. The translator materialises every immediate
+  // through a kMovI temp; when that temp's single consumer is the next
+  // surviving op, fold the constant into the consumer (src2_imm) and drop
+  // the kMovI. A fused `kAdd t, base, #disp` whose single consumer is the
+  // next load/store then folds into the memory op's address (addr_fused) —
+  // together these turn `movi; add; ld` into one base+displacement load.
+  // Temp-use counts are recomputed first: pass 1 retargeted defs.
+  std::fill(uses.begin(), uses.end(), 0u);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (removed[i]) continue;
+    ForEachSource(ops[i], [&](ValId v) {
+      if (IsTemp(v)) ++uses[v - kTempBase];
+    });
+  }
+  auto next_live = [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (!removed[j]) return j;
+    }
+    return ops.size();
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (removed[i]) continue;
+    TcgOp& def = ops[i];
+    if (!IsTemp(def.dst)) continue;
+    const std::size_t j = next_live(i);
+    if (j == ops.size()) continue;
+    TcgOp& use = ops[j];
+    if (def.opc == TcgOpc::kMovI && uses[def.dst - kTempBase] == 1 &&
+        FusesImmSrc2(use.opc) && !use.src2_imm && use.src2 == def.dst &&
+        use.src1 != def.dst) {
+      // src2 keeps naming the (now dead, always clean) temp for taint reads.
+      use.src2_imm = true;
+      use.imm = def.imm;
+      removed[i] = true;
+      ++stats.imms_fused;
+    } else if (def.opc == TcgOpc::kAdd && def.src2_imm &&
+               uses[def.dst - kTempBase] == 1 &&
+               (use.opc == TcgOpc::kQemuLd || use.opc == TcgOpc::kQemuSt) &&
+               !use.addr_fused && use.src1 == def.dst &&
+               !(use.opc == TcgOpc::kQemuSt && !use.src2_imm &&
+                 use.src2 == def.dst)) {
+      use.src1 = def.src1;
+      use.imm2 = def.imm;
+      use.addr_fused = true;
+      removed[i] = true;
+      ++stats.addrs_fused;
+    }
+  }
+
+  // Pass 3: backward liveness over temps; drop pure ops with dead temp dsts.
   std::vector<bool> live(tb->num_temps, false);
   for (std::size_t ri = ops.size(); ri-- > 0;) {
     if (removed[ri]) continue;
@@ -146,7 +223,22 @@ OptimizerStats Optimize(TranslationBlock* tb) {
     });
   }
 
-  if (stats.movs_forwarded > 0 || stats.dead_ops_removed > 0) {
+  // Pass 4: fold each kInsnStart into the next surviving op of the same
+  // stream as an insn_boundary flag. Consecutive kInsnStarts (a kNop's
+  // boundary) keep the first one as an explicit op.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (removed[i] || ops[i].opc != TcgOpc::kInsnStart) continue;
+    const std::size_t j = next_live(i);
+    if (j == ops.size()) continue;
+    if (ops[j].opc == TcgOpc::kInsnStart || ops[j].insn_boundary) continue;
+    ops[j].insn_boundary = true;
+    removed[i] = true;
+    ++stats.insn_starts_folded;
+  }
+
+  if (stats.movs_forwarded > 0 || stats.dead_ops_removed > 0 ||
+      stats.imms_fused > 0 || stats.addrs_fused > 0 ||
+      stats.insn_starts_folded > 0) {
     std::vector<TcgOp> kept;
     kept.reserve(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {

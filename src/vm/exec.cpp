@@ -4,11 +4,29 @@
 // TCG ops against the CPU env slots and per-TB temporaries. Taint rules are
 // applied op-by-op (DECAF's enforcement point); the fault-injection helper
 // and the syscall helper are dispatched from kCallHelper ops.
+//
+// Hot-path structure (this file + exec_body.inc):
+//  * Vm::Run chains TBs goto_tb-style: each executed TB reports which static
+//    exit it took, and the run loop patches a direct CachedTb* so the next
+//    iteration skips the hash lookup entirely;
+//  * Vm::LookupTb consults the optional process-wide SharedTbCache before
+//    translating, so a whole campaign translates each TB once;
+//  * the interpreter body lives in exec_body.inc and is compiled twice —
+//    portable switch and (optionally) computed-goto threaded dispatch.
 #include <cmath>
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "tcg/shared_cache.h"
 #include "vm/vm.h"
+
+// Computed goto needs the GNU &&label extension; the CMake option only
+// requests it, the compiler check decides.
+#if defined(CHASER_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define CHASER_HAVE_THREADED_DISPATCH 1
+#else
+#define CHASER_HAVE_THREADED_DISPATCH 0
+#endif
 
 namespace chaser::vm {
 
@@ -35,37 +53,113 @@ std::uint64_t DoubleToI64(double d) {
 
 }  // namespace
 
-tcg::TranslationBlock& Vm::LookupTb(std::uint64_t pc) {
+Vm::CachedTb& Vm::LookupTb(std::uint64_t pc) {
   const auto it = tb_cache_.find(pc);
-  if (it != tb_cache_.end()) return *it->second;
-  auto tb = std::make_unique<tcg::TranslationBlock>(translator_.Translate(*program_, pc));
-  if (config_.optimize_tbs) {
-    const tcg::OptimizerStats stats = tcg::Optimize(tb.get());
-    optimizer_stats_.movs_forwarded += stats.movs_forwarded;
-    optimizer_stats_.dead_ops_removed += stats.dead_ops_removed;
+  if (it != tb_cache_.end()) return it->second;
+
+  // Local index cap (QEMU code_gen_buffer overflow semantics): drop
+  // everything and start over rather than evicting piecemeal.
+  if (config_.max_cached_tbs > 0 && tb_cache_.size() >= config_.max_cached_tbs) {
+    tb_evictions_ += tb_cache_.size();
+    FlushTbCache();
   }
-  ++tb_translations_;
-  auto [ins, ok] = tb_cache_.emplace(pc, std::move(tb));
+
+  CachedTb entry;
+  const std::uint64_t variant = SharedVariantKey();
+  if (variant != 0) {
+    const tcg::SharedTbCache::Key key{program_hash_, variant, pc};
+    if (const tcg::TranslationBlock* shared = config_.shared_cache->Lookup(key)) {
+      ++shared_reuses_;
+      ++epoch_cur_.shared_reuses;
+      entry.tb = shared;
+    } else {
+      tcg::TranslationBlock tb = translator_.Translate(*program_, pc);
+      if (config_.optimize_tbs) {
+        const tcg::OptimizerStats stats = tcg::Optimize(&tb);
+        optimizer_stats_.movs_forwarded += stats.movs_forwarded;
+        optimizer_stats_.dead_ops_removed += stats.dead_ops_removed;
+        optimizer_stats_.imms_fused += stats.imms_fused;
+        optimizer_stats_.addrs_fused += stats.addrs_fused;
+        optimizer_stats_.insn_starts_folded += stats.insn_starts_folded;
+        epoch_cur_.optimizer.movs_forwarded += stats.movs_forwarded;
+        epoch_cur_.optimizer.dead_ops_removed += stats.dead_ops_removed;
+        epoch_cur_.optimizer.imms_fused += stats.imms_fused;
+        epoch_cur_.optimizer.addrs_fused += stats.addrs_fused;
+        epoch_cur_.optimizer.insn_starts_folded += stats.insn_starts_folded;
+      }
+      ++tb_translations_;
+      ++epoch_cur_.translations;
+      // Insert returns the canonical TB — a racing worker's copy if it
+      // published the same key first (our duplicate is then discarded).
+      entry.tb = config_.shared_cache->Insert(key, std::move(tb));
+    }
+  } else {
+    auto tb = std::make_unique<tcg::TranslationBlock>(
+        translator_.Translate(*program_, pc));
+    if (config_.optimize_tbs) {
+      const tcg::OptimizerStats stats = tcg::Optimize(tb.get());
+        optimizer_stats_.movs_forwarded += stats.movs_forwarded;
+      optimizer_stats_.dead_ops_removed += stats.dead_ops_removed;
+      optimizer_stats_.imms_fused += stats.imms_fused;
+      optimizer_stats_.addrs_fused += stats.addrs_fused;
+      optimizer_stats_.insn_starts_folded += stats.insn_starts_folded;
+      epoch_cur_.optimizer.movs_forwarded += stats.movs_forwarded;
+      epoch_cur_.optimizer.dead_ops_removed += stats.dead_ops_removed;
+      epoch_cur_.optimizer.imms_fused += stats.imms_fused;
+      epoch_cur_.optimizer.addrs_fused += stats.addrs_fused;
+      epoch_cur_.optimizer.insn_starts_folded += stats.insn_starts_folded;
+    }
+    ++tb_translations_;
+    ++epoch_cur_.translations;
+    entry.tb = tb.get();
+    entry.owned = std::move(tb);
+  }
+  auto [ins, ok] = tb_cache_.emplace(pc, std::move(entry));
   (void)ok;
-  return *ins->second;
+  return ins->second;
 }
 
 RunState Vm::Run(std::uint64_t max_insns) {
   if (program_ == nullptr) throw ConfigError("Run: no process started");
   std::uint64_t budget = max_insns;
+  // goto_tb chaining state: the TB we just executed and the static exit slot
+  // it took. Chains are only followed/patched within one Run call — a
+  // signal, block, budget exhaustion, or flush drops prev (chain broken).
+  CachedTb* prev = nullptr;
+  int slot = -1;
   while (run_state_ == RunState::kRunnable && budget > 0) {
-    if (cpu_.pc >= program_->text.size()) {
-      RaiseSignal(GuestSignal::kSegv,
-                  "jump outside text: pc #" +
-                      StrFormat("%llu", static_cast<unsigned long long>(cpu_.pc)));
-      break;
+    CachedTb* cur = (prev != nullptr && slot >= 0) ? prev->chain[slot] : nullptr;
+    if (cur != nullptr) {
+      // Chained: pc already equals the slot's static target, which was
+      // bounds-checked when the chain was patched.
+      ++tb_chain_hits_;
+    } else {
+      if (cpu_.pc >= program_->text.size()) {
+        RaiseSignal(GuestSignal::kSegv,
+                    "jump outside text: pc #" +
+                        StrFormat("%llu", static_cast<unsigned long long>(cpu_.pc)));
+        break;
+      }
+      const std::uint64_t fc_lookup = flush_count_;
+      cur = &LookupTb(cpu_.pc);
+      // A cap-overflow flush inside LookupTb invalidated prev — don't patch
+      // through a dangling pointer.
+      if (config_.chain_tbs && prev != nullptr && slot >= 0 &&
+          flush_count_ == fc_lookup) {
+        prev->chain[slot] = cur;
+      }
     }
-    const tcg::TranslationBlock& tb = LookupTb(cpu_.pc);
     ++tb_executions_;
-    ExecuteTb(tb, &budget);
+    slot = -1;
+    const std::uint64_t fc_exec = flush_count_;
+    ExecuteTb(*cur->tb, &budget, &slot);
+    // A helper-triggered flush (RequestTbFlush fires below, but StartProcess
+    // from a hook flushes immediately) also invalidates cur.
+    prev = (flush_count_ == fc_exec) ? cur : nullptr;
     if (tb_flush_pending_) {
       tb_flush_pending_ = false;
       FlushTbCache();
+      prev = nullptr;
     }
   }
   return run_state_;
@@ -91,318 +185,42 @@ void Vm::HandleSyscallHelper(std::uint64_t pc) {
   }
 }
 
-void Vm::ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget) {
-  using tcg::TcgOpc;
-  if (temps_.size() < tb.num_temps) temps_.resize(tb.num_temps);
-  // Elastic taint (DECAF++): skip the whole taint path while no taint
-  // exists anywhere — skipping is exact because every slot/byte is already
-  // clean. Helpers (the injector, MPI receive) can introduce taint, so the
-  // latch is refreshed after every kCallHelper.
-  const bool taint_enabled = taint_.enabled();
-  bool taint_on = taint_enabled && taint_.Active();
-  if (taint_on) taint_.BeginTb(tb.num_temps);
-
-  auto get = [&](tcg::ValId v) -> std::uint64_t {
-    return v < tcg::kNumEnvSlots ? cpu_.env[v] : temps_[v - tcg::kTempBase];
-  };
-  auto put = [&](tcg::ValId v, std::uint64_t x) {
-    if (v < tcg::kNumEnvSlots) {
-      cpu_.env[v] = x;
-    } else {
-      temps_[v - tcg::kTempBase] = x;
-    }
-  };
-  auto fp = [&](tcg::ValId v) { return std::bit_cast<double>(get(v)); };
-  auto propagate2 = [&](const tcg::TcgOp& op, std::uint64_t a, std::uint64_t bv) {
-    if (!taint_on) return;
-    const std::uint64_t ta = taint_.GetValTaint(op.src1);
-    const std::uint64_t tb = taint_.GetValTaint(op.src2);
-    if ((ta | tb) == 0) {
-      taint_.ClearValTaint(op.dst);  // clean result; avoid the full Set path
-      return;
-    }
-    taint_.SetValTaint(op.dst, taint_.PropagateOp(op.opc, ta, tb, a, bv));
-  };
-  auto propagate1 = [&](const tcg::TcgOp& op, std::uint64_t a) {
-    if (!taint_on) return;
-    const std::uint64_t ta = taint_.GetValTaint(op.src1);
-    if (ta == 0) {
-      taint_.ClearValTaint(op.dst);
-      return;
-    }
-    taint_.SetValTaint(op.dst, taint_.PropagateOp(op.opc, ta, 0, a, 0));
-  };
-
-  for (const tcg::TcgOp& op : tb.ops) {
-    if (run_state_ != RunState::kRunnable) return;
-    switch (op.opc) {
-      case TcgOpc::kInsnStart: {
-        ++instret_;
-        if (*budget > 0) --*budget;
-        if (instret_ > config_.max_instructions) {
-          RaiseSignal(GuestSignal::kKill,
-                      "watchdog: instruction budget exhausted (hung run)");
-          return;
-        }
-        if (sample_interval_ != 0 && instret_ >= next_sample_) {
-          next_sample_ += sample_interval_;
-          if (sample_hook_) sample_hook_(*this, instret_);
-        }
-        if (insn_trace_hook_ && taint_on) insn_trace_hook_(*this, op.imm);
-        break;
-      }
-      case TcgOpc::kMovI:
-        put(op.dst, op.imm);
-        if (taint_on) taint_.ClearValTaint(op.dst);
-        break;
-      case TcgOpc::kMov:
-        put(op.dst, get(op.src1));
-        if (taint_on) taint_.SetValTaint(op.dst, taint_.GetValTaint(op.src1));
-        break;
-
-      case TcgOpc::kAdd: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a + bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kSub: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a - bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kMul: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a * bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kDivS:
-      case TcgOpc::kRemS: {
-        const auto a = static_cast<std::int64_t>(get(op.src1));
-        const auto bv = static_cast<std::int64_t>(get(op.src2));
-        if (bv == 0) {
-          RaiseSignal(GuestSignal::kFpe, "integer division by zero");
-          return;
-        }
-        if (a == INT64_MIN && bv == -1) {
-          RaiseSignal(GuestSignal::kFpe, "integer division overflow");
-          return;
-        }
-        put(op.dst, static_cast<std::uint64_t>(op.opc == TcgOpc::kDivS ? a / bv : a % bv));
-        propagate2(op, static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(bv));
-        break;
-      }
-      case TcgOpc::kDivU:
-      case TcgOpc::kRemU: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        if (bv == 0) {
-          RaiseSignal(GuestSignal::kFpe, "integer division by zero");
-          return;
-        }
-        put(op.dst, op.opc == TcgOpc::kDivU ? a / bv : a % bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kAnd: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a & bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kOr: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a | bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kXor: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a ^ bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kShl: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a << (bv & 63u));
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kShr: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst, a >> (bv & 63u));
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kSar: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        put(op.dst,
-            static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
-                                       (bv & 63u)));
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kNot: {
-        const std::uint64_t a = get(op.src1);
-        put(op.dst, ~a);
-        propagate1(op, a);
-        break;
-      }
-      case TcgOpc::kNeg: {
-        const std::uint64_t a = get(op.src1);
-        put(op.dst, 0 - a);
-        propagate1(op, a);
-        break;
-      }
-
-      case TcgOpc::kQemuLd: {
-        const GuestAddr vaddr = get(op.src1);
-        const auto size = static_cast<std::uint32_t>(op.size);
-        PhysAddr paddr = 0;
-        const auto loaded = memory_.Load(vaddr, size, &paddr);
-        if (!loaded) {
-          RaiseSignal(GuestSignal::kSegv, "load fault at " + Hex64(vaddr));
-          return;
-        }
-        const std::uint64_t value = op.sign ? SignExtend(*loaded, size) : *loaded;
-        put(op.dst, value);
-        if (taint_on) {
-          const std::uint64_t t =
-              taint_.OnLoad(op.guest_pc, vaddr, paddr, size, op.sign,
-                            taint_.GetValTaint(op.src1), *loaded);
-          taint_.SetValTaint(op.dst, t);
-        }
-        break;
-      }
-      case TcgOpc::kQemuSt: {
-        const GuestAddr vaddr = get(op.src1);
-        const std::uint64_t value = get(op.src2);
-        const auto size = static_cast<std::uint32_t>(op.size);
-        PhysAddr paddr = 0;
-        if (!memory_.Store(vaddr, size, value, &paddr)) {
-          RaiseSignal(GuestSignal::kSegv, "store fault at " + Hex64(vaddr));
-          return;
-        }
-        if (taint_on) {
-          taint_.OnStore(op.guest_pc, vaddr, paddr, size,
-                         taint_.GetValTaint(op.src1), value,
-                         taint_.GetValTaint(op.src2));
-        }
-        break;
-      }
-
-      case TcgOpc::kFAdd: {
-        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) + fp(op.src2)));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFSub: {
-        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) - fp(op.src2)));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFMul: {
-        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) * fp(op.src2)));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFDiv: {
-        put(op.dst, std::bit_cast<std::uint64_t>(fp(op.src1) / fp(op.src2)));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFMin: {
-        put(op.dst, std::bit_cast<std::uint64_t>(std::fmin(fp(op.src1), fp(op.src2))));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFMax: {
-        put(op.dst, std::bit_cast<std::uint64_t>(std::fmax(fp(op.src1), fp(op.src2))));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-      case TcgOpc::kFNeg: {
-        put(op.dst, std::bit_cast<std::uint64_t>(-fp(op.src1)));
-        propagate1(op, get(op.src1));
-        break;
-      }
-      case TcgOpc::kFAbs: {
-        put(op.dst, std::bit_cast<std::uint64_t>(std::fabs(fp(op.src1))));
-        propagate1(op, get(op.src1));
-        break;
-      }
-      case TcgOpc::kFSqrt: {
-        put(op.dst, std::bit_cast<std::uint64_t>(std::sqrt(fp(op.src1))));
-        propagate1(op, get(op.src1));
-        break;
-      }
-      case TcgOpc::kCvtIF: {
-        put(op.dst, std::bit_cast<std::uint64_t>(
-                        static_cast<double>(static_cast<std::int64_t>(get(op.src1)))));
-        propagate1(op, get(op.src1));
-        break;
-      }
-      case TcgOpc::kCvtFI: {
-        put(op.dst, DoubleToI64(fp(op.src1)));
-        propagate1(op, get(op.src1));
-        break;
-      }
-
-      case TcgOpc::kSetFlags: {
-        const std::uint64_t a = get(op.src1), bv = get(op.src2);
-        cpu_.env[tcg::kEnvFlags] = tcg::ComputeFlags(a, bv);
-        propagate2(op, a, bv);
-        break;
-      }
-      case TcgOpc::kSetFlagsF: {
-        cpu_.env[tcg::kEnvFlags] = tcg::ComputeFlagsF(fp(op.src1), fp(op.src2));
-        propagate2(op, get(op.src1), get(op.src2));
-        break;
-      }
-
-      case TcgOpc::kCallHelper:
-        switch (op.helper) {
-          case tcg::HelperId::kSyscall:
-            HandleSyscallHelper(op.imm);
-            if (run_state_ != RunState::kRunnable) return;
-            break;
-          case tcg::HelperId::kFaultInjector:
-            if (injector_hook_) {
-              // Copy first: the hook may detach itself (fi_clean_cb), and
-              // reassigning the member while it executes would destroy the
-              // callable under our feet.
-              const InjectorHook hook = injector_hook_;
-              hook(*this, op.imm);
-            }
-            if (run_state_ != RunState::kRunnable) return;
-            break;
-          case tcg::HelperId::kHaltTrap:
-            RaiseSignal(GuestSignal::kIll, "halt instruction executed");
-            return;
-        }
-        // A helper may have created (injector, MPI receive) or consumed
-        // taint: refresh the elastic latch.
-        if (taint_enabled) {
-          const bool now_active = taint_.Active();
-          if (now_active && !taint_on) taint_.BeginTb(tb.num_temps);
-          taint_on = now_active;
-        }
-        break;
-
-      case TcgOpc::kGotoTb:
-        cpu_.pc = op.imm;
-        return;
-      case TcgOpc::kBrCond:
-        cpu_.pc = tcg::CondHolds(op.cond, cpu_.env[tcg::kEnvFlags]) ? op.imm : op.imm2;
-        return;
-      case TcgOpc::kExitTb:
-        cpu_.pc = get(op.src1);
-        return;
-    }
-  }
-  // A TB always ends in a terminator; reaching here means the terminator
-  // raised a signal earlier in the loop.
+bool Vm::ThreadedDispatchAvailable() {
+  return CHASER_HAVE_THREADED_DISPATCH != 0;
 }
+
+void Vm::ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget,
+                   int* exit_slot) {
+#if CHASER_HAVE_THREADED_DISPATCH
+  if (config_.dispatch != Dispatch::kSwitch) {
+    ExecuteTbThreaded(tb, budget, exit_slot);
+    return;
+  }
+#endif
+  ExecuteTbSwitch(tb, budget, exit_slot);
+}
+
+// Portable engine: for/switch.
+#define VM_DISPATCH_NAME ExecuteTbSwitch
+#define VM_USE_COMPUTED_GOTO 0
+#include "vm/exec_body.inc"
+#undef VM_DISPATCH_NAME
+#undef VM_USE_COMPUTED_GOTO
+
+#if CHASER_HAVE_THREADED_DISPATCH
+// Threaded engine: computed goto, one indirect jump per op.
+#define VM_DISPATCH_NAME ExecuteTbThreaded
+#define VM_USE_COMPUTED_GOTO 1
+#include "vm/exec_body.inc"
+#undef VM_DISPATCH_NAME
+#undef VM_USE_COMPUTED_GOTO
+#else
+// Not compiled in: keep the symbol (vm.h declares it unconditionally) and
+// fall back to the switch engine, which is bit-identical by construction.
+void Vm::ExecuteTbThreaded(const tcg::TranslationBlock& tb,
+                           std::uint64_t* budget, int* exit_slot) {
+  ExecuteTbSwitch(tb, budget, exit_slot);
+}
+#endif
 
 }  // namespace chaser::vm

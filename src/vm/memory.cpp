@@ -8,34 +8,71 @@ void GuestMemory::MapRegion(GuestAddr vaddr, std::uint64_t bytes) {
   if (bytes == 0) return;
   const std::uint64_t first = vaddr >> kPageBits;
   const std::uint64_t last = (vaddr + bytes - 1) >> kPageBits;
-  for (std::uint64_t vp = first; vp <= last; ++vp) {
-    if (page_table_.count(vp) != 0) continue;
-    auto frame = std::make_unique<std::uint8_t[]>(kPageSize);
-    std::memset(frame.get(), 0, kPageSize);
-    frames_.push_back(std::move(frame));
-    page_table_[vp] = frames_.size() - 1;
+  // Grow the directory and allocate leaves up front so the insert loop below
+  // is pure array stores.
+  const std::uint64_t last_leaf = last >> kLeafBits;
+  if (last_leaf >= dir_.size()) dir_.resize(last_leaf + 1);
+  std::uint64_t fresh = 0;
+  for (std::uint64_t d = first >> kLeafBits; d <= last_leaf; ++d) {
+    if (dir_[d] == nullptr) {
+      dir_[d] = std::make_unique<Leaf>();
+      dir_[d]->frames.fill(kNoFrame);
+    }
   }
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    fresh += FrameIndex(vp) == kNoFrame ? 1 : 0;
+  }
+  if (fresh > 0) {
+    // One zero-initialised slab for every new page in the region; per-page
+    // heap allocation here used to be a top entry in campaign profiles.
+    auto slab = std::make_unique<std::uint8_t[]>(fresh * kPageSize);
+    std::uint8_t* next = slab.get();
+    slabs_.push_back(std::move(slab));
+    frames_.reserve(frames_.size() + static_cast<std::size_t>(fresh));
+    for (std::uint64_t vp = first; vp <= last; ++vp) {
+      Leaf& leaf = *dir_[vp >> kLeafBits];
+      std::uint32_t& slot = leaf.frames[vp & (kLeafPages - 1)];
+      if (slot != kNoFrame) continue;
+      frames_.push_back(next);
+      next += kPageSize;
+      slot = static_cast<std::uint32_t>(frames_.size() - 1);
+    }
+  }
+  // No TLB flush: the TLB caches only positive entries, newly-mapped pages
+  // cannot be cached yet, and frames never move (slab storage is stable), so
+  // every cached translation stays valid. The moment unmap/remap exists this
+  // must flush.
 }
 
 bool GuestMemory::IsMapped(GuestAddr vaddr) const {
-  return page_table_.count(vaddr >> kPageBits) != 0;
+  return FrameIndex(vaddr >> kPageBits) != kNoFrame;
 }
 
-std::optional<PhysAddr> GuestMemory::Translate(GuestAddr vaddr) const {
-  const auto it = page_table_.find(vaddr >> kPageBits);
-  if (it == page_table_.end()) return std::nullopt;
-  return it->second * kPageSize + (vaddr & kPageMask);
+std::optional<PhysAddr> GuestMemory::TranslateSlow(GuestAddr vaddr,
+                                                   std::uint64_t vpage) const {
+  if (tlb_enabled_) ++tlb_misses_;
+  // Wild vpages (injected pointer corruption makes arbitrary 64-bit
+  // addresses) fall out of the directory bounds check inside FrameIndex and
+  // read as unmapped, exactly like a hash miss did.
+  const std::uint32_t frame = FrameIndex(vpage);
+  if (frame == kNoFrame) return std::nullopt;
+  const PhysAddr frame_base = static_cast<PhysAddr>(frame) * kPageSize;
+  if (tlb_enabled_) {
+    tlb_[vpage & (kTlbEntries - 1)] = TlbEntry{vpage, frame_base};
+  }
+  return frame_base + (vaddr & kPageMask);
 }
 
 std::uint8_t* GuestMemory::FramePtr(PhysAddr paddr) {
-  return frames_[paddr >> kPageBits].get() + (paddr & kPageMask);
+  return frames_[paddr >> kPageBits] + (paddr & kPageMask);
 }
 
 const std::uint8_t* GuestMemory::FramePtr(PhysAddr paddr) const {
-  return frames_[paddr >> kPageBits].get() + (paddr & kPageMask);
+  return frames_[paddr >> kPageBits] + (paddr & kPageMask);
 }
 
-std::optional<std::uint64_t> GuestMemory::Load(GuestAddr vaddr, std::uint32_t size,
+std::optional<std::uint64_t> GuestMemory::Load(GuestAddr vaddr,
+                                               std::uint32_t size,
                                                PhysAddr* paddr_out) {
   const auto paddr = Translate(vaddr);
   if (!paddr) return std::nullopt;
@@ -56,8 +93,8 @@ std::optional<std::uint64_t> GuestMemory::Load(GuestAddr vaddr, std::uint32_t si
   return v;
 }
 
-bool GuestMemory::Store(GuestAddr vaddr, std::uint32_t size, std::uint64_t value,
-                        PhysAddr* paddr_out) {
+bool GuestMemory::Store(GuestAddr vaddr, std::uint32_t size,
+                        std::uint64_t value, PhysAddr* paddr_out) {
   const auto paddr = Translate(vaddr);
   if (!paddr) return false;
   if (paddr_out != nullptr) *paddr_out = *paddr;

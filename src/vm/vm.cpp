@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "tcg/shared_cache.h"
 
 namespace chaser::vm {
 
@@ -46,9 +47,17 @@ Vm::Vm(Config config) : config_(config) {
 }
 
 void Vm::SetInstrumentPredicate(InstrumentPredicate pred) {
+  // Unkeyed: a null predicate is the canonical "clean" variant; a live one
+  // is opaque and therefore unshareable (key 0).
+  const std::uint64_t key = pred ? 0 : kCleanPredicateKey;
+  SetInstrumentPredicate(std::move(pred), key);
+}
+
+void Vm::SetInstrumentPredicate(InstrumentPredicate pred, std::uint64_t key) {
   auto opts = translator_.options();
   opts.instrument = std::move(pred);
   translator_.set_options(std::move(opts));
+  predicate_key_ = key;
 }
 
 void Vm::SetInstrumentAll(bool all) {
@@ -57,12 +66,58 @@ void Vm::SetInstrumentAll(bool all) {
   translator_.set_options(std::move(opts));
 }
 
-void Vm::FlushTbCache() { tb_cache_.clear(); }
+void Vm::FlushTbCache() {
+  // Shared-cache mode: the TBs live in (and are owned by) the shared cache;
+  // dropping the local pc index is the whole flush. A subsequent predicate
+  // change switches the variant key, so stale translations can never be
+  // looked up again — no epoch bump needed here.
+  tb_cache_.clear();
+  ++flush_count_;  // invalidates every outstanding CachedTb* / chain pointer
+  if (epoch_cur_.translations != 0 || epoch_cur_.shared_reuses != 0) {
+    closed_epochs_.push_back(epoch_cur_);
+    epoch_cur_ = TranslationEpochStats{};
+  }
+}
+
+std::vector<Vm::TranslationEpochStats> Vm::translation_epochs() const {
+  std::vector<TranslationEpochStats> epochs = closed_epochs_;
+  epochs.push_back(epoch_cur_);
+  return epochs;
+}
+
+void Vm::ResetTranslationStats() {
+  tb_translations_ = 0;
+  optimizer_stats_ = tcg::OptimizerStats{};
+  shared_reuses_ = 0;
+  tb_evictions_ = 0;
+  closed_epochs_.clear();
+  epoch_cur_ = TranslationEpochStats{};
+}
+
+std::uint64_t Vm::SharedVariantKey() const {
+  if (config_.shared_cache == nullptr || predicate_key_ == 0) return 0;
+  // Mix every knob that changes translation output. FNV-style so distinct
+  // (predicate, optimize, max_tb_insns, instrument_all) tuples get distinct
+  // variants.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(predicate_key_);
+  mix(config_.optimize_tbs ? 1 : 0);
+  mix(config_.max_tb_insns);
+  mix(translator_.options().instrument_all ? 1 : 0);
+  return h == 0 ? 1 : h;
+}
 
 void Vm::SetInstretSample(std::uint64_t interval, InstretSampleHook hook) {
   sample_interval_ = interval;
   sample_hook_ = std::move(hook);
   next_sample_ = instret_ + (interval == 0 ? 0 : interval);
+  UpdateNextStop();
 }
 
 Pid Vm::StartProcess(const guest::Program& program) {
@@ -70,11 +125,34 @@ Pid Vm::StartProcess(const guest::Program& program) {
   // execution engine reference the text for the process's whole lifetime.
   // (Self-assignment when re-starting the same image is harmless.)
   program_storage_ = program;
+  program_shared_.reset();
   program_ = &program_storage_;
-  process_name_ = program_storage_.name;
+  return StartLoadedProcess();
+}
+
+Pid Vm::StartProcess(std::shared_ptr<const guest::Program> program) {
+  if (program == nullptr) {
+    throw ConfigError("StartProcess: null shared program image");
+  }
+  program_shared_ = std::move(program);
+  program_ = program_shared_.get();
+  return StartLoadedProcess();
+}
+
+Pid Vm::StartLoadedProcess() {
+  const guest::Program& program = *program_;
+  process_name_ = program.name;
   pid_ = next_pid_++;
+  program_hash_ = config_.shared_cache == nullptr ? 0
+                  : config_.program_hash != 0
+                      ? config_.program_hash
+                      : tcg::SharedTbCache::HashProgram(program);
 
   memory_ = GuestMemory();
+  memory_.set_tlb_enabled(config_.mem_tlb);
+  // The taint shadow-page cache is the other half of the same knob: both
+  // memoise page lookups, so the ablation toggles them together.
+  taint_.set_page_cache_enabled(config_.mem_tlb);
   if (!program.data.empty()) {
     memory_.MapRegion(guest::kDataBase, program.data.size());
     memory_.WriteBytes(guest::kDataBase, program.data.data(), program.data.size());
@@ -102,8 +180,13 @@ Pid Vm::StartProcess(const guest::Program& program) {
   termination_message_.clear();
   instret_ = 0;
   next_sample_ = sample_interval_;
+  UpdateNextStop();
+  tb_chain_hits_ = 0;
 
   FlushTbCache();
+  // Epoch history is per-process: the flush above closed the previous
+  // process's open epoch, and a fresh process starts its own epoch 0.
+  closed_epochs_.clear();
 
   if (on_create_) on_create_(*this, pid_, process_name_);
   return pid_;
@@ -189,23 +272,44 @@ SyscallResult Vm::HandleCoreSyscall(std::uint64_t num) {
       const std::uint64_t stream_base = outputs_[fd].size();
       outputs_[fd] += bytes;
       // Taint-through-I/O: count corrupted bytes leaving the process.
+      // Scanned page-at-a-time: one translation and one shadow lookup per
+      // page instead of per byte (a buffer page is contiguous physically,
+      // so per-byte results are identical).
       if (taint_.enabled() && taint_.Active()) {
-        for (std::uint64_t i = 0; i < len; ++i) {
-          const auto pa = memory_.Translate(buf + i);
-          if (!pa) continue;
-          const std::uint8_t mask = taint_.GetMemTaintByte(*pa);
-          if (mask == 0) continue;
-          ++tainted_output_bytes_;
-          if (tainted_output_hook_) {
-            tainted_output_hook_(
-                *this, TaintedOutputByte{
-                           .fd = fd,
-                           .stream_off = stream_base + i,
-                           .vaddr = buf + i,
-                           .paddr = *pa,
-                           .value = static_cast<std::uint8_t>(bytes[i]),
-                           .taint = mask});
+        // One guest page maps to one phys frame maps to one shadow page.
+        static_assert(taint::kShadowPageSize == kPageSize);
+        std::uint64_t i = 0;
+        while (i < len) {
+          const GuestAddr va = buf + i;
+          const std::uint64_t in_page = kPageSize - (va & kPageMask);
+          const std::uint64_t chunk = std::min(in_page, len - i);
+          const auto pa = memory_.Translate(va);
+          if (!pa) {
+            i += chunk;  // unmapped page: every byte in it is unmapped
+            continue;
           }
+          const std::uint8_t* shadow = taint_.PeekShadowPage(*pa);
+          if (shadow == nullptr) {
+            i += chunk;  // untracked page: every byte in it is clean
+            continue;
+          }
+          const std::uint64_t off = *pa & (taint::kShadowPageSize - 1);
+          for (std::uint64_t j = 0; j < chunk; ++j) {
+            const std::uint8_t mask = shadow[off + j];
+            if (mask == 0) continue;
+            ++tainted_output_bytes_;
+            if (tainted_output_hook_) {
+              tainted_output_hook_(
+                  *this, TaintedOutputByte{
+                             .fd = fd,
+                             .stream_off = stream_base + i + j,
+                             .vaddr = va + j,
+                             .paddr = *pa + j,
+                             .value = static_cast<std::uint8_t>(bytes[i + j]),
+                             .taint = mask});
+            }
+          }
+          i += chunk;
         }
       }
       return SyscallResult::Done(len);

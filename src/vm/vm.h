@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "guest/program.h"
@@ -34,7 +35,20 @@
 #include "tcg/translator.h"
 #include "vm/memory.h"
 
+namespace chaser::tcg {
+class SharedTbCache;
+}  // namespace chaser::tcg
+
 namespace chaser::vm {
+
+/// How ExecuteTb dispatches TCG ops.
+///  * kAuto: threaded if compiled in (CHASER_THREADED_DISPATCH + a compiler
+///    with computed goto), else the portable switch.
+///  * kSwitch / kThreaded force one engine (ablation benches, identity
+///    tests). kThreaded silently falls back to switch when unavailable —
+///    both engines are bit-identical by construction, so forcing is only
+///    about *measuring*, never about semantics.
+enum class Dispatch : std::uint8_t { kAuto, kSwitch, kThreaded };
 
 /// Guest-visible signals (the "OS exception" termination causes of Table III).
 enum class GuestSignal : std::uint8_t {
@@ -105,6 +119,26 @@ class Vm {
     std::uint32_t max_tb_insns = 64;
     /// Run the TCG optimizer over each freshly translated TB.
     bool optimize_tbs = true;
+    /// TCG-op dispatch engine (see Dispatch).
+    Dispatch dispatch = Dispatch::kAuto;
+    /// Patch direct TB successor pointers (QEMU's goto_tb chaining) so
+    /// straight-line and loop execution skips the TB-cache hash lookup.
+    bool chain_tbs = true;
+    /// Flat software TLB in front of GuestMemory::Translate.
+    bool mem_tlb = true;
+    /// Cap on locally indexed TBs; exceeding it triggers a full flush
+    /// (QEMU semantics) counted in tb_evictions(). 0 = unlimited.
+    std::uint64_t max_cached_tbs = 0;
+    /// Optional process-wide shared translation cache. When set (and the
+    /// current instrument predicate is shareable), translations are
+    /// published to / reused from it instead of being per-VM. Not owned;
+    /// must outlive the Vm.
+    tcg::SharedTbCache* shared_cache = nullptr;
+    /// Precomputed SharedTbCache::HashProgram of the image this Vm will run,
+    /// for callers (campaign engines) that restart one program thousands of
+    /// times — hashing a large image on every StartProcess is measurable.
+    /// 0 = hash at StartProcess.
+    std::uint64_t program_hash = 0;
   };
 
   using VmiProcessCallback = std::function<void(Vm&, Pid, const std::string&)>;
@@ -121,10 +155,32 @@ class Vm {
   void set_on_process_exit(VmiProcessCallback cb) { on_exit_ = std::move(cb); }
 
   // ---- Chaser instrumentation glue ------------------------------------------
-  void set_injector_hook(InjectorHook hook) { injector_hook_ = std::move(hook); }
+  void set_injector_hook(InjectorHook hook) {
+    // Stored behind a shared_ptr: the interpreter pins the callable with a
+    // refcount bump per invocation instead of copying the closure (the hook
+    // may detach itself mid-call, so it must outlive reassignment).
+    injector_hook_ =
+        hook ? std::make_shared<const InjectorHook>(std::move(hook)) : nullptr;
+  }
   /// Install the predicate choosing which instructions get the injector call.
   /// Takes effect for TBs translated after the next FlushTbCache().
+  ///
+  /// A predicate is opaque to the shared translation cache, so installing one
+  /// through this overload makes translations *unshareable* (each VM owns
+  /// its TBs) — correct but slow. Callers whose predicate is a pure function
+  /// of some stable identity (e.g. "instruction class in {kFadd}") should use
+  /// the keyed overload below.
   void SetInstrumentPredicate(InstrumentPredicate pred);
+
+  /// Keyed variant: `key` names the predicate's behaviour for shared-cache
+  /// purposes — two VMs passing the same key MUST have predicates that
+  /// accept exactly the same (instruction, pc) pairs. key 0 means
+  /// unshareable. A null predicate always maps to kCleanPredicateKey.
+  void SetInstrumentPredicate(InstrumentPredicate pred, std::uint64_t key);
+
+  /// Reserved shared-cache key for "no instrumentation" (null predicate).
+  /// User keys should set bit 63 (see Chaser::Attach) to stay disjoint.
+  static constexpr std::uint64_t kCleanPredicateKey = 1;
   /// Ablation: instrument every instruction (F-SEFI style).
   void SetInstrumentAll(bool all);
   /// Drop all cached TBs; the next execution re-translates (paper §III-A(b)).
@@ -165,7 +221,10 @@ class Vm {
 
   /// Tune the hung-run watchdog (campaigns set this from the golden run's
   /// instruction count so corrupted loop bounds terminate quickly).
-  void set_max_instructions(std::uint64_t n) { config_.max_instructions = n; }
+  void set_max_instructions(std::uint64_t n) {
+    config_.max_instructions = n;
+    UpdateNextStop();
+  }
   std::uint64_t max_instructions() const { return config_.max_instructions; }
 
   // ---- Lifecycle -------------------------------------------------------------
@@ -173,6 +232,11 @@ class Vm {
   /// process-creation callback. Returns the new pid. The VM keeps its own
   /// copy of the image, so temporaries are safe to pass.
   Pid StartProcess(const guest::Program& program);
+
+  /// Zero-copy variant for callers that restart one immutable image many
+  /// times (campaign trial engines): the Vm shares ownership instead of
+  /// copying text/data into private storage on every start.
+  Pid StartProcess(std::shared_ptr<const guest::Program> program);
 
   /// Execute up to `max_insns` instructions (or until blocked/terminated).
   RunState Run(std::uint64_t max_insns);
@@ -223,19 +287,87 @@ class Vm {
   const tcg::OptimizerStats& optimizer_stats() const { return optimizer_stats_; }
   void set_optimize_tbs(bool on) { config_.optimize_tbs = on; }
 
+  /// Per-translation-epoch breakdown of translation cost. An epoch is the
+  /// interval between TB-cache flushes, so e.g. epoch 0 is the cost before
+  /// the injector predicate was attached and epoch 1 the retranslation cost
+  /// after. The current (open) epoch is included as the last element.
+  struct TranslationEpochStats {
+    std::uint64_t translations = 0;   // TBs translated locally this epoch
+    std::uint64_t shared_reuses = 0;  // TBs taken from the shared cache
+    tcg::OptimizerStats optimizer;    // optimizer work for those translations
+  };
+  /// Closed epochs then the current one (always >= 1 entry once running).
+  std::vector<TranslationEpochStats> translation_epochs() const;
+  /// Zero every translation counter: lifetime totals (tb_translations,
+  /// optimizer_stats, shared-cache reuse, evictions) and the epoch history.
+  void ResetTranslationStats();
+
+  // ---- Hot-path counters (this PR's perf work) -------------------------------
+  /// TB-to-TB transfers that followed a patched chain pointer instead of
+  /// hashing into the TB cache (QEMU's tb_add_jump hit rate).
+  std::uint64_t tb_chain_hits() const { return tb_chain_hits_; }
+  /// Flat-TLB hit/miss counters from the soft-MMU.
+  std::uint64_t tlb_hits() const { return memory_.tlb_hits(); }
+  std::uint64_t tlb_misses() const { return memory_.tlb_misses(); }
+  /// TBs served by the shared cross-trial cache instead of translating.
+  std::uint64_t shared_tb_reuses() const { return shared_reuses_; }
+  /// TBs dropped by cap-overflow flushes of the local index.
+  std::uint64_t tb_evictions() const { return tb_evictions_; }
+
+  /// True when the binary was built with computed-goto threaded dispatch.
+  static bool ThreadedDispatchAvailable();
+
  private:
-  tcg::TranslationBlock& LookupTb(std::uint64_t pc);
-  void ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget);
+  /// One slot of the local pc -> TB index. `tb` points either at `owned` or
+  /// at a shared-cache node; `chain` holds the patched direct successors
+  /// (slot 0 = kGotoTb / taken kBrCond, slot 1 = fallthrough kBrCond).
+  /// Values live in node-stable unordered_map storage, so CachedTb* chain
+  /// pointers survive rehash; FlushTbCache() invalidates them wholesale.
+  struct CachedTb {
+    const tcg::TranslationBlock* tb = nullptr;
+    std::unique_ptr<tcg::TranslationBlock> owned;
+    CachedTb* chain[2] = {nullptr, nullptr};
+  };
+
+  CachedTb& LookupTb(std::uint64_t pc);
+  /// Execute `tb`; `*exit_slot` receives the chain slot of the exit taken
+  /// (0/1 for static successors, -1 for dynamic/none — see CachedTb::chain).
+  void ExecuteTb(const tcg::TranslationBlock& tb, std::uint64_t* budget,
+                 int* exit_slot);
+  // __restrict: budget/exit_slot never alias VM state, which lets the
+  // compiler keep them in registers across the per-op member stores.
+  void ExecuteTbSwitch(const tcg::TranslationBlock& tb,
+                       std::uint64_t* __restrict budget,
+                       int* __restrict exit_slot);
+  void ExecuteTbThreaded(const tcg::TranslationBlock& tb,
+                         std::uint64_t* __restrict budget,
+                         int* __restrict exit_slot);
+  /// Shared-cache key of the current translation configuration, or 0 when
+  /// translations are not shareable (no cache / opaque predicate).
+  std::uint64_t SharedVariantKey() const;
+  /// Common tail of both StartProcess overloads; `program_` is already set.
+  Pid StartLoadedProcess();
   void HandleSyscallHelper(std::uint64_t pc);
+  /// Recompute next_stop_ = min(watchdog threshold, next sample point).
+  /// Called whenever max_instructions or the sample schedule changes.
+  void UpdateNextStop() {
+    const std::uint64_t kNever = ~std::uint64_t{0};
+    const std::uint64_t watchdog = config_.max_instructions == kNever
+                                       ? kNever
+                                       : config_.max_instructions + 1;
+    const std::uint64_t sample = sample_interval_ == 0 ? kNever : next_sample_;
+    next_stop_ = watchdog < sample ? watchdog : sample;
+  }
   SyscallResult HandleCoreSyscall(std::uint64_t num);
   void TerminateExit(std::int64_t code);
   void TerminateAssert(std::int64_t check_id);
 
   Config config_;
   tcg::Translator translator_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<tcg::TranslationBlock>> tb_cache_;
+  std::unordered_map<std::uint64_t, CachedTb> tb_cache_;
 
   guest::Program program_storage_;   // owned copy of the loaded image
+  std::shared_ptr<const guest::Program> program_shared_;  // shared-image mode
   const guest::Program* program_ = nullptr;  // null until a process starts
   std::string process_name_;
   Pid pid_ = kInvalidPid;
@@ -260,18 +392,37 @@ class Vm {
 
   VmiProcessCallback on_create_;
   VmiProcessCallback on_exit_;
-  InjectorHook injector_hook_;
+  std::shared_ptr<const InjectorHook> injector_hook_;
   InstretSampleHook sample_hook_;
   InsnTraceHook insn_trace_hook_;
   TaintedOutputHook tainted_output_hook_;
   std::uint64_t sample_interval_ = 0;
   std::uint64_t next_sample_ = 0;
+  // First instret at which the watchdog or the sample hook must act; fuses
+  // their two compares into one on the per-instruction hot path.
+  std::uint64_t next_stop_ = 0;
   SyscallExtension* syscall_ext_ = nullptr;
 
   std::uint64_t tb_translations_ = 0;
   std::uint64_t tb_executions_ = 0;
   bool tb_flush_pending_ = false;
   tcg::OptimizerStats optimizer_stats_;
+
+  // Translation identity for the shared cache (fixed per StartProcess).
+  std::uint64_t program_hash_ = 0;
+  std::uint64_t predicate_key_ = kCleanPredicateKey;
+
+  // Epoch accounting (satellite: per-flush translation-cost breakdown).
+  std::vector<TranslationEpochStats> closed_epochs_;
+  TranslationEpochStats epoch_cur_;
+
+  // Hot-path counters + chain-safety generation counter. flush_count_ lets
+  // the run loop detect a flush that happened *inside* LookupTb/ExecuteTb
+  // (cap overflow, guest-requested flush) and drop its dangling CachedTb*.
+  std::uint64_t tb_chain_hits_ = 0;
+  std::uint64_t shared_reuses_ = 0;
+  std::uint64_t tb_evictions_ = 0;
+  std::uint64_t flush_count_ = 0;
 };
 
 }  // namespace chaser::vm

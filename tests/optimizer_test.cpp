@@ -112,8 +112,129 @@ TEST(Optimizer, KeepsHelperCallsAndTerminators) {
   const std::size_t starts_before = CountOpc(tb, TcgOpc::kInsnStart);
   Optimize(&tb);
   EXPECT_EQ(CountOpc(tb, TcgOpc::kCallHelper), helpers_before);
-  EXPECT_EQ(CountOpc(tb, TcgOpc::kInsnStart), starts_before);
+  // Boundary folding may turn explicit kInsnStart ops into insn_boundary
+  // flags, but every guest instruction boundary must survive in one form.
+  std::size_t boundaries = CountOpc(tb, TcgOpc::kInsnStart);
+  for (const TcgOp& op : tb.ops) {
+    if (op.insn_boundary) ++boundaries;
+  }
+  EXPECT_EQ(boundaries, starts_before);
   EXPECT_EQ(tb.ops.back().opc, TcgOpc::kGotoTb);
+}
+
+// ---- Exact-count tests on hand-built IR -----------------------------------
+// These pin the optimizer's accounting: each stat must report exactly the
+// rewrites performed, not merely "some".
+
+TcgOp Op(TcgOpc opc, ValId dst = 0, ValId src1 = 0, ValId src2 = 0) {
+  TcgOp op;
+  op.opc = opc;
+  op.dst = dst;
+  op.src1 = src1;
+  op.src2 = src2;
+  return op;
+}
+
+TEST(Optimizer, ExactCountsForwardAndImmFuseAndBoundary) {
+  // insn_start; movi t0,7; add t1,r2,t0; mov r1,t1; goto_tb — the canonical
+  // translator pattern for `add r1, r2, #7`.
+  TranslationBlock tb;
+  tb.num_temps = 2;
+  tb.ops.push_back(Op(TcgOpc::kInsnStart));
+  TcgOp movi = Op(TcgOpc::kMovI, kTempBase + 0);
+  movi.imm = 7;
+  tb.ops.push_back(movi);
+  tb.ops.push_back(Op(TcgOpc::kAdd, kTempBase + 1, EnvInt(2), kTempBase + 0));
+  tb.ops.push_back(Op(TcgOpc::kMov, EnvInt(1), kTempBase + 1));
+  tb.ops.push_back(Op(TcgOpc::kGotoTb));
+
+  const OptimizerStats stats = Optimize(&tb);
+  EXPECT_EQ(stats.movs_forwarded, 1u);
+  EXPECT_EQ(stats.imms_fused, 1u);
+  EXPECT_EQ(stats.addrs_fused, 0u);
+  EXPECT_EQ(stats.dead_ops_removed, 0u);
+  EXPECT_EQ(stats.insn_starts_folded, 1u);
+
+  // 5 ops collapse to: add r1, r2, $7 (boundary-flagged) + goto_tb.
+  ASSERT_EQ(tb.ops.size(), 2u);
+  EXPECT_EQ(tb.ops[0].opc, TcgOpc::kAdd);
+  EXPECT_EQ(tb.ops[0].dst, EnvInt(1));
+  EXPECT_TRUE(tb.ops[0].src2_imm);
+  EXPECT_EQ(tb.ops[0].imm, 7u);
+  EXPECT_TRUE(tb.ops[0].insn_boundary);
+  EXPECT_EQ(tb.ops[1].opc, TcgOpc::kGotoTb);
+}
+
+TEST(Optimizer, ExactCountsAddressFusion) {
+  // insn_start; movi t0,16; add t1,r9,t0; ld t2,[t1]; mov r1,t2; goto_tb —
+  // the translator pattern for `ld r1, [r9 + 16]`.
+  TranslationBlock tb;
+  tb.num_temps = 3;
+  tb.ops.push_back(Op(TcgOpc::kInsnStart));
+  TcgOp movi = Op(TcgOpc::kMovI, kTempBase + 0);
+  movi.imm = 16;
+  tb.ops.push_back(movi);
+  tb.ops.push_back(Op(TcgOpc::kAdd, kTempBase + 1, EnvInt(9), kTempBase + 0));
+  TcgOp ld = Op(TcgOpc::kQemuLd, kTempBase + 2, kTempBase + 1);
+  ld.size = guest::MemSize::k8;
+  tb.ops.push_back(ld);
+  tb.ops.push_back(Op(TcgOpc::kMov, EnvInt(1), kTempBase + 2));
+  tb.ops.push_back(Op(TcgOpc::kGotoTb));
+
+  const OptimizerStats stats = Optimize(&tb);
+  EXPECT_EQ(stats.movs_forwarded, 1u);
+  EXPECT_EQ(stats.imms_fused, 1u);
+  EXPECT_EQ(stats.addrs_fused, 1u);
+  EXPECT_EQ(stats.dead_ops_removed, 0u);
+  EXPECT_EQ(stats.insn_starts_folded, 1u);
+
+  // 6 ops collapse to: ld r1, [r9+$16] (boundary-flagged) + goto_tb.
+  ASSERT_EQ(tb.ops.size(), 2u);
+  EXPECT_EQ(tb.ops[0].opc, TcgOpc::kQemuLd);
+  EXPECT_EQ(tb.ops[0].dst, EnvInt(1));
+  EXPECT_EQ(tb.ops[0].src1, EnvInt(9));
+  EXPECT_TRUE(tb.ops[0].addr_fused);
+  EXPECT_EQ(tb.ops[0].imm2, 16u);
+  EXPECT_TRUE(tb.ops[0].insn_boundary);
+}
+
+TEST(Optimizer, ExactCountsDeadTempElimination) {
+  // A pure op whose temp is never read is dropped; the store stays.
+  TranslationBlock tb;
+  tb.num_temps = 1;
+  tb.ops.push_back(Op(TcgOpc::kInsnStart));
+  TcgOp movi = Op(TcgOpc::kMovI, kTempBase + 0);
+  movi.imm = 3;
+  tb.ops.push_back(movi);  // dead: nothing reads t0
+  tb.ops.push_back(Op(TcgOpc::kQemuSt, 0, EnvInt(9), EnvInt(1)));
+  tb.ops.push_back(Op(TcgOpc::kGotoTb));
+
+  const OptimizerStats stats = Optimize(&tb);
+  EXPECT_EQ(stats.movs_forwarded, 0u);
+  EXPECT_EQ(stats.imms_fused, 0u);
+  EXPECT_EQ(stats.dead_ops_removed, 1u);
+  EXPECT_EQ(stats.insn_starts_folded, 1u);
+  ASSERT_EQ(tb.ops.size(), 2u);
+  EXPECT_EQ(tb.ops[0].opc, TcgOpc::kQemuSt);
+  EXPECT_TRUE(tb.ops[0].insn_boundary);
+}
+
+TEST(Optimizer, ConsecutiveInsnStartsKeepTheFirstExplicit) {
+  // A kNop-style instruction leaves two adjacent boundaries; only the one
+  // with a following real op may fold.
+  TranslationBlock tb;
+  tb.num_temps = 0;
+  tb.ops.push_back(Op(TcgOpc::kInsnStart));  // kept: next op is an insn_start
+  tb.ops.push_back(Op(TcgOpc::kInsnStart));  // folds into goto_tb
+  tb.ops.push_back(Op(TcgOpc::kGotoTb));
+
+  const OptimizerStats stats = Optimize(&tb);
+  EXPECT_EQ(stats.insn_starts_folded, 1u);
+  ASSERT_EQ(tb.ops.size(), 2u);
+  EXPECT_EQ(tb.ops[0].opc, TcgOpc::kInsnStart);
+  EXPECT_FALSE(tb.ops[0].insn_boundary);
+  EXPECT_EQ(tb.ops[1].opc, TcgOpc::kGotoTb);
+  EXPECT_TRUE(tb.ops[1].insn_boundary);
 }
 
 TEST(Optimizer, ShrinksRealAppBlocks) {

@@ -73,9 +73,39 @@ constexpr const char* kHeaderV1 =
 TEST(Report, WriterEmitsVersionLine) {
   std::stringstream ss;
   WriteRecordsCsv({SampleRecord(1)}, ss);
-  EXPECT_EQ(ss.str().rfind("#chaser-records-csv v3\n", 0), 0u)
-      << "v3 files must self-identify so the next column growth cannot "
+  EXPECT_EQ(ss.str().rfind("#chaser-records-csv v4\n", 0), 0u)
+      << "v4 files must self-identify so the next column growth cannot "
          "silently misparse them";
+}
+
+TEST(Report, HotPathCountersRoundTripThroughV4) {
+  RunRecord rec = SampleRecord(11);
+  rec.tb_chain_hits = 4096;
+  rec.tlb_hits = 777;
+  rec.tlb_misses = 13;
+  std::stringstream ss;
+  WriteRecordsCsv({rec}, ss);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].tb_chain_hits, 4096u);
+  EXPECT_EQ(back[0].tlb_hits, 777u);
+  EXPECT_EQ(back[0].tlb_misses, 13u);
+}
+
+TEST(Report, ReadsV3FilesWithoutHotPathCounters) {
+  // A v3 file (pre hot-path counters) must keep parsing; new fields zero.
+  std::stringstream in(
+      "#chaser-records-csv v3\n" + std::string(kHeaderV1) +
+      ",trace_dropped,taint_lost,retries,infra_error\n" +
+      "5,sdc,exited,none,0,-1,0,1,0,1,10,20,30,40,50,2,1000,7,3,1,\n");
+  const std::vector<RunRecord> back = ReadRecordsCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].run_seed, 5u);
+  EXPECT_EQ(back[0].taint_lost, 3u);
+  EXPECT_EQ(back[0].retries, 1u);
+  EXPECT_EQ(back[0].tb_chain_hits, 0u);
+  EXPECT_EQ(back[0].tlb_hits, 0u);
+  EXPECT_EQ(back[0].tlb_misses, 0u);
 }
 
 TEST(Report, NewFieldsRoundTripThroughV3) {
