@@ -1,0 +1,206 @@
+// Ablation — what observability costs, channel by channel.
+//
+// Times an end-to-end serial injection campaign (golden + trials, tracing on)
+// with the telemetry layer in each of its states:
+//
+//   off       CampaignConfig::telemetry == nullptr — every ScopedPhase is a
+//             thread_local load + branch; this is the product's default
+//   quiet     Telemetry attached, but no trace/status/metrics outputs: phase
+//             histograms and registry counters are live, spans are not
+//   +status   quiet + live status.json rewrites (auto cadence)
+//   +trace    +status + Chrome trace-event spans buffered and written
+//
+// Every configuration produces bit-identical campaign results — telemetry
+// only observes. The headline number is the off-vs-quiet overhead: the
+// median paired ratio must stay under 2% (the guard DESIGN.md §5.5 cites),
+// or the "near-free when disabled... cheap when enabled" claim is broken.
+// `--json` emits the summary for tools/bench_to_json.sh.
+#include <ctime>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "obs/telemetry.h"
+
+namespace chaser {
+namespace {
+
+enum class ObsMode { kOff, kQuiet, kStatus, kTrace };
+
+struct ObsConfig {
+  const char* name;
+  ObsMode mode;
+};
+
+constexpr ObsConfig kLadder[] = {
+    {"off", ObsMode::kOff},
+    {"quiet", ObsMode::kQuiet},
+    {"+status", ObsMode::kStatus},
+    {"+trace", ObsMode::kTrace},
+};
+constexpr int kConfigs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+struct Workload {
+  const char* app;
+  std::uint64_t runs;
+};
+
+constexpr Workload kWorkloads[] = {{"matvec", 480}, {"lud", 120}};
+constexpr int kNumWorkloads =
+    static_cast<int>(sizeof(kWorkloads) / sizeof(kWorkloads[0]));
+
+apps::AppSpec BuildApp(const char* name) {
+  if (std::strcmp(name, "lud") == 0) return apps::BuildLud({});
+  return apps::BuildMatvec({});
+}
+
+std::string ScratchDir() {
+  static const std::string dir = [] {
+    const std::string d =
+        (std::filesystem::temp_directory_path() / "chaser_bench_obs").string();
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+double CpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+/// One full serial campaign under `mode`; returns process-CPU milliseconds.
+/// CPU time, not wall time: a serial campaign is pure compute and quiet-mode
+/// telemetry cost is pure compute, so CPU time measures the overhead while
+/// staying immune to the scheduler preemption that makes sub-2% wall-clock
+/// deltas unresolvable on a shared host. Telemetry construction and Finish()
+/// are inside the timed region — a real run pays for both.
+double TimeCampaignOnce(const Workload& w, ObsMode mode) {
+  campaign::CampaignConfig config;
+  config.runs = w.runs;
+  config.seed = 42;
+  const double start = CpuMs();
+  {
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (mode != ObsMode::kOff) {
+      obs::TelemetryOptions opts;
+      if (mode == ObsMode::kStatus || mode == ObsMode::kTrace) {
+        opts.status_path = ScratchDir() + "/status.json";
+      }
+      if (mode == ObsMode::kTrace) {
+        opts.trace_path = ScratchDir() + "/trace.json";
+      }
+      telemetry = std::make_unique<obs::Telemetry>(opts);
+      config.telemetry = telemetry.get();
+    }
+    campaign::Campaign c(BuildApp(w.app), config);
+    c.Run();
+    if (telemetry != nullptr) telemetry->Finish();
+  }
+  return CpuMs() - start;
+}
+
+}  // namespace
+}  // namespace chaser
+
+int main(int argc, char** argv) {
+  using namespace chaser;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const int reps = 5;
+  const int pairs = 5;  // blocks of 5 interleaved off/quiet run-pairs each
+
+  // Drift-hardened methodology (a tighter cousin of bench_ablation_dispatch,
+  // since a <2% guard needs more resolution than a speedup headline): untimed
+  // warm-ups, round-robin min-of-N ladder times, and a paired min-of-block
+  // median for the off-vs-quiet headline.
+  double times[kNumWorkloads][kConfigs] = {};
+  double overhead_pct[kNumWorkloads] = {};
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    (void)TimeCampaignOnce(kWorkloads[w], ObsMode::kOff);    // warm-up
+    (void)TimeCampaignOnce(kWorkloads[w], ObsMode::kTrace);  // warm-up
+    for (int r = 0; r < reps; ++r) {
+      for (int c = 0; c < kConfigs; ++c) {
+        const double ms = TimeCampaignOnce(kWorkloads[w], kLadder[c].mode);
+        if (r == 0 || ms < times[w][c]) times[w][c] = ms;
+      }
+    }
+    // Resolving a sub-2% delta needs noise well under 1%. Two defenses:
+    // noise is one-sided (preemption and frequency droop only slow a run
+    // down), so each block takes the MIN of 5 runs per mode; and the off and
+    // quiet runs are interleaved within a block so both mins sample the same
+    // frequency window and slow drift cancels in the ratio. The headline is
+    // the median block ratio.
+    std::vector<double> ratios;
+    for (int p = 0; p < pairs; ++p) {
+      double off = 0.0, quiet = 0.0;
+      for (int i = 0; i < 5; ++i) {
+        const bool off_first = (p + i) % 2 == 0;
+        const double a =
+            TimeCampaignOnce(kWorkloads[w],
+                             off_first ? ObsMode::kOff : ObsMode::kQuiet);
+        const double b =
+            TimeCampaignOnce(kWorkloads[w],
+                             off_first ? ObsMode::kQuiet : ObsMode::kOff);
+        const double o = off_first ? a : b;
+        const double q = off_first ? b : a;
+        off = i == 0 ? o : std::min(off, o);
+        quiet = i == 0 ? q : std::min(quiet, q);
+      }
+      ratios.push_back(quiet / off);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    overhead_pct[w] = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  }
+
+  double max_overhead = 0.0;
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    if (w == 0 || overhead_pct[w] > max_overhead) max_overhead = overhead_pct[w];
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"ablation_obs\",\n");
+    std::printf("  \"workloads\": [\n");
+    for (int w = 0; w < kNumWorkloads; ++w) {
+      std::printf("    {\"app\": \"%s\", \"runs\": %llu, \"jobs\": 1, "
+                  "\"configs\": [",
+                  kWorkloads[w].app,
+                  static_cast<unsigned long long>(kWorkloads[w].runs));
+      for (int c = 0; c < kConfigs; ++c) {
+        std::printf("%s{\"name\": \"%s\", \"ms\": %.2f}", c == 0 ? "" : ", ",
+                    kLadder[c].name, times[w][c]);
+      }
+      std::printf("], \"overhead_quiet_vs_off_pct\": %.2f}%s\n",
+                  overhead_pct[w], w + 1 < kNumWorkloads ? "," : "");
+    }
+    std::printf("  ],\n  \"max_overhead_pct\": %.2f,\n", max_overhead);
+    std::printf("  \"guard_under_pct\": 2.0,\n");
+    std::printf("  \"guard_passed\": %s\n}\n",
+                max_overhead < 2.0 ? "true" : "false");
+    return 0;
+  }
+
+  std::printf(
+      "=== Ablation: telemetry channels (serial campaign, tracing on) ===\n\n");
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    std::printf("%s, %llu runs:\n", kWorkloads[w].app,
+                static_cast<unsigned long long>(kWorkloads[w].runs));
+    for (int c = 0; c < kConfigs; ++c) {
+      std::printf("  %-8s %8.2f ms   %+.2f%% vs off\n", kLadder[c].name,
+                  times[w][c], (times[w][c] / times[w][0] - 1.0) * 100.0);
+    }
+    std::printf(
+        "  paired overhead, quiet vs off (median of %d blocks): %+.2f%%\n\n",
+        pairs, overhead_pct[w]);
+  }
+  std::printf("max paired overhead: %+.2f%% (guard: < 2%%) — %s\n",
+              max_overhead, max_overhead < 2.0 ? "PASS" : "FAIL");
+  return max_overhead < 2.0 ? 0 : 1;
+}

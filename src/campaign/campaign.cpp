@@ -10,8 +10,25 @@
 #include "common/strings.h"
 #include "core/injectors/probabilistic_injector.h"
 #include "core/trigger.h"
+#include "obs/telemetry.h"
 
 namespace chaser::campaign {
+
+obs::TrialStats ToTrialStats(const RunRecord& rec, bool replayed) {
+  obs::TrialStats t;
+  t.outcome = static_cast<int>(rec.outcome);
+  t.run_seed = rec.run_seed;
+  t.instructions = rec.instructions;
+  t.injections = rec.injections;
+  t.taint_lost = rec.taint_lost;
+  t.trace_dropped = rec.trace_dropped;
+  t.tb_chain_hits = rec.tb_chain_hits;
+  t.tlb_hits = rec.tlb_hits;
+  t.tlb_misses = rec.tlb_misses;
+  t.retries = rec.retries;
+  t.replayed = replayed;
+  return t;
+}
 
 const char* OutcomeName(Outcome o) {
   switch (o) {
@@ -189,6 +206,7 @@ TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config
 }
 
 GoldenProfile TrialEngine::RunGolden() {
+  const obs::ScopedPhase obs_scope(obs::Phase::kGolden);
   // Profile with a never-firing trigger: instrumentation counts targeted
   // executions without perturbing anything; tracing stays off for speed.
   core::InjectionCommand cmd;
@@ -283,7 +301,10 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
   }
   try {
     cluster_->Start(image_);
-    const mpi::JobResult job = cluster_->Run();
+    const mpi::JobResult job = [&] {
+      const obs::ScopedPhase obs_scope(obs::Phase::kExecute);
+      return cluster_->Run();
+    }();
     Classify(job, &rec);
   } catch (...) {
     if (spool != nullptr) DetachSpool();
@@ -462,6 +483,11 @@ std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
 }
 
 CampaignResult Campaign::Run() {
+  obs::Telemetry* const telemetry = config_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->BeginCampaign(spec_.name, config_.runs);
+    telemetry->AttachThread("main");
+  }
   if (!golden_done_) RunGolden();
   const std::vector<std::uint64_t> seeds =
       DeriveTrialSeeds(config_.seed, config_.runs);
@@ -485,13 +511,23 @@ CampaignResult Campaign::Run() {
     const auto it = done.find(run_seed);
     if (it != done.end()) {
       result.Accumulate(it->second, config_.keep_records);
+      if (telemetry != nullptr) {
+        telemetry->OnTrialDone(ToTrialStats(it->second, /*replayed=*/true), 0, 0);
+      }
       continue;
     }
+    const std::uint64_t t0_ns =
+        telemetry != nullptr ? obs::MonotonicNanos() : 0;
     const RunRecord rec = RunTrialContained(&engine_, spec_, config_,
                                             inject_ranks_, golden_, run_seed);
     if (journal != nullptr) journal->Append(rec);
     result.Accumulate(rec, config_.keep_records);
+    if (telemetry != nullptr) {
+      telemetry->OnTrialDone(ToTrialStats(rec, /*replayed=*/false), t0_ns,
+                             obs::MonotonicNanos());
+    }
   }
+  if (telemetry != nullptr) telemetry->DetachThread();
   return result;
 }
 

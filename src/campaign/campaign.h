@@ -39,6 +39,11 @@
 #include "mpi/cluster.h"
 #include "tcg/shared_cache.h"
 
+namespace chaser::obs {
+class Telemetry;
+struct TrialStats;
+}
+
 namespace chaser::campaign {
 
 /// kInfra is not a fault-injection outcome at all: it marks a trial whose
@@ -88,6 +93,11 @@ struct RunRecord {
   std::string infra_error;
 };
 
+/// Map a RunRecord onto the obs layer's neutral mirror (obs cannot see
+/// campaign types, so the drivers translate at the boundary). Used by both
+/// the serial and parallel drivers so their telemetry cannot diverge.
+obs::TrialStats ToTrialStats(const RunRecord& rec, bool replayed);
+
 struct CampaignConfig {
   std::uint64_t runs = 1000;
   std::uint64_t seed = 12345;
@@ -124,6 +134,11 @@ struct CampaignConfig {
   /// attempt, *inside* the containment boundary — throwing from here
   /// exercises the retry/quarantine path deterministically.
   std::function<void(std::uint64_t, unsigned)> trial_chaos;
+  /// Borrowed observability facade (obs/telemetry.h); must outlive the
+  /// campaign. Null = telemetry off — instrumentation sites degrade to a
+  /// thread_local load + branch and the campaign's outputs are byte-identical
+  /// either way (telemetry only observes).
+  obs::Telemetry* telemetry = nullptr;
 
   // ---- Hot-path knobs (all bit-transparent: outputs are byte-identical
   // ---- with any combination of these, only speed changes) -----------------

@@ -11,6 +11,8 @@
 #include "analysis/spool.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace chaser::campaign {
 
@@ -266,6 +268,9 @@ void TrialJournal::Append(const RunRecord& rec) {
   frame.append(payload);
   AppendU32Le(&frame, Crc32(payload.data(), payload.size()));
 
+  static obs::Counter& appends =
+      obs::Registry::Global().GetCounter("journal_appends_total");
+  const obs::ScopedPhase obs_scope(obs::Phase::kJournalFsync);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) {
     throw ConfigError("TrialJournal: append to closed journal '" + path_ + "'");
@@ -277,6 +282,7 @@ void TrialJournal::Append(const RunRecord& rec) {
     throw ConfigError("TrialJournal: append failed on '" + path_ + "'");
   }
   ++appended_;
+  appends.Inc();
 }
 
 }  // namespace chaser::campaign

@@ -12,6 +12,7 @@
 #include "campaign/journal.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/telemetry.h"
 
 namespace chaser::campaign {
 
@@ -58,6 +59,11 @@ std::uint64_t ParallelCampaign::golden_targeted_execs(Rank r) const {
 }
 
 CampaignResult ParallelCampaign::Run() {
+  obs::Telemetry* const telemetry = config_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->BeginCampaign(spec_.name, config_.runs);
+    telemetry->AttachThread("main");
+  }
   if (!golden_done_) RunGolden();
   const std::uint64_t runs = config_.runs;
   const std::vector<std::uint64_t> seeds =
@@ -85,6 +91,10 @@ CampaignResult ParallelCampaign::Run() {
       const auto it = done.find(seeds[i]);
       if (it != done.end()) {
         records[static_cast<std::size_t>(i)] = it->second;
+        if (telemetry != nullptr) {
+          telemetry->OnTrialDone(ToTrialStats(it->second, /*replayed=*/true),
+                                 0, 0);
+        }
       } else {
         pending.push_back(i);
       }
@@ -98,19 +108,30 @@ CampaignResult ParallelCampaign::Run() {
   std::mutex error_mutex;
   std::exception_ptr error;
 
+  std::atomic<unsigned> worker_seq{0};
   const auto worker = [&]() {
+    if (telemetry != nullptr) {
+      telemetry->AttachThread(
+          "worker-" + std::to_string(worker_seq.fetch_add(1)));
+    }
     try {
       std::unique_ptr<TrialEngine> engine;
       while (true) {
         const std::uint64_t p = next.fetch_add(1, std::memory_order_relaxed);
         if (p >= n_pending) break;
         const std::uint64_t i = pending[static_cast<std::size_t>(p)];
+        const std::uint64_t t0_ns =
+            telemetry != nullptr ? obs::MonotonicNanos() : 0;
         // Containment boundary: a throwing trial retries on a rebuilt engine
         // and quarantines as kInfra — it cannot take down the worker pool.
         const RunRecord rec = RunTrialContained(
             &engine, spec_, config_, inject_ranks_, golden_, seeds[i]);
         if (journal != nullptr) journal->Append(rec);
         records[static_cast<std::size_t>(i)] = rec;
+        if (telemetry != nullptr) {
+          telemetry->OnTrialDone(ToTrialStats(rec, /*replayed=*/false), t0_ns,
+                                 obs::MonotonicNanos());
+        }
       }
     } catch (...) {
       // Only infrastructure outside trial containment lands here (e.g. the
@@ -120,6 +141,7 @@ CampaignResult ParallelCampaign::Run() {
       // Drain the remaining work so the other workers stop promptly.
       next.store(n_pending, std::memory_order_relaxed);
     }
+    if (telemetry != nullptr) telemetry->DetachThread();
   };
 
   const unsigned n_workers = static_cast<unsigned>(std::max<std::uint64_t>(
@@ -141,6 +163,7 @@ CampaignResult ParallelCampaign::Run() {
   for (const RunRecord& rec : records) {
     result.Accumulate(rec, config_.keep_records);
   }
+  if (telemetry != nullptr) telemetry->DetachThread();
   return result;
 }
 

@@ -14,7 +14,7 @@ namespace {
 // v3 onward leads with an explicit `#chaser-records-csv vN` line so future
 // column growth cannot silently misparse old files again.
 constexpr const char* kVersionLinePrefix = "#chaser-records-csv v";
-constexpr unsigned kCurrentCsvVersion = 4;
+
 
 constexpr const char* kRecordsHeaderV1 =
     "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
@@ -55,7 +55,7 @@ std::string SanitizeCell(std::string s) {
 }  // namespace
 
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
-  out << kVersionLinePrefix << kCurrentCsvVersion << '\n';
+  out << kVersionLinePrefix << kRecordsCsvVersion << '\n';
   out << kRecordsHeaderV4 << '\n';
   for (const RunRecord& r : records) {
     out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
@@ -130,11 +130,11 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     if (!ParseU64(line.substr(prefix.size()), &v) || v == 0) {
       throw ConfigError("ReadRecordsCsv: malformed version line '" + line + "'");
     }
-    if (v > kCurrentCsvVersion) {
+    if (v > kRecordsCsvVersion) {
       throw ConfigError(StrFormat(
           "ReadRecordsCsv: file is format v%llu but this build reads up to "
           "v%u — regenerate or upgrade",
-          static_cast<unsigned long long>(v), kCurrentCsvVersion));
+          static_cast<unsigned long long>(v), kRecordsCsvVersion));
     }
     version = static_cast<unsigned>(v);
     if (!std::getline(in, line)) {

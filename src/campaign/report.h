@@ -15,6 +15,13 @@
 
 namespace chaser::campaign {
 
+/// Version of the records-CSV format this build writes (the
+/// `#chaser-records-csv vN` lead line). The one shared constant behind the
+/// writer, the reader's too-new ceiling, report_test's expectations, and
+/// tools/bench_to_json.sh (which greps this line to stamp its JSON) — bump
+/// it here and every consumer follows.
+inline constexpr unsigned kRecordsCsvVersion = 4;
+
 /// Write one row per run: seed, outcome, termination detail, injection site,
 /// propagation counters. Emits the current format: a `#chaser-records-csv vN`
 /// version line, the column header, then the rows. `infra_error` cells are

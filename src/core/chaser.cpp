@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/profiler.h"
 
 namespace chaser::core {
 
@@ -139,6 +140,7 @@ void Chaser::OnInjectorHelper(std::uint64_t pc) {
     return;
   }
 
+  const obs::ScopedPhase obs_scope(obs::Phase::kInject);
   const guest::Instruction& instr = vm_.program()->text[pc];
   InjectionContext ctx{vm_, pc, instr, exec_count_, vm_.instret(), *rng_, records_};
   const std::size_t before = records_.size();

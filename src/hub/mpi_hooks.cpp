@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "taint/taint.h"
 #include "vm/memory.h"
 
@@ -15,6 +16,7 @@ void ChaserMpiHooks::OnSend(vm::Vm& sender, const mpi::Envelope& env,
   // zero, so the whole scan (and the hub) can be skipped exactly.
   if (!taint.Active()) return;
 
+  const obs::ScopedPhase obs_scope(obs::Phase::kTaintPropagate);
   const std::uint64_t bytes = env.payload.size();
   std::vector<std::uint8_t> masks(bytes, 0);
   bool any = false;
@@ -48,6 +50,7 @@ void ChaserMpiHooks::OnSend(vm::Vm& sender, const mpi::Envelope& env,
   record.byte_masks = std::move(masks);
   record.src_vaddr = buf;
   record.send_instret = sender.instret();
+  const obs::ScopedPhase obs_publish(obs::Phase::kHubPublish);
   hub_->Publish(std::move(record));
 }
 
@@ -60,11 +63,15 @@ void ChaserMpiHooks::OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
   const RecvContext ctx{.dest_vaddr = buf, .recv_instret = receiver.instret()};
   // Bounded poll deadline: an unavailable hub (outage / visibility lag) is
   // retried up to the fault model's budget; a definitive miss never is.
-  PollAttempt attempt = hub_->TryPoll(id, ctx);
-  for (std::uint64_t retry = hub_->fault_model().poll_retries;
-       attempt.status == PollStatus::kUnavailable && retry > 0; --retry) {
-    attempt = hub_->TryPoll(id, ctx);
-  }
+  PollAttempt attempt = [&] {
+    const obs::ScopedPhase obs_poll(obs::Phase::kHubPoll);
+    PollAttempt a = hub_->TryPoll(id, ctx);
+    for (std::uint64_t retry = hub_->fault_model().poll_retries;
+         a.status == PollStatus::kUnavailable && retry > 0; --retry) {
+      a = hub_->TryPoll(id, ctx);
+    }
+    return a;
+  }();
   if (attempt.status == PollStatus::kUnavailable) {
     // Deadline exhausted: proceed untainted — the payload bytes arrived, but
     // their shadow is lost. The hub accounts the loss (RunRecord::taint_lost).
@@ -73,6 +80,7 @@ void ChaserMpiHooks::OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
   }
   if (attempt.status == PollStatus::kMiss) return;  // message was clean
 
+  const obs::ScopedPhase obs_scope(obs::Phase::kTaintPropagate);
   const MessageTaintRecord& record = *attempt.record;
   const std::uint64_t bytes =
       std::min<std::uint64_t>(record.byte_masks.size(), env.payload.size());

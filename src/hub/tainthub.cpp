@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace chaser::hub {
 
 void TaintHub::AccountLoss(const MessageTaintRecord& record) {
@@ -10,6 +12,9 @@ void TaintHub::AccountLoss(const MessageTaintRecord& record) {
 }
 
 void TaintHub::Publish(MessageTaintRecord record) {
+  static obs::Counter& publishes =
+      obs::Registry::Global().GetCounter("hub_publish_total");
+  publishes.Inc();
   ++clock_;
   ++stats_.publishes;
   if (fault_model_.Active()) {
@@ -29,6 +34,9 @@ void TaintHub::Publish(MessageTaintRecord record) {
 }
 
 PollAttempt TaintHub::TryPoll(const MessageId& id, const RecvContext& ctx) {
+  static obs::Counter& polls =
+      obs::Registry::Global().GetCounter("hub_poll_total");
+  polls.Inc();
   ++clock_;
   ++stats_.polls;
   if (fault_model_.Active() && InOutage()) {

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::obs {
+
+std::size_t ThreadShardSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+// ---- Counter -----------------------------------------------------------------
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  const std::size_t slots = bounds_.size() + 1;  // + overflow
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(std::uint64_t sample) {
+  // First bucket whose inclusive upper bound admits the sample; past the
+  // last bound the sample lands in the overflow slot.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = shards_[ThreadShardSlot()];
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::Sum() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::ApproxQuantile(double q) const {
+  const std::vector<std::uint64_t> counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      return i < bounds_.size() ? bounds_[i]
+                                : std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+std::vector<std::uint64_t> LatencyBoundsNs() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1'000; b <= 17'179'869'184ull; b *= 4) {
+    bounds.push_back(b);  // 1us, 4us, ..., ~17.2s
+  }
+  return bounds;
+}
+
+// ---- Registry ----------------------------------------------------------------
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(name));
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(name));
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) {
+      throw ConfigError("Registry: histogram '" + name + "' needs bounds");
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      if (bounds[i] <= bounds[i - 1]) {
+        throw ConfigError("Registry: histogram '" + name +
+                          "' bounds must be strictly ascending");
+      }
+    }
+    slot.reset(new Histogram(name, std::move(bounds)));
+  }
+  return *slot;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(c->Value()));
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                     static_cast<long long>(g->Value()));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const std::vector<std::uint64_t> counts = h->BucketCounts();
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"buckets\": [",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(h->Count()),
+        static_cast<unsigned long long>(h->Sum()));
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i < h->bounds().size()) {
+        out += StrFormat("%s{\"le\": %llu, \"count\": %llu}", i == 0 ? "" : ", ",
+                         static_cast<unsigned long long>(h->bounds()[i]),
+                         static_cast<unsigned long long>(counts[i]));
+      } else {
+        out += StrFormat("%s{\"le\": \"inf\", \"count\": %llu}",
+                         i == 0 ? "" : ", ",
+                         static_cast<unsigned long long>(counts[i]));
+      }
+    }
+    out += StrFormat("], \"p50\": %llu, \"p99\": %llu}",
+                     static_cast<unsigned long long>(h->ApproxQuantile(0.5)),
+                     static_cast<unsigned long long>(h->ApproxQuantile(0.99)));
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    for (Counter::Shard& s : c->shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) {
+    const std::size_t slots = h->bounds_.size() + 1;
+    for (Histogram::Shard& s : h->shards_) {
+      for (std::size_t i = 0; i < slots; ++i) {
+        s.buckets[i].store(0, std::memory_order_relaxed);
+      }
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // leaked: outlives all users
+  return *global;
+}
+
+}  // namespace chaser::obs

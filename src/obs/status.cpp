@@ -1,0 +1,134 @@
+#include "obs/status.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/fileio.h"
+#include "common/strings.h"
+#include "obs/profiler.h"
+
+namespace chaser::obs {
+
+StatusWriter::StatusWriter(Options options) : options_(std::move(options)) {
+  if (options_.path.empty()) {
+    throw ConfigError("StatusWriter: empty status path");
+  }
+  every_ = options_.every;
+  if (every_ == 0) {
+    // Auto cadence: ~100 rewrites over the campaign. Cheap either way — a
+    // rewrite is one small atomic file replace.
+    every_ = options_.total / 100;
+    if (every_ == 0) every_ = 1;
+  }
+  start_ns_ = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  WriteLocked(/*running=*/true);  // status exists from trial 0 onward
+}
+
+StatusWriter::~StatusWriter() {
+  try {
+    Finish();
+  } catch (...) {
+    // Destructor path: a full disk must not turn campaign teardown into a
+    // crash; the last successful rewrite stays in place.
+  }
+}
+
+void StatusWriter::OnTrialDone(int outcome, std::uint64_t taint_lost,
+                               std::uint64_t trace_dropped, bool replayed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (replayed) ++replayed_;
+  if (outcome >= 0 && outcome < 4) ++outcomes_[outcome];
+  taint_lost_ += taint_lost;
+  trace_dropped_ += trace_dropped;
+  if (done_ % every_ == 0 || done_ == options_.total) {
+    WriteLocked(/*running=*/true);
+  }
+}
+
+std::string StatusWriter::RenderLocked(bool running) const {
+  const double elapsed_s =
+      static_cast<double>(MonotonicNanos() - start_ns_) / 1e9;
+  // Replayed trials were not executed here; excluding them keeps the rate
+  // (and therefore the ETA) honest after a resume.
+  const std::uint64_t executed = done_ - replayed_;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(executed) / elapsed_s : 0.0;
+  const std::uint64_t left = options_.total > done_ ? options_.total - done_ : 0;
+  const double eta_s = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+
+  std::string out = StrFormat(
+      "{\"app\": \"%s\", \"running\": %s, \"total\": %llu, \"done\": %llu, "
+      "\"replayed\": %llu, \"benign\": %llu, \"terminated\": %llu, "
+      "\"sdc\": %llu, \"infra\": %llu, \"taint_lost\": %llu, "
+      "\"trace_dropped\": %llu, \"elapsed_s\": %.3f, \"trials_per_s\": %.2f, "
+      "\"eta_s\": %.1f",
+      options_.app.c_str(), running ? "true" : "false",
+      static_cast<unsigned long long>(options_.total),
+      static_cast<unsigned long long>(done_),
+      static_cast<unsigned long long>(replayed_),
+      static_cast<unsigned long long>(outcomes_[0]),
+      static_cast<unsigned long long>(outcomes_[1]),
+      static_cast<unsigned long long>(outcomes_[2]),
+      static_cast<unsigned long long>(outcomes_[3]),
+      static_cast<unsigned long long>(taint_lost_),
+      static_cast<unsigned long long>(trace_dropped_), elapsed_s, rate, eta_s);
+  if (options_.cache_stats) {
+    const CacheStatsSnapshot cs = options_.cache_stats();
+    out += StrFormat(
+        ", \"tb_cache\": {\"translations\": %llu, \"reuses\": %llu, "
+        "\"epoch_flushes\": %llu, \"evicted_tbs\": %llu}",
+        static_cast<unsigned long long>(cs.translations),
+        static_cast<unsigned long long>(cs.reuses),
+        static_cast<unsigned long long>(cs.epoch_flushes),
+        static_cast<unsigned long long>(cs.evicted_tbs));
+  }
+  out += "}\n";
+  return out;
+}
+
+void StatusWriter::WriteLocked(bool running) {
+  WriteFileAtomic(options_.path, RenderLocked(running));
+  ++writes_;
+  if (options_.progress) {
+    const double pct = options_.total == 0
+                           ? 100.0
+                           : 100.0 * static_cast<double>(done_) /
+                                 static_cast<double>(options_.total);
+    std::fprintf(stderr,
+                 "\r%s: %llu/%llu (%5.1f%%)  benign %llu  terminated %llu  "
+                 "sdc %llu  infra %llu ",
+                 options_.app.c_str(), static_cast<unsigned long long>(done_),
+                 static_cast<unsigned long long>(options_.total), pct,
+                 static_cast<unsigned long long>(outcomes_[0]),
+                 static_cast<unsigned long long>(outcomes_[1]),
+                 static_cast<unsigned long long>(outcomes_[2]),
+                 static_cast<unsigned long long>(outcomes_[3]));
+    progress_line_open_ = true;
+    if (!running) {
+      std::fprintf(stderr, "\n");
+      progress_line_open_ = false;
+    }
+    std::fflush(stderr);
+  }
+}
+
+void StatusWriter::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  WriteLocked(/*running=*/false);
+}
+
+std::uint64_t StatusWriter::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+std::uint64_t StatusWriter::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+}  // namespace chaser::obs

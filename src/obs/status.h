@@ -1,0 +1,89 @@
+// Live campaign status channel: machine-readable status.json + progress meter.
+//
+// A running campaign used to be silent until the last trial. StatusWriter
+// gives operators (and orchestration around chaser_run) a continuously
+// fresh, machine-readable view: every rewrite replaces `path` atomically
+// (WriteFileAtomic), so a reader polling the file always sees one complete
+// JSON object — never a torn write — and `done` only ever grows.
+//
+//   {"app": "matvec", "running": true, "total": 1000, "done": 412,
+//    "replayed": 0, "benign": 301, "terminated": 88, "sdc": 21, "infra": 2,
+//    "taint_lost": 0, "trace_dropped": 0,
+//    "elapsed_s": 12.341, "trials_per_s": 33.4, "eta_s": 17.6,
+//    "tb_cache": {"translations": n, "reuses": n, "epoch_flushes": n,
+//                 "evicted_tbs": n}}
+//
+// The optional progress meter is a single overwritten stderr line (opt-in:
+// it is chatty and assumes a terminal). Neither channel feeds back into
+// campaign results — status output is observation only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace chaser::obs {
+
+/// Snapshot of a shared translation cache for the status report (a neutral
+/// mirror of tcg::SharedTbCache::Stats — obs stays dependency-free).
+struct CacheStatsSnapshot {
+  std::uint64_t translations = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t epoch_flushes = 0;
+  std::uint64_t evicted_tbs = 0;
+};
+
+class StatusWriter {
+ public:
+  struct Options {
+    std::string path;          // status.json destination (required)
+    std::string app;           // campaign label
+    std::uint64_t total = 0;   // trials expected
+    /// Rewrite the file every N completed trials (the final write always
+    /// happens). 0 = auto: ~100 rewrites over the campaign, at least 1.
+    std::uint64_t every = 0;
+    bool progress = false;     // one-line stderr meter
+    /// Optional cache-stats source polled at every rewrite.
+    std::function<CacheStatsSnapshot()> cache_stats;
+  };
+
+  explicit StatusWriter(Options options);
+  /// Final write (running=false) if the campaign never called Finish.
+  ~StatusWriter();
+
+  StatusWriter(const StatusWriter&) = delete;
+  StatusWriter& operator=(const StatusWriter&) = delete;
+
+  /// Account one completed trial. Thread-safe; rewrites the file when the
+  /// cadence says so. `outcome` is the campaign outcome index
+  /// (0 benign, 1 terminated, 2 sdc, 3 infra); `replayed` marks trials
+  /// restored from a resume journal rather than executed.
+  void OnTrialDone(int outcome, std::uint64_t taint_lost,
+                   std::uint64_t trace_dropped, bool replayed);
+
+  /// Final rewrite with running=false. Idempotent. Ends the progress line.
+  void Finish();
+
+  std::uint64_t done() const;
+  std::uint64_t writes() const;  // status.json rewrites so far
+
+ private:
+  std::string RenderLocked(bool running) const;
+  void WriteLocked(bool running);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::uint64_t done_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t outcomes_[4] = {0, 0, 0, 0};
+  std::uint64_t taint_lost_ = 0;
+  std::uint64_t trace_dropped_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t every_ = 1;
+  std::uint64_t writes_ = 0;
+  bool finished_ = false;
+  bool progress_line_open_ = false;
+};
+
+}  // namespace chaser::obs

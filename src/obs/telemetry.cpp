@@ -1,0 +1,149 @@
+#include "obs/telemetry.h"
+
+#include "common/fileio.h"
+
+namespace chaser::obs {
+
+const char* TrialOutcomeName(int outcome) {
+  switch (outcome) {
+    case 0: return "benign";
+    case 1: return "terminated";
+    case 2: return "sdc";
+    case 3: return "infra";
+  }
+  return "?";
+}
+
+Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceJsonWriter>(options_.trace_path);
+  }
+}
+
+Telemetry::~Telemetry() {
+  try {
+    Finish();
+  } catch (...) {
+    // Teardown must not throw; the last successful artifacts stay in place.
+  }
+}
+
+void Telemetry::BeginCampaign(const std::string& app,
+                              std::uint64_t total_trials) {
+  app_ = app;
+  if (!options_.status_path.empty() && status_ == nullptr) {
+    StatusWriter::Options so;
+    so.path = options_.status_path;
+    so.app = app;
+    so.total = total_trials;
+    so.every = options_.status_every;
+    so.progress = options_.progress;
+    so.cache_stats = cache_stats_;
+    status_ = std::make_unique<StatusWriter>(std::move(so));
+  }
+}
+
+void Telemetry::SetCacheStatsSource(
+    std::function<CacheStatsSnapshot()> source) {
+  cache_stats_ = std::move(source);
+}
+
+void Telemetry::AttachThread(const std::string& name) {
+  if (ThreadProfiler() != nullptr) return;  // already armed (ours by contract)
+  const std::uint32_t tid =
+      trace_ != nullptr ? trace_->RegisterThread(name) : 0;
+  auto profiler = std::make_unique<PhaseProfiler>(&Registry::Global(),
+                                                  trace_.get(), tid);
+  SetThreadProfiler(profiler.get());
+  std::lock_guard<std::mutex> lock(mutex_);
+  profilers_.push_back(std::move(profiler));
+}
+
+void Telemetry::DetachThread() {
+  PhaseProfiler* prof = ThreadProfiler();
+  if (prof == nullptr) return;
+  prof->Flush();
+  SetThreadProfiler(nullptr);
+  // The profiler object stays in profilers_ (its tid and histograms remain
+  // valid); only the thread-local arming is dropped.
+}
+
+void Telemetry::OnTrialDone(const TrialStats& t, std::uint64_t t0_ns,
+                            std::uint64_t t1_ns) {
+  Registry& reg = Registry::Global();
+  // Handles resolve once per process — registration is mutexed, Inc is not.
+  static Counter& trials = reg.GetCounter("campaign_trials_total");
+  static Counter& replayed = reg.GetCounter("campaign_trials_replayed");
+  static Counter* outcomes[4] = {
+      &reg.GetCounter("campaign_outcome_benign"),
+      &reg.GetCounter("campaign_outcome_terminated"),
+      &reg.GetCounter("campaign_outcome_sdc"),
+      &reg.GetCounter("campaign_outcome_infra"),
+  };
+  static Counter& instructions = reg.GetCounter("guest_instructions_total");
+  static Counter& injections = reg.GetCounter("injections_total");
+  static Counter& taint_lost = reg.GetCounter("hub_taint_lost_total");
+  static Counter& trace_dropped = reg.GetCounter("trace_events_dropped_total");
+  static Counter& chain_hits = reg.GetCounter("vm_tb_chain_hits_total");
+  static Counter& tlb_hits = reg.GetCounter("vm_tlb_hits_total");
+  static Counter& tlb_misses = reg.GetCounter("vm_tlb_misses_total");
+  static Counter& retries = reg.GetCounter("campaign_trial_retries_total");
+
+  if (status_ != nullptr) {
+    status_->OnTrialDone(t.outcome, t.taint_lost, t.trace_dropped, t.replayed);
+  }
+  trials.Inc();
+  if (t.outcome >= 0 && t.outcome < 4) outcomes[t.outcome]->Inc();
+  if (t.replayed) {
+    replayed.Inc();
+    return;  // not executed here: no span, no hot-path counter traffic
+  }
+  instructions.Inc(t.instructions);
+  injections.Inc(t.injections);
+  taint_lost.Inc(t.taint_lost);
+  trace_dropped.Inc(t.trace_dropped);
+  chain_hits.Inc(t.tb_chain_hits);
+  tlb_hits.Inc(t.tlb_hits);
+  tlb_misses.Inc(t.tlb_misses);
+  retries.Inc(t.retries);
+
+  static Histogram& trial_ns =
+      reg.GetHistogram("phase_trial_ns", LatencyBoundsNs());
+  trial_ns.Observe(t1_ns - t0_ns);
+  if (trace_ != nullptr) {
+    PhaseProfiler* prof = ThreadProfiler();
+    // Flush first so the trial's phase spans precede their enclosing trial
+    // span only by buffer order, not by a whole campaign.
+    if (prof != nullptr) prof->Flush();
+    const std::uint32_t tid = prof != nullptr ? prof->tid() : 0;
+    trace_->AddSpan(tid, PhaseName(Phase::kTrial), t0_ns, t1_ns,
+                    {{"run_seed", std::to_string(t.run_seed)},
+                     {"outcome", TrialOutcomeName(t.outcome)}});
+  }
+}
+
+void Telemetry::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    // Contract: Finish runs after every attached thread detached (workers
+    // are joined by the drivers), so flushing their buffers is race-free.
+    for (auto& prof : profilers_) prof->Flush();
+  }
+  if (cache_stats_) {
+    const CacheStatsSnapshot cs = cache_stats_();
+    Registry& reg = Registry::Global();
+    reg.GetGauge("tb_cache_translations").Set(static_cast<std::int64_t>(cs.translations));
+    reg.GetGauge("tb_cache_reuses").Set(static_cast<std::int64_t>(cs.reuses));
+    reg.GetGauge("tb_cache_epoch_flushes").Set(static_cast<std::int64_t>(cs.epoch_flushes));
+    reg.GetGauge("tb_cache_evicted_tbs").Set(static_cast<std::int64_t>(cs.evicted_tbs));
+  }
+  if (trace_ != nullptr) trace_->Finish();
+  if (status_ != nullptr) status_->Finish();
+  if (!options_.metrics_path.empty()) {
+    WriteFileAtomic(options_.metrics_path, Registry::Global().ToJson());
+  }
+}
+
+}  // namespace chaser::obs

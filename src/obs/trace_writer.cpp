@@ -1,0 +1,113 @@
+#include "obs/trace_writer.h"
+
+#include "common/fileio.h"
+#include "common/strings.h"
+
+namespace chaser::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-microsecond precision — the trace-event format's
+/// native unit.
+std::string TsUs(std::uint64_t ns) {
+  return StrFormat("%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                   static_cast<unsigned long long>(ns % 1000));
+}
+
+}  // namespace
+
+TraceJsonWriter::TraceJsonWriter(std::string path) : path_(std::move(path)) {
+  AppendEventLocked(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"chaser campaign\"}}");
+}
+
+std::uint32_t TraceJsonWriter::RegisterThread(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t tid = next_tid_++;
+  AppendEventLocked(StrFormat(
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+      "\"args\":{\"name\":\"%s\"}}",
+      tid, JsonEscape(name).c_str()));
+  return tid;
+}
+
+void TraceJsonWriter::AddSpan(
+    std::uint32_t tid, const char* name, std::uint64_t t0_ns,
+    std::uint64_t t1_ns,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  std::string event = StrFormat(
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,"
+      "\"tid\":%u",
+      name, TsUs(t0_ns).c_str(), TsUs(t1_ns - t0_ns).c_str(), tid);
+  if (!args.empty()) {
+    event += ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : args) {
+      event += StrFormat("%s\"%s\":\"%s\"", first ? "" : ",",
+                         JsonEscape(k).c_str(), JsonEscape(v).c_str());
+      first = false;
+    }
+    event += '}';
+  }
+  event += '}';
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendEventLocked(event);
+}
+
+void TraceJsonWriter::AddPhaseSpans(std::uint32_t tid,
+                                    const std::vector<PhaseSpan>& spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const PhaseSpan& s : spans) {
+    AppendEventLocked(StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,"
+        "\"tid\":%u}",
+        PhaseName(s.phase), TsUs(s.t0_ns).c_str(),
+        TsUs(s.t1_ns - s.t0_ns).c_str(), tid));
+  }
+}
+
+void TraceJsonWriter::AppendEventLocked(const std::string& event_json) {
+  if (finished_) return;
+  if (num_events_ > 0) events_ += ",\n";
+  events_ += event_json;
+  ++num_events_;
+}
+
+std::uint64_t TraceJsonWriter::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_events_;
+}
+
+void TraceJsonWriter::Finish() {
+  std::string content;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    content = "{\"traceEvents\": [\n" + events_ +
+              "\n], \"displayTimeUnit\": \"ms\"}\n";
+    events_.clear();
+  }
+  WriteFileAtomic(path_, content);
+}
+
+}  // namespace chaser::obs

@@ -1,0 +1,67 @@
+// Chrome trace-event JSON writer (chrome://tracing / Perfetto format).
+//
+// Collects complete-duration spans ("ph":"X") from any number of threads
+// and writes one self-contained JSON object at Finish():
+//
+//   {"traceEvents": [
+//      {"name":"process_name","ph":"M",...},          // metadata
+//      {"name":"worker-1","ph":"M",...},              // thread names
+//      {"name":"trial","ph":"X","ts":12.3,"dur":4.5,
+//       "pid":1,"tid":2,"args":{"run_seed":"7"}}, ...],
+//    "displayTimeUnit": "ms"}
+//
+// Timestamps are microseconds on the process monotonic clock (see
+// obs::MonotonicNanos), so spans from different worker threads line up on
+// one timeline. The file is written via WriteFileAtomic: a campaign killed
+// mid-run leaves either no trace file or a complete one, never torn JSON.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace chaser::obs {
+
+class TraceJsonWriter {
+ public:
+  /// `path` is only written at Finish(); construction is I/O-free.
+  explicit TraceJsonWriter(std::string path);
+
+  TraceJsonWriter(const TraceJsonWriter&) = delete;
+  TraceJsonWriter& operator=(const TraceJsonWriter&) = delete;
+
+  /// Assign the next trace tid and emit its thread-name metadata event.
+  /// Thread-safe.
+  std::uint32_t RegisterThread(const std::string& name);
+
+  /// One span, with optional args rendered as string values. Thread-safe.
+  void AddSpan(std::uint32_t tid, const char* name, std::uint64_t t0_ns,
+               std::uint64_t t1_ns,
+               const std::vector<std::pair<std::string, std::string>>& args = {});
+
+  /// Bulk ingest of a profiler's buffered phase spans. Thread-safe.
+  void AddPhaseSpans(std::uint32_t tid, const std::vector<PhaseSpan>& spans);
+
+  /// Write the complete JSON to `path` atomically. Idempotent; spans added
+  /// after the first Finish are dropped.
+  void Finish();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t num_events() const;
+
+ private:
+  void AppendEventLocked(const std::string& event_json);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::string events_;  // comma-joined event objects
+  std::uint64_t num_events_ = 0;
+  std::uint32_t next_tid_ = 1;
+  bool finished_ = false;
+};
+
+}  // namespace chaser::obs

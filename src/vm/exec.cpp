@@ -17,6 +17,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/profiler.h"
 #include "tcg/shared_cache.h"
 #include "vm/vm.h"
 
@@ -73,6 +74,7 @@ Vm::CachedTb& Vm::LookupTb(std::uint64_t pc) {
       ++epoch_cur_.shared_reuses;
       entry.tb = shared;
     } else {
+      const obs::ScopedPhase obs_scope(obs::Phase::kTranslate);
       tcg::TranslationBlock tb = translator_.Translate(*program_, pc);
       if (config_.optimize_tbs) {
         const tcg::OptimizerStats stats = tcg::Optimize(&tb);
@@ -94,6 +96,7 @@ Vm::CachedTb& Vm::LookupTb(std::uint64_t pc) {
       entry.tb = config_.shared_cache->Insert(key, std::move(tb));
     }
   } else {
+    const obs::ScopedPhase obs_scope(obs::Phase::kTranslate);
     auto tb = std::make_unique<tcg::TranslationBlock>(
         translator_.Translate(*program_, pc));
     if (config_.optimize_tbs) {

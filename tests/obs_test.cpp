@@ -1,0 +1,375 @@
+// Tests for src/obs: metrics registry aggregation (incl. across threads —
+// the `tsan` label vets the lock-free shard write path), histogram bucket
+// edges, scoped-timer nesting, the live status channel's monotonic progress,
+// and the identity guarantee — campaign outputs are byte-identical with
+// telemetry on or off, serial and parallel.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/app.h"
+#include "campaign/campaign.h"
+#include "campaign/parallel.h"
+#include "campaign/report.h"
+#include "guest/builder.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/status.h"
+#include "obs/telemetry.h"
+#include "obs/trace_writer.h"
+
+namespace chaser::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("chaser_obs_test_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---- Registry ----------------------------------------------------------------
+
+TEST(Metrics, CounterAggregatesAcrossThreads) {
+  Registry reg;
+  Counter& c = reg.GetCounter("test_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncsPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kIncsPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kIncsPerThread);
+  // Same name returns the same metric; the handle survives re-registration.
+  reg.GetCounter("test_total").Inc(5);
+  EXPECT_EQ(c.Value(), kThreads * kIncsPerThread + 5);
+}
+
+TEST(Metrics, HistogramObserveAcrossThreads) {
+  Registry reg;
+  Histogram& h = reg.GetHistogram("lat_ns", LatencyBoundsNs());
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kObsPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kObsPerThread; ++i) {
+        h.Observe(static_cast<std::uint64_t>(t) * 1000 + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kObsPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t n : h.BucketCounts()) bucket_sum += n;
+  EXPECT_EQ(bucket_sum, h.Count()) << "every sample must land in some bucket";
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  Registry reg;
+  Histogram& h = reg.GetHistogram("edges", {10, 100});
+  h.Observe(0);
+  h.Observe(10);   // == bound: first bucket (inclusive upper bound)
+  h.Observe(11);   // one past: second bucket
+  h.Observe(100);  // == last bound: second bucket
+  h.Observe(101);  // past every bound: overflow
+  const std::vector<std::uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 0u + 10 + 11 + 100 + 101);
+  // Cumulative: 2/5 at bound 10, 4/5 at bound 100.
+  EXPECT_EQ(h.ApproxQuantile(0.4), 10u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 100u);
+  EXPECT_EQ(h.ApproxQuantile(0.8), 100u);
+}
+
+TEST(Metrics, RegistryJsonIsDeterministicAndNameSorted) {
+  Registry reg;
+  reg.GetCounter("zeta").Inc(3);
+  reg.GetCounter("alpha").Inc(1);
+  reg.GetGauge("gauge_a").Set(-7);
+  reg.GetHistogram("h", {10}).Observe(4);
+  const std::string a = reg.ToJson();
+  const std::string b = reg.ToJson();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+  EXPECT_NE(a.find("\"gauge_a\": -7"), std::string::npos) << a;
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("zeta").Value(), 0u);
+  EXPECT_EQ(reg.GetHistogram("h", {10}).Count(), 0u);
+}
+
+// ---- Phase profiler ----------------------------------------------------------
+
+TEST(Profiler, ScopedPhaseIsInertWithoutAProfiler) {
+  ASSERT_EQ(ThreadProfiler(), nullptr);
+  // Must not crash, allocate into any registry, or require any setup.
+  const ScopedPhase a(Phase::kTranslate);
+  const ScopedPhase b(Phase::kExecute);
+}
+
+TEST(Profiler, ScopedTimerNestingTracksDepthAndFeedsHistograms) {
+  Registry reg;
+  PhaseProfiler prof(&reg, nullptr, 1);
+  SetThreadProfiler(&prof);
+  {
+    const ScopedPhase trial(Phase::kTrial);
+    EXPECT_EQ(prof.depth(), 1u);
+    {
+      const ScopedPhase exec(Phase::kExecute);
+      EXPECT_EQ(prof.depth(), 2u);
+      const ScopedPhase translate(Phase::kTranslate);
+      EXPECT_EQ(prof.depth(), 3u);
+    }
+    const ScopedPhase inject(Phase::kInject);
+    EXPECT_EQ(prof.depth(), 2u);
+  }
+  EXPECT_EQ(prof.depth(), 0u);
+  SetThreadProfiler(nullptr);
+
+  EXPECT_EQ(reg.GetHistogram("phase_trial_ns", LatencyBoundsNs()).Count(), 1u);
+  EXPECT_EQ(reg.GetHistogram("phase_execute_ns", LatencyBoundsNs()).Count(), 1u);
+  EXPECT_EQ(reg.GetHistogram("phase_translate_ns", LatencyBoundsNs()).Count(),
+            1u);
+  EXPECT_EQ(reg.GetHistogram("phase_inject_ns", LatencyBoundsNs()).Count(), 1u);
+}
+
+TEST(Profiler, SpansReachTheTraceWriterWithPhaseNames) {
+  const std::string dir = TempDir("spans");
+  Registry reg;
+  TraceJsonWriter writer(dir + "/t.json");
+  const std::uint32_t tid = writer.RegisterThread("main");
+  PhaseProfiler prof(&reg, &writer, tid);
+  SetThreadProfiler(&prof);
+  {
+    const ScopedPhase outer(Phase::kExecute);
+    const ScopedPhase inner(Phase::kTranslate);
+  }
+  SetThreadProfiler(nullptr);
+  prof.Flush();
+  writer.Finish();
+  const std::string trace = Slurp(dir + "/t.json");
+  EXPECT_NE(trace.find("\"name\":\"execute\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"name\":\"translate\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"name\":\"main\""), std::string::npos)
+      << "thread-name metadata event missing: " << trace;
+  fs::remove_all(dir);
+}
+
+// ---- Status channel ----------------------------------------------------------
+
+std::uint64_t ParseDone(const std::string& json) {
+  const auto pos = json.find("\"done\": ");
+  EXPECT_NE(pos, std::string::npos) << json;
+  return std::strtoull(json.c_str() + pos + 8, nullptr, 10);
+}
+
+TEST(Status, DoneIsMonotonicAcrossRewrites) {
+  const std::string dir = TempDir("status");
+  const std::string path = dir + "/status.json";
+  StatusWriter writer({.path = path, .app = "t", .total = 10, .every = 1});
+  std::uint64_t last_done = 0;
+  for (int i = 0; i < 10; ++i) {
+    writer.OnTrialDone(/*outcome=*/0, 0, 0, /*replayed=*/false);
+    const std::string json = Slurp(path);
+    const std::uint64_t done = ParseDone(json);
+    EXPECT_GE(done, last_done) << "done must never go backwards";
+    EXPECT_LE(done, 10u);
+    EXPECT_NE(json.find("\"running\": true"), std::string::npos) << json;
+    last_done = done;
+  }
+  writer.Finish();
+  const std::string final_json = Slurp(path);
+  EXPECT_EQ(ParseDone(final_json), 10u);
+  EXPECT_NE(final_json.find("\"running\": false"), std::string::npos)
+      << final_json;
+  fs::remove_all(dir);
+}
+
+TEST(Status, ReplayedTrialsCountTowardDoneButNotTheRate) {
+  const std::string dir = TempDir("status_replay");
+  const std::string path = dir + "/status.json";
+  StatusWriter writer({.path = path, .app = "t", .total = 4, .every = 1});
+  writer.OnTrialDone(0, 0, 0, /*replayed=*/true);
+  writer.OnTrialDone(1, 0, 0, /*replayed=*/true);
+  writer.OnTrialDone(2, 0, 0, /*replayed=*/false);
+  writer.OnTrialDone(0, 0, 0, /*replayed=*/false);
+  writer.Finish();
+  const std::string json = Slurp(path);
+  EXPECT_EQ(ParseDone(json), 4u);
+  EXPECT_NE(json.find("\"replayed\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"benign\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"terminated\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sdc\": 1"), std::string::npos) << json;
+  fs::remove_all(dir);
+}
+
+// ---- Campaign integration: identity on/off, serial and parallel --------------
+
+using campaign::Campaign;
+using campaign::CampaignConfig;
+using campaign::CampaignResult;
+using campaign::ParallelCampaign;
+using campaign::WriteRecordsCsv;
+using guest::Cond;
+using guest::F;
+using guest::ProgramBuilder;
+using guest::R;
+
+/// Same single-process accumulator campaign_test drives — cheap and steers
+/// through benign/sdc/terminated outcomes.
+apps::AppSpec AccumulatorApp(std::uint64_t iters = 40) {
+  ProgramBuilder b("accum");
+  const GuestAddr out = b.Bss("out", 8);
+  b.FmovI(F(0), 0.0);
+  b.FmovI(F(1), 1.0);
+  b.MovI(R(1), 0);
+  auto loop = b.Here("loop");
+  b.Fadd(F(0), F(0), F(1));
+  b.AddI(R(1), R(1), 1);
+  b.CmpI(R(1), static_cast<std::int64_t>(iters));
+  b.Br(Cond::kLt, loop);
+  b.MovI(R(9), static_cast<std::int64_t>(out));
+  b.Fst(R(9), 0, F(0));
+  b.MovI(R(4), static_cast<std::int64_t>(out));
+  b.MovI(R(5), 8);
+  b.Write(3, R(4), R(5));
+  b.Exit(0);
+  apps::AppSpec spec;
+  spec.name = "accum";
+  spec.program = b.Finalize();
+  spec.num_ranks = 1;
+  spec.fault_classes = {guest::InstrClass::kFadd};
+  return spec;
+}
+
+std::string ResultCsv(const CampaignResult& result) {
+  std::ostringstream csv;
+  WriteRecordsCsv(result.records, csv);
+  return csv.str();
+}
+
+TEST(TelemetryIdentity, SerialReportIsByteIdenticalWithTelemetryOnOrOff) {
+  const std::string dir = TempDir("identity_serial");
+  CampaignConfig config;
+  config.runs = 12;
+  config.seed = 21;
+
+  Campaign plain(AccumulatorApp(), config);
+  const std::string csv_off = ResultCsv(plain.Run());
+
+  Telemetry telemetry({.trace_path = dir + "/t.json",
+                       .status_path = dir + "/s.json",
+                       .metrics_path = dir + "/m.json"});
+  config.telemetry = &telemetry;
+  Campaign instrumented(AccumulatorApp(), config);
+  const std::string csv_on = ResultCsv(instrumented.Run());
+  telemetry.Finish();
+
+  EXPECT_EQ(csv_off, csv_on)
+      << "telemetry observed its way into the campaign results";
+  const std::string status = Slurp(dir + "/s.json");
+  EXPECT_EQ(ParseDone(status), 12u);
+  EXPECT_NE(status.find("\"running\": false"), std::string::npos);
+  EXPECT_NE(Slurp(dir + "/m.json").find("campaign_trials_total"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(TelemetryIdentity, ParallelMatchesSerialWithTelemetryAttached) {
+  const std::string dir = TempDir("identity_parallel");
+  CampaignConfig config;
+  config.runs = 12;
+  config.seed = 21;
+
+  Campaign serial(AccumulatorApp(), config);
+  const std::string csv_serial = ResultCsv(serial.Run());
+
+  Telemetry telemetry({.status_path = dir + "/s.json"});
+  config.telemetry = &telemetry;
+  ParallelCampaign parallel(AccumulatorApp(), config, /*jobs=*/4);
+  const std::string csv_parallel = ResultCsv(parallel.Run());
+  telemetry.Finish();
+
+  EXPECT_EQ(csv_serial, csv_parallel);
+  EXPECT_EQ(ParseDone(Slurp(dir + "/s.json")), 12u);
+  fs::remove_all(dir);
+}
+
+TEST(TelemetryIdentity, MpiCampaignTraceCoversTheInstrumentedPhases) {
+  const std::string dir = TempDir("trace_phases");
+  CampaignConfig config;
+  config.runs = 8;
+  config.seed = 3;
+
+  Campaign plain(apps::BuildMatvec({}), config);
+  const std::string csv_off = ResultCsv(plain.Run());
+
+  Telemetry telemetry({.trace_path = dir + "/t.json"});
+  config.telemetry = &telemetry;
+  Campaign instrumented(apps::BuildMatvec({}), config);
+  const std::string csv_on = ResultCsv(instrumented.Run());
+  telemetry.Finish();
+
+  EXPECT_EQ(csv_off, csv_on);
+  const std::string trace = Slurp(dir + "/t.json");
+  int phases = 0;
+  for (const char* name : {"golden", "trial", "translate", "execute", "inject",
+                           "taint-propagate", "hub-publish", "hub-poll"}) {
+    if (trace.find("\"name\":\"" + std::string(name) + "\"") !=
+        std::string::npos) {
+      ++phases;
+    }
+  }
+  EXPECT_GE(phases, 5) << "expected at least 5 distinct phases in the trace";
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Telemetry, TrialCountersLandInTheGlobalRegistry) {
+  Registry::Global().Reset();
+  Telemetry telemetry({});
+  telemetry.BeginCampaign("t", 2);
+  telemetry.AttachThread("main");
+  TrialStats t;
+  t.outcome = 2;  // sdc
+  t.instructions = 1000;
+  t.injections = 3;
+  telemetry.OnTrialDone(t, 0, 500);
+  t.outcome = 0;  // benign
+  t.replayed = true;
+  telemetry.OnTrialDone(t, 0, 0);
+  telemetry.DetachThread();
+  telemetry.Finish();
+  Registry& reg = Registry::Global();
+  EXPECT_EQ(reg.GetCounter("campaign_trials_total").Value(), 2u);
+  EXPECT_EQ(reg.GetCounter("campaign_trials_replayed").Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("campaign_outcome_sdc").Value(), 1u);
+  // Replayed trials did not execute here: no per-trial hot-path traffic.
+  EXPECT_EQ(reg.GetCounter("guest_instructions_total").Value(), 1000u);
+  EXPECT_EQ(reg.GetCounter("injections_total").Value(), 3u);
+  Registry::Global().Reset();
+}
+
+}  // namespace
+}  // namespace chaser::obs

@@ -73,9 +73,11 @@ constexpr const char* kHeaderV1 =
 TEST(Report, WriterEmitsVersionLine) {
   std::stringstream ss;
   WriteRecordsCsv({SampleRecord(1)}, ss);
-  EXPECT_EQ(ss.str().rfind("#chaser-records-csv v4\n", 0), 0u)
-      << "v4 files must self-identify so the next column growth cannot "
-         "silently misparse them";
+  const std::string expect =
+      "#chaser-records-csv v" + std::to_string(kRecordsCsvVersion) + "\n";
+  EXPECT_EQ(ss.str().rfind(expect, 0), 0u)
+      << "files must self-identify with the shared kRecordsCsvVersion so the "
+         "next column growth cannot silently misparse them";
 }
 
 TEST(Report, HotPathCountersRoundTripThroughV4) {

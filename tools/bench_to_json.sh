@@ -45,6 +45,22 @@ tmp="$out.tmp.$$"
 trap 'rm -f "$tmp" "$tmp.spliced"' EXIT
 "$bench_bin" --json > "$tmp"
 
+# Stamp the records-CSV format version the build writes, so a recorded bench
+# is traceable to the exact CSV schema of its era. kRecordsCsvVersion in
+# src/campaign/report.h is the single source of truth — grep it rather than
+# duplicating the number here.
+csv_version=$(sed -n \
+  's/.*constexpr unsigned kRecordsCsvVersion = \([0-9][0-9]*\);.*/\1/p' \
+  "$repo_root/src/campaign/report.h")
+if [ -z "$csv_version" ]; then
+  echo "bench_to_json: cannot find kRecordsCsvVersion in src/campaign/report.h" >&2
+  exit 1
+fi
+sed '$d' "$tmp" > "$tmp.spliced"
+sed -i '$s/$/,/' "$tmp.spliced"
+printf '  "records_csv_version": %s\n}\n' "$csv_version" >> "$tmp.spliced"
+mv "$tmp.spliced" "$tmp"
+
 # Median wall-ms over strictly alternated runs of two binaries. Emits
 # "<median_seed_ms> <median_cur_ms> <median_ratio>" for `pairs` pairs.
 paired_ratio() {

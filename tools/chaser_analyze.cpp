@@ -92,6 +92,15 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// The spool's in-memory-TraceLog drop count, recorded by the campaign in
+/// meta.txt. 0 when absent (pre-drop-accounting spools) or unparsable.
+std::uint64_t MetaTraceDropped(const std::map<std::string, std::string>& meta) {
+  const auto it = meta.find("trace_dropped");
+  std::uint64_t n = 0;
+  if (it != meta.end()) ParseU64(it->second, &n);
+  return n;
+}
+
 std::string SummarizeJson(const analysis::PropagationGraph& g,
                           const std::map<std::string, std::string>& meta) {
   std::string out = "{\n  \"meta\": {";
@@ -126,8 +135,11 @@ std::string SummarizeJson(const analysis::PropagationGraph& g,
         static_cast<unsigned long long>(t.payload_bytes));
     first = false;
   }
-  out += StrFormat("\n  ],\n  \"nodes\": %zu,\n  \"edges\": %zu\n}\n",
-                   g.nodes().size(), g.edges().size());
+  out += StrFormat(
+      "\n  ],\n  \"nodes\": %zu,\n  \"edges\": %zu,\n"
+      "  \"trace_dropped\": %llu\n}\n",
+      g.nodes().size(), g.edges().size(),
+      static_cast<unsigned long long>(MetaTraceDropped(meta)));
   return out;
 }
 
@@ -243,6 +255,17 @@ int main(int argc, char** argv) {
         output = StrFormat("trial spool: %s\n", trial_dir.c_str());
         for (const auto& [k, v] : spool.meta) {
           output += StrFormat("  %s=%s\n", k.c_str(), v.c_str());
+        }
+        // The spool itself is capless, but the campaign's in-memory TraceLogs
+        // are not: surface their drop count so a summary over a partial
+        // in-memory view is never mistaken for one over a complete trace.
+        const std::uint64_t dropped = MetaTraceDropped(spool.meta);
+        if (dropped > 0) {
+          output += StrFormat(
+              "  note: the in-memory trace dropped %llu events at its "
+              "capacity cap during this trial (this spool still holds the "
+              "full trace)\n",
+              static_cast<unsigned long long>(dropped));
         }
         output += graph.Summarize();
       }

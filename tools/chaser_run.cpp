@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "apps/app.h"
 #include "campaign/campaign.h"
 #include "campaign/parallel.h"
@@ -26,6 +28,7 @@
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "obs/telemetry.h"
 #include "tcg/shared_cache.h"
 
 namespace {
@@ -73,6 +76,20 @@ void Usage() {
       "                      before a publish is visible), outage=A-B (hub down\n"
       "                      for operation clocks A..B), retries=N (receiver\n"
       "                      poll deadline), seed=N (drop-tape seed)\n"
+      "\n"
+      "observability (reports/CSVs/spools are byte-identical with these on or\n"
+      "off — telemetry only observes):\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON (one tid per\n"
+      "                      worker, spans per trial and per phase); open in\n"
+      "                      chrome://tracing or https://ui.perfetto.dev\n"
+      "  --status FILE       atomically rewrite FILE as live status.json every\n"
+      "                      few trials (done/total, outcome tallies, rate, ETA)\n"
+      "  --status-every N    rewrite the status file every N trials\n"
+      "                      (default 0 = auto, about 1%% of the campaign)\n"
+      "  --progress          one-line live progress meter on stderr\n"
+      "  --metrics FILE      write the full metrics registry as JSON at exit\n"
+      "                      (with --out and any obs flag, defaults to\n"
+      "                      <out>.metrics.json)\n"
       "  --help              this text\n");
 }
 
@@ -164,6 +181,7 @@ int main(int argc, char** argv) {
   bool inject_ranks_given = false;
   std::uint64_t jobs = 0;  // 0 = hardware concurrency
   bool jobs_given = false;
+  obs::TelemetryOptions obs_options;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -234,6 +252,19 @@ int main(int argc, char** argv) {
       } else if (a == "--out") {
         if (i + 1 >= argc) throw ConfigError("missing value for --out");
         out_path = argv[++i];
+      } else if (a == "--trace-out") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --trace-out");
+        obs_options.trace_path = argv[++i];
+      } else if (a == "--status") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --status");
+        obs_options.status_path = argv[++i];
+      } else if (a == "--status-every") {
+        obs_options.status_every = ArgNum(argc, argv, i, "--status-every");
+      } else if (a == "--progress") {
+        obs_options.progress = true;
+      } else if (a == "--metrics") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --metrics");
+        obs_options.metrics_path = argv[++i];
       } else if (a == "--help" || a == "-h") {
         Usage();
         return 0;
@@ -249,6 +280,22 @@ int main(int argc, char** argv) {
     apps::AppSpec spec = BuildApp(app_name);
     if (!inject_ranks_given && app_name == "clamr") {
       for (Rank r = 0; r < spec.num_ranks; ++r) config.inject_ranks.insert(r);
+    }
+
+    // Telemetry is armed only when an obs flag asked for it; with none, the
+    // campaign runs with config.telemetry == nullptr and the instrumentation
+    // sites stay on their no-profiler fast path.
+    const bool obs_requested = !obs_options.trace_path.empty() ||
+                               !obs_options.status_path.empty() ||
+                               !obs_options.metrics_path.empty() ||
+                               obs_options.progress;
+    if (obs_requested && obs_options.metrics_path.empty() && !out_path.empty()) {
+      obs_options.metrics_path = out_path + ".metrics.json";
+    }
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (obs_requested) {
+      telemetry = std::make_unique<obs::Telemetry>(obs_options);
+      config.telemetry = telemetry.get();
     }
 
     std::printf("chaser_run: %s, %llu runs, seed %llu, bits %u-%u, ranks %d, "
@@ -269,6 +316,19 @@ int main(int argc, char** argv) {
       std::printf("\n\n");
     };
 
+    // The cache-stats source and Finish() both read the campaign-owned
+    // shared cache, so they live inside the driver's scope.
+    const auto attach_cache_stats = [&](const tcg::SharedTbCache* cache) {
+      if (telemetry == nullptr || cache == nullptr) return;
+      telemetry->SetCacheStatsSource([cache] {
+        const tcg::SharedTbCache::Stats s = cache->stats();
+        return obs::CacheStatsSnapshot{.translations = s.translations,
+                                       .reuses = s.reuses,
+                                       .epoch_flushes = s.epoch_flushes,
+                                       .evicted_tbs = s.evicted_tbs};
+      });
+    };
+
     campaign::CampaignResult result;
     if (jobs_given && jobs == 1) {
       campaign::Campaign c(std::move(spec), config);
@@ -276,7 +336,9 @@ int main(int argc, char** argv) {
       print_golden(c.golden_instructions(), c.inject_ranks(),
                    [&](Rank r) { return c.golden_targeted_execs(r); });
       std::printf("engine: serial\n");
+      attach_cache_stats(c.shared_tb_cache());
       result = c.Run();
+      if (telemetry != nullptr) telemetry->Finish();
       std::printf("%s", result.Render(app_name).c_str());
       PrintSharedCacheStats(c.shared_tb_cache());
     } else {
@@ -286,7 +348,9 @@ int main(int argc, char** argv) {
       print_golden(c.golden_instructions(), c.inject_ranks(),
                    [&](Rank r) { return c.golden_targeted_execs(r); });
       std::printf("engine: parallel, %u workers\n", c.jobs());
+      attach_cache_stats(c.shared_tb_cache());
       result = c.Run();
+      if (telemetry != nullptr) telemetry->Finish();
       std::printf("%s", result.Render(app_name).c_str());
       PrintSharedCacheStats(c.shared_tb_cache());
     }
@@ -310,6 +374,16 @@ int main(int argc, char** argv) {
       WriteFileAtomic(out_path, csv.str());
       std::printf("wrote %zu records to %s\n", result.records.size(),
                   out_path.c_str());
+    }
+    if (!obs_options.trace_path.empty()) {
+      std::printf("wrote Chrome trace to %s (chrome://tracing, Perfetto)\n",
+                  obs_options.trace_path.c_str());
+    }
+    if (!obs_options.status_path.empty()) {
+      std::printf("final status in %s\n", obs_options.status_path.c_str());
+    }
+    if (!obs_options.metrics_path.empty()) {
+      std::printf("wrote metrics to %s\n", obs_options.metrics_path.c_str());
     }
     return 0;
   } catch (const ChaserError& e) {
