@@ -97,7 +97,41 @@ std::string CampaignResult::Render(const std::string& label) const {
         static_cast<unsigned long long>(tlb_hits),
         static_cast<unsigned long long>(tlb_misses));
   }
+  if (has_estimates) {
+    out += StrFormat(
+        "  sampling: policy %s, %llu/%llu trials%s (effective n %.1f)\n",
+        SamplePolicyName(sample_policy), static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(planned_runs),
+        stopped_early
+            ? StrFormat(", stopped early at ci width %.4f", stop_ci).c_str()
+            : "",
+        effective_n);
+    const auto line = [&](const char* name, const WilsonInterval& w) {
+      return StrFormat("    %-10s %6.2f%%  [%5.2f%%, %5.2f%%] 95%% wilson\n",
+                       name, 100.0 * w.rate, 100.0 * w.lo, 100.0 * w.hi);
+    };
+    out += "  outcome-rate estimates:\n";
+    out += line("benign", est_benign);
+    out += line("terminated", est_terminated);
+    out += line("sdc", est_sdc);
+    out += line("hang", est_hang);
+  }
   return out;
+}
+
+void CampaignResult::FillEstimates(const OutcomeEstimator& est,
+                                   SamplePolicy policy, double stop_ci_width,
+                                   std::uint64_t planned) {
+  has_estimates = true;
+  sample_policy = policy;
+  stop_ci = stop_ci_width;
+  planned_runs = planned;
+  estimate_trials = est.trials();
+  effective_n = est.effective_n();
+  est_benign = est.Interval(OutcomeEstimator::kBenign);
+  est_terminated = est.Interval(OutcomeEstimator::kTerminated);
+  est_sdc = est.Interval(OutcomeEstimator::kSdc);
+  est_hang = est.Interval(OutcomeEstimator::kHang);
 }
 
 void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
@@ -216,6 +250,9 @@ GoldenProfile TrialEngine::RunGolden() {
   cmd.injector = core::ProbabilisticInjector::Create(1);
   cmd.trace = false;
   cmd.seed = config_.seed;
+  // Sampled campaigns need the per-site histogram to build their sampling
+  // frame; the uniform path skips the per-execution map update.
+  cmd.profile_sites = config_.sample_policy != SamplePolicy::kUniform;
   chaser_->Arm(cmd, inject_ranks_);
 
   cluster_->Start(image_);
@@ -242,12 +279,27 @@ GoldenProfile TrialEngine::RunGolden() {
           spec_.name.c_str()));
     }
     golden.targeted_execs[r] = execs;
+    if (cmd.profile_sites) {
+      std::vector<GoldenSite>& sites = golden.sites[r];
+      for (const auto& [pc, count] : chaser_->rank_chaser(r).site_execs()) {
+        sites.push_back(
+            {pc, guest::ClassOf(spec_.program.text[pc].op), count});
+      }
+    }
   }
   return golden;
 }
 
 void TrialEngine::AdoptGolden(const GoldenProfile& golden) {
   golden_ = &golden;
+  if (config_.sample_policy != SamplePolicy::kUniform) {
+    if (golden.sites.empty()) {
+      throw ConfigError(
+          "TrialEngine: sampled policy but the golden profile has no site "
+          "histogram (was the golden run executed with this policy?)");
+    }
+    plan_ = std::make_unique<SamplingPlan>(SamplingPlan::Build(golden.sites));
+  }
   // Tighten the watchdog so corrupted loop bounds cannot hang a campaign.
   // Saturate instead of wrapping: an extreme multiplier times a long golden
   // run must clamp to "unlimited", never wrap to a tiny budget that would
@@ -268,19 +320,34 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
 
   RunRecord rec;
   rec.run_seed = run_seed;
-  // Pick the injected rank, the injection point n, and the bit-flip width x.
-  const auto rank_it = std::next(inject_ranks_.begin(),
-                                 static_cast<std::ptrdiff_t>(
-                                     run_rng.Index(inject_ranks_.size())));
-  rec.inject_rank = *rank_it;
-  rec.trigger_nth = run_rng.UniformU64(1, golden_->execs(rec.inject_rank));
+  // Pick the injection point, then the bit-flip width x. The uniform path
+  // keeps its historical draw sequence exactly (rank, then global nth); the
+  // sampled path draws a site from the plan and injects at that pc's nth
+  // *local* invocation.
+  std::shared_ptr<const core::Trigger> trigger;
+  if (config_.sample_policy == SamplePolicy::kUniform) {
+    const auto rank_it = std::next(inject_ranks_.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       run_rng.Index(inject_ranks_.size())));
+    rec.inject_rank = *rank_it;
+    rec.trigger_nth = run_rng.UniformU64(1, golden_->execs(rec.inject_rank));
+    trigger = std::make_shared<core::DeterministicTrigger>(rec.trigger_nth);
+  } else {
+    const SiteDraw draw = plan_->Draw(config_.sample_policy, run_rng);
+    rec.inject_rank = draw.rank;
+    rec.trigger_nth = draw.nth;
+    rec.inject_pc = draw.pc;
+    rec.inject_class = draw.cls;
+    rec.sample_weight = draw.weight;
+    trigger = std::make_shared<core::PcNthTrigger>(draw.pc, draw.nth);
+  }
   rec.flip_bits = static_cast<unsigned>(
       run_rng.UniformU64(config_.flip_bits_min, config_.flip_bits_max));
 
   core::InjectionCommand cmd;
   cmd.target_program = spec_.program.name;
   cmd.target_classes = spec_.fault_classes;
-  cmd.trigger = std::make_shared<core::DeterministicTrigger>(rec.trigger_nth);
+  cmd.trigger = std::move(trigger);
   cmd.injector = core::ProbabilisticInjector::Create(rec.flip_bits);
   cmd.trace = config_.trace;
   cmd.seed = run_rng.Fork();
@@ -326,6 +393,14 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
     spool->SetMeta("inject_rank", std::to_string(rec.inject_rank));
     spool->SetMeta("trigger_nth", std::to_string(rec.trigger_nth));
     spool->SetMeta("flip_bits", std::to_string(rec.flip_bits));
+    // Sampling keys only on sampled campaigns: a uniform campaign's spool
+    // stays byte-identical to pre-sampling builds.
+    if (config_.sample_policy != SamplePolicy::kUniform) {
+      spool->SetMeta("sample_policy", SamplePolicyName(config_.sample_policy));
+      spool->SetMeta("inject_pc", std::to_string(rec.inject_pc));
+      spool->SetMeta("inject_class", guest::ClassName(rec.inject_class));
+      spool->SetMeta("sample_weight", StrFormat("%.17g", rec.sample_weight));
+    }
     spool->SetMeta("trace_dropped", std::to_string(rec.trace_dropped));
     spool->SetMeta("taint_lost", std::to_string(rec.taint_lost));
     DetachSpool();
@@ -484,7 +559,23 @@ std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
 
 CampaignResult Campaign::Run() {
   obs::Telemetry* const telemetry = config_.telemetry;
+  // The estimator runs whenever a sampling policy or an early stop is
+  // active; a plain uniform campaign bypasses it entirely, keeping its
+  // report/CSV/spool bytes identical to pre-sampling builds.
+  const bool sampling_active =
+      config_.sample_policy != SamplePolicy::kUniform || config_.stop_ci > 0.0;
+  // Shared (not stack-owned) so the telemetry status channel can keep
+  // polling estimates at Finish(), after this frame returned the result.
+  std::shared_ptr<SampleController> controller;
+  if (sampling_active) {
+    controller = std::make_shared<SampleController>(config_.sample_policy,
+                                                    config_.stop_ci);
+  }
   if (telemetry != nullptr) {
+    if (controller != nullptr) {
+      telemetry->SetEstimatesSource(
+          [controller] { return controller->Snapshot(); });
+    }
     telemetry->BeginCampaign(spec_.name, config_.runs);
     telemetry->AttachThread("main");
   }
@@ -507,12 +598,23 @@ CampaignResult Campaign::Run() {
 
   CampaignResult result;
   result.runs = config_.runs;
+  std::uint64_t committed = 0;
   for (const std::uint64_t run_seed : seeds) {
     const auto it = done.find(run_seed);
     if (it != done.end()) {
       result.Accumulate(it->second, config_.keep_records);
+      ++committed;
       if (telemetry != nullptr) {
         telemetry->OnTrialDone(ToTrialStats(it->second, /*replayed=*/true), 0, 0);
+      }
+      // Replayed trials feed the estimator exactly like executed ones, so a
+      // resumed campaign stops at the same seed-order prefix — that is what
+      // makes --stop-ci journal/resume-safe.
+      if (controller != nullptr &&
+          controller->Commit(static_cast<int>(it->second.outcome),
+                             it->second.deadlock, it->second.sample_weight) &&
+          controller->stop_enabled()) {
+        break;
       }
       continue;
     }
@@ -522,10 +624,23 @@ CampaignResult Campaign::Run() {
                                             inject_ranks_, golden_, run_seed);
     if (journal != nullptr) journal->Append(rec);
     result.Accumulate(rec, config_.keep_records);
+    ++committed;
     if (telemetry != nullptr) {
       telemetry->OnTrialDone(ToTrialStats(rec, /*replayed=*/false), t0_ns,
                              obs::MonotonicNanos());
     }
+    if (controller != nullptr &&
+        controller->Commit(static_cast<int>(rec.outcome), rec.deadlock,
+                           rec.sample_weight) &&
+        controller->stop_enabled()) {
+      break;
+    }
+  }
+  if (controller != nullptr) {
+    result.runs = committed;
+    result.stopped_early = controller->converged() && committed < config_.runs;
+    result.FillEstimates(controller->estimator(), config_.sample_policy,
+                         config_.stop_ci, config_.runs);
   }
   if (telemetry != nullptr) telemetry->DetachThread();
   return result;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "campaign/sampling.h"
 #include "common/rng.h"
 #include "core/chaser_mpi.h"
 #include "hub/tainthub.h"
@@ -72,6 +73,13 @@ struct RunRecord {
   std::uint64_t tainted_output_bytes = 0;
   std::uint64_t trigger_nth = 0;   // the chosen "after executed n times"
   unsigned flip_bits = 0;          // the chosen x
+  /// Sampled campaigns only (zero/default on the uniform path): the drawn
+  /// injection site — trigger_nth is then *pc-local* — and the importance
+  /// weight mapping this trial back to the uniform-over-invocations
+  /// estimand (1.0 for weighted draws, mass_c·K/M for stratified).
+  std::uint64_t inject_pc = 0;
+  guest::InstrClass inject_class = guest::InstrClass::kMov;
+  double sample_weight = 1.0;
   std::uint64_t run_seed = 0;      // reproduce this exact trial
   std::uint64_t instructions = 0;  // total guest instructions this trial
   /// Hot-path counters summed over ranks (deterministic per run_seed and
@@ -127,6 +135,17 @@ struct CampaignConfig {
   /// (campaign/journal.h) and, on start, replay any trials it already holds
   /// instead of re-running them — `chaser_run --resume`.
   std::string journal_path;
+  /// Trial-pruning policy (campaign/sampling.h). kUniform is the legacy
+  /// path, byte-identical to pre-sampling builds; kWeighted/kStratified
+  /// profile golden sites and draw injection points from equivalence
+  /// classes.
+  SamplePolicy sample_policy = SamplePolicy::kUniform;
+  /// Early stop: halt once every outcome-rate Wilson interval (95%) is
+  /// narrower than this full width, never before SampleController::
+  /// kMinStopTrials trials. 0 = run all `runs` trials. Works with any
+  /// policy and both drivers; the stop point is a deterministic function of
+  /// the seed-ordered trial prefix, so it is journal/resume-safe.
+  double stop_ci = 0.0;
   /// Degradation model installed into every trial's TaintHub (outages,
   /// publish drops, visibility lag, poll-retry deadline).
   hub::HubFaultModel hub_fault;
@@ -196,10 +215,30 @@ struct CampaignResult {
 
   std::vector<RunRecord> records;
 
+  // ---- Sampled-campaign estimates (has_estimates gates everything below;
+  // ---- a plain uniform campaign leaves them untouched so its Render stays
+  // ---- byte-identical) -----------------------------------------------------
+  bool has_estimates = false;
+  SamplePolicy sample_policy = SamplePolicy::kUniform;
+  double stop_ci = 0.0;          // requested interval width; 0 = no early stop
+  bool stopped_early = false;    // the stop rule fired before planned_runs
+  std::uint64_t planned_runs = 0;  // config.runs (runs = trials committed)
+  std::uint64_t estimate_trials = 0;  // trials in the estimator (no infra)
+  double effective_n = 0.0;      // Kish effective sample size
+  WilsonInterval est_benign;
+  WilsonInterval est_terminated;
+  WilsonInterval est_sdc;
+  WilsonInterval est_hang;       // deadlock subset of terminated
+
   /// Tally one trial into the counters (and into `records` if
   /// `keep_record`). The serial and parallel drivers reduce through this
   /// same function, so their outcome bookkeeping cannot diverge.
   void Accumulate(const RunRecord& rec, bool keep_record);
+
+  /// Fill the estimates block from a finished estimator (both drivers feed
+  /// their estimator in seed order, so the floats agree bit for bit).
+  void FillEstimates(const OutcomeEstimator& est, SamplePolicy policy,
+                     double stop_ci_width, std::uint64_t planned);
 
   double Pct(std::uint64_t n) const {
     return runs == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(runs);
@@ -215,6 +254,10 @@ struct CampaignResult {
 struct GoldenProfile {
   std::map<std::pair<Rank, int>, std::string> outputs;
   std::map<Rank, std::uint64_t> targeted_execs;
+  /// Per-site execution histogram of the inject ranks (pc-ascending per
+  /// rank). Captured only for sampled campaigns — empty on the uniform
+  /// path, where nothing reads it.
+  GoldenSiteMap sites;
   std::uint64_t instructions = 0;
 
   /// Reference output of rank `r` on guest fd `fd`; throws ConfigError
@@ -267,6 +310,10 @@ class TrialEngine {
   std::unique_ptr<mpi::Cluster> cluster_;
   std::unique_ptr<core::ChaserMpi> chaser_;
   const GoldenProfile* golden_ = nullptr;
+  /// Sampling frame built by AdoptGolden when the policy needs one. Every
+  /// engine rebuilds it from the same profile deterministically, so worker
+  /// engines agree without sharing.
+  std::unique_ptr<SamplingPlan> plan_;
 };
 
 /// Containment boundary shared by the serial and parallel drivers: run one

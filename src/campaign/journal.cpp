@@ -85,6 +85,19 @@ std::optional<RunRecord> DecodeJournalRecord(const std::string& payload,
                        !u64(&r.tlb_misses))) {
     return std::nullopt;
   }
+  // v3 appended the sampling fields. Older records replay as uniform trials:
+  // pc/class unknown, weight 1 — exactly how those campaigns drew them.
+  if (version >= 3) {
+    std::uint64_t cls = 0, weight_bits = 0;
+    if (!u64(&r.inject_pc) || !u64(&cls) || !u64(&weight_bits)) {
+      return std::nullopt;
+    }
+    if (cls > static_cast<std::uint64_t>(guest::InstrClass::kSys)) {
+      return std::nullopt;
+    }
+    r.inject_class = static_cast<guest::InstrClass>(cls);
+    std::memcpy(&r.sample_weight, &weight_bits, sizeof(r.sample_weight));
+  }
   if (!u64(&error_len)) return std::nullopt;
   if (outcome > static_cast<std::uint64_t>(Outcome::kInfra) ||
       kind > static_cast<std::uint64_t>(vm::TerminationKind::kMpiError) ||
@@ -134,6 +147,15 @@ std::string EncodeJournalRecord(const RunRecord& rec, std::uint64_t version) {
     AppendVarint(&payload, rec.tb_chain_hits);
     AppendVarint(&payload, rec.tlb_hits);
     AppendVarint(&payload, rec.tlb_misses);
+  }
+  if (version >= 3) {
+    AppendVarint(&payload, rec.inject_pc);
+    AppendVarint(&payload, static_cast<std::uint64_t>(rec.inject_class));
+    // The weight round-trips as its IEEE-754 bit pattern: resume must feed
+    // the estimator the *exact* double the original trial used.
+    std::uint64_t weight_bits = 0;
+    std::memcpy(&weight_bits, &rec.sample_weight, sizeof(weight_bits));
+    AppendVarint(&payload, weight_bits);
   }
   AppendVarint(&payload, rec.infra_error.size());
   payload.append(rec.infra_error);

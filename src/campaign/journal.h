@@ -16,9 +16,11 @@
 //
 // The header version selects the record payload layout for the whole file:
 // v1 lacks the hot-path counters (tb_chain_hits/tlb_hits/tlb_misses) that v2
-// appends after `retries`. A reader accepts any version <= its own and an
-// appender continues in the *file's* version, so resuming a v1 journal keeps
-// writing v1 frames — one file never mixes layouts.
+// appends after `retries`, and v3 further appends the sampling fields
+// (inject_pc, inject_class, sample_weight as IEEE-754 bits) before the error
+// string. A reader accepts any version <= its own and an appender continues
+// in the *file's* version, so resuming a v1 journal keeps writing v1 frames —
+// one file never mixes layouts.
 //
 // Every Append is flushed and fsync'd before it returns, so a record is
 // either fully on disk or not there at all. The reader applies the same
@@ -41,7 +43,7 @@ namespace chaser::campaign {
 /// wrong campaign (different seed or app — different trial-seed sequence)
 /// fails loudly instead of silently merging unrelated trials.
 struct JournalHeader {
-  std::uint64_t version = 2;
+  std::uint64_t version = 3;
   std::uint64_t campaign_seed = 0;
   std::string app;
 };
@@ -60,7 +62,7 @@ struct JournalContents {
 JournalContents ReadJournal(const std::string& path);
 
 /// Current journal format version written to fresh files.
-inline constexpr std::uint64_t kJournalVersion = 2;
+inline constexpr std::uint64_t kJournalVersion = 3;
 
 /// Serialise one RunRecord payload in the given format version (exposed for
 /// tests; the journal frame adds length + CRC around this).

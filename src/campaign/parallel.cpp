@@ -60,7 +60,20 @@ std::uint64_t ParallelCampaign::golden_targeted_execs(Rank r) const {
 
 CampaignResult ParallelCampaign::Run() {
   obs::Telemetry* const telemetry = config_.telemetry;
+  // Sampling/early-stop plumbing mirrors the serial driver; shared so the
+  // telemetry status channel can poll estimates after Run() returns.
+  const bool sampling_active =
+      config_.sample_policy != SamplePolicy::kUniform || config_.stop_ci > 0.0;
+  std::shared_ptr<SampleController> controller;
+  if (sampling_active) {
+    controller = std::make_shared<SampleController>(config_.sample_policy,
+                                                    config_.stop_ci);
+  }
   if (telemetry != nullptr) {
+    if (controller != nullptr) {
+      telemetry->SetEstimatesSource(
+          [controller] { return controller->Snapshot(); });
+    }
     telemetry->BeginCampaign(spec_.name, config_.runs);
     telemetry->AttachThread("main");
   }
@@ -72,6 +85,33 @@ CampaignResult ParallelCampaign::Run() {
   // Trial i writes only records[i]; the atomic counter hands every index to
   // exactly one worker, so the records vector needs no lock.
   std::vector<RunRecord> records(static_cast<std::size_t>(runs));
+
+  // Early-stop determinism: the stop point must be the same seed-order
+  // prefix the serial driver would pick, whatever order workers finish in.
+  // Completed trials are therefore committed to the estimator through a
+  // reorder buffer — `completed` flags + a cursor that only ever advances
+  // over a contiguous prefix, all under `commit_mutex`. The first committed
+  // trial whose estimate has converged latches `stop_at`; workers skip any
+  // index beyond it (in-flight later trials still finish and are journaled,
+  // but never enter the result).
+  std::vector<char> completed(static_cast<std::size_t>(runs), 0);
+  std::mutex commit_mutex;
+  std::uint64_t commit_cursor = 0;
+  std::atomic<std::uint64_t> stop_at{UINT64_MAX};
+  const auto advance_commits_locked = [&] {
+    while (commit_cursor < runs &&
+           completed[static_cast<std::size_t>(commit_cursor)] != 0) {
+      const RunRecord& rec = records[static_cast<std::size_t>(commit_cursor)];
+      const bool converged = controller->Commit(
+          static_cast<int>(rec.outcome), rec.deadlock, rec.sample_weight);
+      if (converged && controller->stop_enabled() &&
+          stop_at.load() == UINT64_MAX) {
+        stop_at.store(commit_cursor);
+      }
+      ++commit_cursor;
+      if (stop_at.load() != UINT64_MAX) break;  // nothing commits past the stop
+    }
+  };
 
   // Journal replay: trials an earlier (possibly killed) process already
   // completed are slotted into their records[] position by run_seed and
@@ -91,6 +131,7 @@ CampaignResult ParallelCampaign::Run() {
       const auto it = done.find(seeds[i]);
       if (it != done.end()) {
         records[static_cast<std::size_t>(i)] = it->second;
+        completed[static_cast<std::size_t>(i)] = 1;
         if (telemetry != nullptr) {
           telemetry->OnTrialDone(ToTrialStats(it->second, /*replayed=*/true),
                                  0, 0);
@@ -101,6 +142,12 @@ CampaignResult ParallelCampaign::Run() {
     }
   } else {
     for (std::uint64_t i = 0; i < runs; ++i) pending.push_back(i);
+  }
+  if (controller != nullptr) {
+    // Commit the replayed prefix before any worker starts: a resumed
+    // campaign that already converged stops here, running zero new trials.
+    std::lock_guard<std::mutex> lock(commit_mutex);
+    advance_commits_locked();
   }
 
   std::atomic<std::uint64_t> next{0};
@@ -120,6 +167,9 @@ CampaignResult ParallelCampaign::Run() {
         const std::uint64_t p = next.fetch_add(1, std::memory_order_relaxed);
         if (p >= n_pending) break;
         const std::uint64_t i = pending[static_cast<std::size_t>(p)];
+        // Pending indices are claimed in ascending order, so the first index
+        // past a latched stop point means every later claim would be too.
+        if (stop_at.load() != UINT64_MAX && i > stop_at.load()) break;
         const std::uint64_t t0_ns =
             telemetry != nullptr ? obs::MonotonicNanos() : 0;
         // Containment boundary: a throwing trial retries on a rebuilt engine
@@ -131,6 +181,11 @@ CampaignResult ParallelCampaign::Run() {
         if (telemetry != nullptr) {
           telemetry->OnTrialDone(ToTrialStats(rec, /*replayed=*/false), t0_ns,
                                  obs::MonotonicNanos());
+        }
+        if (controller != nullptr) {
+          std::lock_guard<std::mutex> lock(commit_mutex);
+          completed[static_cast<std::size_t>(i)] = 1;
+          advance_commits_locked();
         }
       }
     } catch (...) {
@@ -158,10 +213,20 @@ CampaignResult ParallelCampaign::Run() {
 
   // Deterministic ordered reduction: merging in trial order through the
   // shared Accumulate makes the result bit-identical to the serial driver.
+  // With an early stop the reduction covers exactly the committed prefix —
+  // the same one the serial driver would have executed.
+  const std::uint64_t stop = stop_at.load();
+  const std::uint64_t committed_runs = stop == UINT64_MAX ? runs : stop + 1;
   CampaignResult result;
-  result.runs = runs;
-  for (const RunRecord& rec : records) {
-    result.Accumulate(rec, config_.keep_records);
+  result.runs = committed_runs;
+  for (std::uint64_t i = 0; i < committed_runs; ++i) {
+    result.Accumulate(records[static_cast<std::size_t>(i)],
+                      config_.keep_records);
+  }
+  if (controller != nullptr) {
+    result.stopped_early = controller->converged() && committed_runs < runs;
+    result.FillEstimates(controller->estimator(), config_.sample_policy,
+                         config_.stop_ci, runs);
   }
   if (telemetry != nullptr) telemetry->DetachThread();
   return result;

@@ -1,5 +1,6 @@
 #include "campaign/report.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 
@@ -38,10 +39,18 @@ constexpr const char* kRecordsHeaderV4 =
     "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error,"
     "tb_chain_hits,tlb_hits,tlb_misses";
 
+constexpr const char* kRecordsHeaderV5 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error,"
+    "tb_chain_hits,tlb_hits,tlb_misses,inject_pc,inject_class,sample_weight";
+
 constexpr std::size_t kFieldsV1 = 17;
 constexpr std::size_t kFieldsV2 = 18;
 constexpr std::size_t kFieldsV3 = 21;
 constexpr std::size_t kFieldsV4 = 24;
+constexpr std::size_t kFieldsV5 = 27;
 
 /// infra_error is free-form exception text; flatten anything that would
 /// break the one-line-per-record framing or the comma split.
@@ -54,9 +63,14 @@ std::string SanitizeCell(std::string s) {
 
 }  // namespace
 
-void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
-  out << kVersionLinePrefix << kRecordsCsvVersion << '\n';
-  out << kRecordsHeaderV4 << '\n';
+void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
+                     SamplePolicy policy) {
+  // Uniform campaigns never populate the sampling columns, so they keep
+  // writing v4 — byte for byte what earlier builds produced. Only sampled
+  // campaigns opt into the wider v5 layout.
+  const bool sampled = policy != SamplePolicy::kUniform;
+  out << kVersionLinePrefix << (sampled ? kRecordsCsvVersion : 4u) << '\n';
+  out << (sampled ? kRecordsHeaderV5 : kRecordsHeaderV4) << '\n';
   for (const RunRecord& r : records) {
     out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
         << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
@@ -68,7 +82,12 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out) {
         << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << ','
         << r.trace_dropped << ',' << r.taint_lost << ',' << r.retries << ','
         << SanitizeCell(r.infra_error) << ',' << r.tb_chain_hits << ','
-        << r.tlb_hits << ',' << r.tlb_misses << '\n';
+        << r.tlb_hits << ',' << r.tlb_misses;
+    if (sampled) {
+      out << ',' << r.inject_pc << ',' << guest::ClassName(r.inject_class)
+          << ',' << StrFormat("%.17g", r.sample_weight);
+    }
+    out << '\n';
   }
 }
 
@@ -143,7 +162,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     const char* expected = version == 1   ? kRecordsHeaderV1
                            : version == 2 ? kRecordsHeaderV2
                            : version == 3 ? kRecordsHeaderV3
-                                          : kRecordsHeaderV4;
+                           : version == 4 ? kRecordsHeaderV4
+                                          : kRecordsHeaderV5;
     if (line != expected) {
       throw ConfigError(StrFormat(
           "ReadRecordsCsv: header does not match format v%u", version));
@@ -159,7 +179,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
   const std::size_t fields = version == 1   ? kFieldsV1
                              : version == 2 ? kFieldsV2
                              : version == 3 ? kFieldsV3
-                                            : kFieldsV4;
+                             : version == 4 ? kFieldsV4
+                                            : kFieldsV5;
   std::vector<RunRecord> records;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -197,6 +218,18 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
       r.tb_chain_hits = ParseNum(f[21]);
       r.tlb_hits = ParseNum(f[22]);
       r.tlb_misses = ParseNum(f[23]);
+    }
+    if (version >= 5) {
+      r.inject_pc = ParseNum(f[24]);
+      if (!guest::ParseInstrClass(f[25], &r.inject_class)) {
+        throw ConfigError("ReadRecordsCsv: unknown instruction class '" +
+                          f[25] + "'");
+      }
+      char* end = nullptr;
+      r.sample_weight = std::strtod(f[26].c_str(), &end);
+      if (end == f[26].c_str() || *end != '\0' || r.sample_weight < 0.0) {
+        throw ConfigError("ReadRecordsCsv: bad sample_weight '" + f[26] + "'");
+      }
     }
     records.push_back(r);
   }

@@ -20,20 +20,30 @@ namespace chaser::campaign {
 /// writer, the reader's too-new ceiling, report_test's expectations, and
 /// tools/bench_to_json.sh (which greps this line to stamp its JSON) — bump
 /// it here and every consumer follows.
-inline constexpr unsigned kRecordsCsvVersion = 4;
+inline constexpr unsigned kRecordsCsvVersion = 5;
 
 /// Write one row per run: seed, outcome, termination detail, injection site,
-/// propagation counters. Emits the current format: a `#chaser-records-csv vN`
-/// version line, the column header, then the rows. `infra_error` cells are
-/// sanitized (',' and newlines become spaces) so rows stay one line wide.
-void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out);
+/// propagation counters. Uniform campaigns emit format v4 — byte-identical
+/// to what this tool has always written — while sampled campaigns (`policy`
+/// != kUniform) emit v5, which appends the inject_pc/inject_class/
+/// sample_weight columns those campaigns populate. Either way the file leads
+/// with a `#chaser-records-csv vN` version line, then the column header,
+/// then the rows. `infra_error` cells are sanitized (',' and newlines become
+/// spaces) so rows stay one line wide.
+void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
+                     SamplePolicy policy = SamplePolicy::kUniform);
 
 /// Parse a CSV produced by WriteRecordsCsv — any version this build knows:
 ///   v1  bare 17-column header (pre trace_dropped)
 ///   v2  bare 18-column header (adds trace_dropped)
 ///   v3  version line + 21 columns (adds taint_lost, retries, infra_error)
-/// Fields a version predates default to zero/empty. Throws ConfigError on
-/// malformed input (unknown header/version, bad field counts, bad cells).
+///   v4  version line + 24 columns (adds tb_chain_hits, tlb_hits, tlb_misses)
+///   v5  version line + 27 columns (adds inject_pc, inject_class,
+///       sample_weight — written only by sampled campaigns)
+/// Fields a version predates default to zero/empty (sample_weight to 1).
+/// A version line newer than kRecordsCsvVersion is rejected as "too new".
+/// Throws ConfigError on malformed input (unknown header/version, bad field
+/// counts, bad cells).
 std::vector<RunRecord> ReadRecordsCsv(std::istream& in);
 
 /// Write a tainted-bytes timeline (Fig. 7 series) as CSV.

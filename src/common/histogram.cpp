@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/strings.h"
 
@@ -34,13 +35,20 @@ double Histogram::mean() const {
 std::uint64_t Histogram::ApproxQuantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  // Rank statistic: find the bucket holding the ceil(q*n)-th sample
+  // (1-based). q == 0 degenerates to rank 1, i.e. the minimum.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
-    if (seen >= target && counts_[i] > 0) return bucket_hi(i);
-    if (seen >= target && target > 0) return bucket_hi(i);
+    // Bucket upper bounds can overshoot the largest sample actually seen
+    // (e.g. one sample of 5 in a [0,10) bucket) — the observed maximum is
+    // always the tighter bound, so cap with it.
+    if (seen >= rank) return std::min(bucket_hi(i), max_);
   }
+  // The rank lands in the overflow bucket, whose boundaries say nothing
+  // beyond "past the last bucket": saturate to the observed maximum.
   return max_;
 }
 

@@ -21,8 +21,13 @@ class Histogram {
   std::uint64_t max() const { return max_; }
   double mean() const;
 
-  /// Smallest sample value v such that at least `q` (0..1) of samples are <= v,
-  /// computed from bucket boundaries (upper bound of the selected bucket).
+  /// Approximate rank statistic: the upper bound of the bucket holding the
+  /// ceil(q * count)-th sample (1-based; q is clamped to [0, 1], and q == 0
+  /// degenerates to rank 1, the minimum's bucket). The result is capped at
+  /// the observed max(), so a quantile that lands in the overflow bucket —
+  /// or in a bucket whose upper bound overshoots the largest sample —
+  /// saturates to max() instead of leaking a bucket boundary no sample ever
+  /// reached. Returns 0 on an empty histogram.
   std::uint64_t ApproxQuantile(double q) const;
 
   std::size_t num_buckets() const { return counts_.size(); }

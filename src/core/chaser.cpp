@@ -39,6 +39,7 @@ void Chaser::OnProcessCreate(const std::string& name) {
 void Chaser::Attach() {
   // Fresh per-run state (campaigns re-Start the same VM repeatedly).
   exec_count_ = 0;
+  site_execs_.clear();
   records_.clear();
   trace_log_.Clear();
   taint_timeline_.clear();
@@ -128,7 +129,8 @@ void Chaser::Detach() {
 void Chaser::OnInjectorHelper(std::uint64_t pc) {
   if (!injector_active_ || !cmd_) return;
   ++exec_count_;
-  if (!trigger_->ShouldFire(exec_count_, *rng_)) {
+  if (cmd_->profile_sites) ++site_execs_[pc];
+  if (!trigger_->ShouldFireAt(exec_count_, pc, *rng_)) {
     if (trigger_->Expired()) {
       // fi_clean_cb: stop screening and flush the instrumentation out of the
       // translation cache; tracing (taint) stays on.

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -42,6 +43,11 @@ struct InjectionCommand {
   std::shared_ptr<FaultInjector> injector;       // null = trace-only
   bool trace = true;                             // enable propagation tracing
   std::uint64_t seed = 1;                        // injector/trigger randomness
+  /// Record a per-pc execution histogram of the targeted instructions
+  /// (site_execs()). Sampled campaigns enable this on the golden run to
+  /// build their importance-sampling frame; off by default — it adds a map
+  /// update per targeted execution.
+  bool profile_sites = false;
 
   /// True if this command only traces (no instrumentation is inserted).
   bool TraceOnly() const { return trigger == nullptr || injector == nullptr; }
@@ -88,6 +94,12 @@ class Chaser {
   /// Executions of targeted instructions observed so far (profiling runs use
   /// this with a NeverTrigger to size deterministic triggers).
   std::uint64_t targeted_executions() const { return exec_count_; }
+  /// Per-pc execution counts of the targeted instructions — populated only
+  /// when the armed command set `profile_sites` (empty otherwise). The
+  /// counts sum to targeted_executions().
+  const std::map<std::uint64_t, std::uint64_t>& site_execs() const {
+    return site_execs_;
+  }
   const std::vector<InjectionRecord>& injections() const { return records_; }
   TraceLog& trace_log() { return trace_log_; }
   const TraceLog& trace_log() const { return trace_log_; }
@@ -113,6 +125,7 @@ class Chaser {
   bool injector_active_ = false;
 
   std::uint64_t exec_count_ = 0;
+  std::map<std::uint64_t, std::uint64_t> site_execs_;  // pc -> executions
   std::vector<InjectionRecord> records_;
   TraceLog trace_log_;
   std::vector<TaintSample> taint_timeline_;

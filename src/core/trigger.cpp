@@ -78,4 +78,36 @@ std::string GroupTrigger::Describe() const {
                    static_cast<unsigned long long>(max_injections_));
 }
 
+PcNthTrigger::PcNthTrigger(std::uint64_t pc, std::uint64_t nth)
+    : pc_(pc), nth_(nth) {
+  if (nth == 0) throw ConfigError("PcNthTrigger: nth must be >= 1");
+}
+
+bool PcNthTrigger::ShouldFire(std::uint64_t exec_count, Rng& rng) {
+  return ShouldFireAt(exec_count, pc_, rng);
+}
+
+bool PcNthTrigger::ShouldFireAt(std::uint64_t, std::uint64_t pc, Rng&) {
+  if (fired_ || pc != pc_) return false;
+  ++seen_;
+  if (seen_ != nth_) {
+    // Past nth without firing cannot happen (Chaser detaches on expiry), but
+    // stay correct if the caller keeps counting.
+    if (seen_ > nth_) fired_ = true;
+    return false;
+  }
+  fired_ = true;
+  return true;
+}
+
+std::unique_ptr<Trigger> PcNthTrigger::Clone() const {
+  return std::make_unique<PcNthTrigger>(pc_, nth_);
+}
+
+std::string PcNthTrigger::Describe() const {
+  return StrFormat("pc-nth(pc=%llu,n=%llu)",
+                   static_cast<unsigned long long>(pc_),
+                   static_cast<unsigned long long>(nth_));
+}
+
 }  // namespace chaser::core

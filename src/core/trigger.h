@@ -23,6 +23,16 @@ class Trigger {
   /// execution count. Returns true when the injector must fire now.
   virtual bool ShouldFire(std::uint64_t exec_count, Rng& rng) = 0;
 
+  /// Site-aware variant: Chaser calls this one, passing the pc of the
+  /// targeted instruction about to execute. The default forwards to
+  /// ShouldFire — existing triggers are pc-oblivious and keep their exact
+  /// behavior; site-local triggers (PcNthTrigger) override it.
+  virtual bool ShouldFireAt(std::uint64_t exec_count, std::uint64_t pc,
+                            Rng& rng) {
+    (void)pc;
+    return ShouldFire(exec_count, rng);
+  }
+
   /// True once no further firing is possible; Chaser detaches the injector.
   virtual bool Expired() const = 0;
 
@@ -78,6 +88,30 @@ class GroupTrigger final : public Trigger {
   std::uint64_t stride_;
   std::uint64_t max_injections_;
   std::uint64_t fired_ = 0;
+};
+
+/// Site-local deterministic fault model (importance-sampled campaigns): fire
+/// exactly at the n-th execution *of one pc*, counting only that pc's
+/// executions. The global execution count is ignored — the sampler picks an
+/// (equivalence class, invocation) pair, and the class is identified by its
+/// pc, not by its position in the global targeted stream.
+class PcNthTrigger final : public Trigger {
+ public:
+  PcNthTrigger(std::uint64_t pc, std::uint64_t nth);
+  /// Pc-less call sites are assumed to be at the target pc (the trigger
+  /// cannot tell otherwise); Chaser always uses ShouldFireAt.
+  bool ShouldFire(std::uint64_t exec_count, Rng& rng) override;
+  bool ShouldFireAt(std::uint64_t exec_count, std::uint64_t pc,
+                    Rng& rng) override;
+  bool Expired() const override { return fired_; }
+  std::unique_ptr<Trigger> Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::uint64_t pc_;
+  std::uint64_t nth_;
+  std::uint64_t seen_ = 0;  // executions of pc_ observed so far
+  bool fired_ = false;
 };
 
 /// Never fires — used for profiling runs that only count targeted executions.

@@ -56,14 +56,24 @@ std::string StatusWriter::RenderLocked(bool running) const {
   const double rate =
       elapsed_s > 0.0 ? static_cast<double>(executed) / elapsed_s : 0.0;
   const std::uint64_t left = options_.total > done_ ? options_.total - done_ : 0;
-  const double eta_s = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+  // eta_s: 0.0 only when nothing is left; while trials remain but no local
+  // rate exists yet the remaining time is genuinely unknown — emit JSON null
+  // so readers cannot mistake "unknown" for "about to finish" (see status.h).
+  std::string eta;
+  if (left == 0) {
+    eta = "0.0";
+  } else if (rate > 0.0) {
+    eta = StrFormat("%.1f", static_cast<double>(left) / rate);
+  } else {
+    eta = "null";
+  }
 
   std::string out = StrFormat(
       "{\"app\": \"%s\", \"running\": %s, \"total\": %llu, \"done\": %llu, "
       "\"replayed\": %llu, \"benign\": %llu, \"terminated\": %llu, "
       "\"sdc\": %llu, \"infra\": %llu, \"taint_lost\": %llu, "
       "\"trace_dropped\": %llu, \"elapsed_s\": %.3f, \"trials_per_s\": %.2f, "
-      "\"eta_s\": %.1f",
+      "\"eta_s\": %s",
       options_.app.c_str(), running ? "true" : "false",
       static_cast<unsigned long long>(options_.total),
       static_cast<unsigned long long>(done_),
@@ -73,7 +83,8 @@ std::string StatusWriter::RenderLocked(bool running) const {
       static_cast<unsigned long long>(outcomes_[2]),
       static_cast<unsigned long long>(outcomes_[3]),
       static_cast<unsigned long long>(taint_lost_),
-      static_cast<unsigned long long>(trace_dropped_), elapsed_s, rate, eta_s);
+      static_cast<unsigned long long>(trace_dropped_), elapsed_s, rate,
+      eta.c_str());
   if (options_.cache_stats) {
     const CacheStatsSnapshot cs = options_.cache_stats();
     out += StrFormat(
@@ -83,6 +94,22 @@ std::string StatusWriter::RenderLocked(bool running) const {
         static_cast<unsigned long long>(cs.reuses),
         static_cast<unsigned long long>(cs.epoch_flushes),
         static_cast<unsigned long long>(cs.evicted_tbs));
+  }
+  if (options_.estimates) {
+    const EstimateSnapshot es = options_.estimates();
+    const auto interval = [](const char* name,
+                             const OutcomeIntervalSnapshot& i) {
+      return StrFormat("\"%s\": {\"rate\": %.6f, \"lo\": %.6f, \"hi\": %.6f}",
+                       name, i.rate, i.lo, i.hi);
+    };
+    out += StrFormat(
+        ", \"estimates\": {\"trials\": %llu, \"effective_n\": %.1f, "
+        "\"stop_width\": %.4f, \"converged\": %s, %s, %s, %s, %s}",
+        static_cast<unsigned long long>(es.trials), es.effective_n,
+        es.stop_width, es.converged ? "true" : "false",
+        interval("benign", es.benign).c_str(),
+        interval("terminated", es.terminated).c_str(),
+        interval("sdc", es.sdc).c_str(), interval("hang", es.hang).c_str());
   }
   out += "}\n";
   return out;

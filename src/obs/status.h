@@ -11,7 +11,20 @@
 //    "taint_lost": 0, "trace_dropped": 0,
 //    "elapsed_s": 12.341, "trials_per_s": 33.4, "eta_s": 17.6,
 //    "tb_cache": {"translations": n, "reuses": n, "epoch_flushes": n,
-//                 "evicted_tbs": n}}
+//                 "evicted_tbs": n},
+//    "estimates": {"trials": n, "effective_n": x, "stop_width": x,
+//                  "converged": bool, "benign": {"rate": x, "lo": x, "hi": x},
+//                  ... "terminated"/"sdc"/"hang" alike}}
+//
+// `eta_s` semantics: a number of seconds while the remaining time is
+// computable (0.0 means "no trials left", i.e. the campaign is finishing);
+// JSON `null` while it is unknown — trials remain but no trial has executed
+// here yet, so there is no rate to extrapolate from. Readers must treat
+// null as "unknown", never as zero.
+//
+// The optional `estimates` block appears only for sampled campaigns
+// (--sample weighted/stratified or --stop-ci): live outcome-rate estimates
+// with 95% Wilson intervals, polled from the campaign's estimator.
 //
 // The optional progress meter is a single overwritten stderr line (opt-in:
 // it is chatty and assumes a terminal). Neither channel feeds back into
@@ -34,6 +47,27 @@ struct CacheStatsSnapshot {
   std::uint64_t evicted_tbs = 0;
 };
 
+/// One outcome rate with its Wilson confidence interval (a neutral mirror of
+/// campaign::WilsonInterval — obs cannot see campaign types).
+struct OutcomeIntervalSnapshot {
+  double rate = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Live outcome-rate estimates of a sampled campaign, polled at every status
+/// rewrite. `hang` is the deadlock subset of `terminated`.
+struct EstimateSnapshot {
+  std::uint64_t trials = 0;    // trials in the estimate (infra excluded)
+  double effective_n = 0.0;    // Kish effective sample size
+  double stop_width = 0.0;     // --stop-ci target; 0 = early stop off
+  bool converged = false;      // the stop rule has fired
+  OutcomeIntervalSnapshot benign;
+  OutcomeIntervalSnapshot terminated;
+  OutcomeIntervalSnapshot sdc;
+  OutcomeIntervalSnapshot hang;
+};
+
 class StatusWriter {
  public:
   struct Options {
@@ -46,6 +80,10 @@ class StatusWriter {
     bool progress = false;     // one-line stderr meter
     /// Optional cache-stats source polled at every rewrite.
     std::function<CacheStatsSnapshot()> cache_stats;
+    /// Optional sampled-campaign estimates source polled at every rewrite
+    /// (set by the drivers only when a sampling policy or early stop is
+    /// active; absent = no "estimates" block in the JSON).
+    std::function<EstimateSnapshot()> estimates;
   };
 
   explicit StatusWriter(Options options);

@@ -39,6 +39,7 @@ void Telemetry::BeginCampaign(const std::string& app,
     so.every = options_.status_every;
     so.progress = options_.progress;
     so.cache_stats = cache_stats_;
+    so.estimates = estimates_;
     status_ = std::make_unique<StatusWriter>(std::move(so));
   }
 }
@@ -46,6 +47,10 @@ void Telemetry::BeginCampaign(const std::string& app,
 void Telemetry::SetCacheStatsSource(
     std::function<CacheStatsSnapshot()> source) {
   cache_stats_ = std::move(source);
+}
+
+void Telemetry::SetEstimatesSource(std::function<EstimateSnapshot()> source) {
+  estimates_ = std::move(source);
 }
 
 void Telemetry::AttachThread(const std::string& name) {

@@ -78,6 +78,12 @@ class Telemetry {
   /// every status rewrite and dumped into metrics.json gauges at Finish.
   void SetCacheStatsSource(std::function<CacheStatsSnapshot()> source);
 
+  /// Optional: a live source for sampled-campaign outcome estimates, polled
+  /// at every status rewrite ("estimates" block in status.json). Like
+  /// SetCacheStatsSource, set it before BeginCampaign — the status channel
+  /// captures the source at creation.
+  void SetEstimatesSource(std::function<EstimateSnapshot()> source);
+
   /// Arm instrumentation on the calling thread: builds a PhaseProfiler,
   /// registers a trace tid named `name`, and publishes it thread-locally.
   /// No-op if this Telemetry is already attached to the thread.
@@ -109,6 +115,7 @@ class Telemetry {
   std::unique_ptr<TraceJsonWriter> trace_;
   std::unique_ptr<StatusWriter> status_;
   std::function<CacheStatsSnapshot()> cache_stats_;
+  std::function<EstimateSnapshot()> estimates_;
   std::string app_;
 
   std::mutex mutex_;  // guards profilers_ and finish

@@ -279,5 +279,53 @@ TEST(Histogram, ZeroWidthBucketClamped) {
   EXPECT_EQ(h.count(), 1u);
 }
 
+TEST(Histogram, MinSeededFromFirstAdd) {
+  // A stream whose samples are all > 0 must not report min() == 0 from the
+  // zero-initialized member: the first Add seeds both extremes.
+  Histogram h(10, 4);
+  h.Add(7);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  h.Add(31);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 31u);
+  // A later zero still wins as the minimum.
+  h.Add(0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Histogram, QuantileSaturatesInOverflowBucket) {
+  Histogram h(10, 2);  // covers [0,20), everything else overflows
+  h.Add(5);
+  h.Add(100);
+  h.Add(200);
+  // q=0.9 -> rank 3 -> overflow bucket; the answer is the observed max,
+  // not the last bucket's upper bound (20).
+  EXPECT_EQ(h.ApproxQuantile(0.9), 200u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 200u);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  Histogram h(10, 4);
+  h.Add(5);  // single sample in [0,10)
+  // Bucket upper bound (10) overshoots the only sample; clamp to max().
+  EXPECT_EQ(h.ApproxQuantile(0.5), 5u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 5u);
+  // q == 0 degenerates to rank 1 (the minimum's bucket).
+  EXPECT_EQ(h.ApproxQuantile(0.0), 5u);
+}
+
+TEST(Histogram, QuantileZeroTracksMinBucket) {
+  Histogram h(10, 10);
+  h.Add(12);
+  h.Add(47);
+  h.Add(83);
+  // Rank 1 resolves to the min's bucket [10,20); its upper bound is the
+  // answer at bucket resolution.
+  EXPECT_EQ(h.ApproxQuantile(0.0), 20u);
+  // Rank 3 resolves to [80,90), capped at the observed max.
+  EXPECT_EQ(h.ApproxQuantile(1.0), 83u);
+}
+
 }  // namespace
 }  // namespace chaser

@@ -89,6 +89,11 @@ std::vector<RunRecord> SampleRecords() {
     r.run_seed = 555;
     r.outcome = Outcome::kSdc;
     r.tainted_output_bytes = 16;
+    // A sampled-campaign record: the v3 fields must survive the round trip
+    // bit-exactly (resume feeds the estimator this very weight).
+    r.inject_pc = 0xABCDEFull;
+    r.inject_class = guest::InstrClass::kFmul;
+    r.sample_weight = 1.0 / 3.0;
     recs.push_back(r);
   }
   {
@@ -124,6 +129,9 @@ void ExpectRecordEq(const RunRecord& a, const RunRecord& b, std::size_t i) {
   EXPECT_EQ(a.taint_lost, b.taint_lost) << "record " << i;
   EXPECT_EQ(a.retries, b.retries) << "record " << i;
   EXPECT_EQ(a.infra_error, b.infra_error) << "record " << i;
+  EXPECT_EQ(a.inject_pc, b.inject_pc) << "record " << i;
+  EXPECT_EQ(a.inject_class, b.inject_class) << "record " << i;
+  EXPECT_EQ(a.sample_weight, b.sample_weight) << "record " << i;
 }
 
 // ---- Round trip --------------------------------------------------------------
@@ -147,6 +155,27 @@ TEST(Journal, AppendReadRoundTrip) {
     ExpectRecordEq(recs[i], contents.records[i], i);
   }
   EXPECT_EQ(contents.valid_bytes, fs::file_size(path));
+}
+
+TEST(Journal, FreshJournalWritesCurrentVersionAndOldPayloadsStillDecode) {
+  const std::string path = TempPath("version");
+  {
+    std::vector<RunRecord> replayed;
+    TrialJournal journal(path, 7, "accum", &replayed);
+    EXPECT_EQ(journal.version(), kJournalVersion);
+  }
+  EXPECT_EQ(ReadJournal(path).header.version, kJournalVersion);
+
+  // A record encoded in the v2 layout must be shorter than the same record
+  // in v3 (no sampling fields) — the layouts genuinely differ, and a v2
+  // file keeps decoding with the sampling defaults (weight 1 = uniform).
+  RunRecord rec;
+  rec.run_seed = 5;
+  rec.inject_pc = 999;
+  rec.sample_weight = 2.5;
+  const std::string v2 = EncodeJournalRecord(rec, 2);
+  const std::string v3 = EncodeJournalRecord(rec, 3);
+  EXPECT_LT(v2.size(), v3.size());
 }
 
 TEST(Journal, ReopenReplaysAndContinues) {

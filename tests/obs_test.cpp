@@ -224,6 +224,60 @@ TEST(Status, ReplayedTrialsCountTowardDoneButNotTheRate) {
   fs::remove_all(dir);
 }
 
+TEST(Status, EtaIsNullWhileUnknownAndZeroWhenNothingRemains) {
+  const std::string dir = TempDir("status_eta");
+  const std::string path = dir + "/status.json";
+  StatusWriter writer({.path = path, .app = "t", .total = 3, .every = 1});
+  // Replayed trials are excluded from the rate: trials remain but nothing
+  // has executed here, so the ETA is genuinely unknown — null, never 0.
+  writer.OnTrialDone(0, 0, 0, /*replayed=*/true);
+  EXPECT_NE(Slurp(path).find("\"eta_s\": null"), std::string::npos)
+      << Slurp(path);
+  writer.OnTrialDone(0, 0, 0, /*replayed=*/false);
+  writer.OnTrialDone(0, 0, 0, /*replayed=*/false);
+  // No trials left: 0.0 ("finishing"), not null.
+  EXPECT_NE(Slurp(path).find("\"eta_s\": 0.0"), std::string::npos)
+      << Slurp(path);
+  writer.Finish();
+  fs::remove_all(dir);
+}
+
+TEST(Status, EstimatesBlockAppearsOnlyWhenASourceIsSet) {
+  const std::string dir = TempDir("status_estimates");
+  const std::string without = dir + "/plain.json";
+  {
+    StatusWriter writer({.path = without, .app = "t", .total = 1, .every = 1});
+    writer.OnTrialDone(0, 0, 0, false);
+    writer.Finish();
+  }
+  EXPECT_EQ(Slurp(without).find("\"estimates\""), std::string::npos);
+
+  const std::string with = dir + "/sampled.json";
+  {
+    StatusWriter::Options options{
+        .path = with, .app = "t", .total = 1, .every = 1};
+    options.estimates = [] {
+      EstimateSnapshot es;
+      es.trials = 40;
+      es.effective_n = 38.5;
+      es.stop_width = 0.02;
+      es.converged = true;
+      es.sdc = {.rate = 0.25, .lo = 0.15, .hi = 0.35};
+      return es;
+    };
+    StatusWriter writer(std::move(options));
+    writer.OnTrialDone(2, 0, 0, false);
+    writer.Finish();
+  }
+  const std::string json = Slurp(with);
+  EXPECT_NE(json.find("\"estimates\": {\"trials\": 40"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"converged\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sdc\": {\"rate\": 0.250000"), std::string::npos)
+      << json;
+  fs::remove_all(dir);
+}
+
 // ---- Campaign integration: identity on/off, serial and parallel --------------
 
 using campaign::Campaign;

@@ -71,13 +71,47 @@ constexpr const char* kHeaderV1 =
     "flip_bits,instructions";
 
 TEST(Report, WriterEmitsVersionLine) {
-  std::stringstream ss;
-  WriteRecordsCsv({SampleRecord(1)}, ss);
+  // Uniform campaigns keep writing the legacy v4 layout byte for byte;
+  // only sampled campaigns opt into the current (v5) format.
+  std::stringstream uniform;
+  WriteRecordsCsv({SampleRecord(1)}, uniform);
+  EXPECT_EQ(uniform.str().rfind("#chaser-records-csv v4\n", 0), 0u)
+      << "uniform campaigns must stay byte-identical to pre-sampling builds";
+
+  std::stringstream sampled;
+  WriteRecordsCsv({SampleRecord(1)}, sampled, SamplePolicy::kWeighted);
   const std::string expect =
       "#chaser-records-csv v" + std::to_string(kRecordsCsvVersion) + "\n";
-  EXPECT_EQ(ss.str().rfind(expect, 0), 0u)
+  EXPECT_EQ(sampled.str().rfind(expect, 0), 0u)
       << "files must self-identify with the shared kRecordsCsvVersion so the "
          "next column growth cannot silently misparse them";
+}
+
+TEST(Report, SamplingFieldsRoundTripThroughV5) {
+  RunRecord rec = SampleRecord(21);
+  rec.inject_pc = 4242;
+  rec.inject_class = guest::InstrClass::kFmul;
+  rec.sample_weight = 3.0625;
+  std::stringstream ss;
+  WriteRecordsCsv({rec}, ss, SamplePolicy::kStratified);
+  const std::vector<RunRecord> back = ReadRecordsCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].inject_pc, 4242u);
+  EXPECT_EQ(back[0].inject_class, guest::InstrClass::kFmul);
+  EXPECT_EQ(back[0].sample_weight, 3.0625);
+}
+
+TEST(Report, ReadRejectsNewerVersion) {
+  // A v6 file from a future build must fail loudly as "too new" — never
+  // be silently misparsed with this build's column map.
+  std::stringstream ss("#chaser-records-csv v6\nanything\n");
+  try {
+    ReadRecordsCsv(ss);
+    FAIL() << "a newer format version must be rejected";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("v6"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("reads up to"), std::string::npos);
+  }
 }
 
 TEST(Report, HotPathCountersRoundTripThroughV4) {

@@ -1,6 +1,7 @@
 // chaser_analyze — offline propagation analysis over trial trace spools.
 //
 //   chaser_analyze summarize  <spool>            # counts, spread order, transfers
+//   chaser_analyze summarize  <records.csv>      # outcome rates + Wilson CIs
 //   chaser_analyze timeline   <spool> [--csv]    # Fig. 7 tainted-bytes curve
 //   chaser_analyze graph-dot  <spool>            # Graphviz DOT of the graph
 //   chaser_analyze root-cause <spool> [--rank R --fd F --offset N]
@@ -10,6 +11,9 @@
 // CampaignConfig::spool_dir, or examples/post_analysis) — or a campaign
 // spool directory holding trial-<seed>/ subdirectories, selected with
 // --trial SEED (defaulting to the only trial if there is exactly one).
+// `summarize` also accepts a records CSV written by chaser_run --out: it
+// then reports the weighted outcome-rate estimates with their 95% Wilson
+// intervals (sample_weight-aware, so sampled campaigns are unbiased).
 // --json switches summarize/timeline/root-cause to JSON; --out FILE writes
 // to a file instead of stdout.
 #include <algorithm>
@@ -22,6 +26,8 @@
 
 #include "analysis/propagation.h"
 #include "analysis/spool.h"
+#include "campaign/report.h"
+#include "campaign/sampling.h"
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
@@ -36,7 +42,9 @@ void Usage() {
       "usage: chaser_analyze <subcommand> <spool-dir> [options]\n"
       "\n"
       "subcommands:\n"
-      "  summarize    graph/transfer summary, first contamination, spread order\n"
+      "  summarize    graph/transfer summary, first contamination, spread order;\n"
+      "               given a records CSV file instead of a spool dir: outcome\n"
+      "               rates with 95%% Wilson intervals (weight-aware)\n"
       "  timeline     tainted-bytes-over-time curve (Fig. 7)\n"
       "  graph-dot    propagation graph as Graphviz DOT\n"
       "  root-cause   walk a corrupted output byte back to the injection\n"
@@ -182,6 +190,66 @@ std::string TimelineText(const analysis::PropagationGraph& g, bool csv,
   return out;
 }
 
+/// Summarize a records CSV: outcome-rate estimates with Wilson intervals.
+/// The estimator is sample_weight-aware, so a CSV from a stratified campaign
+/// reports the same unbiased rates the campaign itself printed; uniform and
+/// weighted CSVs degenerate to plain proportions.
+std::string SummarizeRecordsCsv(const std::string& path, bool json) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
+  const std::vector<campaign::RunRecord> records =
+      campaign::ReadRecordsCsv(in);
+
+  campaign::OutcomeEstimator est;
+  std::uint64_t infra = 0;
+  for (const campaign::RunRecord& r : records) {
+    if (r.outcome == campaign::Outcome::kInfra) {
+      ++infra;
+      continue;
+    }
+    est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
+  }
+
+  struct Row {
+    const char* name;
+    campaign::OutcomeEstimator::Series series;
+  };
+  const Row rows[] = {
+      {"benign", campaign::OutcomeEstimator::kBenign},
+      {"terminated", campaign::OutcomeEstimator::kTerminated},
+      {"sdc", campaign::OutcomeEstimator::kSdc},
+      {"hang", campaign::OutcomeEstimator::kHang},
+  };
+  if (json) {
+    std::string out = StrFormat(
+        "{\n  \"records\": %zu,\n  \"infra\": %llu,\n"
+        "  \"effective_n\": %.1f,\n  \"estimates\": {",
+        records.size(), static_cast<unsigned long long>(infra),
+        est.effective_n());
+    bool first = true;
+    for (const Row& row : rows) {
+      const campaign::WilsonInterval w = est.Interval(row.series);
+      out += StrFormat(
+          "%s\n    \"%s\": {\"rate\": %.6f, \"lo\": %.6f, \"hi\": %.6f}",
+          first ? "" : ",", row.name, w.rate, w.lo, w.hi);
+      first = false;
+    }
+    out += "\n  }\n}\n";
+    return out;
+  }
+  std::string out = StrFormat(
+      "records csv: %s\n  %zu records (%llu infra, excluded), "
+      "effective n %.1f\n  outcome-rate estimates (95%% wilson):\n",
+      path.c_str(), records.size(), static_cast<unsigned long long>(infra),
+      est.effective_n());
+  for (const Row& row : rows) {
+    const campaign::WilsonInterval w = est.Interval(row.series);
+    out += StrFormat("    %-10s %6.2f%%  [%5.2f%%, %5.2f%%]\n", row.name,
+                     100.0 * w.rate, 100.0 * w.lo, 100.0 * w.hi);
+  }
+  return out;
+}
+
 std::string RootCauseJson(const analysis::RootCauseChain& chain) {
   std::string out = StrFormat(
       "{\n  \"complete\": %s,\n  \"transfers_crossed\": %zu,\n  \"steps\": [",
@@ -234,6 +302,18 @@ int main(int argc, char** argv) {
       else if (a == "--out") out_path = value("--out");
       else if (a == "--help" || a == "-h") { Usage(); return 0; }
       else throw ConfigError("unknown flag '" + a + "'");
+    }
+
+    // A regular file can only be a records CSV — spools are directories.
+    if (cmd == "summarize" && fs::is_regular_file(dir)) {
+      const std::string output = SummarizeRecordsCsv(dir, json);
+      if (out_path.empty()) {
+        std::fputs(output.c_str(), stdout);
+      } else {
+        WriteFileAtomic(out_path, output);
+        std::printf("wrote %zu bytes to %s\n", output.size(), out_path.c_str());
+      }
+      return 0;
     }
 
     const std::string trial_dir = ResolveTrialDir(dir, trial);

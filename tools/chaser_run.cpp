@@ -46,6 +46,19 @@ void Usage() {
       "  --inject-ranks A,B  ranks to inject into (default: 0, or all for clamr)\n"
       "  --jobs N            worker threads (default: all hardware threads;\n"
       "                      1 = serial engine; results are seed-identical)\n"
+      "  --sample POLICY     trial sampling policy (default uniform):\n"
+      "                        uniform     rank uniform, invocation uniform —\n"
+      "                                    today's behavior, byte-identical\n"
+      "                        weighted    injection sites drawn by golden-run\n"
+      "                                    execution mass (uniform over all\n"
+      "                                    dynamic invocations)\n"
+      "                        stratified  site equivalence classes drawn\n"
+      "                                    uniformly, importance-weighted back\n"
+      "                                    to the invocation estimand\n"
+      "  --stop-ci W         stop early once every outcome rate's 95%% Wilson\n"
+      "                      interval is narrower than W (e.g. 0.02); the stop\n"
+      "                      point is deterministic in the seed and identical\n"
+      "                      at any --jobs value (default 0 = run all trials)\n"
       "  --no-trace          disable fault-propagation tracing\n"
       "  --spool DIR         stream each trial's full trace to DIR/trial-<seed>/\n"
       "                      (no event cap; inspect with chaser_analyze)\n"
@@ -214,6 +227,22 @@ int main(int argc, char** argv) {
       } else if (a == "--jobs") {
         jobs = ArgNum(argc, argv, i, "--jobs");
         jobs_given = true;
+      } else if (a == "--sample") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --sample");
+        const std::string policy = argv[++i];
+        if (!campaign::ParseSamplePolicy(policy, &config.sample_policy)) {
+          throw ConfigError("bad --sample policy '" + policy +
+                            "' (uniform|weighted|stratified)");
+        }
+      } else if (a == "--stop-ci") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --stop-ci");
+        char* end = nullptr;
+        const std::string val = argv[++i];
+        config.stop_ci = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0' || config.stop_ci <= 0.0 ||
+            config.stop_ci >= 1.0) {
+          throw ConfigError("--stop-ci expects an interval width in (0,1)");
+        }
       } else if (a == "--no-trace") {
         config.trace = false;
       } else if (a == "--resume") {
@@ -370,7 +399,7 @@ int main(int argc, char** argv) {
       // Atomic: a crash mid-write must never leave a half-written CSV where
       // a previous complete report used to be.
       std::ostringstream csv;
-      campaign::WriteRecordsCsv(result.records, csv);
+      campaign::WriteRecordsCsv(result.records, csv, config.sample_policy);
       WriteFileAtomic(out_path, csv.str());
       std::printf("wrote %zu records to %s\n", result.records.size(),
                   out_path.c_str());
