@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(log.tainted_writes()));
   }
   std::printf("cross-rank transfers seen by TaintHub: %zu\n",
-              chaser.hub().transfers().size());
+              chaser.hub().transfer_log().size());
 
   std::printf("\nfirst few trace records (eip / vaddr / paddr / value / taint):\n%s",
               chaser.rank_chaser(1).trace_log().ToString(8).c_str());

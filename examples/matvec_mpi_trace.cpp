@@ -62,7 +62,7 @@ int main() {
               static_cast<unsigned long long>(chaser.hub().stats().publishes),
               static_cast<unsigned long long>(chaser.hub().stats().polls),
               static_cast<unsigned long long>(chaser.hub().stats().hits));
-  for (const hub::TransferLogEntry& t : chaser.hub().transfers()) {
+  for (const hub::TransferLogEntry& t : chaser.hub().transfer_log()) {
     std::printf("  tainted message rank %d -> rank %d (tag %lld, %llu tainted bytes)"
                 " [node %d -> node %d]\n",
                 t.id.src, t.id.dest, static_cast<long long>(t.id.tag),

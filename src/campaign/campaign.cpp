@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "analysis/spool.h"
+#include "campaign/fleet.h"
 #include "campaign/journal.h"
+#include "hub/remote/client.h"
 #include "common/bits.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -232,7 +234,12 @@ TrialEngine::TrialEngine(const apps::AppSpec& spec, const CampaignConfig& config
         tcg::SharedTbCache::HashProgram(spec_.program);
   }
   cluster_ = std::make_unique<mpi::Cluster>(cluster_config);
-  chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options);
+  if (!config_.hub_endpoints.empty()) {
+    remote_hub_ =
+        std::make_unique<hub::remote::RemoteTaintHub>(config_.hub_endpoints);
+  }
+  chaser_ = std::make_unique<core::ChaserMpi>(*cluster_, config_.chaser_options,
+                                              remote_hub_.get());
   // The fault model lives in config (not per trial): TaintHub::Clear() at
   // each trial's job start restarts its clock and drop tape, so every trial
   // — on any driver — sees the identical degradation schedule.
@@ -559,24 +566,33 @@ std::vector<std::uint64_t> Campaign::DeriveTrialSeeds(std::uint64_t seed,
 
 CampaignResult Campaign::Run() {
   obs::Telemetry* const telemetry = config_.telemetry;
+  const bool sharded = config_.shard_count > 1;
+  // A shard worker cannot evaluate the early-stop rule: the stop prefix is
+  // defined in *global* seed order, which one shard never observes. The
+  // merge step (MergeShardRecords) re-applies it over the combined records.
+  const double stop_ci = sharded ? 0.0 : config_.stop_ci;
   // The estimator runs whenever a sampling policy or an early stop is
   // active; a plain uniform campaign bypasses it entirely, keeping its
   // report/CSV/spool bytes identical to pre-sampling builds.
   const bool sampling_active =
-      config_.sample_policy != SamplePolicy::kUniform || config_.stop_ci > 0.0;
+      config_.sample_policy != SamplePolicy::kUniform || stop_ci > 0.0;
   // Shared (not stack-owned) so the telemetry status channel can keep
   // polling estimates at Finish(), after this frame returned the result.
   std::shared_ptr<SampleController> controller;
   if (sampling_active) {
     controller = std::make_shared<SampleController>(config_.sample_policy,
-                                                    config_.stop_ci);
+                                                    stop_ci);
   }
+  // This worker's slice of the trial space: global indices i with
+  // i % shard_count == shard_index (the identity mapping when unsharded).
+  const std::vector<std::uint64_t> indices = ShardTrialIndices(
+      config_.runs, ShardSpec{config_.shard_index, config_.shard_count});
   if (telemetry != nullptr) {
     if (controller != nullptr) {
       telemetry->SetEstimatesSource(
           [controller] { return controller->Snapshot(); });
     }
-    telemetry->BeginCampaign(spec_.name, config_.runs);
+    telemetry->BeginCampaign(spec_.name, indices.size());
     telemetry->AttachThread("main");
   }
   if (!golden_done_) RunGolden();
@@ -592,14 +608,17 @@ CampaignResult Campaign::Run() {
   if (!config_.journal_path.empty()) {
     std::vector<RunRecord> replayed;
     journal = std::make_unique<TrialJournal>(config_.journal_path, config_.seed,
-                                             spec_.name, &replayed);
+                                             spec_.name, &replayed,
+                                             config_.shard_index,
+                                             config_.shard_count);
     for (RunRecord& rec : replayed) done[rec.run_seed] = std::move(rec);
   }
 
   CampaignResult result;
   result.runs = config_.runs;
   std::uint64_t committed = 0;
-  for (const std::uint64_t run_seed : seeds) {
+  for (const std::uint64_t index : indices) {
+    const std::uint64_t run_seed = seeds[index];
     const auto it = done.find(run_seed);
     if (it != done.end()) {
       result.Accumulate(it->second, config_.keep_records);
@@ -640,7 +659,9 @@ CampaignResult Campaign::Run() {
     result.runs = committed;
     result.stopped_early = controller->converged() && committed < config_.runs;
     result.FillEstimates(controller->estimator(), config_.sample_policy,
-                         config_.stop_ci, config_.runs);
+                         stop_ci, config_.runs);
+  } else if (sharded) {
+    result.runs = committed;  // this worker's slice, not the global plan
   }
   if (telemetry != nullptr) telemetry->DetachThread();
   return result;

@@ -149,6 +149,19 @@ struct CampaignConfig {
   /// Degradation model installed into every trial's TaintHub (outages,
   /// publish drops, visibility lag, poll-retry deadline).
   hub::HubFaultModel hub_fault;
+  /// Shard-worker identity: this process runs only trial indices i with
+  /// i % shard_count == shard_index (seed-order partition of the trial
+  /// space). The default 0/1 is the unsharded single-process campaign and
+  /// changes nothing. When shard_count > 1, --stop-ci is force-disabled in
+  /// the worker (the stop prefix is defined in *global* seed order, which a
+  /// single shard cannot observe) and re-applied at merge by
+  /// campaign::MergeShardRecords.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// Non-empty: every trial's hub operations go to these chaser_hubd
+  /// endpoints ("host:port", key-space-sharded when more than one) through a
+  /// hub::remote::RemoteTaintHub instead of the in-process TaintHub.
+  std::vector<std::string> hub_endpoints;
   /// Test/chaos hook: invoked as (run_seed, attempt) right before each trial
   /// attempt, *inside* the containment boundary — throwing from here
   /// exercises the retry/quarantine path deterministically.
@@ -308,6 +321,10 @@ class TrialEngine {
   /// trial (Vm::StartProcess shared overload) instead of re-copied per start.
   std::shared_ptr<const guest::Program> image_;
   std::unique_ptr<mpi::Cluster> cluster_;
+  /// Remote hub client (config.hub_endpoints non-empty). Declared before
+  /// chaser_: the ChaserMpi's hooks point into it, so it must be destroyed
+  /// after them.
+  std::unique_ptr<hub::HubService> remote_hub_;
   std::unique_ptr<core::ChaserMpi> chaser_;
   const GoldenProfile* golden_ = nullptr;
   /// Sampling frame built by AdoptGolden when the policy needs one. Every

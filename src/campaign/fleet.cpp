@@ -1,0 +1,101 @@
+#include "campaign/fleet.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace chaser::campaign {
+
+ShardSpec ParseShardSpec(const std::string& spec) {
+  const std::vector<std::string> parts = Split(spec, '/');
+  ShardSpec s;
+  if (parts.size() != 2 || !ParseU64(parts[0], &s.index) ||
+      !ParseU64(parts[1], &s.count)) {
+    throw ConfigError("--shard: expected I/N (e.g. 0/4), got '" + spec + "'");
+  }
+  if (s.count == 0) throw ConfigError("--shard: shard count must be > 0");
+  if (s.index >= s.count) {
+    throw ConfigError(StrFormat(
+        "--shard: index %llu out of range for %llu shards (valid: 0..%llu)",
+        static_cast<unsigned long long>(s.index),
+        static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.count - 1)));
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> ShardTrialIndices(std::uint64_t runs,
+                                             const ShardSpec& spec) {
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw ConfigError("ShardTrialIndices: invalid shard spec");
+  }
+  std::vector<std::uint64_t> indices;
+  indices.reserve(static_cast<std::size_t>(runs / spec.count + 1));
+  for (std::uint64_t i = spec.index; i < runs; i += spec.count) {
+    indices.push_back(i);
+  }
+  return indices;
+}
+
+CampaignResult MergeShardRecords(const MergePlan& plan,
+                                 const std::vector<RunRecord>& shard_records) {
+  std::map<std::uint64_t, const RunRecord*> by_seed;
+  for (const RunRecord& rec : shard_records) {
+    const auto [it, inserted] = by_seed.emplace(rec.run_seed, &rec);
+    if (!inserted) {
+      throw ConfigError(StrFormat(
+          "MergeShardRecords: run_seed %llu appears twice — two shards ran "
+          "the same trial, or a records file was passed more than once",
+          static_cast<unsigned long long>(rec.run_seed)));
+    }
+  }
+
+  // Replay the serial driver's reduction loop exactly: walk the global seed
+  // order, Accumulate, feed the stop controller, and stop where it would
+  // have stopped. The records carry every field Accumulate and the
+  // estimator read, so the merged result is bit-identical to a single
+  // process running the same plan.
+  const bool sampling_active =
+      plan.sample_policy != SamplePolicy::kUniform || plan.stop_ci > 0.0;
+  std::unique_ptr<SampleController> controller;
+  if (sampling_active) {
+    controller = std::make_unique<SampleController>(plan.sample_policy,
+                                                    plan.stop_ci);
+  }
+  const std::vector<std::uint64_t> seeds =
+      Campaign::DeriveTrialSeeds(plan.seed, plan.runs);
+
+  CampaignResult result;
+  result.runs = plan.runs;
+  std::uint64_t committed = 0;
+  for (const std::uint64_t run_seed : seeds) {
+    const auto it = by_seed.find(run_seed);
+    if (it == by_seed.end()) {
+      throw ConfigError(StrFormat(
+          "MergeShardRecords: no shard provided trial seed %llu (trial %llu "
+          "of %llu) — a shard's records are incomplete or missing",
+          static_cast<unsigned long long>(run_seed),
+          static_cast<unsigned long long>(committed + 1),
+          static_cast<unsigned long long>(plan.runs)));
+    }
+    const RunRecord& rec = *it->second;
+    result.Accumulate(rec, plan.keep_records);
+    ++committed;
+    if (controller != nullptr &&
+        controller->Commit(static_cast<int>(rec.outcome), rec.deadlock,
+                           rec.sample_weight) &&
+        controller->stop_enabled()) {
+      break;
+    }
+  }
+  if (controller != nullptr) {
+    result.runs = committed;
+    result.stopped_early = controller->converged() && committed < plan.runs;
+    result.FillEstimates(controller->estimator(), plan.sample_policy,
+                         plan.stop_ci, plan.runs);
+  }
+  return result;
+}
+
+}  // namespace chaser::campaign

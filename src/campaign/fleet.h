@@ -1,0 +1,57 @@
+// Shard-space partitioning and the fleet merge.
+//
+// A sharded campaign splits one trial plan (app, runs, seed, policy) across
+// N workers: worker i runs exactly the global trial indices with
+// index % N == i, in seed order. Because every worker derives the identical
+// seed sequence (Campaign::DeriveTrialSeeds) and trials are pure functions
+// of their run_seed, the partition is deterministic, disjoint, and complete
+// — and merging the per-shard records in global seed order through the same
+// CampaignResult::Accumulate / SampleController path the serial driver uses
+// reproduces the unsharded report byte for byte, early stop included (the
+// stop prefix is re-evaluated here, in global order, which is why shard
+// workers themselves never stop early).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+
+namespace chaser::campaign {
+
+struct ShardSpec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+};
+
+/// Parse "i/N" (e.g. "0/4"). Throws ConfigError unless N > 0 and i < N.
+ShardSpec ParseShardSpec(const std::string& spec);
+
+/// The global trial indices shard `spec` owns, ascending. The unsharded 0/1
+/// spec yields the identity sequence 0..runs-1.
+std::vector<std::uint64_t> ShardTrialIndices(std::uint64_t runs,
+                                             const ShardSpec& spec);
+
+/// The campaign plan a merge reconstructs results against. Must match what
+/// every shard worker ran (same app label, runs, seed, policy, stop rule).
+struct MergePlan {
+  std::string app;
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0;
+  SamplePolicy sample_policy = SamplePolicy::kUniform;
+  double stop_ci = 0.0;
+  bool keep_records = true;
+};
+
+/// Merge per-shard trial records into the result an unsharded run of `plan`
+/// would have produced. `shard_records` is the concatenation of every
+/// shard's records (any order — they are re-keyed by run_seed). Throws
+/// ConfigError on a duplicate run_seed (two shards ran the same trial, or
+/// one CSV was passed twice) or on a seed the plan needs that no shard
+/// provided (a shard's records are incomplete) — except past the early-stop
+/// point, where missing trials are expected.
+CampaignResult MergeShardRecords(const MergePlan& plan,
+                                 const std::vector<RunRecord>& shard_records);
+
+}  // namespace chaser::campaign

@@ -2,13 +2,13 @@
 
 #include <unistd.h>
 
-#include <array>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 
 #include "analysis/spool.h"
+#include "common/crc32.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -27,25 +27,6 @@ using analysis::AppendVarint;
 using analysis::DecodeVarint;
 using analysis::ZigZagDecode;
 using analysis::ZigZagEncode;
-
-/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the record payload —
-/// catches both torn tails and in-place bit rot.
-std::uint32_t Crc32(const char* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 void AppendU32Le(std::string* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -195,6 +176,12 @@ JournalContents ReadJournal(const std::string& path) {
   }
   contents.header.app = buf.substr(pos, app_len);
   pos += app_len;
+  // v4 extended the header with the writing worker's shard spec; older
+  // journals are by definition unsharded (the defaults).
+  if (contents.header.version >= 4) {
+    header_u64(&contents.header.shard_index);
+    header_u64(&contents.header.shard_count);
+  }
   contents.valid_bytes = pos;
 
   // Record region: prefix discipline — serve intact frames, stop at the
@@ -230,7 +217,8 @@ JournalContents ReadJournal(const std::string& path) {
 
 TrialJournal::TrialJournal(const std::string& path, std::uint64_t campaign_seed,
                            const std::string& app,
-                           std::vector<RunRecord>* replayed)
+                           std::vector<RunRecord>* replayed,
+                           std::uint64_t shard_index, std::uint64_t shard_count)
     : path_(path) {
   if (replayed != nullptr) replayed->clear();
   std::error_code ec;
@@ -246,6 +234,17 @@ TrialJournal::TrialJournal(const std::string& path, std::uint64_t campaign_seed,
           path_.c_str(), contents.header.app.c_str(),
           static_cast<unsigned long long>(contents.header.campaign_seed),
           app.c_str(), static_cast<unsigned long long>(campaign_seed)));
+    }
+    if (contents.header.shard_index != shard_index ||
+        contents.header.shard_count != shard_count) {
+      throw ConfigError(StrFormat(
+          "TrialJournal: '%s' was written by shard %llu/%llu, not %llu/%llu — "
+          "its trials are a different slice of the seed order",
+          path_.c_str(),
+          static_cast<unsigned long long>(contents.header.shard_index),
+          static_cast<unsigned long long>(contents.header.shard_count),
+          static_cast<unsigned long long>(shard_index),
+          static_cast<unsigned long long>(shard_count)));
     }
     // Appends continue in the file's own format version — mixing v1 and v2
     // frames in one file would make the layout ambiguous to readers.
@@ -270,6 +269,8 @@ TrialJournal::TrialJournal(const std::string& path, std::uint64_t campaign_seed,
     AppendVarint(&header, campaign_seed);
     AppendVarint(&header, app.size());
     header.append(app);
+    AppendVarint(&header, shard_index);
+    AppendVarint(&header, shard_count);
     if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
         std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
       std::fclose(file_);

@@ -18,9 +18,12 @@
 // v1 lacks the hot-path counters (tb_chain_hits/tlb_hits/tlb_misses) that v2
 // appends after `retries`, and v3 further appends the sampling fields
 // (inject_pc, inject_class, sample_weight as IEEE-754 bits) before the error
-// string. A reader accepts any version <= its own and an appender continues
-// in the *file's* version, so resuming a v1 journal keeps writing v1 frames —
-// one file never mixes layouts.
+// string. v4 keeps the v3 record layout and extends only the *header* with
+// the writer's shard spec (shard_index, shard_count), so `--resume` on a
+// journal written under a different `--shard i/N` fails loudly instead of
+// replaying another shard's trial subset. A reader accepts any version <=
+// its own and an appender continues in the *file's* version, so resuming a
+// v1 journal keeps writing v1 frames — one file never mixes layouts.
 //
 // Every Append is flushed and fsync'd before it returns, so a record is
 // either fully on disk or not there at all. The reader applies the same
@@ -43,9 +46,13 @@ namespace chaser::campaign {
 /// wrong campaign (different seed or app — different trial-seed sequence)
 /// fails loudly instead of silently merging unrelated trials.
 struct JournalHeader {
-  std::uint64_t version = 3;
+  std::uint64_t version = 4;
   std::uint64_t campaign_seed = 0;
   std::string app;
+  /// Shard spec of the writing worker (v4+; pre-v4 journals read as the
+  /// unsharded 0/1).
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
 };
 
 /// Everything recovered from a journal file.
@@ -62,7 +69,7 @@ struct JournalContents {
 JournalContents ReadJournal(const std::string& path);
 
 /// Current journal format version written to fresh files.
-inline constexpr std::uint64_t kJournalVersion = 3;
+inline constexpr std::uint64_t kJournalVersion = 4;
 
 /// Serialise one RunRecord payload in the given format version (exposed for
 /// tests; the journal frame adds length + CRC around this).
@@ -76,10 +83,13 @@ class TrialJournal {
  public:
   /// Open `path` for appending, creating it (with a header naming this
   /// campaign) if absent. An existing journal is validated against
-  /// `campaign_seed`/`app` (ConfigError on mismatch) and truncated back to
-  /// its intact record prefix; those records are returned via `replayed`.
+  /// `campaign_seed`/`app` *and* the shard spec (ConfigError on mismatch —
+  /// a journal records which `--shard i/N` slice its trials came from) and
+  /// truncated back to its intact record prefix; those records are returned
+  /// via `replayed`.
   TrialJournal(const std::string& path, std::uint64_t campaign_seed,
-               const std::string& app, std::vector<RunRecord>* replayed);
+               const std::string& app, std::vector<RunRecord>* replayed,
+               std::uint64_t shard_index = 0, std::uint64_t shard_count = 1);
   ~TrialJournal();
 
   TrialJournal(const TrialJournal&) = delete;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/fleet.h"
 #include "campaign/journal.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -60,27 +61,41 @@ std::uint64_t ParallelCampaign::golden_targeted_execs(Rank r) const {
 
 CampaignResult ParallelCampaign::Run() {
   obs::Telemetry* const telemetry = config_.telemetry;
+  const bool sharded = config_.shard_count > 1;
+  // Shard workers never early-stop: the stop prefix is defined in global
+  // seed order, which the merge step re-applies (see the serial driver).
+  const double stop_ci = sharded ? 0.0 : config_.stop_ci;
   // Sampling/early-stop plumbing mirrors the serial driver; shared so the
   // telemetry status channel can poll estimates after Run() returns.
   const bool sampling_active =
-      config_.sample_policy != SamplePolicy::kUniform || config_.stop_ci > 0.0;
+      config_.sample_policy != SamplePolicy::kUniform || stop_ci > 0.0;
   std::shared_ptr<SampleController> controller;
   if (sampling_active) {
     controller = std::make_shared<SampleController>(config_.sample_policy,
-                                                    config_.stop_ci);
+                                                    stop_ci);
+  }
+  // This worker's slice of the trial space in seed order. Everything below
+  // runs over shard-local positions 0..runs; unsharded campaigns get the
+  // identity mapping and stay bit-identical to earlier builds.
+  const std::vector<std::uint64_t> all_seeds =
+      Campaign::DeriveTrialSeeds(config_.seed, config_.runs);
+  const std::vector<std::uint64_t> indices = ShardTrialIndices(
+      config_.runs, ShardSpec{config_.shard_index, config_.shard_count});
+  const std::uint64_t runs = indices.size();
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(runs));
+  for (const std::uint64_t index : indices) {
+    seeds.push_back(all_seeds[static_cast<std::size_t>(index)]);
   }
   if (telemetry != nullptr) {
     if (controller != nullptr) {
       telemetry->SetEstimatesSource(
           [controller] { return controller->Snapshot(); });
     }
-    telemetry->BeginCampaign(spec_.name, config_.runs);
+    telemetry->BeginCampaign(spec_.name, runs);
     telemetry->AttachThread("main");
   }
   if (!golden_done_) RunGolden();
-  const std::uint64_t runs = config_.runs;
-  const std::vector<std::uint64_t> seeds =
-      Campaign::DeriveTrialSeeds(config_.seed, runs);
 
   // Trial i writes only records[i]; the atomic counter hands every index to
   // exactly one worker, so the records vector needs no lock.
@@ -124,7 +139,9 @@ CampaignResult ParallelCampaign::Run() {
   if (!config_.journal_path.empty()) {
     std::vector<RunRecord> replayed;
     journal = std::make_unique<TrialJournal>(config_.journal_path, config_.seed,
-                                             spec_.name, &replayed);
+                                             spec_.name, &replayed,
+                                             config_.shard_index,
+                                             config_.shard_count);
     std::map<std::uint64_t, RunRecord> done;
     for (RunRecord& rec : replayed) done[rec.run_seed] = std::move(rec);
     for (std::uint64_t i = 0; i < runs; ++i) {
@@ -226,7 +243,7 @@ CampaignResult ParallelCampaign::Run() {
   if (controller != nullptr) {
     result.stopped_early = controller->converged() && committed_runs < runs;
     result.FillEstimates(controller->estimator(), config_.sample_policy,
-                         config_.stop_ci, runs);
+                         stop_ci, runs);
   }
   if (telemetry != nullptr) telemetry->DetachThread();
   return result;

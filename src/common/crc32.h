@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// One checksum shared by every framed byte stream in the tree — the trial
+// journal's record frames and the hub wire protocol's command frames — so a
+// frame written by one subsystem is checkable by the other's tooling and the
+// two implementations can never drift.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace chaser {
+
+inline std::uint32_t Crc32(const char* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace chaser

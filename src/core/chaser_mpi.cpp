@@ -4,8 +4,11 @@ namespace chaser::core {
 
 ChaserMpi::ChaserMpi(mpi::Cluster& cluster) : ChaserMpi(cluster, Chaser::Options{}) {}
 
-ChaserMpi::ChaserMpi(mpi::Cluster& cluster, Chaser::Options options)
-    : cluster_(cluster), hooks_(&hub_) {
+ChaserMpi::ChaserMpi(mpi::Cluster& cluster, Chaser::Options options,
+                     hub::HubService* external_hub)
+    : cluster_(cluster),
+      hub_(external_hub != nullptr ? external_hub : &owned_hub_),
+      hooks_(hub_) {
   cluster_.SetMessageHooks(&hooks_);
   chasers_.reserve(static_cast<std::size_t>(cluster_.num_ranks()));
   for (Rank r = 0; r < cluster_.num_ranks(); ++r) {
@@ -19,7 +22,7 @@ void ChaserMpi::Arm(const InjectionCommand& cmd, const std::set<Rank>& inject_ra
   // The authoritative per-trial hub reset is ChaserMpiHooks::OnJobStart
   // (fired by Cluster::Start); clearing on re-Arm as well keeps hub state
   // from an old command out of stats read between Arm and Start.
-  hub_.Clear();
+  hub_->Clear();
   for (Rank r = 0; r < cluster_.num_ranks(); ++r) {
     InjectionCommand rank_cmd = cmd;
     rank_cmd.seed = cmd.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(r);
@@ -51,14 +54,14 @@ std::uint64_t ChaserMpi::total_tainted_writes() const {
 }
 
 bool ChaserMpi::FaultPropagatedFrom(Rank src) const {
-  for (const hub::TransferLogEntry& t : hub_.transfers()) {
+  for (const hub::TransferLogEntry& t : hub_->transfer_log()) {
     if (t.id.src == src && t.id.dest != src) return true;
   }
   return false;
 }
 
 bool ChaserMpi::FaultPropagatedAcrossNodes() const {
-  for (const hub::TransferLogEntry& t : hub_.transfers()) {
+  for (const hub::TransferLogEntry& t : hub_->transfer_log()) {
     if (cluster_.node_of(t.id.src) != cluster_.node_of(t.id.dest)) return true;
   }
   return false;

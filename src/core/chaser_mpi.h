@@ -20,7 +20,11 @@ namespace chaser::core {
 class ChaserMpi {
  public:
   explicit ChaserMpi(mpi::Cluster& cluster);
-  ChaserMpi(mpi::Cluster& cluster, Chaser::Options options);
+  /// `external_hub`, when non-null, replaces the in-process TaintHub (e.g. a
+  /// hub::remote::RemoteTaintHub talking to chaser_hubd). The caller keeps
+  /// ownership and must outlive this ChaserMpi.
+  ChaserMpi(mpi::Cluster& cluster, Chaser::Options options,
+            hub::HubService* external_hub = nullptr);
 
   ChaserMpi(const ChaserMpi&) = delete;
   ChaserMpi& operator=(const ChaserMpi&) = delete;
@@ -32,7 +36,7 @@ class ChaserMpi {
 
   Chaser& rank_chaser(Rank r) { return *chasers_[static_cast<std::size_t>(r)]; }
   const Chaser& rank_chaser(Rank r) const { return *chasers_[static_cast<std::size_t>(r)]; }
-  hub::TaintHub& hub() { return hub_; }
+  hub::HubService& hub() { return *hub_; }
   mpi::Cluster& cluster() { return cluster_; }
 
   // ---- Aggregates across all ranks ------------------------------------------
@@ -46,7 +50,8 @@ class ChaserMpi {
 
  private:
   mpi::Cluster& cluster_;
-  hub::TaintHub hub_;
+  hub::TaintHub owned_hub_;     // used unless an external hub is supplied
+  hub::HubService* hub_;        // the hub everything actually talks to
   hub::ChaserMpiHooks hooks_;
   std::vector<std::unique_ptr<Chaser>> chasers_;
 };

@@ -9,7 +9,7 @@ namespace chaser::hub {
 
 class ChaserMpiHooks : public mpi::MessageHooks {
  public:
-  explicit ChaserMpiHooks(TaintHub* hub) : hub_(hub) {}
+  explicit ChaserMpiHooks(HubService* hub) : hub_(hub) {}
 
   /// Job-start hook: evict everything a previous trial left in the hub.
   /// Records published but never polled (the sender's receiver died first)
@@ -32,10 +32,10 @@ class ChaserMpiHooks : public mpi::MessageHooks {
   void OnRecvComplete(vm::Vm& receiver, const mpi::Envelope& env,
                       GuestAddr buf) override;
 
-  TaintHub& hub() { return *hub_; }
+  HubService& hub() { return *hub_; }
 
  private:
-  TaintHub* hub_;
+  HubService* hub_;
 };
 
 }  // namespace chaser::hub

@@ -1,0 +1,75 @@
+// RemoteTaintHub: the HubService implementation that speaks the wire
+// protocol to one or more chaser_hubd servers.
+//
+// Transport is invisible above the interface — ChaserMpiHooks and the
+// campaign drivers run unchanged against it. Determinism contract: with a
+// single endpoint, every hub operation reaches the server in the exact order
+// the hooks issue it (publishes are batched on the wire but flushed, in
+// order, before any other command), so the server session's clock, drop
+// tape, and hub_seq numbering match the in-process TaintHub operation for
+// operation — campaigns over a remote hub are byte-identical to local runs.
+//
+// With several endpoints, message keys shard across them by hash; each
+// shard keeps its own clock, so fault-model degradation is per-shard (noted
+// in DESIGN.md §5.7 — use one endpoint when byte-identity matters).
+//
+// The transfer log is mirrored client-side: each poll hit appends an entry
+// with a client-assigned hub_seq, so transfer_log()/SawTransfer() need no
+// network round trip and cross-shard ordering matches issue order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hub/tainthub.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace chaser::hub::remote {
+
+class RemoteTaintHub : public HubService {
+ public:
+  /// Connect to every endpoint ("host:port") and exchange hellos. Throws
+  /// ConfigError on connect/hello failure.
+  explicit RemoteTaintHub(const std::vector<std::string>& endpoints);
+  ~RemoteTaintHub() override;
+
+  void Publish(MessageTaintRecord record) override;
+  PollAttempt TryPoll(const MessageId& id, const RecvContext& ctx = {}) override;
+  void AbandonPoll(const MessageId& id) override;
+  void SetFaultModel(const HubFaultModel& model) override;
+  const HubFaultModel& fault_model() const override { return fault_model_; }
+  std::vector<TransferLogEntry> transfer_log() const override;
+  std::vector<TransferLogEntry> DrainTransferLog() override;
+  bool SawTransfer(Rank src, Rank dest) const override;
+  /// Sum of every shard's server-side counters.
+  HubStats stats() const override;
+  void Clear() override;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    net::TcpSocket sock;
+    net::FrameDecoder decoder;
+    std::string batch;             // encoded pending publish records
+    std::uint64_t batch_count = 0;
+  };
+
+  std::size_t ShardOf(const MessageId& id) const;
+  /// Send one command frame on a shard and return the ok-response body
+  /// (throws ConfigError on transport errors or an error status).
+  std::string Call(Shard& shard, const std::string& request) const;
+  void FlushBatch(Shard& shard);
+  void FlushAllBatches();
+
+  // Shards are mutated by logically-const queries (stats() must flush
+  // batches and round-trip); the hub interface is single-threaded.
+  mutable std::vector<Shard> shards_;
+  HubFaultModel fault_model_;
+  std::vector<TransferLogEntry> transfers_;  // client-side mirror
+  std::uint64_t next_hub_seq_ = 0;
+};
+
+}  // namespace chaser::hub::remote

@@ -1,0 +1,87 @@
+// Wire protocol between RemoteTaintHub clients and chaser_hubd servers.
+//
+// Transport: TCP, each message one net::FrameDecoder frame (varint length +
+// payload + CRC32). The first frame on a connection must be a hello:
+//
+//     "CHSHUB1" | varint protocol_version
+//
+// The server replies ok (status 0 + its version) or an error string and
+// drops the connection. After the hello, every request frame is:
+//
+//     varint command | command body
+//
+// and every response frame is:
+//
+//     varint status (0 = ok, 1 = error) | body (ok) / error string (error)
+//
+// Integers are varints; signed values (ranks, tags) are zig-zag coded;
+// doubles travel as their IEEE-754 bit pattern in a varint. The shape
+// follows the msgpack-style taint command block of vogr/qemu's plugin
+// (SNIPPETS.md Snippet 3): one self-delimiting command per frame, batched
+// where the hot path (publish) benefits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hub/tainthub.h"
+#include "net/frame.h"
+
+namespace chaser::hub::remote {
+
+inline constexpr char kHelloMagic[] = "CHSHUB1";  // 7 bytes on the wire
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+enum class Command : std::uint8_t {
+  kPublishBatch = 1,      // body: varint count | count * record
+  kTryPoll = 2,           // body: id | ctx
+  kAbandonPoll = 3,       // body: id
+  kSetFaultModel = 4,     // body: fault model
+  kClear = 5,             // body: empty
+  kStats = 6,             // reply body: 9 varints (HubStats field order)
+  kDrainTransferLog = 7,  // reply body: varint count | count * entry
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+};
+
+// ---- body encoders/decoders ------------------------------------------------
+// Decoders return false (without throwing) on truncated/garbage bodies so
+// the server can reject a malformed command without dying.
+
+void EncodeMessageId(std::string* out, const MessageId& id);
+bool DecodeMessageId(const std::string& buf, std::size_t* pos, MessageId* id);
+
+void EncodeRecord(std::string* out, const MessageTaintRecord& record);
+bool DecodeRecord(const std::string& buf, std::size_t* pos,
+                  MessageTaintRecord* record);
+
+void EncodeRecvContext(std::string* out, const RecvContext& ctx);
+bool DecodeRecvContext(const std::string& buf, std::size_t* pos,
+                       RecvContext* ctx);
+
+void EncodeFaultModel(std::string* out, const HubFaultModel& model);
+bool DecodeFaultModel(const std::string& buf, std::size_t* pos,
+                      HubFaultModel* model);
+
+void EncodeStats(std::string* out, const HubStats& stats);
+bool DecodeStats(const std::string& buf, std::size_t* pos, HubStats* stats);
+
+void EncodeTransferEntry(std::string* out, const TransferLogEntry& entry);
+bool DecodeTransferEntry(const std::string& buf, std::size_t* pos,
+                         TransferLogEntry* entry);
+
+/// The hello frame payload a client opens with.
+std::string EncodeHello();
+/// Validate a hello payload; on failure fills *error with the reason.
+bool DecodeHello(const std::string& payload, std::string* error);
+
+/// Parse the --hub-fault spec shared by chaser_run and chaser_hubd:
+/// comma-separated key=value with keys drop, delay, outage (start:end),
+/// retries, seed. Throws ConfigError on unknown keys / bad values.
+HubFaultModel ParseHubFaultSpec(const std::string& spec);
+
+}  // namespace chaser::hub::remote

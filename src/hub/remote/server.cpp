@@ -1,0 +1,321 @@
+#include "hub/remote/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/error.h"
+#include "hub/remote/protocol.h"
+#include "obs/metrics.h"
+
+namespace chaser::hub::remote {
+
+namespace {
+
+using net::AppendFrame;
+using net::AppendVarint;
+
+void AppendOkFrame(std::string* out, const std::string& body) {
+  std::string payload;
+  AppendVarint(&payload, static_cast<std::uint64_t>(Status::kOk));
+  payload.append(body);
+  AppendFrame(out, payload);
+}
+
+void AppendErrorFrame(std::string* out, const std::string& message) {
+  std::string payload;
+  AppendVarint(&payload, static_cast<std::uint64_t>(Status::kError));
+  AppendVarint(&payload, message.size());
+  payload.append(message);
+  AppendFrame(out, payload);
+}
+
+}  // namespace
+
+HubServer::HubServer(Options options) : options_(std::move(options)) {}
+
+HubServer::~HubServer() { Stop(); }
+
+void HubServer::Start() {
+  if (running()) return;
+  listener_ = net::TcpListener::Bind(options_.host, options_.port);
+  port_ = listener_.port();
+  net::SetNonBlocking(listener_.fd());
+  if (::pipe(wake_pipe_) != 0) {
+    listener_.Close();
+    throw ConfigError("hub server: pipe() failed");
+  }
+  net::SetNonBlocking(wake_pipe_[0]);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HubServer::Stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  conns_.clear();
+  listener_.Close();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+ServerStats HubServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void HubServer::NoteConnError(const std::string& why) {
+  static obs::Counter& errors =
+      obs::Registry::Global().GetCounter("hub_conn_errors");
+  errors.Inc();
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.conn_errors;
+  (void)why;  // reason is surfaced through the dropped connection itself
+}
+
+void HubServer::FlushWrites(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t rc = ::send(conn.sock.fd(), conn.out.data(), conn.out.size(),
+                              MSG_NOSIGNAL);
+    if (rc > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(rc));
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (rc < 0 && errno == EINTR) continue;
+    conn.sock.Close();  // peer vanished; reaped by the loop
+    return;
+  }
+}
+
+bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
+                            std::string* why) {
+  if (!conn.hello_done) {
+    std::string error;
+    if (!DecodeHello(payload, &error)) {
+      AppendErrorFrame(&conn.out, error);
+      FlushWrites(conn);  // best effort: tell the client why before dropping
+      *why = "hello rejected: " + error;
+      return false;
+    }
+    conn.hello_done = true;
+    std::string body;
+    AppendVarint(&body, kProtocolVersion);
+    AppendOkFrame(&conn.out, body);
+    conn.session.SetFaultModel(options_.default_fault);
+    return true;
+  }
+
+  std::size_t pos = 0;
+  std::uint64_t cmd = 0;
+  if (net::DecodeVarint(payload.data(), payload.size(), &pos, &cmd) !=
+      net::DecodeStatus::kOk) {
+    *why = "missing command byte";
+    return false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.commands;
+  }
+  switch (static_cast<Command>(cmd)) {
+    case Command::kPublishBatch: {
+      std::uint64_t count = 0;
+      if (net::DecodeVarint(payload.data(), payload.size(), &pos, &count) !=
+          net::DecodeStatus::kOk) {
+        *why = "malformed publish batch";
+        return false;
+      }
+      std::vector<MessageTaintRecord> records;
+      records.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        MessageTaintRecord record;
+        if (!DecodeRecord(payload, &pos, &record)) {
+          *why = "malformed publish record";
+          return false;
+        }
+        records.push_back(std::move(record));
+      }
+      for (MessageTaintRecord& record : records) {
+        conn.session.Publish(std::move(record));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.records_published += count;
+      }
+      AppendOkFrame(&conn.out, "");
+      return true;
+    }
+    case Command::kTryPoll: {
+      MessageId id;
+      RecvContext ctx;
+      if (!DecodeMessageId(payload, &pos, &id) ||
+          !DecodeRecvContext(payload, &pos, &ctx)) {
+        *why = "malformed poll";
+        return false;
+      }
+      PollAttempt attempt = conn.session.TryPoll(id, ctx);
+      std::string body;
+      AppendVarint(&body, static_cast<std::uint64_t>(attempt.status));
+      if (attempt.status == PollStatus::kHit) {
+        EncodeRecord(&body, *attempt.record);
+      }
+      AppendOkFrame(&conn.out, body);
+      return true;
+    }
+    case Command::kAbandonPoll: {
+      MessageId id;
+      if (!DecodeMessageId(payload, &pos, &id)) {
+        *why = "malformed abandon";
+        return false;
+      }
+      conn.session.AbandonPoll(id);
+      AppendOkFrame(&conn.out, "");
+      return true;
+    }
+    case Command::kSetFaultModel: {
+      HubFaultModel model;
+      if (!DecodeFaultModel(payload, &pos, &model)) {
+        *why = "malformed fault model";
+        return false;
+      }
+      conn.session.SetFaultModel(model);
+      AppendOkFrame(&conn.out, "");
+      return true;
+    }
+    case Command::kClear: {
+      conn.session.Clear();
+      AppendOkFrame(&conn.out, "");
+      return true;
+    }
+    case Command::kStats: {
+      std::string body;
+      EncodeStats(&body, conn.session.stats());
+      AppendOkFrame(&conn.out, body);
+      return true;
+    }
+    case Command::kDrainTransferLog: {
+      const std::vector<TransferLogEntry> log = conn.session.DrainTransferLog();
+      std::string body;
+      AppendVarint(&body, log.size());
+      for (const TransferLogEntry& entry : log) EncodeTransferEntry(&body, entry);
+      AppendOkFrame(&conn.out, body);
+      return true;
+    }
+  }
+  // Unknown commands get a per-command error (forward compatibility) rather
+  // than a dropped connection: the framing is intact, only the verb is new.
+  AppendErrorFrame(&conn.out, "unknown command " + std::to_string(cmd));
+  return true;
+}
+
+void HubServer::Loop() {
+  std::vector<pollfd> fds;
+  char buf[64 * 1024];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = POLLIN;
+      if (!conn->out.empty()) events |= POLLOUT;
+      fds.push_back({conn->sock.fd(), events, 0});
+    }
+    // Connections accepted below are NOT in fds; only this many were polled.
+    const std::size_t polled_conns = conns_.size();
+    const int rc = ::poll(fds.data(), fds.size(), 500);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed; shut down rather than spin
+    }
+    if (fds[1].revents & POLLIN) {
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int cfd = listener_.Accept();
+        if (cfd < 0) break;
+        net::SetNonBlocking(cfd);
+        auto conn = std::make_unique<Connection>();
+        conn->sock = net::TcpSocket(cfd);
+        conns_.push_back(std::move(conn));
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_accepted;
+      }
+    }
+    for (std::size_t i = 0; i < polled_conns; ++i) {
+      Connection& conn = *conns_[i];
+      const pollfd& pfd = fds[i + 2];
+      bool drop = false;
+      bool protocol_error = false;
+      std::string why;
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) drop = true;
+      if (!drop && (pfd.revents & POLLIN)) {
+        for (;;) {
+          const ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.decoder.Feed(buf, static_cast<std::size_t>(n));
+            if (static_cast<ssize_t>(sizeof(buf)) != n) break;
+            continue;
+          }
+          if (n == 0) {
+            drop = true;  // orderly EOF; a torn trailing frame is just dropped
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          drop = true;
+          break;
+        }
+        std::string payload;
+        while (!drop) {
+          const net::FrameDecoder::Result r = conn.decoder.Next(&payload);
+          if (r == net::FrameDecoder::Result::kNeedMore) break;
+          if (r == net::FrameDecoder::Result::kError) {
+            drop = true;
+            protocol_error = true;
+            why = conn.decoder.error();
+            break;
+          }
+          if (!HandleFrame(conn, payload, &why)) {
+            drop = true;
+            protocol_error = true;
+            break;
+          }
+          if (conn.out.size() > options_.max_out_bytes) {
+            drop = true;
+            protocol_error = true;
+            why = "response queue overflow (client not reading)";
+            break;
+          }
+        }
+      }
+      if (!drop && (pfd.revents & POLLOUT)) FlushWrites(conn);
+      if (!drop && !conn.sock.valid()) drop = true;  // flush hit a dead peer
+      if (!drop && !conn.out.empty()) FlushWrites(conn);
+      if (drop) {
+        if (protocol_error) NoteConnError(why);
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.connections_dropped;
+        }
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        // fds no longer lines up with conns_, so stop processing this round.
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace chaser::hub::remote

@@ -1,0 +1,102 @@
+// HubServer: the engine inside chaser_hubd (and the loopback tests).
+//
+// A single-threaded poll(2) event loop on a background thread owns every
+// connection. Each connection gets its *own* TaintHub session: shard workers
+// Clear() the hub between trials, and sessions keep one worker's reset from
+// wiping another's in-flight records. (A shared hub across workers would
+// also destroy per-trial determinism — hub clocks would interleave.)
+//
+// Robustness rules (ISSUE 7 satellite): a malformed frame, an oversized or
+// zero-length frame, a bad hello, or an out-queue overflow drops *that
+// connection only* — counted in stats().conn_errors and the
+// `hub_conn_errors` telemetry counter — and the server never aborts.
+//
+// Backpressure: responses queue in a bounded per-connection buffer
+// (Options::max_out_bytes). A client that stops reading while issuing
+// commands overflows the bound and is dropped; its untainted polls surface
+// at the worker as retry-exhausted `taint_lost`, the same path as the
+// HubFaultModel outage.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/tainthub.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace chaser::hub::remote {
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;  // peer EOF + error drops
+  std::uint64_t conn_errors = 0;          // protocol violations only
+  std::uint64_t commands = 0;             // frames dispatched after hello
+  std::uint64_t records_published = 0;    // across all batches and sessions
+};
+
+class HubServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; see port() after Start()
+    /// Fault model pre-installed in every new session (chaser_hubd
+    /// --hub-fault). Clients may override per-connection.
+    HubFaultModel default_fault;
+    /// Bound on one connection's queued-but-unsent response bytes.
+    std::size_t max_out_bytes = 2 * net::kMaxFramePayload;
+  };
+
+  explicit HubServer(Options options);
+  ~HubServer();
+
+  HubServer(const HubServer&) = delete;
+  HubServer& operator=(const HubServer&) = delete;
+
+  /// Bind, listen, and launch the event loop thread. Throws ConfigError if
+  /// the bind fails. Idempotent Stop() via destructor.
+  void Start();
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after Start(); resolves ephemeral binds).
+  std::uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    net::TcpSocket sock;
+    net::FrameDecoder decoder;
+    std::string out;        // queued response bytes not yet written
+    bool hello_done = false;
+    TaintHub session;       // per-connection hub state
+  };
+
+  void Loop();
+  /// Returns false if the connection must be dropped as a protocol error
+  /// (fills *why for the log).
+  bool HandleFrame(Connection& conn, const std::string& payload,
+                   std::string* why);
+  void FlushWrites(Connection& conn);
+  void NoteConnError(const std::string& why);
+
+  Options options_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace chaser::hub::remote

@@ -67,8 +67,8 @@ PollAttempt TaintHub::TryPoll(const MessageId& id, const RecvContext& ctx) {
   return {PollStatus::kHit, std::move(record)};
 }
 
-std::optional<MessageTaintRecord> TaintHub::Poll(const MessageId& id,
-                                                 const RecvContext& ctx) {
+std::optional<MessageTaintRecord> HubService::Poll(const MessageId& id,
+                                                   const RecvContext& ctx) {
   PollAttempt attempt = TryPoll(id, ctx);
   if (attempt.status != PollStatus::kHit) return std::nullopt;
   return std::move(attempt.record);

@@ -140,37 +140,83 @@ struct PollAttempt {
   std::optional<MessageTaintRecord> record;  // set only on kHit
 };
 
-class TaintHub {
+/// The hub operations the MPI hooks and campaign code actually consume,
+/// abstracted so the transport is invisible: TaintHub implements it
+/// in-process, hub::remote::RemoteTaintHub over a socket to a chaser_hubd
+/// server (possibly key-space-sharded across several). Everything above this
+/// interface — ChaserMpiHooks, ChaserMpi, the campaign drivers — is
+/// transport-agnostic.
+class HubService {
+ public:
+  virtual ~HubService() = default;
+
+  /// Sender side: register a tainted message's status.
+  virtual void Publish(MessageTaintRecord record) = 0;
+
+  /// One poll attempt distinguishing "definitively clean" (kMiss) from "hub
+  /// unavailable right now" (kUnavailable — outage, visibility lag, or a
+  /// transport that has not caught up). Receivers retry kUnavailable up to
+  /// fault_model().poll_retries.
+  virtual PollAttempt TryPoll(const MessageId& id,
+                              const RecvContext& ctx = {}) = 0;
+
+  /// Receiver gave up on `id` (deadline exhausted): evict any pending record
+  /// and account the lost taint.
+  virtual void AbandonPoll(const MessageId& id) = 0;
+
+  /// Install (or reset) the degradation model for subsequent trials.
+  virtual void SetFaultModel(const HubFaultModel& model) = 0;
+  /// The installed model (remote implementations cache it client-side so the
+  /// receiver hook's retry deadline needs no network round trip).
+  virtual const HubFaultModel& fault_model() const = 0;
+
+  /// Completed transfers in deterministic hub_seq order (ascending).
+  virtual std::vector<TransferLogEntry> transfer_log() const = 0;
+
+  /// Move the transfer log out (hub_seq order) and clear it, leaving stats
+  /// and pending records untouched.
+  virtual std::vector<TransferLogEntry> DrainTransferLog() = 0;
+
+  /// True if any tainted message has flowed src -> dest.
+  virtual bool SawTransfer(Rank src, Rank dest) const = 0;
+
+  /// Counter snapshot (remote implementations sum their shards').
+  virtual HubStats stats() const = 0;
+
+  /// Per-trial reset: evict pending records, restart the clock, drop tape,
+  /// transfer log, and stats.
+  virtual void Clear() = 0;
+
+  /// One-shot lookup by message identity: the record on a hit, nullopt on a
+  /// miss *or* an unavailable hub — callers that want to retry use TryPoll.
+  std::optional<MessageTaintRecord> Poll(const MessageId& id,
+                                         const RecvContext& ctx = {});
+};
+
+class TaintHub : public HubService {
  public:
   /// Sender side: register a tainted message's status. Clean messages are
   /// never published (the sender-side hook returns early). Under a fault
   /// model the publish may be silently lost (counted in stats).
-  void Publish(MessageTaintRecord record);
-
-  /// Receiver side: one-shot lookup by message identity. Returns the record
-  /// and removes it, or nullopt (message clean / never published). `ctx`
-  /// stamps the transfer-log entry with the receiver-side anchors. Under a
-  /// fault model an unavailable hub reads as a miss — callers that want to
-  /// retry must use TryPoll.
-  std::optional<MessageTaintRecord> Poll(const MessageId& id,
-                                         const RecvContext& ctx = {});
+  void Publish(MessageTaintRecord record) override;
 
   /// One poll attempt that distinguishes "definitively clean" (kMiss) from
   /// "hub unavailable right now" (kUnavailable, outage or visibility lag).
   /// The receiver hook retries kUnavailable up to the model's poll_retries.
-  PollAttempt TryPoll(const MessageId& id, const RecvContext& ctx = {});
+  PollAttempt TryPoll(const MessageId& id,
+                      const RecvContext& ctx = {}) override;
 
   /// Receiver gave up on `id` (deadline exhausted): drop any pending record
   /// so it cannot alias a later message, and account the lost taint. The
   /// taint_lost counter only grows when a record actually existed — abandons
   /// of genuinely clean messages are not taint loss.
-  void AbandonPoll(const MessageId& id);
+  void AbandonPoll(const MessageId& id) override;
 
   /// Install (or clear, with a default-constructed model) the degradation
   /// model. Takes effect immediately; the drop Rng reseeds now and on every
   /// Clear() so each campaign trial sees the same deterministic fault tape.
-  void SetFaultModel(const HubFaultModel& model);
-  const HubFaultModel& fault_model() const { return fault_model_; }
+  void SetFaultModel(const HubFaultModel& model) override;
+  const HubFaultModel& fault_model() const override { return fault_model_; }
 
   /// Hub operation clock (publishes + poll attempts since the last Clear).
   std::uint64_t clock() const { return clock_; }
@@ -181,20 +227,20 @@ class TaintHub {
   /// Completed transfers in deterministic hub_seq order (ascending). The
   /// entries are appended in that order, but callers that merged or filtered
   /// lists should re-sort through this accessor's contract.
-  std::vector<TransferLogEntry> transfer_log() const;
+  std::vector<TransferLogEntry> transfer_log() const override;
 
   /// Move the transfer log out (hub_seq order) and clear it, leaving stats
   /// and pending records untouched. The per-trial trace spool drains the log
   /// through this so records from one trial can never bleed into — or
   /// interleave with — the next trial's spool.
-  std::vector<TransferLogEntry> DrainTransferLog();
+  std::vector<TransferLogEntry> DrainTransferLog() override;
 
   /// True if any tainted message has flowed src -> dest.
-  bool SawTransfer(Rank src, Rank dest) const;
+  bool SawTransfer(Rank src, Rank dest) const override;
 
-  const HubStats& stats() const { return stats_; }
+  HubStats stats() const override { return stats_; }
 
-  void Clear();
+  void Clear() override;
 
  private:
   /// A published record plus the hub clock at which it becomes pollable.

@@ -1,0 +1,85 @@
+// Length-prefixed CRC-framed byte streams for the hub wire protocol.
+//
+// A frame on the wire is:
+//
+//     varint payload_len | payload bytes | CRC32-LE(payload)   (4 bytes)
+//
+// — the same shape as the trial journal's record frames (DESIGN.md §5.3),
+// with the same CRC (common/crc32.h), so a frame written by either subsystem
+// is checkable by the other's tooling. Unlike the journal, a torn frame on a
+// socket is not "end of valid prefix": the stream continues, so the decoder
+// distinguishes "need more bytes" (kNeedMore) from "this connection is
+// poisoned" (kError — bad varint, zero/oversized length, CRC mismatch).
+// Servers drop only the offending connection, never abort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chaser::net {
+
+/// Hard ceiling on a single frame's payload. Large enough for a batch of
+/// publish records with multi-megabyte masks, small enough that a garbage
+/// length prefix cannot make a peer allocate unbounded memory.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 22;  // 4 MiB
+
+// ---- varint (LEB128, unsigned) ---------------------------------------------
+
+void AppendVarint(std::string* out, std::uint64_t value);
+
+/// Zig-zag for signed values (tags/ranks on the wire).
+inline std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+enum class DecodeStatus : std::uint8_t {
+  kOk,        // value decoded, *pos advanced past it
+  kNeedMore,  // buffer ends mid-varint — feed more bytes and retry
+  kMalformed, // > 10 bytes of continuation: not a varint
+};
+
+/// Decode a varint from buf[*pos..). On kOk advances *pos; otherwise leaves
+/// it untouched so the caller can retry once more bytes arrive.
+DecodeStatus DecodeVarint(const char* buf, std::size_t size, std::size_t* pos,
+                          std::uint64_t* value);
+
+// ---- frame encode ----------------------------------------------------------
+
+/// Append one complete frame (length + payload + CRC) to `out`.
+void AppendFrame(std::string* out, const std::string& payload);
+
+// ---- incremental frame decode ----------------------------------------------
+
+/// Incremental decoder over a byte stream: Feed() socket reads in, call
+/// Next() until it stops returning kFrame. Keeps a single rolling buffer;
+/// consumed frames are compacted away lazily.
+class FrameDecoder {
+ public:
+  enum class Result : std::uint8_t {
+    kFrame,     // *payload holds the next frame's payload
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // stream poisoned (see error()); drop the connection
+  };
+
+  void Feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  Result Next(std::string* payload);
+
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (backpressure accounting).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  bool poisoned_ = false;
+};
+
+}  // namespace chaser::net

@@ -1,0 +1,85 @@
+// Thin RAII wrappers over POSIX TCP sockets — just enough for the hub wire
+// protocol: a blocking client socket and a listener the server's poll loop
+// accepts from. IPv4 only (campaign fleets are rack-local); no TLS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chaser::net {
+
+/// Owns one socket fd. Movable, not copyable; closes on destruction.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  ~TcpSocket();
+
+  /// Blocking connect to host:port. Throws common ConfigError on failure
+  /// (unknown host, refused, ...).
+  static TcpSocket Connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write all of data[0..n); throws ConfigError if the peer vanished.
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL) so a dead peer is an exception,
+  /// never a process kill.
+  void SendAll(const char* data, std::size_t n);
+
+  /// Blocking read of up to n bytes. Returns the byte count, 0 on orderly
+  /// EOF; throws ConfigError on a socket error.
+  std::size_t Recv(char* buf, std::size_t n);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket. Bind with port 0 for an ephemeral port, then port()
+/// reports the one the kernel picked (test servers, chaser_hubd --port 0).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Bind + listen on host:port (SO_REUSEADDR). Throws ConfigError.
+  static TcpListener Bind(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one pending connection; returns an owned fd, or -1 if none is
+  /// pending (nonblocking listener) or the accept failed transiently.
+  int Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Endpoint spec "host:port" (e.g. "127.0.0.1:7700"). Throws ConfigError on
+/// a missing/invalid port.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+Endpoint ParseEndpoint(const std::string& spec);
+
+/// Make fd nonblocking (server poll loop). Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+}  // namespace chaser::net

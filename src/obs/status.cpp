@@ -85,6 +85,12 @@ std::string StatusWriter::RenderLocked(bool running) const {
       static_cast<unsigned long long>(taint_lost_),
       static_cast<unsigned long long>(trace_dropped_), elapsed_s, rate,
       eta.c_str());
+  if (options_.shard_count > 1) {
+    out += StrFormat(
+        ", \"shard\": {\"index\": %llu, \"count\": %llu}",
+        static_cast<unsigned long long>(options_.shard_index),
+        static_cast<unsigned long long>(options_.shard_count));
+  }
   if (options_.cache_stats) {
     const CacheStatsSnapshot cs = options_.cache_stats();
     out += StrFormat(

@@ -78,6 +78,12 @@ class StatusWriter {
     /// happens). 0 = auto: ~100 rewrites over the campaign, at least 1.
     std::uint64_t every = 0;
     bool progress = false;     // one-line stderr meter
+    /// Shard-worker identity (chaser_run --shard i/N). When shard_count > 1
+    /// the JSON gains a "shard": {"index", "count"} block so a fleet rollup
+    /// can tell the per-worker files apart; the unsharded default emits
+    /// nothing and the JSON bytes stay as they always were.
+    std::uint64_t shard_index = 0;
+    std::uint64_t shard_count = 1;
     /// Optional cache-stats source polled at every rewrite.
     std::function<CacheStatsSnapshot()> cache_stats;
     /// Optional sampled-campaign estimates source polled at every rewrite

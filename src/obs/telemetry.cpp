@@ -38,6 +38,8 @@ void Telemetry::BeginCampaign(const std::string& app,
     so.total = total_trials;
     so.every = options_.status_every;
     so.progress = options_.progress;
+    so.shard_index = options_.shard_index;
+    so.shard_count = options_.shard_count;
     so.cache_stats = cache_stats_;
     so.estimates = estimates_;
     status_ = std::make_unique<StatusWriter>(std::move(so));

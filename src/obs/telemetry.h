@@ -42,6 +42,10 @@ struct TelemetryOptions {
   std::string metrics_path;  // non-empty: final metrics registry dump
   bool progress = false;     // stderr progress meter (needs status channel)
   std::uint64_t status_every = 0;  // trials per status rewrite; 0 = auto
+  /// Shard-worker identity forwarded into status.json (see
+  /// StatusWriter::Options); the 0/1 default changes nothing.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
 };
 
 /// Outcome-agnostic mirror of the RunRecord fields telemetry consumes

@@ -361,7 +361,7 @@ TEST(TrialIsolation, NoStatBleedAcrossConsecutiveTrials) {
   // accumulated across the intervening jobs.
   (void)c.RunOnce(propagating_seed);
   const hub::HubStats snapshot = c.chaser().hub().stats();
-  const std::size_t transfers = c.chaser().hub().transfers().size();
+  const std::size_t transfers = c.chaser().hub().transfer_log().size();
   EXPECT_GT(snapshot.publishes, 0u);
   for (std::uint64_t s = 200; s < 210; ++s) c.RunOnce(s);  // pollute
   (void)c.RunOnce(propagating_seed);
@@ -369,7 +369,7 @@ TEST(TrialIsolation, NoStatBleedAcrossConsecutiveTrials) {
   EXPECT_EQ(c.chaser().hub().stats().polls, snapshot.polls);
   EXPECT_EQ(c.chaser().hub().stats().hits, snapshot.hits);
   EXPECT_EQ(c.chaser().hub().stats().applied_bytes, snapshot.applied_bytes);
-  EXPECT_EQ(c.chaser().hub().transfers().size(), transfers);
+  EXPECT_EQ(c.chaser().hub().transfer_log().size(), transfers);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // chaser_analyze — offline propagation analysis over trial trace spools.
 //
 //   chaser_analyze summarize  <spool>            # counts, spread order, transfers
-//   chaser_analyze summarize  <records.csv>      # outcome rates + Wilson CIs
+//   chaser_analyze summarize  <records.csv>...   # outcome rates + Wilson CIs
+//                                                # (several CSVs merge)
 //   chaser_analyze timeline   <spool> [--csv]    # Fig. 7 tainted-bytes curve
 //   chaser_analyze graph-dot  <spool>            # Graphviz DOT of the graph
 //   chaser_analyze root-cause <spool> [--rank R --fd F --offset N]
@@ -43,8 +44,9 @@ void Usage() {
       "\n"
       "subcommands:\n"
       "  summarize    graph/transfer summary, first contamination, spread order;\n"
-      "               given a records CSV file instead of a spool dir: outcome\n"
-      "               rates with 95%% Wilson intervals (weight-aware)\n"
+      "               given records CSV file(s) instead of a spool dir: outcome\n"
+      "               rates with 95%% Wilson intervals (weight-aware); several\n"
+      "               CSVs — e.g. fleet shard outputs — merge into one estimate\n"
       "  timeline     tainted-bytes-over-time curve (Fig. 7)\n"
       "  graph-dot    propagation graph as Graphviz DOT\n"
       "  root-cause   walk a corrupted output byte back to the injection\n"
@@ -190,24 +192,32 @@ std::string TimelineText(const analysis::PropagationGraph& g, bool csv,
   return out;
 }
 
-/// Summarize a records CSV: outcome-rate estimates with Wilson intervals.
-/// The estimator is sample_weight-aware, so a CSV from a stratified campaign
-/// reports the same unbiased rates the campaign itself printed; uniform and
-/// weighted CSVs degenerate to plain proportions.
-std::string SummarizeRecordsCsv(const std::string& path, bool json) {
-  std::ifstream in(path);
-  if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
-  const std::vector<campaign::RunRecord> records =
-      campaign::ReadRecordsCsv(in);
-
+/// Summarize one or more records CSVs: outcome-rate estimates with Wilson
+/// intervals, merged across every file (per-shard CSVs from a fleet run
+/// estimate the whole campaign). The estimator is sample_weight-aware, so a
+/// CSV from a stratified campaign reports the same unbiased rates the
+/// campaign itself printed; uniform and weighted CSVs degenerate to plain
+/// proportions.
+std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
+                                bool json) {
   campaign::OutcomeEstimator est;
   std::uint64_t infra = 0;
-  for (const campaign::RunRecord& r : records) {
-    if (r.outcome == campaign::Outcome::kInfra) {
-      ++infra;
-      continue;
+  std::size_t total_records = 0;
+  std::vector<std::size_t> per_file;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
+    const std::vector<campaign::RunRecord> records =
+        campaign::ReadRecordsCsv(in);
+    per_file.push_back(records.size());
+    total_records += records.size();
+    for (const campaign::RunRecord& r : records) {
+      if (r.outcome == campaign::Outcome::kInfra) {
+        ++infra;
+        continue;
+      }
+      est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
     }
-    est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
   }
 
   struct Row {
@@ -222,9 +232,9 @@ std::string SummarizeRecordsCsv(const std::string& path, bool json) {
   };
   if (json) {
     std::string out = StrFormat(
-        "{\n  \"records\": %zu,\n  \"infra\": %llu,\n"
+        "{\n  \"files\": %zu,\n  \"records\": %zu,\n  \"infra\": %llu,\n"
         "  \"effective_n\": %.1f,\n  \"estimates\": {",
-        records.size(), static_cast<unsigned long long>(infra),
+        paths.size(), total_records, static_cast<unsigned long long>(infra),
         est.effective_n());
     bool first = true;
     for (const Row& row : rows) {
@@ -237,10 +247,20 @@ std::string SummarizeRecordsCsv(const std::string& path, bool json) {
     out += "\n  }\n}\n";
     return out;
   }
-  std::string out = StrFormat(
-      "records csv: %s\n  %zu records (%llu infra, excluded), "
+  std::string out;
+  if (paths.size() == 1) {
+    out = StrFormat("records csv: %s\n", paths[0].c_str());
+  } else {
+    out = StrFormat("records csv: %zu files\n", paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      out += StrFormat("    %s (%zu records)\n", paths[i].c_str(),
+                       per_file[i]);
+    }
+  }
+  out += StrFormat(
+      "  %zu records (%llu infra, excluded), "
       "effective n %.1f\n  outcome-rate estimates (95%% wilson):\n",
-      path.c_str(), records.size(), static_cast<unsigned long long>(infra),
+      total_records, static_cast<unsigned long long>(infra),
       est.effective_n());
   for (const Row& row : rows) {
     const campaign::WilsonInterval w = est.Interval(row.series);
@@ -275,6 +295,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     const std::string dir = argv[2];
     std::string trial, out_path;
+    std::vector<std::string> extra_csvs;
     bool csv = false, json = false;
     bool rank_given = false, fd_given = false, offset_given = false;
     std::uint64_t rank = 0, fd = 0, offset = 0;
@@ -301,12 +322,17 @@ int main(int argc, char** argv) {
       else if (a == "--json") json = true;
       else if (a == "--out") out_path = value("--out");
       else if (a == "--help" || a == "-h") { Usage(); return 0; }
+      else if (!a.empty() && a[0] != '-') extra_csvs.push_back(a);
       else throw ConfigError("unknown flag '" + a + "'");
     }
 
     // A regular file can only be a records CSV — spools are directories.
-    if (cmd == "summarize" && fs::is_regular_file(dir)) {
-      const std::string output = SummarizeRecordsCsv(dir, json);
+    // Extra positional files merge into one estimate (fleet shard CSVs).
+    if (cmd == "summarize" && (fs::is_regular_file(dir) || !extra_csvs.empty())) {
+      std::vector<std::string> paths;
+      paths.push_back(dir);
+      paths.insert(paths.end(), extra_csvs.begin(), extra_csvs.end());
+      const std::string output = SummarizeRecordsCsv(paths, json);
       if (out_path.empty()) {
         std::fputs(output.c_str(), stdout);
       } else {

@@ -1,0 +1,519 @@
+// chaser_fleet — sharded-campaign coordinator.
+//
+// `chaser_fleet run` splits one campaign across N `chaser_run --shard i/N`
+// worker processes (optionally publishing message taint through spawned
+// chaser_hubd servers), supervises them — a crashed shard is restarted and
+// resumes from its journal — rolls their status files up into
+// DIR/fleet-status.json, and finally merges the per-shard records into one
+// report byte-identical to an unsharded run of the same plan (see
+// campaign/fleet.h for the determinism argument).
+//
+//   chaser_fleet run --app matvec --runs 400 --seed 7 --shards 2
+//       --dir /tmp/fleet --spawn-hub 1
+//
+// `chaser_fleet merge` is the offline half: given the per-shard records
+// CSVs and the campaign plan, it re-derives the merged report without
+// running anything.
+//
+//   chaser_fleet merge --app matvec --runs 400 --seed 7
+//       --report /tmp/report.txt a.csv b.csv
+//
+// Hosts file: one line per shard. Only "local" (run the worker as a child
+// process) is supported today; the file format exists so a future transport
+// can slot in without changing the plan layout.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/campaign.h"
+#include "campaign/fleet.h"
+#include "campaign/report.h"
+#include "common/error.h"
+#include "common/fileio.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace chaser;
+
+void Usage() {
+  std::printf(
+      "usage: chaser_fleet run   --app APP --dir DIR [options]\n"
+      "       chaser_fleet merge --app APP --runs N --seed S [options] CSV...\n"
+      "\n"
+      "run options:\n"
+      "  --app NAME          campaign app (as chaser_run --app)\n"
+      "  --dir DIR           working directory for per-shard journals, CSVs,\n"
+      "                      logs, status files, and the merged outputs\n"
+      "  --runs N            total trials across all shards (default 200)\n"
+      "  --seed N            campaign seed (default 1)\n"
+      "  --shards K          worker count (default 2)\n"
+      "  --hosts FILE        one line per shard; each must be 'local'. Line\n"
+      "                      count overrides --shards\n"
+      "  --jobs N            worker threads per shard (default 1 = serial)\n"
+      "  --sample POLICY     sampling policy, forwarded to every worker\n"
+      "  --stop-ci W         early-stop interval width, applied at merge time\n"
+      "                      in global seed order (workers run their full\n"
+      "                      shard; see campaign/fleet.h)\n"
+      "  --worker BIN        chaser_run binary (default: sibling of this one)\n"
+      "  --hub H:P[,...]     existing chaser_hubd endpoint(s) for the workers\n"
+      "  --spawn-hub N       spawn N chaser_hubd processes on ephemeral ports\n"
+      "                      and point the workers at them (N>1 shards the\n"
+      "                      hub key space; use 1 when byte-identity with an\n"
+      "                      in-process run matters)\n"
+      "  --hubd BIN          chaser_hubd binary (default: sibling)\n"
+      "  --restarts N        max restarts per crashed shard (default 2); a\n"
+      "                      restarted shard resumes from its journal\n"
+      "\n"
+      "merge options:\n"
+      "  --runs/--seed/--sample/--stop-ci   the plan every shard ran\n"
+      "  --out FILE          write the merged records CSV\n"
+      "  --report FILE       write the merged report (also printed)\n");
+}
+
+std::string ArgStr(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) throw ConfigError(std::string("missing value for ") + flag);
+  return argv[++i];
+}
+
+std::uint64_t ArgNum(int argc, char** argv, int& i, const char* flag) {
+  std::uint64_t v = 0;
+  if (!ParseU64(ArgStr(argc, argv, i, flag), &v)) {
+    throw ConfigError(std::string("bad number for ") + flag);
+  }
+  return v;
+}
+
+/// Resolve a tool that ships next to this one: "<dir of argv0>/<name>", or
+/// bare `name` (PATH lookup in execvp) when argv0 has no directory part.
+std::string SiblingBinary(const char* argv0, const std::string& name) {
+  const std::string self = argv0;
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return name;
+  return self.substr(0, slash + 1) + name;
+}
+
+/// fork+execvp with stdout/stderr appended to `log_path`. Returns the pid.
+pid_t SpawnLogged(const std::vector<std::string>& args,
+                  const std::string& log_path) {
+  const pid_t pid = fork();
+  if (pid < 0) throw ConfigError(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    const int fd =
+        open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) close(fd);
+    }
+    std::vector<char*> cargs;
+    cargs.reserve(args.size() + 1);
+    for (const std::string& a : args) cargs.push_back(const_cast<char*>(a.c_str()));
+    cargs.push_back(nullptr);
+    execvp(cargs[0], cargs.data());
+    std::fprintf(stderr, "chaser_fleet: exec %s: %s\n", cargs[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+struct HubProc {
+  pid_t pid = -1;
+  std::string endpoint;
+};
+
+/// Spawn a chaser_hubd on an ephemeral port and read the bound endpoint
+/// from its first stdout line ("chaser_hubd: listening on H:P").
+HubProc SpawnHub(const std::string& hubd_bin) {
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    throw ConfigError(std::string("pipe: ") + std::strerror(errno));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) throw ConfigError(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    close(pipefd[0]);
+    dup2(pipefd[1], STDOUT_FILENO);
+    if (pipefd[1] > STDERR_FILENO) close(pipefd[1]);
+    execlp(hubd_bin.c_str(), hubd_bin.c_str(), "--port", "0",
+           static_cast<char*>(nullptr));
+    std::fprintf(stderr, "chaser_fleet: exec %s: %s\n", hubd_bin.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  close(pipefd[1]);
+  // Read up to the first newline; the daemon flushes it right after binding.
+  std::string line;
+  char c;
+  while (read(pipefd[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+  close(pipefd[0]);
+  const std::string prefix = "chaser_hubd: listening on ";
+  if (line.rfind(prefix, 0) != 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    throw ConfigError("chaser_fleet: unexpected chaser_hubd banner: '" + line +
+                      "'");
+  }
+  return HubProc{pid, line.substr(prefix.size())};
+}
+
+std::vector<campaign::RunRecord> ReadRecordsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
+  return campaign::ReadRecordsCsv(in);
+}
+
+/// Merge shard records, render, and write the merged artifacts.
+campaign::CampaignResult MergeAndWrite(const campaign::MergePlan& plan,
+                                       const std::vector<std::string>& csvs,
+                                       const std::string& out_path,
+                                       const std::string& report_path) {
+  std::vector<campaign::RunRecord> all;
+  for (const std::string& path : csvs) {
+    std::vector<campaign::RunRecord> recs = ReadRecordsFile(path);
+    all.insert(all.end(), recs.begin(), recs.end());
+  }
+  campaign::CampaignResult result = campaign::MergeShardRecords(plan, all);
+  if (!out_path.empty()) {
+    std::ostringstream csv;
+    campaign::WriteRecordsCsv(result.records, csv, plan.sample_policy);
+    WriteFileAtomic(out_path, csv.str());
+    std::printf("wrote %zu merged records to %s\n", result.records.size(),
+                out_path.c_str());
+  }
+  const std::string report = result.Render(plan.app);
+  if (!report_path.empty()) {
+    WriteFileAtomic(report_path, report);
+    std::printf("wrote report to %s\n", report_path.c_str());
+  }
+  std::printf("%s", report.c_str());
+  return result;
+}
+
+/// Roll every shard's status.json up into one fleet-status.json. Each shard
+/// file is itself one complete JSON object (StatusWriter writes atomically),
+/// so embedding it verbatim keeps the rollup valid JSON.
+void WriteFleetStatus(const std::string& dir, std::uint64_t shards,
+                      const std::vector<int>& states,
+                      const std::vector<unsigned>& restarts) {
+  std::string out = "{\"shards\": [";
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    if (i > 0) out += ", ";
+    const char* state = states[i] == 0   ? "running"
+                        : states[i] == 1 ? "done"
+                                         : "failed";
+    out += StrFormat("{\"shard\": %llu, \"state\": \"%s\", \"restarts\": %u",
+                     static_cast<unsigned long long>(i), state, restarts[i]);
+    std::ifstream in(dir + "/shard-" + std::to_string(i) + ".status.json");
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      std::string body = ss.str();
+      while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+        body.pop_back();
+      }
+      if (!body.empty()) out += ", \"status\": " + body;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  WriteFileAtomic(dir + "/fleet-status.json", out);
+}
+
+int RunFleet(int argc, char** argv) {
+  std::string app, dir, worker_bin, hubd_bin, hosts_file;
+  std::vector<std::string> hub_endpoints;
+  campaign::MergePlan plan;
+  plan.runs = 200;
+  plan.seed = 1;
+  std::uint64_t shards = 2;
+  std::uint64_t jobs = 1;
+  std::uint64_t spawn_hubs = 0;
+  std::uint64_t max_restarts = 2;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--app") {
+      app = ArgStr(argc, argv, i, "--app");
+    } else if (a == "--dir") {
+      dir = ArgStr(argc, argv, i, "--dir");
+    } else if (a == "--runs") {
+      plan.runs = ArgNum(argc, argv, i, "--runs");
+    } else if (a == "--seed") {
+      plan.seed = ArgNum(argc, argv, i, "--seed");
+    } else if (a == "--shards") {
+      shards = ArgNum(argc, argv, i, "--shards");
+    } else if (a == "--hosts") {
+      hosts_file = ArgStr(argc, argv, i, "--hosts");
+    } else if (a == "--jobs") {
+      jobs = ArgNum(argc, argv, i, "--jobs");
+    } else if (a == "--sample") {
+      const std::string policy = ArgStr(argc, argv, i, "--sample");
+      if (!campaign::ParseSamplePolicy(policy, &plan.sample_policy)) {
+        throw ConfigError("bad --sample policy '" + policy + "'");
+      }
+    } else if (a == "--stop-ci") {
+      char* end = nullptr;
+      const std::string val = ArgStr(argc, argv, i, "--stop-ci");
+      plan.stop_ci = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || plan.stop_ci <= 0.0 ||
+          plan.stop_ci >= 1.0) {
+        throw ConfigError("--stop-ci expects an interval width in (0,1)");
+      }
+    } else if (a == "--worker") {
+      worker_bin = ArgStr(argc, argv, i, "--worker");
+    } else if (a == "--hubd") {
+      hubd_bin = ArgStr(argc, argv, i, "--hubd");
+    } else if (a == "--hub") {
+      for (const std::string& ep : Split(ArgStr(argc, argv, i, "--hub"), ',')) {
+        if (!ep.empty()) hub_endpoints.push_back(ep);
+      }
+    } else if (a == "--spawn-hub") {
+      spawn_hubs = ArgNum(argc, argv, i, "--spawn-hub");
+    } else if (a == "--restarts") {
+      max_restarts = ArgNum(argc, argv, i, "--restarts");
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else {
+      throw ConfigError("unknown flag '" + a + "'");
+    }
+  }
+  if (app.empty() || dir.empty()) {
+    Usage();
+    return 2;
+  }
+  if (!hosts_file.empty()) {
+    std::ifstream in(hosts_file);
+    if (!in) throw ConfigError("cannot open hosts file '" + hosts_file + "'");
+    std::uint64_t count = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      if (line != "local") {
+        throw ConfigError("hosts file: only 'local' shards are supported, "
+                          "got '" + line + "'");
+      }
+      ++count;
+    }
+    if (count == 0) throw ConfigError("hosts file lists no shards");
+    shards = count;
+  }
+  if (shards == 0) throw ConfigError("--shards must be > 0");
+  if (!hub_endpoints.empty() && spawn_hubs > 0) {
+    throw ConfigError("--hub and --spawn-hub are mutually exclusive");
+  }
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw ConfigError("cannot create --dir '" + dir + "': " +
+                      std::strerror(errno));
+  }
+  if (worker_bin.empty()) worker_bin = SiblingBinary(argv[0], "chaser_run");
+  if (hubd_bin.empty()) hubd_bin = SiblingBinary(argv[0], "chaser_hubd");
+
+  std::vector<HubProc> hubs;
+  for (std::uint64_t h = 0; h < spawn_hubs; ++h) {
+    hubs.push_back(SpawnHub(hubd_bin));
+    hub_endpoints.push_back(hubs.back().endpoint);
+    std::printf("chaser_fleet: hub %llu at %s\n",
+                static_cast<unsigned long long>(h),
+                hubs.back().endpoint.c_str());
+  }
+  const auto stop_hubs = [&hubs] {
+    for (HubProc& h : hubs) {
+      if (h.pid > 0) {
+        kill(h.pid, SIGTERM);
+        waitpid(h.pid, nullptr, 0);
+        h.pid = -1;
+      }
+    }
+  };
+
+  std::string hub_arg;
+  for (const std::string& ep : hub_endpoints) {
+    if (!hub_arg.empty()) hub_arg += ',';
+    hub_arg += ep;
+  }
+
+  const auto worker_args = [&](std::uint64_t i) {
+    const std::string base = dir + "/shard-" + std::to_string(i);
+    std::vector<std::string> args = {
+        worker_bin,
+        "--app", app,
+        "--runs", std::to_string(plan.runs),
+        "--seed", std::to_string(plan.seed),
+        "--shard", std::to_string(i) + "/" + std::to_string(shards),
+        "--jobs", std::to_string(jobs),
+        "--resume", base + ".journal",
+        "--out", base + ".csv",
+        "--status", base + ".status.json",
+        "--report", base + ".report",
+    };
+    if (plan.sample_policy != campaign::SamplePolicy::kUniform) {
+      args.push_back("--sample");
+      args.push_back(campaign::SamplePolicyName(plan.sample_policy));
+    }
+    if (!hub_arg.empty()) {
+      args.push_back("--hub");
+      args.push_back(hub_arg);
+    }
+    return args;
+  };
+
+  std::printf("chaser_fleet: %s, %llu runs, seed %llu, %llu shards%s\n",
+              app.c_str(), static_cast<unsigned long long>(plan.runs),
+              static_cast<unsigned long long>(plan.seed),
+              static_cast<unsigned long long>(shards),
+              hub_arg.empty() ? "" : (", hub " + hub_arg).c_str());
+
+  // states: 0 running, 1 done, 2 failed.
+  std::vector<int> states(shards, 0);
+  std::vector<unsigned> restarts(shards, 0);
+  std::map<pid_t, std::uint64_t> shard_of;
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    const pid_t pid = SpawnLogged(worker_args(i),
+                                  dir + "/shard-" + std::to_string(i) + ".log");
+    shard_of[pid] = i;
+  }
+  WriteFleetStatus(dir, shards, states, restarts);
+
+  bool failed = false;
+  while (!shard_of.empty()) {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, WNOHANG);
+    if (pid == 0) {
+      WriteFleetStatus(dir, shards, states, restarts);
+      usleep(200 * 1000);
+      continue;
+    }
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      throw ConfigError(std::string("waitpid: ") + std::strerror(errno));
+    }
+    const auto it = shard_of.find(pid);
+    if (it == shard_of.end()) continue;  // a hub or unrelated child
+    const std::uint64_t i = it->second;
+    shard_of.erase(it);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      states[i] = 1;
+      std::printf("chaser_fleet: shard %llu done\n",
+                  static_cast<unsigned long long>(i));
+    } else if (restarts[i] < max_restarts) {
+      ++restarts[i];
+      std::printf("chaser_fleet: shard %llu exited abnormally (status %d), "
+                  "restart %u/%llu — resuming from its journal\n",
+                  static_cast<unsigned long long>(i), status, restarts[i],
+                  static_cast<unsigned long long>(max_restarts));
+      const pid_t npid = SpawnLogged(
+          worker_args(i), dir + "/shard-" + std::to_string(i) + ".log");
+      shard_of[npid] = i;
+    } else {
+      states[i] = 2;
+      failed = true;
+      std::fprintf(stderr,
+                   "chaser_fleet: shard %llu failed after %u restarts (see "
+                   "%s/shard-%llu.log)\n",
+                   static_cast<unsigned long long>(i), restarts[i], dir.c_str(),
+                   static_cast<unsigned long long>(i));
+    }
+    WriteFleetStatus(dir, shards, states, restarts);
+  }
+  stop_hubs();
+  if (failed) return 1;
+
+  plan.app = app;
+  std::vector<std::string> csvs;
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    csvs.push_back(dir + "/shard-" + std::to_string(i) + ".csv");
+  }
+  MergeAndWrite(plan, csvs, dir + "/merged.csv", dir + "/report.txt");
+  return 0;
+}
+
+int RunMerge(int argc, char** argv) {
+  campaign::MergePlan plan;
+  plan.runs = 200;
+  plan.seed = 1;
+  std::string out_path, report_path;
+  std::vector<std::string> csvs;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--app") {
+      plan.app = ArgStr(argc, argv, i, "--app");
+    } else if (a == "--runs") {
+      plan.runs = ArgNum(argc, argv, i, "--runs");
+    } else if (a == "--seed") {
+      plan.seed = ArgNum(argc, argv, i, "--seed");
+    } else if (a == "--sample") {
+      const std::string policy = ArgStr(argc, argv, i, "--sample");
+      if (!campaign::ParseSamplePolicy(policy, &plan.sample_policy)) {
+        throw ConfigError("bad --sample policy '" + policy + "'");
+      }
+    } else if (a == "--stop-ci") {
+      char* end = nullptr;
+      const std::string val = ArgStr(argc, argv, i, "--stop-ci");
+      plan.stop_ci = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || plan.stop_ci <= 0.0 ||
+          plan.stop_ci >= 1.0) {
+        throw ConfigError("--stop-ci expects an interval width in (0,1)");
+      }
+    } else if (a == "--out") {
+      out_path = ArgStr(argc, argv, i, "--out");
+    } else if (a == "--report") {
+      report_path = ArgStr(argc, argv, i, "--report");
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      throw ConfigError("unknown flag '" + a + "'");
+    } else {
+      csvs.push_back(a);
+    }
+  }
+  if (plan.app.empty() || csvs.empty()) {
+    Usage();
+    return 2;
+  }
+  MergeAndWrite(plan, csvs, out_path, report_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      Usage();
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "run") return RunFleet(argc, argv);
+    if (cmd == "merge") return RunMerge(argc, argv);
+    if (cmd == "--help" || cmd == "-h") {
+      Usage();
+      return 0;
+    }
+    throw ConfigError("unknown subcommand '" + cmd + "' (run|merge)");
+  } catch (const ChaserError& e) {
+    std::fprintf(stderr, "chaser_fleet: %s\n", e.what());
+    return 2;
+  }
+}

@@ -23,11 +23,13 @@
 
 #include "apps/app.h"
 #include "campaign/campaign.h"
+#include "campaign/fleet.h"
 #include "campaign/parallel.h"
 #include "campaign/report.h"
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "hub/remote/protocol.h"
 #include "obs/telemetry.h"
 #include "tcg/shared_cache.h"
 
@@ -90,6 +92,19 @@ void Usage() {
       "                      for operation clocks A..B), retries=N (receiver\n"
       "                      poll deadline), seed=N (drop-tape seed)\n"
       "\n"
+      "fleet (see tools/chaser_fleet and chaser_hubd):\n"
+      "  --shard I/N         run only global trials i with i %% N == I (seed\n"
+      "                      order is preserved, so the N shards partition the\n"
+      "                      campaign exactly); --stop-ci is deferred to the\n"
+      "                      merge step, since the stop prefix is defined in\n"
+      "                      global seed order. A --resume journal records the\n"
+      "                      shard spec and refuses to resume a different one\n"
+      "  --hub H:P[,H:P...]  publish/poll message taint through remote\n"
+      "                      chaser_hubd server(s) instead of the in-process\n"
+      "                      hub; >1 endpoint shards the key space\n"
+      "  --report FILE       atomically write the rendered campaign report to\n"
+      "                      FILE (the same text printed to stdout)\n"
+      "\n"
       "observability (reports/CSVs/spools are byte-identical with these on or\n"
       "off — telemetry only observes):\n"
       "  --trace-out FILE    write a Chrome trace-event JSON (one tid per\n"
@@ -124,51 +139,6 @@ std::uint64_t ArgNum(int argc, char** argv, int& i, const char* flag) {
   return v;
 }
 
-/// Parse `--hub-fault drop=0.1,delay=2,outage=100-400,retries=3,seed=9`.
-/// Keys may appear in any order; unspecified ones keep their defaults.
-hub::HubFaultModel ParseHubFault(const std::string& spec) {
-  hub::HubFaultModel model;
-  for (const std::string& kv : Split(spec, ',')) {
-    const auto eq = kv.find('=');
-    if (eq == std::string::npos) {
-      throw ConfigError("--hub-fault: expected k=v, got '" + kv + "'");
-    }
-    const std::string key = kv.substr(0, eq);
-    const std::string val = kv.substr(eq + 1);
-    std::uint64_t n = 0;
-    if (key == "drop") {
-      char* end = nullptr;
-      const double p = std::strtod(val.c_str(), &end);
-      if (end == val.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
-        throw ConfigError("--hub-fault: drop expects a probability in [0,1]");
-      }
-      model.publish_drop_prob = p;
-    } else if (key == "delay") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad delay value");
-      model.visibility_delay = n;
-    } else if (key == "outage") {
-      const std::vector<std::string> parts = Split(val, '-');
-      std::uint64_t a = 0, b = 0;
-      if (parts.size() != 2 || !ParseU64(parts[0], &a) ||
-          !ParseU64(parts[1], &b) || b < a) {
-        throw ConfigError(
-            "--hub-fault: outage expects A-B (down for clocks [A,B))");
-      }
-      model.outage_start = a;
-      model.outage_end = b;
-    } else if (key == "retries") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad retries value");
-      model.poll_retries = n;
-    } else if (key == "seed") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad seed value");
-      model.seed = n;
-    } else {
-      throw ConfigError("--hub-fault: unknown key '" + key + "'");
-    }
-  }
-  return model;
-}
-
 /// Aggregate cache effectiveness across the whole campaign; printed while
 /// the owning driver is still alive (the cache dies with it).
 void PrintSharedCacheStats(const tcg::SharedTbCache* cache) {
@@ -191,6 +161,7 @@ int main(int argc, char** argv) {
   config.runs = 200;
   config.seed = 1;
   std::string out_path;
+  std::string report_path;
   bool inject_ranks_given = false;
   std::uint64_t jobs = 0;  // 0 = hardware concurrency
   bool jobs_given = false;
@@ -274,7 +245,23 @@ int main(int argc, char** argv) {
             static_cast<unsigned>(ArgNum(argc, argv, i, "--trial-retries"));
       } else if (a == "--hub-fault") {
         if (i + 1 >= argc) throw ConfigError("missing value for --hub-fault");
-        config.hub_fault = ParseHubFault(argv[++i]);
+        config.hub_fault = hub::remote::ParseHubFaultSpec(argv[++i]);
+      } else if (a == "--shard") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --shard");
+        const campaign::ShardSpec shard = campaign::ParseShardSpec(argv[++i]);
+        config.shard_index = shard.index;
+        config.shard_count = shard.count;
+      } else if (a == "--hub") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --hub");
+        for (const std::string& ep : Split(argv[++i], ',')) {
+          if (!ep.empty()) config.hub_endpoints.push_back(ep);
+        }
+        if (config.hub_endpoints.empty()) {
+          throw ConfigError("--hub: expected HOST:PORT[,HOST:PORT...]");
+        }
+      } else if (a == "--report") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --report");
+        report_path = argv[++i];
       } else if (a == "--spool") {
         if (i + 1 >= argc) throw ConfigError("missing value for --spool");
         config.spool_dir = argv[++i];
@@ -310,6 +297,13 @@ int main(int argc, char** argv) {
     if (!inject_ranks_given && app_name == "clamr") {
       for (Rank r = 0; r < spec.num_ranks; ++r) config.inject_ranks.insert(r);
     }
+    obs_options.shard_index = config.shard_index;
+    obs_options.shard_count = config.shard_count;
+    if (config.shard_count > 1 && config.stop_ci > 0.0) {
+      std::fprintf(stderr,
+                   "chaser_run: note: --stop-ci is deferred in shard workers; "
+                   "the stop rule is applied at merge time (chaser_fleet)\n");
+    }
 
     // Telemetry is armed only when an obs flag asked for it; with none, the
     // campaign runs with config.telemetry == nullptr and the instrumentation
@@ -332,6 +326,19 @@ int main(int argc, char** argv) {
                 app_name.c_str(), static_cast<unsigned long long>(config.runs),
                 static_cast<unsigned long long>(config.seed), config.flip_bits_min,
                 config.flip_bits_max, spec.num_ranks, config.trace ? "on" : "off");
+    if (config.shard_count > 1) {
+      std::printf("shard: %llu/%llu (%zu of %llu trials)\n",
+                  static_cast<unsigned long long>(config.shard_index),
+                  static_cast<unsigned long long>(config.shard_count),
+                  campaign::ShardTrialIndices(
+                      config.runs, {config.shard_index, config.shard_count})
+                      .size(),
+                  static_cast<unsigned long long>(config.runs));
+    }
+    if (!config.hub_endpoints.empty()) {
+      std::printf("hub: remote (%zu endpoint%s)\n", config.hub_endpoints.size(),
+                  config.hub_endpoints.size() == 1 ? "" : "s");
+    }
 
     const auto print_golden = [](std::uint64_t instructions,
                                  const std::set<Rank>& ranks,
@@ -395,6 +402,10 @@ int main(int argc, char** argv) {
           stats.pct_more_reads_than_writes);
     }
 
+    if (!report_path.empty()) {
+      WriteFileAtomic(report_path, result.Render(app_name));
+      std::printf("wrote report to %s\n", report_path.c_str());
+    }
     if (!out_path.empty()) {
       // Atomic: a crash mid-write must never leave a half-written CSV where
       // a previous complete report used to be.
