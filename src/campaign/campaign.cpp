@@ -38,6 +38,7 @@ const char* OutcomeName(Outcome o) {
     case Outcome::kTerminated: return "terminated";
     case Outcome::kSdc: return "sdc";
     case Outcome::kInfra: return "infra";
+    case Outcome::kCrashed: return "crashed";
   }
   return "?";
 }
@@ -52,6 +53,12 @@ std::string CampaignResult::Render(const std::string& label) const {
       static_cast<unsigned long long>(benign), Pct(benign),
       static_cast<unsigned long long>(terminated), Pct(terminated),
       static_cast<unsigned long long>(sdc), Pct(sdc));
+  if (crashed > 0) {
+    out += StrFormat(
+        "  crashed     %6llu (%5.2f%%) — injected rank killed outright "
+        "(system-level fault, not a harness failure)\n",
+        static_cast<unsigned long long>(crashed), Pct(crashed));
+  }
   if (infra > 0) {
     out += StrFormat(
         "  infra       %6llu (%5.2f%%) — harness failures quarantined after "
@@ -141,6 +148,7 @@ void CampaignResult::Accumulate(const RunRecord& rec, bool keep_record) {
     case Outcome::kBenign: ++benign; break;
     case Outcome::kSdc: ++sdc; break;
     case Outcome::kInfra: ++infra; break;
+    case Outcome::kCrashed: ++crashed; break;
     case Outcome::kTerminated: {
       ++terminated;
       // A fired program-level checker is a *detection* no matter which rank
@@ -355,9 +363,29 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
   cmd.target_program = spec_.program.name;
   cmd.target_classes = spec_.fault_classes;
   cmd.trigger = std::move(trigger);
-  cmd.injector = core::ProbabilisticInjector::Create(rec.flip_bits);
+  // The default spec constructs the probabilistic injector directly — not
+  // through the registry — so the default path is provably unchanged; any
+  // other spec resolves through the registry and stamps the record (which
+  // upgrades the records CSV to v6 and adds spool meta keys).
+  if (config_.injector.IsDefault()) {
+    cmd.injector = core::ProbabilisticInjector::Create(rec.flip_bits);
+  } else {
+    const core::InjectorRegistry& registry = core::InjectorRegistry::Global();
+    cmd.injector = registry.Create(config_.injector, rec.flip_bits);
+    rec.injector = config_.injector.name;
+    rec.fault_class = registry.Find(config_.injector.name)->fault_class;
+  }
   cmd.trace = config_.trace;
   cmd.seed = run_rng.Fork();
+  // Trial-window hub faults: install the degradation model for this trial
+  // only, seeded by a fork drawn *after* cmd.seed — the default path never
+  // reaches this draw, so its historical sequence is untouched.
+  const bool hub_trigger = config_.hub_fault_trigger.has_value();
+  if (hub_trigger) {
+    hub::HubFaultModel model = *config_.hub_fault_trigger;
+    model.seed = run_rng.Fork();
+    chaser_->hub().SetFaultModel(model);
+  }
   chaser_->Arm(cmd, {rec.inject_rank});
 
   // With a spool directory configured, tee every rank's trace into a
@@ -381,9 +409,11 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
     }();
     Classify(job, &rec);
   } catch (...) {
+    if (hub_trigger) chaser_->hub().SetFaultModel(config_.hub_fault);
     if (spool != nullptr) DetachSpool();
     throw;
   }
+  if (hub_trigger) chaser_->hub().SetFaultModel(config_.hub_fault);
   if (spool != nullptr) {
     for (Rank r = 0; r < spec_.num_ranks; ++r) {
       for (const core::TaintSample& s : chaser_->rank_chaser(r).taint_timeline()) {
@@ -400,6 +430,12 @@ RunRecord TrialEngine::RunTrial(std::uint64_t run_seed) {
     spool->SetMeta("inject_rank", std::to_string(rec.inject_rank));
     spool->SetMeta("trigger_nth", std::to_string(rec.trigger_nth));
     spool->SetMeta("flip_bits", std::to_string(rec.flip_bits));
+    // Injector keys only with a non-default injector: a default campaign's
+    // spool stays byte-identical to pre-registry builds.
+    if (!config_.injector.IsDefault()) {
+      spool->SetMeta("injector", rec.injector);
+      spool->SetMeta("fault_class", rec.fault_class);
+    }
     // Sampling keys only on sampled campaigns: a uniform campaign's spool
     // stays byte-identical to pre-sampling builds.
     if (config_.sample_policy != SamplePolicy::kUniform) {
@@ -460,7 +496,13 @@ void TrialEngine::Classify(const mpi::JobResult& job, RunRecord* rec) {
     rec->kind = vm::TerminationKind::kExited;
     return;
   }
-  rec->outcome = Outcome::kTerminated;
+  // An injected rank crash (GuestSignal::kCrash) is its own outcome: the
+  // process was killed outright by the fault model, not terminated by a
+  // corrupted computation, and must not pollute the terminated series.
+  rec->outcome = job.first_failure_kind == vm::TerminationKind::kSignaled &&
+                         job.first_failure_signal == vm::GuestSignal::kCrash
+                     ? Outcome::kCrashed
+                     : Outcome::kTerminated;
   rec->kind = job.first_failure_kind;
   rec->signal = job.first_failure_signal;
   rec->failure_rank = job.first_failure_rank;

@@ -28,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "campaign/sampling.h"
 #include "common/rng.h"
 #include "core/chaser_mpi.h"
+#include "core/injectors/registry.h"
 #include "hub/tainthub.h"
 #include "mpi/cluster.h"
 #include "tcg/shared_cache.h"
@@ -50,7 +52,12 @@ namespace chaser::campaign {
 /// kInfra is not a fault-injection outcome at all: it marks a trial whose
 /// *harness* failed (an exception escaped the engine) even after the retry
 /// budget, and which was quarantined instead of aborting the campaign.
-enum class Outcome : std::uint8_t { kBenign, kTerminated, kSdc, kInfra };
+/// kCrashed is an *injection* outcome: the injected fault killed its guest
+/// rank outright (GuestSignal::kCrash, the rank-crash injector) — a real
+/// system-level fault result, unlike kInfra, and distinct from kTerminated
+/// where the guest OS/runtime/checker detected the fault.
+enum class Outcome : std::uint8_t { kBenign, kTerminated, kSdc, kInfra,
+                                    kCrashed };
 
 const char* OutcomeName(Outcome o);
 
@@ -99,6 +106,11 @@ struct RunRecord {
   unsigned retries = 0;
   /// kInfra only: what() of the last exception that escaped the engine.
   std::string infra_error;
+  /// Non-default-injector campaigns only (empty strings on the legacy
+  /// path): the registry name of the armed injector and its fault class.
+  /// Their presence switches the records CSV to v6.
+  std::string injector;
+  std::string fault_class;
 };
 
 /// Map a RunRecord onto the obs layer's neutral mirror (obs cannot see
@@ -149,6 +161,17 @@ struct CampaignConfig {
   /// Degradation model installed into every trial's TaintHub (outages,
   /// publish drops, visibility lag, poll-retry deadline).
   hub::HubFaultModel hub_fault;
+  /// Injector family for every trial (core/injectors/registry.h). The
+  /// default (empty name) is the legacy probabilistic bit-flip path, byte-
+  /// identical to pre-registry builds; any named spec is built fresh per
+  /// trial from the registry after the trial's RNG draws.
+  core::InjectorSpec injector;
+  /// Per-trial hub fault arming (`--hub-fault-trigger`): when set, the model
+  /// is installed only inside each trial window — the golden run and any
+  /// non-trial execution stay clean, unlike the ambient `hub_fault` — with a
+  /// per-trial seed forked from the trial RNG, making network-partition
+  /// campaigns samplable and resume-safe like any other fault space.
+  std::optional<hub::HubFaultModel> hub_fault_trigger;
   /// Shard-worker identity: this process runs only trial indices i with
   /// i % shard_count == shard_index (seed-order partition of the trial
   /// space). The default 0/1 is the unsharded single-process campaign and
@@ -216,6 +239,9 @@ struct CampaignResult {
   /// never mistaken for complete ones).
   std::uint64_t trace_dropped = 0;
 
+  /// Trials whose injected fault killed the guest rank (Outcome::kCrashed;
+  /// rank-crash injector). Zero on every default-injector campaign.
+  std::uint64_t crashed = 0;
   /// Trials quarantined after exhausting the retry budget (Outcome::kInfra).
   std::uint64_t infra = 0;
   /// Messages whose taint shadow the degraded hub lost, summed over trials.

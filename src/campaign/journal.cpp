@@ -79,10 +79,28 @@ std::optional<RunRecord> DecodeJournalRecord(const std::string& payload,
     r.inject_class = static_cast<guest::InstrClass>(cls);
     std::memcpy(&r.sample_weight, &weight_bits, sizeof(r.sample_weight));
   }
+  // v5 appended the injector identity; older records replay as default-
+  // injector trials (both strings empty).
+  if (version >= 5) {
+    std::uint64_t len = 0;
+    if (!u64(&len) || len > payload.size() - pos) return std::nullopt;
+    r.injector = payload.substr(pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    if (!u64(&len) || len > payload.size() - pos) return std::nullopt;
+    r.fault_class = payload.substr(pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+  }
   if (!u64(&error_len)) return std::nullopt;
-  if (outcome > static_cast<std::uint64_t>(Outcome::kInfra) ||
+  // Validation bounds are version-conditional: the kCrashed outcome and
+  // kCrash signal only exist from v5 on, so their values in an older file
+  // can only be corruption.
+  const std::uint64_t max_outcome = static_cast<std::uint64_t>(
+      version >= 5 ? Outcome::kCrashed : Outcome::kInfra);
+  const std::uint64_t max_signal = static_cast<std::uint64_t>(
+      version >= 5 ? vm::GuestSignal::kCrash : vm::GuestSignal::kKill);
+  if (outcome > max_outcome ||
       kind > static_cast<std::uint64_t>(vm::TerminationKind::kMpiError) ||
-      signal > static_cast<std::uint64_t>(vm::GuestSignal::kKill)) {
+      signal > max_signal) {
     return std::nullopt;
   }
   if (error_len != payload.size() - pos) return std::nullopt;
@@ -137,6 +155,12 @@ std::string EncodeJournalRecord(const RunRecord& rec, std::uint64_t version) {
     std::uint64_t weight_bits = 0;
     std::memcpy(&weight_bits, &rec.sample_weight, sizeof(weight_bits));
     AppendVarint(&payload, weight_bits);
+  }
+  if (version >= 5) {
+    AppendVarint(&payload, rec.injector.size());
+    payload.append(rec.injector);
+    AppendVarint(&payload, rec.fault_class.size());
+    payload.append(rec.fault_class);
   }
   AppendVarint(&payload, rec.infra_error.size());
   payload.append(rec.infra_error);

@@ -21,7 +21,11 @@
 // string. v4 keeps the v3 record layout and extends only the *header* with
 // the writer's shard spec (shard_index, shard_count), so `--resume` on a
 // journal written under a different `--shard i/N` fails loudly instead of
-// replaying another shard's trial subset. A reader accepts any version <=
+// replaying another shard's trial subset. v5 appends the injector identity
+// (injector and fault_class as len-prefixed strings) before the error
+// string, and widens the validation bounds to admit the kCrashed outcome and
+// kCrash signal that rank-crash campaigns record; pre-v5 records replay as
+// default-injector trials. A reader accepts any version <=
 // its own and an appender continues in the *file's* version, so resuming a
 // v1 journal keeps writing v1 frames — one file never mixes layouts.
 //
@@ -46,7 +50,7 @@ namespace chaser::campaign {
 /// wrong campaign (different seed or app — different trial-seed sequence)
 /// fails loudly instead of silently merging unrelated trials.
 struct JournalHeader {
-  std::uint64_t version = 4;
+  std::uint64_t version = 5;
   std::uint64_t campaign_seed = 0;
   std::string app;
   /// Shard spec of the writing worker (v4+; pre-v4 journals read as the
@@ -69,7 +73,7 @@ struct JournalContents {
 JournalContents ReadJournal(const std::string& path);
 
 /// Current journal format version written to fresh files.
-inline constexpr std::uint64_t kJournalVersion = 4;
+inline constexpr std::uint64_t kJournalVersion = 5;
 
 /// Serialise one RunRecord payload in the given format version (exposed for
 /// tests; the journal frame adds length + CRC around this).

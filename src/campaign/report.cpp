@@ -46,11 +46,20 @@ constexpr const char* kRecordsHeaderV5 =
     "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error,"
     "tb_chain_hits,tlb_hits,tlb_misses,inject_pc,inject_class,sample_weight";
 
+constexpr const char* kRecordsHeaderV6 =
+    "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+    "propagated_cross_rank,propagated_cross_node,injections,tainted_reads,"
+    "tainted_writes,peak_tainted_bytes,tainted_output_bytes,trigger_nth,"
+    "flip_bits,instructions,trace_dropped,taint_lost,retries,infra_error,"
+    "tb_chain_hits,tlb_hits,tlb_misses,inject_pc,inject_class,sample_weight,"
+    "injector,fault_class";
+
 constexpr std::size_t kFieldsV1 = 17;
 constexpr std::size_t kFieldsV2 = 18;
 constexpr std::size_t kFieldsV3 = 21;
 constexpr std::size_t kFieldsV4 = 24;
 constexpr std::size_t kFieldsV5 = 27;
+constexpr std::size_t kFieldsV6 = 29;
 
 /// infra_error is free-form exception text; flatten anything that would
 /// break the one-line-per-record framing or the comma split.
@@ -67,10 +76,21 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
                      SamplePolicy policy) {
   // Uniform campaigns never populate the sampling columns, so they keep
   // writing v4 — byte for byte what earlier builds produced. Only sampled
-  // campaigns opt into the wider v5 layout.
-  const bool sampled = policy != SamplePolicy::kUniform;
-  out << kVersionLinePrefix << (sampled ? kRecordsCsvVersion : 4u) << '\n';
-  out << (sampled ? kRecordsHeaderV5 : kRecordsHeaderV4) << '\n';
+  // campaigns opt into the wider v5 layout, and only campaigns run with a
+  // non-default injector (the one way records gain an injector name) opt
+  // into v6, which carries both the sampling and the injector columns.
+  bool custom = false;
+  for (const RunRecord& r : records) {
+    if (!r.injector.empty()) {
+      custom = true;
+      break;
+    }
+  }
+  const bool sampled = custom || policy != SamplePolicy::kUniform;
+  const unsigned version = custom ? 6u : sampled ? 5u : 4u;
+  out << kVersionLinePrefix << version << '\n';
+  out << (custom ? kRecordsHeaderV6 : sampled ? kRecordsHeaderV5 : kRecordsHeaderV4)
+      << '\n';
   for (const RunRecord& r : records) {
     out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
         << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
@@ -87,6 +107,10 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
       out << ',' << r.inject_pc << ',' << guest::ClassName(r.inject_class)
           << ',' << StrFormat("%.17g", r.sample_weight);
     }
+    if (custom) {
+      out << ',' << SanitizeCell(r.injector) << ','
+          << SanitizeCell(r.fault_class);
+    }
     out << '\n';
   }
 }
@@ -98,6 +122,7 @@ Outcome ParseOutcome(const std::string& s) {
   if (s == "terminated") return Outcome::kTerminated;
   if (s == "sdc") return Outcome::kSdc;
   if (s == "infra") return Outcome::kInfra;
+  if (s == "crashed") return Outcome::kCrashed;
   throw ConfigError("ReadRecordsCsv: unknown outcome '" + s + "'");
 }
 
@@ -115,7 +140,7 @@ vm::GuestSignal ParseSignal(const std::string& s) {
   for (const auto sig : {vm::GuestSignal::kNone, vm::GuestSignal::kSegv,
                          vm::GuestSignal::kFpe, vm::GuestSignal::kIll,
                          vm::GuestSignal::kSys, vm::GuestSignal::kAbort,
-                         vm::GuestSignal::kKill}) {
+                         vm::GuestSignal::kKill, vm::GuestSignal::kCrash}) {
     if (s == vm::GuestSignalName(sig)) return sig;
   }
   throw ConfigError("ReadRecordsCsv: unknown signal '" + s + "'");
@@ -163,7 +188,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
                            : version == 2 ? kRecordsHeaderV2
                            : version == 3 ? kRecordsHeaderV3
                            : version == 4 ? kRecordsHeaderV4
-                                          : kRecordsHeaderV5;
+                           : version == 5 ? kRecordsHeaderV5
+                                          : kRecordsHeaderV6;
     if (line != expected) {
       throw ConfigError(StrFormat(
           "ReadRecordsCsv: header does not match format v%u", version));
@@ -180,7 +206,8 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
                              : version == 2 ? kFieldsV2
                              : version == 3 ? kFieldsV3
                              : version == 4 ? kFieldsV4
-                                            : kFieldsV5;
+                             : version == 5 ? kFieldsV5
+                                            : kFieldsV6;
   std::vector<RunRecord> records;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -230,6 +257,10 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
       if (end == f[26].c_str() || *end != '\0' || r.sample_weight < 0.0) {
         throw ConfigError("ReadRecordsCsv: bad sample_weight '" + f[26] + "'");
       }
+    }
+    if (version >= 6) {
+      r.injector = f[27];
+      r.fault_class = f[28];
     }
     records.push_back(r);
   }

@@ -20,16 +20,19 @@ namespace chaser::campaign {
 /// writer, the reader's too-new ceiling, report_test's expectations, and
 /// tools/bench_to_json.sh (which greps this line to stamp its JSON) — bump
 /// it here and every consumer follows.
-inline constexpr unsigned kRecordsCsvVersion = 5;
+inline constexpr unsigned kRecordsCsvVersion = 6;
 
 /// Write one row per run: seed, outcome, termination detail, injection site,
 /// propagation counters. Uniform campaigns emit format v4 — byte-identical
 /// to what this tool has always written — while sampled campaigns (`policy`
 /// != kUniform) emit v5, which appends the inject_pc/inject_class/
-/// sample_weight columns those campaigns populate. Either way the file leads
-/// with a `#chaser-records-csv vN` version line, then the column header,
-/// then the rows. `infra_error` cells are sanitized (',' and newlines become
-/// spaces) so rows stay one line wide.
+/// sample_weight columns those campaigns populate. Campaigns run with a
+/// non-default `--injector` (detected by any record carrying an injector
+/// name) emit v6, which further appends injector/fault_class — and always
+/// includes the sampling columns so v6 has one fixed layout. Either way the
+/// file leads with a `#chaser-records-csv vN` version line, then the column
+/// header, then the rows. `infra_error` cells are sanitized (',' and
+/// newlines become spaces) so rows stay one line wide.
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
                      SamplePolicy policy = SamplePolicy::kUniform);
 
@@ -40,6 +43,8 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
 ///   v4  version line + 24 columns (adds tb_chain_hits, tlb_hits, tlb_misses)
 ///   v5  version line + 27 columns (adds inject_pc, inject_class,
 ///       sample_weight — written only by sampled campaigns)
+///   v6  version line + 29 columns (adds injector, fault_class — written
+///       only by campaigns with a non-default --injector)
 /// Fields a version predates default to zero/empty (sample_weight to 1).
 /// A version line newer than kRecordsCsvVersion is rejected as "too new".
 /// Throws ConfigError on malformed input (unknown header/version, bad field

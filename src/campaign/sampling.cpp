@@ -136,7 +136,9 @@ WilsonInterval WilsonScore(double p_hat, double n_eff, double z) {
 // ---- OutcomeEstimator --------------------------------------------------------
 
 void OutcomeEstimator::Add(int outcome, bool deadlock, double weight) {
-  if (outcome < 0 || outcome > 2) return;  // kInfra (3) is not an outcome
+  // kInfra (3) is not an injection outcome; kCrashed (4) is, but it is not
+  // one of the benign/terminated/sdc series this estimator tracks.
+  if (outcome < 0 || outcome > 2) return;
   if (weight <= 0.0) return;
   wsum_[outcome] += weight;
   if (outcome == kTerminated && deadlock) wsum_[kHang] += weight;

@@ -78,6 +78,21 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+bool ParseKeyValList(const std::string& spec, std::vector<KeyVal>* out,
+                     std::string* bad_token) {
+  out->clear();
+  if (spec.empty()) return true;
+  for (const std::string& kv : Split(spec, ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (bad_token != nullptr) *bad_token = kv;
+      return false;
+    }
+    out->push_back({kv.substr(0, eq), kv.substr(eq + 1)});
+  }
+  return true;
+}
+
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;

@@ -27,6 +27,19 @@ bool ParseU64(const std::string& s, std::uint64_t* out);
 /// Parse a double. Returns false on malformed input.
 bool ParseDouble(const std::string& s, double* out);
 
+/// One `key=value` pair from a comma-separated spec string.
+struct KeyVal {
+  std::string key;
+  std::string value;
+};
+
+/// Split a "k1=v1,k2=v2,..." spec into pairs — the one tokenizer shared by
+/// `--injector` and `--hub-fault`-style flags. An empty spec yields an empty
+/// list. Returns false (and sets *bad_token to the offending token) when a
+/// token lacks '=' or has an empty key; the caller owns the error message.
+bool ParseKeyValList(const std::string& spec, std::vector<KeyVal>* out,
+                     std::string* bad_token);
+
 /// True if `s` starts with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 

@@ -1,0 +1,50 @@
+// Spatial-burst injector plugin. Built only from Chaser's exported
+// interfaces: InjectionContext, OperandsOf, RandomBitMask, CORRUPT_*.
+#include "core/injectors/burst_injector.h"
+
+#include "common/bits.h"
+#include "guest/operands.h"
+
+namespace chaser::core {
+
+BurstInjector::BurstInjector(unsigned span, unsigned nbits)
+    : span_(span == 0 ? 1 : span > guest::kNumIntRegs ? guest::kNumIntRegs
+                                                      : span),
+      nbits_(nbits == 0 ? 1 : nbits) {}
+
+std::shared_ptr<FaultInjector> BurstInjector::Create(unsigned span,
+                                                     unsigned nbits) {
+  return std::make_shared<BurstInjector>(span, nbits);
+}
+
+void BurstInjector::Inject(InjectionContext& ctx) {
+  // Base register: a uniform source operand, falling back to the destination
+  // for operand-free instructions (same choice rule as the probabilistic
+  // injector, so trigger statistics stay comparable across fault models).
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+  const std::size_t total = ops.int_sources.size() + ops.fp_sources.size();
+  unsigned base = ctx.instr.rd;
+  bool fp_file = guest::IsFpOpcode(ctx.instr.op);
+  if (total != 0) {
+    const std::size_t pick = ctx.rng.Index(total);
+    if (pick < ops.int_sources.size()) {
+      base = ops.int_sources[pick];
+      fp_file = false;
+    } else {
+      base = ops.fp_sources[pick - ops.int_sources.size()];
+      fp_file = true;
+    }
+  }
+  const unsigned file_size = fp_file ? guest::kNumFpRegs : guest::kNumIntRegs;
+  for (unsigned i = 0; i < span_; ++i) {
+    const unsigned reg = (base + i) % file_size;
+    const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, 64);
+    if (fp_file) {
+      ctx.records.push_back(CorruptFpRegister(ctx.vm, reg, mask));
+    } else {
+      ctx.records.push_back(CorruptIntRegister(ctx.vm, reg, mask));
+    }
+  }
+}
+
+}  // namespace chaser::core

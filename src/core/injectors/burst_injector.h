@@ -1,0 +1,34 @@
+// Spatial-burst injector (CHAOS-style multi-register upset).
+//
+// Fault model: one particle strike clobbering a *span* of physically
+// adjacent architectural registers. When the trigger fires, pick a base
+// register (a random source operand of the targeted instruction, or its
+// destination for operand-free instructions) and corrupt `span` consecutive
+// registers of that file — wrapping modulo the file size — each with an
+// independent `nbits`-bit random flip.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class BurstInjector final : public FaultInjector {
+ public:
+  /// Corrupt `span` adjacent registers (clamped to [1, file size]), flipping
+  /// `nbits` random bits in each.
+  explicit BurstInjector(unsigned span = 2, unsigned nbits = 1);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "burst"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned span = 2,
+                                               unsigned nbits = 1);
+
+ private:
+  unsigned span_;
+  unsigned nbits_;
+};
+
+}  // namespace chaser::core

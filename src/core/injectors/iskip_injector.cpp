@@ -1,0 +1,85 @@
+// Instruction-skip injector plugin. The squash itself is the exported
+// Vm::SkipCurrentInstruction interface; the rest of this file marks the
+// skipped instruction's would-be destinations tainted (values unchanged,
+// Touch semantics) so the tracer can follow the missing update.
+#include "core/injectors/iskip_injector.h"
+
+#include "guest/operands.h"
+#include "tcg/ir.h"
+
+namespace chaser::core {
+
+namespace {
+
+/// True when `op` writes an architectural destination register (rd).
+bool WritesRd(guest::Opcode op) {
+  using GO = guest::Opcode;
+  switch (op) {
+    case GO::kSt:
+    case GO::kFst:
+    case GO::kPush:
+    case GO::kCmp:
+    case GO::kFcmp:
+    case GO::kJmp:
+    case GO::kBr:
+    case GO::kCall:
+    case GO::kCallR:
+    case GO::kRet:
+    case GO::kSyscall:
+    case GO::kHalt:
+    case GO::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// True when skipping `op` leaves the stack pointer un-updated.
+bool WritesSp(guest::Opcode op) {
+  using GO = guest::Opcode;
+  return op == GO::kPush || op == GO::kPop || op == GO::kCall ||
+         op == GO::kCallR || op == GO::kRet;
+}
+
+}  // namespace
+
+std::shared_ptr<FaultInjector> ISkipInjector::Create() {
+  return std::make_shared<ISkipInjector>();
+}
+
+void ISkipInjector::Inject(InjectionContext& ctx) {
+  using GO = guest::Opcode;
+  const guest::Instruction& in = ctx.instr;
+
+  ctx.vm.SkipCurrentInstruction();
+
+  // Would-be register destination: taint it with its (now stale) value.
+  if (WritesRd(in.op)) {
+    if (guest::IsFpOpcode(in.op) && in.op != GO::kCvtFI && in.op != GO::kFbits) {
+      ctx.records.push_back(TouchFpRegister(ctx.vm, in.rd));
+    } else {
+      ctx.records.push_back(TouchIntRegister(ctx.vm, in.rd));
+    }
+  }
+  if (WritesSp(in.op) && !(WritesRd(in.op) && in.rd == guest::kSpReg)) {
+    ctx.records.push_back(TouchIntRegister(ctx.vm, guest::kSpReg));
+  }
+
+  // Skipped compares leave stale flags behind the next branch.
+  if (in.op == GO::kCmp || in.op == GO::kFcmp) {
+    ctx.vm.taint().TaintSourceRegister(tcg::kEnvFlags, ~std::uint64_t{0});
+  }
+
+  // Would-be store destination: taint the unwritten memory bytes in place.
+  if (in.op == GO::kSt || in.op == GO::kFst) {
+    const GuestAddr vaddr =
+        ctx.vm.cpu().IntReg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+    const auto size = static_cast<std::uint32_t>(in.size);
+    PhysAddr paddr = 0;
+    if (ctx.vm.memory().Load(vaddr, size, &paddr).has_value()) {
+      ctx.vm.taint().TaintSourceMemory(paddr, size, ~std::uint64_t{0});
+    }
+  }
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,26 @@
+// Instruction-skip injector (InjectV-style control fault).
+//
+// Fault model: when the trigger fires, the targeted instruction is squashed
+// — the VM resumes at the next instruction without executing it — and every
+// location the instruction *would have written* (destination register,
+// flags, stored-to memory) is marked tainted with its value unchanged, so
+// the propagation tracer follows the consequences of the missing update.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class ISkipInjector final : public FaultInjector {
+ public:
+  ISkipInjector() = default;
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "iskip"; }
+
+  static std::shared_ptr<FaultInjector> Create();
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,42 @@
+// Multi-bit injector plugin. Built only from Chaser's exported interfaces.
+#include "core/injectors/multibit_injector.h"
+
+#include "guest/operands.h"
+
+namespace chaser::core {
+
+MultiBitInjector::MultiBitInjector(unsigned nbits)
+    : nbits_(nbits == 0 ? 1 : nbits > 64 ? 64 : nbits) {}
+
+std::shared_ptr<FaultInjector> MultiBitInjector::Create(unsigned nbits) {
+  return std::make_shared<MultiBitInjector>(nbits);
+}
+
+void MultiBitInjector::Inject(InjectionContext& ctx) {
+  // A contiguous run of nbits_ set bits at a uniform position.
+  const std::uint64_t ones =
+      nbits_ >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nbits_) - 1;
+  const std::uint64_t pos = ctx.rng.UniformU64(0, 64 - nbits_);
+  const std::uint64_t mask = ones << pos;
+
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+  const std::size_t total = ops.int_sources.size() + ops.fp_sources.size();
+  if (total == 0) {
+    if (guest::IsFpOpcode(ctx.instr.op)) {
+      ctx.records.push_back(CorruptFpRegister(ctx.vm, ctx.instr.rd, mask));
+    } else {
+      ctx.records.push_back(CorruptIntRegister(ctx.vm, ctx.instr.rd, mask));
+    }
+    return;
+  }
+  const std::size_t pick = ctx.rng.Index(total);
+  if (pick < ops.int_sources.size()) {
+    ctx.records.push_back(
+        CorruptIntRegister(ctx.vm, ops.int_sources[pick], mask));
+  } else {
+    ctx.records.push_back(CorruptFpRegister(
+        ctx.vm, ops.fp_sources[pick - ops.int_sources.size()], mask));
+  }
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,30 @@
+// Multi-bit injector (CHAOS/NAIL-style adjacent-bit upset).
+//
+// Fault model: when the trigger fires, flip a *contiguous* run of `nbits`
+// bits at a uniformly random position of a uniformly random source operand.
+// Single-event upsets in dense SRAM cells frequently clobber physically
+// adjacent bits; this models that burst shape in one register, unlike
+// ProbabilisticInjector whose flipped bits are independently placed.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class MultiBitInjector final : public FaultInjector {
+ public:
+  /// Flip a contiguous run of `nbits` bits (clamped to [1, 64]).
+  explicit MultiBitInjector(unsigned nbits = 2);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "multibit"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned nbits = 2);
+
+ private:
+  unsigned nbits_;
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,24 @@
+// Rank-crash injector plugin. Kills the guest process via the exported
+// RaiseSignal interface; no architectural state is corrupted.
+#include "core/injectors/rankcrash_injector.h"
+
+namespace chaser::core {
+
+std::shared_ptr<FaultInjector> RankCrashInjector::Create() {
+  return std::make_shared<RankCrashInjector>();
+}
+
+void RankCrashInjector::Inject(InjectionContext& ctx) {
+  // Record the injection before pulling the trigger (the record sink lives
+  // in Chaser, which stamps pc/exec_count after this returns).
+  InjectionRecord rec;
+  rec.instret = ctx.vm.instret();
+  rec.old_value = rec.new_value = 0;
+  rec.flip_mask = 0;
+  ctx.records.push_back(rec);
+
+  ctx.vm.RaiseSignal(vm::GuestSignal::kCrash,
+                     "injected rank crash (fault injection)");
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,27 @@
+// Rank-crash injector (FINJ-style system-level fault).
+//
+// Fault model: when the trigger fires, the targeted guest rank dies on the
+// spot — GuestSignal::kCrash, a hard process crash distinct from every
+// program-raised signal. The cluster contains the failure exactly like any
+// other abnormal rank exit (surviving ranks are torn down, their in-flight
+// hub polls hit the abandon path), and the campaign accounts the trial as
+// Outcome::kCrashed, distinct from kInfra harness failures.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class RankCrashInjector final : public FaultInjector {
+ public:
+  RankCrashInjector() = default;
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "rank-crash"; }
+
+  static std::shared_ptr<FaultInjector> Create();
+};
+
+}  // namespace chaser::core

@@ -1,0 +1,215 @@
+#include "core/injectors/registry.h"
+
+#include "common/error.h"
+#include "core/injectors/burst_injector.h"
+#include "core/injectors/deterministic_injector.h"
+#include "core/injectors/group_injector.h"
+#include "core/injectors/iskip_injector.h"
+#include "core/injectors/multibit_injector.h"
+#include "core/injectors/probabilistic_injector.h"
+#include "core/injectors/rankcrash_injector.h"
+#include "core/injectors/stuckat_injector.h"
+
+namespace chaser::core {
+
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::string ValidKeysOf(const InjectorRegistry::Entry& entry) {
+  if (entry.params.empty()) return "takes no parameters";
+  std::string out = "valid keys: ";
+  for (std::size_t i = 0; i < entry.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += entry.params[i].key;
+  }
+  return out;
+}
+
+void RegisterBuiltins(InjectorRegistry& r) {
+  using Entry = InjectorRegistry::Entry;
+  r.Register(Entry{
+      "probabilistic",
+      "transient-bitflip",
+      "flip random bits of a random source operand (the default fault model)",
+      {{"bits", "number of bits to flip (default: the trial's draw)"},
+       {"width", "restrict flips to the low N bits (default 64)"}},
+      [](const InjectorArgs& a) {
+        return ProbabilisticInjector::Create(
+            static_cast<unsigned>(a.U64("bits", a.flip_bits)),
+            static_cast<unsigned>(a.U64("width", 64)));
+      }});
+  r.Register(Entry{
+      "deterministic",
+      "transient-bitflip",
+      "flip an exact mask on an exact source operand (bit-for-bit replay)",
+      {{"operand", "source operand index, int sources first (default 0)"},
+       {"mask", "XOR mask to apply (default 0x1)"}},
+      [](const InjectorArgs& a) {
+        return DeterministicInjector::Create(
+            static_cast<unsigned>(a.U64("operand", 0)), a.U64("mask", 1));
+      }});
+  r.Register(Entry{
+      "group",
+      "transient-bitflip",
+      "corrupt every FP source operand of the targeted instruction",
+      {{"bits", "bits to flip per operand (default: the trial's draw)"}},
+      [](const InjectorArgs& a) {
+        return GroupInjector::Create(
+            static_cast<unsigned>(a.U64("bits", a.flip_bits)));
+      }});
+  r.Register(Entry{
+      "multibit",
+      "transient-bitflip",
+      "flip a contiguous bit burst at a random position of one operand",
+      {{"bits", "burst width in bits (default: the trial's draw)"}},
+      [](const InjectorArgs& a) {
+        return MultiBitInjector::Create(
+            static_cast<unsigned>(a.U64("bits", a.flip_bits)));
+      }});
+  r.Register(Entry{
+      "burst",
+      "spatial-burst",
+      "corrupt a span of adjacent registers in one strike",
+      {{"span", "number of adjacent registers (default 2)"},
+       {"bits", "bits to flip per register (default: the trial's draw)"}},
+      [](const InjectorArgs& a) {
+        return BurstInjector::Create(
+            static_cast<unsigned>(a.U64("span", 2)),
+            static_cast<unsigned>(a.U64("bits", a.flip_bits)));
+      }});
+  r.Register(Entry{
+      "stuckat",
+      "stuck-at",
+      "pin random bits of a register to 0/1 for the rest of the trial",
+      {{"value", "stuck value, 0 or 1 (default 0)"},
+       {"bits", "number of pinned bits (default: the trial's draw)"}},
+      [](const InjectorArgs& a) {
+        const std::uint64_t value = a.U64("value", 0);
+        if (value > 1) {
+          throw ConfigError("--injector stuckat: value must be 0 or 1");
+        }
+        return StuckAtInjector::Create(
+            static_cast<unsigned>(value),
+            static_cast<unsigned>(a.U64("bits", a.flip_bits)));
+      }});
+  r.Register(Entry{"iskip",
+                   "instruction-skip",
+                   "squash the targeted instruction; taint its destinations",
+                   {},
+                   [](const InjectorArgs&) { return ISkipInjector::Create(); }});
+  r.Register(Entry{"rank-crash",
+                   "process-crash",
+                   "kill the injected guest rank mid-run (FINJ-style)",
+                   {},
+                   [](const InjectorArgs&) {
+                     return RankCrashInjector::Create();
+                   }});
+}
+
+}  // namespace
+
+bool InjectorArgs::Has(const std::string& key) const {
+  for (const KeyVal& kv : params) {
+    if (kv.key == key) return true;
+  }
+  return false;
+}
+
+std::uint64_t InjectorArgs::U64(const std::string& key,
+                                std::uint64_t def) const {
+  for (const KeyVal& kv : params) {
+    if (kv.key != key) continue;
+    std::uint64_t v = 0;
+    if (!ParseU64(kv.value, &v)) {
+      throw ConfigError("--injector: bad value '" + kv.value + "' for key '" +
+                        key + "'");
+    }
+    return v;
+  }
+  return def;
+}
+
+InjectorRegistry& InjectorRegistry::Global() {
+  static InjectorRegistry* registry = [] {
+    auto* r = new InjectorRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void InjectorRegistry::Register(Entry entry) {
+  if (entry.name.empty()) {
+    throw ConfigError("InjectorRegistry: empty injector name");
+  }
+  if (!entries_.emplace(entry.name, entry).second) {
+    throw ConfigError("InjectorRegistry: duplicate injector '" + entry.name +
+                      "'");
+  }
+}
+
+const InjectorRegistry::Entry* InjectorRegistry::Find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> InjectorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::shared_ptr<FaultInjector> InjectorRegistry::Create(
+    const InjectorSpec& spec, unsigned flip_bits) const {
+  const Entry* entry = Find(spec.name);
+  if (entry == nullptr) {
+    throw ConfigError("--injector: unknown injector '" + spec.name +
+                      "' (registered: " + JoinNames(Names()) + ")");
+  }
+  for (const KeyVal& kv : spec.params) {
+    bool known = false;
+    for (const ParamSpec& p : entry->params) {
+      if (p.key == kv.key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw ConfigError("--injector " + spec.name + ": unknown parameter '" +
+                        kv.key + "' (" + ValidKeysOf(*entry) + ")");
+    }
+  }
+  const InjectorArgs args{spec.params, flip_bits};
+  return entry->factory(args);
+}
+
+InjectorSpec ParseInjectorSpec(const std::string& text) {
+  InjectorSpec spec;
+  const auto colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  if (colon != std::string::npos) {
+    std::string bad;
+    if (!ParseKeyValList(text.substr(colon + 1), &spec.params, &bad) ||
+        spec.params.empty()) {
+      throw ConfigError("--injector " + spec.name +
+                        ": expected key=value after ':', got '" + bad + "'");
+    }
+  }
+  // Validate eagerly so a bad spec fails at flag-parse time, not mid-
+  // campaign: unknown names/keys throw here with the full choice list.
+  // flip_bits=1 stands in for the per-trial draw during validation.
+  InjectorRegistry::Global().Create(spec, 1);
+  return spec;
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,58 @@
+// Stuck-at injector plugin. Installs a persistent pin via the exported
+// Vm::AddStuckFault interface; record bookkeeping mirrors CORRUPT_REGISTER.
+#include "core/injectors/stuckat_injector.h"
+
+#include "common/bits.h"
+#include "guest/operands.h"
+#include "tcg/ir.h"
+
+namespace chaser::core {
+
+StuckAtInjector::StuckAtInjector(unsigned value, unsigned nbits)
+    : value_(value), nbits_(nbits == 0 ? 1 : nbits) {}
+
+std::shared_ptr<FaultInjector> StuckAtInjector::Create(unsigned value,
+                                                       unsigned nbits) {
+  return std::make_shared<StuckAtInjector>(value, nbits);
+}
+
+void StuckAtInjector::Inject(InjectionContext& ctx) {
+  const std::uint64_t mask = RandomBitMask(ctx.rng, nbits_, 64);
+
+  // Register choice rule shared with the probabilistic injector: a uniform
+  // source operand, or the destination when the instruction has none.
+  const guest::OperandInfo ops = guest::OperandsOf(ctx.instr);
+  const std::size_t total = ops.int_sources.size() + ops.fp_sources.size();
+  unsigned reg = ctx.instr.rd;
+  bool fp_file = guest::IsFpOpcode(ctx.instr.op);
+  if (total != 0) {
+    const std::size_t pick = ctx.rng.Index(total);
+    if (pick < ops.int_sources.size()) {
+      reg = ops.int_sources[pick];
+      fp_file = false;
+    } else {
+      reg = ops.fp_sources[pick - ops.int_sources.size()];
+      fp_file = true;
+    }
+  }
+
+  const tcg::ValId slot = fp_file ? tcg::EnvFp(reg) : tcg::EnvInt(reg);
+  const std::uint64_t pin_value = value_ == 0 ? 0 : ~std::uint64_t{0};
+
+  InjectionRecord rec;
+  rec.target = fp_file ? InjectionRecord::Target::kFpRegister
+                       : InjectionRecord::Target::kIntRegister;
+  rec.reg = reg;
+  rec.instret = ctx.vm.instret();
+  rec.flip_mask = mask;
+  rec.old_value = ctx.vm.cpu().env[slot];
+  // AddStuckFault applies the pin immediately (tainting any bits it flips);
+  // mark the full stuck mask as a taint source as well, so a pin that
+  // happens to match the current value still anchors the propagation trace.
+  ctx.vm.AddStuckFault(slot, mask, pin_value);
+  ctx.vm.taint().TaintSourceRegister(slot, mask);
+  rec.new_value = ctx.vm.cpu().env[slot];
+  ctx.records.push_back(rec);
+}
+
+}  // namespace chaser::core

@@ -1,0 +1,37 @@
+// Stuck-at injector (CHAOS/NAIL-style persistent register fault).
+//
+// Fault model: from the moment the trigger fires until the end of the trial,
+// `nbits` random bit positions of one register are stuck at 0 or at 1. The
+// pin lives in the VM (Vm::AddStuckFault) and is re-asserted at every
+// instruction boundary, so every subsequent read observes the stuck bits no
+// matter what the program writes — across TB-chain boundaries and
+// translation-cache flushes alike. The stuck bits are marked as a taint
+// source at installation, and every later re-pin that actually flips state
+// re-taints the changed bits, so the propagation tracer follows the fault
+// for its whole lifetime.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.h"
+
+namespace chaser::core {
+
+class StuckAtInjector final : public FaultInjector {
+ public:
+  /// Pin `nbits` random bits of a random operand register to `value` (0 or
+  /// 1) for the rest of the trial.
+  explicit StuckAtInjector(unsigned value = 0, unsigned nbits = 1);
+
+  void Inject(InjectionContext& ctx) override;
+  std::string name() const override { return "stuckat"; }
+
+  static std::shared_ptr<FaultInjector> Create(unsigned value = 0,
+                                               unsigned nbits = 1);
+
+ private:
+  unsigned value_;  // 0 = stuck-at-0, nonzero = stuck-at-1
+  unsigned nbits_;
+};
+
+}  // namespace chaser::core

@@ -193,25 +193,32 @@ bool DecodeHello(const std::string& payload, std::string* error) {
   return true;
 }
 
-HubFaultModel ParseHubFaultSpec(const std::string& spec) {
+HubFaultModel ParseHubFaultSpec(const std::string& spec,
+                                const std::string& flag) {
   HubFaultModel model;
-  for (const std::string& kv : Split(spec, ',')) {
-    const auto eq = kv.find('=');
-    if (eq == std::string::npos) {
-      throw ConfigError("--hub-fault: expected k=v, got '" + kv + "'");
-    }
-    const std::string key = kv.substr(0, eq);
-    const std::string val = kv.substr(eq + 1);
+  std::vector<KeyVal> kvs;
+  std::string bad;
+  if (!ParseKeyValList(spec, &kvs, &bad) || spec.empty()) {
+    throw ConfigError(flag + ": expected key=value, got '" +
+                      (spec.empty() ? spec : bad) +
+                      "' (valid keys: drop, delay, outage, retries, seed)");
+  }
+  for (const KeyVal& kv : kvs) {
+    const std::string& key = kv.key;
+    const std::string& val = kv.value;
     std::uint64_t n = 0;
     if (key == "drop") {
       char* end = nullptr;
       const double p = std::strtod(val.c_str(), &end);
       if (end == val.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
-        throw ConfigError("--hub-fault: drop expects a probability in [0,1]");
+        throw ConfigError(flag + ": drop expects a probability in [0,1], got '" +
+                          val + "'");
       }
       model.publish_drop_prob = p;
     } else if (key == "delay") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad delay value");
+      if (!ParseU64(val, &n)) {
+        throw ConfigError(flag + ": bad delay value '" + val + "'");
+      }
       model.visibility_delay = n;
     } else if (key == "outage") {
       const std::vector<std::string> parts = Split(val, '-');
@@ -219,18 +226,24 @@ HubFaultModel ParseHubFaultSpec(const std::string& spec) {
       if (parts.size() != 2 || !ParseU64(parts[0], &a) ||
           !ParseU64(parts[1], &b) || b < a) {
         throw ConfigError(
-            "--hub-fault: outage expects A-B (down for clocks [A,B))");
+            flag + ": outage expects A-B (down for clocks [A,B)), got '" +
+            val + "'");
       }
       model.outage_start = a;
       model.outage_end = b;
     } else if (key == "retries") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad retries value");
+      if (!ParseU64(val, &n)) {
+        throw ConfigError(flag + ": bad retries value '" + val + "'");
+      }
       model.poll_retries = n;
     } else if (key == "seed") {
-      if (!ParseU64(val, &n)) throw ConfigError("--hub-fault: bad seed value");
+      if (!ParseU64(val, &n)) {
+        throw ConfigError(flag + ": bad seed value '" + val + "'");
+      }
       model.seed = n;
     } else {
-      throw ConfigError("--hub-fault: unknown key '" + key + "'");
+      throw ConfigError(flag + ": unknown key '" + key +
+                        "' (valid keys: drop, delay, outage, retries, seed)");
     }
   }
   return model;

@@ -79,9 +79,11 @@ std::string EncodeHello();
 /// Validate a hello payload; on failure fills *error with the reason.
 bool DecodeHello(const std::string& payload, std::string* error);
 
-/// Parse the --hub-fault spec shared by chaser_run and chaser_hubd:
-/// comma-separated key=value with keys drop, delay, outage (start:end),
-/// retries, seed. Throws ConfigError on unknown keys / bad values.
-HubFaultModel ParseHubFaultSpec(const std::string& spec);
+/// Parse the --hub-fault spec shared by chaser_run, chaser_hubd, and
+/// --hub-fault-trigger: comma-separated key=value with keys drop, delay,
+/// outage (A-B), retries, seed. Throws ConfigError on unknown keys / bad
+/// values; `flag` names the offending flag in those messages.
+HubFaultModel ParseHubFaultSpec(const std::string& spec,
+                                const std::string& flag = "--hub-fault");
 
 }  // namespace chaser::hub::remote

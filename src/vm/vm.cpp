@@ -23,6 +23,7 @@ const char* GuestSignalName(GuestSignal s) {
     case GuestSignal::kSys: return "SIGSYS";
     case GuestSignal::kAbort: return "SIGABRT";
     case GuestSignal::kKill: return "SIGKILL";
+    case GuestSignal::kCrash: return "SIGCRASH";
   }
   return "?";
 }
@@ -182,6 +183,11 @@ Pid Vm::StartLoadedProcess() {
   next_sample_ = sample_interval_;
   UpdateNextStop();
   tb_chain_hits_ = 0;
+  // Fault-injection state is per-trial: a stuck-at pin or pending skip from
+  // a previous run must never leak into a fresh process.
+  skip_pending_ = false;
+  stuck_active_ = false;
+  stuck_faults_.clear();
 
   FlushTbCache();
   // Epoch history is per-process: the flush above closed the previous
@@ -219,6 +225,36 @@ void Vm::TerminateMpiError(std::string msg) {
   termination_ = TerminationKind::kMpiError;
   termination_message_ = std::move(msg);
   if (on_exit_) on_exit_(*this, pid_, process_name_);
+}
+
+void Vm::AddStuckFault(std::uint32_t env_slot, std::uint64_t mask,
+                       std::uint64_t value) {
+  if (env_slot >= tcg::kNumEnvSlots) {
+    throw ConfigError(StrFormat("AddStuckFault: env slot %u out of range",
+                                env_slot));
+  }
+  stuck_faults_.push_back({env_slot, mask, value});
+  stuck_active_ = true;
+  ReassertStuckFaults();
+}
+
+void Vm::ClearStuckFaults() {
+  stuck_faults_.clear();
+  stuck_active_ = false;
+}
+
+bool Vm::ReassertStuckFaults() {
+  bool changed = false;
+  for (const StuckFault& f : stuck_faults_) {
+    const std::uint64_t cur = cpu_.env[f.env_slot];
+    const std::uint64_t pinned = (cur & ~f.mask) | (f.value & f.mask);
+    if (pinned != cur) {
+      cpu_.env[f.env_slot] = pinned;
+      taint_.TaintSourceRegister(f.env_slot, cur ^ pinned);
+      changed = true;
+    }
+  }
+  return changed;
 }
 
 void Vm::RaiseSignal(GuestSignal sig, std::string msg) {

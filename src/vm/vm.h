@@ -59,6 +59,7 @@ enum class GuestSignal : std::uint8_t {
   kSys,    // unknown syscall
   kAbort,  // guest called abort()
   kKill,   // watchdog: instruction budget exceeded (hung run)
+  kCrash,  // injected process crash (rank-crash fault, FINJ-style)
 };
 
 /// Why a process stopped.
@@ -279,6 +280,31 @@ class Vm {
   /// Raise a guest signal (terminates the process).
   void RaiseSignal(GuestSignal sig, std::string msg);
 
+  /// Instruction-skip faults (InjectV-style): callable from inside the
+  /// injector helper, which runs immediately before the targeted instruction
+  /// — that instruction is then squashed and execution resumes at the next
+  /// one. The squashed instruction still counts as retired (its prologue ran
+  /// before the helper). For the few instructions whose helper is spliced
+  /// *after* them (guest::CorruptAfter), the skip degrades to a no-op.
+  void SkipCurrentInstruction() { skip_pending_ = true; }
+
+  /// Stuck-at faults (CHAOS/NAIL-style persistent register faults): pin
+  /// `mask` bits of CPU env slot `env_slot` to the corresponding bits of
+  /// `value`. The pin is re-asserted at every instruction boundary, so every
+  /// register read observes the stuck bits no matter what the program wrote;
+  /// each re-pin that changes state re-taints the changed bits. Pins are VM
+  /// state, not TB state — they survive TB chaining and cache flushes — and
+  /// are cleared by StartProcess, making them strictly per-trial.
+  struct StuckFault {
+    std::uint32_t env_slot = 0;
+    std::uint64_t mask = 0;
+    std::uint64_t value = 0;
+  };
+  void AddStuckFault(std::uint32_t env_slot, std::uint64_t mask,
+                     std::uint64_t value);
+  void ClearStuckFaults();
+  const std::vector<StuckFault>& stuck_faults() const { return stuck_faults_; }
+
   // ---- Engine statistics (Fig. 10 overhead analysis) ------------------------------
   std::uint64_t tb_translations() const { return tb_translations_; }
   std::uint64_t tb_executions() const { return tb_executions_; }
@@ -361,6 +387,10 @@ class Vm {
   SyscallResult HandleCoreSyscall(std::uint64_t num);
   void TerminateExit(std::int64_t code);
   void TerminateAssert(std::int64_t check_id);
+  /// Re-apply every stuck-at pin to the CPU env, tainting any bits that had
+  /// drifted since the last boundary. Returns true when a bit actually
+  /// changed (the interpreter must then refresh its local taint latch).
+  bool ReassertStuckFaults();
 
   Config config_;
   tcg::Translator translator_;
@@ -406,6 +436,10 @@ class Vm {
   std::uint64_t tb_translations_ = 0;
   std::uint64_t tb_executions_ = 0;
   bool tb_flush_pending_ = false;
+  // Fault-injection machine state (see SkipCurrentInstruction/AddStuckFault).
+  bool skip_pending_ = false;
+  bool stuck_active_ = false;
+  std::vector<StuckFault> stuck_faults_;
   tcg::OptimizerStats optimizer_stats_;
 
   // Translation identity for the shared cache (fixed per StartProcess).

@@ -72,7 +72,8 @@ constexpr const char* kHeaderV1 =
 
 TEST(Report, WriterEmitsVersionLine) {
   // Uniform campaigns keep writing the legacy v4 layout byte for byte;
-  // only sampled campaigns opt into the current (v5) format.
+  // sampled campaigns opt into v5, and only custom-injector campaigns (any
+  // record naming its injector) write the current (v6) format.
   std::stringstream uniform;
   WriteRecordsCsv({SampleRecord(1)}, uniform);
   EXPECT_EQ(uniform.str().rfind("#chaser-records-csv v4\n", 0), 0u)
@@ -80,9 +81,18 @@ TEST(Report, WriterEmitsVersionLine) {
 
   std::stringstream sampled;
   WriteRecordsCsv({SampleRecord(1)}, sampled, SamplePolicy::kWeighted);
+  EXPECT_EQ(sampled.str().rfind("#chaser-records-csv v5\n", 0), 0u)
+      << "sampled default-injector campaigns must stay byte-identical to "
+         "pre-registry builds";
+
+  RunRecord custom = SampleRecord(1);
+  custom.injector = "multibit";
+  custom.fault_class = "transient-bitflip";
+  std::stringstream injected;
+  WriteRecordsCsv({custom}, injected);
   const std::string expect =
       "#chaser-records-csv v" + std::to_string(kRecordsCsvVersion) + "\n";
-  EXPECT_EQ(sampled.str().rfind(expect, 0), 0u)
+  EXPECT_EQ(injected.str().rfind(expect, 0), 0u)
       << "files must self-identify with the shared kRecordsCsvVersion so the "
          "next column growth cannot silently misparse them";
 }
@@ -102,14 +112,14 @@ TEST(Report, SamplingFieldsRoundTripThroughV5) {
 }
 
 TEST(Report, ReadRejectsNewerVersion) {
-  // A v6 file from a future build must fail loudly as "too new" — never
+  // A v7 file from a future build must fail loudly as "too new" — never
   // be silently misparsed with this build's column map.
-  std::stringstream ss("#chaser-records-csv v6\nanything\n");
+  std::stringstream ss("#chaser-records-csv v7\nanything\n");
   try {
     ReadRecordsCsv(ss);
     FAIL() << "a newer format version must be rejected";
   } catch (const ConfigError& e) {
-    EXPECT_NE(std::string(e.what()).find("v6"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("v7"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("reads up to"), std::string::npos);
   }
 }

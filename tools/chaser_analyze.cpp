@@ -22,6 +22,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -201,9 +202,17 @@ std::string TimelineText(const analysis::PropagationGraph& g, bool csv,
 std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
                                 bool json) {
   campaign::OutcomeEstimator est;
-  std::uint64_t infra = 0;
+  std::uint64_t infra = 0, crashed = 0;
   std::size_t total_records = 0;
   std::vector<std::size_t> per_file;
+  // Per-injector outcome tallies, keyed by the v6 injector column. Only
+  // custom-injector campaigns populate it; default CSVs leave the map empty
+  // and the breakdown is omitted entirely.
+  struct InjectorTally {
+    std::string fault_class;
+    std::uint64_t outcomes[5] = {0, 0, 0, 0, 0};
+  };
+  std::map<std::string, InjectorTally> by_injector;
   for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
@@ -212,8 +221,18 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
     per_file.push_back(records.size());
     total_records += records.size();
     for (const campaign::RunRecord& r : records) {
+      if (!r.injector.empty()) {
+        InjectorTally& t = by_injector[r.injector];
+        t.fault_class = r.fault_class;
+        const int o = static_cast<int>(r.outcome);
+        if (o >= 0 && o < 5) ++t.outcomes[o];
+      }
       if (r.outcome == campaign::Outcome::kInfra) {
         ++infra;
+        continue;
+      }
+      if (r.outcome == campaign::Outcome::kCrashed) {
+        ++crashed;
         continue;
       }
       est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
@@ -233,9 +252,10 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
   if (json) {
     std::string out = StrFormat(
         "{\n  \"files\": %zu,\n  \"records\": %zu,\n  \"infra\": %llu,\n"
+        "  \"crashed\": %llu,\n"
         "  \"effective_n\": %.1f,\n  \"estimates\": {",
         paths.size(), total_records, static_cast<unsigned long long>(infra),
-        est.effective_n());
+        static_cast<unsigned long long>(crashed), est.effective_n());
     bool first = true;
     for (const Row& row : rows) {
       const campaign::WilsonInterval w = est.Interval(row.series);
@@ -244,7 +264,27 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
           first ? "" : ",", row.name, w.rate, w.lo, w.hi);
       first = false;
     }
-    out += "\n  }\n}\n";
+    out += "\n  }";
+    if (!by_injector.empty()) {
+      out += ",\n  \"by_injector\": {";
+      first = true;
+      for (const auto& [name, t] : by_injector) {
+        out += StrFormat(
+            "%s\n    \"%s\": {\"fault_class\": \"%s\", \"benign\": %llu, "
+            "\"terminated\": %llu, \"sdc\": %llu, \"infra\": %llu, "
+            "\"crashed\": %llu}",
+            first ? "" : ",", JsonEscape(name).c_str(),
+            JsonEscape(t.fault_class).c_str(),
+            static_cast<unsigned long long>(t.outcomes[0]),
+            static_cast<unsigned long long>(t.outcomes[1]),
+            static_cast<unsigned long long>(t.outcomes[2]),
+            static_cast<unsigned long long>(t.outcomes[3]),
+            static_cast<unsigned long long>(t.outcomes[4]));
+        first = false;
+      }
+      out += "\n  }";
+    }
+    out += "\n}\n";
     return out;
   }
   std::string out;
@@ -266,6 +306,24 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
     const campaign::WilsonInterval w = est.Interval(row.series);
     out += StrFormat("    %-10s %6.2f%%  [%5.2f%%, %5.2f%%]\n", row.name,
                      100.0 * w.rate, 100.0 * w.lo, 100.0 * w.hi);
+  }
+  if (crashed > 0) {
+    out += StrFormat("    %-10s %6llu trials (excluded from rates)\n",
+                     "crashed", static_cast<unsigned long long>(crashed));
+  }
+  if (!by_injector.empty()) {
+    out += "  per-injector outcomes:\n";
+    for (const auto& [name, t] : by_injector) {
+      out += StrFormat(
+          "    %-14s %-18s benign %llu, terminated %llu, sdc %llu, "
+          "infra %llu, crashed %llu\n",
+          name.c_str(), ("(" + t.fault_class + ")").c_str(),
+          static_cast<unsigned long long>(t.outcomes[0]),
+          static_cast<unsigned long long>(t.outcomes[1]),
+          static_cast<unsigned long long>(t.outcomes[2]),
+          static_cast<unsigned long long>(t.outcomes[3]),
+          static_cast<unsigned long long>(t.outcomes[4]));
+    }
   }
   return out;
 }

@@ -61,6 +61,27 @@ void Usage() {
       "                      interval is narrower than W (e.g. 0.02); the stop\n"
       "                      point is deterministic in the seed and identical\n"
       "                      at any --jobs value (default 0 = run all trials)\n"
+      "  --injector SPEC     fault injector, as name[:key=val,...] from the\n"
+      "                      injector registry (default probabilistic):\n"
+      "                        probabilistic[:bits=N,width=N]  random source-\n"
+      "                                    operand bit flips — the default\n"
+      "                        deterministic[:operand=I,mask=M] exact mask on\n"
+      "                                    an exact operand\n"
+      "                        group[:bits=N]    corrupt every FP source\n"
+      "                        multibit[:bits=N] contiguous bit burst at a\n"
+      "                                    random position\n"
+      "                        burst[:span=N,bits=N] corrupt N adjacent\n"
+      "                                    registers in one strike\n"
+      "                        stuckat[:value=0|1,bits=N] pin bits for the\n"
+      "                                    rest of the trial\n"
+      "                        iskip       squash the targeted instruction\n"
+      "                        rank-crash  kill the injected rank mid-run\n"
+      "                      non-default injectors stamp the records CSV (v6)\n"
+      "                      with injector and fault-class columns\n"
+      "  --hub-fault-trigger SPEC\n"
+      "                      like --hub-fault, but armed per trial: the model\n"
+      "                      runs only inside each trial window (seeded from\n"
+      "                      the trial RNG), never during the golden run\n"
       "  --no-trace          disable fault-propagation tracing\n"
       "  --spool DIR         stream each trial's full trace to DIR/trial-<seed>/\n"
       "                      (no event cap; inspect with chaser_analyze)\n"
@@ -246,6 +267,15 @@ int main(int argc, char** argv) {
       } else if (a == "--hub-fault") {
         if (i + 1 >= argc) throw ConfigError("missing value for --hub-fault");
         config.hub_fault = hub::remote::ParseHubFaultSpec(argv[++i]);
+      } else if (a == "--hub-fault-trigger") {
+        if (i + 1 >= argc) {
+          throw ConfigError("missing value for --hub-fault-trigger");
+        }
+        config.hub_fault_trigger =
+            hub::remote::ParseHubFaultSpec(argv[++i], "--hub-fault-trigger");
+      } else if (a == "--injector") {
+        if (i + 1 >= argc) throw ConfigError("missing value for --injector");
+        config.injector = core::ParseInjectorSpec(argv[++i]);
       } else if (a == "--shard") {
         if (i + 1 >= argc) throw ConfigError("missing value for --shard");
         const campaign::ShardSpec shard = campaign::ParseShardSpec(argv[++i]);
@@ -338,6 +368,12 @@ int main(int argc, char** argv) {
     if (!config.hub_endpoints.empty()) {
       std::printf("hub: remote (%zu endpoint%s)\n", config.hub_endpoints.size(),
                   config.hub_endpoints.size() == 1 ? "" : "s");
+    }
+    if (!config.injector.IsDefault()) {
+      std::printf("injector: %s (%s)\n", config.injector.name.c_str(),
+                  core::InjectorRegistry::Global()
+                      .Find(config.injector.name)
+                      ->fault_class.c_str());
     }
 
     const auto print_golden = [](std::uint64_t instructions,
