@@ -50,6 +50,12 @@ std::optional<std::uint64_t> DecodeVarint(const std::string& buf,
     if ((byte & 0x80) == 0) {
       // Reject overlong encodings that would shift bits past 64.
       if (shift == 63 && (byte & 0x7e) != 0) return std::nullopt;
+      // Reject non-canonical (overlong) encodings: a terminal byte of 0x00
+      // after at least one continuation byte contributes no value bits, so
+      // e.g. {0x80, 0x00} would alias the one-byte encoding of 0. AppendVarint
+      // never emits such forms; rejecting them makes encode/decode bijective,
+      // which the CTR store's CRC-then-codec framing relies on.
+      if (byte == 0 && shift > 0) return std::nullopt;
       return v;
     }
   }

@@ -664,6 +664,7 @@ CampaignResult Campaign::Run() {
     const auto it = done.find(run_seed);
     if (it != done.end()) {
       result.Accumulate(it->second, config_.keep_records);
+      if (config_.record_sink) config_.record_sink(it->second);
       ++committed;
       if (telemetry != nullptr) {
         telemetry->OnTrialDone(ToTrialStats(it->second, /*replayed=*/true), 0, 0);
@@ -685,6 +686,7 @@ CampaignResult Campaign::Run() {
                                             inject_ranks_, golden_, run_seed);
     if (journal != nullptr) journal->Append(rec);
     result.Accumulate(rec, config_.keep_records);
+    if (config_.record_sink) config_.record_sink(rec);
     ++committed;
     if (telemetry != nullptr) {
       telemetry->OnTrialDone(ToTrialStats(rec, /*replayed=*/false), t0_ns,

@@ -189,6 +189,13 @@ struct CampaignConfig {
   /// attempt, *inside* the containment boundary — throwing from here
   /// exercises the retry/quarantine path deterministically.
   std::function<void(std::uint64_t, unsigned)> trial_chaos;
+  /// Called once per committed trial, in campaign seed order, right after
+  /// the record enters the result — journal-replayed records included, which
+  /// is what makes a resumed sink stream identical to an uninterrupted one.
+  /// Both drivers invoke it from single-threaded code (the serial loop / the
+  /// parallel ordered reduction). The streaming hook the CTR trial store
+  /// hangs off; an exception thrown from it ends the campaign.
+  std::function<void(const RunRecord&)> record_sink;
   /// Borrowed observability facade (obs/telemetry.h); must outlive the
   /// campaign. Null = telemetry off — instrumentation sites degrade to a
   /// thread_local load + branch and the campaign's outputs are byte-identical

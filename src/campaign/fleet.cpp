@@ -98,4 +98,69 @@ CampaignResult MergeShardRecords(const MergePlan& plan,
   return result;
 }
 
+CampaignResult MergeShardStreams(
+    const MergePlan& plan, std::vector<ShardRecordStream> streams,
+    const std::function<void(const RunRecord&)>& sink) {
+  if (streams.empty()) {
+    throw ConfigError("MergeShardStreams: no shard streams");
+  }
+  const std::uint64_t n_shards = streams.size();
+  const bool sampling_active =
+      plan.sample_policy != SamplePolicy::kUniform || plan.stop_ci > 0.0;
+  std::unique_ptr<SampleController> controller;
+  if (sampling_active) {
+    controller = std::make_unique<SampleController>(plan.sample_policy,
+                                                    plan.stop_ci);
+  }
+  const std::vector<std::uint64_t> seeds =
+      Campaign::DeriveTrialSeeds(plan.seed, plan.runs);
+
+  // Same reduction loop as MergeShardRecords, but global trial t's record is
+  // the next unread record of stream t % N instead of a map lookup — the
+  // shard partition *is* the round-robin, so pulling in lockstep walks the
+  // global seed order with one in-flight record per shard.
+  CampaignResult result;
+  result.runs = plan.runs;
+  std::uint64_t committed = 0;
+  RunRecord rec;
+  for (std::uint64_t t = 0; t < plan.runs; ++t) {
+    ShardRecordStream& stream = streams[static_cast<std::size_t>(t % n_shards)];
+    if (!stream(&rec)) {
+      throw ConfigError(StrFormat(
+          "MergeShardStreams: shard %llu ran out of records at trial %llu of "
+          "%llu — its store is incomplete",
+          static_cast<unsigned long long>(t % n_shards),
+          static_cast<unsigned long long>(t + 1),
+          static_cast<unsigned long long>(plan.runs)));
+    }
+    if (rec.run_seed != seeds[static_cast<std::size_t>(t)]) {
+      throw ConfigError(StrFormat(
+          "MergeShardStreams: shard %llu yielded trial seed %llu where the "
+          "plan expects %llu (trial %llu of %llu) — duplicate, missing, or "
+          "out-of-order trial",
+          static_cast<unsigned long long>(t % n_shards),
+          static_cast<unsigned long long>(rec.run_seed),
+          static_cast<unsigned long long>(seeds[static_cast<std::size_t>(t)]),
+          static_cast<unsigned long long>(t + 1),
+          static_cast<unsigned long long>(plan.runs)));
+    }
+    result.Accumulate(rec, plan.keep_records);
+    if (sink) sink(rec);
+    ++committed;
+    if (controller != nullptr &&
+        controller->Commit(static_cast<int>(rec.outcome), rec.deadlock,
+                           rec.sample_weight) &&
+        controller->stop_enabled()) {
+      break;
+    }
+  }
+  if (controller != nullptr) {
+    result.runs = committed;
+    result.stopped_early = controller->converged() && committed < plan.runs;
+    result.FillEstimates(controller->estimator(), plan.sample_policy,
+                         plan.stop_ci, plan.runs);
+  }
+  return result;
+}
+
 }  // namespace chaser::campaign

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,5 +54,22 @@ struct MergePlan {
 /// point, where missing trials are expected.
 CampaignResult MergeShardRecords(const MergePlan& plan,
                                  const std::vector<RunRecord>& shard_records);
+
+/// One shard's records as a pull stream, in the shard's own (seed-order)
+/// sequence: fills `*out` and returns true, or returns false at the end.
+using ShardRecordStream = std::function<bool(RunRecord*)>;
+
+/// Streaming MergeShardRecords: byte-identical result, bounded memory.
+/// `streams[i]` must yield shard i's records in order — because shard i owns
+/// exactly the global trial indices with index % N == i, the global seed
+/// order is a round-robin over the streams, so the merge pulls one record at
+/// a time and never materializes a shard's record set. Each pulled record's
+/// run_seed is verified against the plan's derived seed sequence; a mismatch
+/// (duplicate, missing, or mis-ordered trial) is a ConfigError. `sink`, when
+/// set, sees every committed record in global seed order — the hook a merged
+/// CTR store or streaming CSV export hangs off.
+CampaignResult MergeShardStreams(
+    const MergePlan& plan, std::vector<ShardRecordStream> streams,
+    const std::function<void(const RunRecord&)>& sink = nullptr);
 
 }  // namespace chaser::campaign

@@ -239,6 +239,11 @@ CampaignResult ParallelCampaign::Run() {
   for (std::uint64_t i = 0; i < committed_runs; ++i) {
     result.Accumulate(records[static_cast<std::size_t>(i)],
                       config_.keep_records);
+    // The sink sees the same seed-ordered committed prefix the serial driver
+    // streams — single-threaded here, so no locking falls on the sink.
+    if (config_.record_sink) {
+      config_.record_sink(records[static_cast<std::size_t>(i)]);
+    }
   }
   if (controller != nullptr) {
     result.stopped_early = controller->converged() && committed_runs < runs;

@@ -61,24 +61,150 @@ constexpr std::size_t kFieldsV4 = 24;
 constexpr std::size_t kFieldsV5 = 27;
 constexpr std::size_t kFieldsV6 = 29;
 
-/// infra_error is free-form exception text; flatten anything that would
-/// break the one-line-per-record framing or the comma split.
-std::string SanitizeCell(std::string s) {
-  for (char& c : s) {
-    if (c == ',' || c == '\n' || c == '\r') c = ' ';
+const char* HeaderFor(unsigned version) {
+  return version == 1   ? kRecordsHeaderV1
+         : version == 2 ? kRecordsHeaderV2
+         : version == 3 ? kRecordsHeaderV3
+         : version == 4 ? kRecordsHeaderV4
+         : version == 5 ? kRecordsHeaderV5
+                        : kRecordsHeaderV6;
+}
+
+std::size_t FieldsFor(unsigned version) {
+  return version == 1   ? kFieldsV1
+         : version == 2 ? kFieldsV2
+         : version == 3 ? kFieldsV3
+         : version == 4 ? kFieldsV4
+         : version == 5 ? kFieldsV5
+                        : kFieldsV6;
+}
+
+/// Decimal append without a temporary std::string per field. 20 digits is
+/// enough for 2^64-1.
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out->append(p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+void AppendI64(std::string* out, std::int64_t v) {
+  if (v < 0) {
+    out->push_back('-');
+    AppendU64(out, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    AppendU64(out, static_cast<std::uint64_t>(v));
   }
-  return s;
+}
+
+/// infra_error/injector/fault_class are free-form text; flatten anything
+/// that would break the one-line-per-record framing or the comma split.
+void AppendSanitized(std::string* out, const std::string& s) {
+  for (char c : s) {
+    out->push_back((c == ',' || c == '\n' || c == '\r') ? ' ' : c);
+  }
 }
 
 }  // namespace
 
-void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
-                     SamplePolicy policy) {
+unsigned RecordsCsvVersionFor(bool any_injector, SamplePolicy policy) {
   // Uniform campaigns never populate the sampling columns, so they keep
   // writing v4 — byte for byte what earlier builds produced. Only sampled
   // campaigns opt into the wider v5 layout, and only campaigns run with a
   // non-default injector (the one way records gain an injector name) opt
   // into v6, which carries both the sampling and the injector columns.
+  if (any_injector) return 6;
+  if (policy != SamplePolicy::kUniform) return 5;
+  return 4;
+}
+
+void AppendRecordsCsvHeader(std::string* out, unsigned version) {
+  if (version >= 3) {
+    out->append(kVersionLinePrefix);
+    AppendU64(out, version);
+    out->push_back('\n');
+  }
+  out->append(HeaderFor(version));
+  out->push_back('\n');
+}
+
+void AppendRecordsCsvRow(std::string* out, const RunRecord& r,
+                         unsigned version) {
+  AppendU64(out, r.run_seed);
+  out->push_back(',');
+  out->append(OutcomeName(r.outcome));
+  out->push_back(',');
+  out->append(vm::TerminationKindName(r.kind));
+  out->push_back(',');
+  out->append(vm::GuestSignalName(r.signal));
+  out->push_back(',');
+  AppendI64(out, r.inject_rank);
+  out->push_back(',');
+  AppendI64(out, r.failure_rank);
+  out->push_back(',');
+  out->push_back(r.deadlock ? '1' : '0');
+  out->push_back(',');
+  out->push_back(r.propagated_cross_rank ? '1' : '0');
+  out->push_back(',');
+  out->push_back(r.propagated_cross_node ? '1' : '0');
+  out->push_back(',');
+  AppendU64(out, r.injections);
+  out->push_back(',');
+  AppendU64(out, r.tainted_reads);
+  out->push_back(',');
+  AppendU64(out, r.tainted_writes);
+  out->push_back(',');
+  AppendU64(out, r.peak_tainted_bytes);
+  out->push_back(',');
+  AppendU64(out, r.tainted_output_bytes);
+  out->push_back(',');
+  AppendU64(out, r.trigger_nth);
+  out->push_back(',');
+  AppendU64(out, r.flip_bits);
+  out->push_back(',');
+  AppendU64(out, r.instructions);
+  if (version >= 2) {
+    out->push_back(',');
+    AppendU64(out, r.trace_dropped);
+  }
+  if (version >= 3) {
+    out->push_back(',');
+    AppendU64(out, r.taint_lost);
+    out->push_back(',');
+    AppendU64(out, r.retries);
+    out->push_back(',');
+    AppendSanitized(out, r.infra_error);
+  }
+  if (version >= 4) {
+    out->push_back(',');
+    AppendU64(out, r.tb_chain_hits);
+    out->push_back(',');
+    AppendU64(out, r.tlb_hits);
+    out->push_back(',');
+    AppendU64(out, r.tlb_misses);
+  }
+  if (version >= 5) {
+    out->push_back(',');
+    AppendU64(out, r.inject_pc);
+    out->push_back(',');
+    out->append(guest::ClassName(r.inject_class));
+    out->push_back(',');
+    out->append(StrFormat("%.17g", r.sample_weight));
+  }
+  if (version >= 6) {
+    out->push_back(',');
+    AppendSanitized(out, r.injector);
+    out->push_back(',');
+    AppendSanitized(out, r.fault_class);
+  }
+  out->push_back('\n');
+}
+
+void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
+                     SamplePolicy policy) {
   bool custom = false;
   for (const RunRecord& r : records) {
     if (!r.injector.empty()) {
@@ -86,33 +212,21 @@ void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
       break;
     }
   }
-  const bool sampled = custom || policy != SamplePolicy::kUniform;
-  const unsigned version = custom ? 6u : sampled ? 5u : 4u;
-  out << kVersionLinePrefix << version << '\n';
-  out << (custom ? kRecordsHeaderV6 : sampled ? kRecordsHeaderV5 : kRecordsHeaderV4)
-      << '\n';
+  const unsigned version = RecordsCsvVersionFor(custom, policy);
+  // One preallocated append buffer instead of per-field ostream inserts:
+  // rows are ~120-150 bytes, so reserve generously and flush in chunks to
+  // keep the buffer out of large-allocation territory on million-row files.
+  std::string buf;
+  buf.reserve(1 << 16);
+  AppendRecordsCsvHeader(&buf, version);
   for (const RunRecord& r : records) {
-    out << r.run_seed << ',' << OutcomeName(r.outcome) << ','
-        << vm::TerminationKindName(r.kind) << ',' << vm::GuestSignalName(r.signal)
-        << ',' << r.inject_rank << ',' << r.failure_rank << ','
-        << (r.deadlock ? 1 : 0) << ',' << (r.propagated_cross_rank ? 1 : 0) << ','
-        << (r.propagated_cross_node ? 1 : 0) << ',' << r.injections << ','
-        << r.tainted_reads << ',' << r.tainted_writes << ','
-        << r.peak_tainted_bytes << ',' << r.tainted_output_bytes << ','
-        << r.trigger_nth << ',' << r.flip_bits << ',' << r.instructions << ','
-        << r.trace_dropped << ',' << r.taint_lost << ',' << r.retries << ','
-        << SanitizeCell(r.infra_error) << ',' << r.tb_chain_hits << ','
-        << r.tlb_hits << ',' << r.tlb_misses;
-    if (sampled) {
-      out << ',' << r.inject_pc << ',' << guest::ClassName(r.inject_class)
-          << ',' << StrFormat("%.17g", r.sample_weight);
+    AppendRecordsCsvRow(&buf, r, version);
+    if (buf.size() >= (1 << 16) - 256) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
     }
-    if (custom) {
-      out << ',' << SanitizeCell(r.injector) << ','
-          << SanitizeCell(r.fault_class);
-    }
-    out << '\n';
   }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 namespace {
@@ -159,15 +273,14 @@ std::int64_t ParseSigned(const std::string& s) {
 
 }  // namespace
 
-std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
+RecordsCsvReader::RecordsCsvReader(std::istream& in) : in_(in) {
   std::string line;
-  if (!std::getline(in, line)) {
+  if (!std::getline(in_, line)) {
     throw ConfigError("ReadRecordsCsv: missing or unexpected header");
   }
 
   // Versioned files lead with `#chaser-records-csv vN`; versionless files
   // are identified by which historical bare header their first line matches.
-  unsigned version = 0;
   const std::string prefix = kVersionLinePrefix;
   if (line.rfind(prefix, 0) == 0) {
     std::uint64_t v = 0;
@@ -180,42 +293,32 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
           "v%u — regenerate or upgrade",
           static_cast<unsigned long long>(v), kRecordsCsvVersion));
     }
-    version = static_cast<unsigned>(v);
-    if (!std::getline(in, line)) {
+    version_ = static_cast<unsigned>(v);
+    if (!std::getline(in_, line)) {
       throw ConfigError("ReadRecordsCsv: version line without a header");
     }
-    const char* expected = version == 1   ? kRecordsHeaderV1
-                           : version == 2 ? kRecordsHeaderV2
-                           : version == 3 ? kRecordsHeaderV3
-                           : version == 4 ? kRecordsHeaderV4
-                           : version == 5 ? kRecordsHeaderV5
-                                          : kRecordsHeaderV6;
-    if (line != expected) {
+    if (line != HeaderFor(version_)) {
       throw ConfigError(StrFormat(
-          "ReadRecordsCsv: header does not match format v%u", version));
+          "ReadRecordsCsv: header does not match format v%u", version_));
     }
   } else if (line == kRecordsHeaderV2) {
-    version = 2;
+    version_ = 2;
   } else if (line == kRecordsHeaderV1) {
-    version = 1;
+    version_ = 1;
   } else {
     throw ConfigError("ReadRecordsCsv: missing or unexpected header");
   }
+  fields_ = FieldsFor(version_);
+}
 
-  const std::size_t fields = version == 1   ? kFieldsV1
-                             : version == 2 ? kFieldsV2
-                             : version == 3 ? kFieldsV3
-                             : version == 4 ? kFieldsV4
-                             : version == 5 ? kFieldsV5
-                                            : kFieldsV6;
-  std::vector<RunRecord> records;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::vector<std::string> f = Split(line, ',');
-    if (f.size() != fields) {
+bool RecordsCsvReader::Next(RunRecord* out) {
+  while (std::getline(in_, line_)) {
+    if (line_.empty()) continue;
+    const std::vector<std::string> f = Split(line_, ',');
+    if (f.size() != fields_) {
       throw ConfigError(StrFormat(
-          "ReadRecordsCsv: expected %zu fields (format v%u), got %zu", fields,
-          version, f.size()));
+          "ReadRecordsCsv: expected %zu fields (format v%u), got %zu", fields_,
+          version_, f.size()));
     }
     RunRecord r;
     r.run_seed = ParseNum(f[0]);
@@ -235,18 +338,18 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
     r.trigger_nth = ParseNum(f[14]);
     r.flip_bits = static_cast<unsigned>(ParseNum(f[15]));
     r.instructions = ParseNum(f[16]);
-    if (version >= 2) r.trace_dropped = ParseNum(f[17]);
-    if (version >= 3) {
+    if (version_ >= 2) r.trace_dropped = ParseNum(f[17]);
+    if (version_ >= 3) {
       r.taint_lost = ParseNum(f[18]);
       r.retries = static_cast<unsigned>(ParseNum(f[19]));
       r.infra_error = f[20];
     }
-    if (version >= 4) {
+    if (version_ >= 4) {
       r.tb_chain_hits = ParseNum(f[21]);
       r.tlb_hits = ParseNum(f[22]);
       r.tlb_misses = ParseNum(f[23]);
     }
-    if (version >= 5) {
+    if (version_ >= 5) {
       r.inject_pc = ParseNum(f[24]);
       if (!guest::ParseInstrClass(f[25], &r.inject_class)) {
         throw ConfigError("ReadRecordsCsv: unknown instruction class '" +
@@ -258,12 +361,22 @@ std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
         throw ConfigError("ReadRecordsCsv: bad sample_weight '" + f[26] + "'");
       }
     }
-    if (version >= 6) {
+    if (version_ >= 6) {
       r.injector = f[27];
       r.fault_class = f[28];
     }
-    records.push_back(r);
+    ++rows_;
+    *out = r;
+    return true;
   }
+  return false;
+}
+
+std::vector<RunRecord> ReadRecordsCsv(std::istream& in) {
+  RecordsCsvReader reader(in);
+  std::vector<RunRecord> records;
+  RunRecord r;
+  while (reader.Next(&r)) records.push_back(r);
   return records;
 }
 

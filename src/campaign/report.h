@@ -36,6 +36,51 @@ inline constexpr unsigned kRecordsCsvVersion = 6;
 void WriteRecordsCsv(const std::vector<RunRecord>& records, std::ostream& out,
                      SamplePolicy policy = SamplePolicy::kUniform);
 
+/// The version WriteRecordsCsv picks for a record set: v6 when any record
+/// carries an injector name, else v5 for sampled policies, else v4. The CTR
+/// store's export-csv path shares this rule so its output is byte-identical
+/// to the native CSV of the same campaign.
+unsigned RecordsCsvVersionFor(bool any_injector, SamplePolicy policy);
+
+/// Append the `#chaser-records-csv vN` version line plus the column header
+/// for `version` (4..kRecordsCsvVersion) to `*out`.
+void AppendRecordsCsvHeader(std::string* out, unsigned version);
+
+/// Append one record row (newline included) in the `version` layout. This is
+/// the one row formatter behind WriteRecordsCsv and the CTR store's
+/// streaming export — appends into a caller-owned buffer instead of going
+/// through an ostream, so a million-row export never pays per-field stream
+/// state churn.
+void AppendRecordsCsvRow(std::string* out, const RunRecord& r,
+                         unsigned version);
+
+/// Streaming (line-at-a-time) reader over a records CSV: parses the
+/// version/header eagerly, then decodes one row per Next() call without ever
+/// materializing the whole file. ReadRecordsCsv is this reader plus a
+/// vector; chaser_analyze summarize streams through it directly so shard
+/// CSVs from million-trial campaigns aggregate in constant memory.
+class RecordsCsvReader {
+ public:
+  /// Reads and validates the header lines; throws ConfigError on an
+  /// unknown/too-new header. `in` is borrowed and must outlive the reader.
+  explicit RecordsCsvReader(std::istream& in);
+
+  /// Decode the next row into `*out` (fields the version predates get their
+  /// defaults). Returns false at end of input; throws ConfigError on a
+  /// malformed row.
+  bool Next(RunRecord* out);
+
+  unsigned version() const { return version_; }
+  std::uint64_t rows() const { return rows_; }
+
+ private:
+  std::istream& in_;
+  unsigned version_ = 0;
+  std::size_t fields_ = 0;
+  std::uint64_t rows_ = 0;
+  std::string line_;
+};
+
 /// Parse a CSV produced by WriteRecordsCsv — any version this build knows:
 ///   v1  bare 17-column header (pre trace_dropped)
 ///   v2  bare 18-column header (adds trace_dropped)

@@ -57,6 +57,37 @@ TEST(Report, RecordsCsvRoundTrip) {
   EXPECT_EQ(back[1].failure_rank, -1);
 }
 
+TEST(Report, AppendBufferWriterIsByteExact) {
+  // The writer formats rows into one preallocated append buffer instead of
+  // per-field ostream inserts; pin the exact bytes so any future formatter
+  // change that would perturb archived CSVs (or the CTR export identity)
+  // fails here first.
+  std::stringstream ss;
+  WriteRecordsCsv({SampleRecord(1)}, ss);
+  EXPECT_EQ(ss.str(),
+            "#chaser-records-csv v4\n"
+            "run_seed,outcome,kind,signal,inject_rank,failure_rank,deadlock,"
+            "propagated_cross_rank,propagated_cross_node,injections,"
+            "tainted_reads,tainted_writes,peak_tainted_bytes,"
+            "tainted_output_bytes,trigger_nth,flip_bits,instructions,"
+            "trace_dropped,taint_lost,retries,infra_error,tb_chain_hits,"
+            "tlb_hits,tlb_misses\n"
+            "1,terminated,os-exception,SIGSEGV,0,2,0,1,1,1,123,45,678,0,999,2,"
+            "1000000,41,0,0,,0,0,0\n");
+
+  // And the streamed output is exactly header + per-row appends, including
+  // across the 64 KiB chunked-flush boundary.
+  std::vector<RunRecord> many;
+  for (std::uint64_t i = 0; i < 1500; ++i) many.push_back(SampleRecord(i));
+  std::stringstream streamed;
+  WriteRecordsCsv(many, streamed);
+  std::string expected;
+  AppendRecordsCsvHeader(&expected, 4);
+  for (const RunRecord& r : many) AppendRecordsCsvRow(&expected, r, 4);
+  EXPECT_GT(expected.size(), std::size_t{1} << 16);
+  EXPECT_EQ(streamed.str(), expected);
+}
+
 TEST(Report, ReadRejectsBadHeader) {
   std::stringstream ss("nonsense\n1,2,3\n");
   EXPECT_THROW(ReadRecordsCsv(ss), ConfigError);

@@ -1,0 +1,618 @@
+// Tests for src/store: the CTR columnar trial store must round-trip every
+// RunRecord field, survive truncation at any byte and random bit rot by
+// serving the intact block prefix, converge back to the uninterrupted byte
+// stream on resume, and export a records CSV byte-identical to
+// WriteRecordsCsv — the property that lets CSV retire to an export format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/spool.h"
+#include "campaign/campaign.h"
+#include "campaign/fleet.h"
+#include "campaign/report.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "store/ctr.h"
+#include "store/query.h"
+
+namespace chaser::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+using campaign::Outcome;
+using campaign::RunRecord;
+
+std::string TempPath(const std::string& name) {
+  const std::string path =
+      (fs::temp_directory_path() / ("chaser_store_test_" + name)).string();
+  fs::remove_all(path);
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CtrStoreInfo TestIdentity() {
+  CtrStoreInfo info;
+  info.campaign_seed = 42;
+  info.app = "accum";
+  return info;
+}
+
+/// A deterministic spread of records covering every encoder path: const
+/// columns, delta-friendly counters, random seeds, signed ranks, all flags,
+/// dictionary strings (injector/fault_class/infra_error), and non-unit
+/// sample weights.
+std::vector<RunRecord> SampleRecords(std::size_t n) {
+  std::vector<RunRecord> recs;
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    RunRecord r;
+    r.run_seed = rng.UniformU64(0, ~0ull);
+    r.outcome = static_cast<Outcome>(i % 5);
+    r.kind = static_cast<vm::TerminationKind>(i % 3);
+    r.signal = i % 7 == 0 ? vm::GuestSignal::kSegv : vm::GuestSignal::kNone;
+    r.inject_rank = static_cast<Rank>(i % 4);
+    r.failure_rank = i % 5 == 2 ? static_cast<Rank>(i % 4) : -1;
+    r.deadlock = i % 11 == 3;
+    r.propagated_cross_rank = i % 3 == 0;
+    r.propagated_cross_node = i % 9 == 0;
+    r.injections = 1;
+    r.tainted_reads = i % 5 == 0 ? 0 : 100 + (i % 50);
+    r.tainted_writes = i % 5 == 0 ? 0 : 90 + (i % 40);
+    r.peak_tainted_bytes = 8 * (i % 100);
+    r.tainted_output_bytes = i % 5 == 2 ? 16 : 0;
+    r.trigger_nth = rng.UniformU64(1, 100000);
+    r.flip_bits = 1 + (i % 2);
+    r.instructions = 1000000 + (i % 997);
+    r.tb_chain_hits = 50000 + (i % 321);
+    r.tlb_hits = 300000 + (i % 555);
+    r.tlb_misses = 40 + (i % 7);
+    r.trace_dropped = i % 17 == 0 ? 12 : 0;
+    r.taint_lost = i % 23 == 0 ? 2 : 0;
+    r.retries = i % 29 == 0 ? 1 : 0;
+    r.inject_pc = 0x1000 + 8 * (i % 37);
+    r.inject_class = i % 2 == 0 ? guest::InstrClass::kFadd
+                                : guest::InstrClass::kFmul;
+    r.sample_weight = i % 13 == 0 ? 1.0 / 3.0 : 1.0;
+    r.injector = i % 3 == 0 ? "stuckat" : (i % 3 == 1 ? "multibit" : "");
+    r.fault_class = i % 3 == 0 ? "stuck-at" : (i % 3 == 1 ? "burst" : "");
+    if (i % 31 == 30) {
+      r.outcome = Outcome::kInfra;
+      r.infra_error = "TrialEngine: simulated failure, attempt 2";
+    }
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+void ExpectRecordEq(const RunRecord& a, const RunRecord& b, std::size_t i) {
+  EXPECT_EQ(a.run_seed, b.run_seed) << "record " << i;
+  EXPECT_EQ(a.outcome, b.outcome) << "record " << i;
+  EXPECT_EQ(a.kind, b.kind) << "record " << i;
+  EXPECT_EQ(a.signal, b.signal) << "record " << i;
+  EXPECT_EQ(a.inject_rank, b.inject_rank) << "record " << i;
+  EXPECT_EQ(a.failure_rank, b.failure_rank) << "record " << i;
+  EXPECT_EQ(a.deadlock, b.deadlock) << "record " << i;
+  EXPECT_EQ(a.propagated_cross_rank, b.propagated_cross_rank) << "record " << i;
+  EXPECT_EQ(a.propagated_cross_node, b.propagated_cross_node) << "record " << i;
+  EXPECT_EQ(a.injections, b.injections) << "record " << i;
+  EXPECT_EQ(a.tainted_reads, b.tainted_reads) << "record " << i;
+  EXPECT_EQ(a.tainted_writes, b.tainted_writes) << "record " << i;
+  EXPECT_EQ(a.peak_tainted_bytes, b.peak_tainted_bytes) << "record " << i;
+  EXPECT_EQ(a.tainted_output_bytes, b.tainted_output_bytes) << "record " << i;
+  EXPECT_EQ(a.trigger_nth, b.trigger_nth) << "record " << i;
+  EXPECT_EQ(a.flip_bits, b.flip_bits) << "record " << i;
+  EXPECT_EQ(a.instructions, b.instructions) << "record " << i;
+  EXPECT_EQ(a.tb_chain_hits, b.tb_chain_hits) << "record " << i;
+  EXPECT_EQ(a.tlb_hits, b.tlb_hits) << "record " << i;
+  EXPECT_EQ(a.tlb_misses, b.tlb_misses) << "record " << i;
+  EXPECT_EQ(a.trace_dropped, b.trace_dropped) << "record " << i;
+  EXPECT_EQ(a.taint_lost, b.taint_lost) << "record " << i;
+  EXPECT_EQ(a.retries, b.retries) << "record " << i;
+  EXPECT_EQ(a.infra_error, b.infra_error) << "record " << i;
+  EXPECT_EQ(a.inject_pc, b.inject_pc) << "record " << i;
+  EXPECT_EQ(a.inject_class, b.inject_class) << "record " << i;
+  EXPECT_EQ(a.sample_weight, b.sample_weight) << "record " << i;
+  EXPECT_EQ(a.injector, b.injector) << "record " << i;
+  EXPECT_EQ(a.fault_class, b.fault_class) << "record " << i;
+}
+
+void WriteStore(const std::string& dir, const std::vector<RunRecord>& recs,
+                CtrWriterOptions options = {}) {
+  CtrStoreWriter writer(dir, TestIdentity(), options);
+  for (const RunRecord& r : recs) writer.Add(r);
+  writer.Finish();
+}
+
+std::vector<RunRecord> ScanAll(const std::string& path,
+                               ColumnMask mask = kAllColumns,
+                               bool* truncated = nullptr,
+                               bool* sealed = nullptr) {
+  CtrStoreScanner scanner(path, mask);
+  std::vector<RunRecord> out;
+  RunRecord r;
+  while (scanner.Next(&r)) out.push_back(r);
+  if (truncated != nullptr) *truncated = scanner.truncated();
+  if (sealed != nullptr) *sealed = scanner.sealed();
+  return out;
+}
+
+/// Offset one past the header frame: 8-byte magic, then LEB128 payload
+/// length, payload, 4-byte CRC.
+std::size_t HeaderEnd(const std::string& bytes) {
+  std::size_t pos = 8;
+  std::uint64_t len = 0;
+  unsigned shift = 0;
+  while (true) {
+    const auto b = static_cast<unsigned char>(bytes.at(pos++));
+    len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return pos + static_cast<std::size_t>(len) + 4;
+}
+
+// ---- Round trip --------------------------------------------------------------
+
+TEST(CtrStore, RoundTripAllFieldsAcrossBlocks) {
+  const std::string dir = TempPath("roundtrip");
+  const std::vector<RunRecord> recs = SampleRecords(43);
+  CtrWriterOptions options;
+  options.block_records = 8;  // 5 full blocks + a partial one
+  WriteStore(dir, recs, options);
+
+  bool truncated = true, sealed = false;
+  const std::vector<RunRecord> back =
+      ScanAll(dir, kAllColumns, &truncated, &sealed);
+  EXPECT_FALSE(truncated);
+  EXPECT_TRUE(sealed);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    ExpectRecordEq(recs[i], back[i], i);
+  }
+}
+
+TEST(CtrStore, ByteStreamIsDeterministic) {
+  const std::string a = TempPath("det_a");
+  const std::string b = TempPath("det_b");
+  const std::vector<RunRecord> recs = SampleRecords(20);
+  CtrWriterOptions options;
+  options.block_records = 6;
+  WriteStore(a, recs, options);
+  WriteStore(b, recs, options);
+  EXPECT_EQ(ReadFileBytes(a + "/seg-000000.ctr"),
+            ReadFileBytes(b + "/seg-000000.ctr"));
+}
+
+TEST(CtrStore, SegmentRollOverPreservesOrderAndSeeds) {
+  const std::string dir = TempPath("rollover");
+  const std::vector<RunRecord> recs = SampleRecords(64);
+  CtrWriterOptions options;
+  options.block_records = 4;
+  options.segment_cap_bytes = 1;  // roll after every flushed block
+  {
+    CtrStoreWriter writer(dir, TestIdentity(), options);
+    for (const RunRecord& r : recs) writer.Add(r);
+    writer.Finish();
+    EXPECT_GT(writer.segments(), 4u);
+  }
+  const std::vector<RunRecord> back = ScanAll(dir);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    ExpectRecordEq(recs[i], back[i], i);
+  }
+}
+
+TEST(CtrStore, ColumnMaskDecodesOnlySelectedColumns) {
+  const std::string dir = TempPath("mask");
+  const std::vector<RunRecord> recs = SampleRecords(10);
+  WriteStore(dir, recs);
+  const ColumnMask mask = MaskOf(kColRunSeed) | MaskOf(kColOutcome) |
+                          MaskOf(kColInjector);
+  const std::vector<RunRecord> back = ScanAll(dir, mask);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(back[i].run_seed, recs[i].run_seed);
+    EXPECT_EQ(back[i].outcome, recs[i].outcome);
+    EXPECT_EQ(back[i].injector, recs[i].injector);
+    // Unselected columns keep their defaults (skipped by length prefix).
+    EXPECT_EQ(back[i].instructions, 0u);
+    EXPECT_EQ(back[i].tlb_hits, 0u);
+    EXPECT_EQ(back[i].fault_class, "");
+  }
+}
+
+TEST(CtrStore, EmptyStoreSealsAndScansEmpty) {
+  const std::string dir = TempPath("empty");
+  WriteStore(dir, {});
+  bool truncated = true, sealed = false;
+  EXPECT_TRUE(ScanAll(dir, kAllColumns, &truncated, &sealed).empty());
+  EXPECT_FALSE(truncated);
+  EXPECT_TRUE(sealed);
+}
+
+TEST(CtrStore, IdentityMismatchRefusesResume) {
+  const std::string dir = TempPath("identity");
+  WriteStore(dir, SampleRecords(5));
+  CtrWriterOptions resume;
+  resume.resume = true;
+  CtrStoreInfo other = TestIdentity();
+  other.campaign_seed = 43;
+  EXPECT_THROW(CtrStoreWriter(dir, other, resume), ConfigError);
+  other = TestIdentity();
+  other.app = "matvec";
+  EXPECT_THROW(CtrStoreWriter(dir, other, resume), ConfigError);
+  other = TestIdentity();
+  other.shard_count = 4;
+  EXPECT_THROW(CtrStoreWriter(dir, other, resume), ConfigError);
+}
+
+TEST(CtrStore, ResumedStoreFromLongerRunRefusesToFinishShort) {
+  const std::string dir = TempPath("longer");
+  const std::vector<RunRecord> recs = SampleRecords(12);
+  CtrWriterOptions options;
+  options.block_records = 4;
+  WriteStore(dir, recs, options);
+  options.resume = true;
+  CtrStoreWriter writer(dir, TestIdentity(), options);
+  for (std::size_t i = 0; i < 6; ++i) writer.Add(recs[i]);
+  EXPECT_THROW(writer.Finish(), ConfigError);
+}
+
+TEST(CtrStore, ResumeWithDivergentTrialSequenceThrowsAtBoundary) {
+  const std::string dir = TempPath("diverge");
+  const std::vector<RunRecord> recs = SampleRecords(9);
+  CtrWriterOptions options;
+  options.block_records = 4;
+  WriteStore(dir, recs, options);
+  options.resume = true;
+  CtrStoreWriter writer(dir, TestIdentity(), options);
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+          RunRecord r = recs[i];
+          r.run_seed ^= 1;  // a different campaign's seed sequence
+          writer.Add(r);
+        }
+      },
+      ConfigError);
+}
+
+// ---- Crash discipline --------------------------------------------------------
+
+TEST(CtrStore, TruncationAtEveryByteServesPrefixAndResumeConverges) {
+  const std::string src = TempPath("cut_src");
+  const std::vector<RunRecord> recs = SampleRecords(11);
+  CtrWriterOptions options;
+  options.block_records = 4;  // 2 full blocks + a partial block of 3
+  WriteStore(src, recs, options);
+  const std::string seg = src + "/seg-000000.ctr";
+  const std::string full = ReadFileBytes(seg);
+  const std::size_t header_end = HeaderEnd(full);
+
+  const std::string cut = TempPath("cut_copy");
+  std::size_t prev_served = 0;
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    fs::create_directories(cut);
+    WriteFileBytes(cut + "/seg-000000.ctr", full.substr(0, len));
+
+    // The scanner serves the intact block prefix, bit-exact; below an
+    // intact header the store is structurally unreadable and throws.
+    std::optional<std::vector<RunRecord>> served;
+    bool truncated = false, sealed = false;
+    try {
+      served = ScanAll(cut, kAllColumns, &truncated, &sealed);
+    } catch (const ConfigError&) {
+      EXPECT_LT(len, header_end) << "cut at byte " << len;
+    }
+    if (served.has_value()) {
+      ASSERT_LE(served->size(), recs.size()) << "cut at byte " << len;
+      for (std::size_t i = 0; i < served->size(); ++i) {
+        ExpectRecordEq(recs[i], (*served)[i], i);
+      }
+      // Served records only grow with the intact prefix, and only the full
+      // file is sealed and untruncated.
+      EXPECT_GE(served->size(), prev_served) << "cut at byte " << len;
+      prev_served = served->size();
+      if (len == full.size()) {
+        EXPECT_EQ(served->size(), recs.size());
+        EXPECT_TRUE(sealed);
+        EXPECT_FALSE(truncated);
+      } else {
+        EXPECT_TRUE(!sealed || truncated) << "cut at byte " << len;
+      }
+    }
+
+    // Resuming over the cut and re-adding the full record stream must
+    // converge to the uninterrupted byte stream, whatever the cut point —
+    // including cuts inside the header (segment rebuilt from scratch) and
+    // cuts that leave Finish()'s partial block without its footer (the
+    // partial block is dropped and re-written).
+    CtrWriterOptions resume = options;
+    resume.resume = true;
+    {
+      CtrStoreWriter writer(cut, TestIdentity(), resume);
+      for (const RunRecord& r : recs) writer.Add(r);
+      writer.Finish();
+    }
+    EXPECT_EQ(ReadFileBytes(cut + "/seg-000000.ctr"), full)
+        << "resume after cut at byte " << len;
+    fs::remove_all(cut);
+  }
+}
+
+TEST(CtrStore, BitFlipFuzzNeverServesCorruptRecords) {
+  const std::string src = TempPath("flip_src");
+  const std::vector<RunRecord> recs = SampleRecords(11);
+  CtrWriterOptions options;
+  options.block_records = 4;
+  WriteStore(src, recs, options);
+  const std::string full = ReadFileBytes(src + "/seg-000000.ctr");
+  const std::size_t header_end = HeaderEnd(full);
+  const std::string flipped = TempPath("flip_copy");
+
+  Rng rng(2026);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Flip one random bit past the header (header corruption is a
+    // legitimate hard error, covered above). The frame CRC must catch the
+    // flip at the frame it lands in: whatever is served is a bit-exact
+    // record prefix, never garbage.
+    std::string bytes = full;
+    const std::size_t byte = static_cast<std::size_t>(
+        rng.UniformU64(header_end, bytes.size() - 1));
+    bytes[byte] = static_cast<char>(
+        bytes[byte] ^ static_cast<char>(1u << rng.UniformU64(0, 7)));
+    fs::create_directories(flipped);
+    WriteFileBytes(flipped + "/seg-000000.ctr", bytes);
+
+    std::vector<RunRecord> served;
+    ASSERT_NO_THROW(served = ScanAll(flipped)) << "flip in byte " << byte;
+    ASSERT_LE(served.size(), recs.size());
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      ExpectRecordEq(recs[i], served[i], i);
+    }
+    fs::remove_all(flipped);
+  }
+}
+
+TEST(CtrStore, HalfCreatedLastSegmentIsDroppedOnResume) {
+  const std::string dir = TempPath("halfseg");
+  const std::vector<RunRecord> recs = SampleRecords(16);
+  CtrWriterOptions options;
+  options.block_records = 4;
+  options.segment_cap_bytes = 1;  // several sealed segments
+  WriteStore(dir, recs, options);
+  const std::size_t segments = ScanAll(dir).size();
+  ASSERT_EQ(segments, recs.size());
+  // Simulate a crash right after the next segment's file was created but
+  // before its header landed.
+  const std::vector<std::string> names = [&] {
+    std::vector<std::string> v;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      v.push_back(e.path().string());
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  WriteFileBytes(dir + "/seg-009999.ctr", "CH");  // torn mid-magic
+  CtrWriterOptions resume = options;
+  resume.resume = true;
+  {
+    CtrStoreWriter writer(dir, TestIdentity(), resume);
+    for (const RunRecord& r : recs) writer.Add(r);
+    writer.Finish();
+    EXPECT_EQ(writer.stored(), recs.size());
+  }
+  EXPECT_FALSE(fs::exists(dir + "/seg-009999.ctr"));
+  const std::vector<RunRecord> back = ScanAll(dir);
+  ASSERT_EQ(back.size(), recs.size());
+}
+
+// ---- CSV export identity -----------------------------------------------------
+
+std::string ReferenceCsv(const std::vector<RunRecord>& recs,
+                         campaign::SamplePolicy policy) {
+  std::ostringstream out;
+  campaign::WriteRecordsCsv(recs, out, policy);
+  return out.str();
+}
+
+std::string ExportedCsv(const std::string& dir) {
+  std::ostringstream out;
+  ExportCsv(dir, out);
+  return out.str();
+}
+
+TEST(CtrExport, ByteIdenticalToWriteRecordsCsvAcrossVersions) {
+  // v6: custom injectors present.
+  {
+    const std::string dir = TempPath("export_v6");
+    const std::vector<RunRecord> recs = SampleRecords(37);
+    CtrWriterOptions options;
+    options.block_records = 8;
+    WriteStore(dir, recs, options);
+    EXPECT_EQ(ExportedCsv(dir),
+              ReferenceCsv(recs, campaign::SamplePolicy::kUniform));
+  }
+  // v4: uniform policy, no injectors — the version probe must not be fooled
+  // by the empty dictionary column.
+  {
+    const std::string dir = TempPath("export_v4");
+    std::vector<RunRecord> recs = SampleRecords(21);
+    for (RunRecord& r : recs) {
+      r.injector.clear();
+      r.fault_class.clear();
+    }
+    WriteStore(dir, recs);
+    EXPECT_EQ(ExportedCsv(dir),
+              ReferenceCsv(recs, campaign::SamplePolicy::kUniform));
+  }
+  // v5: non-uniform policy, still no injectors.
+  {
+    const std::string dir = TempPath("export_v5");
+    std::vector<RunRecord> recs = SampleRecords(21);
+    for (RunRecord& r : recs) {
+      r.injector.clear();
+      r.fault_class.clear();
+    }
+    CtrStoreInfo info = TestIdentity();
+    info.sample_policy = campaign::SamplePolicy::kStratified;
+    CtrStoreWriter writer(TempPath("export_v5"), info, {});
+    for (const RunRecord& r : recs) writer.Add(r);
+    writer.Finish();
+    EXPECT_EQ(ExportedCsv(dir),
+              ReferenceCsv(recs, campaign::SamplePolicy::kStratified));
+  }
+}
+
+TEST(CtrExport, ShardStreamMergeMatchesRecordMerge) {
+  // Partition records over 3 shards by index % 3 (exactly the fleet
+  // partition), write each shard's store, and stream-merge: the result must
+  // render identically to the whole-file record merge, and the sink must
+  // see the global seed order.
+  const std::uint64_t runs = 30;
+  const std::uint64_t seed = 99;
+  const std::vector<std::uint64_t> seeds =
+      campaign::Campaign::DeriveTrialSeeds(seed, runs);
+  std::vector<RunRecord> all = SampleRecords(runs);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i].run_seed = seeds[i];
+
+  std::vector<std::string> dirs;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const std::string dir = TempPath("merge_shard" + std::to_string(s));
+    dirs.push_back(dir);
+    CtrStoreInfo info = TestIdentity();
+    info.campaign_seed = seed;
+    info.shard_index = s;
+    info.shard_count = 3;
+    CtrStoreWriter writer(dir, info, {});
+    for (std::size_t i = s; i < all.size(); i += 3) writer.Add(all[i]);
+    writer.Finish();
+  }
+
+  campaign::MergePlan plan;
+  plan.app = "accum";
+  plan.runs = runs;
+  plan.seed = seed;
+  const campaign::CampaignResult by_records =
+      campaign::MergeShardRecords(plan, all);
+
+  std::vector<std::unique_ptr<CtrStoreScanner>> scanners;
+  std::vector<campaign::ShardRecordStream> streams;
+  for (const std::string& dir : dirs) {
+    scanners.push_back(std::make_unique<CtrStoreScanner>(dir));
+    streams.push_back([s = scanners.back().get()](RunRecord* out) {
+      return s->Next(out);
+    });
+  }
+  std::vector<std::uint64_t> sink_seeds;
+  const campaign::CampaignResult by_streams = campaign::MergeShardStreams(
+      plan, std::move(streams),
+      [&](const RunRecord& r) { sink_seeds.push_back(r.run_seed); });
+  EXPECT_EQ(by_streams.Render("accum"), by_records.Render("accum"));
+  EXPECT_EQ(sink_seeds, seeds);
+}
+
+// ---- Query engine ------------------------------------------------------------
+
+TEST(CtrQuery, FilterGroupAndTopKMatchDirectTallies) {
+  const std::string dir = TempPath("query");
+  const std::vector<RunRecord> recs = SampleRecords(60);
+  CtrWriterOptions options;
+  options.block_records = 16;
+  WriteStore(dir, recs, options);
+
+  QueryOptions q;
+  q.filter = ParseTrialFilter("injector=stuckat");
+  q.group_by = GroupBy::kOutcome;
+  q.top_k = 3;
+  const QueryResult res = RunQuery(dir, q);
+
+  std::uint64_t expect_matched = 0;
+  double expect_weight = 0.0;
+  for (const RunRecord& r : recs) {
+    if (r.injector != "stuckat") continue;
+    ++expect_matched;
+    expect_weight += r.sample_weight;
+  }
+  EXPECT_EQ(res.scanned, recs.size());
+  EXPECT_EQ(res.matched, expect_matched);
+  EXPECT_EQ(res.total.trials, expect_matched);
+  EXPECT_DOUBLE_EQ(res.total.weight, expect_weight);
+  std::uint64_t group_sum = 0;
+  for (const auto& [label, agg] : res.groups) group_sum += agg.trials;
+  EXPECT_EQ(group_sum, expect_matched);
+  ASSERT_LE(res.top_sites.size(), 3u);
+  for (std::size_t i = 1; i < res.top_sites.size(); ++i) {
+    EXPECT_GE(res.top_sites[i - 1].trials, res.top_sites[i].trials);
+  }
+}
+
+TEST(CtrQuery, WhereParserRejectsUnknownKeysAndValues) {
+  EXPECT_THROW(ParseTrialFilter("bogus=1"), ConfigError);
+  EXPECT_THROW(ParseTrialFilter("outcome=nosuch"), ConfigError);
+  EXPECT_THROW(ParseTrialFilter("rank=notanumber"), ConfigError);
+  const TrialFilter f = ParseTrialFilter("outcome=sdc,inject_class=fadd");
+  ASSERT_TRUE(f.outcome.has_value());
+  EXPECT_EQ(*f.outcome, Outcome::kSdc);
+  ASSERT_TRUE(f.inject_class.has_value());
+  EXPECT_EQ(*f.inject_class, guest::InstrClass::kFadd);
+}
+
+// ---- Varint hardening (spool codec regression) -------------------------------
+
+TEST(VarintCodec, RejectsOverlongEncodings) {
+  using analysis::AppendVarint;
+  using analysis::DecodeVarint;
+  // Canonical encodings round-trip.
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, ~0ull, 1ull << 62}) {
+    std::string buf;
+    AppendVarint(&buf, v);
+    std::size_t pos = 0;
+    const auto back = DecodeVarint(buf, &pos);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+  // Overlong forms of small values — a continuation byte followed by a
+  // terminal 0x00 contributes no bits — must be rejected, not silently
+  // canonicalized: the CTR layout is deterministic only if every value has
+  // exactly one encoding.
+  for (const std::string& overlong :
+       {std::string("\x80\x00", 2), std::string("\x81\x00", 2),
+        std::string("\xff\x80\x00", 3)}) {
+    std::size_t pos = 0;
+    EXPECT_FALSE(DecodeVarint(overlong, &pos).has_value());
+  }
+  // Truncated input is rejected too.
+  std::size_t pos = 0;
+  EXPECT_FALSE(DecodeVarint(std::string("\x80", 1), &pos).has_value());
+  // A 10th byte carrying bits beyond 2^64 overflows.
+  pos = 0;
+  EXPECT_FALSE(
+      DecodeVarint(std::string("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f", 10),
+                   &pos)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace chaser::store

@@ -61,6 +61,20 @@ sed -i '$s/$/,/' "$tmp.spliced"
 printf '  "records_csv_version": %s\n}\n' "$csv_version" >> "$tmp.spliced"
 mv "$tmp.spliced" "$tmp"
 
+# Same for the CTR segment format version (src/store/ctr.h), so a recorded
+# columnar-store bench is traceable to the exact segment layout it measured.
+ctr_version=$(sed -n \
+  's/.*constexpr std::uint64_t kCtrFormatVersion = \([0-9][0-9]*\);.*/\1/p' \
+  "$repo_root/src/store/ctr.h")
+if [ -z "$ctr_version" ]; then
+  echo "bench_to_json: cannot find kCtrFormatVersion in src/store/ctr.h" >&2
+  exit 1
+fi
+sed '$d' "$tmp" > "$tmp.spliced"
+sed -i '$s/$/,/' "$tmp.spliced"
+printf '  "ctr_format_version": %s\n}\n' "$ctr_version" >> "$tmp.spliced"
+mv "$tmp.spliced" "$tmp"
+
 # Median wall-ms over strictly alternated runs of two binaries. Emits
 # "<median_seed_ms> <median_cur_ms> <median_ratio>" for `pairs` pairs.
 paired_ratio() {

@@ -33,6 +33,9 @@
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "guest/isa.h"
+#include "store/ctr.h"
+#include "store/query.h"
 
 namespace {
 
@@ -48,17 +51,30 @@ void Usage() {
       "               given records CSV file(s) instead of a spool dir: outcome\n"
       "               rates with 95%% Wilson intervals (weight-aware); several\n"
       "               CSVs — e.g. fleet shard outputs — merge into one estimate\n"
+      "               (overlapping trial seeds are an error); given a CTR store\n"
+      "               (chaser_run --records-format ctr): the same estimates,\n"
+      "               streamed column-wise\n"
+      "  query        filter/aggregate a CTR trial store in one streaming pass:\n"
+      "               --where outcome=sdc,injector=stuckat equality filters,\n"
+      "               --group-by outcome|injector|fault_class|inject_class|rank,\n"
+      "               --top-k N hottest injection sites (pc x instr class)\n"
+      "  export-csv   stream a CTR store back out as a records CSV,\n"
+      "               byte-identical to chaser_run --out for the same trials\n"
       "  timeline     tainted-bytes-over-time curve (Fig. 7)\n"
       "  graph-dot    propagation graph as Graphviz DOT\n"
       "  root-cause   walk a corrupted output byte back to the injection\n"
       "\n"
       "options:\n"
+      "  --where SPEC   query: comma-separated key=value filters (keys: outcome,\n"
+      "                 kind, signal, inject_class, rank, injector, fault_class)\n"
+      "  --group-by G   query: outcome|injector|fault_class|inject_class|rank\n"
+      "  --top-k N      query: also rank the N hottest injection sites\n"
       "  --trial SEED   pick trial-<SEED>/ inside a campaign spool dir\n"
       "  --rank R       root-cause: rank of the output byte (default: first)\n"
       "  --fd F         root-cause: output stream fd (default: first)\n"
       "  --offset N     root-cause: byte offset in that stream (default: first)\n"
       "  --csv          timeline: emit instret,tainted_bytes CSV\n"
-      "  --json         summarize/timeline/root-cause: emit JSON\n"
+      "  --json         summarize/query/timeline/root-cause: emit JSON\n"
       "  --out FILE     write to FILE instead of stdout\n"
       "  --help         this text\n");
 }
@@ -193,52 +209,55 @@ std::string TimelineText(const analysis::PropagationGraph& g, bool csv,
   return out;
 }
 
-/// Summarize one or more records CSVs: outcome-rate estimates with Wilson
-/// intervals, merged across every file (per-shard CSVs from a fleet run
-/// estimate the whole campaign). The estimator is sample_weight-aware, so a
-/// CSV from a stratified campaign reports the same unbiased rates the
-/// campaign itself printed; uniform and weighted CSVs degenerate to plain
+/// Per-injector outcome tallies, keyed by the v6 injector column. Only
+/// custom-injector campaigns populate it; default records leave the map
+/// empty and the breakdown is omitted entirely.
+struct InjectorTally {
+  std::string fault_class;
+  std::uint64_t outcomes[5] = {0, 0, 0, 0, 0};
+};
+
+/// Streaming outcome tallies — one record at a time, shared by the CSV and
+/// CTR-store summaries. The estimator is sample_weight-aware, so records
+/// from a stratified campaign report the same unbiased rates the campaign
+/// itself printed; uniform and weighted records degenerate to plain
 /// proportions.
-std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
-                                bool json) {
+struct OutcomeTallies {
   campaign::OutcomeEstimator est;
   std::uint64_t infra = 0, crashed = 0;
-  std::size_t total_records = 0;
-  std::vector<std::size_t> per_file;
-  // Per-injector outcome tallies, keyed by the v6 injector column. Only
-  // custom-injector campaigns populate it; default CSVs leave the map empty
-  // and the breakdown is omitted entirely.
-  struct InjectorTally {
-    std::string fault_class;
-    std::uint64_t outcomes[5] = {0, 0, 0, 0, 0};
-  };
+  std::size_t records = 0;
   std::map<std::string, InjectorTally> by_injector;
-  for (const std::string& path : paths) {
-    std::ifstream in(path);
-    if (!in) throw ConfigError("cannot open records CSV '" + path + "'");
-    const std::vector<campaign::RunRecord> records =
-        campaign::ReadRecordsCsv(in);
-    per_file.push_back(records.size());
-    total_records += records.size();
-    for (const campaign::RunRecord& r : records) {
-      if (!r.injector.empty()) {
-        InjectorTally& t = by_injector[r.injector];
-        t.fault_class = r.fault_class;
-        const int o = static_cast<int>(r.outcome);
-        if (o >= 0 && o < 5) ++t.outcomes[o];
-      }
-      if (r.outcome == campaign::Outcome::kInfra) {
-        ++infra;
-        continue;
-      }
-      if (r.outcome == campaign::Outcome::kCrashed) {
-        ++crashed;
-        continue;
-      }
-      est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
-    }
-  }
 
+  void Add(const campaign::RunRecord& r) {
+    ++records;
+    if (!r.injector.empty()) {
+      InjectorTally& t = by_injector[r.injector];
+      t.fault_class = r.fault_class;
+      const int o = static_cast<int>(r.outcome);
+      if (o >= 0 && o < 5) ++t.outcomes[o];
+    }
+    if (r.outcome == campaign::Outcome::kInfra) {
+      ++infra;
+      return;
+    }
+    if (r.outcome == campaign::Outcome::kCrashed) {
+      ++crashed;
+      return;
+    }
+    est.Add(static_cast<int>(r.outcome), r.deadlock, r.sample_weight);
+  }
+};
+
+/// Render the estimates behind `head`: the caller supplies the leading
+/// source-description lines (JSON key lines or text header lines), this adds
+/// the record counts, Wilson-interval rows and per-injector breakdown.
+std::string RenderOutcomeSummary(const OutcomeTallies& tallies, bool json,
+                                 const std::string& head) {
+  const campaign::OutcomeEstimator& est = tallies.est;
+  const std::uint64_t infra = tallies.infra;
+  const std::uint64_t crashed = tallies.crashed;
+  const std::size_t total_records = tallies.records;
+  const auto& by_injector = tallies.by_injector;
   struct Row {
     const char* name;
     campaign::OutcomeEstimator::Series series;
@@ -251,10 +270,10 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
   };
   if (json) {
     std::string out = StrFormat(
-        "{\n  \"files\": %zu,\n  \"records\": %zu,\n  \"infra\": %llu,\n"
+        "{\n%s  \"records\": %zu,\n  \"infra\": %llu,\n"
         "  \"crashed\": %llu,\n"
         "  \"effective_n\": %.1f,\n  \"estimates\": {",
-        paths.size(), total_records, static_cast<unsigned long long>(infra),
+        head.c_str(), total_records, static_cast<unsigned long long>(infra),
         static_cast<unsigned long long>(crashed), est.effective_n());
     bool first = true;
     for (const Row& row : rows) {
@@ -287,16 +306,7 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
     out += "\n}\n";
     return out;
   }
-  std::string out;
-  if (paths.size() == 1) {
-    out = StrFormat("records csv: %s\n", paths[0].c_str());
-  } else {
-    out = StrFormat("records csv: %zu files\n", paths.size());
-    for (std::size_t i = 0; i < paths.size(); ++i) {
-      out += StrFormat("    %s (%zu records)\n", paths[i].c_str(),
-                       per_file[i]);
-    }
-  }
+  std::string out = head;
   out += StrFormat(
       "  %zu records (%llu infra, excluded), "
       "effective n %.1f\n  outcome-rate estimates (95%% wilson):\n",
@@ -328,6 +338,147 @@ std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
   return out;
 }
 
+/// Summarize one or more records CSVs, read line-at-a-time (a million-trial
+/// CSV never lives in memory) and merged across every file — per-shard CSVs
+/// from a fleet run estimate the whole campaign. Overlapping trial seeds
+/// across files mean double-counted trials, which would silently bias the
+/// merged estimate, so they are an error.
+std::string SummarizeRecordsCsv(const std::vector<std::string>& paths,
+                                bool json) {
+  OutcomeTallies tallies;
+  std::vector<std::size_t> per_file;
+  std::map<std::uint64_t, std::size_t> seed_file;  // run_seed -> first file
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    std::ifstream in(paths[f]);
+    if (!in) throw ConfigError("cannot open records CSV '" + paths[f] + "'");
+    campaign::RecordsCsvReader reader(in);
+    campaign::RunRecord r;
+    std::size_t n = 0;
+    while (reader.Next(&r)) {
+      if (paths.size() > 1) {
+        const auto [it, inserted] = seed_file.emplace(r.run_seed, f);
+        if (!inserted) {
+          throw ConfigError(StrFormat(
+              "summarize: run_seed %llu appears in both '%s' and '%s' — the "
+              "same records were passed twice, or the shard CSVs overlap",
+              static_cast<unsigned long long>(r.run_seed),
+              paths[it->second].c_str(), paths[f].c_str()));
+        }
+      }
+      tallies.Add(r);
+      ++n;
+    }
+    per_file.push_back(n);
+  }
+
+  std::string head;
+  if (json) {
+    head = StrFormat("  \"files\": %zu,\n", paths.size());
+  } else if (paths.size() == 1) {
+    head = StrFormat("records csv: %s\n", paths[0].c_str());
+  } else {
+    head = StrFormat("records csv: %zu files\n", paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      head += StrFormat("    %s (%zu records)\n", paths[i].c_str(),
+                        per_file[i]);
+    }
+  }
+  return RenderOutcomeSummary(tallies, json, head);
+}
+
+/// Summarize a CTR trial store: same estimates as the CSV path, but the scan
+/// decodes only the six columns the tallies read and skips the rest by their
+/// length prefixes.
+std::string SummarizeCtrStore(const std::string& path, bool json) {
+  const store::ColumnMask mask =
+      store::MaskOf(store::kColRunSeed) | store::MaskOf(store::kColOutcome) |
+      store::MaskOf(store::kColFlags) |
+      store::MaskOf(store::kColSampleWeight) |
+      store::MaskOf(store::kColInjector) |
+      store::MaskOf(store::kColFaultClass);
+  store::CtrStoreScanner scanner(path, mask);
+  OutcomeTallies tallies;
+  campaign::RunRecord r;
+  while (scanner.Next(&r)) tallies.Add(r);
+  if (scanner.truncated()) {
+    std::fprintf(stderr,
+                 "chaser_analyze: warning: store '%s' has a torn tail (its "
+                 "writer died); summarizing the intact prefix\n",
+                 path.c_str());
+  }
+  const store::CtrStoreInfo& info = scanner.info();
+  std::string head;
+  if (json) {
+    head = StrFormat(
+        "  \"store\": \"%s\",\n  \"app\": \"%s\",\n"
+        "  \"campaign_seed\": %llu,\n  \"sealed\": %s,\n"
+        "  \"truncated\": %s,\n",
+        JsonEscape(path).c_str(), JsonEscape(info.app).c_str(),
+        static_cast<unsigned long long>(info.campaign_seed),
+        scanner.sealed() ? "true" : "false",
+        scanner.truncated() ? "true" : "false");
+  } else {
+    head = StrFormat(
+        "ctr store: %s\n  app %s, campaign seed %llu, sample %s, "
+        "shard %llu/%llu\n",
+        path.c_str(), info.app.c_str(),
+        static_cast<unsigned long long>(info.campaign_seed),
+        campaign::SamplePolicyName(info.sample_policy),
+        static_cast<unsigned long long>(info.shard_index),
+        static_cast<unsigned long long>(info.shard_count));
+  }
+  return RenderOutcomeSummary(tallies, json, head);
+}
+
+std::string AggJson(const store::GroupAgg& a) {
+  return StrFormat(
+      "{\"trials\": %llu, \"benign\": %llu, \"terminated\": %llu, "
+      "\"sdc\": %llu, \"infra\": %llu, \"crashed\": %llu, "
+      "\"weight\": %.17g, \"sdc_weight\": %.17g}",
+      static_cast<unsigned long long>(a.trials),
+      static_cast<unsigned long long>(a.outcomes[0]),
+      static_cast<unsigned long long>(a.outcomes[1]),
+      static_cast<unsigned long long>(a.outcomes[2]),
+      static_cast<unsigned long long>(a.outcomes[3]),
+      static_cast<unsigned long long>(a.outcomes[4]), a.weight, a.sdc_weight);
+}
+
+std::string QueryJson(const store::QueryResult& res) {
+  std::string out = StrFormat(
+      "{\n  \"scanned\": %llu,\n  \"matched\": %llu,\n  \"sealed\": %s,\n"
+      "  \"truncated\": %s,\n  \"total\": %s",
+      static_cast<unsigned long long>(res.scanned),
+      static_cast<unsigned long long>(res.matched),
+      res.sealed ? "true" : "false", res.truncated ? "true" : "false",
+      AggJson(res.total).c_str());
+  if (!res.groups.empty()) {
+    out += ",\n  \"groups\": {";
+    bool first = true;
+    for (const auto& [label, agg] : res.groups) {
+      out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",",
+                       JsonEscape(label).c_str(), AggJson(agg).c_str());
+      first = false;
+    }
+    out += "\n  }";
+  }
+  if (!res.top_sites.empty()) {
+    out += ",\n  \"top_sites\": [";
+    bool first = true;
+    for (const store::SiteAgg& s : res.top_sites) {
+      out += StrFormat(
+          "%s\n    {\"pc\": \"%s\", \"class\": \"%s\", \"trials\": %llu, "
+          "\"sdc\": %llu}",
+          first ? "" : ",", Hex64(s.pc).c_str(), guest::ClassName(s.cls),
+          static_cast<unsigned long long>(s.trials),
+          static_cast<unsigned long long>(s.sdc));
+      first = false;
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
 std::string RootCauseJson(const analysis::RootCauseChain& chain) {
   std::string out = StrFormat(
       "{\n  \"complete\": %s,\n  \"transfers_crossed\": %zu,\n  \"steps\": [",
@@ -354,6 +505,8 @@ int main(int argc, char** argv) {
     const std::string dir = argv[2];
     std::string trial, out_path;
     std::vector<std::string> extra_csvs;
+    std::string where_spec, group_by;
+    std::uint64_t top_k = 0;
     bool csv = false, json = false;
     bool rank_given = false, fd_given = false, offset_given = false;
     std::uint64_t rank = 0, fd = 0, offset = 0;
@@ -373,6 +526,9 @@ int main(int argc, char** argv) {
         return v;
       };
       if (a == "--trial") trial = value("--trial");
+      else if (a == "--where") where_spec = value("--where");
+      else if (a == "--group-by") group_by = value("--group-by");
+      else if (a == "--top-k") top_k = num("--top-k");
       else if (a == "--rank") { rank = num("--rank"); rank_given = true; }
       else if (a == "--fd") { fd = num("--fd"); fd_given = true; }
       else if (a == "--offset") { offset = num("--offset"); offset_given = true; }
@@ -382,6 +538,77 @@ int main(int argc, char** argv) {
       else if (a == "--help" || a == "-h") { Usage(); return 0; }
       else if (!a.empty() && a[0] != '-') extra_csvs.push_back(a);
       else throw ConfigError("unknown flag '" + a + "'");
+    }
+
+    if (cmd == "query") {
+      store::QueryOptions query;
+      if (!where_spec.empty()) {
+        query.filter = store::ParseTrialFilter(where_spec);
+      }
+      if (!group_by.empty() && !store::ParseGroupBy(group_by, &query.group_by)) {
+        throw ConfigError("bad --group-by '" + group_by +
+                          "' (outcome|injector|fault_class|inject_class|rank)");
+      }
+      query.top_k = static_cast<unsigned>(top_k);
+      const store::QueryResult result = store::RunQuery(dir, query);
+      const std::string output =
+          json ? QueryJson(result) : store::RenderQueryResult(result, query);
+      if (out_path.empty()) {
+        std::fputs(output.c_str(), stdout);
+      } else {
+        WriteFileAtomic(out_path, output);
+        std::printf("wrote %zu bytes to %s\n", output.size(), out_path.c_str());
+      }
+      return 0;
+    }
+
+    if (cmd == "export-csv") {
+      store::ExportStats stats;
+      if (out_path.empty()) {
+        stats = store::ExportCsv(dir, std::cout);
+        std::cout.flush();
+      } else {
+        // Stream through a tmp file + rename: the CSV never lives in memory,
+        // and a crash mid-export never clobbers a previous complete file.
+        const std::string tmp = out_path + ".tmp";
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw ConfigError("cannot write '" + tmp + "'");
+        stats = store::ExportCsv(dir, out);
+        out.close();
+        if (!out) throw ConfigError("write to '" + tmp + "' failed");
+        std::error_code ec;
+        fs::rename(tmp, out_path, ec);
+        if (ec) {
+          throw ConfigError("rename '" + tmp + "' -> '" + out_path + "': " +
+                            ec.message());
+        }
+        std::printf("exported %llu records (records csv v%u) to %s\n",
+                    static_cast<unsigned long long>(stats.rows),
+                    stats.csv_version, out_path.c_str());
+      }
+      if (stats.truncated) {
+        std::fprintf(stderr,
+                     "chaser_analyze: warning: store '%s' has a torn tail "
+                     "(its writer died); exported the intact prefix\n",
+                     dir.c_str());
+      }
+      return 0;
+    }
+
+    if (cmd == "summarize" && store::IsCtrStorePath(dir)) {
+      if (!extra_csvs.empty()) {
+        throw ConfigError(
+            "summarize: a CTR store summarizes alone — merge shard stores "
+            "with chaser_fleet merge first");
+      }
+      const std::string output = SummarizeCtrStore(dir, json);
+      if (out_path.empty()) {
+        std::fputs(output.c_str(), stdout);
+      } else {
+        WriteFileAtomic(out_path, output);
+        std::printf("wrote %zu bytes to %s\n", output.size(), out_path.c_str());
+      }
+      return 0;
     }
 
     // A regular file can only be a records CSV — spools are directories.

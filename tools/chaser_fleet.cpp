@@ -45,6 +45,7 @@
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "store/ctr.h"
 
 namespace {
 
@@ -78,10 +79,16 @@ void Usage() {
       "  --hubd BIN          chaser_hubd binary (default: sibling)\n"
       "  --restarts N        max restarts per crashed shard (default 2); a\n"
       "                      restarted shard resumes from its journal\n"
+      "  --records-format F  per-shard record storage (default csv): csv, or\n"
+      "                      ctr for columnar CTR stores (shard-<i>.ctr/); the\n"
+      "                      merge then streams shard stores record-by-record\n"
+      "                      into DIR/merged.ctr instead of loading CSVs whole\n"
       "\n"
-      "merge options:\n"
+      "merge options (inputs: records CSVs, or CTR store dirs — not mixed):\n"
       "  --runs/--seed/--sample/--stop-ci   the plan every shard ran\n"
-      "  --out FILE          write the merged records CSV\n"
+      "  --out FILE          write the merged records: a CSV for CSV inputs, a\n"
+      "                      merged CTR store for CTR inputs (export a CSV\n"
+      "                      with chaser_analyze export-csv)\n"
       "  --report FILE       write the merged report (also printed)\n");
 }
 
@@ -178,13 +185,111 @@ std::vector<campaign::RunRecord> ReadRecordsFile(const std::string& path) {
   return campaign::ReadRecordsCsv(in);
 }
 
-/// Merge shard records, render, and write the merged artifacts.
+void RenderAndWriteReport(const campaign::CampaignResult& result,
+                          const campaign::MergePlan& plan,
+                          const std::string& report_path) {
+  const std::string report = result.Render(plan.app);
+  if (!report_path.empty()) {
+    WriteFileAtomic(report_path, report);
+    std::printf("wrote report to %s\n", report_path.c_str());
+  }
+  std::printf("%s", report.c_str());
+}
+
+/// Streaming merge over per-shard CTR stores: each store is scanned
+/// record-by-record (one segment in memory per shard, never the record set),
+/// pulled round-robin through MergeShardStreams, and optionally re-emitted
+/// as one merged CTR store. The merged result is byte-identical to the
+/// unsharded run's — same reduction loop, same seed order.
+campaign::CampaignResult MergeStoresAndWrite(
+    const campaign::MergePlan& plan, const std::vector<std::string>& paths,
+    const std::string& out_path, const std::string& report_path) {
+  // Order the streams by each store's self-declared shard index —
+  // MergeShardStreams expects stream i to be the shard owning trials
+  // t % N == i, whatever order the paths were given in.
+  std::vector<std::unique_ptr<store::CtrStoreScanner>> scanners(paths.size());
+  for (const std::string& path : paths) {
+    auto scanner = std::make_unique<store::CtrStoreScanner>(path);
+    const store::CtrStoreInfo& info = scanner->info();
+    if (info.campaign_seed != plan.seed || info.app != plan.app ||
+        info.sample_policy != plan.sample_policy) {
+      throw ConfigError(StrFormat(
+          "merge: store '%s' was written by campaign %s/seed %llu/%s, not "
+          "the plan's %s/seed %llu/%s",
+          path.c_str(), info.app.c_str(),
+          static_cast<unsigned long long>(info.campaign_seed),
+          campaign::SamplePolicyName(info.sample_policy), plan.app.c_str(),
+          static_cast<unsigned long long>(plan.seed),
+          campaign::SamplePolicyName(plan.sample_policy)));
+    }
+    if (info.shard_count != paths.size()) {
+      throw ConfigError(StrFormat(
+          "merge: store '%s' is shard %llu of %llu but %zu stores were given",
+          path.c_str(), static_cast<unsigned long long>(info.shard_index),
+          static_cast<unsigned long long>(info.shard_count), paths.size()));
+    }
+    if (scanners[static_cast<std::size_t>(info.shard_index)] != nullptr) {
+      throw ConfigError(StrFormat(
+          "merge: two stores claim shard %llu — a store was passed twice",
+          static_cast<unsigned long long>(info.shard_index)));
+    }
+    if (scanner->truncated()) {
+      std::fprintf(stderr,
+                   "chaser_fleet: warning: store '%s' has a torn tail (its "
+                   "writer died); merging its intact prefix\n",
+                   path.c_str());
+    }
+    scanners[static_cast<std::size_t>(info.shard_index)] = std::move(scanner);
+  }
+  std::vector<campaign::ShardRecordStream> streams;
+  streams.reserve(scanners.size());
+  for (const auto& scanner : scanners) {
+    streams.push_back([s = scanner.get()](campaign::RunRecord* out) {
+      return s->Next(out);
+    });
+  }
+
+  std::unique_ptr<store::CtrStoreWriter> merged;
+  std::function<void(const campaign::RunRecord&)> sink;
+  if (!out_path.empty()) {
+    store::CtrStoreInfo identity;
+    identity.campaign_seed = plan.seed;
+    identity.app = plan.app;
+    identity.sample_policy = plan.sample_policy;
+    merged = std::make_unique<store::CtrStoreWriter>(out_path, identity);
+    sink = [w = merged.get()](const campaign::RunRecord& rec) { w->Add(rec); };
+  }
+  campaign::CampaignResult result =
+      campaign::MergeShardStreams(plan, std::move(streams), sink);
+  if (merged != nullptr) {
+    merged->Finish();
+    std::printf("wrote %llu merged records to %s (ctr store)\n",
+                static_cast<unsigned long long>(merged->added()),
+                out_path.c_str());
+  }
+  RenderAndWriteReport(result, plan, report_path);
+  return result;
+}
+
+/// Merge shard records, render, and write the merged artifacts. CTR-store
+/// inputs take the streaming path; CSVs are loaded whole, as before.
 campaign::CampaignResult MergeAndWrite(const campaign::MergePlan& plan,
-                                       const std::vector<std::string>& csvs,
+                                       const std::vector<std::string>& inputs,
                                        const std::string& out_path,
                                        const std::string& report_path) {
+  std::size_t n_stores = 0;
+  for (const std::string& path : inputs) {
+    if (store::IsCtrStorePath(path)) ++n_stores;
+  }
+  if (n_stores == inputs.size()) {
+    return MergeStoresAndWrite(plan, inputs, out_path, report_path);
+  }
+  if (n_stores != 0) {
+    throw ConfigError(
+        "merge: inputs mix CTR stores and records CSVs — pass one kind");
+  }
   std::vector<campaign::RunRecord> all;
-  for (const std::string& path : csvs) {
+  for (const std::string& path : inputs) {
     std::vector<campaign::RunRecord> recs = ReadRecordsFile(path);
     all.insert(all.end(), recs.begin(), recs.end());
   }
@@ -196,12 +301,7 @@ campaign::CampaignResult MergeAndWrite(const campaign::MergePlan& plan,
     std::printf("wrote %zu merged records to %s\n", result.records.size(),
                 out_path.c_str());
   }
-  const std::string report = result.Render(plan.app);
-  if (!report_path.empty()) {
-    WriteFileAtomic(report_path, report);
-    std::printf("wrote report to %s\n", report_path.c_str());
-  }
-  std::printf("%s", report.c_str());
+  RenderAndWriteReport(result, plan, report_path);
   return result;
 }
 
@@ -245,6 +345,7 @@ int RunFleet(int argc, char** argv) {
   std::uint64_t jobs = 1;
   std::uint64_t spawn_hubs = 0;
   std::uint64_t max_restarts = 2;
+  std::string records_format = "csv";
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -287,6 +388,12 @@ int RunFleet(int argc, char** argv) {
       spawn_hubs = ArgNum(argc, argv, i, "--spawn-hub");
     } else if (a == "--restarts") {
       max_restarts = ArgNum(argc, argv, i, "--restarts");
+    } else if (a == "--records-format") {
+      records_format = ArgStr(argc, argv, i, "--records-format");
+      if (records_format != "csv" && records_format != "ctr") {
+        throw ConfigError("bad --records-format '" + records_format +
+                          "' (csv|ctr)");
+      }
     } else if (a == "--help" || a == "-h") {
       Usage();
       return 0;
@@ -352,6 +459,7 @@ int RunFleet(int argc, char** argv) {
     hub_arg += ep;
   }
 
+  const bool ctr = records_format == "ctr";
   const auto worker_args = [&](std::uint64_t i) {
     const std::string base = dir + "/shard-" + std::to_string(i);
     std::vector<std::string> args = {
@@ -362,7 +470,8 @@ int RunFleet(int argc, char** argv) {
         "--shard", std::to_string(i) + "/" + std::to_string(shards),
         "--jobs", std::to_string(jobs),
         "--resume", base + ".journal",
-        "--out", base + ".csv",
+        "--out", base + (ctr ? ".ctr" : ".csv"),
+        "--records-format", records_format,
         "--status", base + ".status.json",
         "--report", base + ".report",
     };
@@ -439,11 +548,13 @@ int RunFleet(int argc, char** argv) {
   if (failed) return 1;
 
   plan.app = app;
-  std::vector<std::string> csvs;
+  std::vector<std::string> inputs;
   for (std::uint64_t i = 0; i < shards; ++i) {
-    csvs.push_back(dir + "/shard-" + std::to_string(i) + ".csv");
+    inputs.push_back(dir + "/shard-" + std::to_string(i) +
+                     (ctr ? ".ctr" : ".csv"));
   }
-  MergeAndWrite(plan, csvs, dir + "/merged.csv", dir + "/report.txt");
+  MergeAndWrite(plan, inputs, dir + (ctr ? "/merged.ctr" : "/merged.csv"),
+                dir + "/report.txt");
   return 0;
 }
 

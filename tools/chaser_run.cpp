@@ -31,6 +31,7 @@
 #include "common/strings.h"
 #include "hub/remote/protocol.h"
 #include "obs/telemetry.h"
+#include "store/ctr.h"
 #include "tcg/shared_cache.h"
 
 namespace {
@@ -87,6 +88,14 @@ void Usage() {
       "                      (no event cap; inspect with chaser_analyze)\n"
       "  --out FILE          write per-run records as CSV (atomic: written to\n"
       "                      FILE.tmp and renamed into place)\n"
+      "  --records-format F  how --out stores the records (default csv):\n"
+      "                        csv  one records CSV, as before\n"
+      "                        ctr  columnar CTR store (a directory of\n"
+      "                             seg-*.ctr segments, ~10x smaller, written\n"
+      "                             as trials commit); inspect with\n"
+      "                             chaser_analyze query / export-csv. With\n"
+      "                             --resume, a killed run's store resumes in\n"
+      "                             place alongside the journal\n"
       "  --resume FILE       journal completed trials to FILE and, if it already\n"
       "                      holds trials from a killed run of this same campaign,\n"
       "                      replay them and execute only the missing seeds\n"
@@ -182,6 +191,7 @@ int main(int argc, char** argv) {
   config.runs = 200;
   config.seed = 1;
   std::string out_path;
+  std::string records_format = "csv";
   std::string report_path;
   bool inject_ranks_given = false;
   std::uint64_t jobs = 0;  // 0 = hardware concurrency
@@ -298,6 +308,15 @@ int main(int argc, char** argv) {
       } else if (a == "--out") {
         if (i + 1 >= argc) throw ConfigError("missing value for --out");
         out_path = argv[++i];
+      } else if (a == "--records-format") {
+        if (i + 1 >= argc) {
+          throw ConfigError("missing value for --records-format");
+        }
+        records_format = argv[++i];
+        if (records_format != "csv" && records_format != "ctr") {
+          throw ConfigError("bad --records-format '" + records_format +
+                            "' (csv|ctr)");
+        }
       } else if (a == "--trace-out") {
         if (i + 1 >= argc) throw ConfigError("missing value for --trace-out");
         obs_options.trace_path = argv[++i];
@@ -349,6 +368,25 @@ int main(int argc, char** argv) {
     if (obs_requested) {
       telemetry = std::make_unique<obs::Telemetry>(obs_options);
       config.telemetry = telemetry.get();
+    }
+
+    // The CTR store is written as trials commit (record_sink fires from the
+    // drivers' ordered reduction, journal-replayed trials included), so a
+    // killed run leaves a valid store prefix to resume from.
+    std::unique_ptr<store::CtrStoreWriter> store_writer;
+    if (!out_path.empty() && records_format == "ctr") {
+      store::CtrStoreInfo identity;
+      identity.campaign_seed = config.seed;
+      identity.app = app_name;
+      identity.sample_policy = config.sample_policy;
+      identity.shard_index = config.shard_index;
+      identity.shard_count = config.shard_count;
+      store::CtrWriterOptions store_options;
+      store_options.resume = !config.journal_path.empty();
+      store_writer = std::make_unique<store::CtrStoreWriter>(
+          out_path, identity, store_options);
+      config.record_sink = [w = store_writer.get()](
+                               const campaign::RunRecord& rec) { w->Add(rec); };
     }
 
     std::printf("chaser_run: %s, %llu runs, seed %llu, bits %u-%u, ranks %d, "
@@ -442,7 +480,16 @@ int main(int argc, char** argv) {
       WriteFileAtomic(report_path, result.Render(app_name));
       std::printf("wrote report to %s\n", report_path.c_str());
     }
-    if (!out_path.empty()) {
+    if (store_writer != nullptr) {
+      store_writer->Finish();
+      std::printf("wrote %llu records to %s (ctr store, %llu segment%s, "
+                  "%llu resumed)\n",
+                  static_cast<unsigned long long>(store_writer->added()),
+                  out_path.c_str(),
+                  static_cast<unsigned long long>(store_writer->segments()),
+                  store_writer->segments() == 1 ? "" : "s",
+                  static_cast<unsigned long long>(store_writer->stored()));
+    } else if (!out_path.empty()) {
       // Atomic: a crash mid-write must never leave a half-written CSV where
       // a previous complete report used to be.
       std::ostringstream csv;
