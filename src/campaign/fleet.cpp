@@ -163,4 +163,81 @@ CampaignResult MergeShardStreams(
   return result;
 }
 
+namespace {
+
+std::uint64_t JsonU64(const std::string& json, const std::string& key) {
+  double v = 0.0;
+  if (!JsonFindNumber(json, key, &v) || v < 0.0) return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+ShardStatus ParseShardStatus(const std::string& json) {
+  ShardStatus s;
+  // The two fields every status document has; their absence means this is
+  // not (yet) a status.json — e.g. an empty or half-missing file.
+  std::string running;
+  double total = 0.0;
+  if (!JsonFindRaw(json, "running", &running) ||
+      !JsonFindNumber(json, "total", &total)) {
+    return s;
+  }
+  s.ok = true;
+  s.running = running == "true";
+  s.total = static_cast<std::uint64_t>(total);
+  s.done = JsonU64(json, "done");
+  s.replayed = JsonU64(json, "replayed");
+  s.benign = JsonU64(json, "benign");
+  s.terminated = JsonU64(json, "terminated");
+  s.sdc = JsonU64(json, "sdc");
+  s.infra = JsonU64(json, "infra");
+  s.taint_lost = JsonU64(json, "taint_lost");
+  s.trace_dropped = JsonU64(json, "trace_dropped");
+  JsonFindNumber(json, "elapsed_s", &s.elapsed_s);
+  JsonFindNumber(json, "trials_per_s", &s.trials_per_s);
+  // eta_s is null while the shard has work left but no rate sample yet;
+  // JsonFindNumber's false return IS the null signal (see strings.h).
+  s.eta_known = JsonFindNumber(json, "eta_s", &s.eta_s);
+  JsonFindString(json, "obs", &s.obs_endpoint);
+  return s;
+}
+
+FleetRollup RollUpShards(const std::vector<ShardStatus>& statuses) {
+  FleetRollup r;
+  r.shards = statuses.size();
+  r.eta_known = true;  // until a silent or eta-null shard proves otherwise
+  for (const ShardStatus& s : statuses) {
+    if (!s.ok) {
+      r.eta_known = false;
+      continue;
+    }
+    ++r.shards_reporting;
+    r.total += s.total;
+    r.done += s.done;
+    r.replayed += s.replayed;
+    r.benign += s.benign;
+    r.terminated += s.terminated;
+    r.sdc += s.sdc;
+    r.infra += s.infra;
+    r.taint_lost += s.taint_lost;
+    r.trace_dropped += s.trace_dropped;
+    r.trials_per_s += s.trials_per_s;
+    if (!s.eta_known) {
+      r.eta_known = false;
+    } else if (s.eta_s > r.eta_s) {
+      r.eta_s = s.eta_s;  // the fleet finishes when its slowest shard does
+    }
+  }
+  if (!r.eta_known) r.eta_s = 0.0;
+  if (r.done > 0) {
+    const double done = static_cast<double>(r.done);
+    r.benign_rate = static_cast<double>(r.benign) / done;
+    r.terminated_rate = static_cast<double>(r.terminated) / done;
+    r.sdc_rate = static_cast<double>(r.sdc) / done;
+    r.infra_rate = static_cast<double>(r.infra) / done;
+  }
+  return r;
+}
+
 }  // namespace chaser::campaign

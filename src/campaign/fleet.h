@@ -72,4 +72,69 @@ CampaignResult MergeShardStreams(
     const MergePlan& plan, std::vector<ShardRecordStream> streams,
     const std::function<void(const RunRecord&)>& sink = nullptr);
 
+// ---------------------------------------------------------------------------
+// Fleet observability: shard status parsing and the live rollup.
+// ---------------------------------------------------------------------------
+
+/// One shard worker's status as parsed from its status.json file or its
+/// /status scrape body (the same document either way — see obs/status.h).
+struct ShardStatus {
+  bool ok = false;       // parsed; every other field is garbage when false
+  bool running = false;  // worker still mid-campaign
+  std::uint64_t total = 0;
+  std::uint64_t done = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t infra = 0;
+  std::uint64_t taint_lost = 0;
+  std::uint64_t trace_dropped = 0;
+  double elapsed_s = 0.0;
+  double trials_per_s = 0.0;
+  /// eta_known=false mirrors a JSON-null eta_s: the shard has trials left
+  /// but no throughput sample yet, so its remaining time is unknown (not 0).
+  bool eta_known = false;
+  double eta_s = 0.0;
+  /// "host:port" of the worker's scrape server ("" when it runs without
+  /// one) — how the coordinator upgrades from file polling to live scrapes.
+  std::string obs_endpoint;
+};
+
+/// Parse a status.json document. Unparseable input yields ok=false rather
+/// than a throw: a shard that has not written its first status yet is a
+/// normal, transient condition for the rollup, not an error.
+ShardStatus ParseShardStatus(const std::string& json);
+
+/// The fleet-wide aggregate of whatever shards are reporting.
+struct FleetRollup {
+  std::uint64_t shards = 0;            // statuses passed in
+  std::uint64_t shards_reporting = 0;  // of those, ok == true
+  std::uint64_t total = 0;
+  std::uint64_t done = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t infra = 0;
+  std::uint64_t taint_lost = 0;
+  std::uint64_t trace_dropped = 0;
+  double trials_per_s = 0.0;  // sum of per-shard rates
+  /// Fleet ETA is the slowest shard's ETA — but only when every shard is
+  /// reporting AND has a known ETA. One unknown shard makes the fleet ETA
+  /// unknown (JSON null), never an optimistic partial max: folding unknown
+  /// in as 0 is exactly the lie the null-for-unknown contract forbids.
+  bool eta_known = false;
+  double eta_s = 0.0;
+  /// Outcome mix over completed trials (0.0 when done == 0).
+  double benign_rate = 0.0;
+  double terminated_rate = 0.0;
+  double sdc_rate = 0.0;
+  double infra_rate = 0.0;
+};
+
+/// Aggregate shard statuses (one entry per shard, ok=false for shards with
+/// nothing to report yet) into the fleet view described above.
+FleetRollup RollUpShards(const std::vector<ShardStatus>& statuses);
+
 }  // namespace chaser::campaign

@@ -43,4 +43,24 @@ void WriteFileAtomic(const std::string& path, const std::string& content) {
   }
 }
 
+std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw ConfigError("ReadFileToString: cannot open '" + path + "'");
+  }
+  std::string content;
+  char buf[64 * 1024];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    content.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    throw ConfigError("ReadFileToString: read failed for '" + path + "'");
+  }
+  return content;
+}
+
 }  // namespace chaser

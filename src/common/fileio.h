@@ -16,4 +16,8 @@ namespace chaser {
 /// ConfigError if any step fails (the temp file is removed on failure).
 void WriteFileAtomic(const std::string& path, const std::string& content);
 
+/// Read the whole file at `path` into a string. Throws ConfigError when the
+/// file cannot be opened or read.
+std::string ReadFileToString(const std::string& path);
+
 }  // namespace chaser

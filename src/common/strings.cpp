@@ -93,6 +93,116 @@ bool ParseKeyValList(const std::string& spec, std::vector<KeyVal>* out,
   return true;
 }
 
+namespace {
+
+/// Position just past `"key"` + optional whitespace + ':', or npos.
+std::size_t FindJsonValueStart(const std::string& json,
+                               const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[p]))) {
+      ++p;
+    }
+    if (p < json.size() && json[p] == ':') {
+      ++p;
+      while (p < json.size() &&
+             std::isspace(static_cast<unsigned char>(json[p]))) {
+        ++p;
+      }
+      return p;
+    }
+    pos += needle.size();  // a string VALUE that happens to look like the key
+  }
+  return std::string::npos;
+}
+
+/// End (one past) of the quoted string starting at json[start] == '"'.
+std::size_t QuotedEnd(const std::string& json, std::size_t start) {
+  for (std::size_t p = start + 1; p < json.size(); ++p) {
+    if (json[p] == '\\') {
+      ++p;
+    } else if (json[p] == '"') {
+      return p + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+bool JsonFindRaw(const std::string& json, const std::string& key,
+                 std::string* out) {
+  const std::size_t start = FindJsonValueStart(json, key);
+  if (start == std::string::npos || start >= json.size()) return false;
+  const char c = json[start];
+  if (c == '"') {
+    const std::size_t end = QuotedEnd(json, start);
+    if (end == std::string::npos) return false;
+    *out = json.substr(start, end - start);
+    return true;
+  }
+  if (c == '{' || c == '[') {
+    const char open = c;
+    const char close = c == '{' ? '}' : ']';
+    int depth = 0;
+    for (std::size_t p = start; p < json.size(); ++p) {
+      if (json[p] == '"') {
+        const std::size_t end = QuotedEnd(json, p);
+        if (end == std::string::npos) return false;
+        p = end - 1;
+      } else if (json[p] == open) {
+        ++depth;
+      } else if (json[p] == close) {
+        if (--depth == 0) {
+          *out = json.substr(start, p + 1 - start);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  // Bare token: number, null, true, false — up to a structural delimiter.
+  std::size_t p = start;
+  while (p < json.size() && json[p] != ',' && json[p] != '}' &&
+         json[p] != ']' &&
+         !std::isspace(static_cast<unsigned char>(json[p]))) {
+    ++p;
+  }
+  if (p == start) return false;
+  *out = json.substr(start, p - start);
+  return true;
+}
+
+bool JsonFindString(const std::string& json, const std::string& key,
+                    std::string* out) {
+  std::string raw;
+  if (!JsonFindRaw(json, key, &raw) || raw.size() < 2 || raw.front() != '"') {
+    return false;
+  }
+  std::string decoded;
+  decoded.reserve(raw.size() - 2);
+  for (std::size_t p = 1; p + 1 < raw.size(); ++p) {
+    if (raw[p] == '\\' && p + 2 < raw.size()) {
+      ++p;
+      decoded.push_back(raw[p] == 'n' ? '\n' : raw[p]);
+    } else {
+      decoded.push_back(raw[p]);
+    }
+  }
+  *out = decoded;
+  return true;
+}
+
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double* out) {
+  std::string raw;
+  if (!JsonFindRaw(json, key, &raw)) return false;
+  return ParseDouble(raw, out);
+}
+
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;

@@ -40,6 +40,27 @@ struct KeyVal {
 bool ParseKeyValList(const std::string& spec, std::vector<KeyVal>* out,
                      std::string* bad_token);
 
+/// Minimal JSON field lookup for the small, well-known documents chaser
+/// tools exchange (status.json, /status scrape bodies). Finds the FIRST
+/// `"key":` occurrence anywhere in `json` — keys must therefore be unique
+/// across nesting levels in the documents these are used on — and writes the
+/// raw value token (a quoted string, number, `null`, `true`/`false`, or a
+/// balanced {...}/[...] sub-document) to *out. Returns false when the key is
+/// absent or the value is malformed. Not a JSON validator.
+bool JsonFindRaw(const std::string& json, const std::string& key,
+                 std::string* out);
+
+/// JsonFindRaw restricted to quoted string values; *out gets the unquoted
+/// text with \" \\ \n escapes decoded. False if absent or not a string.
+bool JsonFindString(const std::string& json, const std::string& key,
+                    std::string* out);
+
+/// JsonFindRaw restricted to numbers. False if absent, `null`, or not a
+/// number — callers use the false return to honor the null-for-unknown
+/// contract (e.g. a shard's eta_s) instead of reading 0.
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double* out);
+
 /// True if `s` starts with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 

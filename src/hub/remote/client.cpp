@@ -1,10 +1,13 @@
 #include "hub/remote/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
 #include "hub/remote/protocol.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace chaser::hub::remote {
 
@@ -36,6 +39,61 @@ std::uint64_t MixKey(const MessageId& id) {
 
 }  // namespace
 
+HubClockProbe ProbeHubClock(const std::string& endpoint) {
+  const net::Endpoint ep = net::ParseEndpoint(endpoint);
+  net::TcpSocket sock = net::TcpSocket::Connect(ep.host, ep.port);
+  std::string wire;
+  AppendFrame(&wire, EncodeHello());
+  const auto now_us = [] {
+    return static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  };
+  const std::int64_t t0 = now_us();
+  sock.SendAll(wire.data(), wire.size());
+  net::FrameDecoder decoder;
+  std::string payload;
+  for (;;) {
+    const net::FrameDecoder::Result r = decoder.Next(&payload);
+    if (r == net::FrameDecoder::Result::kFrame) break;
+    if (r == net::FrameDecoder::Result::kError) {
+      throw ConfigError("hub clock probe: response stream corrupt: " +
+                        decoder.error());
+    }
+    char buf[4096];
+    const std::size_t n = sock.Recv(buf, sizeof(buf));
+    if (n == 0) {
+      throw ConfigError("hub clock probe: server closed the connection");
+    }
+    decoder.Feed(buf, n);
+  }
+  const std::int64_t t1 = now_us();
+  std::size_t pos = 0;
+  std::uint64_t status = 0;
+  if (net::DecodeVarint(payload.data(), payload.size(), &pos, &status) !=
+          net::DecodeStatus::kOk ||
+      static_cast<Status>(status) != Status::kOk) {
+    throw ConfigError("hub clock probe: hello rejected by " + endpoint);
+  }
+  HubClockProbe probe;
+  probe.rtt_us = static_cast<std::uint64_t>(t1 - t0);
+  std::uint64_t version = 0;
+  std::uint64_t server_us = 0;
+  if (net::DecodeVarint(payload.data(), payload.size(), &pos, &version) !=
+          net::DecodeStatus::kOk ||
+      net::DecodeVarint(payload.data(), payload.size(), &pos, &server_us) !=
+          net::DecodeStatus::kOk) {
+    return probe;  // hubd predates the hello clock field: ok=false
+  }
+  probe.ok = true;
+  // Cristian: the server stamped its clock roughly mid-flight, so compare
+  // against our send time plus half the measured round trip.
+  probe.offset_us = static_cast<std::int64_t>(server_us) -
+                    (t0 + static_cast<std::int64_t>(probe.rtt_us / 2));
+  return probe;
+}
+
 RemoteTaintHub::RemoteTaintHub(const std::vector<std::string>& endpoints) {
   if (endpoints.empty()) {
     throw ConfigError("remote hub: no endpoints given");
@@ -60,9 +118,17 @@ std::size_t RemoteTaintHub::ShardOf(const MessageId& id) const {
 }
 
 std::string RemoteTaintHub::Call(Shard& shard, const std::string& request) const {
+  static obs::Histogram& call_ns = obs::Registry::Global().GetHistogram(
+      "hub_client_call_ns", obs::LatencyBoundsNs());
+  static obs::Counter& bytes_sent =
+      obs::Registry::Global().GetCounter("hub_client_bytes_sent_total");
+  static obs::Counter& bytes_recv =
+      obs::Registry::Global().GetCounter("hub_client_bytes_recv_total");
+  const std::uint64_t t0 = obs::MonotonicNanos();
   std::string wire;
   AppendFrame(&wire, request);
   shard.sock.SendAll(wire.data(), wire.size());
+  bytes_sent.Inc(wire.size());
   std::string payload;
   for (;;) {
     const net::FrameDecoder::Result r = shard.decoder.Next(&payload);
@@ -76,8 +142,10 @@ std::string RemoteTaintHub::Call(Shard& shard, const std::string& request) const
     if (n == 0) {
       throw ConfigError("remote hub: server closed the connection");
     }
+    bytes_recv.Inc(n);
     shard.decoder.Feed(buf, n);
   }
+  call_ns.Observe(obs::MonotonicNanos() - t0);
   std::size_t pos = 0;
   std::uint64_t status = 0;
   if (net::DecodeVarint(payload.data(), payload.size(), &pos, &status) !=
@@ -99,6 +167,9 @@ std::string RemoteTaintHub::Call(Shard& shard, const std::string& request) const
 
 void RemoteTaintHub::FlushBatch(Shard& shard) {
   if (shard.batch_count == 0) return;
+  static obs::Histogram& batch_records = obs::Registry::Global().GetHistogram(
+      "hub_client_batch_records", {1, 4, 16, 64, 256, 1024});
+  batch_records.Observe(shard.batch_count);
   std::string request;
   AppendVarint(&request, static_cast<std::uint64_t>(Command::kPublishBatch));
   AppendVarint(&request, shard.batch_count);

@@ -28,6 +28,23 @@
 
 namespace chaser::hub::remote {
 
+/// Result of a one-shot hub clock probe (Cristian's algorithm over the
+/// hello handshake): `offset_us` is what to add to this process's
+/// system_clock to get the hub's, `rtt_us` bounds the error.
+struct HubClockProbe {
+  bool ok = false;          ///< server answered with a clock (v1.1+ hubd)
+  std::int64_t offset_us = 0;
+  std::uint64_t rtt_us = 0;
+};
+
+/// Connect to `endpoint` ("host:port"), run one hello handshake, and
+/// estimate the server-vs-local clock offset as
+/// server_time - (t_send + rtt/2). Fleet workers call this once at startup
+/// so their trace anchors land on the hub's clock; a hubd predating the
+/// clock field yields ok=false (offset 0). Throws ConfigError on
+/// connect/hello failure.
+HubClockProbe ProbeHubClock(const std::string& endpoint);
+
 class RemoteTaintHub : public HubService {
  public:
   /// Connect to every endpoint ("host:port") and exchange hellos. Throws

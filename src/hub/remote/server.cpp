@@ -5,11 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
 #include "hub/remote/protocol.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace chaser::hub::remote {
 
@@ -17,6 +19,41 @@ namespace {
 
 using net::AppendFrame;
 using net::AppendVarint;
+
+const char* CommandLabel(std::uint64_t cmd) {
+  switch (static_cast<Command>(cmd)) {
+    case Command::kPublishBatch: return "publish-batch";
+    case Command::kTryPoll: return "try-poll";
+    case Command::kAbandonPoll: return "abandon-poll";
+    case Command::kSetFaultModel: return "set-fault-model";
+    case Command::kClear: return "clear";
+    case Command::kStats: return "stats";
+    case Command::kDrainTransferLog: return "drain-transfer-log";
+  }
+  return "unknown";
+}
+
+/// Per-command dispatch latency. Handles are cached per command value
+/// (atomics: several servers' loop threads may race the first lookup, and
+/// GetHistogram returns the same histogram for the same name either way) —
+/// the registry mutex is only walked on the first frame of each kind.
+obs::Histogram& CommandHistogram(std::uint64_t cmd) {
+  static std::atomic<obs::Histogram*> cached[8] = {};
+  const std::size_t slot = (cmd >= 1 && cmd <= 7) ? cmd : 0;
+  obs::Histogram* h = cached[slot].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &obs::Registry::Global().GetHistogram(
+        obs::LabeledName("hub_cmd_ns", "cmd", CommandLabel(slot)),
+        obs::LatencyBoundsNs());
+    cached[slot].store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+/// Powers-of-four record counts: batch sizing is about order of magnitude.
+std::vector<std::uint64_t> BatchBounds() {
+  return {1, 4, 16, 64, 256, 1024};
+}
 
 void AppendOkFrame(std::string* out, const std::string& body) {
   std::string payload;
@@ -83,11 +120,23 @@ void HubServer::NoteConnError(const std::string& why) {
   (void)why;  // reason is surfaced through the dropped connection itself
 }
 
+void HubServer::NoteHelloError(const std::string& why) {
+  static obs::Counter& errors =
+      obs::Registry::Global().GetCounter("hub_hello_errors");
+  errors.Inc();
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.hello_errors;
+  (void)why;
+}
+
 void HubServer::FlushWrites(Connection& conn) {
+  static obs::Counter& bytes_out =
+      obs::Registry::Global().GetCounter("hub_bytes_out_total");
   while (!conn.out.empty()) {
     const ssize_t rc = ::send(conn.sock.fd(), conn.out.data(), conn.out.size(),
                               MSG_NOSIGNAL);
     if (rc > 0) {
+      bytes_out.Inc(static_cast<std::uint64_t>(rc));
       conn.out.erase(0, static_cast<std::size_t>(rc));
       continue;
     }
@@ -103,6 +152,7 @@ bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
   if (!conn.hello_done) {
     std::string error;
     if (!DecodeHello(payload, &error)) {
+      NoteHelloError(error);
       AppendErrorFrame(&conn.out, error);
       FlushWrites(conn);  // best effort: tell the client why before dropping
       *why = "hello rejected: " + error;
@@ -111,6 +161,14 @@ bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
     conn.hello_done = true;
     std::string body;
     AppendVarint(&body, kProtocolVersion);
+    // Server wall clock at hello time: the client pairs this with its own
+    // send/receive timestamps (Cristian's algorithm) to place its trace on
+    // the hub's clock. Pre-PR-10 clients ignore the extra varint.
+    AppendVarint(&body,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()));
     AppendOkFrame(&conn.out, body);
     conn.session.SetFaultModel(options_.default_fault);
     return true;
@@ -127,6 +185,15 @@ bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.commands;
   }
+  const std::uint64_t t0 = obs::MonotonicNanos();
+  const bool ok = DispatchCommand(conn, payload, pos, cmd, why);
+  CommandHistogram(cmd).Observe(obs::MonotonicNanos() - t0);
+  return ok;
+}
+
+bool HubServer::DispatchCommand(Connection& conn, const std::string& payload,
+                                std::size_t pos, std::uint64_t cmd,
+                                std::string* why) {
   switch (static_cast<Command>(cmd)) {
     case Command::kPublishBatch: {
       std::uint64_t count = 0;
@@ -148,6 +215,10 @@ bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
       for (MessageTaintRecord& record : records) {
         conn.session.Publish(std::move(record));
       }
+      static obs::Histogram& batch_records =
+          obs::Registry::Global().GetHistogram("hub_publish_batch_records",
+                                               BatchBounds());
+      batch_records.Observe(count);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.records_published += count;
@@ -219,6 +290,12 @@ bool HubServer::HandleFrame(Connection& conn, const std::string& payload,
 }
 
 void HubServer::Loop() {
+  static obs::Counter& bytes_in =
+      obs::Registry::Global().GetCounter("hub_bytes_in_total");
+  static obs::Gauge& conns_open =
+      obs::Registry::Global().GetGauge("hub_connections_open");
+  static obs::Gauge& out_depth =
+      obs::Registry::Global().GetGauge("hub_out_buffer_bytes");
   std::vector<pollfd> fds;
   char buf[64 * 1024];
   while (!stop_requested_.load(std::memory_order_acquire)) {
@@ -249,6 +326,7 @@ void HubServer::Loop() {
         auto conn = std::make_unique<Connection>();
         conn->sock = net::TcpSocket(cfd);
         conns_.push_back(std::move(conn));
+        conns_open.Add(1);
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.connections_accepted;
       }
@@ -264,6 +342,7 @@ void HubServer::Loop() {
         for (;;) {
           const ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
           if (n > 0) {
+            bytes_in.Inc(static_cast<std::uint64_t>(n));
             conn.decoder.Feed(buf, static_cast<std::size_t>(n));
             if (static_cast<ssize_t>(sizeof(buf)) != n) break;
             continue;
@@ -289,7 +368,10 @@ void HubServer::Loop() {
           }
           if (!HandleFrame(conn, payload, &why)) {
             drop = true;
-            protocol_error = true;
+            // A rejected hello was already counted by NoteHelloError —
+            // hello_done still false here — so only post-hello failures
+            // land in conn_errors. The two counters partition the drops.
+            protocol_error = conn.hello_done;
             break;
           }
           if (conn.out.size() > options_.max_out_bytes) {
@@ -310,12 +392,26 @@ void HubServer::Loop() {
           ++stats_.connections_dropped;
         }
         conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        conns_open.Add(-1);
         --i;
         // fds no longer lines up with conns_, so stop processing this round.
         break;
       }
     }
+    // Backpressure visibility: total queued-but-unsent response bytes across
+    // this server's connections, published as a delta against the shared
+    // gauge (see published_out_bytes_).
+    std::int64_t out_total = 0;
+    for (const auto& conn : conns_) {
+      out_total += static_cast<std::int64_t>(conn->out.size());
+    }
+    out_depth.Add(out_total - published_out_bytes_);
+    published_out_bytes_ = out_total;
   }
+  // Shutdown: retire this server's contribution to the shared gauges.
+  out_depth.Add(-published_out_bytes_);
+  published_out_bytes_ = 0;
+  conns_open.Add(-static_cast<std::int64_t>(conns_.size()));
 }
 
 }  // namespace chaser::hub::remote

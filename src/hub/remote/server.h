@@ -8,8 +8,10 @@
 //
 // Robustness rules (ISSUE 7 satellite): a malformed frame, an oversized or
 // zero-length frame, a bad hello, or an out-queue overflow drops *that
-// connection only* — counted in stats().conn_errors and the
-// `hub_conn_errors` telemetry counter — and the server never aborts.
+// connection only* and the server never aborts. Post-hello protocol
+// violations count in stats().conn_errors / `hub_conn_errors`; rejected
+// hellos count separately in stats().hello_errors / `hub_hello_errors`, so
+// protocol-version skew is distinguishable from corruption.
 //
 // Backpressure: responses queue in a bounded per-connection buffer
 // (Options::max_out_bytes). A client that stops reading while issuing
@@ -35,7 +37,8 @@ namespace chaser::hub::remote {
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_dropped = 0;  // peer EOF + error drops
-  std::uint64_t conn_errors = 0;          // protocol violations only
+  std::uint64_t conn_errors = 0;          // protocol violations after hello
+  std::uint64_t hello_errors = 0;         // rejected hellos (version skew)
   std::uint64_t commands = 0;             // frames dispatched after hello
   std::uint64_t records_published = 0;    // across all batches and sessions
 };
@@ -83,8 +86,14 @@ class HubServer {
   /// (fills *why for the log).
   bool HandleFrame(Connection& conn, const std::string& payload,
                    std::string* why);
+  /// Post-hello command dispatch, timed into hub_cmd_ns{cmd=...}.
+  bool DispatchCommand(Connection& conn, const std::string& payload,
+                       std::size_t pos, std::uint64_t cmd, std::string* why);
   void FlushWrites(Connection& conn);
   void NoteConnError(const std::string& why);
+  /// A rejected hello is version/deploy skew, not corruption: counted in
+  /// stats().hello_errors and `hub_hello_errors`, never in conn_errors.
+  void NoteHelloError(const std::string& why);
 
   Options options_;
   net::TcpListener listener_;
@@ -94,6 +103,10 @@ class HubServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::vector<std::unique_ptr<Connection>> conns_;
+  /// Last out-buffer total this server pushed into the shared
+  /// hub_out_buffer_bytes gauge; deltas keep several servers (loopback
+  /// tests) from clobbering each other's contribution.
+  std::int64_t published_out_bytes_ = 0;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

@@ -94,6 +94,59 @@ std::vector<std::uint64_t> LatencyBoundsNs() {
   return bounds;
 }
 
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  std::string out = base;
+  out += '{';
+  out += key;
+  out += "=\"";
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+// Splits a registry key "base{labels}" into the base metric name and the
+// brace-free label body; a plain name yields an empty label body.
+void SplitSeries(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  std::size_t end = name.rfind('}');
+  if (end == std::string::npos || end < brace) end = name.size();
+  *labels = name.substr(brace + 1, end - brace - 1);
+}
+
+// Joins an existing label body with one extra `k="v"` pair into a rendered
+// label set (or "" when both are empty).
+std::string JoinLabels(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
 // ---- Registry ----------------------------------------------------------------
 
 Counter& Registry::GetCounter(const std::string& name) {
@@ -171,6 +224,77 @@ std::string Registry::ToJson() const {
     first = false;
   }
   out += "\n  }\n}\n";
+  return out;
+}
+
+std::string Registry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  const auto u64 = [](std::uint64_t v) {
+    return StrFormat("%llu", static_cast<unsigned long long>(v));
+  };
+
+  // Group series by base name: the map is sorted by full key, but a labeled
+  // series ("hub_cmd_ns{cmd=...}") can interleave with an unrelated longer
+  // name, and Prometheus wants exactly one TYPE line per family.
+  std::map<std::string, std::vector<const Counter*>> counter_families;
+  for (const auto& [name, c] : counters_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    counter_families[base].push_back(c.get());
+  }
+  for (const auto& [base, series] : counter_families) {
+    out += "# TYPE " + base + " counter\n";
+    for (const Counter* c : series) {
+      std::string b, labels;
+      SplitSeries(c->name(), &b, &labels);
+      out += base + JoinLabels(labels, "") + " " + u64(c->Value()) + "\n";
+    }
+  }
+
+  std::map<std::string, std::vector<const Gauge*>> gauge_families;
+  for (const auto& [name, g] : gauges_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    gauge_families[base].push_back(g.get());
+  }
+  for (const auto& [base, series] : gauge_families) {
+    out += "# TYPE " + base + " gauge\n";
+    for (const Gauge* g : series) {
+      std::string b, labels;
+      SplitSeries(g->name(), &b, &labels);
+      out += base + JoinLabels(labels, "") +
+             StrFormat(" %lld\n", static_cast<long long>(g->Value()));
+    }
+  }
+
+  std::map<std::string, std::vector<const Histogram*>> histo_families;
+  for (const auto& [name, h] : histograms_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    histo_families[base].push_back(h.get());
+  }
+  for (const auto& [base, series] : histo_families) {
+    out += "# TYPE " + base + " histogram\n";
+    for (const Histogram* h : series) {
+      std::string b, labels;
+      SplitSeries(h->name(), &b, &labels);
+      const std::vector<std::uint64_t> counts = h->BucketCounts();
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+        cum += counts[i];
+        out += base + "_bucket" +
+               JoinLabels(labels, "le=\"" + u64(h->bounds()[i]) + "\"") + " " +
+               u64(cum) + "\n";
+      }
+      cum += counts.back();
+      out += base + "_bucket" + JoinLabels(labels, "le=\"+Inf\"") + " " +
+             u64(cum) + "\n";
+      out += base + "_sum" + JoinLabels(labels, "") + " " + u64(h->Sum()) +
+             "\n";
+      out += base + "_count" + JoinLabels(labels, "") + " " + u64(cum) + "\n";
+    }
+  }
   return out;
 }
 

@@ -112,6 +112,13 @@ class Histogram {
 /// 1us, 4us, 16us, ... up to ~17s (12 buckets + overflow).
 std::vector<std::uint64_t> LatencyBoundsNs();
 
+/// Build a labeled series name: `base{key="value"}` with Prometheus
+/// label-value escaping (backslash, double quote, newline). The result is a
+/// plain registry key — the registry itself treats it as an opaque name;
+/// only ToPrometheus() and dashboards care about the structure.
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value);
+
 /// Owns its metrics; references returned by Get* stay valid for the
 /// registry's lifetime. Registration takes a mutex (callers cache the
 /// reference); the write path never does.
@@ -134,6 +141,13 @@ class Registry {
   ///    {"count": n, "sum": n, "buckets": [{"le": bound, "count": n}...,
   ///     {"le": "inf", "count": n}], "p50": n, "p99": n}}}
   std::string ToJson() const;
+
+  /// Prometheus text exposition (format 0.0.4). Metric names may embed a
+  /// label set ('hub_cmd_ns{cmd="poll"}', see LabeledName); series sharing a
+  /// base name are grouped under one `# TYPE` line. Histograms render the
+  /// conventional cumulative `_bucket{le=...}` series plus `_sum`/`_count`;
+  /// the overflow bucket becomes `le="+Inf"`.
+  std::string ToPrometheus() const;
 
   /// Zero every registered metric (handles stay valid). Tests and
   /// campaign-scoped scrapers use this; concurrent writers may interleave.

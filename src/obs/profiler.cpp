@@ -31,13 +31,39 @@ const char* PhaseName(Phase p) {
   return "?";
 }
 
+namespace {
+
+struct ClockAnchor {
+  std::chrono::steady_clock::time_point mono;
+  std::uint64_t realtime_us;
+};
+
+// Monotonic zero and the wall-clock microseconds at that instant are sampled
+// together, once, so RealtimeAnchorUs() lets a merger place this process's
+// monotonic-relative trace timestamps on a fleet-shared wall clock.
+const ClockAnchor& Anchor() {
+  static const ClockAnchor anchor = [] {
+    ClockAnchor a;
+    a.mono = std::chrono::steady_clock::now();
+    a.realtime_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return a;
+  }();
+  return anchor;
+}
+
+}  // namespace
+
 std::uint64_t MonotonicNanos() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point base = Clock::now();
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - base)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Anchor().mono)
           .count());
 }
+
+std::uint64_t RealtimeAnchorUs() { return Anchor().realtime_us; }
 
 PhaseProfiler* ThreadProfiler() { return tls_profiler; }
 void SetThreadProfiler(PhaseProfiler* p) { tls_profiler = p; }

@@ -45,6 +45,12 @@ const char* PhaseName(Phase p);
 /// to the first call so spans start near zero).
 std::uint64_t MonotonicNanos();
 
+/// Wall-clock microseconds (Unix epoch) at this process's monotonic zero,
+/// sampled in the same instant MonotonicNanos() was rebased. monotonic_ns /
+/// 1000 + RealtimeAnchorUs() places any span on the shared wall clock,
+/// which is how chaser_fleet's trace merge aligns per-process timelines.
+std::uint64_t RealtimeAnchorUs();
+
 /// One buffered span (tracing only).
 struct PhaseSpan {
   Phase phase = Phase::kTrial;

@@ -1,5 +1,7 @@
 #include "obs/status.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "common/error.h"
@@ -10,9 +12,9 @@
 namespace chaser::obs {
 
 StatusWriter::StatusWriter(Options options) : options_(std::move(options)) {
-  if (options_.path.empty()) {
-    throw ConfigError("StatusWriter: empty status path");
-  }
+  progress_on_ =
+      options_.progress == ProgressMode::kOn ||
+      (options_.progress == ProgressMode::kAuto && ::isatty(STDERR_FILENO) == 1);
   every_ = options_.every;
   if (every_ == 0) {
     // Auto cadence: ~100 rewrites over the campaign. Cheap either way — a
@@ -91,6 +93,9 @@ std::string StatusWriter::RenderLocked(bool running) const {
         static_cast<unsigned long long>(options_.shard_index),
         static_cast<unsigned long long>(options_.shard_count));
   }
+  if (!options_.obs_endpoint.empty()) {
+    out += StrFormat(", \"obs\": \"%s\"", options_.obs_endpoint.c_str());
+  }
   if (options_.cache_stats) {
     const CacheStatsSnapshot cs = options_.cache_stats();
     out += StrFormat(
@@ -122,9 +127,11 @@ std::string StatusWriter::RenderLocked(bool running) const {
 }
 
 void StatusWriter::WriteLocked(bool running) {
-  WriteFileAtomic(options_.path, RenderLocked(running));
-  ++writes_;
-  if (options_.progress) {
+  if (!options_.path.empty()) {
+    WriteFileAtomic(options_.path, RenderLocked(running));
+    ++writes_;
+  }
+  if (progress_on_) {
     const double pct = options_.total == 0
                            ? 100.0
                            : 100.0 * static_cast<double>(done_) /
@@ -152,6 +159,11 @@ void StatusWriter::Finish() {
   if (finished_) return;
   finished_ = true;
   WriteLocked(/*running=*/false);
+}
+
+std::string StatusWriter::RenderSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RenderLocked(/*running=*/!finished_);
 }
 
 std::uint64_t StatusWriter::done() const {

@@ -68,22 +68,39 @@ struct EstimateSnapshot {
   OutcomeIntervalSnapshot hang;
 };
 
+/// Progress-meter policy. kAuto (the default when a campaign asks for any
+/// telemetry) shows the meter only when stderr is a terminal, so fleet
+/// worker logs and CI captures stay clean; an explicit --progress forces
+/// kOn even into a pipe.
+enum class ProgressMode : std::uint8_t {
+  kOff = 0,
+  kAuto,  // isatty(stderr) decides
+  kOn,
+};
+
 class StatusWriter {
  public:
   struct Options {
-    std::string path;          // status.json destination (required)
+    /// status.json destination. Empty = render-only: no file is ever
+    /// written (RenderSnapshot feeds a /status scrape endpoint instead),
+    /// but trial accounting and the progress meter still work.
+    std::string path;
     std::string app;           // campaign label
     std::uint64_t total = 0;   // trials expected
     /// Rewrite the file every N completed trials (the final write always
     /// happens). 0 = auto: ~100 rewrites over the campaign, at least 1.
     std::uint64_t every = 0;
-    bool progress = false;     // one-line stderr meter
+    ProgressMode progress = ProgressMode::kOff;  // one-line stderr meter
     /// Shard-worker identity (chaser_run --shard i/N). When shard_count > 1
     /// the JSON gains a "shard": {"index", "count"} block so a fleet rollup
     /// can tell the per-worker files apart; the unsharded default emits
     /// nothing and the JSON bytes stay as they always were.
     std::uint64_t shard_index = 0;
     std::uint64_t shard_count = 1;
+    /// Scrape endpoint ("host:port") this process serves, advertised as an
+    /// "obs" field so a fleet coordinator reading the status file learns
+    /// where to scrape live data. Empty = no field (bytes unchanged).
+    std::string obs_endpoint;
     /// Optional cache-stats source polled at every rewrite.
     std::function<CacheStatsSnapshot()> cache_stats;
     /// Optional sampled-campaign estimates source polled at every rewrite
@@ -109,6 +126,10 @@ class StatusWriter {
   /// Final rewrite with running=false. Idempotent. Ends the progress line.
   void Finish();
 
+  /// The status JSON as of now, without touching the file — the /status
+  /// scrape endpoint's source. Thread-safe.
+  std::string RenderSnapshot() const;
+
   std::uint64_t done() const;
   std::uint64_t writes() const;  // status.json rewrites so far
 
@@ -117,6 +138,7 @@ class StatusWriter {
   void WriteLocked(bool running);
 
   Options options_;
+  bool progress_on_ = false;  // options_.progress resolved against isatty
   mutable std::mutex mutex_;
   std::uint64_t done_ = 0;
   std::uint64_t replayed_ = 0;

@@ -1,6 +1,7 @@
 #include "obs/telemetry.h"
 
 #include "common/fileio.h"
+#include "common/strings.h"
 
 namespace chaser::obs {
 
@@ -16,7 +17,16 @@ const char* TrialOutcomeName(int outcome) {
 
 Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
   if (!options_.trace_path.empty()) {
-    trace_ = std::make_unique<TraceJsonWriter>(options_.trace_path);
+    trace_ = std::make_unique<TraceJsonWriter>(options_.trace_path,
+                                               options_.trace_pid,
+                                               options_.trace_process_name);
+  }
+  if (options_.obs_port >= 0) {
+    ExportServer::Options eo;
+    eo.host = options_.obs_host;
+    eo.port = static_cast<std::uint16_t>(options_.obs_port);
+    eo.status_body = [this] { return StatusBody(); };
+    export_server_ = std::make_unique<ExportServer>(std::move(eo));
   }
 }
 
@@ -30,8 +40,16 @@ Telemetry::~Telemetry() {
 
 void Telemetry::BeginCampaign(const std::string& app,
                               std::uint64_t total_trials) {
-  app_ = app;
-  if (!options_.status_path.empty() && status_ == nullptr) {
+  {
+    // app_ is also read by the export thread's /status fallback.
+    std::lock_guard<std::mutex> lock(mutex_);
+    app_ = app;
+  }
+  // A scrape server implies a status channel even without --status: the
+  // StatusWriter runs render-only (empty path) and feeds /status.
+  const bool want_status =
+      !options_.status_path.empty() || export_server_ != nullptr;
+  if (want_status && status_ == nullptr) {
     StatusWriter::Options so;
     so.path = options_.status_path;
     so.app = app;
@@ -40,10 +58,30 @@ void Telemetry::BeginCampaign(const std::string& app,
     so.progress = options_.progress;
     so.shard_index = options_.shard_index;
     so.shard_count = options_.shard_count;
+    if (export_server_ != nullptr) so.obs_endpoint = export_server_->endpoint();
     so.cache_stats = cache_stats_;
     so.estimates = estimates_;
-    status_ = std::make_unique<StatusWriter>(std::move(so));
+    auto status = std::make_unique<StatusWriter>(std::move(so));
+    // The /status callback reads status_ from the export thread; publish
+    // the fully-built writer under the lock it reads through.
+    std::lock_guard<std::mutex> lock(mutex_);
+    status_ = std::move(status);
   }
+}
+
+std::string Telemetry::StatusBody() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status_ != nullptr) return status_->RenderSnapshot();
+  return StrFormat("{\"app\": \"%s\", \"running\": false, \"started\": false}\n",
+                   app_.c_str());
+}
+
+std::string Telemetry::obs_endpoint() const {
+  return export_server_ != nullptr ? export_server_->endpoint() : std::string();
+}
+
+void Telemetry::SetClockOffsetUs(std::int64_t offset_us) {
+  if (trace_ != nullptr) trace_->SetClockOffsetUs(offset_us);
 }
 
 void Telemetry::SetCacheStatsSource(

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/status.h"
@@ -40,12 +41,23 @@ struct TelemetryOptions {
   std::string trace_path;    // non-empty: Chrome trace-event JSON
   std::string status_path;   // non-empty: live status.json
   std::string metrics_path;  // non-empty: final metrics registry dump
-  bool progress = false;     // stderr progress meter (needs status channel)
+  /// Stderr progress meter (needs status channel). kAuto shows it only on
+  /// a terminal so fleet worker logs stay clean.
+  ProgressMode progress = ProgressMode::kOff;
   std::uint64_t status_every = 0;  // trials per status rewrite; 0 = auto
   /// Shard-worker identity forwarded into status.json (see
   /// StatusWriter::Options); the 0/1 default changes nothing.
   std::uint64_t shard_index = 0;
   std::uint64_t shard_count = 1;
+  /// >= 0: serve /metrics, /status, /healthz on obs_host:obs_port for the
+  /// campaign's lifetime (0 = ephemeral port; see Telemetry::obs_endpoint).
+  /// -1 (default) = no scrape server.
+  int obs_port = -1;
+  std::string obs_host = "127.0.0.1";
+  /// Trace identity for fleet merges: the pid and process name stamped on
+  /// every trace event (chaser_run passes shard_index+1 / "shard-i/N").
+  std::uint32_t trace_pid = 1;
+  std::string trace_process_name = "chaser campaign";
 };
 
 /// Outcome-agnostic mirror of the RunRecord fields telemetry consumes
@@ -103,8 +115,14 @@ class Telemetry {
   void OnTrialDone(const TrialStats& t, std::uint64_t t0_ns,
                    std::uint64_t t1_ns);
 
+  /// Hub-handshake clock correction for the trace anchor (see
+  /// ProbeHubClock / TraceJsonWriter::SetClockOffsetUs). No-op when
+  /// tracing is off.
+  void SetClockOffsetUs(std::int64_t offset_us);
+
   /// Final outputs: status.json with running=false, the Chrome trace file,
-  /// metrics.json. Idempotent.
+  /// metrics.json. Idempotent. The scrape server (if any) keeps answering
+  /// until destruction so a dashboard can read the final state.
   void Finish();
 
   /// The registry all telemetry metrics land in (the process-global one, so
@@ -113,16 +131,23 @@ class Telemetry {
   StatusWriter* status() { return status_.get(); }
   TraceJsonWriter* trace_writer() { return trace_.get(); }
   bool tracing() const { return trace_ != nullptr; }
+  /// "host:port" of the scrape server, or "" when obs_port was -1.
+  std::string obs_endpoint() const;
 
  private:
+  /// /status body: the live StatusWriter snapshot once BeginCampaign ran,
+  /// else a minimal not-started placeholder.
+  std::string StatusBody();
+
   TelemetryOptions options_;
   std::unique_ptr<TraceJsonWriter> trace_;
   std::unique_ptr<StatusWriter> status_;
+  std::unique_ptr<ExportServer> export_server_;
   std::function<CacheStatsSnapshot()> cache_stats_;
   std::function<EstimateSnapshot()> estimates_;
   std::string app_;
 
-  std::mutex mutex_;  // guards profilers_ and finish
+  std::mutex mutex_;  // guards profilers_, finish, and status_ creation
   std::vector<std::unique_ptr<PhaseProfiler>> profilers_;
   bool finished_ = false;
 };

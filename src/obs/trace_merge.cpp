@@ -1,0 +1,150 @@
+#include "obs/trace_merge.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/fileio.h"
+#include "common/strings.h"
+
+namespace chaser::obs {
+
+namespace {
+
+struct ParsedTrace {
+  std::vector<std::string> events;  // one JSON object each, no trailing comma
+  std::int64_t anchor_us = 0;
+};
+
+ParsedTrace ParseTrace(const std::string& doc, std::size_t index) {
+  const auto malformed = [&](const std::string& what) {
+    throw ConfigError(StrFormat("trace merge: input %zu %s", index,
+                                what.c_str()));
+  };
+  ParsedTrace out;
+  const std::size_t open = doc.find("\"traceEvents\": [");
+  if (open == std::string::npos) malformed("has no traceEvents array");
+  std::size_t pos = doc.find('\n', open);
+  if (pos == std::string::npos) malformed("is not line-per-event output");
+  ++pos;
+  // Events run one per line until the line that closes the array.
+  while (pos < doc.size()) {
+    std::size_t eol = doc.find('\n', pos);
+    if (eol == std::string::npos) eol = doc.size();
+    std::string line = doc.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line[0] == ']') break;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    if (line.empty()) continue;
+    out.events.push_back(std::move(line));
+  }
+  const std::string anchor_key = "\"chaserClockAnchorUs\": ";
+  const std::size_t akey = doc.find(anchor_key);
+  if (akey == std::string::npos) {
+    malformed("has no chaserClockAnchorUs (written by an older build?)");
+  }
+  out.anchor_us = std::strtoll(doc.c_str() + akey + anchor_key.size(),
+                               nullptr, 10);
+  return out;
+}
+
+/// Rewrites every `"pid":<n>` in the event to the file's merged pid.
+void RewritePid(std::string* event, std::uint32_t pid) {
+  const std::string key = "\"pid\":";
+  const std::string replacement = key + std::to_string(pid);
+  std::size_t pos = 0;
+  while ((pos = event->find(key, pos)) != std::string::npos) {
+    std::size_t end = pos + key.size();
+    while (end < event->size() &&
+           std::isdigit(static_cast<unsigned char>((*event)[end]))) {
+      ++end;
+    }
+    event->replace(pos, end - pos, replacement);
+    pos += replacement.size();
+  }
+}
+
+/// Shifts the event's `"ts":<us>.<frac>` by delta microseconds, preserving
+/// the fractional digits. Metadata events carry no ts and pass through.
+void ShiftTs(std::string* event, std::int64_t delta_us) {
+  if (delta_us == 0) return;
+  const std::string key = "\"ts\":";
+  const std::size_t pos = event->find(key);
+  if (pos == std::string::npos) return;
+  const std::size_t num_start = pos + key.size();
+  std::size_t end = num_start;
+  while (end < event->size() &&
+         std::isdigit(static_cast<unsigned char>((*event)[end]))) {
+    ++end;
+  }
+  const std::int64_t us =
+      std::strtoll(event->c_str() + num_start, nullptr, 10) + delta_us;
+  std::string frac;
+  if (end < event->size() && (*event)[end] == '.') {
+    std::size_t fend = end + 1;
+    while (fend < event->size() &&
+           std::isdigit(static_cast<unsigned char>((*event)[fend]))) {
+      ++fend;
+    }
+    frac = event->substr(end, fend - end);
+    end = fend;
+  }
+  event->replace(pos, end - pos,
+                 key + std::to_string(us < 0 ? 0 : us) + frac);
+}
+
+}  // namespace
+
+std::string MergeChromeTraces(const std::vector<std::string>& docs,
+                              TraceMergeStats* stats) {
+  if (docs.empty()) throw ConfigError("trace merge: no inputs");
+  std::vector<ParsedTrace> traces;
+  traces.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    traces.push_back(ParseTrace(docs[i], i));
+  }
+  std::int64_t min_anchor = traces[0].anchor_us;
+  std::int64_t max_anchor = traces[0].anchor_us;
+  for (const ParsedTrace& t : traces) {
+    if (t.anchor_us < min_anchor) min_anchor = t.anchor_us;
+    if (t.anchor_us > max_anchor) max_anchor = t.anchor_us;
+  }
+  std::string events;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::int64_t delta = traces[i].anchor_us - min_anchor;
+    for (std::string& event : traces[i].events) {
+      RewritePid(&event, static_cast<std::uint32_t>(i + 1));
+      ShiftTs(&event, delta);
+      if (count > 0) events += ",\n";
+      events += event;
+      ++count;
+    }
+  }
+  if (stats != nullptr) {
+    stats->files = traces.size();
+    stats->events = count;
+    stats->min_anchor_us = min_anchor;
+    stats->max_skew_us = max_anchor - min_anchor;
+  }
+  return "{\"traceEvents\": [\n" + events +
+         StrFormat("\n], \"chaserClockAnchorUs\": %lld, "
+                   "\"displayTimeUnit\": \"ms\"}\n",
+                   static_cast<long long>(min_anchor));
+}
+
+TraceMergeStats MergeChromeTraceFiles(const std::vector<std::string>& paths,
+                                      const std::string& out_path) {
+  std::vector<std::string> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    docs.push_back(ReadFileToString(path));
+  }
+  TraceMergeStats stats;
+  const std::string merged = MergeChromeTraces(docs, &stats);
+  WriteFileAtomic(out_path, merged);
+  return stats;
+}
+
+}  // namespace chaser::obs

@@ -1,0 +1,47 @@
+// Fleet trace merge: stitch per-process Chrome traces into one timeline.
+//
+// Every fleet member writes its own trace file (TraceJsonWriter), with
+// timestamps on its *own* monotonic clock and a top-level
+// "chaserClockAnchorUs" recording the wall-clock microseconds of that
+// clock's origin (offset-corrected by the hub handshake when the worker is
+// hub-attached, see ProbeHubClock). The merge:
+//
+//   * picks the earliest anchor as the fleet's ts origin,
+//   * shifts every event's "ts" by (anchor_i - min_anchor) microseconds, and
+//   * rewrites each file's "pid" to a process-unique value (input order:
+//     file i becomes pid i+1), so Perfetto shows one process row per fleet
+//     member instead of collapsing them all onto pid 1.
+//
+// "dur", "tid" and everything else pass through untouched. The writer emits
+// one event per line, which is what lets this run as line rewriting instead
+// of a JSON parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chaser::obs {
+
+/// One input trace plus its parsed anchor (exposed for tests/reporting).
+struct TraceMergeStats {
+  std::size_t files = 0;
+  std::size_t events = 0;
+  std::int64_t min_anchor_us = 0;
+  std::int64_t max_skew_us = 0;  // largest anchor delta across inputs
+};
+
+/// Merge already-loaded trace JSON documents. Inputs must be
+/// TraceJsonWriter output (one event per line). Returns the merged
+/// document; throws ConfigError on a malformed input (missing traceEvents
+/// or anchor). `stats` is optional.
+std::string MergeChromeTraces(const std::vector<std::string>& docs,
+                              TraceMergeStats* stats = nullptr);
+
+/// File convenience wrapper: reads `paths`, merges, writes `out_path`
+/// atomically. Throws ConfigError on I/O or format errors.
+TraceMergeStats MergeChromeTraceFiles(const std::vector<std::string>& paths,
+                                      const std::string& out_path);
+
+}  // namespace chaser::obs

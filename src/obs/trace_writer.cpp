@@ -34,20 +34,30 @@ std::string TsUs(std::uint64_t ns) {
 
 }  // namespace
 
-TraceJsonWriter::TraceJsonWriter(std::string path) : path_(std::move(path)) {
-  AppendEventLocked(
-      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-      "\"args\":{\"name\":\"chaser campaign\"}}");
+TraceJsonWriter::TraceJsonWriter(std::string path, std::uint32_t pid,
+                                 const std::string& process_name)
+    : path_(std::move(path)),
+      pid_field_(StrFormat("\"pid\":%u", pid)),
+      anchor_us_(RealtimeAnchorUs()) {
+  AppendEventLocked(StrFormat(
+      "{\"name\":\"process_name\",\"ph\":\"M\",%s,\"tid\":0,"
+      "\"args\":{\"name\":\"%s\"}}",
+      pid_field_.c_str(), JsonEscape(process_name).c_str()));
 }
 
 std::uint32_t TraceJsonWriter::RegisterThread(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint32_t tid = next_tid_++;
   AppendEventLocked(StrFormat(
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",%s,\"tid\":%u,"
       "\"args\":{\"name\":\"%s\"}}",
-      tid, JsonEscape(name).c_str()));
+      pid_field_.c_str(), tid, JsonEscape(name).c_str()));
   return tid;
+}
+
+void TraceJsonWriter::SetClockOffsetUs(std::int64_t offset_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_offset_us_ = offset_us;
 }
 
 void TraceJsonWriter::AddSpan(
@@ -55,9 +65,10 @@ void TraceJsonWriter::AddSpan(
     std::uint64_t t1_ns,
     const std::vector<std::pair<std::string, std::string>>& args) {
   std::string event = StrFormat(
-      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,"
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,%s,"
       "\"tid\":%u",
-      name, TsUs(t0_ns).c_str(), TsUs(t1_ns - t0_ns).c_str(), tid);
+      name, TsUs(t0_ns).c_str(), TsUs(t1_ns - t0_ns).c_str(),
+      pid_field_.c_str(), tid);
   if (!args.empty()) {
     event += ",\"args\":{";
     bool first = true;
@@ -78,10 +89,10 @@ void TraceJsonWriter::AddPhaseSpans(std::uint32_t tid,
   std::lock_guard<std::mutex> lock(mutex_);
   for (const PhaseSpan& s : spans) {
     AppendEventLocked(StrFormat(
-        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,"
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,%s,"
         "\"tid\":%u}",
         PhaseName(s.phase), TsUs(s.t0_ns).c_str(),
-        TsUs(s.t1_ns - s.t0_ns).c_str(), tid));
+        TsUs(s.t1_ns - s.t0_ns).c_str(), pid_field_.c_str(), tid));
   }
 }
 
@@ -103,8 +114,12 @@ void TraceJsonWriter::Finish() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (finished_) return;
     finished_ = true;
+    const std::int64_t anchor =
+        static_cast<std::int64_t>(anchor_us_) + clock_offset_us_;
     content = "{\"traceEvents\": [\n" + events_ +
-              "\n], \"displayTimeUnit\": \"ms\"}\n";
+              StrFormat("\n], \"chaserClockAnchorUs\": %lld, "
+                        "\"displayTimeUnit\": \"ms\"}\n",
+                        static_cast<long long>(anchor));
     events_.clear();
   }
   WriteFileAtomic(path_, content);

@@ -28,8 +28,12 @@ namespace chaser::obs {
 
 class TraceJsonWriter {
  public:
-  /// `path` is only written at Finish(); construction is I/O-free.
-  explicit TraceJsonWriter(std::string path);
+  /// `path` is only written at Finish(); construction is I/O-free. `pid`
+  /// and `process_name` identify this process's row in a merged fleet
+  /// trace — chaser_run passes shard_index + 1 and "shard-i/N" when running
+  /// as a fleet worker, so merged timelines keep one process row per shard.
+  explicit TraceJsonWriter(std::string path, std::uint32_t pid = 1,
+                           const std::string& process_name = "chaser campaign");
 
   TraceJsonWriter(const TraceJsonWriter&) = delete;
   TraceJsonWriter& operator=(const TraceJsonWriter&) = delete;
@@ -46,8 +50,17 @@ class TraceJsonWriter {
   /// Bulk ingest of a profiler's buffered phase spans. Thread-safe.
   void AddPhaseSpans(std::uint32_t tid, const std::vector<PhaseSpan>& spans);
 
+  /// Hub-handshake clock correction (see ProbeHubClock): microseconds to
+  /// add to this process's wall-clock anchor so all fleet members agree on
+  /// the hub's clock. Thread-safe; affects only the anchor stamped at
+  /// Finish(), never the spans themselves.
+  void SetClockOffsetUs(std::int64_t offset_us);
+
   /// Write the complete JSON to `path` atomically. Idempotent; spans added
-  /// after the first Finish are dropped.
+  /// after the first Finish are dropped. The top-level
+  /// "chaserClockAnchorUs" field records the (offset-corrected) wall-clock
+  /// microseconds of this trace's ts origin — the merge step shifts each
+  /// file by the anchor deltas to build one fleet timeline.
   void Finish();
 
   const std::string& path() const { return path_; }
@@ -59,6 +72,9 @@ class TraceJsonWriter {
   mutable std::mutex mutex_;
   std::string path_;
   std::string events_;  // comma-joined event objects
+  std::string pid_field_;  // rendered "\"pid\":N" fragment for every event
+  std::uint64_t anchor_us_ = 0;
+  std::int64_t clock_offset_us_ = 0;
   std::uint64_t num_events_ = 0;
   std::uint32_t next_tid_ = 1;
   bool finished_ = false;

@@ -1,9 +1,12 @@
-// Unit tests for src/common: strings, bits, rng, histogram.
+// Unit tests for src/common: strings, bits, rng, histogram, file I/O.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "common/bits.h"
+#include "common/error.h"
+#include "common/fileio.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -79,6 +82,82 @@ TEST(Strings, StartsWithAndToLower) {
 }
 
 // ---- bits -------------------------------------------------------------------
+
+TEST(Strings, JsonFindRawScalarKinds) {
+  const std::string doc =
+      "{\"n\": 42, \"f\": -1.5, \"b\": true, \"u\": null, "
+      "\"s\": \"hi\", \"last\": 9}";
+  std::string raw;
+  ASSERT_TRUE(JsonFindRaw(doc, "n", &raw));
+  EXPECT_EQ(raw, "42");
+  ASSERT_TRUE(JsonFindRaw(doc, "f", &raw));
+  EXPECT_EQ(raw, "-1.5");
+  ASSERT_TRUE(JsonFindRaw(doc, "b", &raw));
+  EXPECT_EQ(raw, "true");
+  ASSERT_TRUE(JsonFindRaw(doc, "u", &raw));
+  EXPECT_EQ(raw, "null");
+  ASSERT_TRUE(JsonFindRaw(doc, "s", &raw));
+  EXPECT_EQ(raw, "\"hi\"");
+  ASSERT_TRUE(JsonFindRaw(doc, "last", &raw));  // value at document end
+  EXPECT_EQ(raw, "9");
+  EXPECT_FALSE(JsonFindRaw(doc, "missing", &raw));
+}
+
+TEST(Strings, JsonFindRawBalancedSubdocuments) {
+  const std::string doc =
+      "{\"shard\": {\"index\": 1, \"nested\": {\"deep\": [1, 2]}}, "
+      "\"arr\": [{\"x\": \"}\"}, 2]}";
+  std::string raw;
+  ASSERT_TRUE(JsonFindRaw(doc, "shard", &raw));
+  EXPECT_EQ(raw, "{\"index\": 1, \"nested\": {\"deep\": [1, 2]}}");
+  // Braces inside string values must not unbalance the scan.
+  ASSERT_TRUE(JsonFindRaw(doc, "arr", &raw));
+  EXPECT_EQ(raw, "[{\"x\": \"}\"}, 2]");
+}
+
+TEST(Strings, JsonFindRawSkipsKeyLookalikeValues) {
+  // "eta_s" first appears as a string VALUE; the lookup must keep going
+  // until it finds it in key position.
+  const std::string doc = "{\"note\": \"eta_s\", \"eta_s\": 3.5}";
+  std::string raw;
+  ASSERT_TRUE(JsonFindRaw(doc, "eta_s", &raw));
+  EXPECT_EQ(raw, "3.5");
+}
+
+TEST(Strings, JsonFindStringDecodesEscapes) {
+  const std::string doc =
+      "{\"plain\": \"a b\", \"esc\": \"q\\\"q \\\\ n\\n\", \"num\": 7}";
+  std::string s;
+  ASSERT_TRUE(JsonFindString(doc, "plain", &s));
+  EXPECT_EQ(s, "a b");
+  ASSERT_TRUE(JsonFindString(doc, "esc", &s));
+  EXPECT_EQ(s, "q\"q \\ n\n");
+  EXPECT_FALSE(JsonFindString(doc, "num", &s)) << "numbers are not strings";
+  EXPECT_FALSE(JsonFindString(doc, "missing", &s));
+}
+
+TEST(Strings, JsonFindNumberTreatsNullAsAbsent) {
+  // The null-for-unknown contract: a null eta_s must read as "no number",
+  // never as 0 (see obs/status.h and the fleet rollup).
+  const std::string doc = "{\"eta_s\": null, \"rate\": 12.25}";
+  double v = -1.0;
+  EXPECT_FALSE(JsonFindNumber(doc, "eta_s", &v));
+  ASSERT_TRUE(JsonFindNumber(doc, "rate", &v));
+  EXPECT_DOUBLE_EQ(v, 12.25);
+}
+
+// ---- fileio ----------------------------------------------------------------
+
+TEST(FileIo, ReadFileToStringRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "chaser_common_test_rt.bin")
+          .string();
+  const std::string payload("a\0b\nc", 5);  // binary-safe
+  WriteFileAtomic(path, payload);
+  EXPECT_EQ(ReadFileToString(path), payload);
+  std::filesystem::remove(path);
+  EXPECT_THROW(ReadFileToString(path), ConfigError);
+}
 
 TEST(Bits, FlipBit) {
   EXPECT_EQ(FlipBit(0, 0), 1u);

@@ -277,5 +277,101 @@ TEST(RemoteHubCampaignTest, LoopbackRemoteHubMatchesInProcess) {
          "to the in-process hub";
 }
 
+// ---- fleet observability: shard status parsing and the rollup ---------------
+
+TEST(ShardStatusTest, ParsesAFullStatusDocument) {
+  const std::string doc =
+      "{\"app\": \"matvec\", \"running\": true, \"total\": 200, "
+      "\"done\": 60, \"replayed\": 5, \"benign\": 40, \"terminated\": 12, "
+      "\"sdc\": 6, \"infra\": 2, \"taint_lost\": 1, \"trace_dropped\": 3, "
+      "\"elapsed_s\": 2.500, \"trials_per_s\": 22.00, \"eta_s\": 6.4, "
+      "\"shard\": {\"index\": 1, \"count\": 4}, \"obs\": \"127.0.0.1:9100\"}\n";
+  const ShardStatus s = ParseShardStatus(doc);
+  ASSERT_TRUE(s.ok);
+  EXPECT_TRUE(s.running);
+  EXPECT_EQ(s.total, 200u);
+  EXPECT_EQ(s.done, 60u);
+  EXPECT_EQ(s.replayed, 5u);
+  EXPECT_EQ(s.benign, 40u);
+  EXPECT_EQ(s.terminated, 12u);
+  EXPECT_EQ(s.sdc, 6u);
+  EXPECT_EQ(s.infra, 2u);
+  EXPECT_EQ(s.taint_lost, 1u);
+  EXPECT_EQ(s.trace_dropped, 3u);
+  EXPECT_DOUBLE_EQ(s.trials_per_s, 22.0);
+  ASSERT_TRUE(s.eta_known);
+  EXPECT_DOUBLE_EQ(s.eta_s, 6.4);
+  EXPECT_EQ(s.obs_endpoint, "127.0.0.1:9100");
+}
+
+TEST(ShardStatusTest, NullEtaReadsAsUnknownNotZero) {
+  const ShardStatus s = ParseShardStatus(
+      "{\"running\": true, \"total\": 100, \"done\": 0, "
+      "\"trials_per_s\": 0.00, \"eta_s\": null}");
+  ASSERT_TRUE(s.ok);
+  EXPECT_FALSE(s.eta_known);
+}
+
+TEST(ShardStatusTest, GarbageYieldsNotOkInsteadOfThrowing) {
+  EXPECT_FALSE(ParseShardStatus("").ok);
+  EXPECT_FALSE(ParseShardStatus("{\"partial\": tru").ok);
+  EXPECT_FALSE(ParseShardStatus("not json at all").ok);
+}
+
+namespace {
+ShardStatus ReportingShard(std::uint64_t done, std::uint64_t total,
+                           double rate, bool eta_known, double eta_s) {
+  ShardStatus s;
+  s.ok = true;
+  s.running = done < total;
+  s.done = done;
+  s.total = total;
+  s.benign = done;  // keep the outcome sums simple
+  s.trials_per_s = rate;
+  s.eta_known = eta_known;
+  s.eta_s = eta_s;
+  return s;
+}
+}  // namespace
+
+TEST(FleetRollupTest, SumsCountsAndTakesTheSlowestKnownEta) {
+  const FleetRollup r = RollUpShards({
+      ReportingShard(50, 100, 10.0, true, 5.0),
+      ReportingShard(40, 100, 8.0, true, 7.5),
+  });
+  EXPECT_EQ(r.shards, 2u);
+  EXPECT_EQ(r.shards_reporting, 2u);
+  EXPECT_EQ(r.total, 200u);
+  EXPECT_EQ(r.done, 90u);
+  EXPECT_DOUBLE_EQ(r.trials_per_s, 18.0);
+  ASSERT_TRUE(r.eta_known);
+  EXPECT_DOUBLE_EQ(r.eta_s, 7.5) << "the fleet finishes with its slowest shard";
+  EXPECT_DOUBLE_EQ(r.benign_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.sdc_rate, 0.0);
+}
+
+TEST(FleetRollupTest, OneEtaNullShardMakesTheFleetEtaUnknown) {
+  // The satellite contract under test: a shard that cannot estimate yet
+  // must surface as fleet-wide unknown, not be folded in as 0 (which would
+  // leave the max untouched and report the optimistic partial answer).
+  const FleetRollup r = RollUpShards({
+      ReportingShard(50, 100, 10.0, true, 5.0),
+      ReportingShard(0, 100, 0.0, false, 0.0),
+  });
+  EXPECT_EQ(r.shards_reporting, 2u);
+  EXPECT_FALSE(r.eta_known);
+  EXPECT_DOUBLE_EQ(r.eta_s, 0.0);
+}
+
+TEST(FleetRollupTest, SilentShardAlsoMakesTheFleetEtaUnknown) {
+  ShardStatus silent;  // ok = false: no status file yet
+  const FleetRollup r =
+      RollUpShards({ReportingShard(100, 100, 25.0, true, 0.0), silent});
+  EXPECT_EQ(r.shards, 2u);
+  EXPECT_EQ(r.shards_reporting, 1u);
+  EXPECT_FALSE(r.eta_known);
+  EXPECT_EQ(r.done, 100u) << "counts still roll up from reporting shards";
+}
+
 }  // namespace
 }  // namespace chaser::campaign

@@ -19,6 +19,8 @@
 #include "hub/tainthub.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace chaser {
 namespace {
@@ -251,7 +253,10 @@ TEST_F(ServerTest, BadHelloDropsOnlyThatConnection) {
   good.Publish(std::move(rec));
   const PollAttempt attempt = good.TryPoll({0, 1, 5, 0}, {});
   EXPECT_EQ(attempt.status, PollStatus::kHit);
-  EXPECT_GE(server_->stats().conn_errors, 1u);
+  // Bad hellos land in their own counter — conn_errors stays reserved for
+  // protocol violations AFTER a successful hello.
+  EXPECT_GE(server_->stats().hello_errors, 1u);
+  EXPECT_EQ(server_->stats().conn_errors, 0u);
 }
 
 TEST_F(ServerTest, VersionMismatchIsRejectedExplicitly) {
@@ -259,7 +264,8 @@ TEST_F(ServerTest, VersionMismatchIsRejectedExplicitly) {
   std::string hello = hub::remote::kHelloMagic;  // right magic...
   AppendVarint(&hello, hub::remote::kProtocolVersion + 41);  // ...wrong version
   EXPECT_TRUE(SendAndExpectDrop(sock, hello));
-  EXPECT_GE(server_->stats().conn_errors, 1u);
+  EXPECT_GE(server_->stats().hello_errors, 1u);
+  EXPECT_EQ(server_->stats().conn_errors, 0u);
 }
 
 TEST_F(ServerTest, OversizedFrameDropsConnectionNotServer) {
@@ -453,6 +459,58 @@ TEST_F(ServerTest, TwoEndpointClientShardsTheKeySpace) {
   EXPECT_GT(server_->stats().records_published, 0u);
   EXPECT_GT(second.stats().records_published, 0u)
       << "32 mixed keys should land on both shards";
+}
+
+// ---- wire instrumentation and the hub clock ---------------------------------
+
+TEST_F(ServerTest, WireMetricsLandInTheGlobalRegistry) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.Reset();
+  {
+    RemoteTaintHub client({endpoint_});
+    MessageTaintRecord rec;
+    rec.id = {0, 1, 9, 0};
+    rec.byte_masks = {0x0f, 0xf0};
+    client.Publish(std::move(rec));
+    const PollAttempt attempt = client.TryPoll({0, 1, 9, 0}, {});
+    EXPECT_EQ(attempt.status, PollStatus::kHit);
+  }
+  const std::string text = reg.ToPrometheus();
+  double v = 0.0;
+  ASSERT_TRUE(obs::PrometheusValue(text, "hub_bytes_in_total", &v)) << text;
+  EXPECT_GT(v, 0.0);
+  ASSERT_TRUE(obs::PrometheusValue(text, "hub_bytes_out_total", &v));
+  EXPECT_GT(v, 0.0);
+  ASSERT_TRUE(obs::PrometheusValue(text, "hub_client_bytes_sent_total", &v));
+  EXPECT_GT(v, 0.0);
+  ASSERT_TRUE(obs::PrometheusValue(text, "hub_client_bytes_recv_total", &v));
+  EXPECT_GT(v, 0.0);
+  // Per-command latency histograms carry the cmd label; the publish and
+  // poll paths must each have observed at least one round trip.
+  ASSERT_TRUE(obs::PrometheusValue(
+      text, "hub_cmd_ns_count{cmd=\"publish-batch\"}", &v))
+      << text;
+  EXPECT_GE(v, 1.0);
+  ASSERT_TRUE(
+      obs::PrometheusValue(text, "hub_cmd_ns_count{cmd=\"try-poll\"}", &v));
+  EXPECT_GE(v, 1.0);
+  ASSERT_TRUE(
+      obs::PrometheusValue(text, "hub_publish_batch_records_count", &v));
+  EXPECT_GE(v, 1.0);
+  reg.Reset();
+}
+
+TEST_F(ServerTest, ProbeHubClockYieldsAPlausibleOffset) {
+  const hub::remote::HubClockProbe probe =
+      hub::remote::ProbeHubClock(endpoint_);
+  ASSERT_TRUE(probe.ok) << "a same-build hubd must advertise its clock";
+  // Same host, same clock: the measured offset is bounded by the RTT plus
+  // scheduling noise. A loose 5s bound still catches unit mixups (ns vs us)
+  // and sign errors.
+  EXPECT_LT(probe.offset_us, 5'000'000);
+  EXPECT_GT(probe.offset_us, -5'000'000);
+  EXPECT_LT(probe.rtt_us, 5'000'000u);
+  EXPECT_THROW(hub::remote::ProbeHubClock("127.0.0.1:1"), ConfigError);
 }
 
 }  // namespace

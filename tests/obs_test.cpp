@@ -5,6 +5,7 @@
 // telemetry on or off, serial and parallel.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -15,11 +16,15 @@
 #include "campaign/campaign.h"
 #include "campaign/parallel.h"
 #include "campaign/report.h"
+#include "common/error.h"
+#include "common/fileio.h"
 #include "guest/builder.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/status.h"
 #include "obs/telemetry.h"
+#include "obs/trace_merge.h"
 #include "obs/trace_writer.h"
 
 namespace chaser::obs {
@@ -276,6 +281,250 @@ TEST(Status, EstimatesBlockAppearsOnlyWhenASourceIsSet) {
   EXPECT_NE(json.find("\"sdc\": {\"rate\": 0.250000"), std::string::npos)
       << json;
   fs::remove_all(dir);
+}
+
+// ---- Prometheus exposition and the scrape server -----------------------------
+
+TEST(Prometheus, RendersCountersGaugesAndCumulativeHistograms) {
+  Registry reg;
+  reg.GetCounter("b_total").Inc(3);
+  reg.GetCounter("a_total").Inc(1);  // registered later, renders first
+  reg.GetGauge("a_gauge").Set(-5);
+  Histogram& h = reg.GetHistogram("lat_ns", {10, 100});
+  h.Observe(5);    // bucket le=10
+  h.Observe(50);   // bucket le=100
+  h.Observe(500);  // overflow: only le=+Inf
+  const std::string text = reg.ToPrometheus();
+
+  EXPECT_NE(text.find("# TYPE b_total counter\nb_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE a_gauge gauge\na_gauge -5\n"), std::string::npos)
+      << text;
+  // Buckets are cumulative and the +Inf bucket equals _count.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"10\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"100\"} 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_count 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ns_sum 555\n"), std::string::npos) << text;
+  // Families render name-sorted within each kind, whatever the
+  // registration order.
+  EXPECT_LT(text.find("# TYPE a_total"), text.find("# TYPE b_total"));
+}
+
+TEST(Prometheus, LabeledSeriesShareOneTypeLine) {
+  Registry reg;
+  reg.GetCounter(LabeledName("cmds_total", "cmd", "poll")).Inc(2);
+  reg.GetCounter(LabeledName("cmds_total", "cmd", "publish")).Inc(7);
+  // A longer unlabeled name that sorts BETWEEN the base and its labeled
+  // series in raw key order — the renderer must still group the family.
+  reg.GetCounter("cmds_total_other").Inc(1);
+  const std::string text = reg.ToPrometheus();
+
+  const std::size_t type_pos = text.find("# TYPE cmds_total counter");
+  ASSERT_NE(type_pos, std::string::npos) << text;
+  EXPECT_EQ(text.find("# TYPE cmds_total counter", type_pos + 1),
+            std::string::npos)
+      << "one TYPE line per family:\n" << text;
+  EXPECT_NE(text.find("cmds_total{cmd=\"poll\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("cmds_total{cmd=\"publish\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cmds_total_other counter"), std::string::npos);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped) {
+  EXPECT_EQ(LabeledName("m", "k", "a\"b\\c\nd"),
+            "m{k=\"a\\\"b\\\\c\\nd\"}");
+  Registry reg;
+  reg.GetCounter(LabeledName("m", "k", "a\"b")).Inc();
+  EXPECT_NE(reg.ToPrometheus().find("m{k=\"a\\\"b\"} 1\n"), std::string::npos);
+}
+
+TEST(Prometheus, PrometheusValueFindsASeries) {
+  const std::string text =
+      "# TYPE x counter\nx 4\nx_more 9\n# TYPE y gauge\ny -2\n";
+  double v = 0.0;
+  ASSERT_TRUE(PrometheusValue(text, "x", &v));
+  EXPECT_DOUBLE_EQ(v, 4.0);
+  ASSERT_TRUE(PrometheusValue(text, "y", &v));
+  EXPECT_DOUBLE_EQ(v, -2.0);
+  EXPECT_FALSE(PrometheusValue(text, "z", &v));
+}
+
+TEST(ExportServer, ServesMetricsStatusAndHealth) {
+  Registry reg;
+  reg.GetCounter("served_total").Inc(11);
+  ExportServer::Options options;
+  options.registry = &reg;
+  options.status_body = [] { return std::string("{\"live\": true}\n"); };
+  ExportServer server(std::move(options));
+  ASSERT_GT(server.port(), 0) << "port 0 must bind an ephemeral port";
+
+  const HttpResponse metrics = HttpGet("127.0.0.1", server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("served_total 11\n"), std::string::npos);
+
+  const HttpResponse status = HttpGet("127.0.0.1", server.port(), "/status");
+  EXPECT_EQ(status.status, 200);
+  EXPECT_EQ(status.body, "{\"live\": true}\n");
+
+  const HttpResponse health = HttpGet("127.0.0.1", server.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpResponse missing = HttpGet("127.0.0.1", server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+  server.Stop();
+}
+
+TEST(ExportServer, StatusWithoutASourceIs404) {
+  Registry reg;
+  ExportServer::Options options;
+  options.registry = &reg;
+  ExportServer server(std::move(options));
+  EXPECT_EQ(HttpGet("127.0.0.1", server.port(), "/status").status, 404);
+}
+
+TEST(ExportServer, ScrapesWhileRecordersHammerTheRegistry) {
+  // The tsan-vetted contract behind the <2% overhead claim: scrapes hold
+  // the registry mutex briefly while writers stay lock-free; neither side
+  // torn-reads the other. 4 writer threads + live HTTP scrapes.
+  Registry reg;
+  ExportServer::Options options;
+  options.registry = &reg;
+  ExportServer server(std::move(options));
+
+  Counter& c = reg.GetCounter("hammer_total");
+  Histogram& h = reg.GetHistogram("hammer_ns", {100, 1000});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&c, &h, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.Inc();
+        h.Observe(i++ % 2000);
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 20; ++scrape) {
+    const HttpResponse r = HttpGet("127.0.0.1", server.port(), "/metrics");
+    ASSERT_EQ(r.status, 200);
+    double total = 0.0, count = 0.0, inf = 0.0;
+    ASSERT_TRUE(PrometheusValue(r.body, "hammer_total", &total));
+    ASSERT_TRUE(PrometheusValue(r.body, "hammer_ns_count", &count));
+    ASSERT_TRUE(
+        PrometheusValue(r.body, "hammer_ns_bucket{le=\"+Inf\"}", &inf));
+    EXPECT_EQ(count, inf) << "_count must equal the +Inf bucket mid-storm";
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  server.Stop();
+  const std::string text = reg.ToPrometheus();
+  double total = 0.0;
+  ASSERT_TRUE(PrometheusValue(text, "hammer_total", &total));
+  EXPECT_EQ(static_cast<std::uint64_t>(total), c.Value());
+}
+
+// ---- Trace merge -------------------------------------------------------------
+
+TEST(TraceMerge, StitchesProcessesAndAlignsClocks) {
+  const std::string dir = TempDir("trace_merge");
+  const std::string path_a = dir + "/a.json";
+  const std::string path_b = dir + "/b.json";
+  {
+    TraceJsonWriter w(path_a, /*pid=*/1, "shard-0");
+    const std::uint32_t tid = w.RegisterThread("main");
+    w.AddSpan(tid, "trial", 1'000'000, 2'000'000, {});
+    w.Finish();
+  }
+  {
+    TraceJsonWriter w(path_b, /*pid=*/1, "shard-1");
+    // Pretend this process's clock runs 5ms behind the hub's.
+    w.SetClockOffsetUs(5000);
+    const std::uint32_t tid = w.RegisterThread("main");
+    w.AddSpan(tid, "trial", 1'000'000, 2'000'000, {});
+    w.Finish();
+  }
+  TraceMergeStats stats;
+  const std::string merged = MergeChromeTraces(
+      {ReadFileToString(path_a), ReadFileToString(path_b)}, &stats);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.max_skew_us, 5000);
+  // File order fixes process identity: a=1, b=2.
+  EXPECT_NE(merged.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(merged.find("shard-0"), std::string::npos);
+  EXPECT_NE(merged.find("shard-1"), std::string::npos);
+  // Both files share one RealtimeAnchorUs (same process); b's +5000us offset
+  // makes it the later anchor, so its events shift +5000us while a's stay.
+  EXPECT_NE(merged.find("\"ts\":1000.000"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("\"ts\":6000.000"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("\"chaserClockAnchorUs\": "), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(TraceMerge, RejectsADocumentWithoutAnAnchor) {
+  EXPECT_THROW(MergeChromeTraces({"{\"traceEvents\": [\n]\n}"}),
+               ConfigError);
+}
+
+// ---- Render-only status (the /status feed) -----------------------------------
+
+TEST(Status, RenderSnapshotWorksWithoutAFile) {
+  StatusWriter::Options options{.path = "", .app = "t", .total = 4, .every = 1};
+  options.obs_endpoint = "127.0.0.1:9100";
+  StatusWriter writer(std::move(options));
+  writer.OnTrialDone(0, 0, 0, false);
+  const std::string live = writer.RenderSnapshot();
+  EXPECT_NE(live.find("\"running\": true"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"done\": 1"), std::string::npos);
+  EXPECT_NE(live.find("\"obs\": \"127.0.0.1:9100\""), std::string::npos);
+  EXPECT_EQ(writer.writes(), 0u) << "no path, no file writes";
+  writer.Finish();
+  EXPECT_NE(writer.RenderSnapshot().find("\"running\": false"),
+            std::string::npos);
+}
+
+TEST(Telemetry, ExportServerServesTheCampaignStatus) {
+  Registry::Global().Reset();
+  TelemetryOptions options;
+  options.obs_port = 0;  // ephemeral
+  Telemetry telemetry(std::move(options));
+  const std::string endpoint = telemetry.obs_endpoint();
+  ASSERT_NE(endpoint, "");
+  const auto colon = endpoint.rfind(':');
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(std::stoi(endpoint.substr(colon + 1)));
+
+  // Before BeginCampaign: a placeholder, not an error.
+  EXPECT_NE(HttpGet("127.0.0.1", port, "/status")
+                .body.find("\"started\": false"),
+            std::string::npos);
+
+  telemetry.BeginCampaign("probe", 2);
+  TrialStats t;
+  telemetry.OnTrialDone(t, 0, 100);
+  const HttpResponse status = HttpGet("127.0.0.1", port, "/status");
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"app\": \"probe\""), std::string::npos);
+  EXPECT_NE(status.body.find("\"done\": 1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"obs\": \"" + endpoint + "\""),
+            std::string::npos)
+      << "the status document advertises its own scrape endpoint";
+
+  const HttpResponse metrics = HttpGet("127.0.0.1", port, "/metrics");
+  double trials = 0.0;
+  ASSERT_TRUE(PrometheusValue(metrics.body, "campaign_trials_total", &trials));
+  EXPECT_DOUBLE_EQ(trials, 1.0);
+  telemetry.Finish();
+  // The endpoint keeps answering after Finish (dashboards read final state).
+  EXPECT_NE(HttpGet("127.0.0.1", port, "/status")
+                .body.find("\"running\": false"),
+            std::string::npos);
+  Registry::Global().Reset();
 }
 
 // ---- Campaign integration: identity on/off, serial and parallel --------------

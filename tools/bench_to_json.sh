@@ -12,6 +12,12 @@
 # without its bench_ prefix, via a temp file + rename so a crashed run never
 # leaves a truncated file behind.
 #
+# bench_ablation_obs additionally stamps the observability-plane ladder: its
+# "+export" row and per-workload "overhead_export_vs_off_pct" record what a
+# scraped worker (live /metrics endpoint + ~100ms-cadence scraper) costs over
+# telemetry-off, alongside the original quiet-vs-off figure. Both ratios sit
+# under the same <2% guard ("guard_passed").
+#
 # Optional end-to-end comparison against a pre-PR build: set CHASER_SEED_BIN
 # to a chaser_run binary built from the baseline commit, e.g.
 #

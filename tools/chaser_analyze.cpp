@@ -26,14 +26,19 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/propagation.h"
 #include "analysis/spool.h"
+#include "campaign/fleet.h"
 #include "campaign/report.h"
 #include "campaign/sampling.h"
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
 #include "guest/isa.h"
+#include "net/socket.h"
+#include "obs/export.h"
 #include "store/ctr.h"
 #include "store/query.h"
 
@@ -63,6 +68,13 @@ void Usage() {
       "  timeline     tainted-bytes-over-time curve (Fig. 7)\n"
       "  graph-dot    propagation graph as Graphviz DOT\n"
       "  root-cause   walk a corrupted output byte back to the injection\n"
+      "  top          live fleet dashboard over scrape endpoints:\n"
+      "               chaser_analyze top --dir FLEET_DIR (endpoints discovered\n"
+      "               from fleet-status.json) or --endpoints H:P[,...];\n"
+      "               --interval MS refresh (default 1000), --once prints a\n"
+      "               single frame and exits\n"
+      "  scrape       print one endpoint body and exit:\n"
+      "               chaser_analyze scrape H:P [/metrics|/status|/healthz]\n"
       "\n"
       "options:\n"
       "  --where SPEC   query: comma-separated key=value filters (keys: outcome,\n"
@@ -479,6 +491,193 @@ std::string QueryJson(const store::QueryResult& res) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Live fleet dashboard (`top`) and raw endpoint scrapes (`scrape`).
+// ---------------------------------------------------------------------------
+
+/// GET `path` from an "H:P" endpoint; empty body on any failure (dead
+/// workers are a normal dashboard condition, not an error).
+std::string TryScrape(const std::string& endpoint, const std::string& path) {
+  try {
+    const net::Endpoint ep = net::ParseEndpoint(endpoint);
+    const obs::HttpResponse r =
+        obs::HttpGet(ep.host, ep.port, path, /*timeout_ms=*/500);
+    if (r.status == 200) return r.body;
+  } catch (const ChaserError&) {
+  }
+  return "";
+}
+
+/// Every `"obs": "H:P"` value in a fleet-status.json document — the shard
+/// and hub scrape endpoints the coordinator discovered, deduplicated in
+/// document order.
+std::vector<std::string> DiscoverObsEndpoints(const std::string& body) {
+  std::vector<std::string> out;
+  const std::string needle = "\"obs\": \"";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    const std::size_t end = body.find('"', pos);
+    if (end == std::string::npos) break;
+    const std::string ep = body.substr(pos, end - pos);
+    if (std::find(out.begin(), out.end(), ep) == out.end()) out.push_back(ep);
+    pos = end;
+  }
+  return out;
+}
+
+/// One rendered frame of the dashboard.
+std::string RenderTopFrame(const std::vector<std::string>& endpoints) {
+  std::string out;
+  out += StrFormat("%-22s %-8s %13s %9s %9s %7s %6s %5s %6s\n", "ENDPOINT",
+                   "STATE", "DONE/TOTAL", "RATE/s", "ETA_s", "BENIGN", "TERM",
+                   "SDC", "INFRA");
+  std::vector<campaign::ShardStatus> workers;
+  std::string hub_lines;
+  std::size_t silent = 0;
+  for (const std::string& ep : endpoints) {
+    const std::string body = TryScrape(ep, "/status");
+    if (body.empty()) {
+      ++silent;
+      out += StrFormat("%-22s %-8s\n", ep.c_str(), "silent");
+      continue;
+    }
+    std::string role;
+    if (JsonFindString(body, "role", &role) && role == "hubd") {
+      // A hub daemon: wire totals from /status, live bytes from /metrics.
+      double cmds = 0.0, records = 0.0, conns = 0.0;
+      JsonFindNumber(body, "commands", &cmds);
+      JsonFindNumber(body, "records_published", &records);
+      JsonFindNumber(body, "connections_accepted", &conns);
+      const std::string metrics = TryScrape(ep, "/metrics");
+      double bytes_in = 0.0, bytes_out = 0.0;
+      obs::PrometheusValue(metrics, "hub_bytes_in_total", &bytes_in);
+      obs::PrometheusValue(metrics, "hub_bytes_out_total", &bytes_out);
+      hub_lines += StrFormat(
+          "%-22s hub      %.0f cmds, %.0f records, %.0f conns, "
+          "%.1f MB in / %.1f MB out\n",
+          ep.c_str(), cmds, records, conns, bytes_in / 1e6, bytes_out / 1e6);
+      continue;
+    }
+    const campaign::ShardStatus s = campaign::ParseShardStatus(body);
+    if (!s.ok) {
+      ++silent;
+      out += StrFormat("%-22s %-8s\n", ep.c_str(), "garbled");
+      continue;
+    }
+    workers.push_back(s);
+    const std::string eta =
+        !s.running ? "-" : s.eta_known ? StrFormat("%.1f", s.eta_s) : "?";
+    out += StrFormat(
+        "%-22s %-8s %6llu/%-6llu %9.2f %9s %7llu %6llu %5llu %6llu\n",
+        ep.c_str(), s.running ? "running" : "done",
+        static_cast<unsigned long long>(s.done),
+        static_cast<unsigned long long>(s.total), s.trials_per_s, eta.c_str(),
+        static_cast<unsigned long long>(s.benign),
+        static_cast<unsigned long long>(s.terminated),
+        static_cast<unsigned long long>(s.sdc),
+        static_cast<unsigned long long>(s.infra));
+  }
+  if (workers.size() > 1) {
+    const campaign::FleetRollup r = campaign::RollUpShards(workers);
+    const std::string eta =
+        r.eta_known ? StrFormat("%.1f", r.eta_s) : std::string("?");
+    out += StrFormat(
+        "%-22s %-8s %6llu/%-6llu %9.2f %9s %7llu %6llu %5llu %6llu\n",
+        "FLEET", "", static_cast<unsigned long long>(r.done),
+        static_cast<unsigned long long>(r.total), r.trials_per_s, eta.c_str(),
+        static_cast<unsigned long long>(r.benign),
+        static_cast<unsigned long long>(r.terminated),
+        static_cast<unsigned long long>(r.sdc),
+        static_cast<unsigned long long>(r.infra));
+    out += StrFormat(
+        "  outcome mix: benign %.1f%%, terminated %.1f%%, sdc %.1f%%, "
+        "infra %.1f%%\n",
+        100.0 * r.benign_rate, 100.0 * r.terminated_rate, 100.0 * r.sdc_rate,
+        100.0 * r.infra_rate);
+  }
+  out += hub_lines;
+  if (silent == endpoints.size()) {
+    out += "(no endpoint answered — fleet finished or not started yet)\n";
+  }
+  return out;
+}
+
+int RunTop(int argc, char** argv) {
+  std::vector<std::string> endpoints;
+  std::string dir;
+  std::uint64_t interval_ms = 1000;
+  bool once = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw ConfigError(std::string("missing value for ") + flag);
+      }
+      return argv[++i];
+    };
+    if (a == "--endpoints") {
+      for (const std::string& ep : Split(value("--endpoints"), ',')) {
+        if (!ep.empty()) endpoints.push_back(ep);
+      }
+    } else if (a == "--dir") {
+      dir = value("--dir");
+    } else if (a == "--interval") {
+      if (!ParseU64(value("--interval"), &interval_ms) || interval_ms == 0) {
+        throw ConfigError("--interval expects milliseconds > 0");
+      }
+    } else if (a == "--once") {
+      once = true;
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else {
+      throw ConfigError("unknown flag '" + a + "'");
+    }
+  }
+  if (endpoints.empty() && dir.empty()) {
+    throw ConfigError("top: pass --endpoints H:P[,...] or --dir FLEET_DIR");
+  }
+  for (;;) {
+    std::vector<std::string> eps = endpoints;
+    if (!dir.empty()) {
+      // Re-discover every frame: restarted workers move to new ports.
+      std::ifstream in(dir + "/fleet-status.json");
+      if (in) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        for (const std::string& ep : DiscoverObsEndpoints(ss.str())) {
+          if (std::find(eps.begin(), eps.end(), ep) == eps.end()) {
+            eps.push_back(ep);
+          }
+        }
+      }
+    }
+    const std::string frame = RenderTopFrame(eps);
+    if (once) {
+      std::fputs(frame.c_str(), stdout);
+      return 0;
+    }
+    // Home + clear-to-end keeps the frame flicker-free on ANSI terminals.
+    std::printf("\033[H\033[J%s\n(refresh %llums, ctrl-c to quit)\n",
+                frame.c_str(), static_cast<unsigned long long>(interval_ms));
+    std::fflush(stdout);
+    usleep(static_cast<useconds_t>(interval_ms * 1000));
+  }
+}
+
+int RunScrape(int argc, char** argv) {
+  if (argc < 3) {
+    throw ConfigError("scrape: usage: chaser_analyze scrape H:P [/metrics]");
+  }
+  const std::string endpoint = argv[2];
+  const std::string path = argc >= 4 ? argv[3] : "/metrics";
+  const net::Endpoint ep = net::ParseEndpoint(endpoint);
+  const obs::HttpResponse r = obs::HttpGet(ep.host, ep.port, path);
+  std::fputs(r.body.c_str(), stdout);
+  return r.status == 200 ? 0 : 1;
+}
+
 std::string RootCauseJson(const analysis::RootCauseChain& chain) {
   std::string out = StrFormat(
       "{\n  \"complete\": %s,\n  \"transfers_crossed\": %zu,\n  \"steps\": [",
@@ -497,6 +696,12 @@ std::string RootCauseJson(const analysis::RootCauseChain& chain) {
 
 int main(int argc, char** argv) {
   try {
+    // `top` and `scrape` talk to live scrape endpoints, not spool dirs —
+    // dispatch them before the spool-oriented argument shape below.
+    if (argc >= 2 && std::string(argv[1]) == "top") return RunTop(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "scrape") {
+      return RunScrape(argc, argv);
+    }
     if (argc < 3) {
       Usage();
       return argc >= 2 && std::string(argv[1]) == "--help" ? 0 : 2;

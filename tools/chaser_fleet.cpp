@@ -45,6 +45,9 @@
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "net/socket.h"
+#include "obs/export.h"
+#include "obs/trace_merge.h"
 #include "store/ctr.h"
 
 namespace {
@@ -55,6 +58,7 @@ void Usage() {
   std::printf(
       "usage: chaser_fleet run   --app APP --dir DIR [options]\n"
       "       chaser_fleet merge --app APP --runs N --seed S [options] CSV...\n"
+      "       chaser_fleet trace-merge --out FILE TRACE.json...\n"
       "\n"
       "run options:\n"
       "  --app NAME          campaign app (as chaser_run --app)\n"
@@ -83,13 +87,24 @@ void Usage() {
       "                      ctr for columnar CTR stores (shard-<i>.ctr/); the\n"
       "                      merge then streams shard stores record-by-record\n"
       "                      into DIR/merged.ctr instead of loading CSVs whole\n"
+      "  --obs 0|1           observability plane (default 0): every worker and\n"
+      "                      spawned hubd serves /metrics + /status + /healthz\n"
+      "                      on an ephemeral port, fleet-status.json gains the\n"
+      "                      live fleet rollup (scraped when possible, status\n"
+      "                      files as fallback), workers write Chrome traces,\n"
+      "                      and the traces merge into DIR/fleet-trace.json\n"
       "\n"
       "merge options (inputs: records CSVs, or CTR store dirs — not mixed):\n"
       "  --runs/--seed/--sample/--stop-ci   the plan every shard ran\n"
       "  --out FILE          write the merged records: a CSV for CSV inputs, a\n"
       "                      merged CTR store for CTR inputs (export a CSV\n"
       "                      with chaser_analyze export-csv)\n"
-      "  --report FILE       write the merged report (also printed)\n");
+      "  --report FILE       write the merged report (also printed)\n"
+      "\n"
+      "trace-merge: stitch per-process Chrome traces (chaser_run --trace-out)\n"
+      "into one fleet timeline — per-file pids become distinct process rows\n"
+      "and timestamps are aligned via each file's wall-clock anchor\n"
+      "(hub-handshake corrected when the run had a hub; see DESIGN.md 5.10).\n");
 }
 
 std::string ArgStr(int argc, char** argv, int& i, const char* flag) {
@@ -142,11 +157,14 @@ pid_t SpawnLogged(const std::vector<std::string>& args,
 struct HubProc {
   pid_t pid = -1;
   std::string endpoint;
+  std::string obs_endpoint;  // "" when the hub runs without a scrape server
 };
 
 /// Spawn a chaser_hubd on an ephemeral port and read the bound endpoint
-/// from its first stdout line ("chaser_hubd: listening on H:P").
-HubProc SpawnHub(const std::string& hubd_bin) {
+/// from its first stdout line ("chaser_hubd: listening on H:P"); with
+/// `obs` the daemon also gets --obs-port 0 and its scrape endpoint is read
+/// from the second banner line.
+HubProc SpawnHub(const std::string& hubd_bin, bool obs) {
   int pipefd[2];
   if (pipe(pipefd) != 0) {
     throw ConfigError(std::string("pipe: ") + std::strerror(errno));
@@ -157,26 +175,46 @@ HubProc SpawnHub(const std::string& hubd_bin) {
     close(pipefd[0]);
     dup2(pipefd[1], STDOUT_FILENO);
     if (pipefd[1] > STDERR_FILENO) close(pipefd[1]);
-    execlp(hubd_bin.c_str(), hubd_bin.c_str(), "--port", "0",
-           static_cast<char*>(nullptr));
+    if (obs) {
+      execlp(hubd_bin.c_str(), hubd_bin.c_str(), "--port", "0", "--obs-port",
+             "0", static_cast<char*>(nullptr));
+    } else {
+      execlp(hubd_bin.c_str(), hubd_bin.c_str(), "--port", "0",
+             static_cast<char*>(nullptr));
+    }
     std::fprintf(stderr, "chaser_fleet: exec %s: %s\n", hubd_bin.c_str(),
                  std::strerror(errno));
     _exit(127);
   }
   close(pipefd[1]);
-  // Read up to the first newline; the daemon flushes it right after binding.
-  std::string line;
-  char c;
-  while (read(pipefd[0], &c, 1) == 1 && c != '\n') line.push_back(c);
-  close(pipefd[0]);
+  // Read one banner line per call; the daemon flushes each after binding.
+  const auto read_line = [&pipefd] {
+    std::string line;
+    char c;
+    while (read(pipefd[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    return line;
+  };
+  HubProc hub;
+  hub.pid = pid;
+  const std::string line = read_line();
   const std::string prefix = "chaser_hubd: listening on ";
   if (line.rfind(prefix, 0) != 0) {
+    close(pipefd[0]);
     kill(pid, SIGKILL);
     waitpid(pid, nullptr, 0);
     throw ConfigError("chaser_fleet: unexpected chaser_hubd banner: '" + line +
                       "'");
   }
-  return HubProc{pid, line.substr(prefix.size())};
+  hub.endpoint = line.substr(prefix.size());
+  if (obs) {
+    const std::string obs_line = read_line();
+    const std::string obs_prefix = "chaser_hubd: obs listening on ";
+    if (obs_line.rfind(obs_prefix, 0) == 0) {
+      hub.obs_endpoint = obs_line.substr(obs_prefix.size());
+    }
+  }
+  close(pipefd[0]);
+  return hub;
 }
 
 std::vector<campaign::RunRecord> ReadRecordsFile(const std::string& path) {
@@ -305,13 +343,99 @@ campaign::CampaignResult MergeAndWrite(const campaign::MergePlan& plan,
   return result;
 }
 
-/// Roll every shard's status.json up into one fleet-status.json. Each shard
-/// file is itself one complete JSON object (StatusWriter writes atomically),
-/// so embedding it verbatim keeps the rollup valid JSON.
+/// GET `path` from an "H:P" scrape endpoint; "" on any failure (the caller
+/// always has a file fallback, so scrape failures are soft).
+std::string TryScrape(const std::string& endpoint, const std::string& path) {
+  if (endpoint.empty()) return "";
+  try {
+    const net::Endpoint ep = net::ParseEndpoint(endpoint);
+    const obs::HttpResponse r =
+        obs::HttpGet(ep.host, ep.port, path, /*timeout_ms=*/250);
+    if (r.status == 200) return r.body;
+  } catch (const ChaserError&) {
+    // Worker mid-restart or already gone; fall back to its status file.
+  }
+  return "";
+}
+
+/// Roll every shard's status up into one fleet-status.json. Each shard
+/// document is one complete JSON object (StatusWriter writes the file
+/// atomically and /status serves the same rendering), so embedding it
+/// verbatim keeps the rollup valid JSON. With the obs plane on, live
+/// /status scrapes take precedence over the (possibly staler) status files.
 void WriteFleetStatus(const std::string& dir, std::uint64_t shards,
                       const std::vector<int>& states,
-                      const std::vector<unsigned>& restarts) {
-  std::string out = "{\"shards\": [";
+                      const std::vector<unsigned>& restarts,
+                      const std::vector<HubProc>& hubs, bool obs) {
+  std::vector<campaign::ShardStatus> parsed(shards);
+  std::vector<std::string> bodies(shards);
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    std::string body;
+    std::ifstream in(dir + "/shard-" + std::to_string(i) + ".status.json");
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      body = ss.str();
+    }
+    if (obs) {
+      // The worker advertises its scrape endpoint inside its own status
+      // file ("obs": "H:P") — no extra banner plumbing needed.
+      const campaign::ShardStatus from_file = campaign::ParseShardStatus(body);
+      const std::string live = TryScrape(from_file.obs_endpoint, "/status");
+      if (!live.empty()) body = live;
+    }
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+    bodies[i] = body;
+    parsed[i] = campaign::ParseShardStatus(body);
+  }
+  const campaign::FleetRollup r = campaign::RollUpShards(parsed);
+
+  // eta_s keeps the null-for-unknown contract fleet-wide: one shard that
+  // cannot estimate yet (or is not reporting) makes the fleet ETA null.
+  std::string out = StrFormat(
+      "{\"fleet\": {\"shards\": %llu, \"reporting\": %llu, \"total\": %llu, "
+      "\"done\": %llu, \"replayed\": %llu, \"benign\": %llu, "
+      "\"terminated\": %llu, \"sdc\": %llu, \"infra\": %llu, "
+      "\"taint_lost\": %llu, \"trace_dropped\": %llu, "
+      "\"trials_per_s\": %.2f, \"eta_s\": %s, \"estimates\": "
+      "{\"benign\": %.6f, \"terminated\": %.6f, \"sdc\": %.6f, "
+      "\"infra\": %.6f}}",
+      static_cast<unsigned long long>(r.shards),
+      static_cast<unsigned long long>(r.shards_reporting),
+      static_cast<unsigned long long>(r.total),
+      static_cast<unsigned long long>(r.done),
+      static_cast<unsigned long long>(r.replayed),
+      static_cast<unsigned long long>(r.benign),
+      static_cast<unsigned long long>(r.terminated),
+      static_cast<unsigned long long>(r.sdc),
+      static_cast<unsigned long long>(r.infra),
+      static_cast<unsigned long long>(r.taint_lost),
+      static_cast<unsigned long long>(r.trace_dropped), r.trials_per_s,
+      r.eta_known ? StrFormat("%.1f", r.eta_s).c_str() : "null",
+      r.benign_rate, r.terminated_rate, r.sdc_rate, r.infra_rate);
+
+  if (!hubs.empty()) {
+    out += ", \"hubs\": [";
+    for (std::size_t h = 0; h < hubs.size(); ++h) {
+      if (h > 0) out += ", ";
+      out += StrFormat("{\"endpoint\": \"%s\"", hubs[h].endpoint.c_str());
+      if (!hubs[h].obs_endpoint.empty()) {
+        out += StrFormat(", \"obs\": \"%s\"", hubs[h].obs_endpoint.c_str());
+        std::string stats = TryScrape(hubs[h].obs_endpoint, "/status");
+        while (!stats.empty() &&
+               (stats.back() == '\n' || stats.back() == ' ')) {
+          stats.pop_back();
+        }
+        if (!stats.empty()) out += ", \"stats\": " + stats;
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+
+  out += ", \"shards\": [";
   for (std::uint64_t i = 0; i < shards; ++i) {
     if (i > 0) out += ", ";
     const char* state = states[i] == 0   ? "running"
@@ -319,20 +443,32 @@ void WriteFleetStatus(const std::string& dir, std::uint64_t shards,
                                          : "failed";
     out += StrFormat("{\"shard\": %llu, \"state\": \"%s\", \"restarts\": %u",
                      static_cast<unsigned long long>(i), state, restarts[i]);
-    std::ifstream in(dir + "/shard-" + std::to_string(i) + ".status.json");
-    if (in) {
-      std::stringstream ss;
-      ss << in.rdbuf();
-      std::string body = ss.str();
-      while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
-        body.pop_back();
-      }
-      if (!body.empty()) out += ", \"status\": " + body;
-    }
+    if (!bodies[i].empty()) out += ", \"status\": " + bodies[i];
     out += "}";
   }
   out += "]}\n";
   WriteFileAtomic(dir + "/fleet-status.json", out);
+}
+
+/// Merge whatever per-shard traces exist into DIR/fleet-trace.json. Missing
+/// traces (a shard that never started, an obs-off worker) are skipped — the
+/// merged timeline covers what was actually recorded.
+void MergeFleetTraces(const std::string& dir, std::uint64_t shards) {
+  std::vector<std::string> paths;
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    const std::string path =
+        dir + "/shard-" + std::to_string(i) + ".trace.json";
+    std::ifstream probe(path);
+    if (probe) paths.push_back(path);
+  }
+  if (paths.empty()) return;
+  const std::string out = dir + "/fleet-trace.json";
+  const obs::TraceMergeStats stats = obs::MergeChromeTraceFiles(paths, out);
+  std::printf(
+      "chaser_fleet: merged %zu traces (%llu events, clock skew up to "
+      "%lld us) into %s\n",
+      stats.files, static_cast<unsigned long long>(stats.events),
+      static_cast<long long>(stats.max_skew_us), out.c_str());
 }
 
 int RunFleet(int argc, char** argv) {
@@ -346,6 +482,7 @@ int RunFleet(int argc, char** argv) {
   std::uint64_t spawn_hubs = 0;
   std::uint64_t max_restarts = 2;
   std::string records_format = "csv";
+  bool obs = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -394,6 +531,8 @@ int RunFleet(int argc, char** argv) {
         throw ConfigError("bad --records-format '" + records_format +
                           "' (csv|ctr)");
       }
+    } else if (a == "--obs") {
+      obs = ArgNum(argc, argv, i, "--obs") != 0;
     } else if (a == "--help" || a == "-h") {
       Usage();
       return 0;
@@ -437,11 +576,13 @@ int RunFleet(int argc, char** argv) {
 
   std::vector<HubProc> hubs;
   for (std::uint64_t h = 0; h < spawn_hubs; ++h) {
-    hubs.push_back(SpawnHub(hubd_bin));
+    hubs.push_back(SpawnHub(hubd_bin, obs));
     hub_endpoints.push_back(hubs.back().endpoint);
-    std::printf("chaser_fleet: hub %llu at %s\n",
+    std::printf("chaser_fleet: hub %llu at %s%s%s\n",
                 static_cast<unsigned long long>(h),
-                hubs.back().endpoint.c_str());
+                hubs.back().endpoint.c_str(),
+                hubs.back().obs_endpoint.empty() ? "" : ", obs ",
+                hubs.back().obs_endpoint.c_str());
   }
   const auto stop_hubs = [&hubs] {
     for (HubProc& h : hubs) {
@@ -483,6 +624,14 @@ int RunFleet(int argc, char** argv) {
       args.push_back("--hub");
       args.push_back(hub_arg);
     }
+    if (obs) {
+      // Ephemeral scrape port per worker (advertised in its status.json)
+      // plus a per-shard Chrome trace for the post-run fleet merge.
+      args.push_back("--obs-port");
+      args.push_back("0");
+      args.push_back("--trace-out");
+      args.push_back(base + ".trace.json");
+    }
     return args;
   };
 
@@ -501,14 +650,14 @@ int RunFleet(int argc, char** argv) {
                                   dir + "/shard-" + std::to_string(i) + ".log");
     shard_of[pid] = i;
   }
-  WriteFleetStatus(dir, shards, states, restarts);
+  WriteFleetStatus(dir, shards, states, restarts, hubs, obs);
 
   bool failed = false;
   while (!shard_of.empty()) {
     int status = 0;
     const pid_t pid = waitpid(-1, &status, WNOHANG);
     if (pid == 0) {
-      WriteFleetStatus(dir, shards, states, restarts);
+      WriteFleetStatus(dir, shards, states, restarts, hubs, obs);
       usleep(200 * 1000);
       continue;
     }
@@ -542,10 +691,12 @@ int RunFleet(int argc, char** argv) {
                    static_cast<unsigned long long>(i), restarts[i], dir.c_str(),
                    static_cast<unsigned long long>(i));
     }
-    WriteFleetStatus(dir, shards, states, restarts);
+    WriteFleetStatus(dir, shards, states, restarts, hubs, obs);
   }
   stop_hubs();
   if (failed) return 1;
+
+  if (obs) MergeFleetTraces(dir, shards);
 
   plan.app = app;
   std::vector<std::string> inputs;
@@ -555,6 +706,35 @@ int RunFleet(int argc, char** argv) {
   }
   MergeAndWrite(plan, inputs, dir + (ctr ? "/merged.ctr" : "/merged.csv"),
                 dir + "/report.txt");
+  return 0;
+}
+
+int RunTraceMerge(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> traces;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out") {
+      out_path = ArgStr(argc, argv, i, "--out");
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      throw ConfigError("unknown flag '" + a + "'");
+    } else {
+      traces.push_back(a);
+    }
+  }
+  if (out_path.empty() || traces.empty()) {
+    Usage();
+    return 2;
+  }
+  const obs::TraceMergeStats stats =
+      obs::MergeChromeTraceFiles(traces, out_path);
+  std::printf(
+      "merged %zu traces (%llu events, clock skew up to %lld us) into %s\n",
+      stats.files, static_cast<unsigned long long>(stats.events),
+      static_cast<long long>(stats.max_skew_us), out_path.c_str());
   return 0;
 }
 
@@ -618,11 +798,13 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "run") return RunFleet(argc, argv);
     if (cmd == "merge") return RunMerge(argc, argv);
+    if (cmd == "trace-merge") return RunTraceMerge(argc, argv);
     if (cmd == "--help" || cmd == "-h") {
       Usage();
       return 0;
     }
-    throw ConfigError("unknown subcommand '" + cmd + "' (run|merge)");
+    throw ConfigError("unknown subcommand '" + cmd +
+                      "' (run|merge|trace-merge)");
   } catch (const ChaserError& e) {
     std::fprintf(stderr, "chaser_fleet: %s\n", e.what());
     return 2;

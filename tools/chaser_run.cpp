@@ -29,6 +29,7 @@
 #include "common/error.h"
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "hub/remote/client.h"
 #include "hub/remote/protocol.h"
 #include "obs/telemetry.h"
 #include "store/ctr.h"
@@ -144,10 +145,16 @@ void Usage() {
       "                      few trials (done/total, outcome tallies, rate, ETA)\n"
       "  --status-every N    rewrite the status file every N trials\n"
       "                      (default 0 = auto, about 1%% of the campaign)\n"
-      "  --progress          one-line live progress meter on stderr\n"
+      "  --progress          force the one-line stderr progress meter even\n"
+      "                      when stderr is not a terminal (with any other\n"
+      "                      obs flag the meter is automatic on a TTY only)\n"
       "  --metrics FILE      write the full metrics registry as JSON at exit\n"
       "                      (with --out and any obs flag, defaults to\n"
       "                      <out>.metrics.json)\n"
+      "  --obs-port P        serve live /metrics (Prometheus), /status and\n"
+      "                      /healthz over HTTP on 127.0.0.1:P for scrapers\n"
+      "                      and chaser_analyze top; 0 picks an ephemeral\n"
+      "                      port, echoed as 'chaser_run: obs listening on'\n"
       "  --help              this text\n");
 }
 
@@ -326,10 +333,14 @@ int main(int argc, char** argv) {
       } else if (a == "--status-every") {
         obs_options.status_every = ArgNum(argc, argv, i, "--status-every");
       } else if (a == "--progress") {
-        obs_options.progress = true;
+        obs_options.progress = obs::ProgressMode::kOn;
       } else if (a == "--metrics") {
         if (i + 1 >= argc) throw ConfigError("missing value for --metrics");
         obs_options.metrics_path = argv[++i];
+      } else if (a == "--obs-port") {
+        const std::uint64_t port = ArgNum(argc, argv, i, "--obs-port");
+        if (port > 65535) throw ConfigError("--obs-port out of range");
+        obs_options.obs_port = static_cast<int>(port);
       } else if (a == "--help" || a == "-h") {
         Usage();
         return 0;
@@ -360,14 +371,50 @@ int main(int argc, char** argv) {
     const bool obs_requested = !obs_options.trace_path.empty() ||
                                !obs_options.status_path.empty() ||
                                !obs_options.metrics_path.empty() ||
-                               obs_options.progress;
+                               obs_options.progress != obs::ProgressMode::kOff ||
+                               obs_options.obs_port >= 0;
     if (obs_requested && obs_options.metrics_path.empty() && !out_path.empty()) {
       obs_options.metrics_path = out_path + ".metrics.json";
+    }
+    // Any obs flag turns the meter on for interactive runs only; an
+    // explicit --progress (kOn) still forces it into pipes and logs.
+    if (obs_requested && obs_options.progress == obs::ProgressMode::kOff) {
+      obs_options.progress = obs::ProgressMode::kAuto;
+    }
+    if (config.shard_count > 1) {
+      // Fleet identity: one Perfetto process row per shard after the merge.
+      obs_options.trace_pid =
+          static_cast<std::uint32_t>(config.shard_index + 1);
+      obs_options.trace_process_name =
+          StrFormat("chaser shard-%llu/%llu",
+                    static_cast<unsigned long long>(config.shard_index),
+                    static_cast<unsigned long long>(config.shard_count));
     }
     std::unique_ptr<obs::Telemetry> telemetry;
     if (obs_requested) {
       telemetry = std::make_unique<obs::Telemetry>(obs_options);
       config.telemetry = telemetry.get();
+      if (obs_options.obs_port >= 0) {
+        // Machine-readable (cf. chaser_hubd's listening line): scripts that
+        // pass --obs-port 0 learn the ephemeral port from this line.
+        std::printf("chaser_run: obs listening on %s\n",
+                    telemetry->obs_endpoint().c_str());
+        std::fflush(stdout);
+      }
+      if (!obs_options.trace_path.empty() && !config.hub_endpoints.empty()) {
+        // Trace anchors on the hub's clock: one handshake-derived offset per
+        // worker, so merged fleet timelines align across hosts.
+        try {
+          const hub::remote::HubClockProbe probe =
+              hub::remote::ProbeHubClock(config.hub_endpoints.front());
+          telemetry->SetClockOffsetUs(probe.offset_us);
+        } catch (const ConfigError& e) {
+          std::fprintf(stderr,
+                       "chaser_run: hub clock probe failed (%s); trace anchor "
+                       "stays on the local clock\n",
+                       e.what());
+        }
+      }
     }
 
     // The CTR store is written as trials commit (record_sink fires from the
